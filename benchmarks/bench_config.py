@@ -1,0 +1,4 @@
+"""Shared constants for the experiment benchmarks."""
+
+E1_SCALE_FACTORS = [0.05, 0.1, 0.25, 0.5]
+EMBED_DIM = 16

@@ -1,0 +1,62 @@
+"""E1 — "a MacBook can comfortably run TPC-H scale factor 1000 …
+'small data' is enough for most applications".
+
+Reproduction: run the TPC-H-like suite (Q1/Q3/Q5/Q6) at growing scale
+factors on a single machine and check the *shape*: latency grows roughly
+linearly with data size and stays interactive at laptop scale.  (Our
+substrate is a pure-Python engine, so absolute numbers are ~100× a C
+engine's; the trend is the claim under test.)
+"""
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.workloads.tpch import tpch_query, tpch_row_counts
+
+from bench_config import E1_SCALE_FACTORS
+
+QUERIES = ["Q1", "Q3", "Q5", "Q6"]
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("sf", E1_SCALE_FACTORS)
+@pytest.mark.parametrize("query", QUERIES)
+def test_e1_query_latency(benchmark, tpch_dbs, sf, query):
+    db = tpch_dbs[sf]
+    sql = tpch_query(query)
+    result = benchmark.pedantic(lambda: db.execute(sql), rounds=3, iterations=1)
+    assert result.rowcount >= 0
+    benchmark.extra_info["scale_factor"] = sf
+    benchmark.extra_info["lineitem_rows"] = tpch_row_counts(sf)["lineitem"]
+    _RESULTS[(query, sf)] = benchmark.stats.stats.min * 1e3
+
+
+def test_e1_claim_check(benchmark, tpch_dbs):
+    """Interactive latency at top scale + roughly linear scaling."""
+    benchmark.pedantic(lambda: None, rounds=1)
+    rows = []
+    for query in QUERIES:
+        row = [query]
+        for sf in E1_SCALE_FACTORS:
+            row.append(_RESULTS.get((query, sf), float("nan")))
+        rows.append(row)
+    print()
+    print(
+        format_table(
+            ["query"] + [f"SF {sf} (ms)" for sf in E1_SCALE_FACTORS],
+            rows,
+            title="E1: TPC-H-like latency vs scale factor (laptop, pure Python)",
+        )
+    )
+    low, high = E1_SCALE_FACTORS[0], E1_SCALE_FACTORS[-1]
+    ratio = high / low
+    for query in QUERIES:
+        t_low, t_high = _RESULTS.get((query, low)), _RESULTS.get((query, high))
+        if not t_low or not t_high:
+            continue
+        growth = t_high / t_low
+        # Shape check: scaling is at most ~2x superlinear vs the data ratio
+        # and the largest run is still interactive (sub-5s in pure Python).
+        assert growth < ratio * 3.0, f"{query} latency grew superlinearly ({growth:.1f}x)"
+        assert t_high < 5000, f"{query} not interactive at SF {high}: {t_high:.0f}ms"

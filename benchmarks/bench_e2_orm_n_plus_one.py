@@ -1,0 +1,108 @@
+"""E2 — "many performance problems are due to the ORM and never arise at
+the DBMS".
+
+Reproduction: a 1:N schema traversed three ways — lazy ORM (N+1 queries),
+eager ORM (one JOIN), raw SQL (one aggregate).  The lazy curve grows
+linearly in the number of parents while the DBMS-side work for the same
+logical question stays one query; the claim-check asserts the
+orders-of-magnitude query-count gap.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.core.database import Database
+from repro.orm import ForeignKeyField, IntegerField, Model, Session, TextField, eager
+
+PARENT_COUNTS = [10, 50, 200, 400]
+BOOKS_PER_AUTHOR = 3
+
+_RESULTS = {}
+
+
+class Author(Model):
+    __tablename__ = "authors"
+    id = IntegerField(primary_key=True)
+    name = TextField()
+
+
+class Book(Model):
+    __tablename__ = "books"
+    id = IntegerField(primary_key=True)
+    author_id = ForeignKeyField("authors.id")
+    title = TextField()
+
+
+Author.relate("books", Book, foreign_key="author_id")
+
+
+def make_session(n_authors: int) -> Session:
+    session = Session(Database())
+    session.create_all([Author, Book])
+    for i in range(n_authors):
+        session.add(Author(id=i, name=f"author{i}"))
+        for j in range(BOOKS_PER_AUTHOR):
+            session.add(Book(id=i * 10 + j, author_id=i, title=f"b{i}.{j}"))
+    session.flush()
+    return session
+
+
+def traverse_lazy(session: Session) -> int:
+    return sum(len(a.books) for a in session.query(Author).all())
+
+
+def traverse_eager(session: Session) -> int:
+    return sum(
+        len(a.books) for a in session.query(Author).options(eager("books")).all()
+    )
+
+
+def raw_sql(session: Session) -> int:
+    return session.execute("SELECT COUNT(*) FROM books").scalar()
+
+
+@pytest.mark.parametrize("n", PARENT_COUNTS)
+@pytest.mark.parametrize(
+    "mode,fn", [("lazy", traverse_lazy), ("eager", traverse_eager), ("raw-sql", raw_sql)]
+)
+def test_e2_traversal(benchmark, n, mode, fn):
+    session = make_session(n)
+
+    def run():
+        # Fresh identity/relationship caches each round: re-materialize.
+        fresh = Session(session.db)
+        fresh.reset_query_count()
+        total = fn(fresh)
+        return fresh.query_count, total
+
+    (queries, total) = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert total == n * BOOKS_PER_AUTHOR
+    benchmark.extra_info["queries"] = queries
+    _RESULTS[(mode, n)] = (benchmark.stats.stats.min * 1e3, queries)
+
+
+def test_e2_claim_check(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    rows = []
+    for mode in ("lazy", "eager", "raw-sql"):
+        for n in PARENT_COUNTS:
+            ms, queries = _RESULTS[(mode, n)]
+            rows.append([mode, n, queries, ms])
+    print()
+    print(
+        format_table(
+            ["mode", "authors", "queries", "best ms"],
+            rows,
+            title="E2: ORM N+1 vs eager vs raw SQL",
+        )
+    )
+    # The defining shape: lazy issues 1+N queries, eager exactly 1.
+    for n in PARENT_COUNTS:
+        assert _RESULTS[("lazy", n)][1] == 1 + n
+        assert _RESULTS[("eager", n)][1] == 1
+        assert _RESULTS[("raw-sql", n)][1] == 1
+    # And the time gap grows with N: at N=400 lazy is many times slower
+    # than raw SQL for the same logical answer.
+    lazy_ms = _RESULTS[("lazy", PARENT_COUNTS[-1])][0]
+    raw_ms = _RESULTS[("raw-sql", PARENT_COUNTS[-1])][0]
+    assert lazy_ms > 5 * raw_ms

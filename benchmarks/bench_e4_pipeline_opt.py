@@ -1,0 +1,90 @@
+"""E4 — "The CTO of Alibaba Cloud … applying query optimization principles
+to rebuild their pipeline for training QWEN 3, significantly reducing costs".
+
+Reproduction: a training-data prep pipeline (tokenize → language filter →
+quality filter → URL dedup) written naively with the expensive "GPU"
+tokenizer first, then rebuilt by the pipeline optimizer (filters and dedup
+pushed ahead of the tokenizer, rank-ordered).  Identical outputs; the
+benchmark reports the GPU-cost and bytes-processed reduction factors.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.pipelines import Pipeline, PipelineOptimizer, run_pipeline
+
+_RESULTS = {}
+
+
+def tokenize(record):
+    record["tokens"] = record["text"].split()
+    return record
+
+
+def naive_pipeline() -> Pipeline:
+    return (
+        Pipeline("naive")
+        .map("tokenize", tokenize, reads={"text"}, writes={"tokens"}, cost=50.0, gpu=True)
+        .filter("lang_en", lambda r: r["lang"] == "en", reads={"lang"},
+                selectivity=0.5, cost=0.1)
+        .filter("quality", lambda r: r["quality"] > 0.5, reads={"quality"},
+                selectivity=0.55, cost=0.2)
+        .dedup("url", key=lambda r: r["url"], reads={"url"},
+               duplicate_fraction=0.25, cost=0.5)
+    )
+
+
+VARIANTS = [
+    ("naive", lambda: naive_pipeline()),
+    ("optimized", lambda: PipelineOptimizer().optimize(naive_pipeline())),
+    ("reorder-only", lambda: PipelineOptimizer(enable_fusion=False).optimize(naive_pipeline())),
+]
+
+
+@pytest.mark.parametrize("name,make", VARIANTS)
+def test_e4_pipeline_run(benchmark, pipeline_corpus, name, make):
+    pipeline = make()
+    out, report = benchmark.pedantic(
+        lambda: run_pipeline(pipeline, pipeline_corpus), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(report.summary())
+    _RESULTS[name] = (report, sorted(r["id"] for r in out), benchmark.stats.stats.min * 1e3)
+
+
+def test_e4_claim_check(benchmark, pipeline_corpus):
+    benchmark.pedantic(lambda: None, rounds=1)
+    rows = []
+    for name, (report, __, ms) in _RESULTS.items():
+        summary = report.summary()
+        rows.append(
+            [
+                name,
+                summary["rows_processed"],
+                summary["bytes_processed"],
+                summary["gpu_cost"],
+                summary["cpu_cost"],
+                summary["rows_out"],
+                ms,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["plan", "rows proc", "bytes proc", "gpu cost", "cpu cost", "rows out", "best ms"],
+            rows,
+            title="E4: AI data-prep pipeline, naive vs query-optimized",
+        )
+    )
+    naive_report, naive_out, __ = _RESULTS["naive"]
+    opt_report, opt_out, __ = _RESULTS["optimized"]
+    # Results identical; the optimizer only moves work, never changes it.
+    assert naive_out == opt_out
+    # Cost: the claim's shape — a significant (>2x) reduction in the
+    # expensive resource, driven by shrinking the tokenizer's input.
+    gpu_reduction = naive_report.total_gpu / max(opt_report.total_gpu, 1e-9)
+    bytes_reduction = naive_report.total_bytes_processed / max(
+        opt_report.total_bytes_processed, 1
+    )
+    print(f"\nGPU-cost reduction: {gpu_reduction:.1f}x; bytes reduction: {bytes_reduction:.1f}x")
+    assert gpu_reduction > 2.0
+    assert bytes_reduction > 1.5

@@ -1,0 +1,101 @@
+"""E7 — "fully embrace LLMs … data integration, data cleaning …
+declarativity and query optimization can also help in LLM-powered
+processing at large/at scale/in production" (Parameswaran).
+
+Reproduction: entity matching over a perturbed-duplicates dataset with a
+metered, difficulty-aware simulated LLM.  Four matchers span the
+cost/accuracy frontier; the claim's shape is that the optimizer-style
+cascade (blocking + similarity gates + LLM only on the uncertain band)
+reaches ≈ all-pairs-LLM quality at a small fraction of the spend.  A
+threshold-band ablation shows the knob the optimizer exposes.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.integrate.dataset import make_matching_dataset, make_oracle
+from repro.integrate.llm import SimulatedLLM
+from repro.integrate.matchers import (
+    BlockedLLMMatcher,
+    CascadeMatcher,
+    LLMAllPairsMatcher,
+    SimilarityMatcher,
+)
+
+MATCHERS = [
+    ("similarity-only", lambda: SimilarityMatcher()),
+    ("cascade", lambda: CascadeMatcher()),
+    ("blocking+llm", lambda: BlockedLLMMatcher()),
+    ("llm-all-pairs", lambda: LLMAllPairsMatcher()),
+]
+BANDS = [(0.9, 0.5), (0.82, 0.35), (0.7, 0.2)]
+
+_RESULTS = {}
+_ABLATION = {}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_matching_dataset(num_entities=120, seed=7)
+
+
+@pytest.mark.parametrize("name,make", MATCHERS)
+def test_e7_matcher(benchmark, dataset, name, make):
+    def run():
+        llm = SimulatedLLM(accuracy=0.9, seed=13)
+        return make().run(dataset, make_oracle(dataset, llm))
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["f1"] = round(report.f1, 3)
+    benchmark.extra_info["llm_cost"] = round(report.llm_cost, 2)
+    _RESULTS[name] = report
+
+
+@pytest.mark.parametrize("accept,reject", BANDS)
+def test_e7_cascade_band_ablation(benchmark, dataset, accept, reject):
+    def run():
+        llm = SimulatedLLM(accuracy=0.9, seed=13)
+        return CascadeMatcher(accept=accept, reject=reject).run(
+            dataset, make_oracle(dataset, llm)
+        )
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["f1"] = round(report.f1, 3)
+    _ABLATION[(accept, reject)] = report
+
+
+def test_e7_claim_check(benchmark, dataset):
+    benchmark.pedantic(lambda: None, rounds=1)
+    rows = [
+        [name, r.precision, r.recall, r.f1, r.llm_calls, r.llm_cost, r.pairs_considered]
+        for name, r in _RESULTS.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["matcher", "P", "R", "F1", "LLM calls", "LLM cost", "pairs"],
+            rows,
+            title=f"E7: entity-matching frontier ({len(dataset)} records, "
+            f"{len(dataset.true_pairs)} true pairs)",
+        )
+    )
+    band_rows = [
+        [f"[{reject}, {accept})", r.f1, r.llm_calls, r.llm_cost]
+        for (accept, reject), r in _ABLATION.items()
+    ]
+    print()
+    print(format_table(["uncertain band", "F1", "LLM calls", "LLM cost"], band_rows,
+                       title="E7b: cascade band ablation"))
+    frontier = _RESULTS
+    # Quality: cascade ≥ 85% of the all-pairs F1, and better than no-LLM.
+    assert frontier["cascade"].f1 >= 0.85 * frontier["llm-all-pairs"].f1
+    assert frontier["cascade"].f1 > frontier["similarity-only"].f1
+    # Cost: each step down the frontier cuts spend by an integer factor.
+    assert frontier["cascade"].llm_cost < 0.25 * frontier["blocking+llm"].llm_cost
+    assert frontier["blocking+llm"].llm_cost < 0.5 * frontier["llm-all-pairs"].llm_cost
+    assert frontier["similarity-only"].llm_cost == 0.0
+    # Ablation: a wider uncertain band spends more LLM calls.
+    wide = _ABLATION[(0.9, 0.5)] if (0.9, 0.5) in _ABLATION else None
+    narrow = _ABLATION[(0.7, 0.2)]
+    if wide is not None:
+        assert narrow.llm_calls != wide.llm_calls

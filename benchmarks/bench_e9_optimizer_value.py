@@ -1,0 +1,134 @@
+"""E9 — "declarativeness … automatic scalability hold lasting value."
+
+Reproduction: a query suite run with the full optimizer versus the naive
+straight-line interpretation (no folding, no pushdown, no join reordering,
+nested loops and sequential scans only), plus single-feature ablations.
+Declarative queries + automatic optimization should win by integer factors
+on join/filter queries without the query text changing at all.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table, geometric_mean
+from repro.core.database import Database
+from repro.optimizer.optimizer import OptimizerOptions
+
+_RESULTS = {}
+
+QUERIES = {
+    "filter+join": (
+        "SELECT COUNT(*) FROM facts f JOIN dims d ON f.dim_id = d.id "
+        "WHERE d.grp = 'g1' AND f.v < 50"
+    ),
+    "three-way": (
+        "SELECT t.tag, COUNT(*) FROM facts f JOIN dims d ON f.dim_id = d.id "
+        "JOIN tags t ON d.tag_id = t.id GROUP BY t.tag ORDER BY t.tag"
+    ),
+    "point-lookup": "SELECT v FROM facts WHERE id = 4321",
+    "top-n": "SELECT id, v FROM facts ORDER BY v DESC LIMIT 10",
+}
+
+VARIANTS = {
+    "optimized": OptimizerOptions(),
+    "naive": OptimizerOptions.naive(),
+    "no-pushdown": OptimizerOptions(enable_pushdown=False, enable_join_reorder=False),
+    "no-hash-join": OptimizerOptions(enable_hash_join=False),
+    "no-index": OptimizerOptions(enable_index_scan=False),
+}
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.execute("CREATE TABLE facts (id INTEGER, dim_id INTEGER, v INTEGER)")
+    database.execute("CREATE TABLE dims (id INTEGER, tag_id INTEGER, grp TEXT)")
+    database.execute("CREATE TABLE tags (id INTEGER, tag TEXT)")
+    database.insert_rows(
+        "facts", [(i, i % 100, i * 13 % 1000) for i in range(6000)]
+    )
+    database.insert_rows("dims", [(i, i % 5, f"g{i % 10}") for i in range(100)])
+    database.insert_rows("tags", [(i, f"tag{i}") for i in range(5)])
+    database.execute("CREATE INDEX idx_facts_id ON facts (id)")
+    database.analyze()
+    return database
+
+
+@pytest.mark.parametrize("query_name", list(QUERIES))
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_e9_variant(benchmark, db, query_name, variant):
+    db.optimizer_options = VARIANTS[variant]
+    sql = QUERIES[query_name]
+    try:
+        result = benchmark.pedantic(lambda: db.execute(sql), rounds=2, iterations=1)
+        _RESULTS[(query_name, variant)] = (
+            benchmark.stats.stats.min * 1e3,
+            result.rows,
+        )
+    finally:
+        db.optimizer_options = OptimizerOptions()
+
+
+def test_e9_result_cache(benchmark, db):
+    """E9b: an optional result cache makes repeated declarative queries
+    near-free — another automatic win queries get without changing."""
+    from repro.core.database import Database
+    from repro.workloads.tpch import load_tpch  # noqa: F401 (context only)
+
+    cached_db = Database(result_cache_size=16)
+    cached_db.execute("CREATE TABLE facts (id INTEGER, dim_id INTEGER, v INTEGER)")
+    cached_db.insert_rows("facts", [(i, i % 100, i * 13 % 1000) for i in range(6000)])
+    cached_db.analyze()
+    sql = "SELECT dim_id, COUNT(*), SUM(v) FROM facts GROUP BY dim_id ORDER BY 1"
+    cold_result = cached_db.execute(sql)  # populate
+
+    result = benchmark.pedantic(lambda: cached_db.execute(sql), rounds=5, iterations=1)
+    assert result.rows == cold_result.rows
+    assert cached_db.result_cache.stats.hits >= 5
+    hot_ms = benchmark.stats.stats.min * 1e3
+    cached_db.result_cache.clear()
+    import time as _time
+
+    t0 = _time.perf_counter()
+    cached_db.execute(sql)
+    cold_ms = (_time.perf_counter() - t0) * 1e3
+    print(f"\nE9b result cache: cold={cold_ms:.2f}ms hot={hot_ms:.3f}ms "
+          f"({cold_ms / max(hot_ms, 1e-9):.0f}x)")
+    assert hot_ms < cold_ms
+
+
+def test_e9_claim_check(benchmark, db):
+    benchmark.pedantic(lambda: None, rounds=1)
+    rows = []
+    speedups = []
+    for query_name in QUERIES:
+        row = [query_name]
+        for variant in VARIANTS:
+            row.append(_RESULTS[(query_name, variant)][0])
+        naive_ms = _RESULTS[(query_name, "naive")][0]
+        optimized_ms = _RESULTS[(query_name, "optimized")][0]
+        speedup = naive_ms / max(optimized_ms, 1e-9)
+        speedups.append(speedup)
+        row.append(speedup)
+        rows.append(row)
+    print()
+    print(
+        format_table(
+            ["query"] + list(VARIANTS) + ["speedup"],
+            rows,
+            title="E9: optimizer value, full vs naive vs single-feature ablations (ms)",
+        )
+    )
+    print(f"\ngeomean speedup (optimized vs naive): {geometric_mean(speedups):.1f}x")
+    # Correctness across every variant.
+    for query_name in QUERIES:
+        reference = _RESULTS[(query_name, "optimized")][1]
+        for variant in VARIANTS:
+            assert _RESULTS[(query_name, variant)][1] == reference, (query_name, variant)
+    # Shape: join/filter queries win by an integer factor; overall geomean > 2x.
+    assert _RESULTS[("filter+join", "naive")][0] > 2 * _RESULTS[("filter+join", "optimized")][0]
+    assert geometric_mean(speedups) > 2.0
+    # Ablations cost something on the queries they matter for.
+    assert (
+        _RESULTS[("three-way", "no-hash-join")][0]
+        > _RESULTS[("three-way", "optimized")][0]
+    )

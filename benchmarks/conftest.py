@@ -1,0 +1,78 @@
+"""Shared fixtures for the claim-reproduction benchmarks (E1–E10).
+
+Each ``bench_eN_*.py`` regenerates one panel claim from EXPERIMENTS.md.
+Heavy assets (TPC-H databases, document stores, serving traces) are built
+once per session here.  pytest-benchmark's own table is the per-config
+measurement record; each experiment additionally prints a claim-check
+summary table (visible with ``-s``, and always captured in the benchmark
+``extra_info``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.types import Column, DataType
+from repro.kvcache.workload import make_trace
+from repro.multimodal.store import DocumentStore
+from repro.workloads.corpus import make_corpus
+from repro.workloads.embeddings import embed_text
+from repro.workloads.tpch import load_tpch
+
+from bench_config import E1_SCALE_FACTORS, EMBED_DIM
+
+
+@pytest.fixture(scope="session")
+def tpch_dbs():
+    """TPC-H-like databases at the E1 scale factors."""
+    dbs = {}
+    for sf in E1_SCALE_FACTORS:
+        db = Database()
+        load_tpch(db, scale_factor=sf, seed=1)
+        dbs[sf] = db
+    return dbs
+
+
+@pytest.fixture(scope="session")
+def hybrid_store():
+    """800-doc tri-modal store for E3."""
+    docs = make_corpus(num_docs=800, duplicate_fraction=0.0, seed=3)
+    store = DocumentStore(
+        dim=EMBED_DIM,
+        attr_columns=[
+            Column("price", DataType.FLOAT),
+            Column("category", DataType.TEXT),
+            Column("quality", DataType.FLOAT),
+        ],
+    )
+    rng = random.Random(3)
+    for doc in docs:
+        store.add(
+            doc.doc_id,
+            doc.text,
+            embed_text(doc.text, dim=EMBED_DIM),
+            (round(rng.uniform(1, 100), 2), doc.topic, doc.quality),
+        )
+    store.finalize()
+    return store
+
+
+@pytest.fixture(scope="session")
+def serving_trace():
+    """LLM serving trace for E5."""
+    return make_trace(
+        num_requests=600,
+        num_system_prompts=8,
+        system_prompt_tokens=128,
+        continuation_probability=0.35,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def pipeline_corpus():
+    """Raw documents for the E4 data-prep pipeline."""
+    return [d.to_record() for d in make_corpus(num_docs=3000, duplicate_fraction=0.25, seed=4)]

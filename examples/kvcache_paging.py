@@ -1,0 +1,58 @@
+"""Buffer management for LLM KV caches.
+
+The replacement policies evicting pages in the relational buffer pool are
+the exact objects evicting KV blocks here — the panel's claim that database
+buffering transfers to LLM serving, executed.
+
+Run:  python examples/kvcache_paging.py
+"""
+
+from repro.bench.harness import format_table
+from repro.kvcache import make_trace
+from repro.kvcache.simulator import compare_policies
+
+
+def main() -> None:
+    trace = make_trace(
+        num_requests=800,
+        num_system_prompts=10,
+        system_prompt_tokens=128,
+        continuation_probability=0.35,
+        seed=11,
+    )
+    print(
+        f"serving trace: {len(trace)} requests, {trace.total_tokens():,} tokens, "
+        f"{trace.num_system_prompts} shared system prompts\n"
+    )
+
+    reports = compare_policies(trace, capacity_blocks=160, block_size=16)
+    reports.sort(key=lambda r: -r.block_hit_rate)
+    rows = [
+        [
+            r.policy,
+            r.block_hit_rate,
+            r.token_reuse_rate,
+            r.tokens_computed,
+            r.mean_latency_ms,
+            r.gpu_cost,
+        ]
+        for r in reports
+    ]
+    print(
+        format_table(
+            ["policy", "block hit", "token reuse", "recomputed", "mean lat ms", "gpu cost"],
+            rows,
+            title="KV-block eviction policies (same classes as the buffer pool)",
+        )
+    )
+    best, worst = reports[0], reports[-1]
+    print(
+        f"\n{best.policy} recomputes {worst.tokens_computed - best.tokens_computed:,} "
+        f"fewer tokens than {worst.policy} — scan-resistant, frequency-aware\n"
+        "eviction (LRU-K/2Q, database classics) is exactly what prefix-heavy\n"
+        "LLM serving needs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""LLM-powered entity matching with a cost-based cascade.
+
+"Declarativity and query optimization can also help in LLM-powered
+processing": blocking + similarity gates resolve the easy pairs for free,
+and the (simulated, metered) LLM judges only the genuinely ambiguous band.
+
+Run:  python examples/llm_entity_matching.py
+"""
+
+from repro.bench.harness import format_table
+from repro.integrate import (
+    BlockedLLMMatcher,
+    CascadeMatcher,
+    LLMAllPairsMatcher,
+    SimilarityMatcher,
+    SimulatedLLM,
+    make_matching_dataset,
+)
+from repro.integrate.dataset import make_oracle
+
+
+def main() -> None:
+    dataset = make_matching_dataset(num_entities=150, seed=21)
+    print(
+        f"dataset: {len(dataset)} company records, "
+        f"{len(dataset.true_pairs)} true duplicate pairs\n"
+    )
+    sample_pair = sorted(dataset.true_pairs)[0]
+    print("a hard duplicate pair:")
+    print("  A:", dataset.render(sample_pair[0]))
+    print("  B:", dataset.render(sample_pair[1]))
+    print()
+
+    rows = []
+    for matcher in (
+        SimilarityMatcher(),
+        CascadeMatcher(),
+        BlockedLLMMatcher(),
+        LLMAllPairsMatcher(),
+    ):
+        llm = SimulatedLLM(accuracy=0.9, cost_per_1k_tokens=1.0, seed=5)
+        report = matcher.run(dataset, make_oracle(dataset, llm))
+        rows.append(
+            [
+                report.matcher,
+                report.precision,
+                report.recall,
+                report.f1,
+                report.llm_calls,
+                report.llm_cost,
+            ]
+        )
+    print(
+        format_table(
+            ["matcher", "precision", "recall", "F1", "LLM calls", "LLM $"],
+            rows,
+            title="The cost/accuracy frontier",
+        )
+    )
+    cascade = [r for r in rows if r[0] == "cascade"][0]
+    all_pairs = [r for r in rows if r[0] == "llm-all-pairs"][0]
+    print(
+        f"\ncascade: {cascade[3] / all_pairs[3]:.0%} of the all-pairs F1 "
+        f"at {cascade[5] / all_pairs[5]:.1%} of the LLM spend — the\n"
+        "optimizer decides *which* pairs deserve a model call, the same way\n"
+        "it decides which pages deserve an index probe."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""The ORM N+1 anti-pattern, measured.
+
+"Many performance problems are due to the ORM and never arise at the DBMS":
+the same 1:N traversal three ways, with query counts and timings.
+
+Run:  python examples/orm_antipattern.py
+"""
+
+import time
+
+from repro.bench.harness import format_table
+from repro.core.database import Database
+from repro.orm import ForeignKeyField, IntegerField, Model, Session, TextField, eager
+
+
+class Author(Model):
+    __tablename__ = "authors"
+    id = IntegerField(primary_key=True)
+    name = TextField()
+
+
+class Book(Model):
+    __tablename__ = "books"
+    id = IntegerField(primary_key=True)
+    author_id = ForeignKeyField("authors.id")
+    title = TextField()
+
+
+Author.relate("books", Book, foreign_key="author_id")
+
+N_AUTHORS = 300
+BOOKS_EACH = 4
+
+
+def main() -> None:
+    session = Session(Database())
+    session.create_all([Author, Book])
+    for i in range(N_AUTHORS):
+        session.add(Author(id=i, name=f"author{i}"))
+        for j in range(BOOKS_EACH):
+            session.add(Book(id=i * 10 + j, author_id=i, title=f"book {i}.{j}"))
+    session.flush()
+
+    rows = []
+
+    def measure(label, fn):
+        fresh = Session(session.db)
+        fresh.reset_query_count()
+        started = time.perf_counter()
+        total = fn(fresh)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        rows.append([label, fresh.query_count, elapsed_ms, total])
+
+    measure(
+        "lazy ORM (N+1)",
+        lambda s: sum(len(a.books) for a in s.query(Author).all()),
+    )
+    measure(
+        "eager ORM (1 JOIN)",
+        lambda s: sum(
+            len(a.books) for a in s.query(Author).options(eager("books")).all()
+        ),
+    )
+    measure(
+        "raw SQL (set-oriented)",
+        lambda s: s.execute("SELECT COUNT(*) FROM books").scalar(),
+    )
+
+    print(
+        format_table(
+            ["approach", "queries", "ms", "books counted"],
+            rows,
+            title=f"Counting every author's books ({N_AUTHORS} authors x {BOOKS_EACH})",
+        )
+    )
+    lazy_ms, raw_ms = rows[0][2], rows[2][2]
+    print(
+        f"\nThe DBMS executes each of the {rows[0][1]} lazy queries quickly —\n"
+        f"the {lazy_ms / raw_ms:.0f}x slowdown lives entirely in the access\n"
+        "pattern the ORM generated.  The problem never 'arises at the DBMS'."
+    )
+
+
+if __name__ == "__main__":
+    main()

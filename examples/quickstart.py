@@ -1,0 +1,92 @@
+"""Quickstart: the embedded SQL engine end to end.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+
+
+def main() -> None:
+    db = Database()
+
+    # -- DDL + data ---------------------------------------------------------
+    db.execute(
+        "CREATE TABLE products (id INTEGER NOT NULL, name TEXT, "
+        "category TEXT, price FLOAT)"
+    )
+    db.execute(
+        "CREATE TABLE sales (sale_id INTEGER, product_id INTEGER, "
+        "quantity INTEGER, day INTEGER)"
+    )
+    db.execute(
+        "INSERT INTO products VALUES "
+        "(1, 'espresso machine', 'kitchen', 249.0), "
+        "(2, 'grinder', 'kitchen', 99.5), "
+        "(3, 'desk lamp', 'office', 39.9), "
+        "(4, 'monitor arm', 'office', 129.0), "
+        "(5, 'kettle', 'kitchen', 49.0)"
+    )
+    db.insert_rows(
+        "sales",
+        [(i, 1 + (i * 7) % 5, 1 + i % 3, i % 30) for i in range(300)],
+    )
+
+    # -- declarative queries --------------------------------------------------
+    print("Revenue by category:")
+    result = db.execute(
+        """
+        SELECT p.category,
+               SUM(s.quantity * p.price) AS revenue,
+               COUNT(*) AS sales
+        FROM sales s
+        JOIN products p ON s.product_id = p.id
+        GROUP BY p.category
+        ORDER BY revenue DESC
+        """
+    )
+    print(result.pretty(), "\n")
+
+    print("Top products in the last week:")
+    result = db.execute(
+        """
+        SELECT p.name, SUM(s.quantity) AS units
+        FROM sales s JOIN products p ON s.product_id = p.id
+        WHERE s.day >= 23
+        GROUP BY p.name
+        ORDER BY units DESC
+        LIMIT 3
+        """
+    )
+    print(result.pretty(), "\n")
+
+    # -- the optimizer at work ----------------------------------------------------
+    db.execute("CREATE INDEX idx_sales_product ON sales (product_id)")
+    db.analyze()
+    print("EXPLAIN of an indexable query:")
+    print(db.explain("SELECT quantity FROM sales WHERE product_id = 2 AND day < 10"))
+    print()
+
+    # -- transactions -----------------------------------------------------------
+    db.execute("BEGIN")
+    db.execute("UPDATE products SET price = price * 0.9 WHERE category = 'office'")
+    discounted = db.execute(
+        "SELECT name, price FROM products WHERE category = 'office' ORDER BY id"
+    )
+    print("During transaction (office 10% off):")
+    print(discounted.pretty())
+    db.execute("ROLLBACK")
+    restored = db.execute(
+        "SELECT name, price FROM products WHERE category = 'office' ORDER BY id"
+    )
+    print("\nAfter ROLLBACK:")
+    print(restored.pretty())
+
+    # -- two engines, one answer ---------------------------------------------------
+    sql = "SELECT category, AVG(price) FROM products GROUP BY category ORDER BY 1"
+    volcano = db.execute(sql, engine="volcano").rows
+    vectorized = db.execute(sql, engine="vectorized").rows
+    print("\nVolcano == vectorized:", volcano == vectorized)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` on environments without
+the `wheel` package (offline editable installs use setup.py develop)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — a concrete embodiment of "Where Does Academic Database Research Go
+From Here?" (SIGMOD-Companion 2025).
+
+The paper is a panel with no system of its own, so this library implements
+the systems its claims are *about*: a relational engine with a cost-based
+optimizer and two execution engines, vector + full-text + hybrid search, an
+ORM, an AI-data-pipeline optimizer, an LLM KV-cache simulator that reuses the
+buffer pool's replacement policies, and LLM-powered data integration — plus a
+benchmark per panel claim (see EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+    db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+    result = db.execute("SELECT a, b FROM t WHERE a > 1")
+    print(result.rows)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.errors import ReproError
+from repro.core.types import Column, DataType, Schema
+
+__all__ = ["ReproError", "Column", "DataType", "Schema", "Database", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy import: keeps `import repro` light and avoids import cycles while
+    # still exposing `repro.Database` as the main entry point.
+    if name == "Database":
+        from repro.core.database import Database
+
+        return Database
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,13 @@
+"""Benchmark harness: timing, energy model, and table-formatted reporting."""
+
+from repro.bench.energy import EnergyModel, EnergyReport
+from repro.bench.harness import Timer, format_table, geometric_mean, time_call
+
+__all__ = [
+    "Timer",
+    "time_call",
+    "format_table",
+    "geometric_mean",
+    "EnergyModel",
+    "EnergyReport",
+]

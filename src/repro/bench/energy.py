@@ -1,0 +1,86 @@
+"""First-principles energy accounting for benchmark runs.
+
+Pınar Tözün's panel position asks benchmarks to report sustainability
+"in more fundamental ways rather than viewing them as nice-to-have
+add-ons".  This model charges each run for the work it actually did:
+
+    energy_J = cpu_seconds * cpu_watts
+             + page_reads  * read_joules
+             + page_writes * write_joules
+             + gpu_seconds * gpu_watts        (pipeline / KV-cache work)
+
+Coefficients default to laptop-class figures (a mobile CPU package at ~20 W,
+NVMe page I/O in the tens of microjoules, an accelerator at ~300 W).  The
+absolute numbers matter less than the *relative* ranking across engines and
+policies, which is what experiment E10 reports, along with a carbon-equivalent
+conversion for context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Grid carbon intensity (gCO2e per kWh) used for the context column.
+DEFAULT_CARBON_G_PER_KWH = 400.0
+
+
+@dataclass
+class EnergyReport:
+    """Energy attribution for one measured run."""
+
+    label: str
+    cpu_seconds: float
+    page_reads: int
+    page_writes: int
+    gpu_seconds: float
+    joules: float
+
+    @property
+    def watt_hours(self) -> float:
+        return self.joules / 3600.0
+
+    def carbon_grams(self, intensity: float = DEFAULT_CARBON_G_PER_KWH) -> float:
+        return self.watt_hours / 1000.0 * intensity
+
+
+@dataclass
+class EnergyModel:
+    """Tunable coefficients (defaults: laptop CPU + NVMe + datacenter GPU)."""
+
+    cpu_watts: float = 20.0
+    read_joules_per_page: float = 3e-5
+    write_joules_per_page: float = 9e-5
+    gpu_watts: float = 300.0
+
+    def measure(
+        self,
+        label: str,
+        cpu_seconds: float,
+        page_reads: int = 0,
+        page_writes: int = 0,
+        gpu_seconds: float = 0.0,
+    ) -> EnergyReport:
+        joules = (
+            cpu_seconds * self.cpu_watts
+            + page_reads * self.read_joules_per_page
+            + page_writes * self.write_joules_per_page
+            + gpu_seconds * self.gpu_watts
+        )
+        return EnergyReport(
+            label=label,
+            cpu_seconds=cpu_seconds,
+            page_reads=page_reads,
+            page_writes=page_writes,
+            gpu_seconds=gpu_seconds,
+            joules=joules,
+        )
+
+    def measure_database(self, label: str, db, cpu_seconds: float) -> EnergyReport:
+        """Energy of a Database run, pulling I/O counters from its disk."""
+        return self.measure(
+            label,
+            cpu_seconds,
+            page_reads=db.disk.reads,
+            page_writes=db.disk.writes,
+        )

@@ -1,0 +1,75 @@
+"""Small benchmarking utilities used by every experiment script."""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+
+class Timer:
+    """Context-manager wall-clock timer (milliseconds)."""
+
+    def __init__(self):
+        self.elapsed_ms = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed_ms = (time.perf_counter() - self._start) * 1e3
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_ms / 1e3
+
+
+def time_call(fn: Callable[[], Any], repeats: int = 3) -> Tuple[Any, float]:
+    """Run ``fn`` ``repeats`` times; returns (last_result, best_ms)."""
+    best = math.inf
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, (time.perf_counter() - start) * 1e3)
+    return result, best
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (ignores non-positive values defensively)."""
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width text table (floats to 3 decimals)."""
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Catalog: table/index metadata and optimizer statistics."""
+
+from repro.catalog.catalog import Catalog, IndexInfo, TableInfo
+from repro.catalog.statistics import ColumnStats, Histogram, TableStats, compute_table_stats
+
+__all__ = [
+    "Catalog",
+    "IndexInfo",
+    "TableInfo",
+    "ColumnStats",
+    "Histogram",
+    "TableStats",
+    "compute_table_stats",
+]

@@ -1,0 +1,260 @@
+"""The catalog: tables, layouts, indexes, and statistics in one registry.
+
+A :class:`TableInfo` hides the physical layout (row heap vs. column store)
+behind one logical interface — inserts, deletes, updates, scans — and keeps
+every secondary index synchronized on each write.  This is where "physical
+data independence" stops being a slogan and becomes a dispatch table.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.statistics import TableStats, compute_table_stats
+from repro.core.errors import CatalogError, StorageError
+from repro.core.types import Row, Schema
+from repro.index.btree import BPlusTree
+from repro.index.hashindex import HashIndex
+from repro.storage.buffer import BufferPool
+from repro.storage.column import ColumnTable
+from repro.storage.heap import HeapFile, RecordId
+
+ROW_LAYOUT = "row"
+COLUMN_LAYOUT = "column"
+
+
+@dataclass
+class IndexInfo:
+    """Metadata + structure for one secondary index."""
+
+    name: str
+    table: str
+    column: str
+    kind: str  # "btree" | "hash"
+    unique: bool
+    structure: Any = field(repr=False, default=None)
+
+    def supports_range(self) -> bool:
+        return self.kind == "btree"
+
+
+class TableInfo:
+    """A logical table over one physical layout, with index maintenance."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        pool: BufferPool,
+        layout: str = ROW_LAYOUT,
+    ):
+        if layout not in (ROW_LAYOUT, COLUMN_LAYOUT):
+            raise CatalogError(f"unknown layout {layout!r}")
+        self.name = name
+        self.schema = schema.with_table(name)
+        self.layout = layout
+        self.heap: Optional[HeapFile] = None
+        self.column_table: Optional[ColumnTable] = None
+        if layout == ROW_LAYOUT:
+            self.heap = HeapFile(pool, self.schema, name=name)
+        else:
+            self.column_table = ColumnTable(self.schema, name=name)
+        self.indexes: Dict[str, IndexInfo] = {}
+        self.stats: Optional[TableStats] = None
+        self._lock = threading.RLock()
+
+    # -- writes ----------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> Any:
+        """Insert a row; returns its rid and maintains all indexes."""
+        with self._lock:
+            if self.heap is not None:
+                rid = self.heap.insert(row)
+                stored = self.heap.get(rid)
+            else:
+                rid = self.column_table.append(row)
+                stored = self.column_table.get(rid)
+            for info in self.indexes.values():
+                key = stored[self.schema.index_of(info.column)]
+                if key is not None:  # NULL keys are not indexed
+                    info.structure.insert(key, rid)
+            return rid
+
+    def delete(self, rid: Any) -> Row:
+        """Delete by rid; returns the removed row."""
+        with self._lock:
+            row = self.get(rid)
+            if row is None:
+                raise StorageError(f"rid {rid} not found in {self.name!r}")
+            if self.heap is not None:
+                self.heap.delete(rid)
+            else:
+                self.column_table.delete(rid)
+            for info in self.indexes.values():
+                key = row[self.schema.index_of(info.column)]
+                if key is not None:
+                    info.structure.delete(key, rid)
+            return row
+
+    def update(self, rid: Any, row: Sequence[Any]) -> Any:
+        """Update by rid; returns the (possibly new) rid."""
+        with self._lock:
+            old = self.get(rid)
+            if old is None:
+                raise StorageError(f"rid {rid} not found in {self.name!r}")
+            if self.heap is not None:
+                new_rid = self.heap.update(rid, row)
+                stored = self.heap.get(new_rid)
+            else:
+                self.column_table.update(rid, row)
+                new_rid = rid
+                stored = self.column_table.get(rid)
+            for info in self.indexes.values():
+                idx = self.schema.index_of(info.column)
+                old_key, new_key = old[idx], stored[idx]
+                if old_key != new_key or new_rid != rid:
+                    if old_key is not None:
+                        info.structure.delete(old_key, rid)
+                    if new_key is not None:
+                        info.structure.insert(new_key, new_rid)
+            return new_rid
+
+    def insert_many(self, rows: Sequence[Sequence[Any]]) -> List[Any]:
+        return [self.insert(row) for row in rows]
+
+    # -- reads --------------------------------------------------------------------
+
+    def get(self, rid: Any) -> Optional[Row]:
+        if self.heap is not None:
+            return self.heap.get(rid)
+        return self.column_table.get(rid)
+
+    def scan(self) -> Iterator[Tuple[Any, Row]]:
+        if self.heap is not None:
+            yield from self.heap.scan()
+        else:
+            yield from self.column_table.scan()
+
+    def scan_rows(self) -> Iterator[Row]:
+        for _, row in self.scan():
+            yield row
+
+    @property
+    def row_count(self) -> int:
+        if self.heap is not None:
+            return self.heap.row_count
+        return self.column_table.row_count
+
+    def stats_snapshot(self):
+        if self.heap is not None:
+            return self.heap.stats_snapshot()
+        return self.column_table.stats_snapshot()
+
+    # -- indexes ----------------------------------------------------------------------
+
+    def index_on(self, column: str, kind_filter: Optional[str] = None) -> Optional[IndexInfo]:
+        """An index whose key is ``column`` (optionally of a given kind)."""
+        for info in self.indexes.values():
+            if info.column == column and (kind_filter is None or info.kind == kind_filter):
+                return info
+        return None
+
+
+class Catalog:
+    """Registry of tables and indexes for one database instance."""
+
+    def __init__(self, pool: BufferPool):
+        self.pool = pool
+        self._tables: Dict[str, TableInfo] = {}
+        self._lock = threading.RLock()
+
+    # -- tables -------------------------------------------------------------------
+
+    def create_table(
+        self, name: str, schema: Schema, layout: str = ROW_LAYOUT
+    ) -> TableInfo:
+        with self._lock:
+            key = name.lower()
+            if key in self._tables:
+                raise CatalogError(f"table {name!r} already exists")
+            table = TableInfo(name, schema, self.pool, layout=layout)
+            self._tables[key] = table
+            return table
+
+    def drop_table(self, name: str) -> None:
+        with self._lock:
+            key = name.lower()
+            if key not in self._tables:
+                raise CatalogError(f"table {name!r} does not exist")
+            del self._tables[key]
+
+    def get_table(self, name: str) -> TableInfo:
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise CatalogError(f"table {name!r} does not exist")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(t.name for t in self._tables.values())
+
+    # -- indexes --------------------------------------------------------------------
+
+    def create_index(
+        self,
+        index_name: str,
+        table_name: str,
+        column: str,
+        kind: str = "btree",
+        unique: bool = False,
+    ) -> IndexInfo:
+        """Create and backfill a secondary index."""
+        if kind not in ("btree", "hash"):
+            raise CatalogError(f"unknown index kind {kind!r}")
+        with self._lock:
+            table = self.get_table(table_name)
+            if any(i.name == index_name for t in self._tables.values() for i in t.indexes.values()):
+                raise CatalogError(f"index {index_name!r} already exists")
+            col_idx = table.schema.index_of(column)
+            structure = BPlusTree(unique=unique) if kind == "btree" else HashIndex(unique=unique)
+            info = IndexInfo(
+                name=index_name,
+                table=table.name,
+                column=table.schema[col_idx].name,
+                kind=kind,
+                unique=unique,
+                structure=structure,
+            )
+            for rid, row in table.scan():
+                if row[col_idx] is not None:  # NULL keys are not indexed
+                    structure.insert(row[col_idx], rid)
+            table.indexes[index_name] = info
+            return info
+
+    def drop_index(self, index_name: str) -> None:
+        with self._lock:
+            for table in self._tables.values():
+                if index_name in table.indexes:
+                    del table.indexes[index_name]
+                    return
+            raise CatalogError(f"index {index_name!r} does not exist")
+
+    # -- statistics ------------------------------------------------------------------
+
+    def analyze(self, table_name: Optional[str] = None) -> None:
+        """Recompute optimizer statistics for one table (or all)."""
+        with self._lock:
+            names = [table_name] if table_name else self.table_names()
+            for name in names:
+                table = self.get_table(name)
+                snapshot = table.stats_snapshot()
+                table.stats = compute_table_stats(
+                    table.name,
+                    table.schema,
+                    table.scan_rows(),
+                    byte_count=snapshot.byte_count,
+                )

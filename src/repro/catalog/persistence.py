@@ -1,0 +1,126 @@
+"""Catalog persistence: make file-backed databases reopenable.
+
+Page images persist through :class:`~repro.storage.disk.FileDiskManager`,
+but the catalog (which tables exist, which pages belong to which heap,
+which indexes to maintain) lives in memory.  This module serializes that
+metadata to a JSON sidecar (``<data file>.meta.json``) on
+:meth:`Database.close` and reattaches everything on open:
+
+* row-layout tables reattach their heap pages directly (no data copy);
+* secondary indexes are rebuilt by one scan (indexes are derived state);
+* column-layout tables are memory-resident by design and are **not**
+  persisted — ``save_catalog`` refuses them loudly rather than silently
+  dropping data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+from repro.catalog.catalog import Catalog, ROW_LAYOUT
+from repro.core.errors import CatalogError
+from repro.core.types import Column, DataType, Schema
+
+META_SUFFIX = ".meta.json"
+FORMAT_VERSION = 1
+
+
+def metadata_path(data_path: str) -> str:
+    return data_path + META_SUFFIX
+
+
+def _schema_to_json(schema: Schema) -> List[Dict[str, Any]]:
+    return [
+        {
+            "name": c.name,
+            "dtype": c.dtype.value,
+            "nullable": c.nullable,
+            "vector_width": c.vector_width,
+        }
+        for c in schema.columns
+    ]
+
+
+def _schema_from_json(columns: List[Dict[str, Any]]) -> Schema:
+    return Schema(
+        [
+            Column(
+                c["name"],
+                DataType(c["dtype"]),
+                nullable=c["nullable"],
+                vector_width=c.get("vector_width", 0),
+            )
+            for c in columns
+        ]
+    )
+
+
+def save_catalog(catalog: Catalog, data_path: str) -> str:
+    """Write catalog metadata next to the data file; returns the path."""
+    tables = {}
+    for name in catalog.table_names():
+        table = catalog.get_table(name)
+        if table.layout != ROW_LAYOUT:
+            raise CatalogError(
+                f"table {name!r} uses the in-memory column layout and cannot "
+                "be persisted; copy it into a row-layout table first"
+            )
+        tables[table.name] = {
+            "schema": _schema_to_json(
+                Schema([c.with_table(None) for c in table.schema.columns])
+            ),
+            "page_ids": table.heap.page_ids(),
+            "indexes": [
+                {
+                    "name": info.name,
+                    "column": info.column,
+                    "kind": info.kind,
+                    "unique": info.unique,
+                }
+                for info in table.indexes.values()
+            ],
+        }
+    payload = {"version": FORMAT_VERSION, "tables": tables}
+    path = metadata_path(data_path)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1)
+    return path
+
+
+def load_catalog(catalog: Catalog, data_path: str) -> List[str]:
+    """Reattach persisted tables and rebuild their indexes.
+
+    Returns the reattached table names.  No-op (empty list) when no
+    metadata sidecar exists.
+    """
+    from repro.storage.heap import HeapFile
+
+    path = metadata_path(data_path)
+    if not os.path.exists(path):
+        return []
+    with open(path) as f:
+        payload = json.load(f)
+    if payload.get("version") != FORMAT_VERSION:
+        raise CatalogError(
+            f"metadata {path!r} has version {payload.get('version')}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    restored = []
+    for name, spec in payload["tables"].items():
+        schema = _schema_from_json(spec["schema"])
+        table = catalog.create_table(name, schema)
+        table.heap = HeapFile.attach(
+            catalog.pool, table.schema, name, spec["page_ids"]
+        )
+        for index_spec in spec["indexes"]:
+            catalog.create_index(
+                index_spec["name"],
+                name,
+                index_spec["column"],
+                kind=index_spec["kind"],
+                unique=index_spec["unique"],
+            )
+        restored.append(name)
+    return restored

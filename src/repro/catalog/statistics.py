@@ -1,0 +1,246 @@
+"""Optimizer statistics: per-column histograms, NDV, and selectivity math.
+
+``ANALYZE`` walks a table once and produces a :class:`TableStats` snapshot;
+the optimizer's cardinality estimator consumes these through the selectivity
+helpers below.  Estimates follow the classic System R conventions (uniform
+within histogram buckets, independence across predicates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.types import DataType, Schema
+
+#: Selectivity assumed when no statistics are available.
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_LIKE_SELECTIVITY = 0.25
+
+_HISTOGRAM_BUCKETS = 32
+_MCV_COUNT = 10
+
+
+@dataclass
+class Histogram:
+    """Equi-width histogram over a numeric column."""
+
+    low: float
+    high: float
+    counts: List[int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def _bucket_width(self) -> float:
+        return (self.high - self.low) / len(self.counts) if self.counts else 0.0
+
+    def estimate_range_fraction(
+        self, low: Optional[float], high: Optional[float]
+    ) -> float:
+        """Fraction of values in [low, high] assuming in-bucket uniformity."""
+        if self.total == 0:
+            return 0.0
+        lo = self.low if low is None else max(low, self.low)
+        hi = self.high if high is None else min(high, self.high)
+        if hi < lo:
+            return 0.0
+        width = self._bucket_width()
+        if width <= 0:
+            # Degenerate single-value column.
+            inside = (low is None or self.low >= low) and (
+                high is None or self.low <= high
+            )
+            return 1.0 if inside else 0.0
+        covered = 0.0
+        for i, count in enumerate(self.counts):
+            b_lo = self.low + i * width
+            b_hi = b_lo + width
+            overlap = max(0.0, min(hi, b_hi) - max(lo, b_lo))
+            if overlap > 0:
+                covered += count * (overlap / width)
+        return min(1.0, covered / self.total)
+
+
+@dataclass
+class ColumnStats:
+    """Summary statistics of one column."""
+
+    name: str
+    dtype: DataType
+    count: int = 0
+    null_count: int = 0
+    n_distinct: int = 0
+    min_value: Any = None
+    max_value: Any = None
+    histogram: Optional[Histogram] = None
+    #: Most common values with frequencies (for TEXT/BOOLEAN equality).
+    mcv: Dict[Any, int] = field(default_factory=dict)
+    avg_width: float = 8.0
+
+    @property
+    def non_null(self) -> int:
+        return self.count - self.null_count
+
+    def null_fraction(self) -> float:
+        return self.null_count / self.count if self.count else 0.0
+
+    # -- selectivity estimates ------------------------------------------------
+
+    def eq_selectivity(self, value: Any = None) -> float:
+        """Selectivity of ``col = value`` (or of an equality with unknown value)."""
+        if self.non_null == 0:
+            return 0.0
+        if value is not None:
+            if value in self.mcv:
+                return self.mcv[value] / self.count
+            if len(self.mcv) >= self.n_distinct > 0:
+                return 0.0  # MCVs cover every distinct value; this isn't one
+            if (
+                self.dtype.is_numeric()
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and self.min_value is not None
+                and (value < self.min_value or value > self.max_value)
+            ):
+                return 0.0  # outside the observed domain
+        if self.n_distinct > 0:
+            return (1.0 - self.null_fraction()) / self.n_distinct
+        return DEFAULT_EQ_SELECTIVITY
+
+    def range_selectivity(
+        self, low: Optional[Any] = None, high: Optional[Any] = None
+    ) -> float:
+        """Selectivity of ``low <= col <= high`` (None = unbounded side)."""
+        if self.non_null == 0:
+            return 0.0
+        if low is not None and high is not None and low == high:
+            # Degenerate point range: behave like equality.
+            return self.eq_selectivity(low)
+        if (
+            self.dtype.is_numeric()
+            and self.min_value is not None
+            and self.max_value is not None
+        ):
+            lo_eff = self.min_value if low is None else max(low, self.min_value)
+            hi_eff = self.max_value if high is None else min(high, self.max_value)
+            if hi_eff == lo_eff:
+                # The range collapses onto a single boundary value; the
+                # interval math would report zero width yet the value
+                # itself carries real mass.
+                return self.eq_selectivity(lo_eff)
+        if self.histogram is not None:
+            frac = self.histogram.estimate_range_fraction(
+                _as_float(low), _as_float(high)
+            )
+            return frac * (1.0 - self.null_fraction())
+        if (
+            self.dtype.is_numeric()
+            and self.min_value is not None
+            and self.max_value is not None
+            and self.max_value > self.min_value
+        ):
+            lo = self.min_value if low is None else max(low, self.min_value)
+            hi = self.max_value if high is None else min(high, self.max_value)
+            if hi < lo:
+                return 0.0
+            frac = (hi - lo) / (self.max_value - self.min_value)
+            return min(1.0, frac) * (1.0 - self.null_fraction())
+        return DEFAULT_RANGE_SELECTIVITY
+
+
+@dataclass
+class TableStats:
+    """Statistics for a whole table."""
+
+    table: str
+    row_count: int
+    byte_count: int = 0
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name)
+
+
+def compute_column_stats(
+    name: str, dtype: DataType, values: Sequence[Any]
+) -> ColumnStats:
+    """Build full statistics for one column from its values."""
+    stats = ColumnStats(name=name, dtype=dtype, count=len(values))
+    non_null = [v for v in values if v is not None]
+    stats.null_count = len(values) - len(non_null)
+    if not non_null:
+        return stats
+    if dtype is DataType.VECTOR:
+        stats.n_distinct = len({tuple(v) for v in non_null})
+        stats.avg_width = 8.0 * (len(non_null[0]) if non_null else 0)
+        return stats
+    distinct: Dict[Any, int] = {}
+    for v in non_null:
+        distinct[v] = distinct.get(v, 0) + 1
+    stats.n_distinct = len(distinct)
+    stats.min_value = min(non_null)
+    stats.max_value = max(non_null)
+    ranked = sorted(distinct.items(), key=lambda kv: (-kv[1], str(kv[0])))
+    stats.mcv = dict(ranked[:_MCV_COUNT])
+    if dtype.is_numeric():
+        stats.avg_width = 8.0
+        lo, hi = float(stats.min_value), float(stats.max_value)
+        if hi > lo:
+            counts = [0] * _HISTOGRAM_BUCKETS
+            width = (hi - lo) / _HISTOGRAM_BUCKETS
+            for v in non_null:
+                idx = min(int((float(v) - lo) / width), _HISTOGRAM_BUCKETS - 1)
+                counts[idx] += 1
+            stats.histogram = Histogram(lo, hi, counts)
+        else:
+            stats.histogram = Histogram(lo, hi, [len(non_null)])
+    elif dtype is DataType.TEXT:
+        stats.avg_width = sum(len(v) for v in non_null) / len(non_null)
+    elif dtype is DataType.BOOLEAN:
+        stats.avg_width = 1.0
+    return stats
+
+
+def compute_table_stats(
+    table: str,
+    schema: Schema,
+    rows: Iterable[Sequence[Any]],
+    byte_count: int = 0,
+) -> TableStats:
+    """ANALYZE: one pass over ``rows`` building stats for every column."""
+    materialized = list(rows)
+    stats = TableStats(table=table, row_count=len(materialized), byte_count=byte_count)
+    for idx, col in enumerate(schema):
+        values = [row[idx] for row in materialized]
+        stats.columns[col.name] = compute_column_stats(col.name, col.dtype, values)
+    return stats
+
+
+def join_selectivity(
+    left: Optional[ColumnStats], right: Optional[ColumnStats]
+) -> float:
+    """Equi-join selectivity: 1 / max(ndv_left, ndv_right) (System R)."""
+    ndv_l = left.n_distinct if left and left.n_distinct else 0
+    ndv_r = right.n_distinct if right and right.n_distinct else 0
+    ndv = max(ndv_l, ndv_r)
+    return 1.0 / ndv if ndv else DEFAULT_EQ_SELECTIVITY
+
+
+def _as_float(value: Any) -> Optional[float]:
+    if value is None:
+        return None
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def ndv_after_filter(ndv: int, selectivity: float, rows: int) -> int:
+    """Shrink a distinct count after filtering (capped coupon-collector)."""
+    if rows <= 0 or ndv <= 0:
+        return 0
+    kept = rows * max(0.0, min(1.0, selectivity))
+    return max(1, min(ndv, int(math.ceil(ndv * (1 - (1 - 1 / ndv) ** kept)))))

@@ -1,0 +1,171 @@
+"""An interactive SQL shell — the usability artifact.
+
+Jens Dittrich's panel position credits DuckDB's success partly to "fixing
+usability issues in very nice ways"; the minimum viable version of that
+idea is: one command, no server, readable output, helpful meta-commands.
+
+Run::
+
+    python -m repro                 # in-memory session
+    python -m repro mydata.db       # file-backed pages
+    python -m repro --demo          # preloaded demo tables
+
+Meta-commands: ``.tables``, ``.schema [table]``, ``.indexes``,
+``.analyze``, ``.engine volcano|vectorized``, ``.timer on|off``,
+``.help``, ``.quit``.  Everything else is SQL.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.database import Database
+from repro.core.errors import ReproError
+
+_HELP = """\
+SQL statements end at the newline (no trailing ';' needed).
+Meta-commands:
+  .tables               list tables
+  .schema [table]       show column definitions
+  .indexes              list indexes
+  .analyze [table]      refresh optimizer statistics
+  .engine NAME          switch executor: volcano | vectorized
+  .timer on|off         toggle per-statement timing
+  .help                 this text
+  .quit / .exit         leave\
+"""
+
+
+def load_demo(db: Database) -> None:
+    """Small demo dataset for kicking the tires."""
+    db.execute(
+        "CREATE TABLE cities (id INTEGER, name TEXT, country TEXT, pop FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO cities VALUES "
+        "(1,'Berlin','DE',3.7),(2,'Hamburg','DE',1.8),(3,'Paris','FR',2.1),"
+        "(4,'Lyon','FR',0.5),(5,'Madrid','ES',3.2),(6,'Zurich','CH',0.4)"
+    )
+    db.execute("CREATE TABLE visits (city_id INTEGER, year INTEGER, tourists FLOAT)")
+    db.insert_rows(
+        "visits",
+        [(1 + (i * 7) % 6, 2019 + i % 5, round(0.5 + (i * 13 % 40) / 10, 1)) for i in range(60)],
+    )
+    db.analyze()
+
+
+class Shell:
+    """REPL state + command dispatch (separated from I/O for testability)."""
+
+    def __init__(self, db: Optional[Database] = None):
+        self.db = db if db is not None else Database()
+        self.timer = True
+        self.done = False
+
+    def execute_line(self, line: str) -> str:
+        """Process one input line; returns the text to display."""
+        line = line.strip().rstrip(";")
+        if not line:
+            return ""
+        if line.startswith("."):
+            return self._meta(line)
+        try:
+            started = time.perf_counter()
+            result = self.db.execute(line)
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+        except ReproError as exc:
+            return f"error: {exc}"
+        if result.plan_text is not None:
+            body = result.plan_text
+        elif result.columns:
+            body = result.pretty(max_rows=40)
+        else:
+            body = f"ok ({result.rowcount} rows affected)"
+        if self.timer:
+            body += f"\n({elapsed_ms:.1f} ms)"
+        return body
+
+    # -- meta-commands -------------------------------------------------------
+
+    def _meta(self, line: str) -> str:
+        parts = line.split()
+        command, args = parts[0].lower(), parts[1:]
+        if command in (".quit", ".exit"):
+            self.done = True
+            return "bye"
+        if command == ".help":
+            return _HELP
+        if command == ".tables":
+            names = self.db.catalog.table_names()
+            return "\n".join(names) if names else "(no tables)"
+        if command == ".schema":
+            return self._schema(args[0] if args else None)
+        if command == ".indexes":
+            lines = []
+            for name in self.db.catalog.table_names():
+                for info in self.db.table(name).indexes.values():
+                    unique = "UNIQUE " if info.unique else ""
+                    lines.append(
+                        f"{info.name}: {unique}{info.kind} on {info.table}({info.column})"
+                    )
+            return "\n".join(lines) if lines else "(no indexes)"
+        if command == ".analyze":
+            self.db.analyze(args[0] if args else None)
+            return "statistics refreshed"
+        if command == ".engine":
+            if not args or args[0] not in ("volcano", "vectorized"):
+                return "usage: .engine volcano|vectorized"
+            self.db.engine = args[0]
+            return f"engine = {args[0]}"
+        if command == ".timer":
+            if args and args[0] in ("on", "off"):
+                self.timer = args[0] == "on"
+                return f"timer = {args[0]}"
+            return "usage: .timer on|off"
+        return f"unknown command {command!r} (try .help)"
+
+    def _schema(self, table_name: Optional[str]) -> str:
+        names = [table_name] if table_name else self.db.catalog.table_names()
+        lines: List[str] = []
+        try:
+            for name in names:
+                table = self.db.table(name)
+                lines.append(f"{table.name} ({table.layout} layout, {table.row_count} rows)")
+                for col in table.schema.columns:
+                    null = "" if col.nullable else " NOT NULL"
+                    width = f"({col.vector_width})" if col.vector_width else ""
+                    lines.append(f"  {col.name} {col.dtype.value}{width}{null}")
+        except ReproError as exc:
+            return f"error: {exc}"
+        return "\n".join(lines) if lines else "(no tables)"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    demo = "--demo" in args
+    if demo:
+        args.remove("--demo")
+    path = args[0] if args else None
+    db = Database(path=path)
+    if demo:
+        load_demo(db)
+    shell = Shell(db)
+    source = "demo tables loaded; " if demo else ""
+    print(f"repro SQL shell — {source}type .help for commands, .quit to leave")
+    while not shell.done:
+        try:
+            line = input("repro> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        output = shell.execute_line(line)
+        if output:
+            print(output)
+    db.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

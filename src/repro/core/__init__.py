@@ -1,0 +1,35 @@
+"""Core public API: the type system, error hierarchy, and Database facade."""
+
+from repro.core.errors import (
+    BindError,
+    CatalogError,
+    ExecutionError,
+    IntegrityError,
+    ParseError,
+    PlanError,
+    ReproError,
+    StorageError,
+    TransactionAborted,
+    TransactionError,
+    TypeMismatchError,
+)
+from repro.core.types import Column, DataType, Row, Schema, validate_row
+
+__all__ = [
+    "BindError",
+    "CatalogError",
+    "ExecutionError",
+    "IntegrityError",
+    "ParseError",
+    "PlanError",
+    "ReproError",
+    "StorageError",
+    "TransactionAborted",
+    "TransactionError",
+    "TypeMismatchError",
+    "Column",
+    "DataType",
+    "Row",
+    "Schema",
+    "validate_row",
+]

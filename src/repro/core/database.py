@@ -1,0 +1,476 @@
+"""The Database facade: the library's main entry point.
+
+One object wires together the storage engine, catalog, SQL front end,
+optimizer, execution engines, and WAL-backed statement transactions::
+
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+    db.execute("INSERT INTO t VALUES (1, 'x')")
+    print(db.execute("SELECT * FROM t WHERE a = 1").rows)
+
+Design knobs map to the paper's themes:
+
+* ``engine`` — ``"volcano"`` or ``"vectorized"``: two physical engines for
+  one logical language (physical data independence, experiment E8);
+* ``default_layout`` — ``"row"`` or ``"column"`` storage for new tables;
+* ``optimizer_options`` — declarative queries get automatic optimization
+  (experiment E9 flips these switches);
+* ``buffer_capacity`` / ``buffer_policy`` — the buffer pool whose
+  replacement policies the KV-cache simulator reuses (experiment E5).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import COLUMN_LAYOUT, ROW_LAYOUT, Catalog, TableInfo
+from repro.core.errors import (
+    BindError,
+    CatalogError,
+    ExecutionError,
+    ReproError,
+    TransactionError,
+)
+from repro.core.querycache import QueryCache, referenced_tables
+from repro.core.result import Result
+from repro.core.types import Column, DataType, Row, Schema
+from repro.exec.vectorized import execute_vectorized
+from repro.exec.volcano import execute_volcano
+from repro.optimizer.cost import CostModel
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.plan.binder import Binder
+from repro.plan.expressions import is_constant
+from repro.sql import ast
+from repro.sql.params import substitute_params
+from repro.sql.parser import parse
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import FileDiskManager, InMemoryDiskManager
+from repro.storage.replacement import make_policy
+from repro.storage.wal import LogRecordType, WriteAheadLog
+
+VOLCANO = "volcano"
+VECTORIZED = "vectorized"
+
+
+@dataclass
+class StatementStats:
+    """Timing + plan info for the most recent statement."""
+
+    sql: str = ""
+    parse_ms: float = 0.0
+    optimize_ms: float = 0.0
+    execute_ms: float = 0.0
+    total_ms: float = 0.0
+    rows: int = 0
+
+
+class Database:
+    """An embedded multi-modal SQL database."""
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        buffer_capacity: int = 1024,
+        buffer_policy: str = "lru",
+        default_layout: str = ROW_LAYOUT,
+        engine: str = VOLCANO,
+        optimizer_options: Optional[OptimizerOptions] = None,
+        cost_model: Optional[CostModel] = None,
+        wal_path: Optional[str] = None,
+        result_cache_size: int = 0,
+    ):
+        if engine not in (VOLCANO, VECTORIZED):
+            raise ReproError(f"unknown engine {engine!r}")
+        if default_layout not in (ROW_LAYOUT, COLUMN_LAYOUT):
+            raise ReproError(f"unknown layout {default_layout!r}")
+        self.path = path
+        self.disk = FileDiskManager(path) if path else InMemoryDiskManager()
+        self.pool = BufferPool(
+            self.disk, capacity=buffer_capacity, policy=make_policy(buffer_policy)
+        )
+        self.catalog = Catalog(self.pool)
+        if path:
+            from repro.catalog.persistence import load_catalog
+
+            load_catalog(self.catalog, path)
+        self.wal = WriteAheadLog(wal_path)
+        self.default_layout = default_layout
+        self.engine = engine
+        self.optimizer_options = (
+            optimizer_options if optimizer_options is not None else OptimizerOptions()
+        )
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.last_stats = StatementStats()
+        self.result_cache: Optional[QueryCache] = (
+            QueryCache(result_cache_size) if result_cache_size > 0 else None
+        )
+        self._binder = Binder(self.catalog, subquery_executor=self._run_subplan)
+        self._lock = threading.RLock()
+        self._txn_id = 0
+        self._active_txn: Optional[int] = None
+        self._undo_log: List[Tuple[str, str, Any, Optional[Row]]] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        engine: Optional[str] = None,
+        params: Optional[Sequence[Any]] = None,
+    ) -> Result:
+        """Parse, plan, and run one SQL statement.
+
+        ``params`` binds Python values to ``?`` placeholders (escaped
+        client-side, so string values are always safe)::
+
+            db.execute("SELECT * FROM t WHERE name = ? AND n < ?", params=("o'brien", 5))
+        """
+        with self._lock:
+            started = time.perf_counter()
+            if params is not None:
+                sql = substitute_params(sql, params)
+            statement = parse(sql)
+            parsed = time.perf_counter()
+            engine_used = engine or self.engine
+            cache_key = None
+            if self.result_cache is not None and isinstance(
+                statement, (ast.SelectStmt, ast.SetOpStmt)
+            ):
+                cache_key = (" ".join(sql.split()), engine_used)
+                cached = self.result_cache.get(cache_key)
+                if cached is not None:
+                    finished = time.perf_counter()
+                    self.last_stats = StatementStats(
+                        sql=sql,
+                        parse_ms=(parsed - started) * 1e3,
+                        execute_ms=(finished - parsed) * 1e3,
+                        total_ms=(finished - started) * 1e3,
+                        rows=len(cached.rows),
+                    )
+                    return Result(columns=list(cached.columns), rows=list(cached.rows))
+            result = self._dispatch(statement, engine_used)
+            if cache_key is not None and result.plan_text is None:
+                tables = referenced_tables(statement)
+                if tables is not None:
+                    # Store copies: callers may mutate their Result freely.
+                    self.result_cache.put(
+                        cache_key, list(result.columns), list(result.rows), tables
+                    )
+            finished = time.perf_counter()
+            self.last_stats = StatementStats(
+                sql=sql,
+                parse_ms=(parsed - started) * 1e3,
+                execute_ms=(finished - parsed) * 1e3,
+                total_ms=(finished - started) * 1e3,
+                rows=len(result.rows) if result.rows else result.rowcount,
+            )
+            return result
+
+    def explain(self, sql: str) -> str:
+        """The optimized physical plan for a SELECT, as text."""
+        result = self.execute(f"EXPLAIN {sql}" if not sql.upper().lstrip().startswith("EXPLAIN") else sql)
+        return result.plan_text or ""
+
+    def analyze(self, table: Optional[str] = None) -> None:
+        """Recompute optimizer statistics."""
+        with self._lock:
+            self.catalog.analyze(table)
+
+    def create_table(
+        self, name: str, schema: Schema, layout: Optional[str] = None
+    ) -> TableInfo:
+        """Programmatic CREATE TABLE (the SQL path calls this too)."""
+        with self._lock:
+            return self.catalog.create_table(name, schema, layout or self.default_layout)
+
+    def insert_rows(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk insert Python tuples (fast path used by workload loaders)."""
+        with self._lock:
+            table = self.catalog.get_table(table_name)
+            count = 0
+            for row in rows:
+                rid = table.insert(row)
+                self._log_write(table.name, "insert", rid, None)
+                count += 1
+            return count
+
+    def table(self, name: str) -> TableInfo:
+        return self.catalog.get_table(name)
+
+    def close(self) -> None:
+        """Flush dirty pages, persist the catalog (file-backed databases),
+        flush the WAL, and release file handles."""
+        with self._lock:
+            self.pool.flush_all()
+            if self.path:
+                from repro.catalog.persistence import save_catalog
+
+                save_catalog(self.catalog, self.path)
+                if hasattr(self.disk, "sync"):
+                    self.disk.sync()
+            self.wal.flush()
+            self.wal.close()
+            self.disk.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, statement: ast.Statement, engine: str) -> Result:
+        if isinstance(statement, (ast.SelectStmt, ast.SetOpStmt)):
+            return self._execute_select(statement, engine)
+        if isinstance(statement, ast.ExplainStmt):
+            return self._execute_explain(statement)
+        if isinstance(statement, ast.CreateTableStmt):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.CreateIndexStmt):
+            self.catalog.create_index(
+                statement.name,
+                statement.table,
+                statement.column,
+                kind=statement.using,
+                unique=statement.unique,
+            )
+            return Result()
+        if isinstance(statement, ast.DropTableStmt):
+            self.catalog.drop_table(statement.name)
+            if self.result_cache is not None:
+                self.result_cache.clear()
+            return Result()
+        if isinstance(statement, ast.InsertStmt):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.UpdateStmt):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.DeleteStmt):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.AnalyzeStmt):
+            self.catalog.analyze(statement.table)
+            return Result()
+        if isinstance(statement, ast.BeginStmt):
+            self._begin()
+            return Result()
+        if isinstance(statement, ast.CommitStmt):
+            self._commit()
+            return Result()
+        if isinstance(statement, ast.RollbackStmt):
+            self._rollback()
+            return Result()
+        raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    # -- SELECT ------------------------------------------------------------
+
+    def _run_subplan(self, logical_plan) -> List[Row]:
+        """Execute an uncorrelated subquery's logical plan (bind-time fold)."""
+        optimizer = Optimizer(self.catalog, self.cost_model, self.optimizer_options)
+        __, physical = optimizer.optimize(logical_plan)
+        return list(execute_volcano(physical, self.catalog))
+
+    def _execute_select(self, statement: ast.Statement, engine: str) -> Result:
+        logical_plan = self._binder.bind_query(statement)
+        optimizer = Optimizer(self.catalog, self.cost_model, self.optimizer_options)
+        t0 = time.perf_counter()
+        _, physical = optimizer.optimize(logical_plan)
+        t1 = time.perf_counter()
+        if engine == VECTORIZED:
+            rows = list(execute_vectorized(physical, self.catalog))
+        else:
+            rows = list(execute_volcano(physical, self.catalog))
+        self.last_stats.optimize_ms = (t1 - t0) * 1e3
+        schema = physical.schema
+        return Result(columns=[c.name for c in schema.columns], rows=rows, rowcount=len(rows))
+
+    def _execute_explain(self, statement: ast.ExplainStmt) -> Result:
+        inner = statement.statement
+        if not isinstance(inner, (ast.SelectStmt, ast.SetOpStmt)):
+            raise ExecutionError("EXPLAIN supports SELECT statements")
+        logical_plan = self._binder.bind_query(inner)
+        optimizer = Optimizer(self.catalog, self.cost_model, self.optimizer_options)
+        optimized, physical = optimizer.optimize(logical_plan)
+        text = (
+            "== logical plan ==\n"
+            + optimized.pretty()
+            + "\n== physical plan ==\n"
+            + physical.pretty()
+        )
+        return Result(columns=["plan"], rows=[(line,) for line in text.splitlines()], plan_text=text)
+
+    # -- DDL ---------------------------------------------------------------
+
+    def _execute_create_table(self, statement: ast.CreateTableStmt) -> Result:
+        columns = []
+        for col_def in statement.columns:
+            dtype = DataType.parse(col_def.type_name)
+            width = col_def.vector_width if dtype is DataType.VECTOR else 0
+            columns.append(
+                Column(col_def.name, dtype, nullable=not col_def.not_null, vector_width=width)
+            )
+        self.create_table(statement.name, Schema(columns))
+        return Result()
+
+    # -- DML ---------------------------------------------------------------
+
+    def _execute_insert(self, statement: ast.InsertStmt) -> Result:
+        rows = self._binder.bind_insert_rows(statement)
+        table = self.catalog.get_table(statement.table)
+        for row in rows:
+            rid = table.insert(row)
+            self._log_write(table.name, "insert", rid, None)
+        return Result(rowcount=len(rows))
+
+    def _matching_rids(self, table: TableInfo, where: Optional[ast.Expr]):
+        predicate = None
+        if where is not None:
+            predicate = self._binder.bind_expr(where, table.schema)
+        for rid, row in list(table.scan()):
+            if predicate is None or predicate.eval(row) is True:
+                yield rid, row
+
+    def _execute_update(self, statement: ast.UpdateStmt) -> Result:
+        table = self.catalog.get_table(statement.table)
+        assignments = []
+        for column_name, value_ast in statement.assignments:
+            idx = table.schema.index_of(column_name)
+            bound = self._binder.bind_expr(value_ast, table.schema)
+            assignments.append((idx, bound))
+        count = 0
+        for rid, row in self._matching_rids(table, statement.where):
+            new_row = list(row)
+            for idx, bound in assignments:
+                new_row[idx] = bound.eval(row)
+            new_rid = table.update(rid, tuple(new_row))
+            self._log_write(table.name, "update", (rid, new_rid), row)
+            count += 1
+        return Result(rowcount=count)
+
+    def _execute_delete(self, statement: ast.DeleteStmt) -> Result:
+        table = self.catalog.get_table(statement.table)
+        count = 0
+        for rid, row in self._matching_rids(table, statement.where):
+            table.delete(rid)
+            self._log_write(table.name, "delete", rid, row)
+            count += 1
+        return Result(rowcount=count)
+
+    # ------------------------------------------------------------------
+    # Transactions (statement-level; logical undo via before-images)
+    # ------------------------------------------------------------------
+
+    def in_transaction(self) -> bool:
+        return self._active_txn is not None
+
+    def _begin(self) -> None:
+        if self._active_txn is not None:
+            raise TransactionError("a transaction is already active")
+        self._txn_id += 1
+        self._active_txn = self._txn_id
+        self._undo_log = []
+        self.wal.append(self._active_txn, LogRecordType.BEGIN)
+
+    def _commit(self) -> None:
+        if self._active_txn is None:
+            raise TransactionError("no active transaction")
+        self.wal.append(self._active_txn, LogRecordType.COMMIT)
+        self.wal.flush()
+        self._active_txn = None
+        self._undo_log = []
+
+    def _rollback(self) -> None:
+        if self._active_txn is None:
+            raise TransactionError("no active transaction")
+        # Logical undo.  Rows can move (delete+reinsert, oversized update),
+        # so track where each original rid lives now while unwinding.
+        remap: Dict[Any, Any] = {}
+        if self.result_cache is not None:
+            self.result_cache.invalidate_tables(
+                {entry[0] for entry in self._undo_log}
+            )
+        for table_name, op, rid, before in reversed(self._undo_log):
+            table = self.catalog.get_table(table_name)
+            if op == "insert":
+                table.delete(remap.get(rid, rid))
+            elif op == "delete":
+                remap[rid] = table.insert(before)
+            elif op == "update":
+                old_rid, new_rid = rid
+                target = remap.get(new_rid, new_rid)
+                restored = table.update(target, before)
+                if restored != old_rid:
+                    remap[old_rid] = restored
+        self.wal.append(self._active_txn, LogRecordType.ABORT)
+        self._active_txn = None
+        self._undo_log = []
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def restore_from_wal(self, wal_file: str) -> Dict[str, int]:
+        """Rebuild table contents from a persisted WAL after a crash.
+
+        The catalog (DDL) must already exist — re-run the CREATE statements
+        first, as classic logical-logging systems replay against a schema.
+        Only committed transactions' effects are restored; in-flight and
+        aborted work is discarded.  Returns rows restored per table.
+        """
+        from repro.storage.recovery import replay
+        from repro.storage.wal import read_log_file
+
+        state = replay(read_log_file(wal_file))
+        restored: Dict[str, int] = {}
+        for table_name, images in state.tables.items():
+            if not self.catalog.has_table(table_name):
+                raise CatalogError(
+                    f"WAL references table {table_name!r}; recreate its schema "
+                    "before calling restore_from_wal"
+                )
+            table = self.catalog.get_table(table_name)
+            rows = [images[rid] for rid in sorted(images)]
+            for row in rows:
+                table.insert(row)
+            restored[table_name] = len(rows)
+        return restored
+
+    def _log_write(
+        self, table_name: str, op: str, rid: Any, before: Optional[Row]
+    ) -> None:
+        txn = self._active_txn
+        autocommit = txn is None
+        if autocommit:
+            self._txn_id += 1
+            txn = self._txn_id
+            self.wal.append(txn, LogRecordType.BEGIN)
+        wal_type = {
+            "insert": LogRecordType.INSERT,
+            "delete": LogRecordType.DELETE,
+            "update": LogRecordType.UPDATE,
+        }[op]
+        if self.result_cache is not None:
+            self.result_cache.invalidate_tables([table_name])
+        wal_rid = rid if op != "update" else rid[1]
+        after = None
+        if op != "delete":
+            table = self.catalog.get_table(table_name)
+            after = table.get(wal_rid)
+        self.wal.append(
+            txn,
+            wal_type,
+            table=table_name,
+            rid=tuple(wal_rid) if isinstance(wal_rid, tuple) else (int(wal_rid), 0),
+            before=before,
+            after=after,
+        )
+        if autocommit:
+            self.wal.append(txn, LogRecordType.COMMIT)
+        else:
+            self._undo_log.append((table_name, op, rid, before))

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Subsystems raise the most
+specific subclass that applies; the SQL front end attaches source positions
+where it can.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CatalogError(ReproError):
+    """A catalog object (table, column, index) is missing or duplicated."""
+
+
+class ParseError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Attributes:
+        position: character offset into the SQL text, or ``None``.
+    """
+
+    def __init__(self, message: str, position: "int | None" = None):
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(ReproError):
+    """A parsed query references names or types that do not resolve."""
+
+
+class PlanError(ReproError):
+    """The optimizer or physical planner could not produce a plan."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while executing a physical plan."""
+
+
+class TypeMismatchError(BindError):
+    """An expression combines values of incompatible types."""
+
+
+class StorageError(ReproError):
+    """A failure in the page/heap/disk layer."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit into the target page."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool cannot satisfy a request (e.g. all frames pinned)."""
+
+
+class WALError(StorageError):
+    """The write-ahead log is corrupt or was used out of protocol."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-layer failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was rolled back (deadlock victim, conflict, or user)."""
+
+
+class DeadlockError(TransactionAborted):
+    """The transaction was chosen as a deadlock victim."""
+
+
+class WriteConflictError(TransactionAborted):
+    """An MVCC first-updater-wins conflict forced an abort."""
+
+
+class IndexError_(ReproError):
+    """An index structure was used incorrectly (duplicate key, bad range)."""
+
+
+class IntegrityError(ReproError):
+    """A constraint (NOT NULL, type domain) was violated by a write."""
+
+
+class PipelineError(ReproError):
+    """An AI-data-pipeline DAG is malformed or failed to execute."""
+
+
+class IntegrationError(ReproError):
+    """A data-integration component was misconfigured."""

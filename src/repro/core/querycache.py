@@ -1,0 +1,137 @@
+"""Query-result caching with write invalidation.
+
+An LRU of fully-materialized SELECT results keyed by (SQL text, engine).
+Every cached entry records the base tables it read; any write (DML, DDL,
+rollback) to one of those tables evicts the affected entries, so readers
+can never observe stale data.  The feature is off by default — construct
+``Database(result_cache_size=N)`` to enable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.sql import ast
+
+CacheKey = Tuple[str, str]  # (sql text, engine)
+
+
+@dataclass
+class QueryCacheStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    columns: List[str]
+    rows: list
+    tables: FrozenSet[str]
+
+
+class QueryCache:
+    """LRU result cache with per-table invalidation."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self.stats = QueryCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[_Entry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: CacheKey, columns: List[str], rows: list, tables: Set[str]) -> None:
+        self._entries[key] = _Entry(columns, rows, frozenset(t.lower() for t in tables))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate_tables(self, tables: Iterable[str]) -> int:
+        """Evict entries reading any of ``tables``; returns evictions."""
+        lowered = {t.lower() for t in tables}
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if entry.tables & lowered
+        ]
+        for key in doomed:
+            del self._entries[key]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+
+
+def referenced_tables(statement: ast.Statement) -> Optional[Set[str]]:
+    """Base tables a query reads, or None when analysis is incomplete.
+
+    Walks FROM clauses plus every subquery inside expressions; any
+    construct this walker does not recognize disables caching for the
+    statement (conservative).
+    """
+    tables: Set[str] = set()
+
+    def walk_from(item) -> bool:
+        if item is None:
+            return True
+        if isinstance(item, ast.TableRef):
+            tables.add(item.name.lower())
+            return True
+        if isinstance(item, ast.Join):
+            return walk_from(item.left) and walk_from(item.right)
+        return False
+
+    def walk_expr(expr) -> bool:
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.Subquery):
+                if not walk_statement(node.select):
+                    return False
+            if isinstance(node, ast.ExistsExpr):
+                if not walk_statement(node.subquery.select):
+                    return False
+        return True
+
+    def walk_select(stmt: ast.SelectStmt) -> bool:
+        if not walk_from(stmt.from_item):
+            return False
+        exprs = [i.expr for i in stmt.items]
+        if stmt.where is not None:
+            exprs.append(stmt.where)
+        if stmt.having is not None:
+            exprs.append(stmt.having)
+        exprs.extend(stmt.group_by)
+        exprs.extend(i.expr for i in stmt.order_by)
+        return all(walk_expr(e) for e in exprs)
+
+    def walk_statement(stmt) -> bool:
+        if isinstance(stmt, ast.SelectStmt):
+            return walk_select(stmt)
+        if isinstance(stmt, ast.SetOpStmt):
+            return (
+                walk_statement(stmt.left)
+                and walk_statement(stmt.right)
+                and all(walk_expr(i.expr) for i in stmt.order_by)
+            )
+        return False
+
+    if not walk_statement(statement):
+        return None
+    return tables

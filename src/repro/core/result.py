@@ -1,0 +1,79 @@
+"""Query results returned by :meth:`repro.core.database.Database.execute`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import ExecutionError
+from repro.core.types import Row
+
+
+@dataclass
+class Result:
+    """The outcome of one statement.
+
+    For SELECT/EXPLAIN, ``columns`` and ``rows`` are populated; for DML,
+    ``rowcount`` reports affected rows.
+    """
+
+    columns: List[str] = field(default_factory=list)
+    rows: List[Row] = field(default_factory=list)
+    rowcount: int = 0
+    plan_text: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def first(self) -> Optional[Row]:
+        """First row, or None when empty."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a single-row, single-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one result column."""
+        if name not in self.columns:
+            raise ExecutionError(f"no result column named {name!r}")
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """Fixed-width text rendering (for examples and EXPLAIN output)."""
+        if self.plan_text is not None:
+            return self.plan_text
+        shown = self.rows[:max_rows]
+        cells = [[_fmt(v) for v in row] for row in shown]
+        widths = [len(c) for c in self.columns]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [header, sep]
+        for row in cells:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,261 @@
+"""Type system shared by every layer of the engine.
+
+The engine is deliberately small but honest: values carry one of a fixed set
+of :class:`DataType` tags, rows are plain tuples, and :class:`Schema` maps
+between positions and (optionally qualified) column names.  The storage layer
+uses :class:`DataType` to pick a binary codec; the binder uses it for type
+checking; the executor uses it to coerce literals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import BindError, TypeMismatchError
+
+Row = Tuple[Any, ...]
+
+
+class DataType(enum.Enum):
+    """Logical column types supported by the engine."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    VECTOR = "VECTOR"  # fixed-width list of floats; width stored on the column
+    NULL = "NULL"  # type of the untyped NULL literal
+
+    def is_numeric(self) -> bool:
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+    @staticmethod
+    def of_value(value: Any) -> "DataType":
+        """Infer the logical type of a Python value."""
+        if value is None:
+            return DataType.NULL
+        if isinstance(value, bool):
+            return DataType.BOOLEAN
+        if isinstance(value, int):
+            return DataType.INTEGER
+        if isinstance(value, float):
+            return DataType.FLOAT
+        if isinstance(value, str):
+            return DataType.TEXT
+        if isinstance(value, (list, tuple)):
+            return DataType.VECTOR
+        raise TypeMismatchError(f"unsupported Python value type: {type(value).__name__}")
+
+    @staticmethod
+    def parse(name: str) -> "DataType":
+        """Parse a SQL type name (with common aliases) into a DataType."""
+        upper = name.strip().upper()
+        aliases = {
+            "INT": DataType.INTEGER,
+            "INTEGER": DataType.INTEGER,
+            "BIGINT": DataType.INTEGER,
+            "SMALLINT": DataType.INTEGER,
+            "FLOAT": DataType.FLOAT,
+            "REAL": DataType.FLOAT,
+            "DOUBLE": DataType.FLOAT,
+            "DECIMAL": DataType.FLOAT,
+            "NUMERIC": DataType.FLOAT,
+            "TEXT": DataType.TEXT,
+            "VARCHAR": DataType.TEXT,
+            "CHAR": DataType.TEXT,
+            "STRING": DataType.TEXT,
+            "BOOL": DataType.BOOLEAN,
+            "BOOLEAN": DataType.BOOLEAN,
+            "VECTOR": DataType.VECTOR,
+        }
+        if upper not in aliases:
+            raise TypeMismatchError(f"unknown SQL type: {name!r}")
+        return aliases[upper]
+
+
+def common_numeric_type(left: DataType, right: DataType) -> DataType:
+    """Result type of an arithmetic op over two numeric (or NULL) operands."""
+    if DataType.FLOAT in (left, right):
+        return DataType.FLOAT
+    if left is DataType.NULL:
+        return right
+    if right is DataType.NULL:
+        return left
+    return DataType.INTEGER
+
+
+def coerce_value(value: Any, dtype: DataType) -> Any:
+    """Coerce a Python value to the storage representation of ``dtype``.
+
+    ``None`` passes through for every type (SQL NULL).  Raises
+    :class:`TypeMismatchError` when the value cannot represent the type.
+    """
+    if value is None:
+        return None
+    if dtype is DataType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise TypeMismatchError(f"cannot store {value!r} as INTEGER")
+    if dtype is DataType.FLOAT:
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"cannot store {value!r} as FLOAT")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise TypeMismatchError(f"cannot store {value!r} as FLOAT")
+    if dtype is DataType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise TypeMismatchError(f"cannot store {value!r} as TEXT")
+    if dtype is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        raise TypeMismatchError(f"cannot store {value!r} as BOOLEAN")
+    if dtype is DataType.VECTOR:
+        if isinstance(value, (list, tuple)):
+            return tuple(float(x) for x in value)
+        raise TypeMismatchError(f"cannot store {value!r} as VECTOR")
+    raise TypeMismatchError(f"cannot coerce to {dtype}")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    Attributes:
+        name: bare column name (no table qualifier).
+        dtype: logical type.
+        nullable: whether NULL is admitted (enforced on insert).
+        table: optional qualifier, used by the binder for name resolution.
+        vector_width: dimensionality for VECTOR columns (0 = unspecified).
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    table: Optional[str] = None
+    vector_width: int = 0
+
+    def qualified_name(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+    def with_table(self, table: Optional[str]) -> "Column":
+        return Column(self.name, self.dtype, self.nullable, table, self.vector_width)
+
+
+class Schema:
+    """An ordered list of columns with name-based lookup.
+
+    Lookup accepts bare names (``"price"``) and qualified names
+    (``"orders.price"``).  Ambiguous bare names raise :class:`BindError`.
+    """
+
+    __slots__ = ("columns", "_by_name")
+
+    def __init__(self, columns: Sequence[Column]):
+        self.columns: List[Column] = list(columns)
+        self._by_name = {}
+        for idx, col in enumerate(self.columns):
+            self._by_name.setdefault(col.name, []).append(idx)
+            if col.table:
+                self._by_name.setdefault(f"{col.table}.{col.name}", []).append(idx)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __getitem__(self, idx: int) -> Column:
+        return self.columns[idx]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.qualified_name()}:{c.dtype.value}" for c in self.columns)
+        return f"Schema({cols})"
+
+    def names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def index_of(self, name: str) -> int:
+        """Resolve ``name`` to a column position.
+
+        Raises :class:`BindError` for unknown or ambiguous names.
+        """
+        hits = self._by_name.get(name)
+        if not hits:
+            raise BindError(f"unknown column: {name!r}")
+        if len(hits) > 1:
+            raise BindError(f"ambiguous column reference: {name!r}")
+        return hits[0]
+
+    def maybe_index_of(self, name: str) -> Optional[int]:
+        """Like :meth:`index_of` but returns None for unknown names."""
+        hits = self._by_name.get(name)
+        if not hits or len(hits) > 1:
+            return None
+        return hits[0]
+
+    def has(self, name: str) -> bool:
+        return bool(self._by_name.get(name))
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def concat(self, other: "Schema") -> "Schema":
+        return Schema(self.columns + other.columns)
+
+    def with_table(self, table: Optional[str]) -> "Schema":
+        return Schema([c.with_table(table) for c in self.columns])
+
+    def project(self, indexes: Iterable[int]) -> "Schema":
+        return Schema([self.columns[i] for i in indexes])
+
+
+def validate_row(schema: Schema, row: Sequence[Any]) -> Row:
+    """Validate & coerce a row against a schema; returns the stored tuple.
+
+    Enforces arity, per-column type coercion, NOT NULL, and vector width.
+    """
+    from repro.core.errors import IntegrityError
+
+    if len(row) != len(schema):
+        raise IntegrityError(
+            f"row has {len(row)} values but schema has {len(schema)} columns"
+        )
+    out = []
+    for value, col in zip(row, schema.columns):
+        if value is None and not col.nullable:
+            raise IntegrityError(f"column {col.name!r} is NOT NULL")
+        coerced = coerce_value(value, col.dtype)
+        if (
+            col.dtype is DataType.VECTOR
+            and coerced is not None
+            and col.vector_width
+            and len(coerced) != col.vector_width
+        ):
+            raise IntegrityError(
+                f"column {col.name!r} expects vectors of width {col.vector_width}, "
+                f"got {len(coerced)}"
+            )
+        out.append(coerced)
+    return tuple(out)
+
+
+@dataclass
+class TableStatsSnapshot:
+    """Lightweight row/byte counts reported by storage for costing."""
+
+    row_count: int = 0
+    byte_count: int = 0
+    page_count: int = 0
+    fields: dict = field(default_factory=dict)

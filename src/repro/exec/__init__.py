@@ -1,0 +1,35 @@
+"""Execution engines: physical plan nodes, Volcano iterators, vectorized ops."""
+
+from repro.exec.physical import (
+    PAggregate,
+    PDistinct,
+    PFilter,
+    PHashJoin,
+    PIndexScan,
+    PLimit,
+    PNestedLoopJoin,
+    PProject,
+    PSeqScan,
+    PSort,
+    PValues,
+    PhysicalPlan,
+)
+from repro.exec.volcano import execute_volcano
+from repro.exec.vectorized import execute_vectorized
+
+__all__ = [
+    "PhysicalPlan",
+    "PSeqScan",
+    "PIndexScan",
+    "PFilter",
+    "PProject",
+    "PNestedLoopJoin",
+    "PHashJoin",
+    "PAggregate",
+    "PSort",
+    "PLimit",
+    "PDistinct",
+    "PValues",
+    "execute_volcano",
+    "execute_vectorized",
+]

@@ -1,0 +1,251 @@
+"""Physical plan nodes.
+
+The optimizer lowers a logical plan into this tree after choosing access
+paths (seq vs. index scan) and join algorithms (hash vs. nested loop).  Both
+execution engines (:mod:`repro.exec.volcano` row-at-a-time and
+:mod:`repro.exec.vectorized` batch-at-a-time) interpret the same physical
+tree — that is physical data independence made executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.core.types import Column, Row, Schema
+from repro.plan.expressions import AggSpec, BoundExpr
+from repro.plan.logical import LEFT_OUTER
+
+
+class PhysicalPlan:
+    """Base class for physical operators."""
+
+    schema: Schema
+
+    def children(self) -> Tuple["PhysicalPlan", ...]:
+        return ()
+
+    def node_label(self) -> str:
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.node_label()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return self.pretty()
+
+    def estimated_rows(self) -> float:
+        return getattr(self, "cardinality", 0.0)
+
+
+@dataclass(repr=False)
+class PSeqScan(PhysicalPlan):
+    table: str
+    alias: str
+    schema: Schema
+    cardinality: float = 0.0
+
+    def node_label(self) -> str:
+        return f"SeqScan({self.table} AS {self.alias})  rows~{self.cardinality:.0f}"
+
+
+@dataclass(repr=False)
+class PIndexScan(PhysicalPlan):
+    """Index access path: equality or range over one indexed column."""
+
+    table: str
+    alias: str
+    schema: Schema
+    index_name: str
+    column_index: int
+    eq_value: Any = None
+    low: Any = None
+    high: Any = None
+    include_low: bool = True
+    include_high: bool = True
+    residual: Optional[BoundExpr] = None
+    cardinality: float = 0.0
+
+    def node_label(self) -> str:
+        if self.eq_value is not None:
+            pred = f"= {self.eq_value!r}"
+        else:
+            pred = f"in [{self.low!r}, {self.high!r}]"
+        extra = f" residual={self.residual.to_sql()}" if self.residual else ""
+        return (
+            f"IndexScan({self.table} via {self.index_name} {pred}){extra}"
+            f"  rows~{self.cardinality:.0f}"
+        )
+
+
+@dataclass(repr=False)
+class PValues(PhysicalPlan):
+    rows: Tuple[Row, ...]
+    schema: Schema
+    cardinality: float = 0.0
+
+    def node_label(self) -> str:
+        return f"Values({len(self.rows)} rows)"
+
+
+@dataclass(repr=False)
+class PFilter(PhysicalPlan):
+    child: PhysicalPlan
+    predicate: BoundExpr
+    schema: Schema
+    cardinality: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        return f"Filter({self.predicate.to_sql()})  rows~{self.cardinality:.0f}"
+
+
+@dataclass(repr=False)
+class PProject(PhysicalPlan):
+    child: PhysicalPlan
+    exprs: Tuple[BoundExpr, ...]
+    schema: Schema
+    cardinality: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        cols = ", ".join(
+            f"{e.to_sql()} AS {c.name}" for e, c in zip(self.exprs, self.schema.columns)
+        )
+        return f"Project({cols})"
+
+
+@dataclass(repr=False)
+class PNestedLoopJoin(PhysicalPlan):
+    left: PhysicalPlan
+    right: PhysicalPlan
+    kind: str  # inner | left | cross
+    condition: Optional[BoundExpr]
+    schema: Schema
+    cardinality: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    @property
+    def is_outer(self) -> bool:
+        return self.kind == LEFT_OUTER
+
+    def node_label(self) -> str:
+        cond = f" ON {self.condition.to_sql()}" if self.condition else ""
+        return f"NestedLoopJoin({self.kind}{cond})  rows~{self.cardinality:.0f}"
+
+
+@dataclass(repr=False)
+class PHashJoin(PhysicalPlan):
+    """Equi-join: build a hash table on the right input's key."""
+
+    left: PhysicalPlan
+    right: PhysicalPlan
+    kind: str  # inner | left
+    left_keys: Tuple[BoundExpr, ...]
+    right_keys: Tuple[BoundExpr, ...]
+    residual: Optional[BoundExpr]
+    schema: Schema
+    cardinality: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    @property
+    def is_outer(self) -> bool:
+        return self.kind == LEFT_OUTER
+
+    def node_label(self) -> str:
+        keys = ", ".join(
+            f"{l.to_sql()}={r.to_sql()}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        extra = f" residual={self.residual.to_sql()}" if self.residual else ""
+        return f"HashJoin({self.kind} ON {keys}){extra}  rows~{self.cardinality:.0f}"
+
+
+@dataclass(repr=False)
+class PAggregate(PhysicalPlan):
+    child: PhysicalPlan
+    group_exprs: Tuple[BoundExpr, ...]
+    aggregates: Tuple[AggSpec, ...]
+    schema: Schema
+    cardinality: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        keys = ", ".join(e.to_sql() for e in self.group_exprs)
+        aggs = ", ".join(a.to_sql() for a in self.aggregates)
+        return f"HashAggregate(keys=[{keys}] aggs=[{aggs}])  rows~{self.cardinality:.0f}"
+
+
+@dataclass(repr=False)
+class PSetOp(PhysicalPlan):
+    left: PhysicalPlan
+    right: PhysicalPlan
+    kind: str  # union | intersect | except
+    all: bool
+    schema: Schema
+    cardinality: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def node_label(self) -> str:
+        suffix = " ALL" if self.all else ""
+        return f"SetOp({self.kind.upper()}{suffix})  rows~{self.cardinality:.0f}"
+
+
+@dataclass(repr=False)
+class PSort(PhysicalPlan):
+    child: PhysicalPlan
+    keys: Tuple[Tuple[BoundExpr, bool], ...]
+    schema: Schema
+    cardinality: float = 0.0
+    #: When set, the executor may use a bounded heap (top-N) instead of a
+    #: full sort; filled in by the optimizer from a parent Limit.
+    limit_hint: Optional[int] = None
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        keys = ", ".join(
+            f"{e.to_sql()} {'ASC' if asc else 'DESC'}" for e, asc in self.keys
+        )
+        hint = f" top-{self.limit_hint}" if self.limit_hint else ""
+        return f"Sort({keys}){hint}"
+
+
+@dataclass(repr=False)
+class PLimit(PhysicalPlan):
+    child: PhysicalPlan
+    limit: Optional[int]
+    offset: int
+    schema: Schema
+    cardinality: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        return f"Limit(limit={self.limit}, offset={self.offset})"
+
+
+@dataclass(repr=False)
+class PDistinct(PhysicalPlan):
+    child: PhysicalPlan
+    schema: Schema
+    cardinality: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)

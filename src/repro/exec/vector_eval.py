@@ -1,0 +1,161 @@
+"""Batch (column-at-a-time) expression evaluation.
+
+The vectorized engine represents a batch as a list of columns, each a Python
+list of length ``n``.  Expressions evaluate whole batches: numeric
+arithmetic and comparisons take a numpy fast path when the operand columns
+contain no NULLs; everything else falls back to a tight per-row loop over
+the already-decoded column values.
+
+The contract mirrors row-at-a-time evaluation exactly (same three-valued
+logic), and the cross-engine property tests enforce it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+import numpy as np
+
+from repro.core.errors import ExecutionError
+from repro.plan.expressions import (
+    BoundBinary,
+    BoundCase,
+    BoundColumn,
+    BoundExpr,
+    BoundFunc,
+    BoundInList,
+    BoundIsNull,
+    BoundLike,
+    BoundLiteral,
+    BoundUnary,
+)
+
+Batch = List[List[Any]]  # column-major: batch[column][row]
+
+_NUMPY_ARITH = {"+": np.add, "-": np.subtract, "*": np.multiply}
+_NUMPY_CMP = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def eval_batch(expr: BoundExpr, batch: Batch, n: int) -> List[Any]:
+    """Evaluate ``expr`` over every row of a column-major batch."""
+    if isinstance(expr, BoundColumn):
+        return batch[expr.index]
+    if isinstance(expr, BoundLiteral):
+        return [expr.value] * n
+    if isinstance(expr, BoundBinary):
+        return _eval_binary(expr, batch, n)
+    if isinstance(expr, BoundUnary):
+        operand = eval_batch(expr.operand, batch, n)
+        if expr.op == "NOT":
+            return [None if v is None else (not v) for v in operand]
+        return [None if v is None else -v for v in operand]
+    if isinstance(expr, BoundIsNull):
+        operand = eval_batch(expr.operand, batch, n)
+        if expr.negated:
+            return [v is not None for v in operand]
+        return [v is None for v in operand]
+    if isinstance(expr, BoundInList):
+        operand = eval_batch(expr.operand, batch, n)
+        out: List[Any] = []
+        for v in operand:
+            if v is None:
+                out.append(None)
+                continue
+            found = v in expr.values
+            if not found and expr.has_null:
+                out.append(None)
+                continue
+            out.append(not found if expr.negated else found)
+        return out
+    if isinstance(expr, (BoundLike, BoundFunc, BoundCase)):
+        # Row-wise evaluation against a virtual row view of the batch.
+        return _eval_rowwise(expr, batch, n)
+    raise ExecutionError(f"cannot batch-evaluate {type(expr).__name__}")
+
+
+def _eval_rowwise(expr: BoundExpr, batch: Batch, n: int) -> List[Any]:
+    columns = sorted(_columns_of(expr))
+    out = []
+    width = len(batch)
+    row: List[Any] = [None] * width
+    for i in range(n):
+        for c in columns:
+            row[c] = batch[c][i]
+        out.append(expr.eval(row))
+    return out
+
+
+def _columns_of(expr: BoundExpr) -> set:
+    cols = set()
+
+    def walk(node: BoundExpr) -> None:
+        if isinstance(node, BoundColumn):
+            cols.add(node.index)
+        for child in node.children():
+            walk(child)
+
+    walk(expr)
+    return cols
+
+
+def _numeric_array(values: Sequence[Any]):
+    """numpy array for a null-free numeric column, else None."""
+    try:
+        arr = np.asarray(values)
+    except (ValueError, TypeError):
+        return None
+    if arr.dtype.kind in ("i", "f", "b") and arr.ndim == 1:
+        return arr
+    return None
+
+
+def _eval_binary(expr: BoundBinary, batch: Batch, n: int) -> List[Any]:
+    op = expr.op
+    if op == "AND":
+        left = eval_batch(expr.left, batch, n)
+        right = eval_batch(expr.right, batch, n)
+        out = []
+        for a, b in zip(left, right):
+            if a is False or b is False:
+                out.append(False)
+            elif a is None or b is None:
+                out.append(None)
+            else:
+                out.append(True)
+        return out
+    if op == "OR":
+        left = eval_batch(expr.left, batch, n)
+        right = eval_batch(expr.right, batch, n)
+        out = []
+        for a, b in zip(left, right):
+            if a is True or b is True:
+                out.append(True)
+            elif a is None or b is None:
+                out.append(None)
+            else:
+                out.append(False)
+        return out
+    left = eval_batch(expr.left, batch, n)
+    right = eval_batch(expr.right, batch, n)
+    # numpy fast path: null-free numeric columns.
+    if op in _NUMPY_ARITH or op in _NUMPY_CMP:
+        if None not in left and None not in right:
+            la = _numeric_array(left)
+            ra = _numeric_array(right)
+            if la is not None and ra is not None:
+                fn = _NUMPY_ARITH.get(op) or _NUMPY_CMP[op]
+                return fn(la, ra).tolist()
+    # General path with NULL propagation, reusing scalar semantics.
+    probe = BoundBinary(op, _Slot(0, expr.left.dtype), _Slot(1, expr.right.dtype), expr.dtype)
+    return [probe.eval((a, b)) for a, b in zip(left, right)]
+
+
+class _Slot(BoundColumn):
+    """A positional placeholder used to reuse scalar binary semantics."""

@@ -1,0 +1,313 @@
+"""Volcano-style (row-at-a-time, pull-based) execution engine.
+
+Each physical operator lowers to a Python generator; composing generators
+gives the classic open/next/close pipeline without the boilerplate.  The
+engine shares the physical plan format with the vectorized engine — run the
+same plan on either and you get the same rows (tested property).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.core.errors import ExecutionError
+from repro.core.types import Row
+from repro.exec import physical as phys
+from repro.plan.expressions import AggSpec, BoundExpr
+
+
+def execute_volcano(plan: phys.PhysicalPlan, catalog: Catalog) -> Iterator[Row]:
+    """Run a physical plan, yielding result rows."""
+    if isinstance(plan, phys.PSeqScan):
+        return _seq_scan(plan, catalog)
+    if isinstance(plan, phys.PIndexScan):
+        return _index_scan(plan, catalog)
+    if isinstance(plan, phys.PValues):
+        return iter(plan.rows)
+    if isinstance(plan, phys.PFilter):
+        return _filter(plan, catalog)
+    if isinstance(plan, phys.PProject):
+        return _project(plan, catalog)
+    if isinstance(plan, phys.PNestedLoopJoin):
+        return _nested_loop_join(plan, catalog)
+    if isinstance(plan, phys.PHashJoin):
+        return _hash_join(plan, catalog)
+    if isinstance(plan, phys.PAggregate):
+        return _aggregate(plan, catalog)
+    if isinstance(plan, phys.PSetOp):
+        return _set_op(plan, catalog)
+    if isinstance(plan, phys.PSort):
+        return _sort(plan, catalog)
+    if isinstance(plan, phys.PLimit):
+        return _limit(plan, catalog)
+    if isinstance(plan, phys.PDistinct):
+        return _distinct(plan, catalog)
+    raise ExecutionError(f"volcano engine cannot execute {type(plan).__name__}")
+
+
+# -- scans ---------------------------------------------------------------------
+
+
+def _seq_scan(plan: phys.PSeqScan, catalog: Catalog) -> Iterator[Row]:
+    table = catalog.get_table(plan.table)
+    yield from table.scan_rows()
+
+
+def _index_scan(plan: phys.PIndexScan, catalog: Catalog) -> Iterator[Row]:
+    table = catalog.get_table(plan.table)
+    info = table.indexes.get(plan.index_name)
+    if info is None:
+        raise ExecutionError(f"index {plan.index_name!r} disappeared")
+    if plan.eq_value is not None:
+        rids = info.structure.search(plan.eq_value)
+    else:
+        if not info.supports_range():
+            raise ExecutionError(f"index {plan.index_name!r} cannot do range scans")
+        rids = [
+            rid
+            for _, rid in info.structure.range(
+                plan.low, plan.high, plan.include_low, plan.include_high
+            )
+        ]
+    for rid in rids:
+        row = table.get(rid)
+        if row is None:
+            continue  # deleted since index lookup
+        if plan.residual is not None and plan.residual.eval(row) is not True:
+            continue
+        yield row
+
+
+# -- row pipeline ----------------------------------------------------------------
+
+
+def _filter(plan: phys.PFilter, catalog: Catalog) -> Iterator[Row]:
+    predicate = plan.predicate
+    for row in execute_volcano(plan.child, catalog):
+        if predicate.eval(row) is True:
+            yield row
+
+
+def _project(plan: phys.PProject, catalog: Catalog) -> Iterator[Row]:
+    exprs = plan.exprs
+    for row in execute_volcano(plan.child, catalog):
+        yield tuple(e.eval(row) for e in exprs)
+
+
+def _nested_loop_join(plan: phys.PNestedLoopJoin, catalog: Catalog) -> Iterator[Row]:
+    right_rows = list(execute_volcano(plan.right, catalog))
+    right_width = len(plan.right.schema)
+    null_pad = (None,) * right_width
+    condition = plan.condition
+    for left_row in execute_volcano(plan.left, catalog):
+        matched = False
+        for right_row in right_rows:
+            combined = left_row + right_row
+            if condition is None or condition.eval(combined) is True:
+                matched = True
+                yield combined
+        if plan.is_outer and not matched:
+            yield left_row + null_pad
+
+
+def _hash_join(plan: phys.PHashJoin, catalog: Catalog) -> Iterator[Row]:
+    # Build on the right input.
+    table: Dict[Tuple, List[Row]] = {}
+    for right_row in execute_volcano(plan.right, catalog):
+        key = tuple(k.eval(right_row) for k in plan.right_keys)
+        if any(v is None for v in key):
+            continue  # SQL equality never matches NULL
+        table.setdefault(key, []).append(right_row)
+    right_width = len(plan.right.schema)
+    null_pad = (None,) * right_width
+    residual = plan.residual
+    for left_row in execute_volcano(plan.left, catalog):
+        key = tuple(k.eval(left_row) for k in plan.left_keys)
+        matched = False
+        if not any(v is None for v in key):
+            for right_row in table.get(key, ()):
+                combined = left_row + right_row
+                if residual is None or residual.eval(combined) is True:
+                    matched = True
+                    yield combined
+        if plan.is_outer and not matched:
+            yield left_row + null_pad
+
+
+# -- aggregation --------------------------------------------------------------------
+
+
+class _Accumulator:
+    """State for one aggregate within one group."""
+
+    __slots__ = ("spec", "count", "total", "extreme", "distinct_values")
+
+    def __init__(self, spec: AggSpec):
+        self.spec = spec
+        self.count = 0
+        self.total: Any = None
+        self.extreme: Any = None
+        self.distinct_values = set() if spec.distinct else None
+
+    def add(self, row: Row) -> None:
+        spec = self.spec
+        if spec.arg is None:  # COUNT(*)
+            self.count += 1
+            return
+        value = spec.arg.eval(row)
+        if value is None:
+            return
+        if self.distinct_values is not None:
+            if value in self.distinct_values:
+                return
+            self.distinct_values.add(value)
+        self.count += 1
+        if spec.func in ("SUM", "AVG"):
+            self.total = value if self.total is None else self.total + value
+        elif spec.func == "MIN":
+            if self.extreme is None or value < self.extreme:
+                self.extreme = value
+        elif spec.func == "MAX":
+            if self.extreme is None or value > self.extreme:
+                self.extreme = value
+
+    def result(self) -> Any:
+        func = self.spec.func
+        if func == "COUNT":
+            return self.count
+        if func == "SUM":
+            return self.total
+        if func == "AVG":
+            return self.total / self.count if self.count else None
+        return self.extreme
+
+
+def _aggregate(plan: phys.PAggregate, catalog: Catalog) -> Iterator[Row]:
+    groups: Dict[Tuple, List[_Accumulator]] = {}
+    order: List[Tuple] = []
+    for row in execute_volcano(plan.child, catalog):
+        key = tuple(e.eval(row) for e in plan.group_exprs)
+        accs = groups.get(key)
+        if accs is None:
+            accs = [_Accumulator(spec) for spec in plan.aggregates]
+            groups[key] = accs
+            order.append(key)
+        for acc in accs:
+            acc.add(row)
+    if not groups and not plan.group_exprs:
+        # Global aggregate over an empty input: one row of identity values.
+        yield tuple(_Accumulator(spec).result() for spec in plan.aggregates)
+        return
+    for key in order:
+        yield key + tuple(acc.result() for acc in groups[key])
+
+
+# -- set operations ----------------------------------------------------------------
+
+
+def _set_op(plan: phys.PSetOp, catalog: Catalog) -> Iterator[Row]:
+    if plan.kind == "union":
+        if plan.all:
+            yield from execute_volcano(plan.left, catalog)
+            yield from execute_volcano(plan.right, catalog)
+            return
+        seen = set()
+        for side in (plan.left, plan.right):
+            for row in execute_volcano(side, catalog):
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+        return
+    right_rows = set(execute_volcano(plan.right, catalog))
+    emitted = set()
+    if plan.kind == "intersect":
+        for row in execute_volcano(plan.left, catalog):
+            if row in right_rows and row not in emitted:
+                emitted.add(row)
+                yield row
+        return
+    if plan.kind == "except":
+        for row in execute_volcano(plan.left, catalog):
+            if row not in right_rows and row not in emitted:
+                emitted.add(row)
+                yield row
+        return
+    raise ExecutionError(f"unknown set operation {plan.kind!r}")
+
+
+# -- ordering ---------------------------------------------------------------------------
+
+
+class SortComparable:
+    """Row wrapper implementing multi-key SQL ordering.
+
+    ASC places NULLs last, DESC places NULLs first (PostgreSQL defaults).
+    """
+
+    __slots__ = ("values", "directions")
+
+    def __init__(self, values: Sequence[Any], directions: Sequence[bool]):
+        self.values = values
+        self.directions = directions
+
+    def __lt__(self, other: "SortComparable") -> bool:
+        for v1, v2, asc in zip(self.values, other.values, self.directions):
+            n1, n2 = v1 is None, v2 is None
+            if n1 or n2:
+                if n1 and n2:
+                    continue
+                return not asc if n1 else asc
+            if v1 == v2:
+                continue
+            return bool(v1 < v2) if asc else bool(v2 < v1)
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SortComparable):
+            return NotImplemented
+        return not (self < other) and not (other < self)
+
+
+def sort_rows(
+    rows: List[Row],
+    keys: Sequence[Tuple[BoundExpr, bool]],
+    limit: Optional[int] = None,
+) -> List[Row]:
+    """Sort rows by bound key expressions; bounded heap when limit is given."""
+    directions = [asc for _, asc in keys]
+
+    def key_of(row: Row) -> SortComparable:
+        return SortComparable([e.eval(row) for e, _ in keys], directions)
+
+    if limit is not None and limit < len(rows):
+        return heapq.nsmallest(limit, rows, key=key_of)
+    return sorted(rows, key=key_of)
+
+
+def _sort(plan: phys.PSort, catalog: Catalog) -> Iterator[Row]:
+    rows = list(execute_volcano(plan.child, catalog))
+    yield from sort_rows(rows, plan.keys, plan.limit_hint)
+
+
+def _limit(plan: phys.PLimit, catalog: Catalog) -> Iterator[Row]:
+    produced = 0
+    skipped = 0
+    for row in execute_volcano(plan.child, catalog):
+        if skipped < plan.offset:
+            skipped += 1
+            continue
+        if plan.limit is not None and produced >= plan.limit:
+            return
+        produced += 1
+        yield row
+
+
+def _distinct(plan: phys.PDistinct, catalog: Catalog) -> Iterator[Row]:
+    seen = set()
+    for row in execute_volcano(plan.child, catalog):
+        if row in seen:
+            continue
+        seen.add(row)
+        yield row

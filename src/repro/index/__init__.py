@@ -1,0 +1,6 @@
+"""Index structures: B+tree (point + range) and hash index (point)."""
+
+from repro.index.btree import BPlusTree
+from repro.index.hashindex import HashIndex
+
+__all__ = ["BPlusTree", "HashIndex"]

@@ -1,0 +1,366 @@
+"""An in-memory B+tree with full structural maintenance.
+
+Keys are arbitrary mutually comparable Python values; each key maps to a
+list of values (so secondary indexes can hold several record ids per key).
+Leaves are chained for range scans.  Deletes rebalance by borrowing from or
+merging with siblings, so the occupancy invariant (every non-root node holds
+at least ``ceil(order/2) - 1`` keys) is maintained — the property-based
+tests check this after random workloads.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.core.errors import IndexError_
+
+DEFAULT_ORDER = 32
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "parent")
+
+    def __init__(self, leaf: bool):
+        self.keys: List[Any] = []
+        # Internal nodes use `children`; leaves use `values` and `next_leaf`.
+        self.children: Optional[List["_Node"]] = None if leaf else []
+        self.values: Optional[List[List[Any]]] = [] if leaf else None
+        self.next_leaf: Optional["_Node"] = None
+        self.parent: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.values is not None
+
+
+class BPlusTree:
+    """B+tree mapping comparable keys to lists of values.
+
+    Args:
+        order: maximum number of children of an internal node; leaves hold at
+            most ``order - 1`` keys.
+        unique: when True, inserting a duplicate key raises.
+    """
+
+    def __init__(self, order: int = DEFAULT_ORDER, unique: bool = False):
+        if order < 3:
+            raise IndexError_("B+tree order must be >= 3")
+        self.order = order
+        self.unique = unique
+        self._root = _Node(leaf=True)
+        self._size = 0  # number of (key, value) pairs
+
+    # -- lookup ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        return bool(self.search(key))
+
+    def key_count(self) -> int:
+        """Number of distinct keys."""
+        return sum(1 for _ in self.keys())
+
+    def search(self, key: Any) -> List[Any]:
+        """All values stored under ``key`` (empty list if absent)."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return list(leaf.values[idx])
+        return []
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Yield (key, value) pairs with low <= key <= high, in key order.
+
+        ``None`` bounds are open on that side.
+        """
+        if low is None:
+            leaf = self._leftmost_leaf()
+            idx = 0
+        else:
+            leaf = self._find_leaf(low)
+            idx = (
+                bisect.bisect_left(leaf.keys, low)
+                if include_low
+                else bisect.bisect_right(leaf.keys, low)
+            )
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if high is not None:
+                    if include_high and key > high:
+                        return
+                    if not include_high and key >= high:
+                        return
+                for value in leaf.values[idx]:
+                    yield key, value
+                idx += 1
+            leaf = leaf.next_leaf
+            idx = 0
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All (key, value) pairs in key order."""
+        return self.range()
+
+    def keys(self) -> Iterator[Any]:
+        """Distinct keys in order."""
+        leaf: Optional[_Node] = self._leftmost_leaf()
+        while leaf is not None:
+            for key in leaf.keys:
+                yield key
+            leaf = leaf.next_leaf
+
+    def min_key(self) -> Any:
+        leaf = self._leftmost_leaf()
+        if not leaf.keys:
+            raise IndexError_("min_key on empty tree")
+        return leaf.keys[0]
+
+    def max_key(self) -> Any:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        if not node.keys:
+            raise IndexError_("max_key on empty tree")
+        return node.keys[-1]
+
+    # -- insert -------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert one (key, value) pair."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            if self.unique:
+                raise IndexError_(f"duplicate key {key!r} in unique index")
+            leaf.values[idx].append(value)
+            self._size += 1
+            return
+        leaf.keys.insert(idx, key)
+        leaf.values.insert(idx, [value])
+        self._size += 1
+        if len(leaf.keys) > self.order - 1:
+            self._split_leaf(leaf)
+
+    def _split_leaf(self, leaf: _Node) -> None:
+        mid = len(leaf.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next_leaf = leaf.next_leaf
+        leaf.next_leaf = right
+        self._insert_into_parent(leaf, right.keys[0], right)
+
+    def _split_internal(self, node: _Node) -> None:
+        mid = len(node.keys) // 2
+        push_key = node.keys[mid]
+        right = _Node(leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        for child in right.children:
+            child.parent = right
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        self._insert_into_parent(node, push_key, right)
+
+    def _insert_into_parent(self, left: _Node, key: Any, right: _Node) -> None:
+        parent = left.parent
+        if parent is None:
+            new_root = _Node(leaf=False)
+            new_root.keys = [key]
+            new_root.children = [left, right]
+            left.parent = new_root
+            right.parent = new_root
+            self._root = new_root
+            return
+        idx = parent.children.index(left)
+        parent.keys.insert(idx, key)
+        parent.children.insert(idx + 1, right)
+        right.parent = parent
+        if len(parent.keys) > self.order - 1:
+            self._split_internal(parent)
+
+    # -- delete ---------------------------------------------------------------------
+
+    def delete(self, key: Any, value: Any = None) -> int:
+        """Delete entries for ``key``.
+
+        With ``value`` given, removes that single (key, value) pair (first
+        occurrence); otherwise removes the key with all its values.  Returns
+        the number of pairs removed.  Raises :class:`IndexError_` when the
+        key (or pair) is absent.
+        """
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            raise IndexError_(f"key {key!r} not in index")
+        bucket = leaf.values[idx]
+        if value is not None:
+            if value not in bucket:
+                raise IndexError_(f"pair ({key!r}, {value!r}) not in index")
+            bucket.remove(value)
+            self._size -= 1
+            if bucket:
+                return 1
+            removed = 1
+        else:
+            removed = len(bucket)
+            self._size -= removed
+        # Bucket is now empty: remove the key slot and rebalance.
+        leaf.keys.pop(idx)
+        leaf.values.pop(idx)
+        self._rebalance(leaf)
+        return removed
+
+    def _min_keys(self) -> int:
+        # ceil(order / 2) children  ->  that many minus one keys.
+        return (self.order + 1) // 2 - 1
+
+    def _rebalance(self, node: _Node) -> None:
+        if node.parent is None:
+            # Root: collapse when an internal root loses all keys.
+            if not node.is_leaf and len(node.keys) == 0:
+                self._root = node.children[0]
+                self._root.parent = None
+            return
+        if len(node.keys) >= self._min_keys():
+            return
+        parent = node.parent
+        idx = parent.children.index(node)
+        # Try borrowing from the left sibling.
+        if idx > 0:
+            left = parent.children[idx - 1]
+            if len(left.keys) > self._min_keys():
+                self._borrow_from_left(parent, idx, left, node)
+                return
+        # Try borrowing from the right sibling.
+        if idx < len(parent.children) - 1:
+            right = parent.children[idx + 1]
+            if len(right.keys) > self._min_keys():
+                self._borrow_from_right(parent, idx, node, right)
+                return
+        # Merge with a sibling.
+        if idx > 0:
+            self._merge(parent, idx - 1)
+        else:
+            self._merge(parent, idx)
+        self._rebalance(parent)
+
+    def _borrow_from_left(self, parent: _Node, idx: int, left: _Node, node: _Node) -> None:
+        if node.is_leaf:
+            node.keys.insert(0, left.keys.pop())
+            node.values.insert(0, left.values.pop())
+            parent.keys[idx - 1] = node.keys[0]
+        else:
+            node.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child = left.children.pop()
+            child.parent = node
+            node.children.insert(0, child)
+
+    def _borrow_from_right(self, parent: _Node, idx: int, node: _Node, right: _Node) -> None:
+        if node.is_leaf:
+            node.keys.append(right.keys.pop(0))
+            node.values.append(right.values.pop(0))
+            parent.keys[idx] = right.keys[0]
+        else:
+            node.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child = right.children.pop(0)
+            child.parent = node
+            node.children.append(child)
+
+    def _merge(self, parent: _Node, left_idx: int) -> None:
+        """Merge children[left_idx + 1] into children[left_idx]."""
+        left = parent.children[left_idx]
+        right = parent.children[left_idx + 1]
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[left_idx])
+            left.keys.extend(right.keys)
+            for child in right.children:
+                child.parent = left
+            left.children.extend(right.children)
+        parent.keys.pop(left_idx)
+        parent.children.pop(left_idx + 1)
+
+    # -- invariants (used by property tests) -------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; raises AssertionError on violation."""
+        min_keys = self._min_keys()
+
+        def walk(node: _Node, lo: Any, hi: Any, depth: int) -> int:
+            assert node.keys == sorted(node.keys), "keys out of order"
+            for key in node.keys:
+                if lo is not None:
+                    assert key >= lo, "key below subtree bound"
+                if hi is not None:
+                    assert key < hi, "key above subtree bound"
+            if node.parent is not None:
+                assert len(node.keys) >= min_keys, (
+                    f"underfull node: {len(node.keys)} < {min_keys}"
+                )
+            assert len(node.keys) <= self.order - 1, "overfull node"
+            if node.is_leaf:
+                assert len(node.values) == len(node.keys)
+                for bucket in node.values:
+                    assert bucket, "empty value bucket"
+                return 1
+            assert len(node.children) == len(node.keys) + 1
+            depths = set()
+            bounds = [lo] + list(node.keys) + [hi]
+            for i, child in enumerate(node.children):
+                assert child.parent is node, "broken parent pointer"
+                depths.add(walk(child, bounds[i], bounds[i + 1], depth + 1))
+            assert len(depths) == 1, "leaves at different depths"
+            return depths.pop() + 1
+
+        walk(self._root, None, None, 0)
+        # Leaf chain must enumerate exactly the keys in order.
+        chained = list(self.keys())
+        assert chained == sorted(set(chained)), "leaf chain corrupt"
+        assert self._size == sum(len(b) for b in self._iter_buckets())
+
+    def _iter_buckets(self):
+        leaf: Optional[_Node] = self._leftmost_leaf()
+        while leaf is not None:
+            for bucket in leaf.values:
+                yield bucket
+            leaf = leaf.next_leaf
+
+    # -- internals ---------------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def height(self) -> int:
+        """Levels in the tree (1 = a single leaf)."""
+        node, h = self._root, 1
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h

@@ -1,0 +1,156 @@
+"""Extendible-hashing index for point lookups.
+
+A directory of bucket pointers doubles when a bucket overflows past its
+local depth, which keeps lookups O(1) without ever rehashing everything at
+once — the classic dynamic hashing scheme.  Values are lists per key, like
+the B+tree, so the two are interchangeable for equality predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.core.errors import IndexError_
+
+_BUCKET_CAPACITY = 8
+
+
+class _Bucket:
+    __slots__ = ("local_depth", "entries")
+
+    def __init__(self, local_depth: int):
+        self.local_depth = local_depth
+        self.entries: Dict[Any, List[Any]] = {}
+
+    def key_count(self) -> int:
+        return len(self.entries)
+
+
+class HashIndex:
+    """Extendible hash index mapping keys to lists of values."""
+
+    def __init__(self, unique: bool = False, bucket_capacity: int = _BUCKET_CAPACITY):
+        if bucket_capacity < 1:
+            raise IndexError_("bucket capacity must be >= 1")
+        self.unique = unique
+        self.bucket_capacity = bucket_capacity
+        self._global_depth = 1
+        bucket0, bucket1 = _Bucket(1), _Bucket(1)
+        self._directory: List[_Bucket] = [bucket0, bucket1]
+        self._size = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    def _slot(self, key: Any) -> int:
+        return hash(key) & ((1 << self._global_depth) - 1)
+
+    def _bucket_for(self, key: Any) -> _Bucket:
+        return self._directory[self._slot(key)]
+
+    @property
+    def global_depth(self) -> int:
+        return self._global_depth
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._bucket_for(key).entries
+
+    # -- operations ------------------------------------------------------------
+
+    def search(self, key: Any) -> List[Any]:
+        """All values stored under ``key`` (empty list if absent)."""
+        return list(self._bucket_for(key).entries.get(key, []))
+
+    def insert(self, key: Any, value: Any) -> None:
+        bucket = self._bucket_for(key)
+        if key in bucket.entries:
+            if self.unique:
+                raise IndexError_(f"duplicate key {key!r} in unique index")
+            bucket.entries[key].append(value)
+            self._size += 1
+            return
+        if bucket.key_count() >= self.bucket_capacity:
+            self._split(bucket)
+            self.insert(key, value)
+            return
+        bucket.entries[key] = [value]
+        self._size += 1
+
+    def delete(self, key: Any, value: Any = None) -> int:
+        """Delete a pair (or all values of a key); returns pairs removed."""
+        bucket = self._bucket_for(key)
+        if key not in bucket.entries:
+            raise IndexError_(f"key {key!r} not in index")
+        values = bucket.entries[key]
+        if value is not None:
+            if value not in values:
+                raise IndexError_(f"pair ({key!r}, {value!r}) not in index")
+            values.remove(value)
+            self._size -= 1
+            if not values:
+                del bucket.entries[key]
+            return 1
+        removed = len(values)
+        del bucket.entries[key]
+        self._size -= removed
+        return removed
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All (key, value) pairs, in no particular order."""
+        seen = set()
+        for bucket in self._directory:
+            if id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            for key, values in bucket.entries.items():
+                for v in values:
+                    yield key, v
+
+    def keys(self) -> Iterator[Any]:
+        seen = set()
+        for bucket in self._directory:
+            if id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            yield from bucket.entries
+
+    # -- splitting ----------------------------------------------------------------
+
+    def _split(self, bucket: _Bucket) -> None:
+        if bucket.local_depth == self._global_depth:
+            # Double the directory.
+            self._directory = self._directory + list(self._directory)
+            self._global_depth += 1
+        new_depth = bucket.local_depth + 1
+        bit = 1 << bucket.local_depth
+        zero = _Bucket(new_depth)
+        one = _Bucket(new_depth)
+        for key, values in bucket.entries.items():
+            target = one if hash(key) & bit else zero
+            target.entries[key] = values
+        for slot in range(len(self._directory)):
+            if self._directory[slot] is bucket:
+                self._directory[slot] = one if slot & bit else zero
+
+    def check_invariants(self) -> None:
+        """Assert directory/bucket consistency (used by property tests)."""
+        assert len(self._directory) == 1 << self._global_depth
+        seen = {}
+        for slot, bucket in enumerate(self._directory):
+            assert bucket.local_depth <= self._global_depth
+            mask = (1 << bucket.local_depth) - 1
+            seen.setdefault(id(bucket), slot)
+            # Every slot pointing at this bucket agrees on the low bits.
+            assert (slot & mask) == (seen[id(bucket)] & mask)
+            for key in bucket.entries:
+                assert (hash(key) & mask) == (slot & mask), "key in wrong bucket"
+        total = 0
+        counted = set()
+        for bucket in self._directory:
+            if id(bucket) in counted:
+                continue
+            counted.add(id(bucket))
+            total += sum(len(v) for v in bucket.entries.values())
+        assert total == self._size

@@ -1,0 +1,56 @@
+"""LLM-powered data integration: entity matching with cost/accuracy control.
+
+Aditya Parameswaran's panel position — "fully embrace LLMs to solve the
+AI-complete problems we care about, e.g., data integration, data cleaning
+… our principles of declarativity and query optimization can also help in
+LLM-powered processing" — as a working system:
+
+* a seeded, noisy :class:`~repro.integrate.llm.SimulatedLLM` oracle with
+  per-token cost (the "GPT" stand-in; noise and cost are what matter);
+* classic blocking + string-similarity machinery;
+* matchers spanning the cost/accuracy frontier, from all-pairs-LLM to the
+  **cascade** (cheap similarity resolves confident pairs, the LLM judges
+  only the uncertain band) — the optimizer the panel's claim predicts.
+
+Experiment E7 sweeps the frontier; schema matching rounds out the toolkit.
+"""
+
+from repro.integrate.blocking import block_candidates, token_blocks
+from repro.integrate.dataset import MatchingDataset, make_matching_dataset
+from repro.integrate.llm import LLMUsage, MatchOracle, SimulatedLLM
+from repro.integrate.matchers import (
+    BlockedLLMMatcher,
+    CascadeMatcher,
+    LLMAllPairsMatcher,
+    MatchReport,
+    SimilarityMatcher,
+    evaluate_pairs,
+)
+from repro.integrate.schema_match import match_schemas
+from repro.integrate.similarity import (
+    jaccard_similarity,
+    levenshtein_distance,
+    record_similarity,
+    trigram_similarity,
+)
+
+__all__ = [
+    "SimulatedLLM",
+    "MatchOracle",
+    "LLMUsage",
+    "token_blocks",
+    "block_candidates",
+    "MatchingDataset",
+    "make_matching_dataset",
+    "SimilarityMatcher",
+    "LLMAllPairsMatcher",
+    "BlockedLLMMatcher",
+    "CascadeMatcher",
+    "MatchReport",
+    "evaluate_pairs",
+    "match_schemas",
+    "jaccard_similarity",
+    "levenshtein_distance",
+    "trigram_similarity",
+    "record_similarity",
+]

@@ -1,0 +1,67 @@
+"""Blocking: cheap candidate generation before expensive matching."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+
+def token_blocks(
+    records: Dict[int, Dict[str, str]],
+    fields: Iterable[str],
+    min_token_length: int = 3,
+    max_block_size: int = 200,
+) -> Dict[str, List[int]]:
+    """Group record ids by shared tokens in the given fields.
+
+    Overlong blocks (ubiquitous tokens like "inc") are dropped — the classic
+    stop-block rule; without it blocking degenerates to all-pairs.
+    """
+    blocks: Dict[str, List[int]] = {}
+    for record_id, record in records.items():
+        seen: Set[str] = set()
+        for field in fields:
+            value = record.get(field) or ""
+            for token in value.lower().split():
+                if len(token) < min_token_length or token in seen:
+                    continue
+                seen.add(token)
+                blocks.setdefault(token, []).append(record_id)
+    return {
+        token: ids for token, ids in blocks.items() if 2 <= len(ids) <= max_block_size
+    }
+
+
+def block_candidates(
+    records: Dict[int, Dict[str, str]],
+    fields: Iterable[str],
+    min_token_length: int = 3,
+    max_block_size: int = 200,
+) -> Set[Tuple[int, int]]:
+    """Candidate pairs: records co-occurring in at least one block."""
+    candidates: Set[Tuple[int, int]] = set()
+    for ids in token_blocks(records, fields, min_token_length, max_block_size).values():
+        ordered = sorted(ids)
+        for i in range(len(ordered)):
+            for j in range(i + 1, len(ordered)):
+                candidates.add((ordered[i], ordered[j]))
+    return candidates
+
+
+def all_pairs(record_ids: Iterable[int]) -> Set[Tuple[int, int]]:
+    """Every unordered pair (the quadratic baseline blocking avoids)."""
+    ordered = sorted(record_ids)
+    return {
+        (ordered[i], ordered[j])
+        for i in range(len(ordered))
+        for j in range(i + 1, len(ordered))
+    }
+
+
+def pair_completeness(
+    candidates: Set[Tuple[int, int]], true_pairs: Set[Tuple[int, int]]
+) -> float:
+    """Fraction of true matches surviving blocking (blocking recall)."""
+    if not true_pairs:
+        return 1.0
+    normalized = {tuple(sorted(p)) for p in true_pairs}
+    return len(candidates & normalized) / len(normalized)

@@ -1,0 +1,138 @@
+"""Synthetic entity-matching datasets.
+
+Company-style records (name, city, phone) with seeded duplicate generation:
+each duplicate applies a random mix of perturbations — typos, token drops,
+abbreviations, field swaps — so similarity scores spread realistically
+between easy matches and hard ones that only the (simulated) LLM resolves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+_NAME_PARTS_A = [
+    "acme", "global", "united", "pacific", "summit", "pioneer", "sterling",
+    "vertex", "cascade", "beacon", "harbor", "granite", "aurora", "atlas",
+    "meridian", "zenith", "quantum", "nova", "delta", "orion",
+]
+_NAME_PARTS_B = [
+    "systems", "logistics", "foods", "industries", "analytics", "holdings",
+    "manufacturing", "software", "energy", "materials", "robotics",
+    "networks", "labs", "partners", "dynamics", "solutions",
+]
+_SUFFIXES = ["inc", "llc", "corp", "co", "group", "ltd"]
+_CITIES = [
+    "springfield", "riverton", "fairview", "georgetown", "arlington",
+    "salem", "clinton", "madison", "ashland", "dover", "bristol", "milton",
+]
+_ABBREVIATIONS = {
+    "incorporated": "inc", "corporation": "corp", "company": "co",
+    "systems": "sys", "manufacturing": "mfg", "international": "intl",
+    "solutions": "sols", "industries": "ind",
+}
+
+
+@dataclass
+class MatchingDataset:
+    """Records + ground-truth duplicate pairs."""
+
+    records: Dict[int, Dict[str, str]] = field(default_factory=dict)
+    true_pairs: Set[Tuple[int, int]] = field(default_factory=set)
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def render(self, record_id: int) -> str:
+        record = self.records[record_id]
+        return ", ".join(f"{k}={v}" for k, v in sorted(record.items()))
+
+
+def _typo(rng: random.Random, text: str) -> str:
+    if len(text) < 4:
+        return text
+    i = rng.randrange(1, len(text) - 1)
+    kind = rng.random()
+    if kind < 0.34:
+        return text[:i] + text[i + 1 :]  # deletion
+    if kind < 0.67:
+        return text[:i] + text[i] + text[i:]  # duplication
+    return text[: i - 1] + text[i] + text[i - 1] + text[i + 1 :]  # swap
+
+
+def _perturb(rng: random.Random, record: Dict[str, str], strength: float) -> Dict[str, str]:
+    out = dict(record)
+    name_tokens = out["name"].split()
+    if rng.random() < strength and len(name_tokens) > 2:
+        name_tokens.pop(rng.randrange(len(name_tokens)))  # drop a token
+    name_tokens = [
+        _ABBREVIATIONS.get(t, t) if rng.random() < strength else t
+        for t in name_tokens
+    ]
+    for _ in range(2):
+        if rng.random() < strength:
+            idx = rng.randrange(len(name_tokens))
+            name_tokens[idx] = _typo(rng, name_tokens[idx])
+    out["name"] = " ".join(name_tokens)
+    if rng.random() < strength * 0.6:
+        out["city"] = _typo(rng, out["city"])
+    if rng.random() < strength * 0.4:
+        digits = list(out["phone"])
+        digits[rng.randrange(len(digits))] = str(rng.randrange(10))
+        out["phone"] = "".join(digits)
+    return out
+
+
+def make_oracle(dataset: "MatchingDataset", llm) -> "MatchOracle":
+    """Wrap a dataset + SimulatedLLM into a metered judgment oracle.
+
+    Pair difficulty peaks where record similarity is most ambiguous
+    (~0.5) and vanishes for clear matches/non-matches, mirroring where
+    real models actually err.
+    """
+    from repro.integrate.llm import MatchOracle
+    from repro.integrate.similarity import record_similarity
+
+    truth = {tuple(sorted(p)) for p in dataset.true_pairs}
+
+    def difficulty(id_a: int, id_b: int) -> float:
+        sim = record_similarity(dataset.records[id_a], dataset.records[id_b])
+        # A pair is hard when surface similarity contradicts the truth:
+        # look-alike non-matches and look-different matches.
+        raw = (1.0 - sim) if tuple(sorted((id_a, id_b))) in truth else sim
+        return max(0.05, raw ** 1.5)
+
+    return MatchOracle(llm, dataset.true_pairs, dataset.render, difficulty)
+
+
+def make_matching_dataset(
+    num_entities: int = 150,
+    duplicate_probability: float = 0.5,
+    perturbation: float = 0.9,
+    seed: int = 0,
+) -> MatchingDataset:
+    """Build a dataset of ``num_entities`` base records plus noisy duplicates."""
+    rng = random.Random(seed)
+    dataset = MatchingDataset(seed=seed)
+    next_id = 0
+    for _ in range(num_entities):
+        name = (
+            f"{rng.choice(_NAME_PARTS_A)} {rng.choice(_NAME_PARTS_B)} "
+            f"{rng.choice(_SUFFIXES)}"
+        )
+        record = {
+            "name": name,
+            "city": rng.choice(_CITIES),
+            "phone": "".join(str(rng.randrange(10)) for _ in range(10)),
+        }
+        base_id = next_id
+        dataset.records[base_id] = record
+        next_id += 1
+        if rng.random() < duplicate_probability:
+            dup = _perturb(rng, record, perturbation)
+            dataset.records[next_id] = dup
+            dataset.true_pairs.add((base_id, next_id))
+            next_id += 1
+    return dataset

@@ -1,0 +1,112 @@
+"""The simulated LLM oracle.
+
+A GPT-class matcher is, for cost/accuracy-frontier purposes, a noisy binary
+oracle with a per-token price.  :class:`SimulatedLLM` models exactly that:
+
+* answers are correct with probability ``accuracy`` — per-pair noise is
+  *deterministic* given the seed (seeded hash of the pair), so experiments
+  reproduce bit-for-bit;
+* every call is metered (calls, tokens, cost), which is the resource the
+  cascade optimizer economizes.
+
+The ground truth lives behind :class:`MatchOracle`, so matcher code can
+only reach it through a metered LLM call — no accidental cheating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Optional, Set, Tuple
+
+
+@dataclass
+class LLMUsage:
+    """Metering for a SimulatedLLM instance."""
+
+    calls: int = 0
+    input_tokens: int = 0
+    cost: float = 0.0
+
+
+class SimulatedLLM:
+    """Deterministic noisy oracle with token-metered cost."""
+
+    def __init__(
+        self,
+        accuracy: float = 0.95,
+        cost_per_1k_tokens: float = 1.0,
+        seed: int = 0,
+    ):
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError("accuracy must be in [0, 1]")
+        self.accuracy = accuracy
+        self.cost_per_1k_tokens = cost_per_1k_tokens
+        self.seed = seed
+        self.usage = LLMUsage()
+
+    def _flip(self, payload: str, difficulty: float) -> bool:
+        """True when this call should answer *incorrectly* (deterministic).
+
+        The error rate is ``(1 - accuracy)`` for maximally difficult inputs
+        and falls off quadratically as inputs get easier — a capable model
+        almost never misjudges an obvious case, and its mistakes cluster on
+        genuinely ambiguous ones.
+        """
+        difficulty = max(0.0, min(1.0, difficulty))
+        p_error = (1.0 - self.accuracy) * difficulty * difficulty
+        digest = hashlib.sha256(f"{self.seed}:{payload}".encode()).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2**64
+        return draw < p_error
+
+    def _meter(self, text: str) -> None:
+        tokens = max(1, len(text) // 4)  # ~4 chars per token
+        self.usage.calls += 1
+        self.usage.input_tokens += tokens
+        self.usage.cost += tokens / 1000.0 * self.cost_per_1k_tokens
+
+    def judge(self, prompt: str, true_answer: bool, difficulty: float = 1.0) -> bool:
+        """Answer a yes/no prompt; wrong with difficulty-scaled probability."""
+        self._meter(prompt)
+        if self._flip(prompt, difficulty):
+            return not true_answer
+        return true_answer
+
+    def reset_usage(self) -> None:
+        self.usage = LLMUsage()
+
+
+class MatchOracle:
+    """Ground truth + LLM, exposed only as a metered judgment call.
+
+    Matchers receive this object instead of the truth set; the only way to
+    learn a label is to pay for an LLM call.
+    """
+
+    def __init__(
+        self,
+        llm: SimulatedLLM,
+        true_pairs: Set[Tuple[int, int]],
+        render: Callable[[int], str],
+        difficulty: Optional[Callable[[int, int], float]] = None,
+    ):
+        self._llm = llm
+        self._truth: FrozenSet[Tuple[int, int]] = frozenset(
+            tuple(sorted(p)) for p in true_pairs
+        )
+        self._render = render
+        self._difficulty = difficulty
+
+    def ask_match(self, id_a: int, id_b: int) -> bool:
+        """One metered LLM judgment: are these two records the same entity?"""
+        pair = tuple(sorted((id_a, id_b)))
+        prompt = (
+            "Are these two records the same real-world entity?\n"
+            f"A: {self._render(pair[0])}\nB: {self._render(pair[1])}"
+        )
+        difficulty = self._difficulty(*pair) if self._difficulty else 1.0
+        return self._llm.judge(prompt, pair in self._truth, difficulty)
+
+    @property
+    def usage(self) -> LLMUsage:
+        return self._llm.usage

@@ -1,0 +1,149 @@
+"""Entity matchers spanning the cost/accuracy frontier.
+
+Ordered by LLM spend:
+
+1. :class:`SimilarityMatcher` — zero LLM calls, similarity threshold only.
+2. :class:`CascadeMatcher` — blocking, then similarity resolves confident
+   pairs; the LLM judges only the uncertain band.  (The "declarativity +
+   query optimization for LLM-powered processing" point: same answer
+   quality, a fraction of the spend.)
+3. :class:`BlockedLLMMatcher` — blocking, LLM on every candidate.
+4. :class:`LLMAllPairsMatcher` — the naive quadratic burn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.integrate.blocking import all_pairs, block_candidates
+from repro.integrate.dataset import MatchingDataset
+from repro.integrate.llm import MatchOracle
+from repro.integrate.similarity import record_similarity
+
+Pair = Tuple[int, int]
+
+
+@dataclass
+class MatchReport:
+    """Predictions + quality + spend for one matcher run."""
+
+    matcher: str
+    predicted: Set[Pair]
+    precision: float
+    recall: float
+    f1: float
+    llm_calls: int
+    llm_cost: float
+    pairs_considered: int
+
+
+def evaluate_pairs(predicted: Set[Pair], truth: Set[Pair]) -> Tuple[float, float, float]:
+    """(precision, recall, f1) with sorted-pair normalization."""
+    predicted_norm = {tuple(sorted(p)) for p in predicted}
+    truth_norm = {tuple(sorted(p)) for p in truth}
+    hits = len(predicted_norm & truth_norm)
+    if predicted_norm:
+        precision = hits / len(predicted_norm)
+    else:
+        precision = 1.0 if not truth_norm else 0.0
+    recall = hits / len(truth_norm) if truth_norm else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return precision, recall, f1
+
+
+def _report(
+    name: str,
+    predicted: Set[Pair],
+    dataset: MatchingDataset,
+    oracle: Optional[MatchOracle],
+    considered: int,
+) -> MatchReport:
+    precision, recall, f1 = evaluate_pairs(predicted, dataset.true_pairs)
+    usage = oracle.usage if oracle is not None else None
+    return MatchReport(
+        matcher=name,
+        predicted=predicted,
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        llm_calls=usage.calls if usage else 0,
+        llm_cost=usage.cost if usage else 0.0,
+        pairs_considered=considered,
+    )
+
+
+class SimilarityMatcher:
+    """Blocked candidates, record-similarity threshold, no LLM."""
+
+    name = "similarity-only"
+
+    def __init__(self, threshold: float = 0.55):
+        self.threshold = threshold
+
+    def run(self, dataset: MatchingDataset, oracle: Optional[MatchOracle] = None) -> MatchReport:
+        candidates = block_candidates(dataset.records, fields=("name", "city"))
+        predicted = {
+            pair
+            for pair in candidates
+            if record_similarity(dataset.records[pair[0]], dataset.records[pair[1]])
+            >= self.threshold
+        }
+        return _report(self.name, predicted, dataset, None, len(candidates))
+
+
+class LLMAllPairsMatcher:
+    """Ask the LLM about every pair of records (quadratic spend)."""
+
+    name = "llm-all-pairs"
+
+    def run(self, dataset: MatchingDataset, oracle: MatchOracle) -> MatchReport:
+        pairs = all_pairs(dataset.records)
+        predicted = {pair for pair in pairs if oracle.ask_match(*pair)}
+        return _report(self.name, predicted, dataset, oracle, len(pairs))
+
+
+class BlockedLLMMatcher:
+    """Blocking first, LLM on every surviving candidate."""
+
+    name = "blocking+llm"
+
+    def run(self, dataset: MatchingDataset, oracle: MatchOracle) -> MatchReport:
+        candidates = block_candidates(dataset.records, fields=("name", "city"))
+        predicted = {pair for pair in candidates if oracle.ask_match(*pair)}
+        return _report(self.name, predicted, dataset, oracle, len(candidates))
+
+
+class CascadeMatcher:
+    """Blocking → similarity gates → LLM only on the uncertain band.
+
+    Pairs with similarity ≥ ``accept`` are accepted outright, < ``reject``
+    rejected outright; only the band in between costs LLM calls.
+    """
+
+    name = "cascade"
+
+    def __init__(self, accept: float = 0.82, reject: float = 0.35):
+        if reject > accept:
+            raise ValueError("reject threshold must not exceed accept threshold")
+        self.accept = accept
+        self.reject = reject
+
+    def run(self, dataset: MatchingDataset, oracle: MatchOracle) -> MatchReport:
+        candidates = block_candidates(dataset.records, fields=("name", "city"))
+        predicted: Set[Pair] = set()
+        for pair in candidates:
+            similarity = record_similarity(
+                dataset.records[pair[0]], dataset.records[pair[1]]
+            )
+            if similarity >= self.accept:
+                predicted.add(pair)
+            elif similarity < self.reject:
+                continue
+            elif oracle.ask_match(*pair):
+                predicted.add(pair)
+        return _report(self.name, predicted, dataset, oracle, len(candidates))

@@ -1,0 +1,99 @@
+"""Schema matching: align columns of two tables.
+
+Combines three classic signals — name similarity (trigram), type
+compatibility, and instance overlap (Jaccard over sampled values) — into a
+score matrix, then extracts a stable one-to-one alignment greedily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.types import Column, DataType
+from repro.integrate.similarity import trigram_similarity
+
+NAME_WEIGHT = 0.45
+TYPE_WEIGHT = 0.15
+INSTANCE_WEIGHT = 0.40
+
+
+@dataclass(frozen=True)
+class SchemaMatch:
+    """One proposed column correspondence."""
+
+    left: str
+    right: str
+    score: float
+    name_score: float
+    type_score: float
+    instance_score: float
+
+
+def _type_compatibility(a: DataType, b: DataType) -> float:
+    if a == b:
+        return 1.0
+    if a.is_numeric() and b.is_numeric():
+        return 0.7
+    return 0.0
+
+
+def _instance_overlap(values_a: Sequence[Any], values_b: Sequence[Any]) -> float:
+    sa = {str(v).lower() for v in values_a if v is not None}
+    sb = {str(v).lower() for v in values_b if v is not None}
+    if not sa or not sb:
+        return 0.0
+    return len(sa & sb) / len(sa | sb)
+
+
+def _normalized_name(name: str) -> str:
+    return name.lower().replace("_", " ").replace("-", " ")
+
+
+def match_schemas(
+    left_columns: Sequence[Column],
+    right_columns: Sequence[Column],
+    left_samples: Optional[Dict[str, Sequence[Any]]] = None,
+    right_samples: Optional[Dict[str, Sequence[Any]]] = None,
+    threshold: float = 0.35,
+) -> List[SchemaMatch]:
+    """One-to-one column alignment sorted by descending confidence."""
+    left_samples = left_samples or {}
+    right_samples = right_samples or {}
+    scored: List[SchemaMatch] = []
+    for lc in left_columns:
+        for rc in right_columns:
+            name_score = trigram_similarity(
+                _normalized_name(lc.name), _normalized_name(rc.name)
+            )
+            type_score = _type_compatibility(lc.dtype, rc.dtype)
+            instance_score = _instance_overlap(
+                left_samples.get(lc.name, ()), right_samples.get(rc.name, ())
+            )
+            has_instances = lc.name in left_samples and rc.name in right_samples
+            if has_instances:
+                score = (
+                    NAME_WEIGHT * name_score
+                    + TYPE_WEIGHT * type_score
+                    + INSTANCE_WEIGHT * instance_score
+                )
+            else:
+                # Re-normalize without the instance signal.
+                denom = NAME_WEIGHT + TYPE_WEIGHT
+                score = (NAME_WEIGHT * name_score + TYPE_WEIGHT * type_score) / denom
+            scored.append(
+                SchemaMatch(lc.name, rc.name, score, name_score, type_score, instance_score)
+            )
+    scored.sort(key=lambda m: (-m.score, m.left, m.right))
+    used_left: set = set()
+    used_right: set = set()
+    result: List[SchemaMatch] = []
+    for match in scored:
+        if match.score < threshold:
+            break
+        if match.left in used_left or match.right in used_right:
+            continue
+        used_left.add(match.left)
+        used_right.add(match.right)
+        result.append(match)
+    return result

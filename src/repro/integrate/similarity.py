@@ -1,0 +1,86 @@
+"""String and record similarity measures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Edit distance (two-row DP)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """1 - normalized edit distance."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def _tokens(text: str) -> Set[str]:
+    return set(text.lower().split())
+
+
+def jaccard_similarity(a: str, b: str) -> float:
+    """Token-set Jaccard."""
+    ta, tb = _tokens(a), _tokens(b)
+    if not ta and not tb:
+        return 1.0
+    union = ta | tb
+    return len(ta & tb) / len(union) if union else 0.0
+
+
+def _trigrams(text: str) -> Set[str]:
+    padded = f"  {text.lower()} "
+    return {padded[i : i + 3] for i in range(len(padded) - 2)}
+
+
+def trigram_similarity(a: str, b: str) -> float:
+    """Character-trigram Jaccard (robust to small typos)."""
+    ta, tb = _trigrams(a), _trigrams(b)
+    if not ta and not tb:
+        return 1.0
+    union = ta | tb
+    return len(ta & tb) / len(union) if union else 0.0
+
+
+def record_similarity(
+    a: Dict[str, str],
+    b: Dict[str, str],
+    weights: Optional[Dict[str, float]] = None,
+) -> float:
+    """Weighted field-wise similarity of two records.
+
+    Each shared field contributes ``max(jaccard, trigram)`` (tokens catch
+    reordering, trigrams catch typos); missing fields contribute 0.
+    """
+    fields = sorted(set(a) | set(b))
+    if not fields:
+        return 0.0
+    if weights is None:
+        weights = {f: 1.0 for f in fields}
+    total_weight = sum(weights.get(f, 1.0) for f in fields)
+    score = 0.0
+    for field in fields:
+        va, vb = a.get(field), b.get(field)
+        if va is None or vb is None:
+            continue
+        sim = max(jaccard_similarity(va, vb), trigram_similarity(va, vb))
+        score += weights.get(field, 1.0) * sim
+    return score / total_weight if total_weight else 0.0

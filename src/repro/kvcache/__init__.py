@@ -1,0 +1,25 @@
+"""LLM KV-cache simulation with database buffer-management policies.
+
+Paolo Papotti's panel example — "the key-value cache of LLMs and its
+connection to buffering to reduce inference time and cost" — made literal:
+the cache manager here evicts KV *blocks* (paged-attention style, keyed by
+token-prefix hashes) using the **exact same policy classes** that evict
+pages in :mod:`repro.storage.buffer` (`repro.storage.replacement`).
+
+Experiment E5 replays a serving trace with shared system prompts under each
+policy and reports hit rate, recomputed tokens, and modeled latency.
+"""
+
+from repro.kvcache.manager import CacheStats, KVCacheManager
+from repro.kvcache.simulator import SimulationReport, run_simulation
+from repro.kvcache.workload import ServingRequest, ServingTrace, make_trace
+
+__all__ = [
+    "KVCacheManager",
+    "CacheStats",
+    "run_simulation",
+    "SimulationReport",
+    "ServingRequest",
+    "ServingTrace",
+    "make_trace",
+]

@@ -1,0 +1,149 @@
+"""Paged KV-cache manager.
+
+Follows the paged-attention design: a request's KV state is stored in
+fixed-size *blocks* of ``block_size`` tokens.  A block's identity is the
+hash of the full token prefix it completes, so requests sharing a prefix
+(system prompts, few-shot preambles, conversation history) share cached
+blocks automatically.
+
+Eviction is delegated to any :class:`repro.storage.replacement.
+ReplacementPolicy` — the same objects the relational buffer pool uses.
+Blocks belonging to the request currently being served are pinned, exactly
+like pinned pages during query execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import ReproError
+from repro.storage.replacement import ReplacementPolicy, make_policy
+
+DEFAULT_BLOCK_SIZE = 16
+
+
+@dataclass
+class CacheStats:
+    """Token-level accounting of one simulation run."""
+
+    requests: int = 0
+    blocks_hit: int = 0
+    blocks_missed: int = 0
+    tokens_reused: int = 0
+    tokens_computed: int = 0
+    evictions: int = 0
+    rejected: int = 0  # requests larger than the whole cache
+
+    def block_hit_rate(self) -> float:
+        total = self.blocks_hit + self.blocks_missed
+        return self.blocks_hit / total if total else 0.0
+
+    def token_reuse_rate(self) -> float:
+        total = self.tokens_reused + self.tokens_computed
+        return self.tokens_reused / total if total else 0.0
+
+
+class KVCacheManager:
+    """Prefix-keyed block cache with pluggable replacement."""
+
+    def __init__(
+        self,
+        capacity_blocks: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        policy: Optional[ReplacementPolicy] = None,
+    ):
+        if capacity_blocks < 1:
+            raise ReproError("cache needs at least one block")
+        if block_size < 1:
+            raise ReproError("block size must be >= 1 token")
+        self.capacity_blocks = capacity_blocks
+        self.block_size = block_size
+        self.policy = policy if policy is not None else make_policy("lru")
+        self._blocks: Set[Tuple] = set()
+        self._pinned: Set[Tuple] = set()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    # -- serving --------------------------------------------------------------
+
+    def block_keys(self, tokens: Sequence[int]) -> List[Tuple]:
+        """Prefix-hash keys for every full or partial block of a sequence."""
+        keys: List[Tuple] = []
+        for end in range(self.block_size, len(tokens), self.block_size):
+            keys.append(("blk", hash(tuple(tokens[:end]))))
+        if len(tokens) % self.block_size or len(tokens) < self.block_size:
+            keys.append(("blk", hash(tuple(tokens))))
+        elif len(tokens) >= self.block_size:
+            keys.append(("blk", hash(tuple(tokens))))
+        return keys
+
+    def serve(self, tokens: Sequence[int]) -> Tuple[int, int]:
+        """Process one request; returns (tokens_reused, tokens_computed).
+
+        The longest cached prefix (in whole blocks) is reused; the remaining
+        suffix is "computed" and its blocks inserted.  All of the request's
+        blocks are pinned for the duration so a request never evicts itself.
+        """
+        self.stats.requests += 1
+        keys = self.block_keys(tokens)
+        if len(keys) > self.capacity_blocks:
+            # Request cannot fit even with an empty cache: compute fully,
+            # cache nothing (vLLM would run it unpaged / reject).
+            self.stats.rejected += 1
+            self.stats.tokens_computed += len(tokens)
+            self.stats.blocks_missed += len(keys)
+            return 0, len(tokens)
+        sizes = self._block_token_sizes(len(tokens))
+        reused = 0
+        computed = 0
+        prefix_intact = True
+        try:
+            for key, size in zip(keys, sizes):
+                if prefix_intact and key in self._blocks:
+                    self.stats.blocks_hit += 1
+                    reused += size
+                    self.policy.record_access(key)
+                    self._pinned.add(key)
+                    continue
+                prefix_intact = False
+                self.stats.blocks_missed += 1
+                computed += size
+                self._insert(key)
+                self._pinned.add(key)
+        finally:
+            self._pinned.clear()
+        self.stats.tokens_reused += reused
+        self.stats.tokens_computed += computed
+        return reused, computed
+
+    # -- internals ------------------------------------------------------------
+
+    def _block_token_sizes(self, total_tokens: int) -> List[int]:
+        sizes = [self.block_size] * (total_tokens // self.block_size)
+        tail = total_tokens % self.block_size
+        if tail:
+            sizes.append(tail)
+        if not sizes:
+            sizes = [0]
+        return sizes
+
+    def _insert(self, key: Tuple) -> None:
+        if key in self._blocks:
+            self.policy.record_access(key)
+            return
+        while len(self._blocks) >= self.capacity_blocks:
+            victim = self.policy.victim(lambda k: k not in self._pinned)
+            if victim is None:
+                raise ReproError("all cache blocks pinned; cannot evict")
+            self._blocks.discard(victim)
+            self.policy.remove(victim)
+            self.stats.evictions += 1
+        self._blocks.add(key)
+        self.policy.record_insert(key)
+
+    def contains_prefix(self, tokens: Sequence[int]) -> bool:
+        """True when every block of ``tokens`` is currently cached."""
+        return all(key in self._blocks for key in self.block_keys(tokens))

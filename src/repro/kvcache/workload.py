@@ -1,0 +1,110 @@
+"""Synthetic LLM serving traces.
+
+Requests share structure the way production serving does:
+
+* a small set of **system prompts** with Zipf-distributed popularity
+  (agents/products reuse the same long preamble);
+* optional **multi-turn conversations** whose follow-ups extend an earlier
+  request's exact token sequence;
+* a fresh user suffix per request.
+
+Tokens are integers; content never matters, only prefix-sharing structure,
+which is exactly what the KV cache sees.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ServingRequest:
+    """One inference request: the full prompt token sequence."""
+
+    request_id: int
+    tokens: Tuple[int, ...]
+    system_prompt_id: int
+    turn: int = 0
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+@dataclass
+class ServingTrace:
+    """A request stream plus the parameters that produced it."""
+
+    requests: List[ServingRequest] = field(default_factory=list)
+    num_system_prompts: int = 0
+    seed: int = 0
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def total_tokens(self) -> int:
+        return sum(len(r) for r in self.requests)
+
+
+def _zipf_choice(rng: random.Random, n: int, skew: float) -> int:
+    """Sample 0..n-1 with probability ∝ 1/(rank+1)^skew."""
+    weights = [1.0 / (i + 1) ** skew for i in range(n)]
+    total = sum(weights)
+    point = rng.random() * total
+    cumulative = 0.0
+    for i, w in enumerate(weights):
+        cumulative += w
+        if point <= cumulative:
+            return i
+    return n - 1
+
+
+def make_trace(
+    num_requests: int = 500,
+    num_system_prompts: int = 8,
+    system_prompt_tokens: int = 128,
+    user_tokens_mean: int = 48,
+    zipf_skew: float = 1.1,
+    continuation_probability: float = 0.3,
+    max_turns: int = 4,
+    seed: int = 0,
+) -> ServingTrace:
+    """Generate a serving trace with shared prefixes.
+
+    ``continuation_probability`` is the chance a request extends a previous
+    conversation (sharing its entire token sequence as a prefix) instead of
+    starting fresh.
+    """
+    rng = random.Random(seed)
+    vocabulary = 50_000
+    system_prompts = [
+        tuple(rng.randrange(vocabulary) for _ in range(system_prompt_tokens))
+        for _ in range(num_system_prompts)
+    ]
+    trace = ServingTrace(num_system_prompts=num_system_prompts, seed=seed)
+    open_conversations: List[ServingRequest] = []
+    for request_id in range(num_requests):
+        continued: Optional[ServingRequest] = None
+        if open_conversations and rng.random() < continuation_probability:
+            continued = rng.choice(open_conversations)
+        if continued is not None:
+            base = continued.tokens
+            prompt_id = continued.system_prompt_id
+            turn = continued.turn + 1
+        else:
+            prompt_id = _zipf_choice(rng, num_system_prompts, zipf_skew)
+            base = system_prompts[prompt_id]
+            turn = 0
+        suffix_len = max(4, int(rng.gauss(user_tokens_mean, user_tokens_mean / 3)))
+        suffix = tuple(rng.randrange(vocabulary) for _ in range(suffix_len))
+        request = ServingRequest(request_id, base + suffix, prompt_id, turn)
+        trace.requests.append(request)
+        if turn < max_turns:
+            open_conversations.append(request)
+        if len(open_conversations) > 64:
+            open_conversations.pop(0)
+    return trace

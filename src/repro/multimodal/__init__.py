@@ -1,0 +1,45 @@
+"""Multi-modal (vector + keyword + relational) hybrid search.
+
+The panel's claim — "solutions are crappy when you combine diverse workloads
+like vectors, keywords, and relational queries" — becomes testable here:
+
+* :class:`~repro.multimodal.store.DocumentStore` holds one corpus in all
+  three modalities (relational attributes in the SQL engine, embeddings in a
+  vector index, text in a BM25 inverted index);
+* :class:`~repro.multimodal.unified.UnifiedHybridEngine` plans hybrid
+  queries holistically (selectivity-driven pre- vs. post-filtering, fused
+  scoring);
+* :class:`~repro.multimodal.federated.FederatedHybridEngine` is the
+  bolted-together baseline: three independent top-K systems glued client-side.
+
+Experiment E3 sweeps filter selectivity and compares recall and work done.
+"""
+
+from repro.multimodal.federated import FederatedHybridEngine
+from repro.multimodal.fusion import fuse_rrf, fuse_weighted, to_similarity
+from repro.multimodal.query import HybridQuery
+from repro.multimodal.store import Document, DocumentStore
+from repro.multimodal.topk import (
+    TopKResult,
+    full_scan_topk,
+    no_random_access,
+    threshold_algorithm,
+)
+from repro.multimodal.unified import UnifiedHybridEngine, ground_truth, recall_at_k
+
+__all__ = [
+    "Document",
+    "DocumentStore",
+    "HybridQuery",
+    "UnifiedHybridEngine",
+    "FederatedHybridEngine",
+    "fuse_weighted",
+    "fuse_rrf",
+    "to_similarity",
+    "ground_truth",
+    "recall_at_k",
+    "TopKResult",
+    "threshold_algorithm",
+    "no_random_access",
+    "full_scan_topk",
+]

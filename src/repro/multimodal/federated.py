@@ -1,0 +1,86 @@
+"""The federated baseline: three separate systems glued client-side.
+
+This is the architecture the panel calls "crappy": a vector database, a text
+search service, and a relational store, each queried independently with a
+fixed top-K, results joined in application code.
+
+Characteristic failure modes (all measured in E3):
+
+* **recall loss under selective filters** — the vector/text services return
+  their global top-K before the filter is applied; when the filter is
+  selective, few survivors remain and relevant documents outside the fixed
+  K are unreachable.
+* **wasted work under loose filters** — all three systems always run in
+  full; there is no planner to skip or reorder anything.
+* **ad-hoc scoring** — the glue code can only rank by the scores each
+  service happened to return.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set
+
+from repro.multimodal.fusion import fuse_weighted, to_similarity, top_k
+from repro.multimodal.query import HybridQuery
+from repro.multimodal.store import DocumentStore
+from repro.multimodal.unified import HybridResult
+
+#: The fixed top-K each subsystem returns (a service API constant — the glue
+#: code cannot adaptively expand it per query).
+SERVICE_TOP_K = 50
+
+
+class FederatedHybridEngine:
+    """Client-side glue over three independently-queried systems."""
+
+    def __init__(self, store: DocumentStore, service_top_k: int = SERVICE_TOP_K):
+        self.store = store
+        self.service_top_k = service_top_k
+
+    def search(self, query: HybridQuery) -> HybridResult:
+        started = time.perf_counter()
+        docs_scored = 0
+
+        # System 1: vector service — always runs, fixed K.
+        vector_scores: Optional[Dict[int, float]] = None
+        if query.vector is not None:
+            hits = self.store.vectors.search(query.vector, self.service_top_k)
+            vector_scores = {d: to_similarity(dist) for d, dist in hits}
+            docs_scored += len(self.store)  # the service scans its whole corpus
+
+        # System 2: text service — always runs, fixed K.
+        text_scores: Optional[Dict[int, float]] = None
+        if query.keywords is not None:
+            hits = self.store.texts.search(query.keywords, self.service_top_k)
+            text_scores = dict(hits)
+            docs_scored += len(self.store)
+
+        # System 3: relational store — full filter evaluation.
+        filter_ids: Optional[Set[int]] = None
+        if query.filter_sql is not None:
+            filter_ids = set(self.store.filter_ids(query.filter_sql))
+            docs_scored += len(self.store)
+
+        # Application glue: intersect and merge whatever came back.
+        fused = fuse_weighted(
+            vector_scores, text_scores, query.vector_weight, query.text_weight
+        )
+        if not fused and filter_ids is not None:
+            # Filter-only query: the glue can at least return matches.
+            hits = [(doc_id, 1.0) for doc_id in sorted(filter_ids)[: query.k]]
+            return HybridResult(
+                hits,
+                "federated",
+                docs_scored=docs_scored,
+                elapsed_ms=(time.perf_counter() - started) * 1e3,
+            )
+        if filter_ids is not None:
+            fused = {d: s for d, s in fused.items() if d in filter_ids}
+        result = HybridResult(
+            top_k(fused, query.k),
+            "federated",
+            docs_scored=docs_scored,
+        )
+        result.elapsed_ms = (time.perf_counter() - started) * 1e3
+        return result

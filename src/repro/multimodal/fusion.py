@@ -1,0 +1,60 @@
+"""Score fusion across modalities."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+RRF_K = 60.0
+
+
+def to_similarity(distance: float) -> float:
+    """Map a distance (>= 0 smaller-better) to a (0, 1] similarity."""
+    return 1.0 / (1.0 + max(distance, 0.0))
+
+
+def _normalize(scores: Dict[Any, float]) -> Dict[Any, float]:
+    """Min-max normalize to [0, 1]; constant inputs map to 1.0."""
+    if not scores:
+        return {}
+    lo, hi = min(scores.values()), max(scores.values())
+    if hi <= lo:
+        return {k: 1.0 for k in scores}
+    return {k: (v - lo) / (hi - lo) for k, v in scores.items()}
+
+
+def fuse_weighted(
+    vector_scores: Optional[Dict[Any, float]],
+    text_scores: Optional[Dict[Any, float]],
+    vector_weight: float = 0.5,
+    text_weight: float = 0.5,
+) -> Dict[Any, float]:
+    """Normalized weighted sum.
+
+    Inputs are *similarities* (bigger = better).  A document missing from one
+    modality contributes 0 for it — hybrid results favor documents good in
+    both, which is the point of fusion.
+    """
+    fused: Dict[Any, float] = {}
+    if vector_scores:
+        for key, value in _normalize(vector_scores).items():
+            fused[key] = fused.get(key, 0.0) + vector_weight * value
+    if text_scores:
+        for key, value in _normalize(text_scores).items():
+            fused[key] = fused.get(key, 0.0) + text_weight * value
+    return fused
+
+
+def fuse_rrf(
+    rankings: Sequence[Sequence[Any]], k: float = RRF_K
+) -> Dict[Any, float]:
+    """Reciprocal-rank fusion over ranked id lists (best first)."""
+    fused: Dict[Any, float] = {}
+    for ranking in rankings:
+        for rank, key in enumerate(ranking):
+            fused[key] = fused.get(key, 0.0) + 1.0 / (k + rank + 1)
+    return fused
+
+
+def top_k(scores: Dict[Any, float], k: int) -> List[Tuple[Any, float]]:
+    """Best-k (id, score) by descending score; ties by id for determinism."""
+    return sorted(scores.items(), key=lambda kv: (-kv[1], str(kv[0])))[:k]

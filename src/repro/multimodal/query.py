@@ -1,0 +1,43 @@
+"""Hybrid query definition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class HybridQuery:
+    """One query spanning up to three modalities.
+
+    Attributes:
+        keywords: free-text query for BM25 relevance (None = skip text).
+        vector: embedding for similarity ranking (None = skip vectors).
+        filter_sql: SQL boolean expression over the store's attribute
+            columns, e.g. ``"price < 50 AND category = 'tools'"``
+            (None = no relational filter).
+        k: number of results wanted.
+        vector_weight / text_weight: fused-score weights.
+        fusion: ``"weighted"`` (normalized weighted sum) or ``"rrf"``
+            (reciprocal-rank fusion).
+    """
+
+    keywords: Optional[str] = None
+    vector: Optional[Sequence[float]] = None
+    filter_sql: Optional[str] = None
+    k: int = 10
+    vector_weight: float = 0.5
+    text_weight: float = 0.5
+    fusion: str = "weighted"
+
+    def __post_init__(self):
+        if self.keywords is None and self.vector is None and self.filter_sql is None:
+            raise ValueError("hybrid query needs at least one modality")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.fusion not in ("weighted", "rrf"):
+            raise ValueError(f"unknown fusion {self.fusion!r}")
+
+    @property
+    def uses_ranking(self) -> bool:
+        return self.keywords is not None or self.vector is not None

@@ -1,0 +1,145 @@
+"""The tri-modal document store.
+
+One corpus, three synchronized representations:
+
+* relational attributes in a :class:`repro.core.database.Database` table
+  (so filters get the real SQL optimizer and its statistics),
+* embeddings in a flat or IVF vector index,
+* text in a BM25 inverted index.
+
+Both hybrid engines (unified and federated) run over the same store, so E3
+measures planning quality, not data placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.database import Database
+from repro.core.errors import IntegrationError
+from repro.core.types import Column, DataType, Schema
+from repro.plan.expressions import BoundExpr
+from repro.sql.parser import parse_expression
+from repro.text.inverted import InvertedIndex
+from repro.vector.flat import FlatIndex
+from repro.vector.hnsw import HNSWIndex
+from repro.vector.ivf import IVFIndex
+
+ATTR_TABLE = "documents"
+
+
+@dataclass
+class Document:
+    """One document across all modalities."""
+
+    doc_id: int
+    text: str
+    vector: Tuple[float, ...]
+    attrs: Tuple[Any, ...]
+
+
+class DocumentStore:
+    """Synchronized relational + vector + text corpus."""
+
+    def __init__(
+        self,
+        dim: int,
+        attr_columns: Sequence[Column],
+        metric: str = "cosine",
+        vector_index: str = "flat",
+        ivf_nlist: int = 32,
+        ivf_nprobe: int = 4,
+    ):
+        self.dim = dim
+        self.attr_schema = Schema(list(attr_columns))
+        self.db = Database()
+        columns = [Column("doc_id", DataType.INTEGER, nullable=False)] + list(
+            attr_columns
+        )
+        self.db.create_table(ATTR_TABLE, Schema(columns))
+        if vector_index == "flat":
+            self.vectors: Any = FlatIndex(dim, metric=metric)
+        elif vector_index == "ivf":
+            self.vectors = IVFIndex(dim, metric=metric, nlist=ivf_nlist, nprobe=ivf_nprobe)
+        elif vector_index == "hnsw":
+            self.vectors = HNSWIndex(dim, metric=metric)
+        else:
+            raise IntegrationError(f"unknown vector index {vector_index!r}")
+        self.texts = InvertedIndex()
+        self._docs: Dict[int, Document] = {}
+        self._deferred_vectors: List[Tuple[int, Sequence[float]]] = []
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    # -- loading ---------------------------------------------------------------
+
+    def add(
+        self,
+        doc_id: int,
+        text: str,
+        vector: Sequence[float],
+        attrs: Sequence[Any],
+    ) -> None:
+        """Insert one document into all three modalities."""
+        if doc_id in self._docs:
+            raise IntegrationError(f"duplicate doc_id {doc_id}")
+        if len(attrs) != len(self.attr_schema):
+            raise IntegrationError(
+                f"expected {len(self.attr_schema)} attributes, got {len(attrs)}"
+            )
+        self.db.insert_rows(ATTR_TABLE, [(doc_id,) + tuple(attrs)])
+        if isinstance(self.vectors, IVFIndex) and not self.vectors.is_trained:
+            self._deferred_vectors.append((doc_id, tuple(vector)))
+        else:
+            self.vectors.add(doc_id, vector)
+        self.texts.add(doc_id, text)
+        self._docs[doc_id] = Document(doc_id, text, tuple(vector), tuple(attrs))
+
+    def finalize(self) -> None:
+        """Finish loading: train the IVF index (if any) and ANALYZE."""
+        if isinstance(self.vectors, IVFIndex) and not self.vectors.is_trained:
+            if self._deferred_vectors:
+                self.vectors.build(self._deferred_vectors)
+                self._deferred_vectors = []
+        self.db.analyze(ATTR_TABLE)
+
+    # -- access ---------------------------------------------------------------------
+
+    def get(self, doc_id: int) -> Document:
+        if doc_id not in self._docs:
+            raise IntegrationError(f"unknown doc_id {doc_id}")
+        return self._docs[doc_id]
+
+    def all_ids(self) -> List[int]:
+        return sorted(self._docs)
+
+    # -- relational filtering ------------------------------------------------------
+
+    def bind_filter(self, filter_sql: str) -> BoundExpr:
+        """Compile a filter over the attribute schema (doc-at-a-time eval)."""
+        expr = parse_expression(filter_sql)
+        return self.db._binder.bind_expr(expr, self.attr_schema.with_table(None))
+
+    def matches(self, predicate: BoundExpr, doc_id: int) -> bool:
+        return predicate.eval(self._docs[doc_id].attrs) is True
+
+    def filter_ids(self, filter_sql: str) -> List[int]:
+        """All matching doc ids via the SQL engine (set-at-a-time eval)."""
+        result = self.db.execute(
+            f"SELECT doc_id FROM {ATTR_TABLE} WHERE {filter_sql}"
+        )
+        return result.column("doc_id")
+
+    def estimate_selectivity(self, filter_sql: str) -> float:
+        """Optimizer's selectivity estimate for a filter (no execution)."""
+        from repro.optimizer.cardinality import Estimator
+        from repro.plan import logical
+
+        table = self.db.table(ATTR_TABLE)
+        scan = logical.Scan(ATTR_TABLE, ATTR_TABLE, table.schema)
+        expr = parse_expression(filter_sql)
+        bound = self.db._binder.bind_expr(expr, table.schema)
+        estimator = Estimator(self.db.catalog)
+        return estimator.selectivity(bound, estimator.origins(scan))

@@ -1,0 +1,195 @@
+"""Classic top-k rank aggregation: Fagin's TA and NRA.
+
+The paper's panelist statement (Amer-Yahia) cites exactly this lineage:
+"viewing database query processing from the perspective of information
+retrieval led us to top-k query processing."  These are the canonical
+algorithms of that line of work:
+
+* **TA (Threshold Algorithm)** — sorted access round-robin over per-source
+  ranked lists plus random access to complete each seen object's score;
+  stops when the k-th best score ≥ the threshold (sum of the last-seen
+  scores per source).  Instance-optimal when random access is available.
+* **NRA (No Random Access)** — maintains lower/upper score bounds from
+  sorted access only; stops when the k-th best lower bound ≥ every other
+  candidate's upper bound.
+
+Both operate on any monotone aggregation (default: weighted sum) and count
+their accesses, so tests and ablations can verify TA/NRA touch far fewer
+entries than a full scan while returning exactly the same top-k.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ReproError
+
+#: One source: a list of (object_id, score) sorted by score descending.
+RankedList = Sequence[Tuple[Any, float]]
+
+
+@dataclass
+class TopKResult:
+    """Top-k answer plus the access accounting the ablation reports."""
+
+    items: List[Tuple[Any, float]]
+    sorted_accesses: int = 0
+    random_accesses: int = 0
+    rounds: int = 0
+
+    def ids(self) -> List[Any]:
+        return [obj for obj, _ in self.items]
+
+
+def _validate(lists: Sequence[RankedList]) -> None:
+    if not lists:
+        raise ReproError("top-k aggregation needs at least one ranked list")
+    for i, ranked in enumerate(lists):
+        scores = [s for _, s in ranked]
+        if any(b > a for a, b in zip(scores, scores[1:])):
+            pass  # ascending pair found below; explicit loop for clarity
+        for a, b in zip(scores, scores[1:]):
+            if b > a + 1e-12:
+                raise ReproError(f"ranked list {i} is not sorted descending")
+
+
+def _default_agg(scores: Sequence[float]) -> float:
+    return sum(scores)
+
+
+def full_scan_topk(
+    lists: Sequence[RankedList],
+    k: int,
+    aggregate: Callable[[Sequence[float]], float] = _default_agg,
+    missing_score: float = 0.0,
+) -> TopKResult:
+    """The baseline: materialize every object's full score, then sort."""
+    _validate(lists)
+    per_source: List[Dict[Any, float]] = [dict(ranked) for ranked in lists]
+    accesses = sum(len(ranked) for ranked in lists)
+    universe = set()
+    for source in per_source:
+        universe.update(source)
+    scored = [
+        (obj, aggregate([source.get(obj, missing_score) for source in per_source]))
+        for obj in universe
+    ]
+    scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
+    return TopKResult(scored[:k], sorted_accesses=accesses)
+
+
+def threshold_algorithm(
+    lists: Sequence[RankedList],
+    k: int,
+    aggregate: Callable[[Sequence[float]], float] = _default_agg,
+    missing_score: float = 0.0,
+) -> TopKResult:
+    """Fagin's TA: round-robin sorted access + random access completion."""
+    _validate(lists)
+    if k < 1:
+        raise ReproError("k must be >= 1")
+    per_source: List[Dict[Any, float]] = [dict(ranked) for ranked in lists]
+    result = TopKResult(items=[])
+    best: Dict[Any, float] = {}
+    last_seen: List[Optional[float]] = [None] * len(lists)
+    depth = 0
+    max_depth = max(len(ranked) for ranked in lists)
+    while depth < max_depth:
+        for source_idx, ranked in enumerate(lists):
+            if depth >= len(ranked):
+                continue
+            obj, score = ranked[depth]
+            result.sorted_accesses += 1
+            last_seen[source_idx] = score
+            if obj not in best:
+                # Random access to every other source for the full score.
+                scores = []
+                for other_idx, source in enumerate(per_source):
+                    if other_idx == source_idx:
+                        scores.append(score)
+                        continue
+                    result.random_accesses += 1
+                    scores.append(source.get(obj, missing_score))
+                best[obj] = aggregate(scores)
+        depth += 1
+        result.rounds = depth
+        # Threshold: the best score any unseen object could still have.
+        if all(s is not None for s in last_seen):
+            threshold = aggregate([s for s in last_seen])
+            top = heapq.nlargest(k, best.items(), key=lambda kv: (kv[1], str(kv[0])))
+            if len(top) >= k and top[-1][1] >= threshold:
+                break
+    ordered = sorted(best.items(), key=lambda kv: (-kv[1], str(kv[0])))[:k]
+    result.items = ordered
+    return result
+
+
+@dataclass
+class _NRACandidate:
+    lower: float
+    known: Dict[int, float] = field(default_factory=dict)
+
+
+def no_random_access(
+    lists: Sequence[RankedList],
+    k: int,
+    missing_score: float = 0.0,
+) -> TopKResult:
+    """NRA for weighted-sum aggregation (bounds need linearity).
+
+    Sorted access only; maintains [lower, upper] score bounds per seen
+    object and stops when the k-th lower bound dominates every competing
+    upper bound.
+    """
+    _validate(lists)
+    if k < 1:
+        raise ReproError("k must be >= 1")
+    result = TopKResult(items=[])
+    candidates: Dict[Any, _NRACandidate] = {}
+    last_seen: List[float] = [ranked[0][1] if ranked else missing_score for ranked in lists]
+    exhausted: List[bool] = [not ranked for ranked in lists]
+    depth = 0
+    max_depth = max(len(ranked) for ranked in lists)
+    while depth < max_depth:
+        for source_idx, ranked in enumerate(lists):
+            if depth >= len(ranked):
+                if depth == len(ranked):
+                    exhausted[source_idx] = True
+                    last_seen[source_idx] = missing_score
+                continue
+            obj, score = ranked[depth]
+            result.sorted_accesses += 1
+            last_seen[source_idx] = score
+            entry = candidates.setdefault(obj, _NRACandidate(0.0))
+            entry.known[source_idx] = score
+            entry.lower = sum(entry.known.values())
+        depth += 1
+        result.rounds = depth
+
+        def upper(entry: _NRACandidate) -> float:
+            total = 0.0
+            for source_idx in range(len(lists)):
+                if source_idx in entry.known:
+                    total += entry.known[source_idx]
+                elif exhausted[source_idx]:
+                    total += missing_score
+                else:
+                    total += last_seen[source_idx]
+            return total
+
+        ranked_now = sorted(
+            candidates.items(), key=lambda kv: (-kv[1].lower, str(kv[0]))
+        )
+        if len(ranked_now) >= k:
+            kth_lower = ranked_now[k - 1][1].lower
+            contenders = ranked_now[k:]
+            threshold_unseen = sum(last_seen)
+            if kth_lower >= threshold_unseen and all(
+                kth_lower >= upper(entry) for _, entry in contenders
+            ):
+                break
+    final = sorted(candidates.items(), key=lambda kv: (-kv[1].lower, str(kv[0])))[:k]
+    result.items = [(obj, entry.lower) for obj, entry in final]
+    return result

@@ -1,0 +1,194 @@
+"""The unified hybrid planner.
+
+One engine owns all three modalities and *plans* each query:
+
+* **pre-filter** — when the relational filter is estimated selective, run it
+  first through the SQL engine, then rank only the survivors (exact vector
+  distances + per-document BM25).  Cost scales with the filter's output.
+* **post-filter** — when the filter is loose (or absent), take ranked
+  candidates from the vector/text indexes, filter them, and adaptively
+  expand the candidate pool until ``k`` hits survive (or the corpus is
+  exhausted).  Cost scales with ``k``/selectivity, not corpus size.
+
+The crossover threshold comes from the SQL optimizer's own selectivity
+estimate — the panel's "declarativeness" principle doing multi-modal work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.multimodal.fusion import fuse_rrf, fuse_weighted, to_similarity, top_k
+from repro.multimodal.query import HybridQuery
+from repro.multimodal.store import DocumentStore
+from repro.vector.metrics import METRICS
+
+#: Estimated-selectivity threshold below which pre-filtering wins.
+PREFILTER_THRESHOLD = 0.10
+#: Candidate multiplier for the first post-filter round.
+EXPANSION_FACTOR = 4
+#: Maximum adaptive expansion rounds before falling back to pre-filter.
+MAX_ROUNDS = 4
+
+
+@dataclass
+class HybridResult:
+    """Ranked hits plus the plan and work accounting E3 reports."""
+
+    hits: List[Tuple[int, float]]
+    strategy: str = "unscored"
+    docs_scored: int = 0
+    expansion_rounds: int = 0
+    elapsed_ms: float = 0.0
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def ids(self) -> List[int]:
+        return [doc_id for doc_id, _ in self.hits]
+
+
+class UnifiedHybridEngine:
+    """Cost-based hybrid query execution over a DocumentStore."""
+
+    def __init__(self, store: DocumentStore, prefilter_threshold: float = PREFILTER_THRESHOLD):
+        self.store = store
+        self.prefilter_threshold = prefilter_threshold
+
+    # -- planning ----------------------------------------------------------
+
+    def choose_strategy(self, query: HybridQuery) -> str:
+        if query.filter_sql is None:
+            return "postfilter"
+        if not query.uses_ranking:
+            return "prefilter"
+        selectivity = self.store.estimate_selectivity(query.filter_sql)
+        return "prefilter" if selectivity <= self.prefilter_threshold else "postfilter"
+
+    # -- execution ----------------------------------------------------------
+
+    def search(self, query: HybridQuery) -> HybridResult:
+        started = time.perf_counter()
+        strategy = self.choose_strategy(query)
+        if strategy == "prefilter":
+            result = self._prefilter(query)
+        else:
+            result = self._postfilter(query)
+        result.elapsed_ms = (time.perf_counter() - started) * 1e3
+        return result
+
+    def _score_candidates(
+        self, query: HybridQuery, candidates: Sequence[int]
+    ) -> Dict[int, float]:
+        """Fused scores for an explicit candidate set (exact, both modalities)."""
+        vector_scores: Optional[Dict[int, float]] = None
+        text_scores: Optional[Dict[int, float]] = None
+        if query.vector is not None:
+            metric = METRICS[self.store.vectors.metric]
+            vector_scores = {
+                doc_id: to_similarity(metric(self.store.get(doc_id).vector, query.vector))
+                for doc_id in candidates
+            }
+        if query.keywords is not None:
+            text_scores = {
+                doc_id: self.store.texts.score(doc_id, query.keywords)
+                for doc_id in candidates
+            }
+        if query.fusion == "rrf":
+            rankings = []
+            if vector_scores:
+                rankings.append([d for d, _ in top_k(vector_scores, len(candidates))])
+            if text_scores:
+                rankings.append([d for d, _ in top_k(text_scores, len(candidates))])
+            return fuse_rrf(rankings)
+        return fuse_weighted(
+            vector_scores, text_scores, query.vector_weight, query.text_weight
+        )
+
+    def _prefilter(self, query: HybridQuery) -> HybridResult:
+        matching = (
+            self.store.filter_ids(query.filter_sql)
+            if query.filter_sql is not None
+            else self.store.all_ids()
+        )
+        if not query.uses_ranking:
+            hits = [(doc_id, 1.0) for doc_id in sorted(matching)[: query.k]]
+            return HybridResult(hits, "prefilter", docs_scored=len(matching))
+        scores = self._score_candidates(query, matching)
+        return HybridResult(
+            top_k(scores, query.k), "prefilter", docs_scored=len(matching)
+        )
+
+    def _postfilter(self, query: HybridQuery) -> HybridResult:
+        predicate = (
+            self.store.bind_filter(query.filter_sql)
+            if query.filter_sql is not None
+            else None
+        )
+        corpus = len(self.store)
+        fetch = min(corpus, max(query.k * EXPANSION_FACTOR, query.k))
+        rounds = 0
+        scored = 0
+        while True:
+            rounds += 1
+            candidates = self._ranked_candidates(query, fetch)
+            scored += len(candidates)
+            if predicate is not None:
+                candidates = [
+                    doc_id
+                    for doc_id in candidates
+                    if self.store.matches(predicate, doc_id)
+                ]
+            scores = self._score_candidates(query, candidates)
+            hits = top_k(scores, query.k)
+            if len(hits) >= query.k or fetch >= corpus or rounds >= MAX_ROUNDS:
+                if len(hits) < query.k and fetch < corpus:
+                    # Adaptive bail-out: the filter is harsher than estimated;
+                    # finish exactly with one pre-filter pass.
+                    fallback = self._prefilter(query)
+                    fallback.strategy = "postfilter→prefilter"
+                    fallback.expansion_rounds = rounds
+                    fallback.docs_scored += scored
+                    return fallback
+                return HybridResult(
+                    hits, "postfilter", docs_scored=scored, expansion_rounds=rounds
+                )
+            fetch = min(corpus, fetch * EXPANSION_FACTOR)
+
+    def _ranked_candidates(self, query: HybridQuery, fetch: int) -> List[int]:
+        seen: Dict[int, None] = {}
+        if query.vector is not None:
+            for doc_id, _ in self.store.vectors.search(query.vector, fetch):
+                seen.setdefault(doc_id, None)
+        if query.keywords is not None:
+            for doc_id, _ in self.store.texts.search(query.keywords, fetch):
+                seen.setdefault(doc_id, None)
+        if query.vector is None and query.keywords is None:
+            for doc_id in self.store.all_ids()[:fetch]:
+                seen.setdefault(doc_id, None)
+        return list(seen)
+
+
+# --------------------------------------------------------------------------
+# Evaluation helpers (shared by tests and benchmark E3)
+# --------------------------------------------------------------------------
+
+
+def ground_truth(store: DocumentStore, query: HybridQuery) -> List[int]:
+    """Exhaustive exact answer: filter everything, score everything."""
+    engine = UnifiedHybridEngine(store)
+    if query.filter_sql is not None:
+        matching = store.filter_ids(query.filter_sql)
+    else:
+        matching = store.all_ids()
+    if not query.uses_ranking:
+        return sorted(matching)[: query.k]
+    scores = engine._score_candidates(query, matching)
+    return [doc_id for doc_id, _ in top_k(scores, query.k)]
+
+
+def recall_at_k(got: Sequence[int], truth: Sequence[int]) -> float:
+    """|got ∩ truth| / |truth| (1.0 when truth is empty)."""
+    if not truth:
+        return 1.0
+    return len(set(got) & set(truth)) / len(truth)

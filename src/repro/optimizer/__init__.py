@@ -1,0 +1,8 @@
+"""Cost-based optimizer: rewrites, cardinality estimation, join ordering,
+and physical planning."""
+
+from repro.optimizer.cardinality import Estimator
+from repro.optimizer.cost import CostModel
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+
+__all__ = ["Estimator", "CostModel", "Optimizer", "OptimizerOptions"]

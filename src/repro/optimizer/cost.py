@@ -1,0 +1,53 @@
+"""Cost model for physical alternatives.
+
+Coefficients follow PostgreSQL's naming (seq_page_cost = 1.0 baseline).
+Costs are unitless "page fetch equivalents"; the planner only compares
+alternatives, so relative magnitudes are what matter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class CostModel:
+    """Tunable coefficients for the physical planner."""
+
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_operator_cost: float = 0.0025
+    index_lookup_cost: float = 0.3
+    hash_build_cost: float = 0.015  # per build-side tuple
+    hash_probe_cost: float = 0.01  # per probe-side tuple
+
+    def seq_scan(self, pages: float, rows: float) -> float:
+        return pages * self.seq_page_cost + rows * self.cpu_tuple_cost
+
+    def index_scan(self, matching_rows: float, tree_height: float = 3.0) -> float:
+        return (
+            tree_height * self.index_lookup_cost
+            + matching_rows * (self.random_page_cost * 0.25 + self.cpu_tuple_cost)
+        )
+
+    def filter(self, rows: float, conjuncts: int = 1) -> float:
+        return rows * self.cpu_operator_cost * max(conjuncts, 1)
+
+    def project(self, rows: float, exprs: int = 1) -> float:
+        return rows * self.cpu_operator_cost * max(exprs, 1)
+
+    def nested_loop_join(self, outer_rows: float, inner_rows: float) -> float:
+        return outer_rows * inner_rows * self.cpu_operator_cost
+
+    def hash_join(self, build_rows: float, probe_rows: float) -> float:
+        return build_rows * self.hash_build_cost + probe_rows * self.hash_probe_cost
+
+    def sort(self, rows: float) -> float:
+        if rows <= 1:
+            return self.cpu_operator_cost
+        return rows * math.log2(rows) * self.cpu_operator_cost * 2.0
+
+    def aggregate(self, rows: float, groups: float) -> float:
+        return rows * self.cpu_operator_cost * 2.0 + groups * self.cpu_tuple_cost

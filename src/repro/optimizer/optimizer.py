@@ -1,0 +1,133 @@
+"""Optimizer driver: rewrites to fixpoint, join ordering, physical planning.
+
+Every phase can be switched off through :class:`OptimizerOptions`, which is
+how experiment E9 measures the value of each optimization (and how the
+"naive" baseline plans are produced: all phases off, nested-loop joins and
+sequential scans only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.exec import physical as phys
+from repro.optimizer.cardinality import Estimator
+from repro.optimizer.cost import CostModel
+from repro.optimizer.join_order import is_reorderable, reorder_joins
+from repro.optimizer.physical_planner import PhysicalPlanner, PlannerFlags
+from repro.optimizer.rules import fold_plan, push_down_filters
+from repro.plan import logical
+
+_MAX_REWRITE_PASSES = 10
+
+
+@dataclass
+class OptimizerOptions:
+    """Feature switches for each optimizer phase."""
+
+    enable_folding: bool = True
+    enable_pushdown: bool = True
+    enable_join_reorder: bool = True
+    enable_index_scan: bool = True
+    enable_hash_join: bool = True
+    enable_topn_sort: bool = True
+
+    @staticmethod
+    def naive() -> "OptimizerOptions":
+        """Everything off: the straight-line interpretation of the query."""
+        return OptimizerOptions(
+            enable_folding=False,
+            enable_pushdown=False,
+            enable_join_reorder=False,
+            enable_index_scan=False,
+            enable_hash_join=False,
+            enable_topn_sort=False,
+        )
+
+
+class Optimizer:
+    """Full optimization pipeline from logical plan to physical plan."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: Optional[CostModel] = None,
+        options: Optional[OptimizerOptions] = None,
+    ):
+        self.catalog = catalog
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.options = options if options is not None else OptimizerOptions()
+        self.estimator = Estimator(catalog)
+
+    def optimize_logical(self, plan: logical.LogicalPlan) -> logical.LogicalPlan:
+        """Run rewrite phases; returns the optimized logical plan."""
+        options = self.options
+        if options.enable_folding:
+            plan = fold_plan(plan)
+        if options.enable_pushdown:
+            for _ in range(_MAX_REWRITE_PASSES):
+                rewritten = push_down_filters(plan)
+                if rewritten.pretty() == plan.pretty():
+                    plan = rewritten
+                    break
+                plan = rewritten
+        if options.enable_join_reorder:
+            plan = self._reorder(plan)
+        return plan
+
+    def plan_physical(self, plan: logical.LogicalPlan) -> phys.PhysicalPlan:
+        """Lower a logical plan using the configured planner flags."""
+        flags = PlannerFlags(
+            enable_index_scan=self.options.enable_index_scan,
+            enable_hash_join=self.options.enable_hash_join,
+            enable_topn_sort=self.options.enable_topn_sort,
+        )
+        planner = PhysicalPlanner(self.catalog, self.cost_model, flags)
+        return planner.plan(plan)
+
+    def optimize(
+        self, plan: logical.LogicalPlan
+    ) -> Tuple[logical.LogicalPlan, phys.PhysicalPlan]:
+        """Rewrite + lower; returns (logical, physical)."""
+        optimized = self.optimize_logical(plan)
+        return optimized, self.plan_physical(optimized)
+
+    # -- join reordering traversal ------------------------------------------
+
+    def _reorder(self, plan: logical.LogicalPlan) -> logical.LogicalPlan:
+        if is_reorderable(plan):
+            return reorder_joins(plan, self.estimator, leaf_transform=self._reorder)
+        return self._rebuild(plan)
+
+    def _rebuild(self, plan: logical.LogicalPlan) -> logical.LogicalPlan:
+        if isinstance(plan, logical.Filter):
+            return logical.Filter(self._reorder(plan.child), plan.predicate)
+        if isinstance(plan, logical.Project):
+            return logical.Project(self._reorder(plan.child), plan.exprs, plan.names)
+        if isinstance(plan, logical.Join):  # left outer: sides handled separately
+            return logical.Join(
+                self._reorder(plan.left),
+                self._reorder(plan.right),
+                plan.kind,
+                plan.condition,
+            )
+        if isinstance(plan, logical.Aggregate):
+            return logical.Aggregate(
+                self._reorder(plan.child),
+                plan.group_exprs,
+                plan.aggregates,
+                plan.group_names,
+            )
+        if isinstance(plan, logical.Sort):
+            return logical.Sort(self._reorder(plan.child), plan.keys)
+        if isinstance(plan, logical.Limit):
+            return logical.Limit(self._reorder(plan.child), plan.limit, plan.offset)
+        if isinstance(plan, logical.Distinct):
+            return logical.Distinct(self._reorder(plan.child))
+        if isinstance(plan, logical.SetOp):
+            return logical.SetOp(
+                self._reorder(plan.left), self._reorder(plan.right), plan.kind, plan.all
+            )
+        return plan

@@ -1,0 +1,242 @@
+"""Physical planning: access paths and join algorithms.
+
+Lowers an (already rewritten) logical plan to a physical tree:
+
+* ``Filter(Scan)`` chooses between a sequential scan and an index scan by
+  comparing cost-model estimates for every usable index predicate;
+* inner/left joins with extractable equality keys become hash joins, the
+  rest nested loops;
+* ``Limit(Sort)`` plants a top-N hint on the sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.catalog.catalog import Catalog, IndexInfo, TableInfo
+from repro.core.errors import PlanError
+from repro.exec import physical as phys
+from repro.optimizer.cardinality import Estimator
+from repro.optimizer.cost import CostModel
+from repro.optimizer.rules import extract_equi_keys
+from repro.plan import logical
+from repro.plan.expressions import (
+    BoundBinary,
+    BoundColumn,
+    BoundExpr,
+    BoundLiteral,
+    conjoin,
+    split_conjuncts,
+)
+
+
+@dataclass
+class PlannerFlags:
+    """Feature switches (E9's ablations flip these)."""
+
+    enable_index_scan: bool = True
+    enable_hash_join: bool = True
+    enable_topn_sort: bool = True
+
+
+@dataclass
+class _IndexChoice:
+    index: IndexInfo
+    column_index: int
+    eq_value: Any = None
+    low: Any = None
+    high: Any = None
+    include_low: bool = True
+    include_high: bool = True
+    consumed: Tuple[int, ...] = ()  # positions in the conjunct list
+    estimated_rows: float = 0.0
+
+
+class PhysicalPlanner:
+    """Lowers logical plans to physical plans."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: Optional[CostModel] = None,
+        flags: Optional[PlannerFlags] = None,
+    ):
+        self.catalog = catalog
+        self.cost = cost_model if cost_model is not None else CostModel()
+        self.flags = flags if flags is not None else PlannerFlags()
+        self.estimator = Estimator(catalog)
+
+    # ------------------------------------------------------------------
+
+    def plan(self, node: logical.LogicalPlan) -> phys.PhysicalPlan:
+        rows = self.estimator.estimate(node)
+        if isinstance(node, logical.Scan):
+            return phys.PSeqScan(node.table, node.alias, node.schema, rows)
+        if isinstance(node, logical.Values):
+            return phys.PValues(node.rows, node.schema, rows)
+        if isinstance(node, logical.Filter):
+            return self._plan_filter(node, rows)
+        if isinstance(node, logical.Project):
+            child = self.plan(node.child)
+            return phys.PProject(child, node.exprs, node.output_schema(), rows)
+        if isinstance(node, logical.Join):
+            return self._plan_join(node, rows)
+        if isinstance(node, logical.Aggregate):
+            child = self.plan(node.child)
+            return phys.PAggregate(
+                child, node.group_exprs, node.aggregates, node.output_schema(), rows
+            )
+        if isinstance(node, logical.Sort):
+            child = self.plan(node.child)
+            return phys.PSort(child, node.keys, node.output_schema(), rows)
+        if isinstance(node, logical.Limit):
+            child = self.plan(node.child)
+            if (
+                self.flags.enable_topn_sort
+                and isinstance(child, phys.PSort)
+                and node.limit is not None
+            ):
+                child.limit_hint = node.limit + (node.offset or 0)
+            return phys.PLimit(child, node.limit, node.offset, node.output_schema(), rows)
+        if isinstance(node, logical.Distinct):
+            child = self.plan(node.child)
+            return phys.PDistinct(child, node.output_schema(), rows)
+        if isinstance(node, logical.SetOp):
+            return phys.PSetOp(
+                self.plan(node.left),
+                self.plan(node.right),
+                node.kind,
+                node.all,
+                node.output_schema(),
+                rows,
+            )
+        raise PlanError(f"cannot lower {type(node).__name__} to a physical plan")
+
+    # -- filter / access path ------------------------------------------------
+
+    def _plan_filter(self, node: logical.Filter, rows: float) -> phys.PhysicalPlan:
+        if self.flags.enable_index_scan and isinstance(node.child, logical.Scan):
+            scan = node.child
+            table = self.catalog.get_table(scan.table)
+            choice = self._choose_index(table, scan, node.predicate)
+            if choice is not None:
+                conjuncts = list(split_conjuncts(node.predicate))
+                residual = conjoin(
+                    [c for i, c in enumerate(conjuncts) if i not in choice.consumed]
+                )
+                return phys.PIndexScan(
+                    table=scan.table,
+                    alias=scan.alias,
+                    schema=scan.schema,
+                    index_name=choice.index.name,
+                    column_index=choice.column_index,
+                    eq_value=choice.eq_value,
+                    low=choice.low,
+                    high=choice.high,
+                    include_low=choice.include_low,
+                    include_high=choice.include_high,
+                    residual=residual,
+                    cardinality=rows,
+                )
+        child = self.plan(node.child)
+        return phys.PFilter(child, node.predicate, node.output_schema(), rows)
+
+    def _choose_index(
+        self, table: TableInfo, scan: logical.Scan, predicate: BoundExpr
+    ) -> Optional[_IndexChoice]:
+        conjuncts = list(split_conjuncts(predicate))
+        table_rows = float(max(table.row_count, 1))
+        snapshot = table.stats_snapshot()
+        pages = max(snapshot.page_count, 1)
+        seq_cost = self.cost.seq_scan(pages, table_rows) + self.cost.filter(
+            table_rows, len(conjuncts)
+        )
+        best: Optional[_IndexChoice] = None
+        best_cost = seq_cost
+        origins = self.estimator.origins(scan)
+        for pos, conjunct in enumerate(conjuncts):
+            candidate = self._match_index_conjunct(table, conjunct, pos)
+            if candidate is None:
+                continue
+            sel = self.estimator.selectivity(conjunct, origins)
+            matching = table_rows * sel
+            candidate.estimated_rows = matching
+            cost = self.cost.index_scan(matching) + self.cost.filter(
+                matching, len(conjuncts) - 1
+            )
+            if cost < best_cost:
+                best = candidate
+                best_cost = cost
+        return best
+
+    def _match_index_conjunct(
+        self, table: TableInfo, conjunct: BoundExpr, position: int
+    ) -> Optional[_IndexChoice]:
+        if not isinstance(conjunct, BoundBinary):
+            return None
+        left, right, op = conjunct.left, conjunct.right, conjunct.op
+        if isinstance(right, BoundColumn) and isinstance(left, BoundLiteral):
+            left, right = right, left
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if not (isinstance(left, BoundColumn) and isinstance(right, BoundLiteral)):
+            return None
+        if right.value is None:
+            return None
+        column_name = table.schema[left.index].name
+        if op == "=":
+            info = table.index_on(column_name)
+            if info is None:
+                return None
+            return _IndexChoice(
+                info, left.index, eq_value=right.value, consumed=(position,)
+            )
+        if op in ("<", "<=", ">", ">="):
+            info = table.index_on(column_name, kind_filter="btree")
+            if info is None:
+                return None
+            if op in ("<", "<="):
+                return _IndexChoice(
+                    info,
+                    left.index,
+                    high=right.value,
+                    include_high=(op == "<="),
+                    consumed=(position,),
+                )
+            return _IndexChoice(
+                info,
+                left.index,
+                low=right.value,
+                include_low=(op == ">="),
+                consumed=(position,),
+            )
+        return None
+
+    # -- joins ------------------------------------------------------------------
+
+    def _plan_join(self, node: logical.Join, rows: float) -> phys.PhysicalPlan:
+        left = self.plan(node.left)
+        right = self.plan(node.right)
+        schema = node.output_schema()
+        if (
+            self.flags.enable_hash_join
+            and node.condition is not None
+            and node.kind in (logical.INNER, logical.LEFT_OUTER)
+        ):
+            left_width = len(node.left.output_schema())
+            left_keys, right_keys, residual_parts = extract_equi_keys(
+                node.condition, left_width
+            )
+            if left_keys:
+                residual = conjoin(residual_parts)
+                return phys.PHashJoin(
+                    left,
+                    right,
+                    node.kind,
+                    tuple(left_keys),
+                    tuple(right_keys),
+                    residual,
+                    schema,
+                    rows,
+                )
+        return phys.PNestedLoopJoin(left, right, node.kind, node.condition, schema, rows)

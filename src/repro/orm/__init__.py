@@ -1,0 +1,33 @@
+"""A miniature declarative ORM over the repro SQL engine.
+
+Deliberately faithful to the classic ORM architecture — declarative models,
+an identity-mapped session, and lazy relationship loading — because the
+panel's claim ("many performance problems are due to the ORM and never arise
+at the DBMS") is about that architecture.  Lazy loading reproduces the N+1
+query pattern; ``eager("rel")`` switches to a single JOIN, and experiment E2
+measures the gap while the DBMS-side cost stays flat.
+"""
+
+from repro.orm.fields import (
+    BooleanField,
+    Field,
+    FloatField,
+    ForeignKeyField,
+    IntegerField,
+    TextField,
+)
+from repro.orm.models import Model, has_many
+from repro.orm.session import Session, eager
+
+__all__ = [
+    "Field",
+    "IntegerField",
+    "FloatField",
+    "TextField",
+    "BooleanField",
+    "ForeignKeyField",
+    "Model",
+    "has_many",
+    "Session",
+    "eager",
+]

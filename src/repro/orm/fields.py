@@ -1,0 +1,58 @@
+"""Field descriptors for declarative models."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.types import DataType
+
+
+class Field:
+    """A typed column on a model class."""
+
+    dtype: DataType = DataType.TEXT
+
+    def __init__(self, primary_key: bool = False, nullable: bool = True):
+        self.primary_key = primary_key
+        self.nullable = nullable and not primary_key
+        self.name: Optional[str] = None  # set by the metaclass
+
+    def __set_name__(self, owner, name):
+        self.name = name
+
+    def __get__(self, instance, owner):
+        if instance is None:
+            return self
+        return instance.__dict__.get(self.name)
+
+    def __set__(self, instance, value):
+        instance.__dict__[self.name] = value
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class IntegerField(Field):
+    dtype = DataType.INTEGER
+
+
+class FloatField(Field):
+    dtype = DataType.FLOAT
+
+
+class TextField(Field):
+    dtype = DataType.TEXT
+
+
+class BooleanField(Field):
+    dtype = DataType.BOOLEAN
+
+
+class ForeignKeyField(IntegerField):
+    """Integer column referencing ``"table.column"`` on another model."""
+
+    def __init__(self, references: str, nullable: bool = True):
+        super().__init__(primary_key=False, nullable=nullable)
+        if "." not in references:
+            raise ValueError("ForeignKeyField references must be 'table.column'")
+        self.ref_table, self.ref_column = references.split(".", 1)

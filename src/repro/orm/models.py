@@ -1,0 +1,143 @@
+"""Declarative model base and relationships."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Type
+
+from repro.core.errors import ReproError
+from repro.core.types import Column, Schema
+from repro.orm.fields import Field, ForeignKeyField
+
+
+class ModelMeta(type):
+    """Collects Field descriptors into ``__fields__`` and a table schema."""
+
+    def __new__(mcls, name, bases, namespace):
+        cls = super().__new__(mcls, name, bases, namespace)
+        if namespace.get("__abstract__"):
+            return cls
+        fields: Dict[str, Field] = {}
+        for base in reversed(cls.__mro__[1:]):
+            fields.update(getattr(base, "__fields__", {}))
+        for key, value in namespace.items():
+            if isinstance(value, Field):
+                fields[key] = value
+        cls.__fields__ = fields
+        if fields:
+            if not getattr(cls, "__tablename__", None):
+                cls.__tablename__ = name.lower() + "s"
+            primary = [f for f in fields.values() if f.primary_key]
+            if len(primary) != 1:
+                raise ReproError(
+                    f"model {name} needs exactly one primary-key field, "
+                    f"found {len(primary)}"
+                )
+            cls.__pk__ = primary[0].name
+        return cls
+
+
+class Model(metaclass=ModelMeta):
+    """Base class for mapped objects."""
+
+    __abstract__ = True
+    __fields__: Dict[str, Field] = {}
+    __tablename__: Optional[str] = None
+    __pk__: str = ""
+
+    def __init__(self, **values: Any):
+        unknown = set(values) - set(self.__fields__)
+        if unknown:
+            raise ReproError(f"unknown fields for {type(self).__name__}: {sorted(unknown)}")
+        for name in self.__fields__:
+            setattr(self, name, values.get(name))
+        self._session = None
+
+    # -- mapping helpers ----------------------------------------------------
+
+    @classmethod
+    def schema(cls) -> Schema:
+        columns = [
+            Column(f.name, f.dtype, nullable=f.nullable)
+            for f in cls.__fields__.values()
+        ]
+        return Schema(columns)
+
+    @classmethod
+    def field_names(cls) -> List[str]:
+        return list(cls.__fields__)
+
+    def to_row(self) -> tuple:
+        return tuple(getattr(self, name) for name in self.__fields__)
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "Model":
+        obj = cls(**dict(zip(cls.field_names(), row)))
+        return obj
+
+    @property
+    def pk(self) -> Any:
+        return getattr(self, self.__pk__)
+
+    @classmethod
+    def relate(cls, name: str, target: Type["Model"], foreign_key: str) -> None:
+        """Attach a one-to-many relationship after both classes exist::
+
+            Author.relate("books", Book, foreign_key="author_id")
+        """
+        descriptor = HasMany(target, foreign_key, name)
+        setattr(cls, name, descriptor)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{n}={getattr(self, n)!r}" for n in self.__fields__)
+        return f"{type(self).__name__}({pairs})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.to_row() == other.to_row()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.pk))
+
+
+class HasMany:
+    """One-to-many relationship descriptor.
+
+    Default loading is **lazy**: the first attribute access issues one
+    ``SELECT ... WHERE fk = pk`` per parent object — the N+1 pattern.  The
+    session's ``eager`` option pre-populates ``_loaded`` from a single JOIN.
+    """
+
+    def __init__(self, target: Type[Model], foreign_key: str, name: str = ""):
+        self.target = target
+        self.foreign_key = foreign_key
+        self.name = name
+
+    def __set_name__(self, owner, name):
+        self.name = name
+
+    def cache_key(self) -> str:
+        return f"_loaded_{self.name}"
+
+    def __get__(self, instance, owner):
+        if instance is None:
+            return self
+        cached = instance.__dict__.get(self.cache_key())
+        if cached is not None:
+            return cached
+        session = getattr(instance, "_session", None)
+        if session is None:
+            raise ReproError(
+                f"{owner.__name__}.{self.name} accessed outside a session"
+            )
+        children = session.query(self.target).filter(
+            **{self.foreign_key: instance.pk}
+        ).all()
+        instance.__dict__[self.cache_key()] = children
+        return children
+
+    def populate(self, instance, children: List[Model]) -> None:
+        instance.__dict__[self.cache_key()] = children
+
+
+def has_many(target: Type[Model], foreign_key: str) -> HasMany:
+    """Declare a one-to-many relationship on the parent model."""
+    return HasMany(target, foreign_key)

@@ -1,0 +1,257 @@
+"""The ORM session: unit of work, identity map, query API, eager loading."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.core.database import Database
+from repro.core.errors import ReproError
+from repro.orm.models import HasMany, Model
+
+
+class eager:
+    """Query option: load a relationship with one JOIN instead of lazily."""
+
+    def __init__(self, relationship_name: str):
+        self.relationship_name = relationship_name
+
+
+class Query:
+    """A buildable SELECT over one model class."""
+
+    def __init__(self, session: "Session", model: Type[Model]):
+        self.session = session
+        self.model = model
+        self._filters: Dict[str, Any] = {}
+        self._options: List[eager] = []
+        self._limit: Optional[int] = None
+        self._order_by: Optional[str] = None
+
+    # -- builders --------------------------------------------------------
+
+    def filter(self, **equalities: Any) -> "Query":
+        unknown = set(equalities) - set(self.model.__fields__)
+        if unknown:
+            raise ReproError(f"unknown filter fields: {sorted(unknown)}")
+        self._filters.update(equalities)
+        return self
+
+    def options(self, *opts: eager) -> "Query":
+        for opt in opts:
+            descriptor = getattr(self.model, opt.relationship_name, None)
+            if not isinstance(descriptor, HasMany):
+                raise ReproError(
+                    f"{self.model.__name__}.{opt.relationship_name} is not a relationship"
+                )
+            self._options.append(opt)
+        return self
+
+    def order_by(self, field_name: str) -> "Query":
+        if field_name not in self.model.__fields__:
+            raise ReproError(f"unknown order field {field_name!r}")
+        self._order_by = field_name
+        return self
+
+    def limit(self, n: int) -> "Query":
+        self._limit = n
+        return self
+
+    # -- execution ----------------------------------------------------------
+
+    def _where_sql(self, alias: str = "") -> str:
+        prefix = f"{alias}." if alias else ""
+        parts = []
+        for name, value in self._filters.items():
+            parts.append(f"{prefix}{name} = {_sql_literal(value)}")
+        return " AND ".join(parts)
+
+    def all(self) -> List[Model]:
+        if self._options:
+            return self._all_eager()
+        sql = f"SELECT * FROM {self.model.__tablename__}"
+        where = self._where_sql()
+        if where:
+            sql += f" WHERE {where}"
+        if self._order_by:
+            sql += f" ORDER BY {self._order_by}"
+        if self._limit is not None:
+            sql += f" LIMIT {self._limit}"
+        rows = self.session.execute(sql).rows
+        return [self.session._materialize(self.model, row) for row in rows]
+
+    def _all_eager(self) -> List[Model]:
+        """One LEFT JOIN per eager relationship (executed as a single pass
+        for the common single-relationship case)."""
+        if len(self._options) != 1:
+            raise ReproError("eager loading supports one relationship per query")
+        rel: HasMany = getattr(self.model, self._options[0].relationship_name)
+        parent = self.model.__tablename__
+        child = rel.target.__tablename__
+        parent_width = len(self.model.__fields__)
+        sql = (
+            f"SELECT p.*, c.* FROM {parent} p "
+            f"LEFT JOIN {child} c ON p.{self.model.__pk__} = c.{rel.foreign_key}"
+        )
+        where = self._where_sql("p")
+        if where:
+            sql += f" WHERE {where}"
+        sql += f" ORDER BY p.{self.model.__pk__}"
+        rows = self.session.execute(sql).rows
+        parents: Dict[Any, Model] = {}
+        order: List[Any] = []
+        children_of: Dict[Any, List[Model]] = {}
+        for row in rows:
+            parent_row = row[:parent_width]
+            child_row = row[parent_width:]
+            pk = parent_row[self.model.field_names().index(self.model.__pk__)]
+            if pk not in parents:
+                parents[pk] = self.session._materialize(self.model, parent_row)
+                order.append(pk)
+                children_of[pk] = []
+            if any(v is not None for v in child_row):
+                children_of[pk].append(
+                    self.session._materialize(rel.target, child_row)
+                )
+        result = []
+        for pk in order:
+            obj = parents[pk]
+            rel.populate(obj, children_of[pk])
+            result.append(obj)
+        if self._limit is not None:
+            result = result[: self._limit]
+        return result
+
+    def first(self) -> Optional[Model]:
+        results = self.limit(1).all()
+        return results[0] if results else None
+
+    def get(self, pk: Any) -> Optional[Model]:
+        return self.filter(**{self.model.__pk__: pk}).first()
+
+    def count(self) -> int:
+        sql = f"SELECT COUNT(*) FROM {self.model.__tablename__}"
+        where = self._where_sql()
+        if where:
+            sql += f" WHERE {where}"
+        return self.session.execute(sql).scalar()
+
+    def delete(self) -> int:
+        """DELETE matching rows; returns the count removed."""
+        sql = f"DELETE FROM {self.model.__tablename__}"
+        where = self._where_sql()
+        if where:
+            sql += f" WHERE {where}"
+        removed = self.session.execute(sql).rowcount
+        self.session._evict_model(self.model)
+        return removed
+
+
+class Session:
+    """Unit of work + identity map over a Database."""
+
+    def __init__(self, db: Optional[Database] = None):
+        self.db = db if db is not None else Database()
+        self.query_count = 0
+        self._pending: List[Model] = []
+        self._identity: Dict[Tuple[str, Any], Model] = {}
+
+    # -- schema -----------------------------------------------------------
+
+    def create_all(self, models: List[Type[Model]]) -> None:
+        for model in models:
+            if not self.db.catalog.has_table(model.__tablename__):
+                self.db.create_table(model.__tablename__, model.schema())
+
+    # -- unit of work ---------------------------------------------------------
+
+    def add(self, obj: Model) -> None:
+        obj._session = self
+        self._pending.append(obj)
+
+    def add_all(self, objs: List[Model]) -> None:
+        for obj in objs:
+            self.add(obj)
+
+    def flush(self) -> int:
+        """Insert pending objects (one bulk insert per model class)."""
+        by_table: Dict[str, List[Model]] = {}
+        for obj in self._pending:
+            by_table.setdefault(obj.__tablename__, []).append(obj)
+        written = 0
+        for table, objs in by_table.items():
+            self.db.insert_rows(table, [o.to_row() for o in objs])
+            self.query_count += 1
+            for obj in objs:
+                self._identity[(table, obj.pk)] = obj
+            written += len(objs)
+        self._pending.clear()
+        return written
+
+    def save(self, obj: Model) -> None:
+        """Write an already-persisted object's current field values back."""
+        assignments = ", ".join(
+            f"{name} = {_sql_literal(getattr(obj, name))}"
+            for name in obj.__fields__
+            if name != obj.__pk__
+        )
+        updated = self.execute(
+            f"UPDATE {obj.__tablename__} SET {assignments} "
+            f"WHERE {obj.__pk__} = {_sql_literal(obj.pk)}"
+        ).rowcount
+        if updated == 0:
+            raise ReproError(
+                f"save() found no stored row for {type(obj).__name__} pk={obj.pk!r}"
+            )
+        self._identity[(obj.__tablename__, obj.pk)] = obj
+
+    def delete(self, obj: Model) -> None:
+        """Remove one persisted object."""
+        removed = self.execute(
+            f"DELETE FROM {obj.__tablename__} "
+            f"WHERE {obj.__pk__} = {_sql_literal(obj.pk)}"
+        ).rowcount
+        if removed == 0:
+            raise ReproError(
+                f"delete() found no stored row for {type(obj).__name__} pk={obj.pk!r}"
+            )
+        self._identity.pop((obj.__tablename__, obj.pk), None)
+
+    def _evict_model(self, model: Type[Model]) -> None:
+        """Drop identity-map entries for a model after a bulk delete."""
+        table = model.__tablename__
+        for key in [k for k in self._identity if k[0] == table]:
+            del self._identity[key]
+
+    # -- querying ----------------------------------------------------------------
+
+    def query(self, model: Type[Model]) -> Query:
+        return Query(self, model)
+
+    def execute(self, sql: str):
+        """Run SQL, counting round trips (the metric E2 reports)."""
+        self.query_count += 1
+        return self.db.execute(sql)
+
+    def reset_query_count(self) -> None:
+        self.query_count = 0
+
+    def _materialize(self, model: Type[Model], row: tuple) -> Model:
+        pk_index = model.field_names().index(model.__pk__)
+        key = (model.__tablename__, row[pk_index])
+        cached = self._identity.get(key)
+        if cached is not None:
+            return cached
+        obj = model.from_row(row)
+        obj._session = self
+        self._identity[key] = obj
+        return obj
+
+
+def _sql_literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return repr(value)

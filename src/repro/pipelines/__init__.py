@@ -1,0 +1,31 @@
+"""Declarative AI-data-pipeline DAGs with a cost-based rewriter.
+
+The Alibaba/QWEN-3 anecdote from the panel — "applying query optimization
+principles to rebuild their pipeline for training QWEN 3, significantly
+reducing costs" — in runnable form.  Pipelines are declarative chains of
+dataset operators carrying field-level read/write sets and per-row costs;
+the optimizer applies the classic rules (cheap-selective-filters-first,
+dedup-early, map fusion) without changing results, and the executor accounts
+rows, bytes, and cpu/gpu cost so E4 can report the reduction factor.
+"""
+
+from repro.pipelines.cost import CostReport, OpCost
+from repro.pipelines.executor import run_pipeline
+from repro.pipelines.ops import Dedup, Filter, FlatMap, Lookup, Map, Op, Sample
+from repro.pipelines.pipeline import Pipeline
+from repro.pipelines.rewriter import PipelineOptimizer
+
+__all__ = [
+    "Pipeline",
+    "Op",
+    "Filter",
+    "Map",
+    "FlatMap",
+    "Dedup",
+    "Lookup",
+    "Sample",
+    "PipelineOptimizer",
+    "run_pipeline",
+    "CostReport",
+    "OpCost",
+]

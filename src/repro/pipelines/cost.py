@@ -1,0 +1,70 @@
+"""Cost accounting for pipeline runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class OpCost:
+    """Measured work of one operator during a run."""
+
+    op: str
+    rows_in: int = 0
+    rows_out: int = 0
+    bytes_in: int = 0
+    cpu_cost: float = 0.0
+    gpu_cost: float = 0.0
+
+
+@dataclass
+class CostReport:
+    """Aggregated run accounting (what E4 compares across plans)."""
+
+    pipeline: str
+    per_op: List[OpCost] = field(default_factory=list)
+    wall_ms: float = 0.0
+
+    @property
+    def total_cpu(self) -> float:
+        return sum(c.cpu_cost for c in self.per_op)
+
+    @property
+    def total_gpu(self) -> float:
+        return sum(c.gpu_cost for c in self.per_op)
+
+    @property
+    def total_rows_processed(self) -> int:
+        return sum(c.rows_in for c in self.per_op)
+
+    @property
+    def total_bytes_processed(self) -> int:
+        return sum(c.bytes_in for c in self.per_op)
+
+    @property
+    def rows_out(self) -> int:
+        return self.per_op[-1].rows_out if self.per_op else 0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "rows_processed": self.total_rows_processed,
+            "bytes_processed": self.total_bytes_processed,
+            "cpu_cost": round(self.total_cpu, 2),
+            "gpu_cost": round(self.total_gpu, 2),
+            "rows_out": self.rows_out,
+        }
+
+    def pretty(self) -> str:
+        lines = [f"pipeline {self.pipeline}:"]
+        for c in self.per_op:
+            lines.append(
+                f"  {c.op:<28} in={c.rows_in:<8} out={c.rows_out:<8} "
+                f"bytes={c.bytes_in:<10} cpu={c.cpu_cost:<10.1f} gpu={c.gpu_cost:.1f}"
+            )
+        lines.append(
+            f"  TOTAL rows={self.total_rows_processed} "
+            f"bytes={self.total_bytes_processed} cpu={self.total_cpu:.1f} "
+            f"gpu={self.total_gpu:.1f}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Dataset operators.
+
+Records are plain dicts.  Every operator declares:
+
+* ``reads`` — fields its function looks at,
+* ``writes`` — fields it creates or mutates (empty for filters),
+* ``cost_per_row`` — abstract CPU cost units per input row,
+* ``gpu`` — whether the cost counts as accelerator time (tokenizers,
+  embedders); the optimizer tries hardest to shrink the input of these.
+
+Read/write sets give the rewriter exact commutation rules: ``a`` may move
+before ``b`` iff ``a.reads ∩ b.writes = ∅`` (a never looks at anything b
+produces) and ``a.writes ∩ (b.reads ∪ b.writes) = ∅``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional
+
+from repro.core.errors import PipelineError
+
+Record = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base operator; concrete kinds below."""
+
+    name: str
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
+    cost_per_row: float = 1.0
+    gpu: bool = False
+
+    def kind(self) -> str:
+        return type(self).__name__.lower()
+
+    def describe(self) -> str:
+        tag = " [gpu]" if self.gpu else ""
+        return f"{self.kind()}:{self.name}{tag}"
+
+
+@dataclass(frozen=True)
+class Filter(Op):
+    """Keep records where ``fn(record)`` is truthy."""
+
+    fn: Callable[[Record], bool] = None
+    selectivity: float = 0.5  # estimated keep fraction (for ordering)
+
+    def __post_init__(self):
+        if self.fn is None:
+            raise PipelineError(f"filter {self.name!r} needs a function")
+
+
+@dataclass(frozen=True)
+class Map(Op):
+    """Transform each record (must return the record, possibly mutated copy)."""
+
+    fn: Callable[[Record], Record] = None
+    output_ratio: float = 1.0  # output bytes per input byte (estimate)
+
+    def __post_init__(self):
+        if self.fn is None:
+            raise PipelineError(f"map {self.name!r} needs a function")
+
+
+@dataclass(frozen=True)
+class FlatMap(Op):
+    """Expand each record into zero or more records."""
+
+    fn: Callable[[Record], Iterable[Record]] = None
+    fanout: float = 1.0
+
+    def __post_init__(self):
+        if self.fn is None:
+            raise PipelineError(f"flatmap {self.name!r} needs a function")
+
+
+@dataclass(frozen=True)
+class Dedup(Op):
+    """Drop records whose key was already seen (exact or minhash-banded)."""
+
+    key: Callable[[Record], Any] = None
+    method: str = "exact"  # "exact" | "minhash"
+    num_hashes: int = 32
+    bands: int = 8
+    duplicate_fraction: float = 0.2  # estimated drop fraction
+
+    def __post_init__(self):
+        if self.key is None:
+            raise PipelineError(f"dedup {self.name!r} needs a key function")
+        if self.method not in ("exact", "minhash"):
+            raise PipelineError(f"unknown dedup method {self.method!r}")
+        if self.method == "minhash" and self.num_hashes % self.bands != 0:
+            raise PipelineError("num_hashes must be divisible by bands")
+
+
+@dataclass(frozen=True)
+class Lookup(Op):
+    """Enrich records by joining against a keyed side table.
+
+    One match per record (first wins): ``how="inner"`` drops records with
+    no match; ``how="left"`` keeps them with ``None`` for the taken fields.
+    ``writes`` is exactly ``take`` — the fields copied from the side table.
+    """
+
+    key: Callable[[Record], Any] = None
+    table: Dict[Any, Record] = None  # pre-keyed side input
+    take: FrozenSet[str] = frozenset()
+    how: str = "inner"
+    match_fraction: float = 0.9  # estimated hit rate (for inner-join sizing)
+
+    def __post_init__(self):
+        if self.key is None or self.table is None:
+            raise PipelineError(f"lookup {self.name!r} needs a key fn and a table")
+        if self.how not in ("inner", "left"):
+            raise PipelineError(f"unknown lookup how={self.how!r}")
+
+
+@dataclass(frozen=True)
+class Sample(Op):
+    """Keep a deterministic pseudo-random fraction of records."""
+
+    fraction: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.fraction <= 1.0:
+            raise PipelineError("sample fraction must be in [0, 1]")
+
+
+# --------------------------------------------------------------------------
+# Execution helpers (used by the executor)
+# --------------------------------------------------------------------------
+
+
+def _stable_hash(text: str) -> int:
+    """Process-independent 32-bit hash (str hash() is salted per run)."""
+    import zlib
+
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def minhash_signature(tokens: List[str], num_hashes: int, seed: int = 0) -> tuple:
+    """MinHash signature of a token set (stable across runs)."""
+    if not tokens:
+        return (0,) * num_hashes
+    sig = []
+    for i in range(num_hashes):
+        sig.append(min(_stable_hash(f"{seed}:{i}:{t}") for t in set(tokens)))
+    return tuple(sig)
+
+
+def minhash_bands(signature: tuple, bands: int) -> List[tuple]:
+    """Split a signature into LSH bands; any shared band = near-duplicate."""
+    rows = len(signature) // bands
+    return [tuple(signature[b * rows : (b + 1) * rows]) for b in range(bands)]
+
+
+def record_size(record: Record) -> int:
+    """Approximate byte size of a record (cost accounting)."""
+    total = 0
+    for key, value in record.items():
+        total += len(key)
+        if isinstance(value, str):
+            total += len(value)
+        elif isinstance(value, (list, tuple)):
+            total += 8 * len(value)
+        else:
+            total += 8
+    return total
+
+
+def sample_keeps(op: Sample, index: int) -> bool:
+    """Deterministic per-record sampling decision."""
+    rng = random.Random(f"{op.seed}:{index}")
+    return rng.random() < op.fraction

@@ -1,0 +1,169 @@
+"""Pipeline construction API."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from repro.core.errors import PipelineError
+from repro.pipelines.ops import Dedup, Filter, FlatMap, Lookup, Map, Op, Record, Sample
+
+
+class Pipeline:
+    """A declarative chain of dataset operators.
+
+    Build with the fluent API, then hand to
+    :class:`~repro.pipelines.rewriter.PipelineOptimizer` and/or
+    :func:`~repro.pipelines.executor.run_pipeline`::
+
+        pipe = (Pipeline("prep")
+                .filter("lang", lambda r: r["lang"] == "en",
+                        reads={"lang"}, selectivity=0.4, cost=0.1)
+                .map("tokenize", tokenize_fn, reads={"text"},
+                     writes={"tokens"}, cost=25.0, gpu=True))
+    """
+
+    def __init__(self, name: str = "pipeline", ops: Optional[Sequence[Op]] = None):
+        self.name = name
+        self.ops: List[Op] = list(ops) if ops else []
+
+    # -- fluent builders ----------------------------------------------------
+
+    def filter(
+        self,
+        name: str,
+        fn: Callable[[Record], bool],
+        reads: Iterable[str],
+        selectivity: float = 0.5,
+        cost: float = 1.0,
+    ) -> "Pipeline":
+        self.ops.append(
+            Filter(
+                name=name,
+                fn=fn,
+                reads=frozenset(reads),
+                selectivity=selectivity,
+                cost_per_row=cost,
+            )
+        )
+        return self
+
+    def map(
+        self,
+        name: str,
+        fn: Callable[[Record], Record],
+        reads: Iterable[str],
+        writes: Iterable[str],
+        cost: float = 1.0,
+        gpu: bool = False,
+        output_ratio: float = 1.0,
+    ) -> "Pipeline":
+        self.ops.append(
+            Map(
+                name=name,
+                fn=fn,
+                reads=frozenset(reads),
+                writes=frozenset(writes),
+                cost_per_row=cost,
+                gpu=gpu,
+                output_ratio=output_ratio,
+            )
+        )
+        return self
+
+    def flat_map(
+        self,
+        name: str,
+        fn: Callable[[Record], Iterable[Record]],
+        reads: Iterable[str],
+        writes: Iterable[str],
+        cost: float = 1.0,
+        fanout: float = 1.0,
+    ) -> "Pipeline":
+        self.ops.append(
+            FlatMap(
+                name=name,
+                fn=fn,
+                reads=frozenset(reads),
+                writes=frozenset(writes),
+                cost_per_row=cost,
+                fanout=fanout,
+            )
+        )
+        return self
+
+    def dedup(
+        self,
+        name: str,
+        key: Callable[[Record], Any],
+        reads: Iterable[str],
+        method: str = "exact",
+        cost: float = 0.5,
+        duplicate_fraction: float = 0.2,
+        num_hashes: int = 32,
+        bands: int = 8,
+    ) -> "Pipeline":
+        self.ops.append(
+            Dedup(
+                name=name,
+                key=key,
+                reads=frozenset(reads),
+                method=method,
+                cost_per_row=cost,
+                duplicate_fraction=duplicate_fraction,
+                num_hashes=num_hashes,
+                bands=bands,
+            )
+        )
+        return self
+
+    def lookup(
+        self,
+        name: str,
+        key: Callable[[Record], Any],
+        table: dict,
+        reads: Iterable[str],
+        take: Iterable[str],
+        how: str = "inner",
+        cost: float = 0.5,
+        match_fraction: float = 0.9,
+    ) -> "Pipeline":
+        self.ops.append(
+            Lookup(
+                name=name,
+                key=key,
+                table=dict(table),
+                reads=frozenset(reads),
+                writes=frozenset(take),
+                take=frozenset(take),
+                how=how,
+                cost_per_row=cost,
+                match_fraction=match_fraction,
+            )
+        )
+        return self
+
+    def sample(self, name: str, fraction: float, seed: int = 0) -> "Pipeline":
+        self.ops.append(
+            Sample(name=name, fraction=fraction, seed=seed, cost_per_row=0.05)
+        )
+        return self
+
+    # -- utilities ----------------------------------------------------------------
+
+    def describe(self) -> str:
+        return " -> ".join(op.describe() for op in self.ops) or "(empty)"
+
+    def with_ops(self, ops: Sequence[Op]) -> "Pipeline":
+        return Pipeline(self.name, list(ops))
+
+    def validate(self) -> None:
+        """Check field dependencies are satisfiable left-to-right from the
+        source fields implied by the first readers."""
+        if not self.ops:
+            raise PipelineError("pipeline has no operators")
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:
+        return f"Pipeline({self.name}: {self.describe()})"

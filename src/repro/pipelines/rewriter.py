@@ -1,0 +1,209 @@
+"""The pipeline rewriter: query-optimization rules for data-prep DAGs.
+
+Rules (all result-preserving, enforced by the commutation conditions):
+
+1. **Selective-cheap first** — movable Filters and exact Dedups sink toward
+   the source, ordered by rank = cost / (1 - keep_fraction), the classic
+   predicate-ordering rule.
+2. **GPU shielding** — the mechanism by which rule 1 pays off: every row
+   removed before a ``gpu=True`` operator saves its (large) per-row cost.
+3. **Map fusion** — adjacent CPU Maps compose into one operator, removing
+   per-op overhead (one pass instead of two).
+
+Commutation (may ``a`` execute before ``b`` when originally after it):
+
+* never across :class:`FlatMap` or :class:`Sample` (they change the record
+  stream itself — counts, identities, or positional sampling decisions);
+* ``a.reads ∩ b.writes = ∅`` (a must not observe b's outputs);
+* ``a.writes ∩ (b.reads ∪ b.writes) = ∅`` (a must not clobber b's inputs);
+* a Filter crosses an exact Dedup only when ``filter.reads ⊆ dedup.reads``
+  (the decision is then constant within each key group, so the surviving
+  representative is filtered identically);
+* Dedups move only when exact (minhash representatives are order-sensitive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.pipelines.ops import Dedup, Filter, FlatMap, Lookup, Map, Op, Sample
+from repro.pipelines.pipeline import Pipeline
+
+
+@dataclass
+class RewriteTrace:
+    """What the optimizer did (for EXPLAIN-style output and tests)."""
+
+    moves: List[str] = field(default_factory=list)
+    fusions: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [f"moved: {m}" for m in self.moves]
+        lines += [f"fused: {f}" for f in self.fusions]
+        return "\n".join(lines) or "(no rewrites)"
+
+
+def _is_movable(op: Op) -> bool:
+    if isinstance(op, Filter):
+        return True
+    if isinstance(op, Dedup):
+        return op.method == "exact"
+    if isinstance(op, Lookup):
+        # An inner lookup is a row reducer (drops non-matching records); its
+        # commutation is still gated by read/write sets like everything else.
+        return op.how == "inner"
+    return False
+
+
+def _keep_fraction(op: Op) -> float:
+    if isinstance(op, Filter):
+        return max(0.0, min(1.0, op.selectivity))
+    if isinstance(op, Dedup):
+        return max(0.0, min(1.0, 1.0 - op.duplicate_fraction))
+    if isinstance(op, Lookup) and op.how == "inner":
+        return max(0.0, min(1.0, op.match_fraction))
+    return 1.0
+
+
+def _can_swap_before(mover: Op, fixed: Op) -> bool:
+    """May ``mover`` (currently after ``fixed``) run before it?"""
+    if isinstance(fixed, (FlatMap, Sample)) or isinstance(mover, (FlatMap, Sample)):
+        return False
+    if mover.reads & fixed.writes:
+        return False
+    if mover.writes & (fixed.reads | fixed.writes):
+        return False
+    if isinstance(fixed, Dedup):
+        if fixed.method != "exact":
+            return False
+        if isinstance(mover, Filter) and not (mover.reads <= fixed.reads):
+            return False
+        if isinstance(mover, Dedup):
+            return False  # reordering dedups swaps representatives
+    if isinstance(fixed, Lookup) and isinstance(mover, Dedup) and fixed.how == "inner":
+        # An inner lookup drops records: moving a dedup across it can change
+        # which duplicate representative survives.
+        return False
+    if isinstance(mover, Dedup) and isinstance(fixed, Filter):
+        # Dedup jumping before a filter changes which representative the
+        # filter sees unless the filter reads only key fields.
+        if not (fixed.reads <= mover.reads):
+            return False
+    return True
+
+
+class PipelineOptimizer:
+    """Applies the rewrite rules; returns a new Pipeline + trace."""
+
+    def __init__(self, enable_reorder: bool = True, enable_fusion: bool = True):
+        self.enable_reorder = enable_reorder
+        self.enable_fusion = enable_fusion
+
+    def optimize(self, pipeline: Pipeline) -> Pipeline:
+        optimized, _ = self.optimize_traced(pipeline)
+        return optimized
+
+    def optimize_traced(self, pipeline: Pipeline) -> tuple:
+        ops = list(pipeline.ops)
+        trace = RewriteTrace()
+        if self.enable_reorder:
+            ops = self._sink_reducers(ops, trace)
+            ops = self._order_adjacent_reducers(ops, trace)
+        if self.enable_fusion:
+            ops = self._fuse_maps(ops, trace)
+        return pipeline.with_ops(ops), trace
+
+    # -- rule 1 + 2: sink movable reducers toward the source ----------------
+
+    def _sink_reducers(self, ops: List[Op], trace: RewriteTrace) -> List[Op]:
+        changed = True
+        while changed:
+            changed = False
+            for i in range(1, len(ops)):
+                mover, ahead = ops[i], ops[i - 1]
+                if not _is_movable(mover):
+                    continue
+                if _keep_fraction(mover) >= 1.0:
+                    continue
+                # Only hop over ops that are more expensive to feed than the
+                # mover saves nothing by skipping — i.e. hop over anything
+                # legal; ordering among reducers is fixed by rule below.
+                if _is_movable(ahead):
+                    continue  # handled by _order_adjacent_reducers
+                if _can_swap_before(mover, ahead):
+                    ops[i - 1], ops[i] = mover, ahead
+                    trace.moves.append(f"{mover.describe()} before {ahead.describe()}")
+                    changed = True
+        return ops
+
+    # -- rule 1: rank adjacent movable reducers --------------------------------
+
+    def _order_adjacent_reducers(self, ops: List[Op], trace: RewriteTrace) -> List[Op]:
+        """Order runs of adjacent movable reducers by cost/(1-keep)."""
+
+        def rank(op: Op) -> float:
+            drop = 1.0 - _keep_fraction(op)
+            if drop <= 0.0:
+                return float("inf")
+            return op.cost_per_row / drop
+
+        i = 0
+        while i < len(ops):
+            j = i
+            while j < len(ops) and _is_movable(ops[j]):
+                j += 1
+            if j - i > 1:
+                run = ops[i:j]
+                ordered = sorted(run, key=rank)
+                if [o.name for o in ordered] != [o.name for o in run]:
+                    if self._run_reorder_legal(run, ordered):
+                        ops[i:j] = ordered
+                        trace.moves.append(
+                            "ranked reducers: " + ", ".join(o.name for o in ordered)
+                        )
+            i = max(j, i + 1)
+        return ops
+
+    def _run_reorder_legal(self, original: List[Op], proposed: List[Op]) -> bool:
+        """Every op that moves earlier must commute with those it passes."""
+        for new_pos, op in enumerate(proposed):
+            old_pos = original.index(op)
+            for passed in original[:old_pos]:
+                if passed in proposed[new_pos:]:
+                    if not _can_swap_before(op, passed):
+                        return False
+        return True
+
+    # -- rule 3: fuse adjacent maps ------------------------------------------------
+
+    def _fuse_maps(self, ops: List[Op], trace: RewriteTrace) -> List[Op]:
+        out: List[Op] = []
+        for op in ops:
+            previous = out[-1] if out else None
+            if (
+                isinstance(op, Map)
+                and isinstance(previous, Map)
+                and not op.gpu
+                and not previous.gpu
+            ):
+                fused = Map(
+                    name=f"{previous.name}+{op.name}",
+                    fn=_compose(previous.fn, op.fn),
+                    reads=previous.reads | (op.reads - previous.writes),
+                    writes=previous.writes | op.writes,
+                    cost_per_row=previous.cost_per_row + op.cost_per_row,
+                    output_ratio=previous.output_ratio * op.output_ratio,
+                )
+                out[-1] = fused
+                trace.fusions.append(fused.name)
+                continue
+            out.append(op)
+        return out
+
+
+def _compose(first, second):
+    def fused(record):
+        return second(first(record))
+
+    return fused

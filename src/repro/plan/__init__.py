@@ -1,0 +1,53 @@
+"""Logical plans: bound expression trees, relational algebra, and the binder."""
+
+from repro.plan.binder import Binder
+from repro.plan.expressions import (
+    AggSpec,
+    BoundBinary,
+    BoundCase,
+    BoundColumn,
+    BoundExpr,
+    BoundFunc,
+    BoundInList,
+    BoundIsNull,
+    BoundLike,
+    BoundLiteral,
+    BoundUnary,
+)
+from repro.plan.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    Values,
+)
+
+__all__ = [
+    "Binder",
+    "AggSpec",
+    "BoundExpr",
+    "BoundColumn",
+    "BoundLiteral",
+    "BoundBinary",
+    "BoundUnary",
+    "BoundFunc",
+    "BoundInList",
+    "BoundIsNull",
+    "BoundLike",
+    "BoundCase",
+    "LogicalPlan",
+    "Scan",
+    "Filter",
+    "Project",
+    "Join",
+    "Aggregate",
+    "Sort",
+    "Limit",
+    "Distinct",
+    "Values",
+]

@@ -1,0 +1,703 @@
+"""The binder: resolves a parsed statement against the catalog.
+
+Responsibilities:
+
+* name resolution (tables, aliases, columns, select-list aliases, ordinals),
+* type checking and sugar desugaring (via :mod:`repro.plan.expressions`),
+* aggregate extraction (GROUP BY semantics and the "column must appear in
+  GROUP BY" rule),
+* assembling the canonical logical plan shape::
+
+      Scan → [Filter] → [Aggregate] → [Filter(HAVING)] → Project
+           → [Distinct] → [Sort] → [Limit]
+
+  (Sort binds against the projected schema first; when the key only exists
+  pre-projection, the Sort is planned beneath the Project instead.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.core.errors import BindError, TypeMismatchError
+from repro.core.types import Column, DataType, Schema, common_numeric_type
+from repro.plan import logical
+from repro.plan.expressions import (
+    AGGREGATE_FUNCS,
+    AggSpec,
+    BoundBinary,
+    BoundCase,
+    BoundColumn,
+    BoundExpr,
+    BoundFunc,
+    BoundInList,
+    BoundIsNull,
+    BoundLike,
+    BoundLiteral,
+    BoundUnary,
+    is_constant,
+    scalar_result_type,
+)
+from repro.sql import ast
+
+
+class Binder:
+    """Binds AST statements to logical plans using catalog metadata.
+
+    ``subquery_executor`` (optional) runs an uncorrelated subquery's logical
+    plan and returns its rows; the Database facade supplies one so scalar
+    and IN subqueries fold to constants at bind time.  Without it,
+    subqueries raise :class:`BindError`.
+    """
+
+    def __init__(self, catalog: Catalog, subquery_executor=None):
+        self.catalog = catalog
+        self.subquery_executor = subquery_executor
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def bind_query(self, stmt: ast.Statement) -> logical.LogicalPlan:
+        """Bind a SELECT or a UNION/INTERSECT/EXCEPT compound."""
+        if isinstance(stmt, ast.SelectStmt):
+            return self.bind_select(stmt)
+        if isinstance(stmt, ast.SetOpStmt):
+            return self._bind_set_op(stmt)
+        raise BindError(f"not a query statement: {type(stmt).__name__}")
+
+    def _bind_set_op(self, stmt: ast.SetOpStmt) -> logical.LogicalPlan:
+        left = self.bind_query(stmt.left)
+        right = self.bind_select(stmt.right)
+        left_schema = left.output_schema()
+        right_schema = right.output_schema()
+        if len(left_schema) != len(right_schema):
+            raise BindError(
+                f"{stmt.op.upper()} operands have {len(left_schema)} and "
+                f"{len(right_schema)} columns"
+            )
+        for lc, rc in zip(left_schema.columns, right_schema.columns):
+            compatible = (
+                lc.dtype == rc.dtype
+                or lc.dtype is DataType.NULL
+                or rc.dtype is DataType.NULL
+                or (lc.dtype.is_numeric() and rc.dtype.is_numeric())
+            )
+            if not compatible:
+                raise TypeMismatchError(
+                    f"{stmt.op.upper()} column {lc.name!r}: "
+                    f"{lc.dtype.value} vs {rc.dtype.value}"
+                )
+        plan: logical.LogicalPlan = logical.SetOp(left, right, stmt.op, stmt.all)
+        if stmt.order_by:
+            schema = plan.output_schema()
+            keys = []
+            for item in stmt.order_by:
+                expr = item.expr
+                if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                    idx = expr.value - 1
+                    if idx < 0 or idx >= len(schema):
+                        raise BindError(f"ORDER BY position {expr.value} out of range")
+                    column = schema[idx]
+                    keys.append((BoundColumn(idx, column.dtype, column.name), item.ascending))
+                else:
+                    keys.append((self.bind_expr(expr, schema), item.ascending))
+            plan = logical.Sort(plan, tuple(keys))
+        if stmt.limit is not None or stmt.offset is not None:
+            plan = logical.Limit(plan, stmt.limit, stmt.offset or 0)
+        return plan
+
+    def bind_select(self, stmt: ast.SelectStmt) -> logical.LogicalPlan:
+        if stmt.from_item is not None:
+            plan = self._bind_from(stmt.from_item)
+        else:
+            plan = logical.Values(rows=((),), schema=Schema([]))
+        input_schema = plan.output_schema()
+
+        if stmt.where is not None:
+            predicate = self.bind_expr(stmt.where, input_schema)
+            _require_boolean(predicate, "WHERE")
+            plan = logical.Filter(plan, predicate)
+
+        has_aggregates = stmt.group_by or self._contains_aggregate(stmt)
+        builder = None
+        if has_aggregates:
+            builder = self._bind_aggregate_query(stmt, plan)
+            project_exprs, names = builder.project_exprs, builder.names
+        else:
+            project_exprs, names = self._bind_select_items(stmt.items, input_schema)
+
+        result_schema = Schema(
+            [Column(n, e.dtype) for n, e in zip(names, project_exprs)]
+        )
+
+        # ORDER BY: prefer the projected schema (aliases + ordinals).  When
+        # any key needs pre-projection state (an unprojected column, or an
+        # aggregate like ORDER BY COUNT(*)), bind every key below the
+        # Project instead (aliases/ordinals resolve to their defining AST).
+        sort_keys_post: List[Tuple[BoundExpr, bool]] = []
+        all_post = True
+        for item in stmt.order_by:
+            bound = self._bind_order_key(
+                item.expr, result_schema, project_exprs, names
+            )
+            if bound is None:
+                all_post = False
+                break
+            sort_keys_post.append((bound, item.ascending))
+
+        sort_keys_pre: List[Tuple[BoundExpr, bool]] = []
+        if not all_post:
+            sort_keys_post = []
+            for item in stmt.order_by:
+                key_ast = self._resolve_order_ast(item.expr, stmt.items)
+                if builder is not None:
+                    bound_pre = builder.rewrite(key_ast)
+                else:
+                    bound_pre = self.bind_expr(key_ast, plan.output_schema())
+                sort_keys_pre.append((bound_pre, item.ascending))
+
+        if builder is not None:
+            # Construct the Aggregate only now: ORDER BY may have added specs.
+            plan = builder.build()
+
+        if sort_keys_pre:
+            plan = logical.Sort(plan, tuple(sort_keys_pre))
+            plan = logical.Project(plan, tuple(project_exprs), tuple(names))
+            if stmt.distinct:
+                plan = logical.Distinct(plan)
+        else:
+            plan = logical.Project(plan, tuple(project_exprs), tuple(names))
+            if stmt.distinct:
+                plan = logical.Distinct(plan)
+            if sort_keys_post:
+                plan = logical.Sort(plan, tuple(sort_keys_post))
+
+        if stmt.limit is not None or stmt.offset is not None:
+            plan = logical.Limit(plan, stmt.limit, stmt.offset or 0)
+        return plan
+
+    # -- FROM ------------------------------------------------------------
+
+    def _bind_from(self, item: ast.FromItem) -> logical.LogicalPlan:
+        if isinstance(item, ast.TableRef):
+            table = self.catalog.get_table(item.name)
+            alias = item.alias or table.name
+            schema = table.schema.with_table(alias)
+            return logical.Scan(table.name, alias, schema)
+        if isinstance(item, ast.Join):
+            left = self._bind_from(item.left)
+            right = self._bind_from(item.right)
+            combined = left.output_schema().concat(right.output_schema())
+            condition = None
+            if item.condition is not None:
+                condition = self.bind_expr(item.condition, combined)
+                _require_boolean(condition, "JOIN ON")
+            if item.kind == "cross":
+                return logical.Join(left, right, logical.CROSS, None)
+            kind = logical.LEFT_OUTER if item.kind == "left" else logical.INNER
+            return logical.Join(left, right, kind, condition)
+        raise BindError(f"unsupported FROM item {item!r}")
+
+    # -- select list --------------------------------------------------------
+
+    def _bind_select_items(
+        self, items: Sequence[ast.SelectItem], schema: Schema
+    ) -> Tuple[List[BoundExpr], List[str]]:
+        exprs: List[BoundExpr] = []
+        names: List[str] = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                for idx, col in enumerate(schema.columns):
+                    if item.expr.table and col.table != item.expr.table:
+                        continue
+                    exprs.append(BoundColumn(idx, col.dtype, col.name))
+                    names.append(col.name)
+                if item.expr.table and not any(
+                    col.table == item.expr.table for col in schema.columns
+                ):
+                    raise BindError(f"unknown table in {item.expr.to_sql()}")
+                continue
+            bound = self.bind_expr(item.expr, schema)
+            exprs.append(bound)
+            names.append(item.alias or _default_name(item.expr))
+        if not exprs:
+            raise BindError("empty select list")
+        return exprs, names
+
+    # -- aggregation ----------------------------------------------------------
+
+    def _contains_aggregate(self, stmt: ast.SelectStmt) -> bool:
+        exprs: List[ast.Expr] = [i.expr for i in stmt.items]
+        if stmt.having is not None:
+            exprs.append(stmt.having)
+        exprs.extend(i.expr for i in stmt.order_by)
+        for expr in exprs:
+            for node in ast.walk_expr(expr):
+                if isinstance(node, ast.FuncCall) and node.name in AGGREGATE_FUNCS:
+                    return True
+        return False
+
+    def _bind_aggregate_query(
+        self, stmt: ast.SelectStmt, plan: logical.LogicalPlan
+    ) -> "_AggregateBuilder":
+        input_schema = plan.output_schema()
+        group_bound: List[BoundExpr] = []
+        group_asts: List[ast.Expr] = []
+        group_names: List[str] = []
+        for g in stmt.group_by:
+            g_ast = self._resolve_group_alias(g, stmt.items)
+            bound = self.bind_expr(g_ast, input_schema)
+            group_bound.append(bound)
+            group_asts.append(g_ast)
+            group_names.append(_default_name(g_ast))
+
+        agg_specs: List[AggSpec] = []
+
+        def agg_column(spec: AggSpec) -> BoundColumn:
+            # Deduplicate identical aggregate computations.
+            for idx, existing in enumerate(agg_specs):
+                if (
+                    existing.func == spec.func
+                    and existing.arg == spec.arg
+                    and existing.distinct == spec.distinct
+                ):
+                    return BoundColumn(
+                        len(group_bound) + idx, existing.result_type(), existing.name
+                    )
+            agg_specs.append(spec)
+            return BoundColumn(
+                len(group_bound) + len(agg_specs) - 1, spec.result_type(), spec.name
+            )
+
+        def rewrite(expr: ast.Expr) -> BoundExpr:
+            """Bind an expression over the aggregate's output row."""
+            # A sub-expression equal to a group key becomes that key column.
+            bound_try = self._try_bind(expr, input_schema)
+            if bound_try is not None:
+                for key_idx, g in enumerate(group_bound):
+                    if bound_try == g:
+                        return BoundColumn(key_idx, g.dtype, group_names[key_idx])
+                if is_constant(bound_try):
+                    return bound_try
+            if isinstance(expr, ast.FuncCall) and expr.name in AGGREGATE_FUNCS:
+                return agg_column(self._make_agg_spec(expr, input_schema))
+            if isinstance(expr, ast.ColumnRef):
+                raise BindError(
+                    f"column {expr.to_sql()!r} must appear in GROUP BY or an aggregate"
+                )
+            return self._rebind_composite(expr, rewrite)
+
+        project_exprs: List[BoundExpr] = []
+        names: List[str] = []
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Star):
+                raise BindError("SELECT * cannot be combined with GROUP BY")
+            project_exprs.append(rewrite(item.expr))
+            names.append(item.alias or _default_name(item.expr))
+
+        having_bound = None
+        if stmt.having is not None:
+            having_bound = rewrite(stmt.having)
+            _require_boolean(having_bound, "HAVING")
+
+        return _AggregateBuilder(
+            input_plan=plan,
+            group_bound=group_bound,
+            agg_specs=agg_specs,
+            group_names=group_names,
+            having=having_bound,
+            project_exprs=project_exprs,
+            names=names,
+            rewrite=rewrite,
+        )
+
+    def _resolve_group_alias(
+        self, expr: ast.Expr, items: Sequence[ast.SelectItem]
+    ) -> ast.Expr:
+        """GROUP BY may name a select alias or an ordinal."""
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            idx = expr.value - 1
+            if idx < 0 or idx >= len(items):
+                raise BindError(f"GROUP BY position {expr.value} out of range")
+            return items[idx].expr
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            for item in items:
+                if item.alias and item.alias.lower() == expr.name.lower():
+                    return item.expr
+        return expr
+
+    def _make_agg_spec(self, call: ast.FuncCall, schema: Schema) -> AggSpec:
+        if len(call.args) != 1:
+            raise BindError(f"{call.name} takes exactly one argument")
+        arg_ast = call.args[0]
+        if isinstance(arg_ast, ast.Star):
+            if call.name != "COUNT":
+                raise BindError(f"{call.name}(*) is not valid")
+            return AggSpec("COUNT", None, call.distinct, name=_default_name(call))
+        for node in ast.walk_expr(arg_ast):
+            if isinstance(node, ast.FuncCall) and node.name in AGGREGATE_FUNCS:
+                raise BindError("nested aggregate functions are not allowed")
+        arg = self.bind_expr(arg_ast, schema)
+        if call.name in ("SUM", "AVG") and not (
+            arg.dtype.is_numeric() or arg.dtype is DataType.NULL
+        ):
+            raise TypeMismatchError(f"{call.name} requires a numeric argument")
+        return AggSpec(call.name, arg, call.distinct, name=_default_name(call))
+
+    def _rebind_composite(self, expr: ast.Expr, rewrite) -> BoundExpr:
+        """Bind a composite AST node whose leaves go through ``rewrite``."""
+        if isinstance(expr, ast.BinaryOp):
+            left = rewrite(expr.left)
+            right = rewrite(expr.right)
+            return _make_binary(expr.op, left, right)
+        if isinstance(expr, ast.UnaryOp):
+            return _make_unary(expr.op, rewrite(expr.operand))
+        if isinstance(expr, ast.FuncCall):
+            args = tuple(rewrite(a) for a in expr.args)
+            dtype = scalar_result_type(expr.name, [a.dtype for a in args])
+            return BoundFunc(expr.name, args, dtype)
+        if isinstance(expr, ast.CaseExpr):
+            whens = tuple((rewrite(c), rewrite(r)) for c, r in expr.whens)
+            else_result = (
+                rewrite(expr.else_result) if expr.else_result is not None else None
+            )
+            dtype = _case_type(whens, else_result)
+            return BoundCase(whens, else_result, dtype)
+        if isinstance(expr, ast.IsNullExpr):
+            return BoundIsNull(rewrite(expr.operand), expr.negated)
+        if isinstance(expr, ast.LikeExpr):
+            pattern = expr.pattern
+            if not isinstance(pattern, ast.Literal) or not isinstance(
+                pattern.value, str
+            ):
+                raise BindError("LIKE pattern must be a string literal")
+            return BoundLike(rewrite(expr.operand), pattern.value, expr.negated)
+        if isinstance(expr, ast.BetweenExpr):
+            operand = rewrite(expr.operand)
+            low = rewrite(expr.low)
+            high = rewrite(expr.high)
+            cmp = BoundBinary(
+                "AND",
+                _make_binary(">=", operand, low),
+                _make_binary("<=", operand, high),
+                DataType.BOOLEAN,
+            )
+            if expr.negated:
+                return BoundUnary("NOT", cmp, DataType.BOOLEAN)
+            return cmp
+        if isinstance(expr, ast.InExpr):
+            return self._bind_in(expr, rewrite)
+        if isinstance(expr, ast.Subquery):
+            return self._bind_scalar_subquery(expr)
+        if isinstance(expr, ast.ExistsExpr):
+            return self._bind_exists(expr)
+        raise BindError(f"cannot bind expression {expr!r}")
+
+    # ------------------------------------------------------------------
+    # ORDER BY helpers
+    # ------------------------------------------------------------------
+
+    def _resolve_order_ast(
+        self, expr: ast.Expr, items: Sequence[ast.SelectItem]
+    ) -> ast.Expr:
+        """Resolve ORDER BY ordinals and select-list aliases to their AST."""
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            idx = expr.value - 1
+            if idx < 0 or idx >= len(items):
+                raise BindError(f"ORDER BY position {expr.value} out of range")
+            return items[idx].expr
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            for item in items:
+                if item.alias and item.alias.lower() == expr.name.lower():
+                    return item.expr
+        return expr
+
+    def _bind_order_key(
+        self,
+        expr: ast.Expr,
+        result_schema: Schema,
+        project_exprs: Sequence[BoundExpr],
+        names: Sequence[str],
+    ) -> Optional[BoundExpr]:
+        # Ordinal: ORDER BY 2
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            idx = expr.value - 1
+            if idx < 0 or idx >= len(project_exprs):
+                raise BindError(f"ORDER BY position {expr.value} out of range")
+            return BoundColumn(idx, project_exprs[idx].dtype, names[idx])
+        # Alias or projected column name.
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            for idx, name in enumerate(names):
+                if name.lower() == expr.name.lower():
+                    return BoundColumn(idx, project_exprs[idx].dtype, name)
+        return self._try_bind(expr, result_schema)
+
+    # ------------------------------------------------------------------
+    # Expression binding
+    # ------------------------------------------------------------------
+
+    def _try_bind(self, expr: ast.Expr, schema: Schema) -> Optional[BoundExpr]:
+        try:
+            return self.bind_expr(expr, schema)
+        except BindError:
+            return None
+
+    def bind_expr(self, expr: ast.Expr, schema: Schema) -> BoundExpr:
+        """Bind one scalar expression against a schema."""
+        if isinstance(expr, ast.Literal):
+            return BoundLiteral(expr.value, DataType.of_value(expr.value))
+        if isinstance(expr, ast.ColumnRef):
+            idx = schema.index_of(expr.key())
+            col = schema[idx]
+            return BoundColumn(idx, col.dtype, col.name)
+        if isinstance(expr, ast.Star):
+            raise BindError("'*' is only valid in the select list or COUNT(*)")
+        if isinstance(expr, ast.Subquery):
+            return self._bind_scalar_subquery(expr)
+        if isinstance(expr, ast.ExistsExpr):
+            return self._bind_exists(expr)
+        if isinstance(expr, ast.FuncCall) and expr.name in AGGREGATE_FUNCS:
+            raise BindError(
+                f"aggregate {expr.name} is not allowed here (WHERE/JOIN/scalar context)"
+            )
+        return self._rebind_composite(expr, lambda e: self.bind_expr(e, schema))
+
+    # -- subqueries (uncorrelated, folded at bind time) --------------------
+
+    def _run_subquery(self, subquery: ast.Subquery):
+        if self.subquery_executor is None:
+            raise BindError("subqueries are not supported in this context")
+        plan = self.bind_query(subquery.select)
+        schema = plan.output_schema()
+        if len(schema) != 1:
+            raise BindError(
+                f"subquery must return exactly one column, got {len(schema)}"
+            )
+        rows = self.subquery_executor(plan)
+        return schema[0], [row[0] for row in rows]
+
+    def _bind_scalar_subquery(self, subquery: ast.Subquery) -> BoundExpr:
+        column, values = self._run_subquery(subquery)
+        if len(values) > 1:
+            from repro.core.errors import ExecutionError
+
+            raise ExecutionError(
+                f"scalar subquery returned {len(values)} rows (expected at most 1)"
+            )
+        value = values[0] if values else None
+        dtype = column.dtype if value is not None else DataType.NULL
+        return BoundLiteral(value, dtype)
+
+    def _bind_exists(self, expr: ast.ExistsExpr) -> BoundExpr:
+        """EXISTS folds to TRUE/FALSE: evaluate the (uncorrelated) subquery
+        with LIMIT 1 semantics."""
+        if self.subquery_executor is None:
+            raise BindError("subqueries are not supported in this context")
+        plan = self.bind_query(expr.subquery.select)
+        plan = logical.Limit(plan, 1, 0)  # one row decides EXISTS
+        rows = self.subquery_executor(plan)
+        exists = bool(rows)
+        if expr.negated:
+            exists = not exists
+        return BoundLiteral(exists, DataType.BOOLEAN)
+
+    def _bind_in_subquery(self, expr: ast.InExpr, rewrite) -> BoundExpr:
+        operand = rewrite(expr.operand)
+        subquery = expr.values[0]
+        column, values = self._run_subquery(subquery)
+        comparable = (
+            operand.dtype is DataType.NULL
+            or column.dtype is DataType.NULL
+            or (operand.dtype.is_numeric() and column.dtype.is_numeric())
+            or operand.dtype == column.dtype
+        )
+        if not comparable:
+            raise TypeMismatchError(
+                f"IN subquery compares {operand.dtype.value} with {column.dtype.value}"
+            )
+        has_null = any(v is None for v in values)
+        literals = frozenset(v for v in values if v is not None)
+        return BoundInList(operand, literals, has_null, expr.negated)
+
+    def _bind_in(self, expr: ast.InExpr, rewrite) -> BoundExpr:
+        if len(expr.values) == 1 and isinstance(expr.values[0], ast.Subquery):
+            return self._bind_in_subquery(expr, rewrite)
+        operand = rewrite(expr.operand)
+        literals = []
+        non_literals = []
+        has_null = False
+        for value_ast in expr.values:
+            bound = rewrite(value_ast)
+            if isinstance(bound, BoundLiteral):
+                if bound.value is None:
+                    has_null = True
+                else:
+                    literals.append(bound.value)
+            else:
+                non_literals.append(bound)
+        if not non_literals:
+            return BoundInList(operand, frozenset(literals), has_null, expr.negated)
+        # General IN: desugar to an OR chain of equalities.
+        result: Optional[BoundExpr] = None
+        for bound in [BoundLiteral(v, DataType.of_value(v)) for v in literals] + non_literals:
+            eq = _make_binary("=", operand, bound)
+            result = eq if result is None else BoundBinary("OR", result, eq, DataType.BOOLEAN)
+        if has_null:
+            null_lit = BoundLiteral(None, DataType.NULL)
+            eq = _make_binary("=", operand, null_lit)
+            result = BoundBinary("OR", result, eq, DataType.BOOLEAN)
+        if expr.negated:
+            return BoundUnary("NOT", result, DataType.BOOLEAN)
+        return result
+
+    # ------------------------------------------------------------------
+    # DML binding helpers (used by the Database facade)
+    # ------------------------------------------------------------------
+
+    def bind_insert_rows(self, stmt: ast.InsertStmt) -> List[tuple]:
+        """Evaluate an INSERT's literal rows into storage-ready tuples."""
+        table = self.catalog.get_table(stmt.table)
+        schema = table.schema
+        if stmt.columns:
+            positions = [schema.index_of(c) for c in stmt.columns]
+        else:
+            positions = list(range(len(schema)))
+        rows = []
+        empty = Schema([])
+        for value_row in stmt.rows:
+            if len(value_row) != len(positions):
+                raise BindError(
+                    f"INSERT row has {len(value_row)} values for {len(positions)} columns"
+                )
+            full: List[Any] = [None] * len(schema)
+            for pos, value_ast in zip(positions, value_row):
+                bound = self.bind_expr(value_ast, empty)
+                if not is_constant(bound):
+                    raise BindError("INSERT values must be constant expressions")
+                full[pos] = bound.eval(())
+            rows.append(tuple(full))
+        return rows
+
+
+# --------------------------------------------------------------------------
+# Typing helpers shared with the optimizer
+# --------------------------------------------------------------------------
+
+
+def _make_binary(op: str, left: BoundExpr, right: BoundExpr) -> BoundExpr:
+    lt, rt = left.dtype, right.dtype
+    if op in ("AND", "OR"):
+        for side, t in (("left", lt), ("right", rt)):
+            if t not in (DataType.BOOLEAN, DataType.NULL):
+                raise TypeMismatchError(f"{op} requires boolean operands, got {t.value}")
+        return BoundBinary(op, left, right, DataType.BOOLEAN)
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+        comparable = (
+            lt is DataType.NULL
+            or rt is DataType.NULL
+            or (lt.is_numeric() and rt.is_numeric())
+            or lt == rt
+        )
+        if not comparable:
+            raise TypeMismatchError(
+                f"cannot compare {lt.value} with {rt.value} using {op}"
+            )
+        return BoundBinary(op, left, right, DataType.BOOLEAN)
+    if op in ("+", "-", "*", "/", "%"):
+        for t in (lt, rt):
+            if not (t.is_numeric() or t is DataType.NULL):
+                raise TypeMismatchError(f"operator {op} requires numeric operands")
+        if op == "/":
+            dtype = DataType.FLOAT if DataType.FLOAT in (lt, rt) else DataType.INTEGER
+        else:
+            dtype = common_numeric_type(lt, rt)
+        return BoundBinary(op, left, right, dtype)
+    if op == "||":
+        return BoundBinary(op, left, right, DataType.TEXT)
+    raise BindError(f"unknown operator {op!r}")
+
+
+def _make_unary(op: str, operand: BoundExpr) -> BoundExpr:
+    if op == "NOT":
+        if operand.dtype not in (DataType.BOOLEAN, DataType.NULL):
+            raise TypeMismatchError("NOT requires a boolean operand")
+        return BoundUnary("NOT", operand, DataType.BOOLEAN)
+    if op == "-":
+        if not (operand.dtype.is_numeric() or operand.dtype is DataType.NULL):
+            raise TypeMismatchError("unary minus requires a numeric operand")
+        return BoundUnary("-", operand, operand.dtype)
+    raise BindError(f"unknown unary operator {op!r}")
+
+
+def _case_type(whens, else_result) -> DataType:
+    candidates = [r.dtype for _, r in whens]
+    if else_result is not None:
+        candidates.append(else_result.dtype)
+    non_null = [t for t in candidates if t is not DataType.NULL]
+    if not non_null:
+        return DataType.NULL
+    first = non_null[0]
+    for t in non_null[1:]:
+        if t != first:
+            if t.is_numeric() and first.is_numeric():
+                first = DataType.FLOAT
+            else:
+                raise TypeMismatchError("CASE branches have incompatible types")
+    return first
+
+
+class _AggregateBuilder:
+    """Deferred construction of an Aggregate (+ HAVING) plan fragment.
+
+    ORDER BY binding may register additional aggregate specs through
+    ``rewrite`` after the select list is bound; ``build`` snapshots the
+    final spec list.
+    """
+
+    def __init__(
+        self,
+        input_plan: logical.LogicalPlan,
+        group_bound: List[BoundExpr],
+        agg_specs: List[AggSpec],
+        group_names: List[str],
+        having: Optional[BoundExpr],
+        project_exprs: List[BoundExpr],
+        names: List[str],
+        rewrite,
+    ):
+        self.input_plan = input_plan
+        self.group_bound = group_bound
+        self.agg_specs = agg_specs
+        self.group_names = group_names
+        self.having = having
+        self.project_exprs = project_exprs
+        self.names = names
+        self.rewrite = rewrite
+
+    def build(self) -> logical.LogicalPlan:
+        plan: logical.LogicalPlan = logical.Aggregate(
+            self.input_plan,
+            tuple(self.group_bound),
+            tuple(self.agg_specs),
+            tuple(self.group_names),
+        )
+        if self.having is not None:
+            plan = logical.Filter(plan, self.having)
+        return plan
+
+
+def _require_boolean(expr: BoundExpr, context: str) -> None:
+    if expr.dtype not in (DataType.BOOLEAN, DataType.NULL):
+        raise TypeMismatchError(
+            f"{context} requires a boolean expression, got {expr.dtype.value}"
+        )
+
+
+def _default_name(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FuncCall):
+        return expr.name.lower()
+    return expr.to_sql() if hasattr(expr, "to_sql") else "?column?"

@@ -1,0 +1,524 @@
+"""Bound (typed, position-resolved) expression trees.
+
+The binder turns parser AST expressions into these nodes: column references
+become positional indexes into the child operator's output row, types are
+checked, and sugar (BETWEEN, IN over literals, IS NULL, LIKE) is desugared.
+Evaluation follows SQL three-valued logic: comparisons and boolean
+connectives propagate NULL as "unknown", and WHERE keeps only rows where the
+predicate is strictly true.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Optional, Sequence, Tuple
+
+from repro.core.errors import BindError, ExecutionError, TypeMismatchError
+from repro.core.types import DataType, common_numeric_type
+
+
+class BoundExpr:
+    """Base class: every node knows its result type and can evaluate a row."""
+
+    dtype: DataType
+
+    def eval(self, row: Sequence[Any]) -> Any:
+        raise NotImplementedError
+
+    def children(self) -> Tuple["BoundExpr", ...]:
+        return ()
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.to_sql()
+
+
+@dataclass(frozen=True, repr=False)
+class BoundColumn(BoundExpr):
+    index: int
+    dtype: DataType
+    name: str = "?column?"
+
+    def eval(self, row: Sequence[Any]) -> Any:
+        return row[self.index]
+
+    def to_sql(self) -> str:
+        return f"{self.name}#{self.index}"
+
+
+@dataclass(frozen=True, repr=False)
+class BoundLiteral(BoundExpr):
+    value: Any
+    dtype: DataType
+
+    def eval(self, row: Sequence[Any]) -> Any:
+        return self.value
+
+    def to_sql(self) -> str:
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        return str(self.value)
+
+
+_ARITH_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+_CMP_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True, repr=False)
+class BoundBinary(BoundExpr):
+    op: str
+    left: BoundExpr
+    right: BoundExpr
+    dtype: DataType
+
+    def children(self) -> Tuple[BoundExpr, ...]:
+        return (self.left, self.right)
+
+    def eval(self, row: Sequence[Any]) -> Any:
+        op = self.op
+        if op == "AND":
+            left = self.left.eval(row)
+            if left is False:
+                return False
+            right = self.right.eval(row)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if op == "OR":
+            left = self.left.eval(row)
+            if left is True:
+                return True
+            right = self.right.eval(row)
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        left = self.left.eval(row)
+        right = self.right.eval(row)
+        if left is None or right is None:
+            return None
+        if op in _CMP_OPS:
+            return _CMP_OPS[op](left, right)
+        if op in _ARITH_OPS:
+            return _ARITH_OPS[op](left, right)
+        if op == "/":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            if isinstance(left, int) and isinstance(right, int):
+                # SQL integer division truncates toward zero.
+                return int(left / right)
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise ExecutionError("modulo by zero")
+            return math.fmod(left, right) if isinstance(left, float) or isinstance(right, float) else int(math.fmod(left, right))
+        if op == "||":
+            return str(left) + str(right)
+        raise ExecutionError(f"unknown binary operator {op!r}")
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True, repr=False)
+class BoundUnary(BoundExpr):
+    op: str  # "NOT" | "-"
+    operand: BoundExpr
+    dtype: DataType
+
+    def children(self) -> Tuple[BoundExpr, ...]:
+        return (self.operand,)
+
+    def eval(self, row: Sequence[Any]) -> Any:
+        value = self.operand.eval(row)
+        if value is None:
+            return None
+        if self.op == "NOT":
+            return not value
+        return -value
+
+    def to_sql(self) -> str:
+        if self.op == "NOT":
+            return f"(NOT {self.operand.to_sql()})"
+        return f"(-{self.operand.to_sql()})"
+
+
+@dataclass(frozen=True, repr=False)
+class BoundIsNull(BoundExpr):
+    operand: BoundExpr
+    negated: bool = False
+    dtype: DataType = DataType.BOOLEAN
+
+    def children(self) -> Tuple[BoundExpr, ...]:
+        return (self.operand,)
+
+    def eval(self, row: Sequence[Any]) -> Any:
+        is_null = self.operand.eval(row) is None
+        return not is_null if self.negated else is_null
+
+    def to_sql(self) -> str:
+        return f"({self.operand.to_sql()} IS {'NOT ' if self.negated else ''}NULL)"
+
+
+@dataclass(frozen=True, repr=False)
+class BoundInList(BoundExpr):
+    operand: BoundExpr
+    values: FrozenSet[Any]
+    has_null: bool = False
+    negated: bool = False
+    dtype: DataType = DataType.BOOLEAN
+
+    def children(self) -> Tuple[BoundExpr, ...]:
+        return (self.operand,)
+
+    def eval(self, row: Sequence[Any]) -> Any:
+        value = self.operand.eval(row)
+        if value is None:
+            return None
+        found = value in self.values
+        if not found and self.has_null:
+            return None  # x IN (..., NULL) is unknown when x matches nothing
+        return not found if self.negated else found
+
+    def to_sql(self) -> str:
+        vals = ", ".join(sorted(repr(v) for v in self.values))
+        return f"({self.operand.to_sql()} {'NOT ' if self.negated else ''}IN ({vals}))"
+
+
+@dataclass(frozen=True, repr=False)
+class BoundLike(BoundExpr):
+    operand: BoundExpr
+    pattern: str
+    negated: bool = False
+    dtype: DataType = DataType.BOOLEAN
+    _regex: Any = field(default=None, compare=False, hash=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "_regex", re.compile(like_to_regex(self.pattern), re.DOTALL))
+
+    def children(self) -> Tuple[BoundExpr, ...]:
+        return (self.operand,)
+
+    def eval(self, row: Sequence[Any]) -> Any:
+        value = self.operand.eval(row)
+        if value is None:
+            return None
+        matched = bool(self._regex.match(value))
+        return not matched if self.negated else matched
+
+    def to_sql(self) -> str:
+        return f"({self.operand.to_sql()} {'NOT ' if self.negated else ''}LIKE '{self.pattern}')"
+
+
+def like_to_regex(pattern: str) -> str:
+    """Translate a SQL LIKE pattern to an anchored regex."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return "".join(out) + r"\Z"
+
+
+@dataclass(frozen=True, repr=False)
+class BoundCase(BoundExpr):
+    whens: Tuple[Tuple[BoundExpr, BoundExpr], ...]
+    else_result: Optional[BoundExpr]
+    dtype: DataType
+
+    def children(self) -> Tuple[BoundExpr, ...]:
+        kids = []
+        for cond, result in self.whens:
+            kids.append(cond)
+            kids.append(result)
+        if self.else_result is not None:
+            kids.append(self.else_result)
+        return tuple(kids)
+
+    def eval(self, row: Sequence[Any]) -> Any:
+        for cond, result in self.whens:
+            if cond.eval(row) is True:
+                return result.eval(row)
+        if self.else_result is not None:
+            return self.else_result.eval(row)
+        return None
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for cond, result in self.whens:
+            parts.append(f"WHEN {cond.to_sql()} THEN {result.to_sql()}")
+        if self.else_result is not None:
+            parts.append(f"ELSE {self.else_result.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Scalar functions
+# --------------------------------------------------------------------------
+
+
+def _fn_substr(args: Sequence[Any]) -> Any:
+    text, start = args[0], args[1]
+    length = args[2] if len(args) > 2 else None
+    begin = max(0, start - 1)  # SQL SUBSTR is 1-based
+    if length is None:
+        return text[begin:]
+    return text[begin : begin + length]
+
+
+def _vec_dist(args: Sequence[Any]) -> float:
+    a, b = args[0], args[1]
+    metric = args[2] if len(args) > 2 else "l2"
+    if len(a) != len(b):
+        raise ExecutionError(f"VEC_DIST width mismatch: {len(a)} vs {len(b)}")
+    if metric == "l2":
+        return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+    if metric == "dot":
+        return -sum(x * y for x, y in zip(a, b))
+    if metric == "cosine":
+        dot = sum(x * y for x, y in zip(a, b))
+        na = math.sqrt(sum(x * x for x in a))
+        nb = math.sqrt(sum(y * y for y in b))
+        if na == 0 or nb == 0:
+            return 1.0
+        return 1.0 - dot / (na * nb)
+    raise ExecutionError(f"unknown VEC_DIST metric {metric!r}")
+
+
+def _text_score(args: Sequence[Any]) -> float:
+    """Engine-local lexical score: query-term frequency in the document.
+
+    The dedicated full-text module (:mod:`repro.text`) provides real BM25
+    over an inverted index; this function gives SQL queries a lightweight
+    per-row score so hybrid predicates can run without an index.
+    """
+    document, query = args[0], args[1]
+    doc_tokens = document.lower().split()
+    if not doc_tokens:
+        return 0.0
+    query_terms = set(query.lower().split())
+    hits = sum(1 for token in doc_tokens if token in query_terms)
+    return hits / len(doc_tokens)
+
+
+def _fn_replace(args: Sequence[Any]) -> str:
+    return args[0].replace(args[1], args[2])
+
+
+_SCALAR_FUNCS: Dict[str, Dict[str, Any]] = {
+    "ABS": {"arity": (1,), "fn": lambda a: abs(a[0]), "dtype": None},
+    "SIGN": {
+        "arity": (1,),
+        "fn": lambda a: (a[0] > 0) - (a[0] < 0),
+        "dtype": DataType.INTEGER,
+    },
+    "MOD": {"arity": (2,), "fn": lambda a: a[0] % a[1], "dtype": None},
+    "POWER": {"arity": (2,), "fn": lambda a: a[0] ** a[1], "dtype": DataType.FLOAT},
+    "EXP": {"arity": (1,), "fn": lambda a: math.exp(a[0]), "dtype": DataType.FLOAT},
+    "LN": {"arity": (1,), "fn": lambda a: math.log(a[0]), "dtype": DataType.FLOAT},
+    "TRIM": {"arity": (1,), "fn": lambda a: a[0].strip(), "dtype": DataType.TEXT},
+    "LTRIM": {"arity": (1,), "fn": lambda a: a[0].lstrip(), "dtype": DataType.TEXT},
+    "RTRIM": {"arity": (1,), "fn": lambda a: a[0].rstrip(), "dtype": DataType.TEXT},
+    "REPLACE": {"arity": (3,), "fn": _fn_replace, "dtype": DataType.TEXT},
+    "REVERSE": {"arity": (1,), "fn": lambda a: a[0][::-1], "dtype": DataType.TEXT},
+    "ROUND": {
+        "arity": (1, 2),
+        "fn": lambda a: round(a[0], a[1] if len(a) > 1 else 0),
+        "dtype": DataType.FLOAT,
+    },
+    "FLOOR": {"arity": (1,), "fn": lambda a: math.floor(a[0]), "dtype": DataType.INTEGER},
+    "CEIL": {"arity": (1,), "fn": lambda a: math.ceil(a[0]), "dtype": DataType.INTEGER},
+    "SQRT": {"arity": (1,), "fn": lambda a: math.sqrt(a[0]), "dtype": DataType.FLOAT},
+    "LOWER": {"arity": (1,), "fn": lambda a: a[0].lower(), "dtype": DataType.TEXT},
+    "UPPER": {"arity": (1,), "fn": lambda a: a[0].upper(), "dtype": DataType.TEXT},
+    "LENGTH": {"arity": (1,), "fn": lambda a: len(a[0]), "dtype": DataType.INTEGER},
+    "SUBSTR": {"arity": (2, 3), "fn": _fn_substr, "dtype": DataType.TEXT},
+    "VEC_DIST": {"arity": (2, 3), "fn": _vec_dist, "dtype": DataType.FLOAT},
+    "TEXT_SCORE": {"arity": (2,), "fn": _text_score, "dtype": DataType.FLOAT},
+}
+
+#: Functions where a NULL argument yields NULL without calling the body.
+_NULL_PROPAGATING = set(_SCALAR_FUNCS)
+
+AGGREGATE_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+def is_scalar_function(name: str) -> bool:
+    return name.upper() in _SCALAR_FUNCS or name.upper() == "COALESCE"
+
+
+def scalar_result_type(name: str, arg_types: Sequence[DataType]) -> DataType:
+    upper = name.upper()
+    if upper == "COALESCE":
+        for t in arg_types:
+            if t is not DataType.NULL:
+                return t
+        return DataType.NULL
+    spec = _SCALAR_FUNCS.get(upper)
+    if spec is None:
+        raise BindError(f"unknown function {name!r}")
+    arity = spec["arity"]
+    if len(arg_types) not in arity:
+        raise BindError(f"{upper} expects {arity} arguments, got {len(arg_types)}")
+    if spec["dtype"] is not None:
+        return spec["dtype"]
+    # Polymorphic (ABS): numeric in, same numeric out.
+    return arg_types[0] if arg_types[0].is_numeric() else DataType.FLOAT
+
+
+@dataclass(frozen=True, repr=False)
+class BoundFunc(BoundExpr):
+    name: str
+    args: Tuple[BoundExpr, ...]
+    dtype: DataType
+
+    def children(self) -> Tuple[BoundExpr, ...]:
+        return self.args
+
+    def eval(self, row: Sequence[Any]) -> Any:
+        upper = self.name
+        if upper == "COALESCE":
+            for arg in self.args:
+                value = arg.eval(row)
+                if value is not None:
+                    return value
+            return None
+        values = [arg.eval(row) for arg in self.args]
+        if any(v is None for v in values):
+            return None
+        try:
+            return _SCALAR_FUNCS[upper]["fn"](values)
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise ExecutionError(f"{upper} failed: {exc}") from exc
+
+    def to_sql(self) -> str:
+        return f"{self.name}({', '.join(a.to_sql() for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate computation: func over an input expression.
+
+    ``arg`` is None for COUNT(*).  ``distinct`` applies to COUNT/SUM/AVG.
+    """
+
+    func: str  # COUNT | SUM | AVG | MIN | MAX
+    arg: Optional[BoundExpr]
+    distinct: bool = False
+    name: str = ""
+
+    def result_type(self) -> DataType:
+        if self.func == "COUNT":
+            return DataType.INTEGER
+        if self.func == "AVG":
+            return DataType.FLOAT
+        if self.arg is None:
+            raise BindError(f"{self.func} requires an argument")
+        return self.arg.dtype if self.arg.dtype is not DataType.NULL else DataType.FLOAT
+
+    def to_sql(self) -> str:
+        inner = "*" if self.arg is None else self.arg.to_sql()
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.func}({prefix}{inner})"
+
+
+# --------------------------------------------------------------------------
+# Expression utilities used by the optimizer
+# --------------------------------------------------------------------------
+
+
+def columns_used(expr: BoundExpr) -> FrozenSet[int]:
+    """Set of input-row positions an expression reads."""
+    found = set()
+
+    def walk(node: BoundExpr) -> None:
+        if isinstance(node, BoundColumn):
+            found.add(node.index)
+        for child in node.children():
+            walk(child)
+
+    walk(expr)
+    return frozenset(found)
+
+
+def remap_columns(expr: BoundExpr, mapping: Dict[int, int]) -> BoundExpr:
+    """Rewrite column indexes through ``mapping`` (must cover all columns)."""
+
+    def walk(node: BoundExpr) -> BoundExpr:
+        if isinstance(node, BoundColumn):
+            if node.index not in mapping:
+                raise BindError(f"column #{node.index} missing from remap")
+            return BoundColumn(mapping[node.index], node.dtype, node.name)
+        if isinstance(node, BoundBinary):
+            return BoundBinary(node.op, walk(node.left), walk(node.right), node.dtype)
+        if isinstance(node, BoundUnary):
+            return BoundUnary(node.op, walk(node.operand), node.dtype)
+        if isinstance(node, BoundIsNull):
+            return BoundIsNull(walk(node.operand), node.negated)
+        if isinstance(node, BoundInList):
+            return BoundInList(
+                walk(node.operand), node.values, node.has_null, node.negated
+            )
+        if isinstance(node, BoundLike):
+            return BoundLike(walk(node.operand), node.pattern, node.negated)
+        if isinstance(node, BoundCase):
+            whens = tuple((walk(c), walk(r)) for c, r in node.whens)
+            else_result = walk(node.else_result) if node.else_result else None
+            return BoundCase(whens, else_result, node.dtype)
+        if isinstance(node, BoundFunc):
+            return BoundFunc(node.name, tuple(walk(a) for a in node.args), node.dtype)
+        return node  # literals
+
+    return walk(expr)
+
+
+def shift_columns(expr: BoundExpr, delta: int) -> BoundExpr:
+    """Shift every column index by ``delta`` (join-side remapping)."""
+    mapping = {i: i + delta for i in columns_used(expr)}
+    return remap_columns(expr, mapping)
+
+
+def split_conjuncts(expr: BoundExpr) -> Tuple[BoundExpr, ...]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if isinstance(expr, BoundBinary) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return (expr,)
+
+
+def conjoin(conjuncts: Sequence[BoundExpr]) -> Optional[BoundExpr]:
+    """AND together a list of predicates (None for an empty list)."""
+    result: Optional[BoundExpr] = None
+    for conjunct in conjuncts:
+        if result is None:
+            result = conjunct
+        else:
+            result = BoundBinary("AND", result, conjunct, DataType.BOOLEAN)
+    return result
+
+
+def is_constant(expr: BoundExpr) -> bool:
+    """True when the expression reads no columns."""
+    return not columns_used(expr)

@@ -1,0 +1,251 @@
+"""Logical relational algebra.
+
+Plans are immutable trees; every node exposes ``output_schema`` and a
+pretty-printer used by EXPLAIN.  Expressions inside nodes are bound
+(:mod:`repro.plan.expressions`): column references are positional indexes
+into the child's output row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.types import Column, DataType, Row, Schema
+from repro.plan.expressions import AggSpec, BoundExpr
+
+INNER = "inner"
+LEFT_OUTER = "left"
+CROSS = "cross"
+
+
+class LogicalPlan:
+    """Base class for logical plan nodes."""
+
+    def output_schema(self) -> Schema:
+        raise NotImplementedError
+
+    def children(self) -> Tuple["LogicalPlan", ...]:
+        return ()
+
+    def node_label(self) -> str:
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.node_label()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return self.pretty()
+
+
+@dataclass(frozen=True, repr=False)
+class Scan(LogicalPlan):
+    """Scan a base table (alias applied to the output schema)."""
+
+    table: str
+    alias: str
+    schema: Schema = field(compare=False)
+
+    def output_schema(self) -> Schema:
+        return self.schema
+
+    def node_label(self) -> str:
+        if self.alias != self.table:
+            return f"Scan({self.table} AS {self.alias})"
+        return f"Scan({self.table})"
+
+
+@dataclass(frozen=True, repr=False)
+class Values(LogicalPlan):
+    """Literal rows (SELECT without FROM)."""
+
+    rows: Tuple[Row, ...]
+    schema: Schema = field(compare=False)
+
+    def output_schema(self) -> Schema:
+        return self.schema
+
+    def node_label(self) -> str:
+        return f"Values({len(self.rows)} rows)"
+
+
+@dataclass(frozen=True, repr=False)
+class Filter(LogicalPlan):
+    child: LogicalPlan
+    predicate: BoundExpr
+
+    def output_schema(self) -> Schema:
+        return self.child.output_schema()
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        return f"Filter({self.predicate.to_sql()})"
+
+
+@dataclass(frozen=True, repr=False)
+class Project(LogicalPlan):
+    child: LogicalPlan
+    exprs: Tuple[BoundExpr, ...]
+    names: Tuple[str, ...]
+
+    def output_schema(self) -> Schema:
+        return Schema(
+            [Column(name, expr.dtype) for name, expr in zip(self.names, self.exprs)]
+        )
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        parts = ", ".join(
+            f"{e.to_sql()} AS {n}" for e, n in zip(self.exprs, self.names)
+        )
+        return f"Project({parts})"
+
+
+@dataclass(frozen=True, repr=False)
+class Join(LogicalPlan):
+    """Join; condition is bound over the concatenated (left ++ right) row."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+    kind: str = INNER
+    condition: Optional[BoundExpr] = None
+
+    def output_schema(self) -> Schema:
+        left = self.left.output_schema()
+        right = self.right.output_schema()
+        if self.kind == LEFT_OUTER:
+            right = Schema(
+                [
+                    Column(c.name, c.dtype, True, c.table, c.vector_width)
+                    for c in right.columns
+                ]
+            )
+        return left.concat(right)
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.left, self.right)
+
+    def node_label(self) -> str:
+        cond = f" ON {self.condition.to_sql()}" if self.condition is not None else ""
+        return f"Join({self.kind}{cond})"
+
+
+@dataclass(frozen=True, repr=False)
+class Aggregate(LogicalPlan):
+    """Group-by + aggregates.
+
+    Output row layout: group-key values first (one per ``group_exprs``),
+    then one column per :class:`AggSpec`.
+    """
+
+    child: LogicalPlan
+    group_exprs: Tuple[BoundExpr, ...]
+    aggregates: Tuple[AggSpec, ...]
+    group_names: Tuple[str, ...] = ()
+
+    def output_schema(self) -> Schema:
+        columns: List[Column] = []
+        names = self.group_names or tuple(
+            f"group_{i}" for i in range(len(self.group_exprs))
+        )
+        for name, expr in zip(names, self.group_exprs):
+            columns.append(Column(name, expr.dtype))
+        for spec in self.aggregates:
+            columns.append(Column(spec.name or spec.to_sql(), spec.result_type()))
+        return Schema(columns)
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        keys = ", ".join(e.to_sql() for e in self.group_exprs)
+        aggs = ", ".join(a.to_sql() for a in self.aggregates)
+        return f"Aggregate(keys=[{keys}] aggs=[{aggs}])"
+
+
+@dataclass(frozen=True, repr=False)
+class SetOp(LogicalPlan):
+    """UNION / INTERSECT / EXCEPT; operands are positionally aligned.
+
+    ``all`` applies to UNION only (bag union); INTERSECT and EXCEPT use the
+    SQL distinct semantics.
+    """
+
+    left: LogicalPlan
+    right: LogicalPlan
+    kind: str  # "union" | "intersect" | "except"
+    all: bool = False
+
+    def output_schema(self) -> Schema:
+        left = self.left.output_schema()
+        right = self.right.output_schema()
+        columns = []
+        for lc, rc in zip(left.columns, right.columns):
+            dtype = lc.dtype
+            if dtype != rc.dtype:
+                dtype = (
+                    DataType.FLOAT
+                    if lc.dtype.is_numeric() and rc.dtype.is_numeric()
+                    else lc.dtype if rc.dtype is DataType.NULL else rc.dtype
+                )
+            columns.append(Column(lc.name, dtype, True))
+        return Schema(columns)
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.left, self.right)
+
+    def node_label(self) -> str:
+        suffix = " ALL" if self.all else ""
+        return f"SetOp({self.kind.upper()}{suffix})"
+
+
+@dataclass(frozen=True, repr=False)
+class Sort(LogicalPlan):
+    child: LogicalPlan
+    keys: Tuple[Tuple[BoundExpr, bool], ...]  # (expr, ascending)
+
+    def output_schema(self) -> Schema:
+        return self.child.output_schema()
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        keys = ", ".join(
+            f"{e.to_sql()} {'ASC' if asc else 'DESC'}" for e, asc in self.keys
+        )
+        return f"Sort({keys})"
+
+
+@dataclass(frozen=True, repr=False)
+class Limit(LogicalPlan):
+    child: LogicalPlan
+    limit: Optional[int] = None
+    offset: int = 0
+
+    def output_schema(self) -> Schema:
+        return self.child.output_schema()
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        return f"Limit(limit={self.limit}, offset={self.offset})"
+
+
+@dataclass(frozen=True, repr=False)
+class Distinct(LogicalPlan):
+    child: LogicalPlan
+
+    def output_schema(self) -> Schema:
+        return self.child.output_schema()
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)

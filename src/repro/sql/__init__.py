@@ -1,0 +1,7 @@
+"""SQL front end: lexer, AST definitions, and recursive-descent parser."""
+
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse, parse_expression
+from repro.sql import ast
+
+__all__ = ["Token", "TokenType", "tokenize", "parse", "parse_expression", "ast"]

@@ -1,0 +1,471 @@
+"""Abstract syntax tree for the SQL dialect.
+
+Nodes are plain dataclasses with a ``to_sql`` round-trip used by EXPLAIN
+output and the parser tests (parse → print → parse must be a fixed point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any  # int | float | str | bool | None | tuple (vector)
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(self.value, tuple):
+            return "[" + ", ".join(repr(float(v)) for v in self.value) + "]"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+    def key(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``t.*`` in a select list or COUNT(*)."""
+
+    table: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # = != < <= > >= + - * / % AND OR ||
+    left: Expr
+    right: Expr
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # NOT | -
+    operand: Expr
+
+    def to_sql(self) -> str:
+        if self.op == "NOT":
+            return f"(NOT {self.operand.to_sql()})"
+        return f"({self.op}{self.operand.to_sql()})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str  # upper-cased
+    args: Tuple[Expr, ...] = ()
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        inner = ", ".join(a.to_sql() for a in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({prefix}{inner})"
+
+
+@dataclass(frozen=True)
+class InExpr(Expr):
+    operand: Expr
+    values: Tuple[Expr, ...]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        vals = ", ".join(v.to_sql() for v in self.values)
+        op = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.to_sql()} {op} ({vals}))"
+
+
+@dataclass(frozen=True)
+class BetweenExpr(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.operand.to_sql()} {op} {self.low.to_sql()} AND {self.high.to_sql()})"
+
+
+@dataclass(frozen=True)
+class LikeExpr(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.operand.to_sql()} {op} {self.pattern.to_sql()})"
+
+
+@dataclass(frozen=True)
+class IsNullExpr(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {op})"
+
+
+@dataclass(frozen=True)
+class Subquery(Expr):
+    """A parenthesized SELECT used as a scalar value or IN source.
+
+    Only uncorrelated subqueries are supported: the inner SELECT may not
+    reference the outer query's columns (it is planned and evaluated once,
+    at bind time).
+    """
+
+    select: "SelectStmt"
+
+    def to_sql(self) -> str:
+        return f"({self.select.to_sql()})"
+
+
+@dataclass(frozen=True)
+class ExistsExpr(Expr):
+    """EXISTS (SELECT ...) — uncorrelated, folded to a boolean at bind time."""
+
+    subquery: Subquery
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"{op} {self.subquery.to_sql()}"
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expr):
+    whens: Tuple[Tuple[Expr, Expr], ...]
+    else_result: Optional[Expr] = None
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for cond, result in self.whens:
+            parts.append(f"WHEN {cond.to_sql()} THEN {result.to_sql()}")
+        if self.else_result is not None:
+            parts.append(f"ELSE {self.else_result.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+# --------------------------------------------------------------------------
+# FROM clause
+# --------------------------------------------------------------------------
+
+
+class FromItem:
+    """Base class for FROM-clause items."""
+
+
+@dataclass(frozen=True)
+class TableRef(FromItem):
+    name: str
+    alias: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.name} AS {self.alias}" if self.alias else self.name
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join(FromItem):
+    left: FromItem
+    right: FromItem
+    kind: str  # "inner" | "left" | "cross"
+    condition: Optional[Expr] = None
+
+    def to_sql(self) -> str:
+        kw = {"inner": "JOIN", "left": "LEFT JOIN", "cross": "CROSS JOIN"}[self.kind]
+        base = f"{self.left.to_sql()} {kw} {self.right.to_sql()}"
+        if self.condition is not None:
+            base += f" ON {self.condition.to_sql()}"
+        return base
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class for statements."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()} AS {self.alias}" if self.alias else self.expr.to_sql()
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True)
+class SelectStmt(Statement):
+    items: Tuple[SelectItem, ...]
+    from_item: Optional[FromItem] = None
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(i.to_sql() for i in self.items))
+        if self.from_item is not None:
+            parts.append("FROM " + self.from_item.to_sql())
+        if self.where is not None:
+            parts.append("WHERE " + self.where.to_sql())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(e.to_sql() for e in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.to_sql())
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.offset is not None:
+            parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class SetOpStmt(Statement):
+    """UNION / UNION ALL / INTERSECT / EXCEPT of two queries.
+
+    ``left`` may itself be a SetOpStmt (left-associative chains).  A trailing
+    ORDER BY / LIMIT in the source text applies to the whole compound and is
+    stored here, never on the operand selects.
+    """
+
+    left: Statement  # SelectStmt | SetOpStmt
+    op: str  # "union" | "intersect" | "except"
+    all: bool
+    right: "SelectStmt"
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+    def to_sql(self) -> str:
+        keyword = {"union": "UNION", "intersect": "INTERSECT", "except": "EXCEPT"}[self.op]
+        if self.all:
+            keyword += " ALL"
+        base = f"{self.left.to_sql()} {keyword} {self.right.to_sql()}"
+        if self.order_by:
+            base += " ORDER BY " + ", ".join(o.to_sql() for o in self.order_by)
+        if self.limit is not None:
+            base += f" LIMIT {self.limit}"
+        if self.offset is not None:
+            base += f" OFFSET {self.offset}"
+        return base
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    not_null: bool = False
+    vector_width: int = 0
+
+    def to_sql(self) -> str:
+        base = f"{self.name} {self.type_name}"
+        if self.vector_width:
+            base += f"({self.vector_width})"
+        if self.not_null:
+            base += " NOT NULL"
+        return base
+
+
+@dataclass(frozen=True)
+class CreateTableStmt(Statement):
+    name: str
+    columns: Tuple[ColumnDef, ...]
+
+    def to_sql(self) -> str:
+        cols = ", ".join(c.to_sql() for c in self.columns)
+        return f"CREATE TABLE {self.name} ({cols})"
+
+
+@dataclass(frozen=True)
+class CreateIndexStmt(Statement):
+    name: str
+    table: str
+    column: str
+    unique: bool = False
+    using: str = "btree"
+
+    def to_sql(self) -> str:
+        uq = "UNIQUE " if self.unique else ""
+        return f"CREATE {uq}INDEX {self.name} ON {self.table} ({self.column}) USING {self.using}"
+
+
+@dataclass(frozen=True)
+class DropTableStmt(Statement):
+    name: str
+
+    def to_sql(self) -> str:
+        return f"DROP TABLE {self.name}"
+
+
+@dataclass(frozen=True)
+class InsertStmt(Statement):
+    table: str
+    columns: Tuple[str, ...]  # empty = all columns in schema order
+    rows: Tuple[Tuple[Expr, ...], ...]
+
+    def to_sql(self) -> str:
+        cols = f" ({', '.join(self.columns)})" if self.columns else ""
+        rows = ", ".join(
+            "(" + ", ".join(e.to_sql() for e in row) + ")" for row in self.rows
+        )
+        return f"INSERT INTO {self.table}{cols} VALUES {rows}"
+
+
+@dataclass(frozen=True)
+class UpdateStmt(Statement):
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+    def to_sql(self) -> str:
+        sets = ", ".join(f"{c} = {e.to_sql()}" for c, e in self.assignments)
+        base = f"UPDATE {self.table} SET {sets}"
+        if self.where is not None:
+            base += f" WHERE {self.where.to_sql()}"
+        return base
+
+
+@dataclass(frozen=True)
+class DeleteStmt(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+    def to_sql(self) -> str:
+        base = f"DELETE FROM {self.table}"
+        if self.where is not None:
+            base += f" WHERE {self.where.to_sql()}"
+        return base
+
+
+@dataclass(frozen=True)
+class ExplainStmt(Statement):
+    statement: Statement
+
+    def to_sql(self) -> str:
+        return f"EXPLAIN {self.statement.to_sql()}"
+
+
+@dataclass(frozen=True)
+class AnalyzeStmt(Statement):
+    table: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"ANALYZE {self.table}" if self.table else "ANALYZE"
+
+
+@dataclass(frozen=True)
+class BeginStmt(Statement):
+    def to_sql(self) -> str:
+        return "BEGIN"
+
+
+@dataclass(frozen=True)
+class CommitStmt(Statement):
+    def to_sql(self) -> str:
+        return "COMMIT"
+
+
+@dataclass(frozen=True)
+class RollbackStmt(Statement):
+    def to_sql(self) -> str:
+        return "ROLLBACK"
+
+
+def walk_expr(expr: Expr):
+    """Depth-first pre-order traversal of an expression tree."""
+    yield expr
+    if isinstance(expr, BinaryOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, FuncCall):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+    elif isinstance(expr, InExpr):
+        yield from walk_expr(expr.operand)
+        for v in expr.values:
+            yield from walk_expr(v)
+    elif isinstance(expr, BetweenExpr):
+        yield from walk_expr(expr.operand)
+        yield from walk_expr(expr.low)
+        yield from walk_expr(expr.high)
+    elif isinstance(expr, LikeExpr):
+        yield from walk_expr(expr.operand)
+        yield from walk_expr(expr.pattern)
+    elif isinstance(expr, IsNullExpr):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, CaseExpr):
+        for cond, result in expr.whens:
+            yield from walk_expr(cond)
+            yield from walk_expr(result)
+        if expr.else_result is not None:
+            yield from walk_expr(expr.else_result)
+
+
+def column_refs(expr: Expr) -> List[ColumnRef]:
+    """All column references within an expression."""
+    return [e for e in walk_expr(expr) if isinstance(e, ColumnRef)]

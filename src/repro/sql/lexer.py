@@ -1,0 +1,160 @@
+"""SQL tokenizer.
+
+Produces a flat list of :class:`Token` with character positions so the
+parser can report precise error locations.  Keywords are case-insensitive;
+identifiers preserve case but compare case-insensitively downstream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.core.errors import ParseError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "OFFSET", "ASC", "DESC", "AS", "AND", "OR", "NOT", "IN", "IS", "NULL",
+    "LIKE", "BETWEEN", "DISTINCT", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER",
+    "CROSS", "ON", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+    "CREATE", "TABLE", "INDEX", "UNIQUE", "DROP", "PRIMARY", "KEY",
+    "EXPLAIN", "ANALYZE", "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE",
+    "UNION", "ALL", "INTERSECT", "EXCEPT", "EXISTS",
+    "END", "BEGIN", "COMMIT", "ROLLBACK", "USING", "VECTOR", "COUNT",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Any
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r}@{self.position})"
+
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%", "||")
+_PUNCT = "(),.;[]"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize SQL text; raises :class:`ParseError` on bad input."""
+    tokens: List[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and sql[i + 1] == "-":
+            # Line comment.
+            while i < n and sql[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            value, i = _read_string(sql, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            value, i = _read_number(sql, i)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        if ch == '"':
+            # Quoted identifier.
+            end = sql.find('"', i + 1)
+            if end == -1:
+                raise ParseError("unterminated quoted identifier", i)
+            tokens.append(Token(TokenType.IDENT, sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, None, n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple:
+    """Read a single-quoted string with '' as the escape for a quote."""
+    i = start + 1
+    parts: List[str] = []
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise ParseError("unterminated string literal", start)
+
+
+def _read_number(sql: str, start: int) -> tuple:
+    i = start
+    n = len(sql)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            nxt = sql[i + 1] if i + 1 < n else ""
+            if nxt.isdigit() or nxt in "+-":
+                seen_exp = True
+                i += 1
+                if nxt in "+-":
+                    i += 1
+            else:
+                break
+        else:
+            break
+    text = sql[start:i]
+    try:
+        value: Any = float(text) if (seen_dot or seen_exp) else int(text)
+    except ValueError:
+        raise ParseError(f"bad numeric literal {text!r}", start)
+    return value, i

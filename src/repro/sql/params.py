@@ -1,0 +1,80 @@
+"""Client-side parameter binding.
+
+``substitute_params`` splices Python values into ``?`` placeholders the way
+lightweight drivers do: the scan skips string literals, quoted identifiers,
+and comments, so a ``?`` inside any of those is never touched, and each
+value is rendered as a properly escaped SQL literal (string quoting handled
+here, so user input cannot break out of a literal).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.core.errors import ParseError
+
+
+def render_literal(value: Any) -> str:
+    """Render one Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(repr(float(v)) for v in value) + "]"
+    raise ParseError(f"cannot bind parameter of type {type(value).__name__}")
+
+
+def _placeholder_positions(sql: str) -> List[int]:
+    """Offsets of ``?`` outside strings, quoted identifiers, and comments."""
+    positions: List[int] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            i += 1
+            while i < n:
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":
+                        i += 2  # escaped quote
+                        continue
+                    break
+                i += 1
+            i += 1
+            continue
+        if ch == '"':
+            end = sql.find('"', i + 1)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "-" and i + 1 < n and sql[i + 1] == "-":
+            newline = sql.find("\n", i)
+            i = n if newline == -1 else newline + 1
+            continue
+        if ch == "?":
+            positions.append(i)
+        i += 1
+    return positions
+
+
+def substitute_params(sql: str, params: Sequence[Any]) -> str:
+    """Replace each ``?`` placeholder with the corresponding parameter."""
+    positions = _placeholder_positions(sql)
+    if len(positions) != len(params):
+        raise ParseError(
+            f"statement has {len(positions)} placeholders but "
+            f"{len(params)} parameters were supplied"
+        )
+    if not positions:
+        return sql
+    out: List[str] = []
+    last = 0
+    for pos, value in zip(positions, params):
+        out.append(sql[last:pos])
+        out.append(render_literal(value))
+        last = pos + 1
+    out.append(sql[last:])
+    return "".join(out)

@@ -1,0 +1,607 @@
+"""Recursive-descent SQL parser.
+
+Grammar (informal)::
+
+    statement   := select | insert | update | delete | create_table
+                 | create_index | drop_table | explain | analyze
+                 | begin | commit | rollback
+    select      := SELECT [DISTINCT] items [FROM from] [WHERE expr]
+                   [GROUP BY exprs] [HAVING expr] [ORDER BY order_items]
+                   [LIMIT n] [OFFSET n]
+    from        := table_ref (join_clause)*   with ',' as CROSS JOIN
+    expr        := standard precedence: OR < AND < NOT < comparison
+                   < additive < multiplicative < unary < primary
+
+Operator keywords LIKE / IN / BETWEEN / IS NULL parse at comparison level.
+Vector literals are bracketed float lists: ``[0.1, 0.2]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        idx = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(*names):
+            raise ParseError(
+                f"expected {' or '.join(names)}, found {token.value!r}", token.position
+            )
+        return self.advance()
+
+    def accept_keyword(self, *names: str) -> Optional[Token]:
+        if self.peek().is_keyword(*names):
+            return self.advance()
+        return None
+
+    def expect_punct(self, ch: str) -> Token:
+        token = self.peek()
+        if token.type is not TokenType.PUNCT or token.value != ch:
+            raise ParseError(f"expected {ch!r}, found {token.value!r}", token.position)
+        return self.advance()
+
+    def accept_punct(self, ch: str) -> bool:
+        token = self.peek()
+        if token.type is TokenType.PUNCT and token.value == ch:
+            self.advance()
+            return True
+        return False
+
+    def accept_operator(self, *ops: str) -> Optional[str]:
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.value in ops:
+            self.advance()
+            return token.value
+        return None
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.type is TokenType.IDENT:
+            self.advance()
+            return token.value
+        # Allow non-reserved-ish keywords as identifiers where unambiguous.
+        if token.type is TokenType.KEYWORD and token.value in ("KEY", "VECTOR", "COUNT"):
+            self.advance()
+            return token.value.lower()
+        raise ParseError(f"expected identifier, found {token.value!r}", token.position)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.is_keyword("SELECT"):
+            return self.parse_compound_select()
+        if token.is_keyword("INSERT"):
+            return self.parse_insert()
+        if token.is_keyword("UPDATE"):
+            return self.parse_update()
+        if token.is_keyword("DELETE"):
+            return self.parse_delete()
+        if token.is_keyword("CREATE"):
+            return self.parse_create()
+        if token.is_keyword("DROP"):
+            return self.parse_drop()
+        if token.is_keyword("EXPLAIN"):
+            self.advance()
+            return ast.ExplainStmt(self.parse_statement())
+        if token.is_keyword("ANALYZE"):
+            self.advance()
+            table = None
+            if self.peek().type is TokenType.IDENT:
+                table = self.expect_ident()
+            return ast.AnalyzeStmt(table)
+        if token.is_keyword("BEGIN"):
+            self.advance()
+            return ast.BeginStmt()
+        if token.is_keyword("COMMIT"):
+            self.advance()
+            return ast.CommitStmt()
+        if token.is_keyword("ROLLBACK"):
+            self.advance()
+            return ast.RollbackStmt()
+        raise ParseError(f"unexpected token {token.value!r}", token.position)
+
+    def parse_compound_select(self) -> ast.Statement:
+        """SELECT possibly chained with UNION [ALL] / INTERSECT / EXCEPT.
+
+        A trailing ORDER BY / LIMIT binds to the whole compound (it is parsed
+        into the rightmost SELECT and lifted out here); operand selects may
+        not carry their own ordering.
+        """
+        statement: ast.Statement = self.parse_select()
+        while self.peek().is_keyword("UNION", "INTERSECT", "EXCEPT"):
+            keyword = self.advance().value
+            is_all = False
+            if keyword == "UNION" and self.accept_keyword("ALL"):
+                is_all = True
+            if isinstance(statement, ast.SelectStmt) and (
+                statement.order_by or statement.limit is not None
+            ):
+                raise ParseError(
+                    "ORDER BY/LIMIT on a set-operation operand: parenthesize "
+                    "or move it to the end of the compound query",
+                    self.peek().position,
+                )
+            if isinstance(statement, ast.SetOpStmt) and (
+                statement.order_by or statement.limit is not None
+            ):
+                raise ParseError(
+                    "ORDER BY/LIMIT must come after the last set operation",
+                    self.peek().position,
+                )
+            right = self.parse_select()
+            # Lift the rightmost select's ordering onto the compound.
+            order_by, limit, offset = right.order_by, right.limit, right.offset
+            if order_by or limit is not None or offset is not None:
+                right = ast.SelectStmt(
+                    items=right.items,
+                    from_item=right.from_item,
+                    where=right.where,
+                    group_by=right.group_by,
+                    having=right.having,
+                    distinct=right.distinct,
+                )
+            statement = ast.SetOpStmt(
+                left=statement,
+                op=keyword.lower(),
+                all=is_all,
+                right=right,
+                order_by=order_by,
+                limit=limit,
+                offset=offset,
+            )
+        return statement
+
+    def parse_select(self) -> ast.SelectStmt:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+        from_item = None
+        if self.accept_keyword("FROM"):
+            from_item = self.parse_from()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        group_by: Tuple[ast.Expr, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            exprs = [self.parse_expr()]
+            while self.accept_punct(","):
+                exprs.append(self.parse_expr())
+            group_by = tuple(exprs)
+        having = self.parse_expr() if self.accept_keyword("HAVING") else None
+        order_by: Tuple[ast.OrderItem, ...] = ()
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            orders = [self.parse_order_item()]
+            while self.accept_punct(","):
+                orders.append(self.parse_order_item())
+            order_by = tuple(orders)
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self._expect_int()
+        if self.accept_keyword("OFFSET"):
+            offset = self._expect_int()
+        return ast.SelectStmt(
+            items=tuple(items),
+            from_item=from_item,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _expect_int(self) -> int:
+        token = self.peek()
+        if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+            raise ParseError("expected integer literal", token.position)
+        self.advance()
+        return token.value
+
+    def parse_select_item(self) -> ast.SelectItem:
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self.advance()
+            return ast.SelectItem(ast.Star())
+        # t.* form
+        if (
+            token.type is TokenType.IDENT
+            and self.peek(1).type is TokenType.PUNCT
+            and self.peek(1).value == "."
+            and self.peek(2).type is TokenType.OPERATOR
+            and self.peek(2).value == "*"
+        ):
+            table = self.expect_ident()
+            self.expect_punct(".")
+            self.advance()  # '*'
+            return ast.SelectItem(ast.Star(table=table))
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.peek().type is TokenType.IDENT:
+            alias = self.expect_ident()
+        return ast.SelectItem(expr, alias)
+
+    def parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expr, ascending)
+
+    def parse_from(self) -> ast.FromItem:
+        item: ast.FromItem = self.parse_table_ref()
+        while True:
+            if self.accept_punct(","):
+                right = self.parse_table_ref()
+                item = ast.Join(item, right, "cross")
+                continue
+            token = self.peek()
+            if token.is_keyword("JOIN", "INNER"):
+                if token.is_keyword("INNER"):
+                    self.advance()
+                self.expect_keyword("JOIN")
+                right = self.parse_table_ref()
+                self.expect_keyword("ON")
+                cond = self.parse_expr()
+                item = ast.Join(item, right, "inner", cond)
+                continue
+            if token.is_keyword("LEFT"):
+                self.advance()
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                right = self.parse_table_ref()
+                self.expect_keyword("ON")
+                cond = self.parse_expr()
+                item = ast.Join(item, right, "left", cond)
+                continue
+            if token.is_keyword("CROSS"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                right = self.parse_table_ref()
+                item = ast.Join(item, right, "cross")
+                continue
+            return item
+
+    def parse_table_ref(self) -> ast.TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.peek().type is TokenType.IDENT:
+            alias = self.expect_ident()
+        return ast.TableRef(name, alias)
+
+    def parse_insert(self) -> ast.InsertStmt:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns: Tuple[str, ...] = ()
+        if self.accept_punct("("):
+            cols = [self.expect_ident()]
+            while self.accept_punct(","):
+                cols.append(self.expect_ident())
+            self.expect_punct(")")
+            columns = tuple(cols)
+        self.expect_keyword("VALUES")
+        rows = [self.parse_value_row()]
+        while self.accept_punct(","):
+            rows.append(self.parse_value_row())
+        return ast.InsertStmt(table, columns, tuple(rows))
+
+    def parse_value_row(self) -> Tuple[ast.Expr, ...]:
+        self.expect_punct("(")
+        values = [self.parse_expr()]
+        while self.accept_punct(","):
+            values.append(self.parse_expr())
+        self.expect_punct(")")
+        return tuple(values)
+
+    def parse_update(self) -> ast.UpdateStmt:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments: List[Tuple[str, ast.Expr]] = []
+        while True:
+            col = self.expect_ident()
+            op = self.accept_operator("=")
+            if op is None:
+                raise ParseError("expected '=' in SET clause", self.peek().position)
+            assignments.append((col, self.parse_expr()))
+            if not self.accept_punct(","):
+                break
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.UpdateStmt(table, tuple(assignments), where)
+
+    def parse_delete(self) -> ast.DeleteStmt:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.DeleteStmt(table, where)
+
+    def parse_create(self) -> ast.Statement:
+        self.expect_keyword("CREATE")
+        unique = bool(self.accept_keyword("UNIQUE"))
+        if self.accept_keyword("TABLE"):
+            if unique:
+                raise ParseError("UNIQUE applies to indexes, not tables", self.peek().position)
+            return self.parse_create_table()
+        if self.accept_keyword("INDEX"):
+            return self.parse_create_index(unique)
+        raise ParseError("expected TABLE or INDEX after CREATE", self.peek().position)
+
+    def parse_create_table(self) -> ast.CreateTableStmt:
+        name = self.expect_ident()
+        self.expect_punct("(")
+        columns = [self.parse_column_def()]
+        while self.accept_punct(","):
+            columns.append(self.parse_column_def())
+        self.expect_punct(")")
+        return ast.CreateTableStmt(name, tuple(columns))
+
+    def parse_column_def(self) -> ast.ColumnDef:
+        name = self.expect_ident()
+        token = self.peek()
+        if token.type is TokenType.IDENT or token.is_keyword("VECTOR"):
+            type_name = token.value if isinstance(token.value, str) else str(token.value)
+            self.advance()
+        else:
+            raise ParseError(f"expected type name, found {token.value!r}", token.position)
+        vector_width = 0
+        if self.accept_punct("("):
+            vector_width = self._expect_int()
+            self.expect_punct(")")
+        not_null = False
+        if self.accept_keyword("NOT"):
+            self.expect_keyword("NULL")
+            not_null = True
+        if self.accept_keyword("PRIMARY"):
+            self.expect_keyword("KEY")
+            not_null = True  # PRIMARY KEY implies NOT NULL; uniqueness via index
+        return ast.ColumnDef(name, type_name.upper(), not_null, vector_width)
+
+    def parse_create_index(self, unique: bool) -> ast.CreateIndexStmt:
+        name = self.expect_ident()
+        self.expect_keyword("ON")
+        table = self.expect_ident()
+        self.expect_punct("(")
+        column = self.expect_ident()
+        self.expect_punct(")")
+        using = "btree"
+        if self.accept_keyword("USING"):
+            using = self.expect_ident().lower()
+        return ast.CreateIndexStmt(name, table, column, unique, using)
+
+    def parse_drop(self) -> ast.DropTableStmt:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        return ast.DropTableStmt(self.expect_ident())
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = ast.BinaryOp("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = ast.BinaryOp("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        op = self.accept_operator("=", "!=", "<>", "<", "<=", ">", ">=")
+        if op is not None:
+            if op == "<>":
+                op = "!="
+            return ast.BinaryOp(op, left, self.parse_additive())
+        negated = False
+        if self.peek().is_keyword("NOT") and self.peek(1).is_keyword("LIKE", "IN", "BETWEEN"):
+            self.advance()
+            negated = True
+        if self.accept_keyword("LIKE"):
+            return ast.LikeExpr(left, self.parse_additive(), negated)
+        if self.accept_keyword("IN"):
+            self.expect_punct("(")
+            if self.peek().is_keyword("SELECT"):
+                subquery = ast.Subquery(self.parse_compound_select())
+                self.expect_punct(")")
+                return ast.InExpr(left, (subquery,), negated)
+            values = [self.parse_expr()]
+            while self.accept_punct(","):
+                values.append(self.parse_expr())
+            self.expect_punct(")")
+            return ast.InExpr(left, tuple(values), negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return ast.BetweenExpr(left, low, high, negated)
+        if self.accept_keyword("IS"):
+            is_negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return ast.IsNullExpr(left, is_negated)
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while True:
+            op = self.accept_operator("+", "-", "||")
+            if op is None:
+                return left
+            left = ast.BinaryOp(op, left, self.parse_multiplicative())
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            op = self.accept_operator("*", "/", "%")
+            if op is None:
+                return left
+            left = ast.BinaryOp(op, left, self.parse_unary())
+
+    def parse_unary(self) -> ast.Expr:
+        if self.accept_operator("-"):
+            operand = self.parse_unary()
+            if isinstance(operand, ast.Literal) and isinstance(operand.value, (int, float)):
+                return ast.Literal(-operand.value)
+            return ast.UnaryOp("-", operand)
+        if self.accept_operator("+"):
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_keyword("CASE"):
+            return self.parse_case()
+        if token.is_keyword("EXISTS"):
+            self.advance()
+            self.expect_punct("(")
+            if not self.peek().is_keyword("SELECT"):
+                raise ParseError("EXISTS requires a subquery", self.peek().position)
+            subquery = ast.Subquery(self.parse_compound_select())
+            self.expect_punct(")")
+            return ast.ExistsExpr(subquery)
+        if token.type is TokenType.PUNCT and token.value == "[":
+            return self.parse_vector_literal()
+        if token.type is TokenType.PUNCT and token.value == "(":
+            self.advance()
+            if self.peek().is_keyword("SELECT"):
+                subquery = ast.Subquery(self.parse_compound_select())
+                self.expect_punct(")")
+                return subquery
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if token.is_keyword("COUNT") or token.type is TokenType.IDENT:
+            return self.parse_name_or_call()
+        raise ParseError(f"unexpected token {token.value!r}", token.position)
+
+    def parse_case(self) -> ast.CaseExpr:
+        self.expect_keyword("CASE")
+        whens: List[Tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_keyword("WHEN"):
+            cond = self.parse_expr()
+            self.expect_keyword("THEN")
+            result = self.parse_expr()
+            whens.append((cond, result))
+        if not whens:
+            raise ParseError("CASE requires at least one WHEN", self.peek().position)
+        else_result = self.parse_expr() if self.accept_keyword("ELSE") else None
+        self.expect_keyword("END")
+        return ast.CaseExpr(tuple(whens), else_result)
+
+    def parse_vector_literal(self) -> ast.Literal:
+        self.expect_punct("[")
+        values: List[float] = []
+        if not self.accept_punct("]"):
+            while True:
+                negative = bool(self.accept_operator("-"))
+                token = self.peek()
+                if token.type is not TokenType.NUMBER:
+                    raise ParseError("expected number in vector literal", token.position)
+                self.advance()
+                values.append(-float(token.value) if negative else float(token.value))
+                if self.accept_punct("]"):
+                    break
+                self.expect_punct(",")
+        return ast.Literal(tuple(values))
+
+    def parse_name_or_call(self) -> ast.Expr:
+        token = self.advance()
+        name = token.value if isinstance(token.value, str) else str(token.value)
+        if self.peek().type is TokenType.PUNCT and self.peek().value == "(":
+            self.advance()
+            distinct = bool(self.accept_keyword("DISTINCT"))
+            args: List[ast.Expr] = []
+            star = self.peek()
+            if star.type is TokenType.OPERATOR and star.value == "*":
+                self.advance()
+                args.append(ast.Star())
+            elif not (self.peek().type is TokenType.PUNCT and self.peek().value == ")"):
+                args.append(self.parse_expr())
+                while self.accept_punct(","):
+                    args.append(self.parse_expr())
+            self.expect_punct(")")
+            return ast.FuncCall(name.upper(), tuple(args), distinct)
+        if self.accept_punct("."):
+            column = self.expect_ident()
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)
+
+
+def parse(sql: str) -> ast.Statement:
+    """Parse one SQL statement (a trailing semicolon is allowed)."""
+    parser = _Parser(sql)
+    statement = parser.parse_statement()
+    parser.accept_punct(";")
+    tail = parser.peek()
+    if tail.type is not TokenType.EOF:
+        raise ParseError(f"unexpected trailing input: {tail.value!r}", tail.position)
+    return statement
+
+
+def parse_expression(sql: str) -> ast.Expr:
+    """Parse a standalone scalar expression (used by tests and tools)."""
+    parser = _Parser(sql)
+    expr = parser.parse_expr()
+    tail = parser.peek()
+    if tail.type is not TokenType.EOF:
+        raise ParseError(f"unexpected trailing input: {tail.value!r}", tail.position)
+    return expr

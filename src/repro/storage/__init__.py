@@ -1,0 +1,53 @@
+"""Storage engine: pages, disk managers, buffer pool, heap files, WAL.
+
+The storage layer is byte-honest: rows are serialized with
+:mod:`repro.storage.rowcodec` into fixed-size slotted pages
+(:mod:`repro.storage.page`) that live on a :mod:`repro.storage.disk` manager
+behind a :mod:`repro.storage.buffer` pool.  Replacement policies in
+:mod:`repro.storage.replacement` are shared with :mod:`repro.kvcache`, which
+is the point: buffer management transfers to LLM KV caches.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.column import ColumnTable
+from repro.storage.disk import DiskManager, FileDiskManager, InMemoryDiskManager
+from repro.storage.heap import HeapFile, RecordId
+from repro.storage.page import PAGE_SIZE, Page
+from repro.storage.replacement import (
+    ClockPolicy,
+    FIFOPolicy,
+    LFUPolicy,
+    LRUKPolicy,
+    LRUPolicy,
+    MRUPolicy,
+    ReplacementPolicy,
+    TwoQPolicy,
+    make_policy,
+)
+from repro.storage.rowcodec import RowCodec
+from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
+
+__all__ = [
+    "BufferPool",
+    "ColumnTable",
+    "DiskManager",
+    "FileDiskManager",
+    "InMemoryDiskManager",
+    "HeapFile",
+    "RecordId",
+    "PAGE_SIZE",
+    "Page",
+    "ReplacementPolicy",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "ClockPolicy",
+    "LFUPolicy",
+    "LRUKPolicy",
+    "TwoQPolicy",
+    "make_policy",
+    "RowCodec",
+    "WriteAheadLog",
+    "LogRecord",
+    "LogRecordType",
+]

@@ -1,0 +1,149 @@
+"""Buffer pool: caches page images between the disk manager and executors.
+
+The pool owns a fixed number of frames.  ``fetch_page`` returns a pinned
+:class:`~repro.storage.page.Page`; callers must ``unpin`` (marking dirty when
+they wrote).  Eviction is delegated to a pluggable
+:class:`~repro.storage.replacement.ReplacementPolicy`, the same classes the
+KV-cache simulator uses.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.errors import BufferPoolError
+from repro.storage.disk import DiskManager
+from repro.storage.page import Page
+from repro.storage.replacement import LRUPolicy, ReplacementPolicy
+
+
+@dataclass
+class BufferPoolStats:
+    """Counters exposed for benchmarks and the energy model."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BufferPool:
+    """A page cache with pin counts and pluggable replacement."""
+
+    def __init__(
+        self,
+        disk: DiskManager,
+        capacity: int = 256,
+        policy: Optional[ReplacementPolicy] = None,
+    ):
+        if capacity < 1:
+            raise BufferPoolError("buffer pool capacity must be >= 1")
+        self.disk = disk
+        self.capacity = capacity
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.stats = BufferPoolStats()
+        self._frames: Dict[int, Page] = {}
+        self._lock = threading.RLock()
+
+    # -- public API --------------------------------------------------------
+
+    def new_page(self) -> Page:
+        """Allocate a fresh page on disk and return it pinned."""
+        page_id = self.disk.allocate_page()
+        with self._lock:
+            self._ensure_frame_available()
+            page = Page(page_id)
+            page.pin_count = 1
+            page.dirty = True  # header must reach disk even if never written
+            self._frames[page_id] = page
+            self.policy.record_insert(page_id)
+            return page
+
+    def fetch_page(self, page_id: int) -> Page:
+        """Return the page pinned; reads from disk on a miss."""
+        with self._lock:
+            page = self._frames.get(page_id)
+            if page is not None:
+                self.stats.hits += 1
+                page.pin_count += 1
+                self.policy.record_access(page_id)
+                return page
+            self.stats.misses += 1
+            self._ensure_frame_available()
+            page = Page(page_id, self.disk.read_page(page_id))
+            page.pin_count = 1
+            self._frames[page_id] = page
+            self.policy.record_insert(page_id)
+            return page
+
+    def unpin(self, page_id: int, dirty: bool = False) -> None:
+        """Release one pin; mark dirty if the caller modified the page."""
+        with self._lock:
+            page = self._frames.get(page_id)
+            if page is None:
+                raise BufferPoolError(f"unpin of page {page_id} not in pool")
+            if page.pin_count <= 0:
+                raise BufferPoolError(f"unpin of unpinned page {page_id}")
+            page.pin_count -= 1
+            if dirty:
+                page.dirty = True
+
+    def flush_page(self, page_id: int) -> None:
+        """Write a dirty page back to disk (keeps it cached)."""
+        with self._lock:
+            page = self._frames.get(page_id)
+            if page is None:
+                return
+            if page.dirty:
+                self.disk.write_page(page_id, page.to_bytes())
+                self.stats.dirty_writebacks += 1
+                page.dirty = False
+
+    def flush_all(self) -> None:
+        """Write back every dirty cached page."""
+        with self._lock:
+            for page_id in list(self._frames):
+                self.flush_page(page_id)
+
+    def contains(self, page_id: int) -> bool:
+        with self._lock:
+            return page_id in self._frames
+
+    def pinned_count(self) -> int:
+        with self._lock:
+            return sum(1 for p in self._frames.values() if p.pin_count > 0)
+
+    def cached_page_ids(self) -> list:
+        with self._lock:
+            return sorted(self._frames)
+
+    def reset_stats(self) -> None:
+        self.stats = BufferPoolStats()
+
+    # -- internals ----------------------------------------------------------
+
+    def _ensure_frame_available(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        victim_id = self.policy.victim(self._is_evictable)
+        if victim_id is None:
+            raise BufferPoolError(
+                f"all {self.capacity} frames are pinned; cannot evict"
+            )
+        victim = self._frames[victim_id]
+        if victim.dirty:
+            self.disk.write_page(victim_id, victim.to_bytes())
+            self.stats.dirty_writebacks += 1
+        del self._frames[victim_id]
+        self.policy.remove(victim_id)
+        self.stats.evictions += 1
+
+    def _is_evictable(self, page_id) -> bool:
+        page = self._frames.get(page_id)
+        return page is not None and page.pin_count == 0

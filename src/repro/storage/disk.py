@@ -1,0 +1,154 @@
+"""Disk managers: the page-granular persistence layer under the buffer pool.
+
+Two implementations share one interface:
+
+* :class:`InMemoryDiskManager` — a dict of page images.  Used by tests and
+  benchmarks; still counts "I/O" so cost models see identical behaviour.
+* :class:`FileDiskManager` — a single file of ``PAGE_SIZE``-byte pages with
+  real ``seek``/``read``/``write`` calls.
+
+Both count reads and writes so the benchmark harness and the energy model
+(:mod:`repro.bench.energy`) can report I/O work.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+from repro.core.errors import StorageError
+from repro.storage.page import PAGE_SIZE
+
+
+class DiskManager(ABC):
+    """Abstract page store with I/O accounting."""
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self._lock = threading.Lock()
+
+    @abstractmethod
+    def allocate_page(self) -> int:
+        """Reserve a new page id (contents undefined until first write)."""
+
+    @abstractmethod
+    def read_page(self, page_id: int) -> bytes:
+        """Read a page image; raises :class:`StorageError` for bad ids."""
+
+    @abstractmethod
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Persist a page image."""
+
+    @abstractmethod
+    def num_pages(self) -> int:
+        """Number of allocated pages."""
+
+    def reset_counters(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release resources (no-op by default)."""
+
+
+class InMemoryDiskManager(DiskManager):
+    """Page store backed by a dict; zero real I/O, full accounting."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pages: Dict[int, bytes] = {}
+        self._next_id = 0
+
+    def allocate_page(self) -> int:
+        with self._lock:
+            page_id = self._next_id
+            self._next_id += 1
+            self._pages[page_id] = bytes(PAGE_SIZE)
+            return page_id
+
+    def read_page(self, page_id: int) -> bytes:
+        with self._lock:
+            if page_id not in self._pages:
+                raise StorageError(f"read of unallocated page {page_id}")
+            self.reads += 1
+            return self._pages[page_id]
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise StorageError(f"page image must be {PAGE_SIZE} bytes")
+        with self._lock:
+            if page_id not in self._pages:
+                raise StorageError(f"write to unallocated page {page_id}")
+            self.writes += 1
+            self._pages[page_id] = bytes(data)
+
+    def num_pages(self) -> int:
+        with self._lock:
+            return self._next_id
+
+
+class FileDiskManager(DiskManager):
+    """Page store backed by a single file of PAGE_SIZE-byte pages."""
+
+    def __init__(self, path: str):
+        super().__init__()
+        self.path = path
+        # "r+b" requires the file to exist; create it if missing.
+        if not os.path.exists(path):
+            with open(path, "wb"):
+                pass
+        self._file = open(path, "r+b")
+        size = os.path.getsize(path)
+        if size % PAGE_SIZE != 0:
+            raise StorageError(
+                f"{path} has size {size}, not a multiple of {PAGE_SIZE}"
+            )
+        self._next_id = size // PAGE_SIZE
+
+    def allocate_page(self) -> int:
+        with self._lock:
+            page_id = self._next_id
+            self._next_id += 1
+            self._file.seek(page_id * PAGE_SIZE)
+            self._file.write(bytes(PAGE_SIZE))
+            return page_id
+
+    def read_page(self, page_id: int) -> bytes:
+        with self._lock:
+            if page_id < 0 or page_id >= self._next_id:
+                raise StorageError(f"read of unallocated page {page_id}")
+            self.reads += 1
+            self._file.seek(page_id * PAGE_SIZE)
+            data = self._file.read(PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise StorageError(f"short read on page {page_id}")
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise StorageError(f"page image must be {PAGE_SIZE} bytes")
+        with self._lock:
+            if page_id < 0 or page_id >= self._next_id:
+                raise StorageError(f"write to unallocated page {page_id}")
+            self.writes += 1
+            self._file.seek(page_id * PAGE_SIZE)
+            self._file.write(data)
+
+    def num_pages(self) -> int:
+        with self._lock:
+            return self._next_id
+
+    def sync(self) -> None:
+        """fsync the backing file."""
+        with self._lock:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                self._file.close()

@@ -1,0 +1,194 @@
+"""Slotted pages.
+
+Layout of a page (``PAGE_SIZE`` bytes)::
+
+    [ header | record data --> ... <-- slot directory ]
+
+    header  := slot_count:uint16  free_ptr:uint16
+    slot    := offset:uint16  length:uint16   (length 0 == tombstone)
+
+Records are appended at ``free_ptr`` (which starts just after the header and
+grows toward the end); the slot directory grows backwards from the end of the
+page.  Deleting a record tombstones its slot; the space is reclaimed only by
+:meth:`Page.compact` (called opportunistically by the heap file when an
+insert would otherwise fail).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.errors import PageFullError, StorageError
+
+PAGE_SIZE = 8192
+
+_HEADER = struct.Struct(">HH")
+_SLOT = struct.Struct(">HH")
+HEADER_SIZE = _HEADER.size
+SLOT_SIZE = _SLOT.size
+
+#: Largest record a page can hold (one record, one slot).
+MAX_RECORD_SIZE = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE
+
+
+class Page:
+    """A mutable slotted page over a fixed-size bytearray."""
+
+    __slots__ = ("page_id", "data", "pin_count", "dirty")
+
+    def __init__(self, page_id: int, data: Optional[bytes] = None):
+        self.page_id = page_id
+        if data is None:
+            self.data = bytearray(PAGE_SIZE)
+            self._write_header(0, HEADER_SIZE)
+        else:
+            if len(data) != PAGE_SIZE:
+                raise StorageError(
+                    f"page data must be {PAGE_SIZE} bytes, got {len(data)}"
+                )
+            self.data = bytearray(data)
+        self.pin_count = 0
+        self.dirty = False
+
+    # -- header/slot accessors -------------------------------------------------
+
+    def _read_header(self) -> Tuple[int, int]:
+        return _HEADER.unpack_from(self.data, 0)
+
+    def _write_header(self, slot_count: int, free_ptr: int) -> None:
+        _HEADER.pack_into(self.data, 0, slot_count, free_ptr)
+
+    @property
+    def slot_count(self) -> int:
+        return self._read_header()[0]
+
+    def _slot_pos(self, slot: int) -> int:
+        return PAGE_SIZE - (slot + 1) * SLOT_SIZE
+
+    def _read_slot(self, slot: int) -> Tuple[int, int]:
+        return _SLOT.unpack_from(self.data, self._slot_pos(slot))
+
+    def _write_slot(self, slot: int, offset: int, length: int) -> None:
+        _SLOT.pack_into(self.data, self._slot_pos(slot), offset, length)
+
+    # -- space accounting ------------------------------------------------------
+
+    def free_space(self) -> int:
+        """Bytes available for a new record *including* its new slot."""
+        slot_count, free_ptr = self._read_header()
+        directory_start = PAGE_SIZE - slot_count * SLOT_SIZE
+        return directory_start - free_ptr
+
+    def can_fit(self, record_size: int) -> bool:
+        return self.free_space() >= record_size + SLOT_SIZE
+
+    def live_bytes(self) -> int:
+        """Total payload bytes of non-deleted records."""
+        return sum(length for _, length in self._iter_slots() if length > 0)
+
+    def _iter_slots(self) -> Iterator[Tuple[int, int]]:
+        for slot in range(self.slot_count):
+            yield self._read_slot(slot)
+
+    # -- record operations -----------------------------------------------------
+
+    def insert(self, record: bytes) -> int:
+        """Insert a record; returns its slot number.
+
+        Raises :class:`PageFullError` when the record (plus a slot entry)
+        does not fit in the current free region.
+        """
+        if len(record) > MAX_RECORD_SIZE:
+            raise PageFullError(
+                f"record of {len(record)} bytes exceeds max {MAX_RECORD_SIZE}"
+            )
+        if not self.can_fit(len(record)):
+            raise PageFullError(
+                f"page {self.page_id} cannot fit {len(record)} bytes "
+                f"(free={self.free_space()})"
+            )
+        slot_count, free_ptr = self._read_header()
+        self.data[free_ptr : free_ptr + len(record)] = record
+        self._write_slot(slot_count, free_ptr, len(record))
+        self._write_header(slot_count + 1, free_ptr + len(record))
+        self.dirty = True
+        return slot_count
+
+    def read(self, slot: int) -> Optional[bytes]:
+        """Return record bytes, or ``None`` if the slot is a tombstone."""
+        if slot < 0 or slot >= self.slot_count:
+            raise StorageError(f"slot {slot} out of range on page {self.page_id}")
+        offset, length = self._read_slot(slot)
+        if length == 0:
+            return None
+        return bytes(self.data[offset : offset + length])
+
+    def delete(self, slot: int) -> None:
+        """Tombstone a slot.  Idempotent."""
+        if slot < 0 or slot >= self.slot_count:
+            raise StorageError(f"slot {slot} out of range on page {self.page_id}")
+        self._write_slot(slot, 0, 0)
+        self.dirty = True
+
+    def update(self, slot: int, record: bytes) -> bool:
+        """Update a record in place.
+
+        Returns ``True`` on success.  Returns ``False`` when the new payload
+        does not fit (in place or in the free region); the caller should then
+        delete + reinsert elsewhere.
+        """
+        if slot < 0 or slot >= self.slot_count:
+            raise StorageError(f"slot {slot} out of range on page {self.page_id}")
+        offset, length = self._read_slot(slot)
+        if length == 0:
+            raise StorageError(f"slot {slot} on page {self.page_id} is deleted")
+        if len(record) <= length:
+            self.data[offset : offset + len(record)] = record
+            self._write_slot(slot, offset, len(record))
+            self.dirty = True
+            return True
+        if self.can_fit(len(record)) is False:
+            return False
+        # Append the new payload to the free region, keep the same slot id.
+        slot_count, free_ptr = self._read_header()
+        self.data[free_ptr : free_ptr + len(record)] = record
+        self._write_slot(slot, free_ptr, len(record))
+        self._write_header(slot_count, free_ptr + len(record))
+        self.dirty = True
+        return True
+
+    def records(self) -> Iterator[Tuple[int, bytes]]:
+        """Yield (slot, record_bytes) for all live records."""
+        for slot in range(self.slot_count):
+            offset, length = self._read_slot(slot)
+            if length > 0:
+                yield slot, bytes(self.data[offset : offset + length])
+
+    def compact(self) -> List[Tuple[int, int]]:
+        """Rewrite live records contiguously, dropping dead space.
+
+        Slot numbers are preserved (record ids stay stable).  Returns the
+        surviving ``(slot, length)`` pairs, mostly for tests.
+        """
+        live = [(slot, self.read(slot)) for slot in range(self.slot_count)]
+        fresh = bytearray(PAGE_SIZE)
+        free_ptr = HEADER_SIZE
+        survivors: List[Tuple[int, int]] = []
+        slot_count = self.slot_count
+        for slot, payload in live:
+            pos = PAGE_SIZE - (slot + 1) * SLOT_SIZE
+            if payload is None:
+                _SLOT.pack_into(fresh, pos, 0, 0)
+                continue
+            fresh[free_ptr : free_ptr + len(payload)] = payload
+            _SLOT.pack_into(fresh, pos, free_ptr, len(payload))
+            survivors.append((slot, len(payload)))
+            free_ptr += len(payload)
+        _HEADER.pack_into(fresh, 0, slot_count, free_ptr)
+        self.data = fresh
+        self.dirty = True
+        return survivors
+
+    def to_bytes(self) -> bytes:
+        return bytes(self.data)

@@ -1,0 +1,336 @@
+"""Replacement policies, shared by the buffer pool and the LLM KV cache.
+
+This module is the concrete form of the panel's observation (Paolo Papotti)
+that LLM KV-cache management "connects to buffering": the exact classes below
+evict database pages in :mod:`repro.storage.buffer` *and* KV blocks in
+:mod:`repro.kvcache.manager`.
+
+All policies implement the same small interface keyed by hashable ids:
+
+* :meth:`ReplacementPolicy.record_insert` — a new key entered the cache.
+* :meth:`ReplacementPolicy.record_access` — an existing key was touched.
+* :meth:`ReplacementPolicy.remove` — the key left the cache.
+* :meth:`ReplacementPolicy.victim` — pick an evictable key, or ``None``.
+
+``victim`` takes a predicate so callers can exclude pinned pages / in-use
+blocks without the policy knowing about pinning.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, List, Optional
+
+Key = Hashable
+Evictable = Callable[[Key], bool]
+
+
+class ReplacementPolicy(ABC):
+    """Interface for cache eviction policies."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def record_insert(self, key: Key) -> None:
+        """Register a key that just entered the cache."""
+
+    @abstractmethod
+    def record_access(self, key: Key) -> None:
+        """Register a hit on a key already in the cache."""
+
+    @abstractmethod
+    def remove(self, key: Key) -> None:
+        """Forget a key (evicted or explicitly dropped).  Idempotent."""
+
+    @abstractmethod
+    def victim(self, is_evictable: Evictable) -> Optional[Key]:
+        """Choose a key to evict among those passing ``is_evictable``."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of tracked keys."""
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict in insertion order; accesses are ignored."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._queue: "OrderedDict[Key, None]" = OrderedDict()
+
+    def record_insert(self, key: Key) -> None:
+        self._queue[key] = None
+
+    def record_access(self, key: Key) -> None:
+        pass  # FIFO is access-oblivious by definition.
+
+    def remove(self, key: Key) -> None:
+        self._queue.pop(key, None)
+
+    def victim(self, is_evictable: Evictable) -> Optional[Key]:
+        for key in self._queue:
+            if is_evictable(key):
+                return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least-recently-used key."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[Key, None]" = OrderedDict()
+
+    def record_insert(self, key: Key) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def record_access(self, key: Key) -> None:
+        if key in self._order:
+            self._order.move_to_end(key)
+
+    def remove(self, key: Key) -> None:
+        self._order.pop(key, None)
+
+    def victim(self, is_evictable: Evictable) -> Optional[Key]:
+        for key in self._order:  # oldest first
+            if is_evictable(key):
+                return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class MRUPolicy(LRUPolicy):
+    """Evict the most-recently-used key (wins on pure sequential scans)."""
+
+    name = "mru"
+
+    def victim(self, is_evictable: Evictable) -> Optional[Key]:
+        for key in reversed(self._order):  # newest first
+            if is_evictable(key):
+                return key
+        return None
+
+
+class ClockPolicy(ReplacementPolicy):
+    """Second-chance / CLOCK approximation of LRU."""
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        self._ring: List[Key] = []
+        self._ref: Dict[Key, bool] = {}
+        self._hand = 0
+
+    def record_insert(self, key: Key) -> None:
+        if key not in self._ref:
+            self._ring.append(key)
+        self._ref[key] = True
+
+    def record_access(self, key: Key) -> None:
+        if key in self._ref:
+            self._ref[key] = True
+
+    def remove(self, key: Key) -> None:
+        if key in self._ref:
+            del self._ref[key]
+            idx = self._ring.index(key)
+            self._ring.pop(idx)
+            if self._hand > idx:
+                self._hand -= 1
+            if self._ring and self._hand >= len(self._ring):
+                self._hand = 0
+
+    def victim(self, is_evictable: Evictable) -> Optional[Key]:
+        if not self._ring:
+            return None
+        # Two sweeps suffice: the first clears reference bits, the second
+        # must find a victim unless everything is pinned.
+        for _ in range(2 * len(self._ring)):
+            key = self._ring[self._hand]
+            if not is_evictable(key):
+                self._hand = (self._hand + 1) % len(self._ring)
+                continue
+            if self._ref.get(key, False):
+                self._ref[key] = False
+                self._hand = (self._hand + 1) % len(self._ring)
+                continue
+            return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Evict the least-frequently-used key; ties break to least recent."""
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._counts: Dict[Key, int] = {}
+        self._last_touch: Dict[Key, int] = {}
+        self._clock = 0
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def record_insert(self, key: Key) -> None:
+        self._counts[key] = 1
+        self._last_touch[key] = self._tick()
+
+    def record_access(self, key: Key) -> None:
+        if key in self._counts:
+            self._counts[key] += 1
+            self._last_touch[key] = self._tick()
+
+    def remove(self, key: Key) -> None:
+        self._counts.pop(key, None)
+        self._last_touch.pop(key, None)
+
+    def victim(self, is_evictable: Evictable) -> Optional[Key]:
+        best: Optional[Key] = None
+        best_rank = None
+        for key, count in self._counts.items():
+            if not is_evictable(key):
+                continue
+            rank = (count, self._last_touch[key])
+            if best_rank is None or rank < best_rank:
+                best, best_rank = key, rank
+        return best
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class LRUKPolicy(ReplacementPolicy):
+    """LRU-K (O'Neil et al.): evict the key with the oldest K-th-last access.
+
+    Keys with fewer than K recorded accesses have infinite backward
+    K-distance and are evicted first (ties by oldest first access), which
+    protects hot pages from being flushed by a single scan.
+    """
+
+    name = "lru-k"
+
+    def __init__(self, k: int = 2):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._history: Dict[Key, List[int]] = {}
+        self._clock = 0
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _touch(self, key: Key) -> None:
+        hist = self._history.setdefault(key, [])
+        hist.append(self._tick())
+        if len(hist) > self.k:
+            del hist[0]
+
+    def record_insert(self, key: Key) -> None:
+        self._history.pop(key, None)
+        self._touch(key)
+
+    def record_access(self, key: Key) -> None:
+        if key in self._history:
+            self._touch(key)
+
+    def remove(self, key: Key) -> None:
+        self._history.pop(key, None)
+
+    def victim(self, is_evictable: Evictable) -> Optional[Key]:
+        best: Optional[Key] = None
+        best_rank = None
+        for key, hist in self._history.items():
+            if not is_evictable(key):
+                continue
+            if len(hist) < self.k:
+                # Infinite backward K-distance: highest eviction priority.
+                rank = (0, hist[0])
+            else:
+                rank = (1, hist[0])  # hist[0] is the K-th most recent access
+            if best_rank is None or rank < best_rank:
+                best, best_rank = key, rank
+        return best
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+
+class TwoQPolicy(ReplacementPolicy):
+    """Simplified 2Q: a probationary FIFO (A1in) and a protected LRU (Am).
+
+    Keys enter A1in; a second access promotes them to Am.  Victims come from
+    A1in first (scan resistance), then from the cold end of Am.
+    """
+
+    name = "2q"
+
+    def __init__(self) -> None:
+        self._a1in: "OrderedDict[Key, None]" = OrderedDict()
+        self._am: "OrderedDict[Key, None]" = OrderedDict()
+
+    def record_insert(self, key: Key) -> None:
+        self._am.pop(key, None)
+        self._a1in[key] = None
+
+    def record_access(self, key: Key) -> None:
+        if key in self._a1in:
+            del self._a1in[key]
+            self._am[key] = None
+        elif key in self._am:
+            self._am.move_to_end(key)
+
+    def remove(self, key: Key) -> None:
+        self._a1in.pop(key, None)
+        self._am.pop(key, None)
+
+    def victim(self, is_evictable: Evictable) -> Optional[Key]:
+        for key in self._a1in:
+            if is_evictable(key):
+                return key
+        for key in self._am:
+            if is_evictable(key):
+                return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._a1in) + len(self._am)
+
+
+_POLICIES = {
+    "fifo": FIFOPolicy,
+    "lru": LRUPolicy,
+    "mru": MRUPolicy,
+    "clock": ClockPolicy,
+    "lfu": LFUPolicy,
+    "lru-k": LRUKPolicy,
+    "2q": TwoQPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Instantiate a policy by name (``fifo|lru|mru|clock|lfu|lru-k|2q``)."""
+    key = name.lower()
+    if key not in _POLICIES:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        )
+    return _POLICIES[key](**kwargs)
+
+
+def policy_names() -> List[str]:
+    """All registered policy names (stable order for benchmarks)."""
+    return list(_POLICIES)

@@ -1,0 +1,130 @@
+"""Binary row serialization.
+
+Rows are encoded as a sequence of tagged values so that NULLs and
+variable-width values (TEXT, VECTOR) are handled uniformly.  The format is
+self-describing per value::
+
+    value   := tag:uint8 payload
+    NULL    := 0x00
+    INT     := 0x01 int64 (big-endian, signed)
+    FLOAT   := 0x02 float64
+    TEXT    := 0x03 len:uint32 utf8-bytes
+    BOOL    := 0x04 uint8
+    VECTOR  := 0x05 n:uint32 float64*n
+
+The codec is schema-independent on decode (tags carry the type), but
+:meth:`RowCodec.encode` validates values against the schema's declared types
+so that corrupt data is caught at write time, not read time.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Sequence, Tuple
+
+from repro.core.errors import StorageError
+from repro.core.types import Row, Schema
+
+_TAG_NULL = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_TEXT = 3
+_TAG_BOOL = 4
+_TAG_VECTOR = 5
+
+_INT64 = struct.Struct(">q")
+_FLOAT64 = struct.Struct(">d")
+_UINT32 = struct.Struct(">I")
+
+
+class RowCodec:
+    """Encodes and decodes rows for a fixed schema."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+
+    def encode(self, row: Sequence[Any]) -> bytes:
+        """Serialize a (pre-validated) row to bytes."""
+        if len(row) != len(self.schema):
+            raise StorageError(
+                f"cannot encode row of arity {len(row)} for schema of {len(self.schema)}"
+            )
+        return encode_values(row)
+
+    def decode(self, data: bytes) -> Row:
+        """Deserialize bytes back into a row tuple."""
+        values, offset = decode_values(data, len(self.schema))
+        if offset != len(data):
+            raise StorageError("trailing bytes after row payload")
+        return values
+
+
+def encode_values(values: Sequence[Any]) -> bytes:
+    """Serialize an arbitrary sequence of supported values."""
+    parts: List[bytes] = []
+    for value in values:
+        parts.append(_encode_one(value))
+    return b"".join(parts)
+
+
+def _encode_one(value: Any) -> bytes:
+    if value is None:
+        return bytes([_TAG_NULL])
+    if isinstance(value, bool):
+        return bytes([_TAG_BOOL, 1 if value else 0])
+    if isinstance(value, int):
+        return bytes([_TAG_INT]) + _INT64.pack(value)
+    if isinstance(value, float):
+        return bytes([_TAG_FLOAT]) + _FLOAT64.pack(value)
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return bytes([_TAG_TEXT]) + _UINT32.pack(len(payload)) + payload
+    if isinstance(value, (list, tuple)):
+        floats = [float(x) for x in value]
+        body = b"".join(_FLOAT64.pack(x) for x in floats)
+        return bytes([_TAG_VECTOR]) + _UINT32.pack(len(floats)) + body
+    raise StorageError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_values(data: bytes, count: int, offset: int = 0) -> Tuple[Row, int]:
+    """Decode ``count`` values starting at ``offset``; returns (row, end)."""
+    try:
+        return _decode_values(data, count, offset)
+    except struct.error as exc:
+        raise StorageError(f"row payload truncated: {exc}") from exc
+
+
+def _decode_values(data: bytes, count: int, offset: int) -> Tuple[Row, int]:
+    values: List[Any] = []
+    for _ in range(count):
+        if offset >= len(data):
+            raise StorageError("row payload truncated")
+        tag = data[offset]
+        offset += 1
+        if tag == _TAG_NULL:
+            values.append(None)
+        elif tag == _TAG_INT:
+            (v,) = _INT64.unpack_from(data, offset)
+            offset += 8
+            values.append(v)
+        elif tag == _TAG_FLOAT:
+            (v,) = _FLOAT64.unpack_from(data, offset)
+            offset += 8
+            values.append(v)
+        elif tag == _TAG_TEXT:
+            (n,) = _UINT32.unpack_from(data, offset)
+            offset += 4
+            values.append(data[offset : offset + n].decode("utf-8"))
+            offset += n
+        elif tag == _TAG_BOOL:
+            values.append(bool(data[offset]))
+            offset += 1
+        elif tag == _TAG_VECTOR:
+            (n,) = _UINT32.unpack_from(data, offset)
+            offset += 4
+            vec = struct.unpack_from(f">{n}d", data, offset)
+            offset += 8 * n
+            values.append(tuple(vec))
+        else:
+            raise StorageError(f"unknown value tag {tag} at offset {offset - 1}")
+    return tuple(values), offset

@@ -1,0 +1,191 @@
+"""Write-ahead logging.
+
+Log records capture logical row operations (insert/delete/update) with
+before/after images, plus transaction lifecycle markers.  The log assigns
+monotonically increasing LSNs and supports binary serialization to a file so
+recovery can be exercised across a simulated crash.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.errors import WALError
+from repro.core.types import Row
+from repro.storage.rowcodec import decode_values, encode_values
+
+
+class LogRecordType(enum.Enum):
+    BEGIN = 1
+    COMMIT = 2
+    ABORT = 3
+    INSERT = 4
+    DELETE = 5
+    UPDATE = 6
+    CHECKPOINT = 7
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One WAL entry.
+
+    ``rid`` is a (page_id, slot) pair for row operations.  ``before`` /
+    ``after`` are full row images (logical logging).
+    """
+
+    lsn: int
+    txn_id: int
+    type: LogRecordType
+    table: str = ""
+    rid: Optional[Tuple[int, int]] = None
+    before: Optional[Row] = None
+    after: Optional[Row] = None
+
+
+_HEADER = struct.Struct(">IQQB")  # body_len, lsn, txn_id, type
+
+
+def _encode_optional_row(row: Optional[Row]) -> bytes:
+    if row is None:
+        return struct.pack(">H", 0xFFFF)
+    if len(row) >= 0xFFFF:
+        raise WALError("row too wide for WAL encoding")
+    return struct.pack(">H", len(row)) + encode_values(row)
+
+
+def _decode_optional_row(data: bytes, offset: int) -> Tuple[Optional[Row], int]:
+    (n,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    if n == 0xFFFF:
+        return None, offset
+    row, offset = decode_values(data, n, offset)
+    return row, offset
+
+
+def encode_record(record: LogRecord) -> bytes:
+    """Serialize a record (length-prefixed, self-delimiting)."""
+    table_bytes = record.table.encode("utf-8")
+    body = struct.pack(">H", len(table_bytes)) + table_bytes
+    if record.rid is None:
+        body += b"\x00"
+    else:
+        body += b"\x01" + struct.pack(">QH", record.rid[0], record.rid[1])
+    body += _encode_optional_row(record.before)
+    body += _encode_optional_row(record.after)
+    return _HEADER.pack(len(body), record.lsn, record.txn_id, record.type.value) + body
+
+
+def decode_records(data: bytes) -> List[LogRecord]:
+    """Parse a byte stream of serialized records; tolerates a torn tail."""
+    records: List[LogRecord] = []
+    offset = 0
+    while offset + _HEADER.size <= len(data):
+        body_len, lsn, txn_id, type_val = _HEADER.unpack_from(data, offset)
+        offset += _HEADER.size
+        if offset + body_len > len(data):
+            break  # torn write at crash: discard the incomplete tail record
+        body_end = offset + body_len
+        (table_len,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        table = data[offset : offset + table_len].decode("utf-8")
+        offset += table_len
+        has_rid = data[offset]
+        offset += 1
+        rid: Optional[Tuple[int, int]] = None
+        if has_rid:
+            page_id, slot = struct.unpack_from(">QH", data, offset)
+            offset += 10
+            rid = (page_id, slot)
+        before, offset = _decode_optional_row(data, offset)
+        after, offset = _decode_optional_row(data, offset)
+        if offset != body_end:
+            raise WALError(f"corrupt WAL record at lsn {lsn}")
+        records.append(
+            LogRecord(lsn, txn_id, LogRecordType(type_val), table, rid, before, after)
+        )
+    return records
+
+
+class WriteAheadLog:
+    """Append-only log with optional file persistence.
+
+    ``flush`` makes everything up to the current LSN durable; ``records``
+    iterates the in-memory tail (tests) while :func:`read_log_file` reads a
+    persisted log back (recovery).
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._records: List[LogRecord] = []
+        self._next_lsn = 1
+        self._flushed_lsn = 0
+        self._lock = threading.Lock()
+        self._file = open(path, "ab") if path else None
+
+    def append(
+        self,
+        txn_id: int,
+        type: LogRecordType,
+        table: str = "",
+        rid: Optional[Tuple[int, int]] = None,
+        before: Optional[Row] = None,
+        after: Optional[Row] = None,
+    ) -> int:
+        """Append a record; returns its LSN.  Does not flush."""
+        with self._lock:
+            record = LogRecord(self._next_lsn, txn_id, type, table, rid, before, after)
+            self._next_lsn += 1
+            self._records.append(record)
+            if self._file is not None:
+                self._file.write(encode_record(record))
+            return record.lsn
+
+    def flush(self) -> int:
+        """Make all appended records durable; returns the flushed LSN."""
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            self._flushed_lsn = self._next_lsn - 1
+            return self._flushed_lsn
+
+    @property
+    def flushed_lsn(self) -> int:
+        return self._flushed_lsn
+
+    @property
+    def last_lsn(self) -> int:
+        return self._next_lsn - 1
+
+    def records(self) -> List[LogRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def records_for(self, txn_id: int) -> List[LogRecord]:
+        with self._lock:
+            return [r for r in self._records if r.txn_id == txn_id]
+
+    def truncate(self) -> None:
+        """Drop in-memory records (post-checkpoint housekeeping)."""
+        with self._lock:
+            self._records.clear()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None and not self._file.closed:
+                self._file.flush()
+                self._file.close()
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self.records())
+
+
+def read_log_file(path: str) -> List[LogRecord]:
+    """Read every intact record from a persisted WAL file."""
+    with open(path, "rb") as f:
+        return decode_records(f.read())

@@ -1,0 +1,6 @@
+"""Full-text search: tokenizer, inverted index, BM25 ranking."""
+
+from repro.text.inverted import InvertedIndex
+from repro.text.tokenizer import STOPWORDS, tokenize
+
+__all__ = ["InvertedIndex", "tokenize", "STOPWORDS"]

@@ -1,0 +1,135 @@
+"""Inverted index with BM25 ranking and boolean retrieval."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import IndexError_
+from repro.text.tokenizer import tokenize
+
+BM25_K1 = 1.5
+BM25_B = 0.75
+
+
+class InvertedIndex:
+    """Term → postings index over documents, with BM25 scoring.
+
+    Documents are arbitrary hashable ids mapped to text.  The index stores
+    term frequencies and document lengths; scoring uses the standard BM25
+    formulation with the "+ 0.5 smoothing, floored at 0" IDF.
+    """
+
+    def __init__(self, k1: float = BM25_K1, b: float = BM25_B):
+        self.k1 = k1
+        self.b = b
+        self._postings: Dict[str, Dict[Any, int]] = {}
+        self._doc_lengths: Dict[Any, int] = {}
+        self._total_length = 0
+
+    def __len__(self) -> int:
+        return len(self._doc_lengths)
+
+    def __contains__(self, doc_id: Any) -> bool:
+        return doc_id in self._doc_lengths
+
+    @property
+    def average_length(self) -> float:
+        return self._total_length / len(self._doc_lengths) if self._doc_lengths else 0.0
+
+    # -- maintenance ------------------------------------------------------------
+
+    def add(self, doc_id: Any, text: str) -> None:
+        """Index a document; ids must be unique."""
+        if doc_id in self._doc_lengths:
+            raise IndexError_(f"duplicate document id {doc_id!r}")
+        terms = tokenize(text)
+        self._doc_lengths[doc_id] = len(terms)
+        self._total_length += len(terms)
+        for term in terms:
+            bucket = self._postings.setdefault(term, {})
+            bucket[doc_id] = bucket.get(doc_id, 0) + 1
+
+    def remove(self, doc_id: Any) -> None:
+        if doc_id not in self._doc_lengths:
+            raise IndexError_(f"document id {doc_id!r} not found")
+        self._total_length -= self._doc_lengths.pop(doc_id)
+        empty_terms = []
+        for term, bucket in self._postings.items():
+            if doc_id in bucket:
+                del bucket[doc_id]
+                if not bucket:
+                    empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+
+    # -- retrieval ---------------------------------------------------------------
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))
+
+    def idf(self, term: str) -> float:
+        n = len(self._doc_lengths)
+        df = self.document_frequency(term)
+        if n == 0 or df == 0:
+            return 0.0
+        return max(0.0, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+
+    def score(self, doc_id: Any, query: str) -> float:
+        """BM25 score of one document for a query."""
+        if doc_id not in self._doc_lengths:
+            return 0.0
+        total = 0.0
+        dl = self._doc_lengths[doc_id]
+        avg = self.average_length or 1.0
+        for term in tokenize(query):
+            tf = self._postings.get(term, {}).get(doc_id, 0)
+            if tf == 0:
+                continue
+            idf = self.idf(term)
+            total += idf * (tf * (self.k1 + 1)) / (
+                tf + self.k1 * (1 - self.b + self.b * dl / avg)
+            )
+        return total
+
+    def search(self, query: str, k: int = 10) -> List[Tuple[Any, float]]:
+        """Top-k (doc_id, bm25_score), descending; ties by id order."""
+        if k < 1:
+            raise IndexError_("k must be >= 1")
+        scores: Dict[Any, float] = {}
+        avg = self.average_length or 1.0
+        for term in set(tokenize(query)):
+            bucket = self._postings.get(term)
+            if not bucket:
+                continue
+            idf = self.idf(term)
+            for doc_id, tf in bucket.items():
+                dl = self._doc_lengths[doc_id]
+                scores[doc_id] = scores.get(doc_id, 0.0) + idf * (
+                    tf * (self.k1 + 1)
+                ) / (tf + self.k1 * (1 - self.b + self.b * dl / avg))
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        return ranked[:k]
+
+    def match_all(self, query: str) -> Set[Any]:
+        """Boolean AND retrieval: documents containing every query term."""
+        terms = set(tokenize(query))
+        if not terms:
+            return set()
+        result: Optional[Set[Any]] = None
+        for term in terms:
+            docs = set(self._postings.get(term, ()))
+            result = docs if result is None else result & docs
+            if not result:
+                return set()
+        return result or set()
+
+    def match_any(self, query: str) -> Set[Any]:
+        """Boolean OR retrieval: documents containing any query term."""
+        result: Set[Any] = set()
+        for term in set(tokenize(query)):
+            result |= set(self._postings.get(term, ()))
+        return result
+
+    def vocabulary(self) -> List[str]:
+        return sorted(self._postings)

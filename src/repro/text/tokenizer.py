@@ -1,0 +1,44 @@
+"""Text tokenization for the full-text index.
+
+Lowercase word extraction with a small English stopword list and light
+suffix normalization (plural/"-ing"/"-ed" stripping).  Deliberately simple
+but deterministic, which is what ranking tests need.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_WORD = re.compile(r"[a-z0-9]+")
+
+STOPWORDS = frozenset(
+    """a an and are as at be but by for from has have if in into is it its of on
+    or that the their then there these they this to was were will with
+    """.split()
+)
+
+
+def normalize(token: str) -> str:
+    """Light stemming: strip common suffixes from longer words."""
+    if len(token) > 4 and token.endswith("ing"):
+        token = token[:-3]
+    elif len(token) > 4 and token.endswith("ed"):
+        token = token[:-2]
+    elif len(token) > 3 and token.endswith(("ses", "xes", "zes", "ches", "shes")):
+        token = token[:-2]  # plural -es after a sibilant
+    elif len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
+        token = token[:-1]
+    if len(token) > 4 and token.endswith("e"):
+        token = token[:-1]  # final-e drop unifies singular/plural stems
+    return token
+
+
+def tokenize(text: str, remove_stopwords: bool = True, stem: bool = True) -> List[str]:
+    """Split text into normalized index terms (order preserved)."""
+    tokens = _WORD.findall(text.lower())
+    if remove_stopwords:
+        tokens = [t for t in tokens if t not in STOPWORDS]
+    if stem:
+        tokens = [normalize(t) for t in tokens]
+    return tokens

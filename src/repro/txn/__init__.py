@@ -1,0 +1,30 @@
+"""Transactions: lock manager, 2PL, MVCC snapshot isolation, baselines.
+
+Three interchangeable concurrency-control schemes over a keyed store back
+experiment E6 ("one gazillion TAs/sec"): a single global lock (serial), strict
+two-phase locking with deadlock detection, and multi-version concurrency
+control with first-updater-wins conflict handling.
+"""
+
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.schemes import (
+    ConcurrencyScheme,
+    GlobalLockScheme,
+    MVCCScheme,
+    TransactionHandle,
+    TwoPLScheme,
+    make_scheme,
+    scheme_names,
+)
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "ConcurrencyScheme",
+    "GlobalLockScheme",
+    "TwoPLScheme",
+    "MVCCScheme",
+    "TransactionHandle",
+    "make_scheme",
+    "scheme_names",
+]

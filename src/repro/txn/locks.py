@@ -1,0 +1,141 @@
+"""Lock manager with shared/exclusive modes and deadlock detection.
+
+Locks are keyed by arbitrary hashable resources.  Blocked acquirers register
+edges in a waits-for graph; before sleeping (and periodically while waiting)
+the requester runs a cycle check and aborts itself with
+:class:`~repro.core.errors.DeadlockError` if it closes a cycle — a
+detect-and-abort-self policy, which keeps victims deterministic for tests.
+
+Lock upgrades (S → X by the sole shared holder) are supported, since
+read-modify-write is the OLTP workload's bread and butter.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import defaultdict
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.core.errors import DeadlockError, TransactionError
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class _LockState:
+    __slots__ = ("holders",)
+
+    def __init__(self):
+        # txn_id -> mode currently held
+        self.holders: Dict[int, LockMode] = {}
+
+
+class LockManager:
+    """S/X lock table with waits-for deadlock detection."""
+
+    def __init__(self, wait_timeout: float = 10.0):
+        self.wait_timeout = wait_timeout
+        self._locks: Dict[Hashable, _LockState] = {}
+        self._waits_for: Dict[int, Set[int]] = defaultdict(set)
+        self._held: Dict[int, Set[Hashable]] = defaultdict(set)
+        self._cond = threading.Condition()
+        self.deadlocks_detected = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def acquire(self, txn_id: int, key: Hashable, mode: LockMode) -> None:
+        """Block until the lock is granted; raises DeadlockError on cycles
+        and TransactionError when the wait exceeds ``wait_timeout``."""
+        waited = 0.0
+        step = 0.05
+        with self._cond:
+            while True:
+                state = self._locks.get(key)
+                if state is None:
+                    state = _LockState()
+                    self._locks[key] = state
+                blockers = self._blockers(state, txn_id, mode)
+                if not blockers:
+                    self._grant(state, txn_id, mode, key)
+                    self._waits_for.pop(txn_id, None)
+                    return
+                self._waits_for[txn_id] = set(blockers)
+                if self._in_cycle(txn_id):
+                    self._waits_for.pop(txn_id, None)
+                    self.deadlocks_detected += 1
+                    self._cond.notify_all()
+                    raise DeadlockError(f"txn {txn_id} aborted: deadlock on {key!r}")
+                if not self._cond.wait(timeout=step):
+                    waited += step
+                    if waited >= self.wait_timeout:
+                        self._waits_for.pop(txn_id, None)
+                        raise TransactionError(
+                            f"txn {txn_id} timed out waiting for {key!r}"
+                        )
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock held by a transaction (commit/abort)."""
+        with self._cond:
+            for key in list(self._held.get(txn_id, ())):
+                state = self._locks.get(key)
+                if state is not None:
+                    state.holders.pop(txn_id, None)
+                    if not state.holders:
+                        del self._locks[key]
+            self._held.pop(txn_id, None)
+            self._waits_for.pop(txn_id, None)
+            self._cond.notify_all()
+
+    def holds(self, txn_id: int, key: Hashable) -> Optional[LockMode]:
+        with self._cond:
+            state = self._locks.get(key)
+            if state is None:
+                return None
+            return state.holders.get(txn_id)
+
+    def held_keys(self, txn_id: int) -> Set[Hashable]:
+        with self._cond:
+            return set(self._held.get(txn_id, ()))
+
+    # -- internals --------------------------------------------------------------
+
+    def _blockers(
+        self, state: _LockState, txn_id: int, mode: LockMode
+    ) -> List[int]:
+        """Transactions that prevent ``txn_id`` from taking ``mode`` now."""
+        current = state.holders.get(txn_id)
+        if mode is LockMode.SHARED:
+            if current is not None:
+                return []  # S under S or X: already compatible
+            return [t for t, m in state.holders.items() if m is LockMode.EXCLUSIVE]
+        # EXCLUSIVE request:
+        if current is LockMode.EXCLUSIVE:
+            return []
+        # Upgrade or fresh X: everyone else must be gone.
+        return [t for t in state.holders if t != txn_id]
+
+    def _grant(
+        self, state: _LockState, txn_id: int, mode: LockMode, key: Hashable
+    ) -> None:
+        current = state.holders.get(txn_id)
+        if current is LockMode.EXCLUSIVE:
+            return  # X subsumes everything
+        state.holders[txn_id] = mode if current is None or mode is LockMode.EXCLUSIVE else current
+        self._held[txn_id].add(key)
+
+    def _in_cycle(self, start: int) -> bool:
+        """DFS from ``start`` through the waits-for graph looking for start."""
+        stack = list(self._waits_for.get(start, ()))
+        seen: Set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == start:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._waits_for.get(node, ()))
+        return False

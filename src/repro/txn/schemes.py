@@ -1,0 +1,308 @@
+"""Concurrency-control schemes over a keyed store.
+
+All three schemes expose the same transactional API (begin / read / write /
+commit / abort) over a logical key-value store, so the OLTP benchmark can
+swap them freely:
+
+* :class:`GlobalLockScheme` — one big mutex; transactions are serial.
+* :class:`TwoPLScheme` — strict two-phase locking via
+  :class:`~repro.txn.locks.LockManager`, with deadlock-victim aborts.
+* :class:`MVCCScheme` — snapshot isolation with version chains and
+  first-updater-wins write conflicts (readers never block writers).
+
+Each scheme counts commits/aborts so benchmarks can report abort rates next
+to throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.errors import TransactionError, WriteConflictError
+from repro.txn.locks import LockManager, LockMode
+
+_MISSING = object()
+
+
+@dataclass
+class TransactionHandle:
+    """Opaque per-transaction state passed back to the scheme."""
+
+    txn_id: int
+    snapshot_ts: int = 0
+    undo: List[Tuple[Hashable, Any]] = field(default_factory=list)
+    write_set: Dict[Hashable, Any] = field(default_factory=dict)
+    active: bool = True
+
+    def _require_active(self) -> None:
+        if not self.active:
+            raise TransactionError(f"txn {self.txn_id} is not active")
+
+
+class ConcurrencyScheme:
+    """Common interface + bookkeeping for all schemes."""
+
+    name = "abstract"
+
+    def __init__(self):
+        self._next_txn = 0
+        self._id_lock = threading.Lock()
+        self.commits = 0
+        self.aborts = 0
+
+    def _new_txn_id(self) -> int:
+        with self._id_lock:
+            self._next_txn += 1
+            return self._next_txn
+
+    # Subclasses implement:
+    def begin(self) -> TransactionHandle:
+        raise NotImplementedError
+
+    def read(self, txn: TransactionHandle, key: Hashable) -> Any:
+        raise NotImplementedError
+
+    def write(self, txn: TransactionHandle, key: Hashable, value: Any) -> None:
+        raise NotImplementedError
+
+    def commit(self, txn: TransactionHandle) -> None:
+        raise NotImplementedError
+
+    def abort(self, txn: TransactionHandle) -> None:
+        raise NotImplementedError
+
+    # Convenience for loading data outside any transaction.
+    def load(self, items: Dict[Hashable, Any]) -> None:
+        txn = self.begin()
+        for key, value in items.items():
+            self.write(txn, key, value)
+        self.commit(txn)
+
+
+class GlobalLockScheme(ConcurrencyScheme):
+    """One big lock: maximal simplicity, zero concurrency."""
+
+    name = "global-lock"
+
+    def __init__(self):
+        super().__init__()
+        self._mutex = threading.Lock()
+        self._store: Dict[Hashable, Any] = {}
+
+    def begin(self) -> TransactionHandle:
+        self._mutex.acquire()
+        return TransactionHandle(self._new_txn_id())
+
+    def read(self, txn: TransactionHandle, key: Hashable) -> Any:
+        txn._require_active()
+        return self._store.get(key)
+
+    def write(self, txn: TransactionHandle, key: Hashable, value: Any) -> None:
+        txn._require_active()
+        txn.undo.append((key, self._store.get(key, _MISSING)))
+        self._store[key] = value
+
+    def commit(self, txn: TransactionHandle) -> None:
+        txn._require_active()
+        txn.active = False
+        self.commits += 1
+        self._mutex.release()
+
+    def abort(self, txn: TransactionHandle) -> None:
+        txn._require_active()
+        for key, old in reversed(txn.undo):
+            if old is _MISSING:
+                self._store.pop(key, None)
+            else:
+                self._store[key] = old
+        txn.active = False
+        self.aborts += 1
+        self._mutex.release()
+
+
+class TwoPLScheme(ConcurrencyScheme):
+    """Strict two-phase locking with per-key S/X locks."""
+
+    name = "2pl"
+
+    def __init__(self, wait_timeout: float = 10.0):
+        super().__init__()
+        self.locks = LockManager(wait_timeout=wait_timeout)
+        self._store: Dict[Hashable, Any] = {}
+        self._store_lock = threading.Lock()
+
+    def begin(self) -> TransactionHandle:
+        return TransactionHandle(self._new_txn_id())
+
+    def read(self, txn: TransactionHandle, key: Hashable) -> Any:
+        txn._require_active()
+        try:
+            self.locks.acquire(txn.txn_id, key, LockMode.SHARED)
+        except TransactionError:
+            self.abort(txn)
+            raise
+        with self._store_lock:
+            return self._store.get(key)
+
+    def write(self, txn: TransactionHandle, key: Hashable, value: Any) -> None:
+        txn._require_active()
+        try:
+            self.locks.acquire(txn.txn_id, key, LockMode.EXCLUSIVE)
+        except TransactionError:
+            self.abort(txn)
+            raise
+        with self._store_lock:
+            txn.undo.append((key, self._store.get(key, _MISSING)))
+            self._store[key] = value
+
+    def commit(self, txn: TransactionHandle) -> None:
+        txn._require_active()
+        txn.active = False
+        self.locks.release_all(txn.txn_id)
+        self.commits += 1
+
+    def abort(self, txn: TransactionHandle) -> None:
+        if not txn.active:
+            return
+        with self._store_lock:
+            for key, old in reversed(txn.undo):
+                if old is _MISSING:
+                    self._store.pop(key, None)
+                else:
+                    self._store[key] = old
+        txn.active = False
+        self.locks.release_all(txn.txn_id)
+        self.aborts += 1
+
+
+@dataclass
+class _Version:
+    begin_ts: int
+    end_ts: Optional[int]
+    value: Any
+
+
+class MVCCScheme(ConcurrencyScheme):
+    """Snapshot isolation over version chains.
+
+    Readers see the newest version committed at or before their snapshot and
+    never block.  Writers take a per-key write lock until commit and abort
+    with :class:`WriteConflictError` if a concurrent transaction committed a
+    newer version after their snapshot (first-updater-wins).
+    """
+
+    name = "mvcc"
+
+    def __init__(self):
+        super().__init__()
+        self._versions: Dict[Hashable, List[_Version]] = {}
+        self._write_locks: Dict[Hashable, int] = {}
+        self._latch = threading.Lock()
+        self._clock = 0
+        self.write_conflicts = 0
+
+    def _now(self) -> int:
+        return self._clock
+
+    def begin(self) -> TransactionHandle:
+        with self._latch:
+            return TransactionHandle(self._new_txn_id(), snapshot_ts=self._clock)
+
+    def read(self, txn: TransactionHandle, key: Hashable) -> Any:
+        txn._require_active()
+        if key in txn.write_set:
+            return txn.write_set[key]
+        with self._latch:
+            return self._visible_value(key, txn.snapshot_ts)
+
+    def _visible_value(self, key: Hashable, snapshot_ts: int) -> Any:
+        chain = self._versions.get(key, ())
+        for version in reversed(chain):
+            if version.begin_ts <= snapshot_ts:
+                return version.value
+        return None
+
+    def write(self, txn: TransactionHandle, key: Hashable, value: Any) -> None:
+        txn._require_active()
+        with self._latch:
+            owner = self._write_locks.get(key)
+            if owner is not None and owner != txn.txn_id:
+                self._abort_locked(txn)
+                self.write_conflicts += 1
+                raise WriteConflictError(
+                    f"txn {txn.txn_id}: key {key!r} write-locked by txn {owner}"
+                )
+            chain = self._versions.get(key, ())
+            if chain and chain[-1].begin_ts > txn.snapshot_ts:
+                self._abort_locked(txn)
+                self.write_conflicts += 1
+                raise WriteConflictError(
+                    f"txn {txn.txn_id}: key {key!r} changed after snapshot"
+                )
+            self._write_locks[key] = txn.txn_id
+            txn.write_set[key] = value
+
+    def commit(self, txn: TransactionHandle) -> None:
+        txn._require_active()
+        with self._latch:
+            self._clock += 1
+            commit_ts = self._clock
+            for key, value in txn.write_set.items():
+                chain = self._versions.setdefault(key, [])
+                if chain:
+                    chain[-1].end_ts = commit_ts
+                chain.append(_Version(commit_ts, None, value))
+                self._write_locks.pop(key, None)
+            txn.active = False
+            self.commits += 1
+
+    def abort(self, txn: TransactionHandle) -> None:
+        if not txn.active:
+            return
+        with self._latch:
+            self._abort_locked(txn)
+
+    def _abort_locked(self, txn: TransactionHandle) -> None:
+        for key in txn.write_set:
+            if self._write_locks.get(key) == txn.txn_id:
+                del self._write_locks[key]
+        txn.active = False
+        self.aborts += 1
+
+    def version_count(self, key: Hashable) -> int:
+        with self._latch:
+            return len(self._versions.get(key, ()))
+
+    def vacuum(self, before_ts: Optional[int] = None) -> int:
+        """Drop versions superseded before ``before_ts`` (default: now)."""
+        cutoff = self._clock if before_ts is None else before_ts
+        dropped = 0
+        with self._latch:
+            for key, chain in self._versions.items():
+                keep = [
+                    v for v in chain if v.end_ts is None or v.end_ts > cutoff
+                ]
+                dropped += len(chain) - len(keep)
+                self._versions[key] = keep
+        return dropped
+
+
+_SCHEMES = {
+    "global-lock": GlobalLockScheme,
+    "2pl": TwoPLScheme,
+    "mvcc": MVCCScheme,
+}
+
+
+def make_scheme(name: str, **kwargs) -> ConcurrencyScheme:
+    """Instantiate a scheme by name (``global-lock|2pl|mvcc``)."""
+    key = name.lower()
+    if key not in _SCHEMES:
+        raise ValueError(f"unknown scheme {name!r}; choose from {sorted(_SCHEMES)}")
+    return _SCHEMES[key](**kwargs)
+
+
+def scheme_names() -> List[str]:
+    return list(_SCHEMES)

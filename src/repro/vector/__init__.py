@@ -1,0 +1,16 @@
+"""Vector search: exact flat index, IVF, and HNSW approximate indexes."""
+
+from repro.vector.flat import FlatIndex
+from repro.vector.hnsw import HNSWIndex
+from repro.vector.ivf import IVFIndex
+from repro.vector.metrics import METRICS, cosine_distance, dot_distance, l2_distance
+
+__all__ = [
+    "FlatIndex",
+    "HNSWIndex",
+    "IVFIndex",
+    "METRICS",
+    "cosine_distance",
+    "dot_distance",
+    "l2_distance",
+]

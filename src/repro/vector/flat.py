@@ -1,0 +1,114 @@
+"""Flat (exact, brute-force) vector index.
+
+Vectors live in one contiguous numpy matrix; search is a single vectorized
+distance computation plus a partial sort.  Exact by construction, so it
+doubles as the ground truth for the IVF index's recall measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import IndexError_
+from repro.vector.metrics import BATCH_METRICS, resolve_metric
+
+
+class FlatIndex:
+    """Exact nearest-neighbor search over fixed-dimension vectors."""
+
+    def __init__(self, dim: int, metric: str = "l2", initial_capacity: int = 64):
+        if dim < 1:
+            raise IndexError_("vector dimension must be >= 1")
+        self.dim = dim
+        self.metric = resolve_metric(metric)
+        self._matrix = np.zeros((max(initial_capacity, 1), dim), dtype=np.float64)
+        self._ids: List[Any] = []
+        self._slot_of: Dict[Any, int] = {}
+        self._live = np.zeros(max(initial_capacity, 1), dtype=bool)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._slot_of
+
+    # -- writes ---------------------------------------------------------------
+
+    def add(self, key: Any, vector: Sequence[float]) -> None:
+        """Insert one vector; keys must be unique."""
+        if key in self._slot_of:
+            raise IndexError_(f"duplicate vector key {key!r}")
+        vec = np.asarray(vector, dtype=np.float64)
+        if vec.shape != (self.dim,):
+            raise IndexError_(
+                f"vector for {key!r} has shape {vec.shape}, expected ({self.dim},)"
+            )
+        slot = len(self._ids)
+        if slot >= len(self._matrix):
+            self._grow()
+        self._matrix[slot] = vec
+        self._live[slot] = True
+        self._ids.append(key)
+        self._slot_of[key] = slot
+        self._count += 1
+
+    def add_batch(self, items: Sequence[Tuple[Any, Sequence[float]]]) -> None:
+        for key, vector in items:
+            self.add(key, vector)
+
+    def remove(self, key: Any) -> None:
+        """Delete a vector (tombstoned; space reused only via rebuild)."""
+        slot = self._slot_of.pop(key, None)
+        if slot is None:
+            raise IndexError_(f"vector key {key!r} not found")
+        self._live[slot] = False
+        self._count -= 1
+
+    def get(self, key: Any) -> Optional[np.ndarray]:
+        slot = self._slot_of.get(key)
+        if slot is None:
+            return None
+        return self._matrix[slot].copy()
+
+    # -- search ------------------------------------------------------------------
+
+    def search(
+        self, query: Sequence[float], k: int = 10
+    ) -> List[Tuple[Any, float]]:
+        """Top-k nearest (key, distance), ascending by distance."""
+        if k < 1:
+            raise IndexError_("k must be >= 1")
+        if self._count == 0:
+            return []
+        q = np.asarray(query, dtype=np.float64)
+        if q.shape != (self.dim,):
+            raise IndexError_(f"query has shape {q.shape}, expected ({self.dim},)")
+        n = len(self._ids)
+        distances = BATCH_METRICS[self.metric](self._matrix[:n], q)
+        distances = np.where(self._live[:n], distances, np.inf)
+        k_eff = min(k, self._count)
+        candidates = np.argpartition(distances, k_eff - 1)[:k_eff]
+        ranked = candidates[np.argsort(distances[candidates], kind="stable")]
+        return [(self._ids[i], float(distances[i])) for i in ranked]
+
+    def search_many(
+        self, queries: Sequence[Sequence[float]], k: int = 10
+    ) -> List[List[Tuple[Any, float]]]:
+        return [self.search(q, k) for q in queries]
+
+    def keys(self) -> List[Any]:
+        return [key for key in self._ids if key in self._slot_of]
+
+    # -- internals ------------------------------------------------------------------
+
+    def _grow(self) -> None:
+        new_capacity = len(self._matrix) * 2
+        matrix = np.zeros((new_capacity, self.dim), dtype=np.float64)
+        matrix[: len(self._matrix)] = self._matrix
+        self._matrix = matrix
+        live = np.zeros(new_capacity, dtype=bool)
+        live[: len(self._live)] = self._live
+        self._live = live

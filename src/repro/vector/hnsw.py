@@ -1,0 +1,196 @@
+"""HNSW: hierarchical navigable small-world graph index.
+
+The third point in the vector-index design space (after exact flat scan and
+IVF partitioning): a multi-layer proximity graph searched greedily from the
+top layer down, with beam search (``ef``) at the base layer.  Malkov &
+Yashunin's construction, sized for this library:
+
+* level of a new node ~ floor(-ln(U) * (1/ln(M)));
+* at each level, connect to the ``M`` nearest candidates found by a beam
+  search seeded from the entry point;
+* queries descend with greedy 1-best steps until level 0, then run a
+  beam of ``ef_search`` and return the best ``k``.
+
+Deterministic for a given seed.  Recall grows with ``ef_search`` while cost
+grows sub-linearly — the trade-off the tests check.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.errors import IndexError_
+from repro.vector.metrics import METRICS, resolve_metric
+
+DEFAULT_M = 8
+DEFAULT_EF_CONSTRUCTION = 64
+DEFAULT_EF_SEARCH = 32
+
+
+class HNSWIndex:
+    """Approximate nearest-neighbor search over a navigable small world."""
+
+    def __init__(
+        self,
+        dim: int,
+        metric: str = "l2",
+        m: int = DEFAULT_M,
+        ef_construction: int = DEFAULT_EF_CONSTRUCTION,
+        ef_search: int = DEFAULT_EF_SEARCH,
+        seed: int = 0,
+    ):
+        if dim < 1:
+            raise IndexError_("vector dimension must be >= 1")
+        if m < 2:
+            raise IndexError_("M must be >= 2")
+        self.dim = dim
+        self.metric = resolve_metric(metric)
+        self._distance = METRICS[self.metric]
+        self.m = m
+        self.max_m0 = 2 * m  # base layer gets a denser degree bound
+        self.ef_construction = max(ef_construction, m)
+        self.ef_search = ef_search
+        self._rng = random.Random(seed)
+        self._level_mult = 1.0 / math.log(m)
+        self._vectors: Dict[Any, np.ndarray] = {}
+        #: neighbors[level][key] -> list of keys
+        self._neighbors: List[Dict[Any, List[Any]]] = []
+        self._entry: Optional[Any] = None
+        self._entry_level = -1
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._vectors
+
+    @property
+    def levels(self) -> int:
+        return len(self._neighbors)
+
+    # -- construction ------------------------------------------------------
+
+    def _random_level(self) -> int:
+        return int(-math.log(max(self._rng.random(), 1e-12)) * self._level_mult)
+
+    def add(self, key: Any, vector: Sequence[float]) -> None:
+        """Insert one vector."""
+        if key in self._vectors:
+            raise IndexError_(f"duplicate vector key {key!r}")
+        vec = np.asarray(vector, dtype=np.float64)
+        if vec.shape != (self.dim,):
+            raise IndexError_(f"vector has shape {vec.shape}, expected ({self.dim},)")
+        self._vectors[key] = vec
+        level = self._random_level()
+        while len(self._neighbors) <= level:
+            self._neighbors.append({})
+        for lvl in range(level + 1):
+            self._neighbors[lvl].setdefault(key, [])
+        if self._entry is None:
+            self._entry = key
+            self._entry_level = level
+            return
+        # Greedy descent from the global entry to level+1.
+        current = self._entry
+        for lvl in range(self._entry_level, level, -1):
+            current = self._greedy_step(vec, current, lvl)
+        # Beam search + connect at each level from min(level, entry) down.
+        for lvl in range(min(level, self._entry_level), -1, -1):
+            candidates = self._search_layer(vec, current, lvl, self.ef_construction)
+            max_degree = self.max_m0 if lvl == 0 else self.m
+            chosen = [key2 for __, key2 in candidates[: self.m]]
+            self._neighbors[lvl][key] = chosen
+            for neighbor in chosen:
+                links = self._neighbors[lvl][neighbor]
+                links.append(key)
+                if len(links) > max_degree:
+                    self._prune(neighbor, lvl, max_degree)
+            current = candidates[0][1] if candidates else current
+        if level > self._entry_level:
+            self._entry = key
+            self._entry_level = level
+
+    def _prune(self, key: Any, level: int, max_degree: int) -> None:
+        vec = self._vectors[key]
+        links = self._neighbors[level][key]
+        ranked = sorted(links, key=lambda other: self._distance(vec, self._vectors[other]))
+        self._neighbors[level][key] = ranked[:max_degree]
+
+    # -- search ------------------------------------------------------------------
+
+    def _greedy_step(self, query: np.ndarray, start: Any, level: int) -> Any:
+        current = start
+        current_dist = self._distance(query, self._vectors[current])
+        improved = True
+        while improved:
+            improved = False
+            for neighbor in self._neighbors[level].get(current, ()):
+                d = self._distance(query, self._vectors[neighbor])
+                if d < current_dist:
+                    current, current_dist = neighbor, d
+                    improved = True
+        return current
+
+    def _search_layer(
+        self, query: np.ndarray, entry: Any, level: int, ef: int
+    ) -> List[Tuple[float, Any]]:
+        """Beam search within one layer; returns (distance, key) ascending."""
+        entry_dist = self._distance(query, self._vectors[entry])
+        visited: Set[Any] = {entry}
+        # candidates: min-heap; results: max-heap via negated distance.
+        candidates: List[Tuple[float, Any]] = [(entry_dist, entry)]
+        results: List[Tuple[float, Any]] = [(-entry_dist, entry)]
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if dist > -results[0][0] and len(results) >= ef:
+                break
+            for neighbor in self._neighbors[level].get(node, ()):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                d = self._distance(query, self._vectors[neighbor])
+                if len(results) < ef or d < -results[0][0]:
+                    heapq.heappush(candidates, (d, neighbor))
+                    heapq.heappush(results, (-d, neighbor))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return sorted((-d, key) for d, key in results)
+
+    def search(
+        self, query: Sequence[float], k: int = 10, ef_search: Optional[int] = None
+    ) -> List[Tuple[Any, float]]:
+        """Approximate top-k (key, distance), ascending by distance."""
+        if k < 1:
+            raise IndexError_("k must be >= 1")
+        if self._entry is None:
+            return []
+        q = np.asarray(query, dtype=np.float64)
+        if q.shape != (self.dim,):
+            raise IndexError_(f"query has shape {q.shape}, expected ({self.dim},)")
+        ef = max(ef_search or self.ef_search, k)
+        current = self._entry
+        for lvl in range(self._entry_level, 0, -1):
+            current = self._greedy_step(q, current, lvl)
+        ranked = self._search_layer(q, current, 0, ef)
+        return [(key, dist) for dist, key in ranked[:k]]
+
+    # -- introspection (tests) ---------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Graph sanity: symmetric containment not required, but every link
+        must point at a live node and degree bounds hold."""
+        for lvl, layer in enumerate(self._neighbors):
+            max_degree = self.max_m0 if lvl == 0 else self.m
+            for key, links in layer.items():
+                assert key in self._vectors
+                assert len(links) <= max_degree + self.m, "degree blow-up"
+                for neighbor in links:
+                    assert neighbor in self._vectors, "dangling link"
+                    assert neighbor != key, "self-link"
+        if self._vectors:
+            assert self._entry in self._vectors

@@ -1,0 +1,173 @@
+"""IVF (inverted-file) approximate vector index.
+
+Vectors are partitioned into ``nlist`` clusters by k-means (own seeded
+implementation — no external dependency beyond numpy); a query probes the
+``nprobe`` nearest centroids and scans only those lists.  Recall/latency
+trade off through ``nprobe``, which experiment E3's ablation sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import IndexError_
+from repro.vector.metrics import BATCH_METRICS, resolve_metric
+
+
+def kmeans(
+    points: np.ndarray,
+    n_clusters: int,
+    seed: int = 0,
+    max_iters: int = 20,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm with k-means++-style seeding.
+
+    Returns (centroids, assignments).  Deterministic for a given seed.
+    """
+    n = len(points)
+    if n == 0:
+        raise IndexError_("cannot cluster zero points")
+    k = min(n_clusters, n)
+    rng = np.random.default_rng(seed)
+    # k-means++ seeding: spread initial centroids out.
+    centroids = np.empty((k, points.shape[1]), dtype=np.float64)
+    centroids[0] = points[rng.integers(n)]
+    closest = np.full(n, np.inf)
+    for i in range(1, k):
+        dist = np.linalg.norm(points - centroids[i - 1], axis=1) ** 2
+        closest = np.minimum(closest, dist)
+        total = closest.sum()
+        if total <= 0:
+            centroids[i:] = points[rng.integers(n, size=k - i)]
+            break
+        probs = closest / total
+        centroids[i] = points[rng.choice(n, p=probs)]
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iters):
+        distances = np.linalg.norm(points[:, None, :] - centroids[None, :, :], axis=2)
+        new_assignments = distances.argmin(axis=1)
+        if np.array_equal(new_assignments, assignments) and _ > 0:
+            break
+        assignments = new_assignments
+        for c in range(k):
+            members = points[assignments == c]
+            if len(members):
+                centroids[c] = members.mean(axis=0)
+    return centroids, assignments
+
+
+class IVFIndex:
+    """Approximate nearest-neighbor index with inverted cluster lists."""
+
+    def __init__(
+        self,
+        dim: int,
+        metric: str = "l2",
+        nlist: int = 16,
+        nprobe: int = 2,
+        seed: int = 0,
+    ):
+        if dim < 1:
+            raise IndexError_("vector dimension must be >= 1")
+        if nlist < 1:
+            raise IndexError_("nlist must be >= 1")
+        self.dim = dim
+        self.metric = resolve_metric(metric)
+        self.nlist = nlist
+        self.nprobe = max(1, min(nprobe, nlist))
+        self.seed = seed
+        self._centroids: Optional[np.ndarray] = None
+        self._lists: List[List[Any]] = []
+        self._vectors: Dict[Any, np.ndarray] = {}
+        self._assignment: Dict[Any, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    @property
+    def is_trained(self) -> bool:
+        return self._centroids is not None
+
+    # -- build ---------------------------------------------------------------
+
+    def train(self, sample: Sequence[Sequence[float]]) -> None:
+        """Cluster a training sample into ``nlist`` centroids."""
+        points = np.asarray(sample, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != self.dim:
+            raise IndexError_(f"training sample must be (n, {self.dim})")
+        self._centroids, _ = kmeans(points, self.nlist, seed=self.seed)
+        self._lists = [[] for _ in range(len(self._centroids))]
+        # Re-assign anything already added.
+        existing = list(self._vectors.items())
+        self._assignment.clear()
+        for key, vec in existing:
+            self._append_to_list(key, vec)
+
+    def add(self, key: Any, vector: Sequence[float]) -> None:
+        if key in self._vectors:
+            raise IndexError_(f"duplicate vector key {key!r}")
+        vec = np.asarray(vector, dtype=np.float64)
+        if vec.shape != (self.dim,):
+            raise IndexError_(f"vector has shape {vec.shape}, expected ({self.dim},)")
+        self._vectors[key] = vec
+        if self.is_trained:
+            self._append_to_list(key, vec)
+
+    def build(self, items: Sequence[Tuple[Any, Sequence[float]]]) -> None:
+        """Train on the data itself, then add everything."""
+        vectors = [np.asarray(v, dtype=np.float64) for _, v in items]
+        if not vectors:
+            raise IndexError_("cannot build an empty IVF index")
+        for key, vector in items:
+            if key in self._vectors:
+                raise IndexError_(f"duplicate vector key {key!r}")
+            self._vectors[key] = np.asarray(vector, dtype=np.float64)
+        self.train(np.stack(vectors))
+
+    def remove(self, key: Any) -> None:
+        if key not in self._vectors:
+            raise IndexError_(f"vector key {key!r} not found")
+        del self._vectors[key]
+        cluster = self._assignment.pop(key, None)
+        if cluster is not None:
+            self._lists[cluster].remove(key)
+
+    def _append_to_list(self, key: Any, vec: np.ndarray) -> None:
+        cluster = int(np.linalg.norm(self._centroids - vec, axis=1).argmin())
+        self._lists[cluster].append(key)
+        self._assignment[key] = cluster
+
+    # -- search ------------------------------------------------------------------
+
+    def search(
+        self, query: Sequence[float], k: int = 10, nprobe: Optional[int] = None
+    ) -> List[Tuple[Any, float]]:
+        """Approximate top-k (key, distance) probing ``nprobe`` clusters."""
+        if not self.is_trained:
+            raise IndexError_("IVF index is not trained; call train() or build()")
+        if not self._vectors:
+            return []
+        probes = max(1, min(nprobe or self.nprobe, len(self._centroids)))
+        q = np.asarray(query, dtype=np.float64)
+        if q.shape != (self.dim,):
+            raise IndexError_(f"query has shape {q.shape}, expected ({self.dim},)")
+        centroid_order = np.argsort(np.linalg.norm(self._centroids - q, axis=1))
+        candidates: List[Any] = []
+        for cluster in centroid_order[:probes]:
+            candidates.extend(self._lists[cluster])
+        if not candidates:
+            return []
+        matrix = np.stack([self._vectors[key] for key in candidates])
+        distances = BATCH_METRICS[self.metric](matrix, q)
+        order = np.argsort(distances, kind="stable")[: min(k, len(candidates))]
+        return [(candidates[i], float(distances[i])) for i in order]
+
+    def scanned_fraction(self, nprobe: Optional[int] = None) -> float:
+        """Average fraction of vectors touched per query (cost proxy)."""
+        if not self.is_trained or not self._vectors:
+            return 1.0
+        probes = max(1, min(nprobe or self.nprobe, len(self._centroids)))
+        sizes = sorted((len(lst) for lst in self._lists), reverse=True)
+        return sum(sizes[:probes]) / len(self._vectors)

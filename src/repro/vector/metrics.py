@@ -1,0 +1,69 @@
+"""Distance metrics for vector search.
+
+All metrics are *distances* (smaller = more similar) so indexes can rank
+uniformly; ``dot`` is negated inner product for that reason.  Batch variants
+take a ``(n, d)`` matrix and return ``n`` distances via numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+
+def l2_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance."""
+    av, bv = np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+    return float(np.linalg.norm(av - bv))
+
+
+def dot_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Negated inner product (so smaller = more similar)."""
+    return -float(np.dot(np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)))
+
+
+def cosine_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """1 - cosine similarity; zero vectors are maximally distant."""
+    av, bv = np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+    na, nb = np.linalg.norm(av), np.linalg.norm(bv)
+    if na == 0.0 or nb == 0.0:
+        return 1.0
+    return float(1.0 - np.dot(av, bv) / (na * nb))
+
+
+def batch_l2(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
+    return np.linalg.norm(matrix - query, axis=1)
+
+
+def batch_dot(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
+    return -(matrix @ query)
+
+
+def batch_cosine(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
+    qn = np.linalg.norm(query)
+    if qn == 0.0:
+        return np.ones(len(matrix))
+    norms = np.linalg.norm(matrix, axis=1)
+    sims = np.where(norms > 0, (matrix @ query) / (norms * qn + 1e-30), 0.0)
+    return 1.0 - sims
+
+
+METRICS: Dict[str, Callable] = {
+    "l2": l2_distance,
+    "dot": dot_distance,
+    "cosine": cosine_distance,
+}
+
+BATCH_METRICS: Dict[str, Callable] = {
+    "l2": batch_l2,
+    "dot": batch_dot,
+    "cosine": batch_cosine,
+}
+
+
+def resolve_metric(name: str) -> str:
+    key = name.lower()
+    if key not in METRICS:
+        raise ValueError(f"unknown metric {name!r}; choose from {sorted(METRICS)}")
+    return key

@@ -1,0 +1,26 @@
+"""Workload generators: TPC-H-like analytics, OLTP mixes, document corpora,
+deterministic pseudo-embeddings."""
+
+from repro.workloads.corpus import CorpusDoc, make_corpus
+from repro.workloads.embeddings import embed_text, make_embeddings
+from repro.workloads.oltp import OLTPWorkload, make_oltp_workload, run_oltp
+from repro.workloads.tpch import (
+    TPCH_QUERIES,
+    load_tpch,
+    tpch_query,
+    tpch_row_counts,
+)
+
+__all__ = [
+    "load_tpch",
+    "tpch_query",
+    "tpch_row_counts",
+    "TPCH_QUERIES",
+    "OLTPWorkload",
+    "make_oltp_workload",
+    "run_oltp",
+    "CorpusDoc",
+    "make_corpus",
+    "embed_text",
+    "make_embeddings",
+]

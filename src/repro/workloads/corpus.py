@@ -1,0 +1,120 @@
+"""Synthetic document corpora with topic structure.
+
+Documents are generated from per-topic vocabularies mixed with a shared
+background vocabulary (Zipf-weighted), so full-text relevance and embedding
+proximity both carry real signal.  Fields (lang, quality, url with
+duplicates, length) drive the AI-pipeline and hybrid-search experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+TOPICS = {
+    "databases": [
+        "query", "index", "transaction", "storage", "optimizer", "join",
+        "buffer", "schema", "relational", "declarative", "scan", "btree",
+    ],
+    "machine_learning": [
+        "model", "training", "gradient", "neural", "embedding", "inference",
+        "dataset", "tokenizer", "transformer", "attention", "loss", "epoch",
+    ],
+    "systems": [
+        "kernel", "thread", "latency", "throughput", "cache", "memory",
+        "network", "scheduler", "cluster", "replication", "consensus", "shard",
+    ],
+    "cooking": [
+        "recipe", "flour", "oven", "butter", "saute", "simmer", "garlic",
+        "season", "roast", "whisk", "dough", "broth",
+    ],
+}
+
+_BACKGROUND = [
+    "system", "result", "paper", "approach", "method", "problem", "work",
+    "time", "new", "good", "large", "small", "fast", "show", "make", "use",
+    "world", "people", "note", "case", "value", "point", "part", "form",
+]
+
+_LANGS = ["en", "en", "en", "de", "fr", "zh"]  # en-heavy, like web corpora
+
+
+@dataclass(frozen=True)
+class CorpusDoc:
+    """One synthetic document."""
+
+    doc_id: int
+    text: str
+    topic: str
+    lang: str
+    quality: float
+    url: str
+
+    def to_record(self) -> Dict:
+        return {
+            "id": self.doc_id,
+            "text": self.text,
+            "topic": self.topic,
+            "lang": self.lang,
+            "quality": self.quality,
+            "url": self.url,
+        }
+
+
+def make_corpus(
+    num_docs: int = 1000,
+    words_per_doc: int = 40,
+    duplicate_fraction: float = 0.15,
+    topics: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[CorpusDoc]:
+    """Generate a topic-structured corpus.
+
+    ``duplicate_fraction`` of documents are near-copies of an earlier one
+    (same url, lightly shuffled text) — the dedup targets for E4.
+    """
+    rng = random.Random(seed)
+    chosen_topics = list(topics) if topics else list(TOPICS)
+    docs: List[CorpusDoc] = []
+    for doc_id in range(num_docs):
+        if docs and rng.random() < duplicate_fraction:
+            original = rng.choice(docs)
+            words = original.text.split()
+            # A near-duplicate: a couple of word swaps, same url.
+            for _ in range(2):
+                if len(words) > 3:
+                    i = rng.randrange(len(words) - 1)
+                    words[i], words[i + 1] = words[i + 1], words[i]
+            docs.append(
+                CorpusDoc(
+                    doc_id=doc_id,
+                    text=" ".join(words),
+                    topic=original.topic,
+                    lang=original.lang,
+                    quality=max(0.0, min(1.0, original.quality + rng.gauss(0, 0.05))),
+                    url=original.url,
+                )
+            )
+            continue
+        topic = rng.choice(chosen_topics)
+        vocab = TOPICS[topic]
+        words = []
+        for _ in range(words_per_doc):
+            if rng.random() < 0.55:
+                # Zipf-ish pick from the topic vocabulary.
+                rank = min(int(rng.paretovariate(1.3)) - 1, len(vocab) - 1)
+                words.append(vocab[rank])
+            else:
+                words.append(rng.choice(_BACKGROUND))
+        docs.append(
+            CorpusDoc(
+                doc_id=doc_id,
+                text=" ".join(words),
+                topic=topic,
+                lang=rng.choice(_LANGS),
+                quality=rng.betavariate(4, 2),
+                url=f"http://host{rng.randrange(max(8, num_docs // 3))}.example/{doc_id}",
+            )
+        )
+    return docs

@@ -1,0 +1,60 @@
+"""Deterministic pseudo-embeddings.
+
+Real embedding models are unavailable offline, so we build the synthetic
+equivalent that preserves what vector search needs: **documents about the
+same thing are close; different things are far**.  Each token hashes to a
+stable random direction; a text's embedding is the normalized sum of its
+token vectors (a bag-of-words random projection).  Same topic vocabulary →
+overlapping tokens → high cosine similarity, with no model in sight.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.text.tokenizer import tokenize
+
+DEFAULT_DIM = 32
+
+
+def _token_vector(token: str, dim: int, seed: int) -> np.ndarray:
+    digest = hashlib.sha256(f"{seed}:{token}".encode()).digest()
+    rng = np.random.default_rng(int.from_bytes(digest[:8], "big"))
+    vec = rng.standard_normal(dim)
+    return vec / (np.linalg.norm(vec) + 1e-12)
+
+
+class _TokenCache:
+    def __init__(self):
+        self.vectors: Dict[tuple, np.ndarray] = {}
+
+    def get(self, token: str, dim: int, seed: int) -> np.ndarray:
+        key = (token, dim, seed)
+        if key not in self.vectors:
+            self.vectors[key] = _token_vector(token, dim, seed)
+        return self.vectors[key]
+
+
+_CACHE = _TokenCache()
+
+
+def embed_text(text: str, dim: int = DEFAULT_DIM, seed: int = 0) -> np.ndarray:
+    """Deterministic embedding of one text (unit L2 norm)."""
+    tokens = tokenize(text)
+    if not tokens:
+        return np.zeros(dim)
+    total = np.zeros(dim)
+    for token in tokens:
+        total += _CACHE.get(token, dim, seed)
+    norm = np.linalg.norm(total)
+    return total / norm if norm > 0 else total
+
+
+def make_embeddings(
+    texts: Sequence[str], dim: int = DEFAULT_DIM, seed: int = 0
+) -> List[np.ndarray]:
+    """Embeddings for a batch of texts."""
+    return [embed_text(text, dim, seed) for text in texts]

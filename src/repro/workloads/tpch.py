@@ -1,0 +1,316 @@
+"""A TPC-H-like analytical workload, scaled for a pure-Python engine.
+
+Schema, value domains, and query shapes follow the TPC-H specification
+(keys, skew structure, date ranges); absolute row counts are divided so a
+laptop-scale pure-Python engine exercises the same plans the benchmark
+exercises on C engines.  At scale factor 1.0 this generator produces
+60,000 lineitems (TPC-H proper has 6,000,000 — a fixed 100× reduction,
+uniform across tables, which preserves all cardinality *ratios*).
+
+Dates are integer days since 1992-01-01 (the spec's 7-year window is
+0..2557).  Everything is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.core.database import Database
+
+#: Fixed down-scaling against spec row counts (keeps ratios intact).
+SCALE_DIVISOR = 100
+
+_BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "part": 200_000,
+    "customer": 150_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,  # approximated as orders * ~4
+}
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+_RETURN_FLAGS = ["R", "A", "N"]
+_DATE_MAX = 2557  # days in 1992-01-01 .. 1998-12-31
+
+
+def tpch_row_counts(scale_factor: float) -> Dict[str, int]:
+    """Rows per table at a scale factor (region/nation are fixed)."""
+    counts = {}
+    for table, base in _BASE_ROWS.items():
+        if table in ("region", "nation"):
+            counts[table] = base
+        else:
+            counts[table] = max(1, int(base * scale_factor / SCALE_DIVISOR))
+    return counts
+
+
+def load_tpch(db: Database, scale_factor: float = 0.01, seed: int = 0) -> Dict[str, int]:
+    """Create and populate the TPC-H-like schema; returns row counts.
+
+    Runs ``ANALYZE`` at the end so the optimizer has fresh statistics.
+    """
+    rng = random.Random(seed)
+    counts = tpch_row_counts(scale_factor)
+
+    db.execute("CREATE TABLE region (r_regionkey INTEGER NOT NULL, r_name TEXT)")
+    db.insert_rows("region", [(i, name) for i, name in enumerate(_REGIONS)])
+
+    db.execute(
+        "CREATE TABLE nation (n_nationkey INTEGER NOT NULL, n_name TEXT, "
+        "n_regionkey INTEGER)"
+    )
+    db.insert_rows(
+        "nation", [(i, name, region) for i, (name, region) in enumerate(_NATIONS)]
+    )
+
+    db.execute(
+        "CREATE TABLE supplier (s_suppkey INTEGER NOT NULL, s_name TEXT, "
+        "s_nationkey INTEGER, s_acctbal FLOAT)"
+    )
+    db.insert_rows(
+        "supplier",
+        [
+            (
+                i,
+                f"Supplier#{i:09d}",
+                rng.randrange(len(_NATIONS)),
+                round(rng.uniform(-999.99, 9999.99), 2),
+            )
+            for i in range(counts["supplier"])
+        ],
+    )
+
+    db.execute(
+        "CREATE TABLE part (p_partkey INTEGER NOT NULL, p_name TEXT, "
+        "p_brand TEXT, p_retailprice FLOAT)"
+    )
+    db.insert_rows(
+        "part",
+        [
+            (
+                i,
+                f"part {i} {rng.choice(['ivory', 'azure', 'linen', 'plum', 'khaki'])}",
+                rng.choice(_BRANDS),
+                round(900 + (i % 1000) * 0.1 + 100 * (i % 10), 2),
+            )
+            for i in range(counts["part"])
+        ],
+    )
+
+    db.execute(
+        "CREATE TABLE customer (c_custkey INTEGER NOT NULL, c_name TEXT, "
+        "c_nationkey INTEGER, c_acctbal FLOAT, c_mktsegment TEXT)"
+    )
+    db.insert_rows(
+        "customer",
+        [
+            (
+                i,
+                f"Customer#{i:09d}",
+                rng.randrange(len(_NATIONS)),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(_SEGMENTS),
+            )
+            for i in range(counts["customer"])
+        ],
+    )
+
+    db.execute(
+        "CREATE TABLE orders (o_orderkey INTEGER NOT NULL, o_custkey INTEGER, "
+        "o_orderstatus TEXT, o_totalprice FLOAT, o_orderdate INTEGER, "
+        "o_orderpriority TEXT)"
+    )
+    order_rows = []
+    order_dates = {}
+    for i in range(counts["orders"]):
+        order_date = rng.randrange(0, _DATE_MAX - 151)
+        order_dates[i] = order_date
+        order_rows.append(
+            (
+                i,
+                rng.randrange(max(counts["customer"], 1)),
+                rng.choice(["O", "F", "P"]),
+                round(rng.uniform(800.0, 450000.0), 2),
+                order_date,
+                rng.choice(_PRIORITIES),
+            )
+        )
+    db.insert_rows("orders", order_rows)
+
+    db.execute(
+        "CREATE TABLE lineitem (l_orderkey INTEGER NOT NULL, l_partkey INTEGER, "
+        "l_suppkey INTEGER, l_linenumber INTEGER, l_quantity FLOAT, "
+        "l_extendedprice FLOAT, l_discount FLOAT, l_tax FLOAT, "
+        "l_returnflag TEXT, l_linestatus TEXT, l_shipdate INTEGER)"
+    )
+    lineitem_rows = []
+    target = counts["lineitem"]
+    order_count = max(counts["orders"], 1)
+    while len(lineitem_rows) < target:
+        order_key = rng.randrange(order_count)
+        lines = rng.randint(1, 7)
+        base_date = order_dates.get(order_key, 0)
+        for line_number in range(1, lines + 1):
+            if len(lineitem_rows) >= target:
+                break
+            quantity = float(rng.randint(1, 50))
+            price = round(quantity * rng.uniform(900.0, 1100.0), 2)
+            ship_date = min(base_date + rng.randint(1, 121), _DATE_MAX)
+            return_flag = rng.choice(_RETURN_FLAGS) if ship_date < 1200 else "N"
+            lineitem_rows.append(
+                (
+                    order_key,
+                    rng.randrange(max(counts["part"], 1)),
+                    rng.randrange(max(counts["supplier"], 1)),
+                    line_number,
+                    quantity,
+                    price,
+                    round(rng.choice([0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.1]), 2),
+                    round(rng.uniform(0.0, 0.08), 2),
+                    return_flag,
+                    "O" if ship_date > 1100 else "F",
+                    ship_date,
+                )
+            )
+    db.insert_rows("lineitem", lineitem_rows)
+    db.analyze()
+    return {t: db.table(t).row_count for t in counts}
+
+
+# --------------------------------------------------------------------------
+# Query suite (shapes of TPC-H Q1, Q3, Q5, Q6)
+# --------------------------------------------------------------------------
+
+
+def q1_pricing_summary(delta_days: int = 90) -> str:
+    cutoff = _DATE_MAX - delta_days
+    return f"""
+        SELECT l_returnflag, l_linestatus,
+               SUM(l_quantity) AS sum_qty,
+               SUM(l_extendedprice) AS sum_base_price,
+               SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+               AVG(l_quantity) AS avg_qty,
+               AVG(l_discount) AS avg_disc,
+               COUNT(*) AS count_order
+        FROM lineitem
+        WHERE l_shipdate <= {cutoff}
+        GROUP BY l_returnflag, l_linestatus
+        ORDER BY l_returnflag, l_linestatus
+    """
+
+
+def q3_shipping_priority(segment: str = "BUILDING", date: int = 1150) -> str:
+    return f"""
+        SELECT l.l_orderkey,
+               SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+               o.o_orderdate
+        FROM customer c
+        JOIN orders o ON c.c_custkey = o.o_custkey
+        JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+        WHERE c.c_mktsegment = '{segment}'
+          AND o.o_orderdate < {date}
+          AND l.l_shipdate > {date}
+        GROUP BY l.l_orderkey, o.o_orderdate
+        ORDER BY revenue DESC, o.o_orderdate
+        LIMIT 10
+    """
+
+
+def q5_local_supplier_volume(region: str = "ASIA", date: int = 365) -> str:
+    return f"""
+        SELECT n.n_name,
+               SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+        FROM customer c
+        JOIN orders o ON c.c_custkey = o.o_custkey
+        JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+        JOIN supplier s ON l.l_suppkey = s.s_suppkey
+        JOIN nation n ON s.s_nationkey = n.n_nationkey
+        JOIN region r ON n.n_regionkey = r.r_regionkey
+        WHERE r.r_name = '{region}'
+          AND o.o_orderdate >= {date}
+          AND o.o_orderdate < {date + 365}
+        GROUP BY n.n_name
+        ORDER BY revenue DESC
+    """
+
+
+def q6_forecast_revenue(date: int = 365, discount: float = 0.06, quantity: int = 24) -> str:
+    return f"""
+        SELECT SUM(l_extendedprice * l_discount) AS revenue
+        FROM lineitem
+        WHERE l_shipdate >= {date}
+          AND l_shipdate < {date + 365}
+          AND l_discount BETWEEN {discount - 0.011} AND {discount + 0.011}
+          AND l_quantity < {quantity}
+    """
+
+
+def q10_returned_items(date: int = 800) -> str:
+    """Shape of TPC-H Q10: top customers by revenue lost to returns."""
+    return f"""
+        SELECT c.c_custkey, c.c_name,
+               SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+               n.n_name
+        FROM customer c
+        JOIN orders o ON c.c_custkey = o.o_custkey
+        JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+        JOIN nation n ON c.c_nationkey = n.n_nationkey
+        WHERE o.o_orderdate >= {date}
+          AND o.o_orderdate < {date + 92}
+          AND l.l_returnflag = 'R'
+        GROUP BY c.c_custkey, c.c_name, n.n_name
+        ORDER BY revenue DESC
+        LIMIT 20
+    """
+
+
+def q12_shipping_modes(date: int = 365) -> str:
+    """Shape of TPC-H Q12: priority mix per line status over a year."""
+    return f"""
+        SELECT l.l_linestatus,
+               SUM(CASE WHEN o.o_orderpriority = '1-URGENT'
+                         OR o.o_orderpriority = '2-HIGH'
+                   THEN 1 ELSE 0 END) AS high_line_count,
+               SUM(CASE WHEN o.o_orderpriority != '1-URGENT'
+                        AND o.o_orderpriority != '2-HIGH'
+                   THEN 1 ELSE 0 END) AS low_line_count
+        FROM orders o
+        JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+        WHERE l.l_shipdate >= {date}
+          AND l.l_shipdate < {date + 365}
+        GROUP BY l.l_linestatus
+        ORDER BY l.l_linestatus
+    """
+
+
+TPCH_QUERIES = {
+    "Q1": q1_pricing_summary,
+    "Q3": q3_shipping_priority,
+    "Q5": q5_local_supplier_volume,
+    "Q6": q6_forecast_revenue,
+    "Q10": q10_returned_items,
+    "Q12": q12_shipping_modes,
+}
+
+
+def tpch_query(name: str, **params) -> str:
+    """SQL text of a named query (Q1/Q3/Q5/Q6) with optional parameters."""
+    key = name.upper()
+    if key not in TPCH_QUERIES:
+        raise KeyError(f"unknown TPC-H query {name!r}; have {sorted(TPCH_QUERIES)}")
+    return TPCH_QUERIES[key](**params)

@@ -1,0 +1,71 @@
+"""Tests for the benchmark harness and energy model (repro.bench)."""
+
+import pytest
+
+from repro.bench.energy import EnergyModel
+from repro.bench.harness import Timer, format_table, geometric_mean, time_call
+from repro.core.database import Database
+
+
+class TestHarness:
+    def test_timer_measures(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.elapsed_ms > 0
+        assert t.elapsed_s == t.elapsed_ms / 1e3
+
+    def test_time_call_returns_result_and_best(self):
+        result, best_ms = time_call(lambda: 42, repeats=3)
+        assert result == 42
+        assert best_ms >= 0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([5]) == pytest.approx(5.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0, -1]) == 0.0  # non-positives ignored
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # All data rows share the header's column separator positions.
+        sep = lines[1].index("|")
+        assert all(line[sep] == "|" for line in lines[3:])
+
+    def test_format_table_number_formatting(self):
+        text = format_table(["x"], [[1234567.0], [0.123456]])
+        assert "1,234,567" in text
+        assert "0.123" in text
+
+
+class TestEnergyModel:
+    def test_components_add_up(self):
+        model = EnergyModel(cpu_watts=10.0, read_joules_per_page=1.0,
+                            write_joules_per_page=2.0, gpu_watts=100.0)
+        report = model.measure("x", cpu_seconds=2.0, page_reads=3,
+                               page_writes=4, gpu_seconds=0.5)
+        assert report.joules == pytest.approx(20 + 3 + 8 + 50)
+
+    def test_watt_hours_and_carbon(self):
+        model = EnergyModel(cpu_watts=3600.0)
+        report = model.measure("x", cpu_seconds=1.0)
+        assert report.watt_hours == pytest.approx(1.0)
+        assert report.carbon_grams(400.0) == pytest.approx(0.4)
+
+    def test_more_work_costs_more(self):
+        model = EnergyModel()
+        light = model.measure("light", cpu_seconds=0.1)
+        heavy = model.measure("heavy", cpu_seconds=1.0, gpu_seconds=0.1)
+        assert heavy.joules > light.joules
+
+    def test_measure_database_pulls_io_counters(self):
+        db = Database(buffer_capacity=2)
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        db.insert_rows("t", [(i, "x" * 500) for i in range(200)])
+        db.execute("SELECT COUNT(*) FROM t")
+        report = EnergyModel().measure_database("q", db, cpu_seconds=0.01)
+        assert report.page_reads > 0  # tiny pool forced real page traffic
+        assert report.joules > 0

@@ -1,0 +1,141 @@
+"""Tests for catalog statistics (repro.catalog.statistics)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.statistics import (
+    Histogram,
+    compute_column_stats,
+    compute_table_stats,
+    join_selectivity,
+    ndv_after_filter,
+)
+from repro.core.types import Column, DataType, Schema
+
+
+class TestHistogram:
+    def make(self):
+        # Uniform 0..99, 10 buckets of 10 values each.
+        return Histogram(0.0, 99.0, [10] * 10)
+
+    def test_full_range(self):
+        assert self.make().estimate_range_fraction(None, None) == pytest.approx(1.0)
+
+    def test_half_range(self):
+        assert self.make().estimate_range_fraction(None, 49.5) == pytest.approx(0.5, abs=0.02)
+
+    def test_narrow_range(self):
+        assert self.make().estimate_range_fraction(10, 20) == pytest.approx(0.1, abs=0.03)
+
+    def test_out_of_bounds(self):
+        assert self.make().estimate_range_fraction(200, 300) == 0.0
+        assert self.make().estimate_range_fraction(-50, -10) == 0.0
+
+    def test_inverted_range(self):
+        assert self.make().estimate_range_fraction(50, 10) == 0.0
+
+    def test_degenerate_single_value(self):
+        hist = Histogram(5.0, 5.0, [100])
+        assert hist.estimate_range_fraction(0, 10) == 1.0
+        assert hist.estimate_range_fraction(6, 10) == 0.0
+
+    def test_empty(self):
+        assert Histogram(0, 1, []).estimate_range_fraction(0, 1) == 0.0
+
+
+class TestColumnStats:
+    def test_numeric_column(self):
+        values = list(range(100)) + [None] * 10
+        stats = compute_column_stats("x", DataType.INTEGER, values)
+        assert stats.count == 110
+        assert stats.null_count == 10
+        assert stats.n_distinct == 100
+        assert stats.min_value == 0 and stats.max_value == 99
+        assert stats.histogram is not None
+        assert stats.null_fraction() == pytest.approx(10 / 110)
+
+    def test_text_column_mcv(self):
+        values = ["a"] * 50 + ["b"] * 30 + ["c"] * 5
+        stats = compute_column_stats("t", DataType.TEXT, values)
+        assert stats.mcv["a"] == 50
+        assert stats.eq_selectivity("a") == pytest.approx(50 / 85)
+        assert stats.avg_width == 1.0
+
+    def test_eq_selectivity_non_mcv_uses_ndv(self):
+        values = list(range(10)) * 10
+        stats = compute_column_stats("x", DataType.INTEGER, values)
+        # Every value is an MCV here (10 distinct, 10 MCV slots).
+        assert stats.eq_selectivity(3) == pytest.approx(0.1)
+
+    def test_range_selectivity_uses_histogram(self):
+        stats = compute_column_stats("x", DataType.INTEGER, list(range(100)))
+        assert stats.range_selectivity(None, 24) == pytest.approx(0.25, abs=0.05)
+        assert stats.range_selectivity(90, None) == pytest.approx(0.1, abs=0.05)
+
+    def test_all_null_column(self):
+        stats = compute_column_stats("x", DataType.INTEGER, [None, None])
+        assert stats.non_null == 0
+        assert stats.eq_selectivity(1) == 0.0
+        assert stats.range_selectivity(0, 10) == 0.0
+
+    def test_vector_column_counts_only(self):
+        stats = compute_column_stats(
+            "v", DataType.VECTOR, [(1.0, 2.0), (1.0, 2.0), (3.0, 4.0)]
+        )
+        assert stats.n_distinct == 2
+        assert stats.avg_width == 16.0
+
+    def test_boolean_column(self):
+        stats = compute_column_stats("b", DataType.BOOLEAN, [True, False, True])
+        assert stats.n_distinct == 2
+        assert stats.avg_width == 1.0
+
+
+class TestTableStats:
+    def test_compute_table_stats(self):
+        schema = Schema([Column("a", DataType.INTEGER), Column("b", DataType.TEXT)])
+        rows = [(i, "x" if i % 2 else "y") for i in range(20)]
+        stats = compute_table_stats("t", schema, rows, byte_count=123)
+        assert stats.row_count == 20
+        assert stats.byte_count == 123
+        assert stats.column("a").n_distinct == 20
+        assert stats.column("b").n_distinct == 2
+        assert stats.column("missing") is None
+
+
+class TestJoinSelectivity:
+    def test_uses_larger_ndv(self):
+        left = compute_column_stats("l", DataType.INTEGER, list(range(100)))
+        right = compute_column_stats("r", DataType.INTEGER, list(range(10)) * 3)
+        assert join_selectivity(left, right) == pytest.approx(1 / 100)
+
+    def test_missing_stats_default(self):
+        assert join_selectivity(None, None) == pytest.approx(0.1)
+
+
+class TestNdvAfterFilter:
+    def test_full_selectivity_keeps_ndv(self):
+        assert ndv_after_filter(50, 1.0, 1000) == 50
+
+    def test_zero_rows(self):
+        assert ndv_after_filter(50, 0.5, 0) == 0
+
+    def test_monotone_in_selectivity(self):
+        values = [ndv_after_filter(100, s, 1000) for s in (0.01, 0.1, 0.5, 1.0)]
+        assert values == sorted(values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=300),
+       st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_range_selectivity_tracks_truth_property(values, a, b):
+    """Histogram estimate within 30 points of the true fraction (the
+    in-bucket uniformity assumption caps accuracy on tiny columns)."""
+    low, high = min(a, b), max(a, b)
+    stats = compute_column_stats("x", DataType.INTEGER, values)
+    estimate = stats.range_selectivity(low, high)
+    truth = sum(1 for v in values if low <= v <= high) / len(values)
+    # Equi-width histograms guarantee nothing per-value on tiny columns;
+    # allow an extra 1/n of slack for boundary effects.
+    assert abs(estimate - truth) <= 0.30 + 1.0 / len(values)

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.types import Column, DataType, Schema
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+
+@pytest.fixture
+def pool() -> BufferPool:
+    return BufferPool(InMemoryDiskManager(), capacity=16)
+
+
+@pytest.fixture
+def simple_schema() -> Schema:
+    return Schema(
+        [
+            Column("id", DataType.INTEGER, nullable=False),
+            Column("name", DataType.TEXT),
+            Column("score", DataType.FLOAT),
+        ]
+    )
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database()
+
+
+@pytest.fixture
+def people_db() -> Database:
+    """A small two-table database used across SQL tests."""
+    database = Database()
+    database.execute(
+        "CREATE TABLE people (id INTEGER NOT NULL, name TEXT, age INTEGER, city TEXT)"
+    )
+    database.execute(
+        "INSERT INTO people VALUES "
+        "(1, 'alice', 30, 'nyc'), (2, 'bob', 25, 'sf'), (3, 'carol', 35, 'nyc'), "
+        "(4, 'dave', 28, 'chi'), (5, 'erin', NULL, 'sf')"
+    )
+    database.execute("CREATE TABLE orders (oid INTEGER, pid INTEGER, amount FLOAT)")
+    database.execute(
+        "INSERT INTO orders VALUES "
+        "(100, 1, 20.0), (101, 1, 35.5), (102, 2, 10.0), (103, 3, 7.25), "
+        "(104, 3, 99.0), (105, 9, 1.0)"
+    )
+    return database

@@ -1,0 +1,108 @@
+"""Tests for the interactive shell (repro.cli)."""
+
+import pytest
+
+from repro.cli import Shell, load_demo
+from repro.core.database import Database
+
+
+@pytest.fixture
+def shell():
+    db = Database()
+    load_demo(db)
+    return Shell(db)
+
+
+class TestSQLExecution:
+    def test_select_renders_table(self, shell):
+        out = shell.execute_line("SELECT name FROM cities WHERE country = 'DE' ORDER BY name")
+        assert "Berlin" in out and "Hamburg" in out
+        assert "Paris" not in out
+
+    def test_dml_reports_rowcount(self, shell):
+        out = shell.execute_line("UPDATE cities SET pop = pop + 1 WHERE country = 'FR'")
+        assert "2 rows affected" in out
+
+    def test_error_is_friendly(self, shell):
+        out = shell.execute_line("SELECT * FROM ghost")
+        assert out.startswith("error:")
+
+    def test_parse_error_is_friendly(self, shell):
+        assert shell.execute_line("SELEC 1").startswith("error:")
+
+    def test_empty_line_is_silent(self, shell):
+        assert shell.execute_line("   ") == ""
+
+    def test_trailing_semicolon_tolerated(self, shell):
+        out = shell.execute_line("SELECT COUNT(*) FROM cities;")
+        assert "6" in out
+
+    def test_timer_toggle(self, shell):
+        shell.execute_line(".timer off")
+        out = shell.execute_line("SELECT 1")
+        assert "ms)" not in out
+        shell.execute_line(".timer on")
+        out = shell.execute_line("SELECT 1")
+        assert "ms)" in out
+
+    def test_explain_passthrough(self, shell):
+        out = shell.execute_line("EXPLAIN SELECT * FROM cities WHERE id = 1")
+        assert "physical plan" in out
+
+
+class TestMetaCommands:
+    def test_tables(self, shell):
+        out = shell.execute_line(".tables")
+        assert "cities" in out and "visits" in out
+
+    def test_schema_all(self, shell):
+        out = shell.execute_line(".schema")
+        assert "cities" in out and "pop FLOAT" in out
+
+    def test_schema_one(self, shell):
+        out = shell.execute_line(".schema visits")
+        assert "tourists" in out and "cities" not in out
+
+    def test_schema_unknown(self, shell):
+        assert shell.execute_line(".schema nope").startswith("error:")
+
+    def test_indexes_empty_then_listed(self, shell):
+        assert shell.execute_line(".indexes") == "(no indexes)"
+        shell.execute_line("CREATE INDEX idx_city ON cities (id)")
+        out = shell.execute_line(".indexes")
+        assert "idx_city" in out and "btree" in out
+
+    def test_engine_switch(self, shell):
+        assert shell.execute_line(".engine vectorized") == "engine = vectorized"
+        assert "Berlin" in shell.execute_line("SELECT name FROM cities WHERE id = 1")
+        assert "usage" in shell.execute_line(".engine warp")
+
+    def test_analyze(self, shell):
+        assert shell.execute_line(".analyze") == "statistics refreshed"
+        assert shell.db.table("cities").stats is not None
+
+    def test_help_and_unknown(self, shell):
+        assert ".tables" in shell.execute_line(".help")
+        assert "unknown command" in shell.execute_line(".frobnicate")
+
+    def test_quit_sets_done(self, shell):
+        out = shell.execute_line(".quit")
+        assert out == "bye"
+        assert shell.done
+
+
+class TestFilePersistedShell:
+    def test_data_survives_shell_sessions(self, tmp_path):
+        from repro.cli import Shell
+        path = str(tmp_path / "shop.db")
+        first = Shell(Database(path=path))
+        first.execute_line("CREATE TABLE notes (id INTEGER, body TEXT)")
+        first.execute_line("INSERT INTO notes VALUES (1, 'remember me')")
+        first.execute_line(".quit")
+        first.db.close()
+
+        second = Shell(Database(path=path))
+        out = second.execute_line("SELECT body FROM notes WHERE id = 1")
+        assert "remember me" in out
+        assert "notes" in second.execute_line(".tables")
+        second.db.close()

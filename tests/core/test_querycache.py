@@ -1,0 +1,169 @@
+"""Tests for the query-result cache (repro.core.querycache)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import Database
+from repro.core.querycache import QueryCache, referenced_tables
+from repro.sql.parser import parse
+
+
+@pytest.fixture
+def db():
+    database = Database(result_cache_size=8)
+    database.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+    database.execute("CREATE TABLE s (a INTEGER)")
+    database.insert_rows("t", [(i, f"v{i}") for i in range(100)])
+    database.insert_rows("s", [(i,) for i in range(10)])
+    return database
+
+
+class TestReferencedTables:
+    def test_simple_select(self):
+        assert referenced_tables(parse("SELECT * FROM t")) == {"t"}
+
+    def test_joins_and_case(self):
+        tables = referenced_tables(
+            parse("SELECT * FROM t JOIN s ON t.a = s.a LEFT JOIN r ON r.a = s.a")
+        )
+        assert tables == {"t", "s", "r"}
+
+    def test_subquery_tables_included(self):
+        tables = referenced_tables(
+            parse("SELECT a FROM t WHERE a IN (SELECT a FROM s)")
+        )
+        assert tables == {"t", "s"}
+
+    def test_set_op(self):
+        tables = referenced_tables(parse("SELECT a FROM t UNION SELECT a FROM s"))
+        assert tables == {"t", "s"}
+
+    def test_from_less_select(self):
+        assert referenced_tables(parse("SELECT 1 + 2")) == set()
+
+    def test_non_query_returns_none(self):
+        assert referenced_tables(parse("INSERT INTO t VALUES (1, 'x')")) is None
+
+
+class TestCacheUnit:
+    def test_lru_eviction(self):
+        cache = QueryCache(2)
+        cache.put(("q1", "volcano"), ["c"], [(1,)], {"t"})
+        cache.put(("q2", "volcano"), ["c"], [(2,)], {"t"})
+        cache.get(("q1", "volcano"))  # refresh q1
+        cache.put(("q3", "volcano"), ["c"], [(3,)], {"t"})
+        assert cache.get(("q2", "volcano")) is None  # LRU evicted
+        assert cache.get(("q1", "volcano")) is not None
+
+    def test_invalidate_only_matching_tables(self):
+        cache = QueryCache(4)
+        cache.put(("q1", "v"), ["c"], [], {"t"})
+        cache.put(("q2", "v"), ["c"], [], {"s"})
+        assert cache.invalidate_tables(["T"]) == 1  # case-insensitive
+        assert cache.get(("q1", "v")) is None
+        assert cache.get(("q2", "v")) is not None
+
+
+class TestDatabaseIntegration:
+    def test_repeated_query_hits(self, db):
+        q = "SELECT COUNT(*) FROM t"
+        first = db.execute(q).scalar()
+        second = db.execute(q).scalar()
+        assert first == second == 100
+        assert db.result_cache.stats.hits == 1
+
+    def test_engines_cached_separately(self, db):
+        q = "SELECT COUNT(*) FROM t"
+        db.execute(q, engine="volcano")
+        db.execute(q, engine="vectorized")
+        assert db.result_cache.stats.hits == 0
+        assert len(db.result_cache) == 2
+
+    def test_insert_invalidates(self, db):
+        q = "SELECT COUNT(*) FROM t"
+        assert db.execute(q).scalar() == 100
+        db.execute("INSERT INTO t VALUES (100, 'new')")
+        assert db.execute(q).scalar() == 101
+
+    def test_update_and_delete_invalidate(self, db):
+        q = "SELECT b FROM t WHERE a = 5"
+        assert db.execute(q).scalar() == "v5"
+        db.execute("UPDATE t SET b = 'changed' WHERE a = 5")
+        assert db.execute(q).scalar() == "changed"
+        db.execute("DELETE FROM t WHERE a = 5")
+        assert db.execute(q).rows == []
+
+    def test_write_to_other_table_keeps_entry(self, db):
+        q = "SELECT COUNT(*) FROM t"
+        db.execute(q)
+        db.execute("INSERT INTO s VALUES (99)")
+        db.execute(q)
+        assert db.result_cache.stats.hits == 1
+
+    def test_rollback_invalidates(self, db):
+        q = "SELECT COUNT(*) FROM t"
+        assert db.execute(q).scalar() == 100
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t WHERE a < 50")
+        assert db.execute(q).scalar() == 50
+        db.execute("ROLLBACK")
+        assert db.execute(q).scalar() == 100
+
+    def test_join_query_invalidated_by_either_side(self, db):
+        q = "SELECT COUNT(*) FROM t JOIN s ON t.a = s.a"
+        baseline = db.execute(q).scalar()
+        db.execute("INSERT INTO s VALUES (11)")
+        assert db.execute(q).scalar() == baseline + 1
+
+    def test_cached_result_is_isolated_copy(self, db):
+        q = "SELECT a FROM t WHERE a < 3 ORDER BY a"
+        first = db.execute(q)
+        first.rows.append(("tampered",))
+        second = db.execute(q)
+        assert second.rows == [(0,), (1,), (2,)]
+
+    def test_cache_disabled_by_default(self):
+        plain = Database()
+        assert plain.result_cache is None
+        plain.execute("CREATE TABLE x (a INTEGER)")
+        plain.execute("SELECT COUNT(*) FROM x")  # must not crash
+
+    def test_drop_table_clears(self, db):
+        db.execute("SELECT COUNT(*) FROM t")
+        db.execute("DROP TABLE s")
+        assert len(db.result_cache) == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 30)), max_size=40))
+def test_cached_answers_always_match_uncached_property(ops):
+    """Random interleavings of reads and writes: a cached database and an
+    uncached one always return identical answers."""
+    from hypothesis import assume
+
+    cached = Database(result_cache_size=4)
+    plain = Database()
+    for database in (cached, plain):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        database.insert_rows("t", [(i,) for i in range(10)])
+    queries = [
+        "SELECT COUNT(*) FROM t",
+        "SELECT SUM(a) FROM t",
+        "SELECT COUNT(*) FROM t WHERE a > 10",
+    ]
+    for kind, value in ops:
+        if kind == 0:
+            sql = queries[value % len(queries)]
+            assert cached.execute(sql).rows == plain.execute(sql).rows
+        elif kind == 1:
+            for database in (cached, plain):
+                database.execute(f"INSERT INTO t VALUES ({value})")
+        elif kind == 2:
+            for database in (cached, plain):
+                database.execute(f"DELETE FROM t WHERE a = {value % 15}")
+        else:
+            for database in (cached, plain):
+                database.execute(f"UPDATE t SET a = a + 1 WHERE a = {value % 15}")
+    for sql in queries:
+        assert cached.execute(sql).rows == plain.execute(sql).rows

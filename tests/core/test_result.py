@@ -1,0 +1,64 @@
+"""Tests for result sets (repro.core.result)."""
+
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.core.result import Result
+
+
+@pytest.fixture
+def result():
+    return Result(
+        columns=["id", "name", "score"],
+        rows=[(1, "alice", 9.5), (2, "bob", None)],
+        rowcount=2,
+    )
+
+
+class TestAccessors:
+    def test_len_and_iter(self, result):
+        assert len(result) == 2
+        assert list(result) == result.rows
+
+    def test_first(self, result):
+        assert result.first() == (1, "alice", 9.5)
+        assert Result().first() is None
+
+    def test_scalar(self):
+        assert Result(columns=["x"], rows=[(42,)]).scalar() == 42
+
+    def test_scalar_rejects_wrong_shape(self, result):
+        with pytest.raises(ExecutionError):
+            result.scalar()
+        with pytest.raises(ExecutionError):
+            Result(columns=["x"], rows=[]).scalar()
+
+    def test_to_dicts(self, result):
+        assert result.to_dicts()[0] == {"id": 1, "name": "alice", "score": 9.5}
+
+    def test_column(self, result):
+        assert result.column("name") == ["alice", "bob"]
+        with pytest.raises(ExecutionError):
+            result.column("ghost")
+
+
+class TestPretty:
+    def test_alignment_and_nulls(self, result):
+        text = result.pretty()
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "NULL" in lines[3]
+        assert lines[0].index("name") == lines[2].index("alice")
+
+    def test_truncation_notice(self):
+        big = Result(columns=["n"], rows=[(i,) for i in range(30)])
+        text = big.pretty(max_rows=5)
+        assert "(25 more rows)" in text
+
+    def test_float_formatting(self):
+        text = Result(columns=["f"], rows=[(1.23456789,), (2.0,)]).pretty()
+        assert "1.2346" in text
+        assert "2" in text
+
+    def test_plan_text_short_circuit(self):
+        assert Result(plan_text="THE PLAN").pretty() == "THE PLAN"

@@ -1,0 +1,69 @@
+"""Tests for scalar SQL functions."""
+
+import pytest
+
+from repro.core.errors import BindError, ExecutionError
+
+
+class TestNumericFunctions:
+    def test_abs_sign_mod(self, db):
+        assert db.execute("SELECT ABS(0 - 5), ABS(5), ABS(0.5 - 1)").rows == [(5, 5, 0.5)]
+        assert db.execute("SELECT SIGN(0 - 9), SIGN(0), SIGN(3)").rows == [(-1, 0, 1)]
+        assert db.execute("SELECT MOD(10, 3), MOD(10.5, 3)").rows[0] == (1, 1.5)
+
+    def test_power_exp_ln_sqrt(self, db):
+        row = db.execute(
+            "SELECT POWER(2, 8), ROUND(EXP(0), 3), ROUND(LN(EXP(1)), 6), SQRT(81)"
+        ).rows[0]
+        assert row == (256.0, 1.0, 1.0, 9.0)
+
+    def test_floor_ceil_round(self, db):
+        assert db.execute("SELECT FLOOR(1.7), CEIL(1.2), ROUND(1.25, 1)").rows == [
+            (1, 2, 1.2)
+        ]
+
+    def test_null_propagation(self, db):
+        assert db.execute("SELECT ABS(NULL), MOD(NULL, 2), POWER(2, NULL)").rows == [
+            (None, None, None)
+        ]
+
+
+class TestTextFunctions:
+    def test_case_functions(self, db):
+        assert db.execute("SELECT UPPER('aBc'), LOWER('aBc')").rows == [("ABC", "abc")]
+
+    def test_trim_family(self, db):
+        assert db.execute(
+            "SELECT TRIM('  x  '), LTRIM('  x  '), RTRIM('  x  ')"
+        ).rows == [("x", "x  ", "  x")]
+
+    def test_replace_reverse_length_substr(self, db):
+        row = db.execute(
+            "SELECT REPLACE('aaa', 'a', 'bb'), REVERSE('abc'), LENGTH('abcd'), "
+            "SUBSTR('hello world', 7), SUBSTR('hello', 1, 2)"
+        ).rows[0]
+        assert row == ("bbbbbb", "cba", 4, "world", "he")
+
+    def test_coalesce(self, db):
+        assert db.execute("SELECT COALESCE(NULL, 'x', 'y')").scalar() == "x"
+        assert db.execute("SELECT COALESCE(NULL, NULL)").scalar() is None
+
+
+class TestFunctionErrors:
+    def test_unknown_function(self, db):
+        with pytest.raises(BindError, match="unknown function"):
+            db.execute("SELECT FROBNICATE(1)")
+
+    def test_wrong_arity(self, db):
+        with pytest.raises(BindError, match="arguments"):
+            db.execute("SELECT ABS(1, 2)")
+
+    def test_runtime_type_error_surfaces(self, db):
+        db.execute("CREATE TABLE x (t TEXT)")
+        db.execute("INSERT INTO x VALUES ('oops')")
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT ABS(t) FROM x")
+
+    def test_functions_fold_at_plan_time(self, db):
+        text = db.explain("SELECT 1 WHERE UPPER('a') = 'A'")
+        assert "UPPER" not in text  # constant-folded away

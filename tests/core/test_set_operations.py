@@ -1,0 +1,185 @@
+"""Tests for UNION / UNION ALL / INTERSECT / EXCEPT."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import BindError, ParseError, TypeMismatchError
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE a (x INTEGER, y TEXT)")
+    database.execute("CREATE TABLE b (x INTEGER, y TEXT)")
+    database.execute("INSERT INTO a VALUES (1,'p'),(2,'q'),(2,'q'),(3,'r')")
+    database.execute("INSERT INTO b VALUES (2,'q'),(4,'s'),(4,'s')")
+    return database
+
+
+class TestParsing:
+    def test_union_parses(self):
+        stmt = parse("SELECT x FROM a UNION SELECT x FROM b")
+        assert isinstance(stmt, ast.SetOpStmt)
+        assert stmt.op == "union" and not stmt.all
+
+    def test_union_all(self):
+        assert parse("SELECT x FROM a UNION ALL SELECT x FROM b").all
+
+    def test_chain_is_left_associative(self):
+        stmt = parse("SELECT 1 UNION SELECT 2 INTERSECT SELECT 3")
+        assert stmt.op == "intersect"
+        assert stmt.left.op == "union"
+
+    def test_trailing_order_limit_lifted_to_compound(self):
+        stmt = parse("SELECT x FROM a UNION SELECT x FROM b ORDER BY 1 LIMIT 3")
+        assert stmt.limit == 3
+        assert len(stmt.order_by) == 1
+        assert stmt.right.order_by == ()
+        assert stmt.right.limit is None
+
+    def test_inner_order_by_rejected(self):
+        with pytest.raises(ParseError, match="parenthesize|set operation"):
+            parse("SELECT x FROM a ORDER BY x UNION SELECT x FROM b")
+
+    def test_round_trip(self):
+        sql = "SELECT x FROM a UNION ALL SELECT x FROM b EXCEPT SELECT x FROM c ORDER BY 1 ASC LIMIT 2"
+        stmt = parse(sql)
+        assert parse(stmt.to_sql()) == stmt
+
+
+class TestSemantics:
+    def test_union_distinct(self, db):
+        rows = db.execute("SELECT x, y FROM a UNION SELECT x, y FROM b ORDER BY 1").rows
+        assert rows == [(1, "p"), (2, "q"), (3, "r"), (4, "s")]
+
+    def test_union_all_keeps_duplicates(self, db):
+        rows = db.execute("SELECT x FROM a UNION ALL SELECT x FROM b").rows
+        assert len(rows) == 7
+
+    def test_intersect(self, db):
+        rows = db.execute("SELECT x, y FROM a INTERSECT SELECT x, y FROM b").rows
+        assert rows == [(2, "q")]
+
+    def test_except(self, db):
+        rows = db.execute(
+            "SELECT x, y FROM a EXCEPT SELECT x, y FROM b ORDER BY x"
+        ).rows
+        assert rows == [(1, "p"), (3, "r")]
+
+    def test_except_is_asymmetric(self, db):
+        rows = db.execute("SELECT x FROM b EXCEPT SELECT x FROM a").rows
+        assert rows == [(4,)]
+
+    def test_compound_order_and_limit(self, db):
+        rows = db.execute(
+            "SELECT x FROM a UNION SELECT x FROM b ORDER BY x DESC LIMIT 2"
+        ).rows
+        assert rows == [(4,), (3,)]
+
+    def test_order_by_column_name(self, db):
+        rows = db.execute("SELECT x, y FROM a UNION SELECT x, y FROM b ORDER BY y DESC").rows
+        assert rows[0] == (4, "s")
+
+    def test_numeric_type_widening(self, db):
+        db.execute("CREATE TABLE f (v FLOAT)")
+        db.execute("INSERT INTO f VALUES (1.5)")
+        rows = db.execute("SELECT x FROM a UNION SELECT v FROM f ORDER BY 1").rows
+        assert rows[0] == (1,)
+        assert (1.5,) in rows
+
+    def test_mixed_expressions(self, db):
+        rows = db.execute(
+            "SELECT x * 10 FROM a WHERE x = 1 UNION SELECT COUNT(*) FROM b"
+        ).rows
+        assert sorted(rows) == [(3,), (10,)]
+
+    def test_three_way_chain(self, db):
+        rows = db.execute(
+            "SELECT x FROM a UNION SELECT x FROM b EXCEPT SELECT x FROM a WHERE x = 2 "
+            "ORDER BY 1"
+        ).rows
+        assert rows == [(1,), (3,), (4,)]
+
+    def test_null_rows_deduplicate(self, db):
+        db.execute("INSERT INTO a VALUES (NULL, NULL), (NULL, NULL)")
+        rows = db.execute("SELECT x, y FROM a UNION SELECT x, y FROM b").rows
+        nulls = [r for r in rows if r == (None, None)]
+        assert len(nulls) == 1
+
+    def test_in_subquery_with_set_op(self, db):
+        count = db.execute(
+            "SELECT COUNT(*) FROM a WHERE x IN "
+            "(SELECT x FROM a INTERSECT SELECT x FROM b)"
+        ).scalar()
+        assert count == 2  # the two (2, 'q') rows
+
+
+class TestErrors:
+    def test_arity_mismatch(self, db):
+        with pytest.raises(BindError, match="columns"):
+            db.execute("SELECT x, y FROM a UNION SELECT x FROM b")
+
+    def test_type_mismatch(self, db):
+        with pytest.raises(TypeMismatchError):
+            db.execute("SELECT x FROM a UNION SELECT y FROM b")
+
+    def test_order_by_out_of_range(self, db):
+        with pytest.raises(BindError):
+            db.execute("SELECT x FROM a UNION SELECT x FROM b ORDER BY 5")
+
+
+class TestPlanningAndEngines:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT x, y FROM a UNION SELECT x, y FROM b ORDER BY 1, 2",
+            "SELECT x FROM a UNION ALL SELECT x FROM b ORDER BY 1",
+            "SELECT x, y FROM a INTERSECT SELECT x, y FROM b",
+            "SELECT x, y FROM a EXCEPT SELECT x, y FROM b ORDER BY 1",
+        ],
+    )
+    def test_engine_parity(self, db, sql):
+        volcano = db.execute(sql, engine="volcano").rows
+        vectorized = db.execute(sql, engine="vectorized").rows
+        assert volcano == vectorized
+
+    def test_explain_shows_setop(self, db):
+        text = db.explain("SELECT x FROM a UNION SELECT x FROM b")
+        assert "SetOp(UNION)" in text
+
+    def test_filter_pushes_into_both_sides(self, db):
+        db.analyze()
+        from repro.optimizer.optimizer import Optimizer
+        from repro.plan.binder import Binder
+
+        stmt = parse(
+            "SELECT * FROM (SELECT 1) z"
+        ) if False else parse("SELECT x, y FROM a UNION ALL SELECT x, y FROM b")
+        plan = Binder(db.catalog).bind_query(stmt)
+        from repro.plan import logical
+        from repro.plan.expressions import BoundBinary, BoundColumn, BoundLiteral
+        from repro.core.types import DataType
+
+        predicate = BoundBinary(
+            ">", BoundColumn(0, DataType.INTEGER, "x"),
+            BoundLiteral(1, DataType.INTEGER), DataType.BOOLEAN,
+        )
+        filtered = logical.Filter(plan, predicate)
+        optimized = Optimizer(db.catalog).optimize_logical(filtered)
+        text = optimized.pretty()
+        # The filter is gone from the top and appears below the SetOp twice.
+        assert text.count("(x#0 > 1)") == 2
+        assert text.index("SetOp") < text.index("(x#0 > 1)")
+
+    def test_pushdown_preserves_setop_results(self, db):
+        from repro.optimizer.optimizer import OptimizerOptions
+
+        sql = (
+            "SELECT x, y FROM a UNION SELECT x, y FROM b ORDER BY 1, 2"
+        )
+        optimized = db.execute(sql).rows
+        db.optimizer_options = OptimizerOptions.naive()
+        naive = db.execute(sql).rows
+        assert optimized == naive

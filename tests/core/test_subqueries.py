@@ -1,0 +1,166 @@
+"""Tests for uncorrelated subqueries (scalar and IN)."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.core.database import Database
+from repro.core.errors import BindError, ExecutionError, TypeMismatchError
+from repro.plan.binder import Binder
+from repro.sql.parser import parse
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE emp (id INTEGER, dept TEXT, salary FLOAT)")
+    database.execute(
+        "INSERT INTO emp VALUES (1,'eng',100.0),(2,'eng',120.0),"
+        "(3,'sales',80.0),(4,'sales',95.0),(5,'hr',70.0)"
+    )
+    database.execute("CREATE TABLE depts (name TEXT, budget FLOAT)")
+    database.execute(
+        "INSERT INTO depts VALUES ('eng', 1000.0), ('sales', 500.0), ('hr', NULL)"
+    )
+    return database
+
+
+class TestScalarSubquery:
+    def test_in_where(self, db):
+        count = db.execute(
+            "SELECT COUNT(*) FROM emp WHERE salary > (SELECT AVG(salary) FROM emp)"
+        ).scalar()
+        assert count == 3
+
+    def test_in_select_list(self, db):
+        gap = db.execute(
+            "SELECT (SELECT MAX(salary) FROM emp) - salary FROM emp WHERE id = 1"
+        ).scalar()
+        assert gap == 20.0
+
+    def test_empty_result_is_null(self, db):
+        value = db.execute("SELECT (SELECT salary FROM emp WHERE id = 99)").scalar()
+        assert value is None
+
+    def test_multiple_rows_rejected(self, db):
+        with pytest.raises(ExecutionError, match="scalar subquery"):
+            db.execute("SELECT (SELECT salary FROM emp)")
+
+    def test_multiple_columns_rejected(self, db):
+        with pytest.raises(BindError, match="one column"):
+            db.execute("SELECT (SELECT id, dept FROM emp WHERE id = 1)")
+
+    def test_nested_subqueries(self, db):
+        count = db.execute(
+            "SELECT COUNT(*) FROM emp WHERE salary > "
+            "(SELECT AVG(salary) FROM emp WHERE dept IN "
+            "(SELECT name FROM depts WHERE budget > 600))"
+        ).scalar()
+        assert count == 1  # only id=2 beats eng's average of 110
+
+    def test_arithmetic_with_scalar_subquery(self, db):
+        result = db.execute(
+            "SELECT id FROM emp WHERE salary * 2 > (SELECT SUM(salary) FROM emp) / 3 "
+            "ORDER BY id"
+        )
+        # sum=465 -> threshold 155; everyone but hr (140) clears it
+        assert result.column("id") == [1, 2, 3, 4]
+
+
+class TestInSubquery:
+    def test_in(self, db):
+        ids = db.execute(
+            "SELECT id FROM emp WHERE dept IN (SELECT name FROM depts WHERE budget > 600) "
+            "ORDER BY id"
+        ).column("id")
+        assert ids == [1, 2]
+
+    def test_not_in(self, db):
+        ids = db.execute(
+            "SELECT id FROM emp WHERE dept NOT IN "
+            "(SELECT name FROM depts WHERE budget >= 500) ORDER BY id"
+        ).column("id")
+        assert ids == [5]
+
+    def test_empty_in_subquery(self, db):
+        assert db.execute(
+            "SELECT COUNT(*) FROM emp WHERE dept IN (SELECT name FROM depts WHERE budget > 9999)"
+        ).scalar() == 0
+
+    def test_not_in_with_null_in_subquery(self, db):
+        """NOT IN over a set containing NULL matches nothing (SQL trap)."""
+        db.execute("INSERT INTO depts VALUES (NULL, 5.0)")
+        assert db.execute(
+            "SELECT COUNT(*) FROM emp WHERE dept NOT IN (SELECT name FROM depts)"
+        ).scalar() == 0
+
+    def test_type_mismatch_rejected(self, db):
+        with pytest.raises(TypeMismatchError):
+            db.execute("SELECT id FROM emp WHERE id IN (SELECT name FROM depts)")
+
+    def test_in_subquery_inside_aggregate_query(self, db):
+        result = db.execute(
+            "SELECT dept, COUNT(*) FROM emp "
+            "WHERE dept IN (SELECT name FROM depts WHERE budget > 100) "
+            "GROUP BY dept ORDER BY dept"
+        )
+        assert result.rows == [("eng", 2), ("sales", 2)]
+
+
+class TestSubqueryPlumbing:
+    def test_binder_without_executor_rejects(self, db):
+        bare = Binder(db.catalog)  # no subquery_executor
+        with pytest.raises(BindError, match="not supported"):
+            bare.bind_select(parse("SELECT (SELECT 1)"))
+
+    def test_round_trip_to_sql(self):
+        stmt = parse("SELECT a FROM t WHERE a IN (SELECT b FROM s)")
+        assert parse(stmt.to_sql()) == stmt
+        stmt = parse("SELECT (SELECT MAX(x) FROM t)")
+        assert parse(stmt.to_sql()) == stmt
+
+    def test_engine_parity(self, db):
+        sql = (
+            "SELECT id FROM emp WHERE salary >= (SELECT AVG(salary) FROM emp) "
+            "ORDER BY id"
+        )
+        assert (
+            db.execute(sql, engine="volcano").rows
+            == db.execute(sql, engine="vectorized").rows
+        )
+
+
+class TestExistsSubquery:
+    def test_exists_true(self, db):
+        assert db.execute(
+            "SELECT COUNT(*) FROM emp WHERE EXISTS (SELECT 1 FROM depts WHERE budget > 900)"
+        ).scalar() == 5
+
+    def test_exists_false(self, db):
+        assert db.execute(
+            "SELECT COUNT(*) FROM emp WHERE EXISTS (SELECT 1 FROM depts WHERE budget > 9999)"
+        ).scalar() == 0
+
+    def test_not_exists(self, db):
+        assert db.execute(
+            "SELECT COUNT(*) FROM emp WHERE NOT EXISTS (SELECT 1 FROM depts WHERE budget > 9999)"
+        ).scalar() == 5
+
+    def test_exists_allows_multiple_columns(self, db):
+        assert db.execute("SELECT EXISTS (SELECT id, dept FROM emp)").scalar() is True
+
+    def test_exists_in_select_list(self, db):
+        assert db.execute(
+            "SELECT EXISTS (SELECT 1 FROM emp WHERE salary > 115)"
+        ).scalar() is True
+
+    def test_exists_round_trip(self):
+        stmt = parse("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM s) AND a > 0")
+        assert parse(stmt.to_sql()) == stmt
+
+    def test_exists_requires_subquery(self):
+        from repro.core.errors import ParseError
+
+        with pytest.raises(ParseError, match="subquery"):
+            parse("SELECT 1 WHERE EXISTS (1 + 2)")

@@ -1,0 +1,157 @@
+"""Tests for the type system (repro.core.types)."""
+
+import pytest
+
+from repro.core.errors import BindError, IntegrityError, TypeMismatchError
+from repro.core.types import (
+    Column,
+    DataType,
+    Schema,
+    coerce_value,
+    common_numeric_type,
+    validate_row,
+)
+
+
+class TestDataType:
+    def test_of_value_basic(self):
+        assert DataType.of_value(1) is DataType.INTEGER
+        assert DataType.of_value(1.5) is DataType.FLOAT
+        assert DataType.of_value("x") is DataType.TEXT
+        assert DataType.of_value(True) is DataType.BOOLEAN
+        assert DataType.of_value(None) is DataType.NULL
+        assert DataType.of_value((1.0, 2.0)) is DataType.VECTOR
+
+    def test_of_value_bool_before_int(self):
+        # bool is a subclass of int; the tag must still be BOOLEAN.
+        assert DataType.of_value(False) is DataType.BOOLEAN
+
+    def test_of_value_rejects_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.of_value(object())
+
+    def test_parse_aliases(self):
+        assert DataType.parse("int") is DataType.INTEGER
+        assert DataType.parse("VARCHAR") is DataType.TEXT
+        assert DataType.parse("double") is DataType.FLOAT
+        assert DataType.parse("bool") is DataType.BOOLEAN
+        assert DataType.parse("vector") is DataType.VECTOR
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.parse("blob")
+
+    def test_is_numeric(self):
+        assert DataType.INTEGER.is_numeric()
+        assert DataType.FLOAT.is_numeric()
+        assert not DataType.TEXT.is_numeric()
+
+    def test_common_numeric_type(self):
+        assert common_numeric_type(DataType.INTEGER, DataType.INTEGER) is DataType.INTEGER
+        assert common_numeric_type(DataType.INTEGER, DataType.FLOAT) is DataType.FLOAT
+        assert common_numeric_type(DataType.NULL, DataType.INTEGER) is DataType.INTEGER
+
+
+class TestCoerceValue:
+    def test_none_passes_any_type(self):
+        for dtype in (DataType.INTEGER, DataType.TEXT, DataType.VECTOR):
+            assert coerce_value(None, dtype) is None
+
+    def test_int_from_integral_float(self):
+        assert coerce_value(3.0, DataType.INTEGER) == 3
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(3.5, DataType.INTEGER)
+
+    def test_float_widens_int(self):
+        assert coerce_value(3, DataType.FLOAT) == 3.0
+        assert isinstance(coerce_value(3, DataType.FLOAT), float)
+
+    def test_bool_from_01(self):
+        assert coerce_value(1, DataType.BOOLEAN) is True
+        assert coerce_value(0, DataType.BOOLEAN) is False
+
+    def test_bool_rejects_other_ints(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(2, DataType.BOOLEAN)
+
+    def test_text_rejects_numbers(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(1, DataType.TEXT)
+
+    def test_vector_normalizes_to_float_tuple(self):
+        assert coerce_value([1, 2], DataType.VECTOR) == (1.0, 2.0)
+
+
+class TestSchema:
+    def make(self):
+        return Schema(
+            [
+                Column("id", DataType.INTEGER, table="t"),
+                Column("name", DataType.TEXT, table="t"),
+                Column("id", DataType.INTEGER, table="s"),
+            ]
+        )
+
+    def test_qualified_lookup(self):
+        schema = self.make()
+        assert schema.index_of("t.id") == 0
+        assert schema.index_of("s.id") == 2
+
+    def test_bare_lookup_unique(self):
+        assert self.make().index_of("name") == 1
+
+    def test_bare_lookup_ambiguous(self):
+        with pytest.raises(BindError, match="ambiguous"):
+            self.make().index_of("id")
+
+    def test_unknown_column(self):
+        with pytest.raises(BindError, match="unknown column"):
+            self.make().index_of("nope")
+
+    def test_maybe_index_of(self):
+        schema = self.make()
+        assert schema.maybe_index_of("name") == 1
+        assert schema.maybe_index_of("id") is None  # ambiguous
+        assert schema.maybe_index_of("zzz") is None
+
+    def test_concat_and_project(self):
+        schema = self.make()
+        doubled = schema.concat(schema)
+        assert len(doubled) == 6
+        projected = schema.project([2, 0])
+        assert projected.names() == ["id", "id"]
+        assert projected[0].table == "s"
+
+    def test_with_table_requalifies(self):
+        schema = self.make().with_table("x")
+        assert schema.index_of("x.name") == 1
+
+
+class TestValidateRow:
+    def schema(self):
+        return Schema(
+            [
+                Column("id", DataType.INTEGER, nullable=False),
+                Column("v", DataType.VECTOR, vector_width=2),
+            ]
+        )
+
+    def test_happy_path(self):
+        assert validate_row(self.schema(), (1, [1, 2])) == (1, (1.0, 2.0))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(IntegrityError, match="values"):
+            validate_row(self.schema(), (1,))
+
+    def test_not_null_enforced(self):
+        with pytest.raises(IntegrityError, match="NOT NULL"):
+            validate_row(self.schema(), (None, [1, 2]))
+
+    def test_vector_width_enforced(self):
+        with pytest.raises(IntegrityError, match="width"):
+            validate_row(self.schema(), (1, [1, 2, 3]))
+
+    def test_nullable_vector_passes(self):
+        assert validate_row(self.schema(), (1, None)) == (1, None)

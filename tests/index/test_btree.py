@@ -1,0 +1,227 @@
+"""Tests for the B+tree (repro.index.btree)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexError_
+from repro.index.btree import BPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search(1) == []
+        assert 1 not in tree
+        assert list(tree.items()) == []
+
+    def test_insert_search(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        tree.insert(3, "b")
+        assert tree.search(5) == ["a"]
+        assert tree.search(3) == ["b"]
+        assert 5 in tree
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree()
+        tree.insert(1, "x")
+        tree.insert(1, "y")
+        assert sorted(tree.search(1)) == ["x", "y"]
+        assert len(tree) == 2
+        assert tree.key_count() == 1
+
+    def test_unique_rejects_duplicates(self):
+        tree = BPlusTree(unique=True)
+        tree.insert(1, "x")
+        with pytest.raises(IndexError_, match="duplicate"):
+            tree.insert(1, "y")
+
+    def test_order_bounds(self):
+        with pytest.raises(IndexError_):
+            BPlusTree(order=2)
+
+    def test_min_max(self):
+        tree = BPlusTree(order=4)
+        for k in [5, 1, 9, 3]:
+            tree.insert(k, k)
+        assert tree.min_key() == 1
+        assert tree.max_key() == 9
+
+    def test_min_max_empty_raise(self):
+        with pytest.raises(IndexError_):
+            BPlusTree().min_key()
+        with pytest.raises(IndexError_):
+            BPlusTree().max_key()
+
+    def test_string_keys(self):
+        tree = BPlusTree(order=4)
+        for word in ["pear", "apple", "fig", "mango", "kiwi"]:
+            tree.insert(word, word.upper())
+        assert list(tree.keys()) == sorted(["pear", "apple", "fig", "mango", "kiwi"])
+        assert tree.search("fig") == ["FIG"]
+
+
+class TestSplitsAndHeight:
+    def test_splits_keep_order(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(100))
+        random.Random(7).shuffle(keys)
+        for k in keys:
+            tree.insert(k, k * 10)
+        assert list(tree.keys()) == list(range(100))
+        assert tree.height() > 1
+        tree.check_invariants()
+
+    def test_sequential_inserts(self):
+        tree = BPlusTree(order=4)
+        for k in range(200):
+            tree.insert(k, k)
+        tree.check_invariants()
+        assert len(tree) == 200
+
+    def test_reverse_sequential_inserts(self):
+        tree = BPlusTree(order=4)
+        for k in reversed(range(200)):
+            tree.insert(k, k)
+        tree.check_invariants()
+        assert list(tree.keys()) == list(range(200))
+
+
+class TestRange:
+    def setup_method(self):
+        self.tree = BPlusTree(order=4)
+        for k in range(0, 100, 2):  # evens 0..98
+            self.tree.insert(k, f"v{k}")
+
+    def test_closed_range(self):
+        keys = [k for k, _ in self.tree.range(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_open_bounds(self):
+        keys = [k for k, _ in self.tree.range(10, 20, include_low=False, include_high=False)]
+        assert keys == [12, 14, 16, 18]
+
+    def test_unbounded_low(self):
+        keys = [k for k, _ in self.tree.range(None, 6)]
+        assert keys == [0, 2, 4, 6]
+
+    def test_unbounded_high(self):
+        keys = [k for k, _ in self.tree.range(94, None)]
+        assert keys == [94, 96, 98]
+
+    def test_bounds_between_keys(self):
+        keys = [k for k, _ in self.tree.range(11, 15)]
+        assert keys == [12, 14]
+
+    def test_empty_range(self):
+        assert list(self.tree.range(1001, 2000)) == []
+
+    def test_full_scan_equals_items(self):
+        assert list(self.tree.range()) == list(self.tree.items())
+
+    def test_range_includes_duplicates(self):
+        self.tree.insert(10, "extra")
+        values = [v for k, v in self.tree.range(10, 10)]
+        assert sorted(values) == ["extra", "v10"]
+
+
+class TestDelete:
+    def test_delete_single_pair(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1, "a") == 1
+        assert tree.search(1) == ["b"]
+
+    def test_delete_whole_key(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1) == 2
+        assert tree.search(1) == []
+        assert len(tree) == 0
+
+    def test_delete_missing_key(self):
+        with pytest.raises(IndexError_, match="not in index"):
+            BPlusTree().delete(42)
+
+    def test_delete_missing_pair(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        with pytest.raises(IndexError_, match="not in index"):
+            tree.delete(1, "z")
+
+    def test_delete_triggers_rebalance(self):
+        tree = BPlusTree(order=4)
+        for k in range(64):
+            tree.insert(k, k)
+        for k in range(0, 64, 2):
+            tree.delete(k)
+        tree.check_invariants()
+        assert list(tree.keys()) == list(range(1, 64, 2))
+
+    def test_delete_everything(self):
+        tree = BPlusTree(order=4)
+        for k in range(50):
+            tree.insert(k, k)
+        for k in range(50):
+            tree.delete(k)
+            tree.check_invariants()
+        assert len(tree) == 0
+        assert list(tree.keys()) == []
+
+    def test_delete_then_reinsert(self):
+        tree = BPlusTree(order=4)
+        for k in range(30):
+            tree.insert(k, k)
+        for k in range(30):
+            tree.delete(k)
+        for k in range(30):
+            tree.insert(k, k + 100)
+        tree.check_invariants()
+        assert tree.search(7) == [107]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=50)),
+        max_size=300,
+    ),
+    st.sampled_from([3, 4, 5, 8, 32]),
+)
+def test_btree_matches_dict_model_property(ops, order):
+    """Random insert/delete streams keep the tree equal to a dict model and
+    structurally valid."""
+    tree = BPlusTree(order=order)
+    model = {}
+    for i, (is_insert, key) in enumerate(ops):
+        if is_insert or key not in model:
+            tree.insert(key, i)
+            model.setdefault(key, []).append(i)
+        else:
+            tree.delete(key)
+            del model[key]
+    tree.check_invariants()
+    assert list(tree.keys()) == sorted(model)
+    for key, values in model.items():
+        assert sorted(tree.search(key)) == sorted(values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sets(st.integers(min_value=-1000, max_value=1000), max_size=200),
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=-1000, max_value=1000),
+)
+def test_btree_range_matches_filter_property(keys, a, b):
+    low, high = min(a, b), max(a, b)
+    tree = BPlusTree(order=5)
+    for k in keys:
+        tree.insert(k, k)
+    got = [k for k, _ in tree.range(low, high)]
+    assert got == sorted(k for k in keys if low <= k <= high)

@@ -1,0 +1,117 @@
+"""Tests for the extendible hash index (repro.index.hashindex)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexError_
+from repro.index.hashindex import HashIndex
+
+
+class TestBasics:
+    def test_empty(self):
+        index = HashIndex()
+        assert len(index) == 0
+        assert index.search("x") == []
+        assert "x" not in index
+
+    def test_insert_search(self):
+        index = HashIndex()
+        index.insert("a", 1)
+        index.insert("b", 2)
+        assert index.search("a") == [1]
+        assert "a" in index
+
+    def test_duplicates_accumulate(self):
+        index = HashIndex()
+        index.insert("k", 1)
+        index.insert("k", 2)
+        assert index.search("k") == [1, 2]
+        assert len(index) == 2
+
+    def test_unique_mode(self):
+        index = HashIndex(unique=True)
+        index.insert("k", 1)
+        with pytest.raises(IndexError_, match="duplicate"):
+            index.insert("k", 2)
+
+    def test_bad_capacity(self):
+        with pytest.raises(IndexError_):
+            HashIndex(bucket_capacity=0)
+
+    def test_mixed_key_types(self):
+        index = HashIndex()
+        index.insert(1, "int")
+        index.insert("1", "str")
+        index.insert((1, 2), "tuple")
+        assert index.search(1) == ["int"]
+        assert index.search("1") == ["str"]
+        assert index.search((1, 2)) == ["tuple"]
+
+
+class TestSplitting:
+    def test_directory_doubles_under_load(self):
+        index = HashIndex(bucket_capacity=2)
+        for i in range(100):
+            index.insert(i, i)
+        assert index.global_depth > 1
+        index.check_invariants()
+        for i in range(100):
+            assert index.search(i) == [i]
+
+    def test_items_and_keys_cover_everything(self):
+        index = HashIndex(bucket_capacity=2)
+        for i in range(40):
+            index.insert(i, i * 2)
+        assert sorted(index.keys()) == list(range(40))
+        assert sorted(index.items()) == [(i, i * 2) for i in range(40)]
+
+
+class TestDelete:
+    def test_delete_pair(self):
+        index = HashIndex()
+        index.insert("k", 1)
+        index.insert("k", 2)
+        assert index.delete("k", 1) == 1
+        assert index.search("k") == [2]
+
+    def test_delete_key(self):
+        index = HashIndex()
+        index.insert("k", 1)
+        index.insert("k", 2)
+        assert index.delete("k") == 2
+        assert index.search("k") == []
+        assert len(index) == 0
+
+    def test_delete_missing(self):
+        with pytest.raises(IndexError_):
+            HashIndex().delete("nope")
+
+    def test_delete_missing_pair(self):
+        index = HashIndex()
+        index.insert("k", 1)
+        with pytest.raises(IndexError_):
+            index.delete("k", 99)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=60)),
+        max_size=300,
+    )
+)
+def test_hash_matches_dict_model_property(ops):
+    index = HashIndex(bucket_capacity=3)
+    model = {}
+    for i, (is_insert, key) in enumerate(ops):
+        if is_insert or key not in model:
+            index.insert(key, i)
+            model.setdefault(key, []).append(i)
+        else:
+            index.delete(key)
+            del model[key]
+    index.check_invariants()
+    assert sorted(index.keys()) == sorted(model)
+    for key, values in model.items():
+        assert index.search(key) == values

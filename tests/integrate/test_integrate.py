@@ -1,0 +1,260 @@
+"""Tests for LLM-powered data integration (repro.integrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import Column, DataType
+from repro.integrate import (
+    BlockedLLMMatcher,
+    CascadeMatcher,
+    LLMAllPairsMatcher,
+    SimilarityMatcher,
+    SimulatedLLM,
+    block_candidates,
+    evaluate_pairs,
+    jaccard_similarity,
+    levenshtein_distance,
+    make_matching_dataset,
+    match_schemas,
+    record_similarity,
+    trigram_similarity,
+)
+from repro.integrate.blocking import all_pairs, pair_completeness, token_blocks
+from repro.integrate.dataset import make_oracle
+from repro.integrate.llm import MatchOracle
+from repro.integrate.similarity import levenshtein_similarity
+
+
+class TestSimilarity:
+    def test_levenshtein_basics(self):
+        assert levenshtein_distance("", "") == 0
+        assert levenshtein_distance("abc", "abc") == 0
+        assert levenshtein_distance("abc", "") == 3
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("flaw", "lawn") == 2
+
+    def test_levenshtein_symmetry(self):
+        assert levenshtein_distance("abc", "acb") == levenshtein_distance("acb", "abc")
+
+    def test_levenshtein_similarity_bounds(self):
+        assert levenshtein_similarity("same", "same") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    def test_jaccard(self):
+        assert jaccard_similarity("a b c", "a b c") == 1.0
+        assert jaccard_similarity("a b", "b c") == pytest.approx(1 / 3)
+        assert jaccard_similarity("", "") == 1.0
+        assert jaccard_similarity("a", "") == 0.0
+
+    def test_jaccard_order_insensitive(self):
+        assert jaccard_similarity("acme corp", "corp acme") == 1.0
+
+    def test_trigram_tolerates_typos(self):
+        clean = trigram_similarity("acme systems", "acme systems")
+        typo = trigram_similarity("acme systems", "acme systms")
+        different = trigram_similarity("acme systems", "zenith foods")
+        assert clean == 1.0
+        assert 0.4 < typo < 1.0
+        assert different < 0.2
+
+    def test_record_similarity_weights(self):
+        a = {"name": "acme corp", "city": "salem"}
+        b = {"name": "acme corp", "city": "dover"}
+        name_heavy = record_similarity(a, b, weights={"name": 10.0, "city": 1.0})
+        city_heavy = record_similarity(a, b, weights={"name": 1.0, "city": 10.0})
+        assert name_heavy > city_heavy
+
+    def test_record_similarity_missing_field(self):
+        assert record_similarity({"name": "x"}, {"city": "y"}) == 0.0
+
+
+class TestBlocking:
+    def records(self):
+        return {
+            1: {"name": "acme systems inc", "city": "salem"},
+            2: {"name": "acme systems incorporated", "city": "salem"},
+            3: {"name": "zenith foods", "city": "dover"},
+            4: {"name": "zenith robotics", "city": "dover"},
+        }
+
+    def test_shared_tokens_pair_up(self):
+        candidates = block_candidates(self.records(), fields=("name",))
+        assert (1, 2) in candidates
+        assert (3, 4) in candidates
+        assert (1, 3) not in candidates
+
+    def test_city_field_adds_pairs(self):
+        candidates = block_candidates(self.records(), fields=("name", "city"))
+        assert (1, 2) in candidates and (3, 4) in candidates
+
+    def test_short_tokens_ignored(self):
+        blocks = token_blocks(self.records(), fields=("name",), min_token_length=3)
+        assert "inc" not in blocks  # appears in a single record: block dropped
+        assert "acme" in blocks
+        candidates = block_candidates(
+            self.records(), fields=("name",), min_token_length=4
+        )
+        assert (1, 2) in candidates  # still paired via "acme"/"systems"
+
+    def test_oversized_blocks_dropped(self):
+        records = {i: {"name": "common token"} for i in range(50)}
+        assert block_candidates(records, fields=("name",), max_block_size=10) == set()
+
+    def test_all_pairs_count(self):
+        assert len(all_pairs(range(5))) == 10
+
+    def test_pair_completeness(self):
+        candidates = block_candidates(self.records(), fields=("name",))
+        assert pair_completeness(candidates, {(1, 2)}) == 1.0
+        assert pair_completeness(candidates, {(1, 3)}) == 0.0
+        assert pair_completeness(set(), set()) == 1.0
+
+    def test_blocking_much_smaller_than_all_pairs(self):
+        dataset = make_matching_dataset(num_entities=100, seed=1)
+        candidates = block_candidates(dataset.records, fields=("name", "city"))
+        assert len(candidates) < len(all_pairs(dataset.records)) / 2
+
+
+class TestSimulatedLLM:
+    def test_deterministic(self):
+        a = SimulatedLLM(accuracy=0.7, seed=1)
+        b = SimulatedLLM(accuracy=0.7, seed=1)
+        answers_a = [a.judge(f"q{i}", True) for i in range(50)]
+        answers_b = [b.judge(f"q{i}", True) for i in range(50)]
+        assert answers_a == answers_b
+
+    def test_perfect_accuracy_never_errs(self):
+        llm = SimulatedLLM(accuracy=1.0)
+        assert all(llm.judge(f"q{i}", i % 2 == 0) == (i % 2 == 0) for i in range(100))
+
+    def test_error_rate_scales_with_difficulty(self):
+        hard = SimulatedLLM(accuracy=0.7, seed=2)
+        easy = SimulatedLLM(accuracy=0.7, seed=2)
+        hard_errs = sum(not hard.judge(f"q{i}", True, difficulty=1.0) for i in range(400))
+        easy_errs = sum(not easy.judge(f"q{i}", True, difficulty=0.1) for i in range(400))
+        assert hard_errs > easy_errs
+        assert 60 < hard_errs < 180  # ~30% of 400
+        assert easy_errs < 10
+
+    def test_usage_metering(self):
+        llm = SimulatedLLM(cost_per_1k_tokens=2.0)
+        llm.judge("x" * 4000, True)
+        assert llm.usage.calls == 1
+        assert llm.usage.input_tokens == 1000
+        assert llm.usage.cost == pytest.approx(2.0)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedLLM(accuracy=1.5)
+
+
+class TestEvaluatePairs:
+    def test_perfect(self):
+        assert evaluate_pairs({(1, 2)}, {(2, 1)}) == (1.0, 1.0, 1.0)
+
+    def test_empty_prediction(self):
+        precision, recall, f1 = evaluate_pairs(set(), {(1, 2)})
+        assert (precision, recall, f1) == (0.0, 0.0, 0.0)
+
+    def test_mixed(self):
+        precision, recall, f1 = evaluate_pairs({(1, 2), (3, 4)}, {(1, 2), (5, 6)})
+        assert precision == 0.5 and recall == 0.5 and f1 == 0.5
+
+    def test_both_empty(self):
+        assert evaluate_pairs(set(), set()) == (1.0, 1.0, 1.0)
+
+
+class TestMatchers:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_matching_dataset(num_entities=100, seed=11)
+
+    def run(self, matcher, dataset, accuracy=0.9):
+        llm = SimulatedLLM(accuracy=accuracy, seed=3)
+        return matcher.run(dataset, make_oracle(dataset, llm))
+
+    def test_perfect_llm_all_pairs_is_perfect(self, dataset):
+        report = self.run(LLMAllPairsMatcher(), dataset, accuracy=1.0)
+        assert report.f1 == 1.0
+
+    def test_frontier_shape(self, dataset):
+        """E7's claim: the cascade reaches ~all-pairs quality at a tiny
+        fraction of the LLM cost."""
+        similarity = self.run(SimilarityMatcher(), dataset)
+        cascade = self.run(CascadeMatcher(), dataset)
+        blocked = self.run(BlockedLLMMatcher(), dataset)
+        all_pairs_run = self.run(LLMAllPairsMatcher(), dataset)
+        # Quality: cascade ≥ 85% of the all-pairs F1 and above similarity-only.
+        assert cascade.f1 >= 0.85 * all_pairs_run.f1
+        assert cascade.f1 > similarity.f1
+        # Cost: strictly ordered.
+        assert similarity.llm_cost == 0.0
+        assert cascade.llm_cost < 0.25 * blocked.llm_cost
+        assert blocked.llm_cost < all_pairs_run.llm_cost
+
+    def test_cascade_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CascadeMatcher(accept=0.3, reject=0.5)
+
+    def test_similarity_matcher_threshold_tradeoff(self, dataset):
+        strict = self.run(SimilarityMatcher(0.8), dataset)
+        loose = self.run(SimilarityMatcher(0.3), dataset)
+        assert strict.precision >= loose.precision
+        assert loose.recall >= strict.recall
+
+    def test_dataset_determinism(self):
+        a = make_matching_dataset(num_entities=30, seed=9)
+        b = make_matching_dataset(num_entities=30, seed=9)
+        assert a.records == b.records
+        assert a.true_pairs == b.true_pairs
+
+
+class TestSchemaMatching:
+    def test_name_and_type_alignment(self):
+        matches = match_schemas(
+            [Column("customer_id", DataType.INTEGER), Column("full_name", DataType.TEXT)],
+            [Column("cust_id", DataType.INTEGER), Column("name_full", DataType.TEXT)],
+        )
+        mapping = {m.left: m.right for m in matches}
+        assert mapping["customer_id"] == "cust_id"
+        assert mapping["full_name"] == "name_full"
+
+    def test_instances_break_name_ties(self):
+        matches = match_schemas(
+            [Column("code", DataType.TEXT)],
+            [Column("code_a", DataType.TEXT), Column("code_b", DataType.TEXT)],
+            left_samples={"code": ["x1", "x2", "x3"]},
+            right_samples={"code_a": ["y1", "y2"], "code_b": ["x1", "x2", "x3"]},
+        )
+        assert matches[0].right == "code_b"
+
+    def test_one_to_one(self):
+        matches = match_schemas(
+            [Column("a_name", DataType.TEXT), Column("b_name", DataType.TEXT)],
+            [Column("name", DataType.TEXT)],
+        )
+        assert len(matches) == 1
+
+    def test_threshold_prunes_garbage(self):
+        matches = match_schemas(
+            [Column("zzz_qqq", DataType.INTEGER)],
+            [Column("alpha", DataType.TEXT)],
+            threshold=0.5,
+        )
+        assert matches == []
+
+    def test_incompatible_types_score_low(self):
+        with_types = match_schemas(
+            [Column("value", DataType.INTEGER)],
+            [Column("value", DataType.TEXT), Column("value2", DataType.INTEGER)],
+        )
+        assert with_types[0].type_score in (0.0, 1.0, 0.7)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(max_size=20), st.text(max_size=20), st.text(max_size=20))
+def test_levenshtein_triangle_inequality_property(a, b, c):
+    assert levenshtein_distance(a, c) <= (
+        levenshtein_distance(a, b) + levenshtein_distance(b, c)
+    )

@@ -1,0 +1,185 @@
+"""Tests for the KV-cache simulator (repro.kvcache)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ReproError
+from repro.kvcache.manager import KVCacheManager
+from repro.kvcache.simulator import compare_policies, run_simulation
+from repro.kvcache.workload import make_trace
+from repro.storage.replacement import make_policy
+
+
+def manager(capacity=16, block=4, policy="lru"):
+    return KVCacheManager(capacity, block_size=block, policy=make_policy(policy))
+
+
+class TestBlockKeys:
+    def test_aligned_sequence(self):
+        m = manager(block=4)
+        keys = m.block_keys(list(range(8)))
+        assert len(keys) == 2
+
+    def test_partial_tail(self):
+        m = manager(block=4)
+        assert len(m.block_keys(list(range(10)))) == 3
+
+    def test_short_sequence(self):
+        m = manager(block=4)
+        assert len(m.block_keys([1, 2])) == 1
+
+    def test_prefix_sharing(self):
+        """Two sequences sharing a block-aligned prefix share block keys."""
+        m = manager(block=4)
+        a = m.block_keys([1, 2, 3, 4, 5, 6, 7, 8])
+        b = m.block_keys([1, 2, 3, 4, 9, 9, 9, 9])
+        assert a[0] == b[0]
+        assert a[1] != b[1]
+
+    def test_different_prefix_no_sharing(self):
+        m = manager(block=4)
+        a = m.block_keys([1, 2, 3, 4])
+        b = m.block_keys([9, 2, 3, 4])
+        assert a[0] != b[0]
+
+
+class TestServe:
+    def test_cold_request_computes_everything(self):
+        m = manager()
+        reused, computed = m.serve(list(range(10)))
+        assert reused == 0
+        assert computed == 10
+
+    def test_identical_request_fully_reused(self):
+        m = manager()
+        m.serve(list(range(10)))
+        reused, computed = m.serve(list(range(10)))
+        assert reused == 10
+        assert computed == 0
+
+    def test_shared_prefix_partially_reused(self):
+        m = manager(block=4)
+        m.serve([1, 2, 3, 4, 5, 6, 7, 8])
+        reused, computed = m.serve([1, 2, 3, 4, 9, 9, 9, 9])
+        assert reused == 4
+        assert computed == 4
+
+    def test_broken_prefix_stops_reuse(self):
+        """A miss in the middle disables reuse of later blocks (their
+        prefixes differ by construction)."""
+        m = manager(block=4)
+        m.serve([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12])
+        reused, computed = m.serve([1, 2, 3, 4, 0, 0, 0, 0, 9, 10, 11, 12])
+        assert reused == 4
+        assert computed == 8
+
+    def test_eviction_under_pressure(self):
+        m = manager(capacity=2, block=4)
+        m.serve([1, 2, 3, 4])       # block A
+        m.serve([5, 6, 7, 8])       # block B
+        m.serve([9, 10, 11, 12])    # evicts A (LRU)
+        assert m.stats.evictions == 1
+        reused, computed = m.serve([1, 2, 3, 4])
+        assert reused == 0 and computed == 4  # A was evicted
+
+    def test_oversized_request_rejected_not_cached(self):
+        m = manager(capacity=2, block=4)
+        reused, computed = m.serve(list(range(100)))
+        assert reused == 0 and computed == 100
+        assert m.stats.rejected == 1
+        assert len(m) == 0
+
+    def test_request_never_evicts_itself(self):
+        m = manager(capacity=3, block=4)
+        reused, computed = m.serve(list(range(12)))  # exactly 3 blocks
+        assert computed == 12
+        reused, computed = m.serve(list(range(12)))
+        assert reused == 12  # all three blocks survived their own insert
+
+    def test_capacity_validation(self):
+        with pytest.raises(ReproError):
+            KVCacheManager(0)
+        with pytest.raises(ReproError):
+            KVCacheManager(4, block_size=0)
+
+    def test_stats_rates(self):
+        m = manager()
+        m.serve(list(range(8)))
+        m.serve(list(range(8)))
+        assert m.stats.block_hit_rate() == 0.5
+        assert m.stats.token_reuse_rate() == 0.5
+
+
+class TestTrace:
+    def test_deterministic(self):
+        a = make_trace(num_requests=50, seed=4)
+        b = make_trace(num_requests=50, seed=4)
+        assert [r.tokens for r in a] == [r.tokens for r in b]
+
+    def test_system_prompts_shared(self):
+        trace = make_trace(num_requests=100, num_system_prompts=2, seed=1)
+        prompts = {r.tokens[:128] for r in trace if r.turn == 0}
+        assert len(prompts) <= 2
+
+    def test_continuations_extend_prefixes(self):
+        trace = make_trace(num_requests=200, continuation_probability=0.9, seed=2)
+        continued = [r for r in trace if r.turn > 0]
+        assert continued
+        by_tokens = {r.tokens: r for r in trace}
+        for follow in continued[:20]:
+            # Some earlier request is a strict prefix of this one.
+            assert any(
+                len(other.tokens) < len(follow.tokens)
+                and follow.tokens[: len(other.tokens)] == other.tokens
+                for other in trace
+            )
+
+
+class TestSimulation:
+    def test_report_token_conservation(self):
+        trace = make_trace(num_requests=100, seed=5)
+        report = run_simulation(trace, capacity_blocks=64)
+        assert report.tokens_reused + report.tokens_computed == report.tokens_total
+
+    def test_bigger_cache_never_hurts_lru(self):
+        trace = make_trace(num_requests=150, seed=6)
+        small = run_simulation(trace, capacity_blocks=32, policy="lru")
+        large = run_simulation(trace, capacity_blocks=512, policy="lru")
+        assert large.block_hit_rate >= small.block_hit_rate
+
+    def test_policy_ordering_on_shared_prefix_trace(self):
+        """The claim under test (E5): database-grade policies beat FIFO on
+        serving traces, and FIFO beats MRU."""
+        trace = make_trace(num_requests=300, seed=7)
+        reports = {
+            r.policy: r
+            for r in compare_policies(
+                trace, capacity_blocks=96, policies=["fifo", "lru", "lru-k", "2q", "mru"]
+            )
+        }
+        assert reports["lru"].block_hit_rate > reports["fifo"].block_hit_rate
+        assert reports["lru-k"].block_hit_rate >= reports["lru"].block_hit_rate * 0.95
+        assert reports["mru"].block_hit_rate < reports["fifo"].block_hit_rate
+
+    def test_latency_tracks_computation(self):
+        trace = make_trace(num_requests=100, seed=8)
+        fast = run_simulation(trace, capacity_blocks=512, policy="lru")
+        slow = run_simulation(trace, capacity_blocks=8, policy="lru")
+        assert fast.latency_ms_total < slow.latency_ms_total
+        assert fast.gpu_cost < slow.gpu_cost
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(0, 5), min_size=1, max_size=30), min_size=1, max_size=30
+    ),
+    st.sampled_from(["fifo", "lru", "clock", "lfu", "lru-k", "2q"]),
+)
+def test_cache_never_exceeds_capacity_property(requests, policy):
+    m = KVCacheManager(8, block_size=4, policy=make_policy(policy))
+    for tokens in requests:
+        reused, computed = m.serve(tokens)
+        assert reused + computed == len(tokens)
+        assert len(m) <= 8

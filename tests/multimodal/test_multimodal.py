@@ -1,0 +1,230 @@
+"""Tests for hybrid multi-modal search (repro.multimodal)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.types import Column, DataType
+from repro.multimodal import (
+    DocumentStore,
+    FederatedHybridEngine,
+    HybridQuery,
+    UnifiedHybridEngine,
+    fuse_rrf,
+    fuse_weighted,
+    ground_truth,
+    recall_at_k,
+    to_similarity,
+)
+from repro.workloads.embeddings import embed_text
+
+
+@pytest.fixture(scope="module")
+def store():
+    """100 docs, two topics, price/category attributes."""
+    rng = random.Random(0)
+    s = DocumentStore(
+        dim=16,
+        attr_columns=[
+            Column("price", DataType.FLOAT),
+            Column("category", DataType.TEXT),
+        ],
+    )
+    db_words = ["database", "query", "index", "join", "optimizer", "storage"]
+    ml_words = ["neural", "training", "gradient", "model", "embedding", "loss"]
+    for i in range(100):
+        words = db_words if i % 2 == 0 else ml_words
+        text = " ".join(rng.choices(words, k=8))
+        s.add(
+            i,
+            text,
+            embed_text(text, dim=16),
+            (round(rng.uniform(1, 100), 2), "even" if i % 2 == 0 else "odd"),
+        )
+    s.finalize()
+    return s
+
+
+class TestFusion:
+    def test_to_similarity_monotone(self):
+        assert to_similarity(0.0) == 1.0
+        assert to_similarity(1.0) < to_similarity(0.5)
+
+    def test_weighted_prefers_documents_good_in_both(self):
+        vector_scores = {1: 0.9, 2: 0.5, 4: 0.1}
+        text_scores = {1: 0.8, 3: 0.9, 4: 0.1}
+        fused = fuse_weighted(vector_scores, text_scores)
+        assert fused[1] > fused[2]
+        assert fused[1] > fused[3]
+        assert fused[1] > fused[4]
+
+    def test_weighted_respects_weights(self):
+        fused = fuse_weighted({1: 1.0, 2: 0.0}, {1: 0.0, 2: 1.0}, 1.0, 0.0)
+        assert fused[1] > fused[2]
+
+    def test_weighted_handles_missing_modalities(self):
+        assert fuse_weighted(None, {1: 0.5}) == {1: 0.5}
+        assert fuse_weighted({}, None) == {}
+
+    def test_rrf_rewards_consistent_rank(self):
+        fused = fuse_rrf([[1, 2, 3], [1, 3, 2]])
+        assert fused[1] > fused[2]
+        assert fused[1] > fused[3]
+
+    def test_rrf_single_list(self):
+        fused = fuse_rrf([[5, 6]])
+        assert fused[5] > fused[6]
+
+
+class TestHybridQuery:
+    def test_requires_a_modality(self):
+        with pytest.raises(ValueError):
+            HybridQuery()
+
+    def test_validates_k_and_fusion(self):
+        with pytest.raises(ValueError):
+            HybridQuery(keywords="x", k=0)
+        with pytest.raises(ValueError):
+            HybridQuery(keywords="x", fusion="borda")
+
+
+class TestDocumentStore:
+    def test_len_and_get(self, store):
+        assert len(store) == 100
+        doc = store.get(0)
+        assert doc.attrs[1] == "even"
+
+    def test_duplicate_id_rejected(self, store):
+        with pytest.raises(Exception):
+            store.add(0, "x", np.zeros(16), (1.0, "even"))
+
+    def test_filter_ids_match_predicate(self, store):
+        ids = store.filter_ids("category = 'even' AND price < 50")
+        assert ids
+        for doc_id in ids:
+            price, category = store.get(doc_id).attrs
+            assert category == "even" and price < 50
+
+    def test_bound_filter_agrees_with_sql(self, store):
+        predicate = store.bind_filter("price < 30")
+        sql_ids = set(store.filter_ids("price < 30"))
+        eval_ids = {i for i in store.all_ids() if store.matches(predicate, i)}
+        assert sql_ids == eval_ids
+
+    def test_selectivity_estimate_reasonable(self, store):
+        selective = store.estimate_selectivity("price < 5")
+        loose = store.estimate_selectivity("price < 95")
+        assert selective < loose
+
+
+class TestUnifiedEngine:
+    def test_selective_filter_chooses_prefilter(self, store):
+        engine = UnifiedHybridEngine(store)
+        query = HybridQuery(keywords="database query", filter_sql="price < 5", k=5)
+        assert engine.choose_strategy(query) == "prefilter"
+
+    def test_loose_filter_chooses_postfilter(self, store):
+        engine = UnifiedHybridEngine(store)
+        query = HybridQuery(keywords="database query", filter_sql="price < 95", k=5)
+        assert engine.choose_strategy(query) == "postfilter"
+
+    def test_no_filter_is_postfilter(self, store):
+        engine = UnifiedHybridEngine(store)
+        assert engine.choose_strategy(HybridQuery(keywords="x")) == "postfilter"
+
+    @pytest.mark.parametrize(
+        "filter_sql", [None, "price < 10", "price < 60", "category = 'even'"]
+    )
+    def test_matches_ground_truth(self, store, filter_sql):
+        engine = UnifiedHybridEngine(store)
+        query = HybridQuery(
+            keywords="database index",
+            vector=embed_text("database index", dim=16).tolist(),
+            filter_sql=filter_sql,
+            k=5,
+        )
+        result = engine.search(query)
+        truth = ground_truth(store, query)
+        assert recall_at_k(result.ids(), truth) >= 0.8
+        # Every hit satisfies the filter.
+        if filter_sql:
+            predicate = store.bind_filter(filter_sql)
+            for doc_id in result.ids():
+                assert store.matches(predicate, doc_id)
+
+    def test_prefilter_scores_only_survivors(self, store):
+        engine = UnifiedHybridEngine(store)
+        query = HybridQuery(keywords="database", filter_sql="price < 5", k=5)
+        result = engine.search(query)
+        assert result.docs_scored < 20  # far fewer than the corpus
+
+    def test_filter_only_query(self, store):
+        engine = UnifiedHybridEngine(store)
+        result = engine.search(HybridQuery(filter_sql="price < 50", k=100))
+        expected = set(store.filter_ids("price < 50"))
+        assert set(result.ids()) == expected
+
+    def test_rrf_fusion_runs(self, store):
+        engine = UnifiedHybridEngine(store)
+        query = HybridQuery(
+            keywords="database",
+            vector=embed_text("database", dim=16).tolist(),
+            fusion="rrf",
+            k=5,
+        )
+        assert len(engine.search(query).hits) == 5
+
+    def test_vector_only_query(self, store):
+        engine = UnifiedHybridEngine(store)
+        query_vec = embed_text("neural gradient", dim=16).tolist()
+        result = engine.search(HybridQuery(vector=query_vec, k=5))
+        # Top hits should be ML-topic (odd) documents.
+        odd = sum(1 for i in result.ids() if i % 2 == 1)
+        assert odd >= 4
+
+
+class TestFederatedBaseline:
+    def test_same_answer_when_filter_is_loose(self, store):
+        query = HybridQuery(keywords="database index", k=5)
+        unified = UnifiedHybridEngine(store).search(query)
+        federated = FederatedHybridEngine(store, service_top_k=100).search(query)
+        truth = ground_truth(store, query)
+        assert recall_at_k(federated.ids(), truth) == recall_at_k(unified.ids(), truth)
+
+    def test_recall_collapses_under_selective_filter(self, store):
+        """The federated glue misses results outside the services' fixed K."""
+        query = HybridQuery(
+            keywords="database index",
+            vector=embed_text("database index", dim=16).tolist(),
+            filter_sql="price < 10",
+            k=5,
+        )
+        truth = ground_truth(store, query)
+        federated = FederatedHybridEngine(store, service_top_k=10).search(query)
+        unified = UnifiedHybridEngine(store).search(query)
+        assert recall_at_k(unified.ids(), truth) > recall_at_k(federated.ids(), truth)
+
+    def test_federated_always_scans_everything(self, store):
+        query = HybridQuery(
+            keywords="database",
+            vector=embed_text("database", dim=16).tolist(),
+            filter_sql="price < 5",
+            k=5,
+        )
+        federated = FederatedHybridEngine(store).search(query)
+        assert federated.docs_scored >= 3 * len(store) * 0.9
+
+    def test_filter_only(self, store):
+        result = FederatedHybridEngine(store).search(
+            HybridQuery(filter_sql="price < 50", k=200)
+        )
+        assert set(result.ids()) == set(store.filter_ids("price < 50"))
+
+
+class TestRecallMetric:
+    def test_recall_basics(self):
+        assert recall_at_k([1, 2, 3], [1, 2, 3]) == 1.0
+        assert recall_at_k([1, 9, 8], [1, 2, 3]) == pytest.approx(1 / 3)
+        assert recall_at_k([], [1]) == 0.0
+        assert recall_at_k([1], []) == 1.0

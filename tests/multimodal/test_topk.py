@@ -1,0 +1,147 @@
+"""Tests for Fagin-style top-k rank aggregation (repro.multimodal.topk)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ReproError
+from repro.multimodal.topk import (
+    full_scan_topk,
+    no_random_access,
+    threshold_algorithm,
+)
+
+
+def make_lists(n_objects=100, n_sources=3, seed=0):
+    rng = random.Random(seed)
+    objects = [f"o{i}" for i in range(n_objects)]
+    lists = []
+    for __ in range(n_sources):
+        scored = [(obj, round(rng.random(), 6)) for obj in objects]
+        scored.sort(key=lambda kv: -kv[1])
+        lists.append(scored)
+    return lists
+
+
+class TestValidation:
+    def test_empty_lists_rejected(self):
+        with pytest.raises(ReproError):
+            threshold_algorithm([], 5)
+
+    def test_unsorted_rejected(self):
+        bad = [[("a", 0.1), ("b", 0.9)]]
+        with pytest.raises(ReproError, match="not sorted"):
+            threshold_algorithm(bad, 1)
+
+    def test_k_positive(self):
+        with pytest.raises(ReproError):
+            threshold_algorithm(make_lists(10), 0)
+        with pytest.raises(ReproError):
+            no_random_access(make_lists(10), 0)
+
+
+class TestThresholdAlgorithm:
+    def test_matches_full_scan_exactly(self):
+        lists = make_lists(200, seed=1)
+        truth = full_scan_topk(lists, 10)
+        got = threshold_algorithm(lists, 10)
+        assert got.items == truth.items  # same ids AND exact scores
+
+    def test_early_termination_saves_accesses(self):
+        lists = make_lists(500, seed=2)
+        truth = full_scan_topk(lists, 5)
+        got = threshold_algorithm(lists, 5)
+        assert got.items == truth.items
+        assert got.sorted_accesses < truth.sorted_accesses / 2
+
+    def test_k_larger_than_universe(self):
+        lists = make_lists(5, seed=3)
+        got = threshold_algorithm(lists, 50)
+        assert len(got.items) == 5
+
+    def test_single_source(self):
+        lists = make_lists(50, n_sources=1, seed=4)
+        got = threshold_algorithm(lists, 3)
+        assert got.items == full_scan_topk(lists, 3).items
+        # With one source, TA can stop after k sorted accesses.
+        assert got.sorted_accesses <= 10
+
+    def test_object_missing_from_one_source(self):
+        lists = [
+            [("a", 0.9), ("b", 0.8)],
+            [("b", 0.7)],  # a missing here: scores 0
+        ]
+        got = threshold_algorithm(lists, 2)
+        assert dict(got.items) == {"b": 1.5, "a": 0.9}
+
+    def test_custom_aggregation(self):
+        lists = make_lists(80, seed=5)
+        truth = full_scan_topk(lists, 5, aggregate=max)
+        got = threshold_algorithm(lists, 5, aggregate=max)
+        assert got.items == truth.items
+
+    def test_skewed_lists_terminate_very_early(self):
+        # One dominant object per source: threshold collapses fast.
+        lists = []
+        for src in range(3):
+            scored = [("star", 100.0)] + [(f"o{i}", 1.0 / (i + 2)) for i in range(300)]
+            lists.append(scored)
+        got = threshold_algorithm(lists, 1)
+        assert got.ids() == ["star"]
+        assert got.rounds < 10
+
+
+class TestNRA:
+    def test_set_matches_full_scan(self):
+        lists = make_lists(150, seed=6)
+        truth = full_scan_topk(lists, 8)
+        got = no_random_access(lists, 8)
+        assert set(got.ids()) == set(truth.ids())
+
+    def test_no_random_accesses_used(self):
+        got = no_random_access(make_lists(100, seed=7), 5)
+        assert got.random_accesses == 0
+
+    def test_single_source(self):
+        lists = make_lists(40, n_sources=1, seed=8)
+        got = no_random_access(lists, 4)
+        assert got.ids() == full_scan_topk(lists, 4).ids()
+
+    def test_short_lists_exhaust_cleanly(self):
+        lists = [
+            [("a", 0.9)],
+            [("a", 0.5), ("b", 0.4), ("c", 0.3)],
+        ]
+        got = no_random_access(lists, 2)
+        assert got.ids()[0] == "a"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(0, 10_000),
+    st.integers(1, 8),
+    st.integers(1, 4),
+)
+def test_ta_instance_matches_full_scan_property(seed, k, n_sources):
+    """TA returns the exact top-k scores; within a tied-score group at the
+    cut-off it may return any member (both answers are correct top-k sets)."""
+    lists = make_lists(n_objects=60, n_sources=n_sources, seed=seed)
+    truth = full_scan_topk(lists, k)
+    got = threshold_algorithm(lists, k)
+    truth_scores = [s for __, s in truth.items]
+    got_scores = [s for __, s in got.items]
+    assert got_scores == pytest.approx(truth_scores)
+    kth = truth_scores[-1]
+    strictly_above_cut = {obj for obj, s in truth.items if s > kth + 1e-12}
+    assert strictly_above_cut <= {obj for obj, __ in got.items}
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 6))
+def test_nra_set_matches_full_scan_property(seed, k):
+    lists = make_lists(n_objects=50, n_sources=3, seed=seed)
+    truth = full_scan_topk(lists, k)
+    got = no_random_access(lists, k)
+    assert set(got.ids()) == set(truth.ids())

@@ -1,0 +1,130 @@
+"""Unit tests for join-order enumeration (repro.optimizer.join_order)."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.optimizer.cardinality import Estimator
+from repro.optimizer.join_order import (
+    DP_RELATION_LIMIT,
+    flatten_join_tree,
+    is_reorderable,
+    reorder_joins,
+)
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.plan.binder import Binder
+from repro.sql.parser import parse
+
+
+def _bound_join(db, sql):
+    plan = Binder(db.catalog).bind_select(parse(sql))
+    # Strip Project/Sort wrappers down to the join root.
+    node = plan
+    while not is_reorderable(node) and node.children():
+        node = node.children()[0]
+    return node
+
+
+@pytest.fixture
+def chain_db():
+    """A star-ish schema with 10 joinable tables of assorted sizes."""
+    db = Database()
+    sizes = [400, 10, 80, 5, 200, 15, 50, 3, 120, 8]
+    for i, size in enumerate(sizes):
+        db.execute(f"CREATE TABLE t{i} (k INTEGER, v INTEGER)")
+        # Unique keys 0..size-1: an equi-join chain stays bounded by the
+        # smallest participant instead of exploding combinatorially.
+        db.insert_rows(f"t{i}", [(j, j) for j in range(size)])
+    db.analyze()
+    return db
+
+
+class TestFlatten:
+    def test_flatten_counts_relations_and_conjuncts(self, chain_db):
+        join = _bound_join(
+            chain_db,
+            "SELECT COUNT(*) FROM t0 JOIN t1 ON t0.k = t1.k JOIN t2 ON t1.k = t2.k",
+        )
+        relations, conjuncts = flatten_join_tree(join)
+        assert len(relations) == 3
+        assert len(conjuncts) == 2
+        widths = [rel.width for rel in relations]
+        assert widths == [2, 2, 2]
+        bases = [rel.base for rel in relations]
+        assert bases == [0, 2, 4]
+
+    def test_flatten_stops_at_outer_join(self, chain_db):
+        from repro.plan import logical
+
+        plan = Binder(chain_db.catalog).bind_select(
+            parse(
+                "SELECT COUNT(*) FROM t0 JOIN t1 ON t0.k = t1.k "
+                "LEFT JOIN t2 ON t1.k = t2.k"
+            )
+        )
+        node = plan
+        while not isinstance(node, logical.Join):
+            node = node.children()[0]
+        # The topmost join is LEFT OUTER: not reorderable; its inner child
+        # (t0 JOIN t1) still is.
+        assert not is_reorderable(node)
+        assert is_reorderable(node.left)
+
+
+class TestReorder:
+    def _count(self, db, sql, options=None):
+        db.optimizer_options = options or OptimizerOptions()
+        try:
+            return db.execute(sql).scalar()
+        finally:
+            db.optimizer_options = OptimizerOptions()
+
+    def test_two_relations_unchanged_semantics(self, chain_db):
+        sql = "SELECT COUNT(*) FROM t0 JOIN t1 ON t0.k = t1.k"
+        assert self._count(chain_db, sql) == self._count(
+            chain_db, sql, OptimizerOptions.naive()
+        )
+
+    def test_greedy_path_beyond_dp_limit(self, chain_db):
+        """10 relations > DP_RELATION_LIMIT: the greedy fallback must run
+        and produce correct answers."""
+        tables = [f"t{i}" for i in range(10)]
+        assert len(tables) > DP_RELATION_LIMIT
+        joins = " ".join(
+            f"JOIN {t} ON {tables[i]}.k = {t}.k" for i, t in enumerate(tables[1:])
+        )
+        sql = f"SELECT COUNT(*) FROM t0 {joins} WHERE t3.v >= 0"
+        optimized = self._count(chain_db, sql)
+        naive = self._count(chain_db, sql, OptimizerOptions.naive())
+        assert optimized == naive
+        assert optimized > 0
+
+    def test_column_order_restored(self, chain_db):
+        """Reordering may permute the tree; outputs stay in query order."""
+        sql = (
+            "SELECT t0.v, t1.v, t2.v FROM t0 JOIN t1 ON t0.k = t1.k "
+            "JOIN t2 ON t1.k = t2.k ORDER BY t0.v"
+        )
+        chain_db.optimizer_options = OptimizerOptions()
+        optimized = chain_db.execute(sql).rows
+        chain_db.optimizer_options = OptimizerOptions.naive()
+        naive = chain_db.execute(sql).rows
+        chain_db.optimizer_options = OptimizerOptions()
+        assert optimized == naive
+
+    def test_cross_product_only_when_forced(self, chain_db):
+        """Disconnected query: a cross join is required and must still run."""
+        sql = "SELECT COUNT(*) FROM t3 CROSS JOIN t7"
+        assert self._count(chain_db, sql) == 5 * 3
+
+    def test_reorder_prefers_small_side_first(self, chain_db):
+        """The chosen plan's deepest join must not start from the biggest
+        relation when a much cheaper connected start exists."""
+        join = _bound_join(
+            chain_db,
+            "SELECT COUNT(*) FROM t0 JOIN t3 ON t0.k = t3.k JOIN t7 ON t3.k = t7.k",
+        )
+        estimator = Estimator(chain_db.catalog)
+        reordered = reorder_joins(join, estimator)
+        text = reordered.pretty()
+        deepest = text.strip().splitlines()[-1].strip()
+        assert "t0" not in deepest  # 400-row table is not the innermost leaf

@@ -1,0 +1,215 @@
+"""Tests for the ORM (repro.orm)."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import ReproError
+from repro.orm import (
+    FloatField,
+    ForeignKeyField,
+    IntegerField,
+    Model,
+    Session,
+    TextField,
+    eager,
+)
+
+
+class Author(Model):
+    __tablename__ = "authors"
+    id = IntegerField(primary_key=True)
+    name = TextField()
+    country = TextField()
+
+
+class Book(Model):
+    __tablename__ = "books"
+    id = IntegerField(primary_key=True)
+    author_id = ForeignKeyField("authors.id")
+    title = TextField()
+    price = FloatField()
+
+
+Author.relate("books", Book, foreign_key="author_id")
+
+
+@pytest.fixture
+def session():
+    s = Session(Database())
+    s.create_all([Author, Book])
+    for i in range(4):
+        s.add(Author(id=i, name=f"author{i}", country="US" if i % 2 else "UK"))
+        for j in range(3):
+            s.add(Book(id=i * 10 + j, author_id=i, title=f"book{i}.{j}", price=9.99 + j))
+    s.flush()
+    s.reset_query_count()
+    return s
+
+
+class TestModelBasics:
+    def test_fields_collected(self):
+        assert set(Author.field_names()) == {"id", "name", "country"}
+        assert Author.__pk__ == "id"
+
+    def test_default_tablename(self):
+        class Widget(Model):
+            id = IntegerField(primary_key=True)
+
+        assert Widget.__tablename__ == "widgets"
+
+    def test_unknown_kwargs_rejected(self):
+        with pytest.raises(ReproError, match="unknown fields"):
+            Author(id=1, nme="typo")
+
+    def test_missing_fields_default_none(self):
+        author = Author(id=1)
+        assert author.name is None
+
+    def test_requires_exactly_one_pk(self):
+        with pytest.raises(ReproError, match="primary-key"):
+            class NoPk(Model):
+                x = IntegerField()
+
+    def test_round_trip(self):
+        author = Author(id=7, name="x", country="DE")
+        assert Author.from_row(author.to_row()) == author
+
+    def test_foreign_key_parses_reference(self):
+        field = Book.__fields__["author_id"]
+        assert field.ref_table == "authors"
+        assert field.ref_column == "id"
+
+
+class TestQueries:
+    def test_all(self, session):
+        authors = session.query(Author).all()
+        assert len(authors) == 4
+
+    def test_filter(self, session):
+        uk = session.query(Author).filter(country="UK").all()
+        assert {a.id for a in uk} == {0, 2}
+
+    def test_filter_unknown_field(self, session):
+        with pytest.raises(ReproError):
+            session.query(Author).filter(nope=1)
+
+    def test_get(self, session):
+        assert session.query(Author).get(2).name == "author2"
+        assert session.query(Author).get(99) is None
+
+    def test_order_and_limit(self, session):
+        books = session.query(Book).order_by("price").limit(2).all()
+        assert [b.price for b in books] == sorted(b.price for b in books)
+        assert len(books) == 2
+
+    def test_count(self, session):
+        assert session.query(Book).count() == 12
+        assert session.query(Book).filter(author_id=1).count() == 3
+
+    def test_identity_map(self, session):
+        a1 = session.query(Author).get(1)
+        a2 = session.query(Author).get(1)
+        assert a1 is a2
+
+
+class TestRelationshipLoading:
+    def test_lazy_returns_children(self, session):
+        author = session.query(Author).get(0)
+        titles = {b.title for b in author.books}
+        assert titles == {"book0.0", "book0.1", "book0.2"}
+
+    def test_lazy_is_cached_per_instance(self, session):
+        author = session.query(Author).get(0)
+        __ = author.books
+        count = session.query_count
+        __ = author.books  # second access: no new query
+        assert session.query_count == count
+
+    def test_lazy_issues_n_plus_one_queries(self, session):
+        authors = session.query(Author).all()  # 1 query
+        for author in authors:
+            __ = author.books  # +1 per author
+        assert session.query_count == 1 + len(authors)
+
+    def test_eager_issues_single_query(self, session):
+        authors = session.query(Author).options(eager("books")).all()
+        assert session.query_count == 1
+        for author in authors:
+            assert len(author.books) == 3
+
+    def test_eager_equals_lazy_results(self, session):
+        lazy = {a.id: sorted(b.id for b in a.books) for a in session.query(Author).all()}
+        fresh = Session(session.db)
+        eager_map = {
+            a.id: sorted(b.id for b in a.books)
+            for a in fresh.query(Author).options(eager("books")).all()
+        }
+        assert lazy == eager_map
+
+    def test_eager_with_childless_parent(self, session):
+        session.add(Author(id=99, name="loner", country="FR"))
+        session.flush()
+        authors = session.query(Author).options(eager("books")).all()
+        loner = [a for a in authors if a.id == 99][0]
+        assert loner.books == []
+
+    def test_eager_with_filter(self, session):
+        authors = session.query(Author).filter(country="UK").options(eager("books")).all()
+        assert {a.id for a in authors} == {0, 2}
+        assert all(len(a.books) == 3 for a in authors)
+
+    def test_eager_unknown_relationship(self, session):
+        with pytest.raises(ReproError, match="not a relationship"):
+            session.query(Author).options(eager("name"))
+
+    def test_detached_access_raises(self):
+        author = Author(id=1, name="x", country="y")
+        with pytest.raises(ReproError, match="outside a session"):
+            __ = author.books
+
+    def test_query_amplification_grows_with_n(self):
+        """The defining N+1 curve: queries scale with parent count."""
+        counts = {}
+        for n in (5, 20):
+            s = Session(Database())
+            s.create_all([Author, Book])
+            for i in range(n):
+                s.add(Author(id=i, name=f"a{i}", country="US"))
+                s.add(Book(id=i, author_id=i, title="t", price=1.0))
+            s.flush()
+            s.reset_query_count()
+            for author in s.query(Author).all():
+                __ = author.books
+            counts[n] = s.query_count
+        assert counts[20] - counts[5] == 15  # exactly one extra query per parent
+
+
+class TestMutations:
+    def test_save_updates_row(self, session):
+        author = session.query(Author).get(1)
+        author.name = "renamed"
+        session.save(author)
+        fresh = Session(session.db)
+        assert fresh.query(Author).get(1).name == "renamed"
+
+    def test_save_unpersisted_rejected(self, session):
+        ghost = Author(id=999, name="x", country="y")
+        with pytest.raises(ReproError, match="no stored row"):
+            session.save(ghost)
+
+    def test_delete_object(self, session):
+        author = session.query(Author).get(2)
+        session.delete(author)
+        assert session.query(Author).get(2) is None
+        assert session.query(Author).count() == 3
+
+    def test_delete_unpersisted_rejected(self, session):
+        with pytest.raises(ReproError, match="no stored row"):
+            session.delete(Author(id=999, name="x", country="y"))
+
+    def test_query_bulk_delete(self, session):
+        removed = session.query(Book).filter(author_id=0).delete()
+        assert removed == 3
+        assert session.query(Book).count() == 9
+        # Identity map was evicted: re-querying sees fresh rows.
+        assert session.query(Book).filter(author_id=0).all() == []

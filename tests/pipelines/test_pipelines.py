@@ -1,0 +1,296 @@
+"""Tests for the AI-pipeline optimizer (repro.pipelines)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import PipelineError
+from repro.pipelines import Pipeline, PipelineOptimizer, run_pipeline
+from repro.pipelines.ops import minhash_bands, minhash_signature
+
+
+def make_docs(n=400, seed=0, dup_urls=True):
+    rng = random.Random(seed)
+    docs = []
+    for i in range(n):
+        docs.append(
+            {
+                "id": i,
+                "url": f"u{rng.randint(0, n // 3 if dup_urls else 10 ** 9)}",
+                "lang": rng.choice(["en", "en", "de", "fr"]),
+                "quality": rng.random(),
+                "text": " ".join(rng.choices(["data", "model", "pipe", "x", "y"], k=12)),
+            }
+        )
+    return docs
+
+
+def tokenize(record):
+    record["tokens"] = record["text"].split()
+    return record
+
+
+def standard_pipeline(name="p"):
+    return (
+        Pipeline(name)
+        .map("tokenize", tokenize, reads={"text"}, writes={"tokens"}, cost=40.0, gpu=True)
+        .filter("lang", lambda r: r["lang"] == "en", reads={"lang"}, selectivity=0.5, cost=0.1)
+        .filter("quality", lambda r: r["quality"] > 0.4, reads={"quality"}, selectivity=0.6, cost=0.2)
+        .dedup("url", key=lambda r: r["url"], reads={"url"}, duplicate_fraction=0.5)
+    )
+
+
+class TestExecution:
+    def test_filter(self):
+        pipe = Pipeline("f").filter("evens", lambda r: r["id"] % 2 == 0, reads={"id"})
+        out, report = run_pipeline(pipe, [{"id": i} for i in range(10)])
+        assert [r["id"] for r in out] == [0, 2, 4, 6, 8]
+        assert report.per_op[0].rows_in == 10
+        assert report.per_op[0].rows_out == 5
+
+    def test_map_does_not_mutate_input(self):
+        docs = [{"id": 1, "text": "a b"}]
+        pipe = Pipeline("m").map("tok", tokenize, reads={"text"}, writes={"tokens"})
+        out, _ = run_pipeline(pipe, docs)
+        assert "tokens" in out[0]
+        assert "tokens" not in docs[0]
+
+    def test_flat_map(self):
+        pipe = Pipeline("fm").flat_map(
+            "explode",
+            lambda r: [{"w": w} for w in r["text"].split()],
+            reads={"text"},
+            writes={"w"},
+        )
+        out, _ = run_pipeline(pipe, [{"text": "a b c"}])
+        assert [r["w"] for r in out] == ["a", "b", "c"]
+
+    def test_exact_dedup_keeps_first(self):
+        pipe = Pipeline("d").dedup("k", key=lambda r: r["k"], reads={"k"})
+        out, _ = run_pipeline(pipe, [{"k": 1, "v": "first"}, {"k": 1, "v": "second"}])
+        assert out == [{"k": 1, "v": "first"}]
+
+    def test_minhash_dedup_drops_near_duplicates(self):
+        docs = [
+            {"text": "the quick brown fox jumps over the lazy dog tonight"},
+            {"text": "the quick brown fox jumps over the lazy dog today"},
+            {"text": "completely different words about cooking pasta sauce"},
+        ]
+        pipe = Pipeline("mh").dedup(
+            "near", key=lambda r: r["text"], reads={"text"}, method="minhash",
+            num_hashes=32, bands=8,
+        )
+        out, _ = run_pipeline(pipe, docs)
+        assert len(out) == 2
+
+    def test_sample_deterministic(self):
+        pipe = Pipeline("s").sample("half", fraction=0.5, seed=1)
+        docs = [{"id": i} for i in range(100)]
+        out1, _ = run_pipeline(pipe, docs)
+        out2, _ = run_pipeline(pipe, docs)
+        assert out1 == out2
+        assert 30 < len(out1) < 70
+
+    def test_sample_bounds(self):
+        with pytest.raises(PipelineError):
+            Pipeline("s").sample("bad", fraction=1.5)
+
+    def test_cost_accounting_tracks_gpu(self):
+        docs = make_docs(100)
+        __, report = run_pipeline(standard_pipeline(), docs)
+        assert report.total_gpu == pytest.approx(100 * 40.0)
+        assert report.total_cpu > 0
+        assert report.total_bytes_processed > 0
+
+    def test_minhash_helpers(self):
+        sig = minhash_signature(["a", "b", "c"], 16)
+        assert sig == minhash_signature(["c", "b", "a"], 16)  # set semantics
+        bands = minhash_bands(sig, 4)
+        assert len(bands) == 4
+        assert all(len(b) == 4 for b in bands)
+
+
+class TestOptimizerRewrites:
+    def test_reducers_sink_below_gpu_map(self):
+        optimized = PipelineOptimizer().optimize(standard_pipeline())
+        kinds = [op.describe() for op in optimized.ops]
+        assert kinds[-1].startswith("map:tokenize")
+        assert kinds[0].startswith(("filter", "dedup"))
+
+    def test_results_preserved(self):
+        docs = make_docs(500, seed=3)
+        naive = standard_pipeline()
+        optimized = PipelineOptimizer().optimize(naive)
+        out_naive, rep_naive = run_pipeline(naive, docs)
+        out_opt, rep_opt = run_pipeline(optimized, docs)
+        assert sorted(r["id"] for r in out_naive) == sorted(r["id"] for r in out_opt)
+        assert rep_opt.total_gpu < rep_naive.total_gpu
+
+    def test_filter_not_moved_past_producing_map(self):
+        """A filter on a map's output cannot jump before the map."""
+        pipe = (
+            Pipeline("dep")
+            .map("tok", tokenize, reads={"text"}, writes={"tokens"}, cost=5.0)
+            .filter("long", lambda r: len(r["tokens"]) > 3, reads={"tokens"}, selectivity=0.5)
+        )
+        optimized = PipelineOptimizer().optimize(pipe)
+        # Fusion/ordering must keep tok before the dependent filter.
+        kinds = [op.kind() for op in optimized.ops]
+        assert kinds == ["map", "filter"]
+
+    def test_no_movement_across_flatmap(self):
+        pipe = (
+            Pipeline("fm")
+            .flat_map("explode", lambda r: [r], reads={"text"}, writes=set(), cost=1.0)
+            .filter("lang", lambda r: r["lang"] == "en", reads={"lang"}, selectivity=0.3)
+        )
+        optimized = PipelineOptimizer().optimize(pipe)
+        assert [op.kind() for op in optimized.ops] == ["flatmap", "filter"]
+
+    def test_no_movement_across_sample(self):
+        pipe = (
+            Pipeline("s")
+            .sample("ten", fraction=0.1, seed=0)
+            .filter("lang", lambda r: r["lang"] == "en", reads={"lang"}, selectivity=0.3)
+        )
+        optimized = PipelineOptimizer().optimize(pipe)
+        assert [op.kind() for op in optimized.ops] == ["sample", "filter"]
+
+    def test_adjacent_filters_ranked_by_cost_over_drop(self):
+        pipe = (
+            Pipeline("rank")
+            .filter("expensive_loose", lambda r: True, reads={"a"}, selectivity=0.9, cost=10.0)
+            .filter("cheap_sharp", lambda r: True, reads={"b"}, selectivity=0.1, cost=0.1)
+        )
+        optimized = PipelineOptimizer().optimize(pipe)
+        assert optimized.ops[0].name == "cheap_sharp"
+
+    def test_filter_moves_across_exact_dedup_only_with_key_subset(self):
+        movable = (
+            Pipeline("ok")
+            .dedup("by_lang", key=lambda r: r["lang"], reads={"lang"})
+            .filter("lang", lambda r: r["lang"] == "en", reads={"lang"}, selectivity=0.3)
+        )
+        optimized = PipelineOptimizer().optimize(movable)
+        assert optimized.ops[0].kind() == "filter"
+
+        blocked = (
+            Pipeline("no")
+            .dedup("by_url", key=lambda r: r["url"], reads={"url"})
+            .filter("lang", lambda r: r["lang"] == "en", reads={"lang"}, selectivity=0.3)
+        )
+        optimized = PipelineOptimizer().optimize(blocked)
+        assert optimized.ops[0].kind() == "dedup"
+
+    def test_map_fusion(self):
+        pipe = (
+            Pipeline("fuse")
+            .map("a", lambda r: {**r, "x": 1}, reads=set(), writes={"x"}, cost=1.0)
+            .map("b", lambda r: {**r, "y": r["x"] + 1}, reads={"x"}, writes={"y"}, cost=2.0)
+        )
+        optimized, trace = PipelineOptimizer().optimize_traced(pipe)
+        assert len(optimized.ops) == 1
+        assert optimized.ops[0].cost_per_row == 3.0
+        assert trace.fusions == ["a+b"]
+        out, _ = run_pipeline(optimized, [{"id": 0}])
+        assert out[0]["y"] == 2
+
+    def test_gpu_maps_not_fused(self):
+        pipe = (
+            Pipeline("nofuse")
+            .map("cpu", lambda r: r, reads=set(), writes=set(), cost=1.0)
+            .map("gpu", lambda r: r, reads=set(), writes=set(), cost=1.0, gpu=True)
+        )
+        assert len(PipelineOptimizer().optimize(pipe).ops) == 2
+
+    def test_flags_disable_phases(self):
+        pipe = standard_pipeline()
+        frozen = PipelineOptimizer(enable_reorder=False, enable_fusion=False).optimize(pipe)
+        assert [op.name for op in frozen.ops] == [op.name for op in pipe.ops]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.integers(10, 120))
+def test_optimizer_preserves_results_property(seed, n):
+    """Random corpora: optimized pipeline output == naive output."""
+    docs = make_docs(n, seed=seed)
+    naive = standard_pipeline()
+    optimized = PipelineOptimizer().optimize(naive)
+    out_naive, __ = run_pipeline(naive, docs)
+    out_opt, __ = run_pipeline(optimized, docs)
+    assert sorted(r["id"] for r in out_naive) == sorted(r["id"] for r in out_opt)
+
+
+class TestLookup:
+    SIDE = {"u1": {"dq": 0.9, "extra": 1}, "u2": {"dq": 0.2, "extra": 2}}
+
+    def docs(self):
+        return [
+            {"id": i, "host": "u1" if i % 2 else "u2", "text": "a b"}
+            for i in range(6)
+        ] + [{"id": 99, "host": "unknown", "text": "x"}]
+
+    def test_inner_drops_non_matching(self):
+        pipe = Pipeline("l").lookup(
+            "d", key=lambda r: r["host"], table=self.SIDE,
+            reads={"host"}, take={"dq"},
+        )
+        out, __ = run_pipeline(pipe, self.docs())
+        assert len(out) == 6
+        assert all("dq" in r for r in out)
+        assert all("extra" not in r for r in out)  # only `take` fields copied
+
+    def test_left_keeps_with_nulls(self):
+        pipe = Pipeline("l").lookup(
+            "d", key=lambda r: r["host"], table=self.SIDE,
+            reads={"host"}, take={"dq"}, how="left",
+        )
+        out, __ = run_pipeline(pipe, self.docs())
+        assert len(out) == 7
+        assert out[-1]["dq"] is None
+
+    def test_validation(self):
+        from repro.pipelines.ops import Lookup
+        with pytest.raises(PipelineError):
+            Lookup(name="bad", key=lambda r: 1, table=None)
+        with pytest.raises(PipelineError):
+            Lookup(name="bad", key=lambda r: 1, table={}, how="full")
+
+    def test_inner_lookup_sinks_below_gpu_map(self):
+        pipe = (
+            Pipeline("enrich")
+            .map("tok", tokenize, reads={"text"}, writes={"tokens"}, cost=20.0, gpu=True)
+            .lookup("d", key=lambda r: r["host"], table=self.SIDE,
+                    reads={"host"}, take={"dq"}, match_fraction=0.8)
+            .filter("dq", lambda r: r["dq"] > 0.5, reads={"dq"}, selectivity=0.5)
+        )
+        optimized = PipelineOptimizer().optimize(pipe)
+        kinds = [op.kind() for op in optimized.ops]
+        assert kinds == ["lookup", "filter", "map"]
+        out1, rep1 = run_pipeline(pipe, self.docs())
+        out2, rep2 = run_pipeline(optimized, self.docs())
+        assert sorted(r["id"] for r in out1) == sorted(r["id"] for r in out2)
+        assert rep2.total_gpu < rep1.total_gpu
+
+    def test_filter_on_taken_field_cannot_cross_lookup(self):
+        pipe = (
+            Pipeline("dep")
+            .lookup("d", key=lambda r: r["host"], table=self.SIDE,
+                    reads={"host"}, take={"dq"})
+            .filter("dq", lambda r: r["dq"] > 0.5, reads={"dq"}, selectivity=0.5)
+        )
+        optimized = PipelineOptimizer().optimize(pipe)
+        assert [op.kind() for op in optimized.ops] == ["lookup", "filter"]
+
+    def test_dedup_cannot_cross_inner_lookup(self):
+        pipe = (
+            Pipeline("nd")
+            .lookup("d", key=lambda r: r["host"], table=self.SIDE,
+                    reads={"host"}, take={"dq"}, match_fraction=0.5)
+            .dedup("by_text", key=lambda r: r["text"], reads={"text"},
+                   duplicate_fraction=0.5)
+        )
+        optimized = PipelineOptimizer().optimize(pipe)
+        assert [op.kind() for op in optimized.ops] == ["lookup", "dedup"]

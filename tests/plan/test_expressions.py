@@ -1,0 +1,197 @@
+"""Tests for bound expressions: three-valued logic, utilities, typing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.catalog import Catalog
+from repro.core.errors import BindError, ExecutionError, TypeMismatchError
+from repro.core.types import Column, DataType, Schema
+from repro.plan.binder import Binder
+from repro.plan.expressions import (
+    BoundColumn,
+    BoundLiteral,
+    columns_used,
+    conjoin,
+    is_constant,
+    like_to_regex,
+    remap_columns,
+    shift_columns,
+    split_conjuncts,
+)
+from repro.sql.parser import parse_expression
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+
+SCHEMA = Schema(
+    [
+        Column("i", DataType.INTEGER),
+        Column("f", DataType.FLOAT),
+        Column("t", DataType.TEXT),
+        Column("b", DataType.BOOLEAN),
+    ]
+)
+
+
+def bind(text):
+    catalog = Catalog(BufferPool(InMemoryDiskManager()))
+    return Binder(catalog).bind_expr(parse_expression(text), SCHEMA)
+
+
+def ev(text, row=(None, None, None, None)):
+    return bind(text).eval(row)
+
+
+class TestThreeValuedLogic:
+    """The SQL truth tables, exhaustively."""
+
+    def test_and_table(self):
+        assert ev("b AND b", (0, 0, "", True)) is True
+        assert ev("b AND NOT b", (0, 0, "", True)) is False
+        # NULL AND TRUE -> NULL; NULL AND FALSE -> FALSE
+        assert ev("b AND TRUE", (0, 0, "", None)) is None
+        assert ev("b AND FALSE", (0, 0, "", None)) is False
+        assert ev("TRUE AND b", (0, 0, "", None)) is None
+        assert ev("FALSE AND b", (0, 0, "", None)) is False
+
+    def test_or_table(self):
+        assert ev("b OR FALSE", (0, 0, "", None)) is None
+        assert ev("b OR TRUE", (0, 0, "", None)) is True
+        assert ev("FALSE OR b", (0, 0, "", None)) is None
+        assert ev("TRUE OR b", (0, 0, "", None)) is True
+
+    def test_not_null(self):
+        assert ev("NOT b", (0, 0, "", None)) is None
+
+    def test_comparison_with_null(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            assert ev(f"i {op} 1", (None, 0, "", False)) is None
+
+    def test_arithmetic_null_propagation(self):
+        assert ev("i + 1", (None, 0, "", False)) is None
+        assert ev("i * f", (2, None, "", False)) is None
+
+
+class TestOperators:
+    ROW = (7, 2.5, "hello", True)
+
+    def test_arithmetic(self):
+        assert ev("i + 2", self.ROW) == 9
+        assert ev("i - 10", self.ROW) == -3
+        assert ev("i * f", self.ROW) == 17.5
+        assert ev("i / 2", self.ROW) == 3
+        assert ev("i / 2.0", self.ROW) == 3.5
+        assert ev("i % 4", self.ROW) == 3
+
+    def test_division_errors(self):
+        with pytest.raises(ExecutionError):
+            ev("i / 0", self.ROW)
+        with pytest.raises(ExecutionError):
+            ev("i % 0", self.ROW)
+
+    def test_concat(self):
+        assert ev("t || '!'", self.ROW) == "hello!"
+        assert ev("t || i", self.ROW) == "hello7"
+
+    def test_comparisons(self):
+        assert ev("i >= 7", self.ROW) is True
+        assert ev("f < 2.5", self.ROW) is False
+        assert ev("t = 'hello'", self.ROW) is True
+
+    def test_type_mismatch_rejected_at_bind(self):
+        with pytest.raises(TypeMismatchError):
+            bind("i = 'text'")
+        with pytest.raises(TypeMismatchError):
+            bind("t + 1")
+        with pytest.raises(TypeMismatchError):
+            bind("i AND b")
+        with pytest.raises(TypeMismatchError):
+            bind("NOT i")
+
+
+class TestLikeRegex:
+    def test_percent(self):
+        assert like_to_regex("a%") == "a.*\\Z"
+
+    def test_underscore(self):
+        assert like_to_regex("a_c") == "a.c\\Z"
+
+    def test_specials_escaped(self):
+        import re
+
+        regex = like_to_regex("a.b+c")
+        assert re.match(regex, "a.b+c")
+        assert not re.match(regex, "aXb+c")
+
+    def test_like_matches_whole_string(self):
+        assert ev("t LIKE 'hell'", (0, 0, "hello", True)) is False
+        assert ev("t LIKE 'hell%'", (0, 0, "hello", True)) is True
+
+    def test_like_multiline_text(self):
+        assert ev("t LIKE 'a%b'", (0, 0, "a\nb", True)) is True
+
+
+class TestUtilities:
+    def test_columns_used(self):
+        expr = bind("i + f > 2 AND t LIKE 'x%'")
+        assert columns_used(expr) == frozenset({0, 1, 2})
+
+    def test_is_constant(self):
+        assert is_constant(bind("1 + 2"))
+        assert not is_constant(bind("i + 2"))
+
+    def test_split_and_conjoin_round_trip(self):
+        expr = bind("i > 1 AND f < 2 AND b")
+        parts = split_conjuncts(expr)
+        assert len(parts) == 3
+        rebuilt = conjoin(parts)
+        row = (5, 1.0, "", True)
+        assert rebuilt.eval(row) == expr.eval(row)
+
+    def test_split_does_not_cross_or(self):
+        expr = bind("i > 1 OR f < 2")
+        assert len(split_conjuncts(expr)) == 1
+
+    def test_conjoin_empty(self):
+        assert conjoin([]) is None
+
+    def test_shift_columns(self):
+        expr = bind("i + f")
+        shifted = shift_columns(expr, 2)
+        assert columns_used(shifted) == frozenset({2, 3})
+        assert shifted.eval((None, None, 3, 4.0)) == 7.0
+
+    def test_remap_requires_full_coverage(self):
+        expr = bind("i + f")
+        with pytest.raises(BindError):
+            remap_columns(expr, {0: 5})
+
+    def test_remap_reaches_all_node_kinds(self):
+        expr = bind(
+            "CASE WHEN i IN (1,2) AND t LIKE 'a%' THEN COALESCE(f, 0.0) "
+            "ELSE ABS(i) END"
+        )
+        mapping = {c: c + 10 for c in columns_used(expr)}
+        remapped = remap_columns(expr, mapping)
+        assert columns_used(remapped) == frozenset(mapping.values())
+        wide = (None,) * 10 + (1, 2.0, "abc", True)
+        assert remapped.eval(wide) == expr.eval((1, 2.0, "abc", True))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(-100, 100) | st.none(),
+    st.floats(-100, 100) | st.none(),
+    st.booleans() | st.none(),
+)
+def test_predicate_never_crashes_property(i, f, b):
+    """Random NULL-laden rows evaluate every predicate to True/False/None."""
+    row = (i, f, "txt", b)
+    for text in (
+        "i > 0 AND f < 50 OR b",
+        "NOT (i = 0) OR f >= 0 AND b",
+        "i BETWEEN -50 AND 50",
+        "i IN (1, 2, 3) OR b IS NULL",
+    ):
+        value = bind(text).eval(row)
+        assert value in (True, False, None)

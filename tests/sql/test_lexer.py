@@ -1,0 +1,73 @@
+"""Tests for the SQL lexer (repro.sql.lexer)."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select") == [(TokenType.KEYWORD, "SELECT")]
+        assert kinds("SeLeCt") == [(TokenType.KEYWORD, "SELECT")]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("myTable") == [(TokenType.IDENT, "myTable")]
+
+    def test_quoted_identifier(self):
+        assert kinds('"weird name"') == [(TokenType.IDENT, "weird name")]
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_integer_and_float(self):
+        assert kinds("42") == [(TokenType.NUMBER, 42)]
+        assert kinds("3.5") == [(TokenType.NUMBER, 3.5)]
+        assert kinds(".5") == [(TokenType.NUMBER, 0.5)]
+        assert kinds("1e3") == [(TokenType.NUMBER, 1000.0)]
+        assert kinds("2.5e-2") == [(TokenType.NUMBER, 0.025)]
+
+    def test_string_literals(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+        assert kinds("''") == [(TokenType.STRING, "")]
+
+    def test_string_escape_doubles_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_operators_longest_match(self):
+        assert [v for _, v in kinds("a <= b <> c != d")] == ["a", "<=", "b", "<>", "c", "!=", "d"]
+
+    def test_concat_operator(self):
+        assert kinds("||") == [(TokenType.OPERATOR, "||")]
+
+    def test_punct_and_brackets(self):
+        values = [v for _, v in kinds("( ) , . ; [ ]")]
+        assert values == ["(", ")", ",", ".", ";", "[", "]"]
+
+    def test_line_comment_skipped(self):
+        assert kinds("a -- comment\n b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("a ? b")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("select 1")[-1].type is TokenType.EOF

@@ -1,0 +1,102 @@
+"""Tests for client-side parameter binding (repro.sql.params)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import Database
+from repro.core.errors import ParseError
+from repro.sql.params import render_literal, substitute_params
+
+
+class TestRenderLiteral:
+    def test_basic_types(self):
+        assert render_literal(None) == "NULL"
+        assert render_literal(True) == "TRUE"
+        assert render_literal(False) == "FALSE"
+        assert render_literal(42) == "42"
+        assert render_literal(1.5) == "1.5"
+        assert render_literal("abc") == "'abc'"
+
+    def test_string_escaping(self):
+        assert render_literal("o'brien") == "'o''brien'"
+        assert render_literal("'; DROP TABLE t --") == "'''; DROP TABLE t --'"
+
+    def test_vector(self):
+        assert render_literal([1, 2.5]) == "[1.0, 2.5]"
+
+    def test_unsupported_type(self):
+        with pytest.raises(ParseError):
+            render_literal(object())
+
+
+class TestSubstitution:
+    def test_simple(self):
+        assert substitute_params("SELECT ?", (1,)) == "SELECT 1"
+
+    def test_multiple_in_order(self):
+        sql = substitute_params("a = ? AND b = ?", (1, "x"))
+        assert sql == "a = 1 AND b = 'x'"
+
+    def test_question_mark_in_string_untouched(self):
+        sql = substitute_params("SELECT '?' , ?", (5,))
+        assert sql == "SELECT '?' , 5"
+
+    def test_question_mark_in_quoted_ident_untouched(self):
+        sql = substitute_params('SELECT "a?b", ?', (5,))
+        assert sql == 'SELECT "a?b", 5'
+
+    def test_question_mark_in_comment_untouched(self):
+        sql = substitute_params("SELECT ? -- really?\n", (5,))
+        assert sql == "SELECT 5 -- really?\n"
+
+    def test_escaped_quote_inside_string(self):
+        sql = substitute_params("SELECT 'it''s?' , ?", (1,))
+        assert sql == "SELECT 'it''s?' , 1"
+
+    def test_count_mismatch(self):
+        with pytest.raises(ParseError, match="placeholders"):
+            substitute_params("SELECT ?", (1, 2))
+        with pytest.raises(ParseError, match="placeholders"):
+            substitute_params("SELECT ?, ?", (1,))
+
+    def test_no_placeholders_passthrough(self):
+        assert substitute_params("SELECT 1", ()) == "SELECT 1"
+
+
+class TestDatabaseIntegration:
+    def test_execute_with_params(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        db.execute("INSERT INTO t VALUES (?, ?), (?, ?)", params=(1, "x", 2, None))
+        assert db.execute("SELECT b FROM t WHERE a = ?", params=(1,)).scalar() == "x"
+        assert db.execute(
+            "SELECT COUNT(*) FROM t WHERE b IS NULL"
+        ).scalar() == 1
+
+    def test_injection_attempt_stays_data(self):
+        db = Database()
+        db.execute("CREATE TABLE users (name TEXT)")
+        evil = "x'; DROP TABLE users --"
+        db.execute("INSERT INTO users VALUES (?)", params=(evil,))
+        assert db.execute("SELECT COUNT(*) FROM users").scalar() == 1
+        assert db.execute(
+            "SELECT COUNT(*) FROM users WHERE name = ?", params=(evil,)
+        ).scalar() == 1  # value round-trips exactly
+
+    def test_vector_param(self):
+        db = Database()
+        db.execute("CREATE TABLE d (v VECTOR(2))")
+        db.execute("INSERT INTO d VALUES (?)", params=([0.5, 1.5],))
+        assert db.execute("SELECT v FROM d").scalar() == (0.5, 1.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(max_size=40))
+def test_string_params_round_trip_property(value):
+    """Any string survives bind -> store -> filter-by-equality intact."""
+    db = Database()
+    db.execute("CREATE TABLE t (s TEXT)")
+    db.execute("INSERT INTO t VALUES (?)", params=(value,))
+    got = db.execute("SELECT s FROM t WHERE s = ?", params=(value,))
+    assert got.rows == [(value,)]

@@ -1,0 +1,259 @@
+"""Tests for the SQL parser (repro.sql.parser)."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse, parse_expression
+
+
+class TestSelect:
+    def test_minimal(self):
+        stmt = parse("SELECT 1")
+        assert isinstance(stmt, ast.SelectStmt)
+        assert stmt.items[0].expr == ast.Literal(1)
+        assert stmt.from_item is None
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.from_item == ast.TableRef("t")
+
+    def test_table_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].expr == ast.Star(table="t")
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_item.alias == "u"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse(
+            "SELECT a, COUNT(*) FROM t WHERE b > 0 GROUP BY a "
+            "HAVING COUNT(*) > 1 ORDER BY a DESC LIMIT 5 OFFSET 2"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.limit == 5
+        assert stmt.offset == 2
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t LIMIT 2.5")
+
+    def test_join_kinds(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y")
+        outer = stmt.from_item
+        assert isinstance(outer, ast.Join)
+        assert outer.kind == "left"
+        assert outer.left.kind == "inner"
+
+    def test_comma_join_is_cross(self):
+        stmt = parse("SELECT * FROM a, b")
+        assert stmt.from_item.kind == "cross"
+        assert stmt.from_item.condition is None
+
+    def test_cross_join_keyword(self):
+        assert parse("SELECT * FROM a CROSS JOIN b").from_item.kind == "cross"
+
+    def test_inner_keyword_optional(self):
+        a = parse("SELECT * FROM a JOIN b ON a.x = b.x")
+        b = parse("SELECT * FROM a INNER JOIN b ON a.x = b.x")
+        assert a == b
+
+    def test_join_requires_on(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM a JOIN b")
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == ast.BinaryOp("+", ast.Literal(1),
+                                    ast.BinaryOp("*", ast.Literal(2), ast.Literal(3)))
+
+    def test_precedence_bool(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not_precedence(self):
+        expr = parse_expression("NOT a = 1 AND b = 2")
+        assert expr.op == "AND"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_parenthesized(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_unary_minus_folds_literals(self):
+        assert parse_expression("-5") == ast.Literal(-5)
+        assert parse_expression("-2.5") == ast.Literal(-2.5)
+
+    def test_unary_minus_on_column(self):
+        expr = parse_expression("-a")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_neq_normalized(self):
+        assert parse_expression("a <> 1") == parse_expression("a != 1")
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.BetweenExpr)
+        assert not expr.negated
+
+    def test_not_between(self):
+        assert parse_expression("a NOT BETWEEN 1 AND 5").negated
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InExpr)
+        assert len(expr.values) == 3
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'a%'")
+        assert isinstance(expr, ast.LikeExpr)
+
+    def test_is_null_variants(self):
+        assert not parse_expression("a IS NULL").negated
+        assert parse_expression("a IS NOT NULL").negated
+
+    def test_case(self):
+        expr = parse_expression("CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END")
+        assert isinstance(expr, ast.CaseExpr)
+        assert len(expr.whens) == 1
+        assert expr.else_result == ast.Literal("neg")
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_function_calls(self):
+        expr = parse_expression("COALESCE(a, LOWER(b), 'x')")
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.name == "COALESCE"
+        assert len(expr.args) == 3
+
+    def test_count_star_and_distinct(self):
+        star = parse_expression("COUNT(*)")
+        assert star.args == (ast.Star(),)
+        distinct = parse_expression("COUNT(DISTINCT a)")
+        assert distinct.distinct
+
+    def test_qualified_column(self):
+        assert parse_expression("t.col") == ast.ColumnRef("col", table="t")
+
+    def test_vector_literal(self):
+        expr = parse_expression("[1.5, -2, 0]")
+        assert expr == ast.Literal((1.5, -2.0, 0.0))
+
+    def test_empty_vector(self):
+        assert parse_expression("[]") == ast.Literal(())
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("NULL") == ast.Literal(None)
+
+    def test_concat(self):
+        assert parse_expression("a || b").op == "||"
+
+
+class TestDML:
+    def test_insert_multi_row(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 2
+
+    def test_insert_no_columns(self):
+        assert parse("INSERT INTO t VALUES (1)").columns == ()
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_update_requires_equals(self):
+        with pytest.raises(ParseError):
+            parse("UPDATE t SET a > 1")
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a IS NULL")
+        assert stmt.table == "t"
+
+    def test_delete_without_where(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestDDLAndMisc:
+    def test_create_table_types(self):
+        stmt = parse(
+            "CREATE TABLE t (id INTEGER NOT NULL, name TEXT, v VECTOR(3), ok BOOLEAN)"
+        )
+        assert stmt.columns[0].not_null
+        assert stmt.columns[2].vector_width == 3
+
+    def test_primary_key_implies_not_null(self):
+        stmt = parse("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        assert stmt.columns[0].not_null
+
+    def test_create_index(self):
+        stmt = parse("CREATE UNIQUE INDEX i ON t (c) USING hash")
+        assert stmt.unique
+        assert stmt.using == "hash"
+
+    def test_create_index_default_btree(self):
+        assert parse("CREATE INDEX i ON t (c)").using == "btree"
+
+    def test_drop_table(self):
+        assert parse("DROP TABLE t").name == "t"
+
+    def test_explain_wraps(self):
+        stmt = parse("EXPLAIN SELECT 1")
+        assert isinstance(stmt, ast.ExplainStmt)
+        assert isinstance(stmt.statement, ast.SelectStmt)
+
+    def test_txn_statements(self):
+        assert isinstance(parse("BEGIN"), ast.BeginStmt)
+        assert isinstance(parse("COMMIT"), ast.CommitStmt)
+        assert isinstance(parse("ROLLBACK"), ast.RollbackStmt)
+
+    def test_analyze(self):
+        assert parse("ANALYZE").table is None
+        assert parse("ANALYZE t").table == "t"
+
+    def test_trailing_semicolon_ok(self):
+        parse("SELECT 1;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("SELECT 1 SELECT 2")
+
+
+ROUND_TRIP_STATEMENTS = [
+    "SELECT a, b AS x FROM t WHERE a > 1 ORDER BY a DESC LIMIT 10",
+    "SELECT DISTINCT t.a, COUNT(*) AS cnt FROM t JOIN s ON t.id = s.id "
+    "GROUP BY t.a HAVING COUNT(*) > 2",
+    "SELECT * FROM a LEFT JOIN b ON a.x = b.x CROSS JOIN c",
+    "INSERT INTO t (a) VALUES (1), (NULL)",
+    "UPDATE t SET a = CASE WHEN a > 0 THEN 1 ELSE 0 END",
+    "DELETE FROM t WHERE name NOT LIKE '%x%'",
+    "SELECT VEC_DIST(v, [1.0, 2.0]) FROM d WHERE k IN (1, 2) OR k IS NULL",
+    "CREATE TABLE t (a INTEGER NOT NULL, v VECTOR(8))",
+    "EXPLAIN SELECT a FROM t WHERE a BETWEEN 1 AND 2",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_STATEMENTS)
+def test_parse_print_parse_fixed_point(sql):
+    first = parse(sql)
+    printed = first.to_sql()
+    second = parse(printed)
+    assert first == second
+    assert second.to_sql() == printed

@@ -1,0 +1,154 @@
+"""Tests for the buffer pool (repro.storage.buffer)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import BufferPoolError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+from repro.storage.page import PAGE_SIZE
+from repro.storage.replacement import MRUPolicy, make_policy
+
+
+def make_pool(capacity=3, policy="lru"):
+    return BufferPool(InMemoryDiskManager(), capacity=capacity, policy=make_policy(policy))
+
+
+class TestBasics:
+    def test_new_page_is_pinned_and_dirty(self):
+        pool = make_pool()
+        page = pool.new_page()
+        assert page.pin_count == 1
+        assert page.dirty
+
+    def test_fetch_after_unpin_hits_cache(self):
+        pool = make_pool()
+        page = pool.new_page()
+        pool.unpin(page.page_id)
+        again = pool.fetch_page(page.page_id)
+        assert again is page
+        assert pool.stats.hits == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(BufferPoolError):
+            BufferPool(InMemoryDiskManager(), capacity=0)
+
+    def test_unpin_unknown_page(self):
+        with pytest.raises(BufferPoolError, match="not in pool"):
+            make_pool().unpin(99)
+
+    def test_double_unpin_rejected(self):
+        pool = make_pool()
+        page = pool.new_page()
+        pool.unpin(page.page_id)
+        with pytest.raises(BufferPoolError, match="unpinned"):
+            pool.unpin(page.page_id)
+
+
+class TestEviction:
+    def test_eviction_happens_at_capacity(self):
+        pool = make_pool(capacity=2)
+        a = pool.new_page()
+        b = pool.new_page()
+        pool.unpin(a.page_id)
+        pool.unpin(b.page_id)
+        pool.new_page()  # evicts a (LRU)
+        assert pool.stats.evictions == 1
+        assert not pool.contains(a.page_id)
+        assert pool.contains(b.page_id)
+
+    def test_pinned_pages_never_evicted(self):
+        pool = make_pool(capacity=2)
+        a = pool.new_page()  # stays pinned
+        b = pool.new_page()
+        pool.unpin(b.page_id)
+        pool.new_page()  # must evict b, not a
+        assert pool.contains(a.page_id)
+        assert not pool.contains(b.page_id)
+
+    def test_all_pinned_raises(self):
+        pool = make_pool(capacity=2)
+        pool.new_page()
+        pool.new_page()
+        with pytest.raises(BufferPoolError, match="pinned"):
+            pool.new_page()
+
+    def test_dirty_eviction_writes_back(self):
+        pool = make_pool(capacity=1)
+        page = pool.new_page()
+        page.data[100:103] = b"abc"
+        pool.unpin(page.page_id, dirty=True)
+        second = pool.new_page()  # evicts and writes back
+        pool.unpin(second.page_id)
+        assert pool.stats.dirty_writebacks == 1
+        refetched = pool.fetch_page(page.page_id)  # evicts the second page
+        assert bytes(refetched.data[100:103]) == b"abc"
+
+    def test_mru_policy_changes_victim(self):
+        pool = BufferPool(InMemoryDiskManager(), capacity=2, policy=MRUPolicy())
+        a = pool.new_page()
+        b = pool.new_page()
+        pool.unpin(a.page_id)
+        pool.unpin(b.page_id)
+        pool.new_page()
+        assert pool.contains(a.page_id)  # MRU evicted b
+        assert not pool.contains(b.page_id)
+
+
+class TestFlush:
+    def test_flush_all_clears_dirty(self):
+        pool = make_pool()
+        pages = [pool.new_page() for _ in range(3)]
+        for page in pages:
+            pool.unpin(page.page_id, dirty=True)
+        pool.flush_all()
+        assert pool.stats.dirty_writebacks == 3
+        assert pool.disk.writes == 3
+
+    def test_flush_page_noop_when_clean(self):
+        pool = make_pool()
+        page = pool.new_page()
+        pool.unpin(page.page_id)
+        pool.flush_page(page.page_id)
+        pool.flush_page(page.page_id)
+        assert pool.stats.dirty_writebacks == 1
+
+    def test_durability_round_trip(self):
+        disk = InMemoryDiskManager()
+        pool = BufferPool(disk, capacity=2)
+        page = pool.new_page()
+        page.data[0:5] = b"hello"
+        pool.unpin(page.page_id, dirty=True)
+        pool.flush_all()
+        fresh_pool = BufferPool(disk, capacity=2)
+        restored = fresh_pool.fetch_page(page.page_id)
+        assert bytes(restored.data[0:5]) == b"hello"
+
+    def test_hit_rate(self):
+        pool = make_pool()
+        page = pool.new_page()
+        pool.unpin(page.page_id)
+        pool.fetch_page(page.page_id)
+        pool.unpin(page.page_id)
+        assert pool.stats.hit_rate() == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=200),
+       st.sampled_from(["lru", "fifo", "clock", "lru-k", "2q", "lfu"]))
+def test_pool_invariants_property(accesses, policy_name):
+    """Random fetch/unpin workloads never exceed capacity and never lose data."""
+    disk = InMemoryDiskManager()
+    page_ids = [disk.allocate_page() for _ in range(10)]
+    for pid in page_ids:
+        data = bytearray(PAGE_SIZE)
+        data[0] = pid
+        disk.write_page(pid, bytes(data))
+    pool = BufferPool(disk, capacity=4, policy=make_policy(policy_name))
+    for idx in accesses:
+        page = pool.fetch_page(page_ids[idx])
+        assert page.data[0] == page_ids[idx]  # correct contents, always
+        assert len(pool.cached_page_ids()) <= 4
+        pool.unpin(page.page_id)
+    assert pool.pinned_count() == 0

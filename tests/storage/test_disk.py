@@ -1,0 +1,90 @@
+"""Tests for disk managers (repro.storage.disk)."""
+
+import os
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.disk import FileDiskManager, InMemoryDiskManager
+from repro.storage.page import PAGE_SIZE
+
+
+@pytest.fixture(params=["memory", "file"])
+def disk(request, tmp_path):
+    if request.param == "memory":
+        yield InMemoryDiskManager()
+    else:
+        manager = FileDiskManager(str(tmp_path / "data.db"))
+        yield manager
+        manager.close()
+
+
+class TestDiskManagers:
+    def test_allocate_sequential_ids(self, disk):
+        assert disk.allocate_page() == 0
+        assert disk.allocate_page() == 1
+        assert disk.num_pages() == 2
+
+    def test_write_read_round_trip(self, disk):
+        pid = disk.allocate_page()
+        payload = bytes([7]) * PAGE_SIZE
+        disk.write_page(pid, payload)
+        assert disk.read_page(pid) == payload
+
+    def test_fresh_page_is_zeroed(self, disk):
+        pid = disk.allocate_page()
+        assert disk.read_page(pid) == bytes(PAGE_SIZE)
+
+    def test_read_unallocated_rejected(self, disk):
+        with pytest.raises(StorageError):
+            disk.read_page(5)
+
+    def test_write_unallocated_rejected(self, disk):
+        with pytest.raises(StorageError):
+            disk.write_page(5, bytes(PAGE_SIZE))
+
+    def test_bad_page_size_rejected(self, disk):
+        pid = disk.allocate_page()
+        with pytest.raises(StorageError):
+            disk.write_page(pid, b"tiny")
+
+    def test_io_counters(self, disk):
+        pid = disk.allocate_page()
+        disk.write_page(pid, bytes(PAGE_SIZE))
+        disk.read_page(pid)
+        disk.read_page(pid)
+        assert disk.writes == 1
+        assert disk.reads == 2
+        disk.reset_counters()
+        assert (disk.reads, disk.writes) == (0, 0)
+
+
+class TestFilePersistence:
+    def test_reopen_preserves_pages(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        manager = FileDiskManager(path)
+        pid = manager.allocate_page()
+        manager.write_page(pid, bytes([9]) * PAGE_SIZE)
+        manager.sync()
+        manager.close()
+
+        reopened = FileDiskManager(path)
+        assert reopened.num_pages() == 1
+        assert reopened.read_page(pid) == bytes([9]) * PAGE_SIZE
+        reopened.close()
+
+    def test_corrupt_size_rejected(self, tmp_path):
+        path = str(tmp_path / "corrupt.db")
+        with open(path, "wb") as f:
+            f.write(b"x" * 100)
+        with pytest.raises(StorageError, match="multiple"):
+            FileDiskManager(path)
+
+    def test_file_size_tracks_pages(self, tmp_path):
+        path = str(tmp_path / "grow.db")
+        manager = FileDiskManager(path)
+        for _ in range(3):
+            manager.allocate_page()
+        manager.sync()
+        assert os.path.getsize(path) == 3 * PAGE_SIZE
+        manager.close()

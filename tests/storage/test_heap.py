@@ -1,0 +1,167 @@
+"""Tests for heap files (repro.storage.heap)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IntegrityError, StorageError
+from repro.core.types import Column, DataType, Schema
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+from repro.storage.heap import HeapFile, RecordId
+
+
+def make_heap(capacity=8):
+    schema = Schema(
+        [
+            Column("id", DataType.INTEGER, nullable=False),
+            Column("name", DataType.TEXT),
+        ]
+    )
+    pool = BufferPool(InMemoryDiskManager(), capacity=capacity)
+    return HeapFile(pool, schema, name="t")
+
+
+class TestInsertGet:
+    def test_insert_and_get(self):
+        heap = make_heap()
+        rid = heap.insert((1, "alice"))
+        assert heap.get(rid) == (1, "alice")
+        assert heap.row_count == 1
+
+    def test_rows_span_pages(self):
+        heap = make_heap()
+        rids = [heap.insert((i, "x" * 500)) for i in range(50)]
+        pages = {rid.page_id for rid in rids}
+        assert len(pages) > 1
+        for i, rid in enumerate(rids):
+            assert heap.get(rid) == (i, "x" * 500)
+
+    def test_validation_enforced(self):
+        heap = make_heap()
+        with pytest.raises(IntegrityError):
+            heap.insert((None, "x"))  # id NOT NULL
+        with pytest.raises(IntegrityError):
+            heap.insert((1,))  # arity
+
+    def test_oversized_row_rejected(self):
+        heap = make_heap()
+        with pytest.raises(StorageError, match="page capacity"):
+            heap.insert((1, "x" * 10000))
+
+    def test_foreign_rid_rejected(self):
+        heap = make_heap()
+        heap.insert((1, "a"))
+        with pytest.raises(StorageError, match="not in heap"):
+            heap.get(RecordId(999, 0))
+
+
+class TestDeleteUpdate:
+    def test_delete(self):
+        heap = make_heap()
+        rid = heap.insert((1, "a"))
+        heap.delete(rid)
+        assert heap.get(rid) is None
+        assert heap.row_count == 0
+
+    def test_double_delete_rejected(self):
+        heap = make_heap()
+        rid = heap.insert((1, "a"))
+        heap.delete(rid)
+        with pytest.raises(StorageError, match="already deleted"):
+            heap.delete(rid)
+
+    def test_update_in_place_keeps_rid(self):
+        heap = make_heap()
+        rid = heap.insert((1, "abcdef"))
+        new_rid = heap.update(rid, (2, "xy"))
+        assert new_rid == rid
+        assert heap.get(rid) == (2, "xy")
+
+    def test_update_that_moves_row(self):
+        heap = make_heap()
+        # Fill the first page almost completely.
+        first = heap.insert((0, "a"))
+        while True:
+            rid = heap.insert((1, "b" * 400))
+            if rid.page_id != first.page_id:
+                break
+        moved = heap.update(first, (0, "z" * 3000))
+        assert heap.get(moved) == (0, "z" * 3000)
+        assert heap.row_count > 0
+
+    def test_update_of_deleted_rejected(self):
+        heap = make_heap()
+        rid = heap.insert((1, "a"))
+        heap.delete(rid)
+        with pytest.raises(StorageError):
+            heap.update(rid, (2, "b"))
+
+
+class TestScanStats:
+    def test_scan_returns_live_rows_in_order(self):
+        heap = make_heap()
+        rids = [heap.insert((i, f"row{i}")) for i in range(10)]
+        heap.delete(rids[3])
+        heap.delete(rids[7])
+        rows = list(heap.scan_rows())
+        assert [r[0] for r in rows] == [0, 1, 2, 4, 5, 6, 8, 9]
+
+    def test_scan_yields_usable_rids(self):
+        heap = make_heap()
+        heap.insert((1, "a"))
+        heap.insert((2, "b"))
+        for rid, row in heap.scan():
+            assert heap.get(rid) == row
+
+    def test_stats_snapshot(self):
+        heap = make_heap()
+        for i in range(20):
+            heap.insert((i, "abc"))
+        snap = heap.stats_snapshot()
+        assert snap.row_count == 20
+        assert snap.byte_count > 0
+        assert snap.page_count >= 1
+
+    def test_compaction_path_reuses_space(self):
+        heap = make_heap()
+        rids = [heap.insert((i, "x" * 700)) for i in range(11)]
+        last_page = rids[-1].page_id
+        on_last = [r for r in rids if r.page_id == last_page]
+        for rid in on_last:
+            heap.delete(rid)
+        # Inserting must reuse the mostly-empty last page via compaction.
+        new_rid = heap.insert((99, "y" * 700))
+        assert new_rid.page_id == last_page
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "delete", "update"]),
+                  st.integers(0, 30), st.text(max_size=40)),
+        max_size=80,
+    )
+)
+def test_heap_matches_dict_model_property(ops):
+    """Heap behaves like a dict keyed by record id under random workloads."""
+    heap = make_heap(capacity=4)
+    model = {}
+    live = []
+    for op, num, text in ops:
+        if op == "insert" or not live:
+            rid = heap.insert((num, text))
+            model[rid] = (num, text)
+            live.append(rid)
+        elif op == "delete":
+            rid = live.pop(num % len(live))
+            heap.delete(rid)
+            del model[rid]
+        else:  # update
+            rid = live.pop(num % len(live))
+            new_rid = heap.update(rid, (num + 1, text + "!"))
+            del model[rid]
+            model[new_rid] = (num + 1, text + "!")
+            live.append(new_rid)
+    assert heap.row_count == len(model)
+    assert dict(heap.scan()) == model

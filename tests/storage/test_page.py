@@ -1,0 +1,152 @@
+"""Tests for slotted pages (repro.storage.page)."""
+
+import pytest
+
+from repro.core.errors import PageFullError, StorageError
+from repro.storage.page import HEADER_SIZE, MAX_RECORD_SIZE, PAGE_SIZE, SLOT_SIZE, Page
+
+
+class TestPageBasics:
+    def test_new_page_is_empty(self):
+        page = Page(0)
+        assert page.slot_count == 0
+        assert page.free_space() == PAGE_SIZE - HEADER_SIZE
+        assert list(page.records()) == []
+
+    def test_insert_read(self):
+        page = Page(0)
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+        assert page.slot_count == 1
+        assert page.dirty
+
+    def test_multiple_inserts_get_distinct_slots(self):
+        page = Page(0)
+        slots = [page.insert(bytes([i]) * 10) for i in range(5)]
+        assert slots == [0, 1, 2, 3, 4]
+        for i, slot in enumerate(slots):
+            assert page.read(slot) == bytes([i]) * 10
+
+    def test_free_space_shrinks_by_record_plus_slot(self):
+        page = Page(0)
+        before = page.free_space()
+        page.insert(b"x" * 100)
+        assert page.free_space() == before - 100 - SLOT_SIZE
+
+    def test_round_trip_through_bytes(self):
+        page = Page(0)
+        page.insert(b"abc")
+        page.insert(b"defg")
+        restored = Page(0, page.to_bytes())
+        assert [r for _, r in restored.records()] == [b"abc", b"defg"]
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            Page(0, b"short")
+
+
+class TestPageDelete:
+    def test_delete_tombstones(self):
+        page = Page(0)
+        slot = page.insert(b"doomed")
+        page.delete(slot)
+        assert page.read(slot) is None
+        assert list(page.records()) == []
+
+    def test_delete_is_idempotent(self):
+        page = Page(0)
+        slot = page.insert(b"x")
+        page.delete(slot)
+        page.delete(slot)
+        assert page.read(slot) is None
+
+    def test_delete_out_of_range(self):
+        with pytest.raises(StorageError, match="out of range"):
+            Page(0).delete(0)
+
+    def test_records_skips_tombstones(self):
+        page = Page(0)
+        keep_a = page.insert(b"a")
+        doomed = page.insert(b"b")
+        keep_c = page.insert(b"c")
+        page.delete(doomed)
+        assert [(s, r) for s, r in page.records()] == [(keep_a, b"a"), (keep_c, b"c")]
+
+
+class TestPageUpdate:
+    def test_update_in_place_when_smaller(self):
+        page = Page(0)
+        slot = page.insert(b"abcdef")
+        free = page.free_space()
+        assert page.update(slot, b"xy")
+        assert page.read(slot) == b"xy"
+        assert page.free_space() == free  # shrink-in-place, no new space used
+
+    def test_update_larger_appends(self):
+        page = Page(0)
+        slot = page.insert(b"ab")
+        assert page.update(slot, b"a much longer record")
+        assert page.read(slot) == b"a much longer record"
+
+    def test_update_deleted_slot_raises(self):
+        page = Page(0)
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(StorageError, match="deleted"):
+            page.update(slot, b"y")
+
+    def test_update_returns_false_when_no_room(self):
+        page = Page(0)
+        slot = page.insert(b"a")
+        page.insert(b"b" * (page.free_space() - SLOT_SIZE))
+        assert page.update(slot, b"c" * 100) is False
+        assert page.read(slot) == b"a"  # unchanged
+
+
+class TestPageFullAndCompact:
+    def test_page_full_raises(self):
+        page = Page(0)
+        page.insert(b"x" * (PAGE_SIZE // 2))
+        with pytest.raises(PageFullError):
+            page.insert(b"y" * (PAGE_SIZE // 2))
+
+    def test_oversized_record_rejected(self):
+        with pytest.raises(PageFullError, match="exceeds max"):
+            Page(0).insert(b"x" * (MAX_RECORD_SIZE + 1))
+
+    def test_exactly_max_record_fits(self):
+        page = Page(0)
+        slot = page.insert(b"x" * MAX_RECORD_SIZE)
+        assert page.read(slot) == b"x" * MAX_RECORD_SIZE
+
+    def test_compact_reclaims_dead_space(self):
+        page = Page(0)
+        slots = [page.insert(bytes([i]) * 500) for i in range(8)]
+        for slot in slots[::2]:
+            page.delete(slot)
+        free_before = page.free_space()
+        page.compact()
+        assert page.free_space() > free_before
+        # Surviving records keep their slots and contents.
+        for slot in slots[1::2]:
+            assert page.read(slot) == bytes([slot]) * 500
+        for slot in slots[::2]:
+            assert page.read(slot) is None
+
+    def test_insert_after_compact(self):
+        page = Page(0)
+        a = page.insert(b"a" * 3000)
+        page.insert(b"b" * 3000)
+        page.delete(a)
+        with pytest.raises(PageFullError):
+            page.insert(b"c" * 3000)
+        page.compact()
+        slot = page.insert(b"c" * 3000)
+        assert page.read(slot) == b"c" * 3000
+
+    def test_live_bytes(self):
+        page = Page(0)
+        page.insert(b"abc")
+        doomed = page.insert(b"defg")
+        page.delete(doomed)
+        assert page.live_bytes() == 3

@@ -1,0 +1,227 @@
+"""Tests for replacement policies (repro.storage.replacement)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.replacement import (
+    ClockPolicy,
+    FIFOPolicy,
+    LFUPolicy,
+    LRUKPolicy,
+    LRUPolicy,
+    MRUPolicy,
+    TwoQPolicy,
+    make_policy,
+    policy_names,
+)
+
+ALL = lambda key: True
+
+
+def _fill(policy, keys):
+    for key in keys:
+        policy.record_insert(key)
+
+
+class TestFactory:
+    def test_make_policy_all_names(self):
+        for name in policy_names():
+            policy = make_policy(name)
+            policy.record_insert("x")
+            assert len(policy) == 1
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            make_policy("optimal")
+
+    def test_lruk_parameterized(self):
+        assert make_policy("lru-k", k=3).k == 3
+
+
+class TestFIFO:
+    def test_evicts_insertion_order(self):
+        policy = FIFOPolicy()
+        _fill(policy, [1, 2, 3])
+        policy.record_access(1)  # must not matter
+        assert policy.victim(ALL) == 1
+
+    def test_respects_evictable_filter(self):
+        policy = FIFOPolicy()
+        _fill(policy, [1, 2, 3])
+        assert policy.victim(lambda k: k != 1) == 2
+
+    def test_empty_returns_none(self):
+        assert FIFOPolicy().victim(ALL) is None
+
+
+class TestLRU:
+    def test_access_refreshes(self):
+        policy = LRUPolicy()
+        _fill(policy, [1, 2, 3])
+        policy.record_access(1)
+        assert policy.victim(ALL) == 2
+
+    def test_remove_then_victim(self):
+        policy = LRUPolicy()
+        _fill(policy, [1, 2])
+        policy.remove(1)
+        assert policy.victim(ALL) == 2
+        assert len(policy) == 1
+
+    def test_remove_is_idempotent(self):
+        policy = LRUPolicy()
+        policy.record_insert(1)
+        policy.remove(1)
+        policy.remove(1)
+        assert len(policy) == 0
+
+
+class TestMRU:
+    def test_evicts_most_recent(self):
+        policy = MRUPolicy()
+        _fill(policy, [1, 2, 3])
+        assert policy.victim(ALL) == 3
+
+    def test_scan_resistance_shape(self):
+        # MRU keeps the oldest pages of a sequential scan.
+        policy = MRUPolicy()
+        _fill(policy, range(10))
+        assert policy.victim(ALL) == 9
+
+
+class TestClock:
+    def test_second_chance(self):
+        policy = ClockPolicy()
+        _fill(policy, [1, 2, 3])
+        # All ref bits set: first sweep clears 1..3, then evicts 1.
+        assert policy.victim(ALL) == 1
+
+    def test_accessed_page_survives_one_sweep(self):
+        policy = ClockPolicy()
+        _fill(policy, [1, 2])
+        victim = policy.victim(ALL)
+        assert victim == 1
+        policy.remove(victim)
+        policy.record_insert(3)
+        policy.record_access(2)
+        # 2 has its bit set again; 3's bit is also fresh, so the sweep
+        # clears both then evicts the one at the hand.
+        assert policy.victim(ALL) in (2, 3)
+
+    def test_all_pinned_returns_none(self):
+        policy = ClockPolicy()
+        _fill(policy, [1, 2])
+        assert policy.victim(lambda k: False) is None
+
+    def test_remove_repairs_hand(self):
+        policy = ClockPolicy()
+        _fill(policy, [1, 2, 3])
+        policy.remove(2)
+        assert policy.victim(ALL) in (1, 3)
+        assert len(policy) == 2
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        policy = LFUPolicy()
+        _fill(policy, [1, 2, 3])
+        policy.record_access(1)
+        policy.record_access(1)
+        policy.record_access(2)
+        assert policy.victim(ALL) == 3
+
+    def test_tie_breaks_to_least_recent(self):
+        policy = LFUPolicy()
+        _fill(policy, [1, 2])
+        policy.record_access(1)
+        policy.record_access(2)  # same count, 2 touched later
+        assert policy.victim(ALL) == 1
+
+
+class TestLRUK:
+    def test_sparse_history_evicted_first(self):
+        policy = LRUKPolicy(k=2)
+        _fill(policy, [1, 2])
+        policy.record_access(1)  # 1 has 2 accesses; 2 has 1
+        assert policy.victim(ALL) == 2
+
+    def test_k_distance_ordering(self):
+        policy = LRUKPolicy(k=2)
+        _fill(policy, [1, 2])
+        policy.record_access(1)
+        policy.record_access(2)
+        policy.record_access(2)  # 2's 2nd-last access is newer than 1's
+        assert policy.victim(ALL) == 1
+
+    def test_scan_resistance(self):
+        # A hot page accessed twice survives a burst of once-touched pages.
+        policy = LRUKPolicy(k=2)
+        policy.record_insert("hot")
+        policy.record_access("hot")
+        for i in range(5):
+            policy.record_insert(f"scan{i}")
+        victim = policy.victim(ALL)
+        assert victim != "hot"
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUKPolicy(k=0)
+
+
+class TestTwoQ:
+    def test_probation_evicted_before_protected(self):
+        policy = TwoQPolicy()
+        _fill(policy, [1, 2, 3])
+        policy.record_access(1)  # promote 1 to Am
+        assert policy.victim(ALL) == 2  # oldest in A1in
+
+    def test_protected_lru_order(self):
+        policy = TwoQPolicy()
+        _fill(policy, [1, 2])
+        policy.record_access(1)
+        policy.record_access(2)
+        policy.record_access(1)  # 1 most recent in Am
+        assert policy.victim(ALL) == 2
+
+    def test_len_counts_both_queues(self):
+        policy = TwoQPolicy()
+        _fill(policy, [1, 2])
+        policy.record_access(1)
+        assert len(policy) == 2
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "access", "evict", "remove"]),
+                  st.integers(min_value=0, max_value=12)),
+        max_size=120,
+    ),
+    st.sampled_from(policy_names()),
+)
+def test_policy_tracks_membership_property(ops, name):
+    """Any op sequence: victim() only returns currently-tracked keys, and
+    len() matches the membership set."""
+    policy = make_policy(name)
+    members = set()
+    for op, key in ops:
+        if op == "insert":
+            if key not in members:
+                policy.record_insert(key)
+                members.add(key)
+            else:
+                policy.record_access(key)
+        elif op == "access":
+            policy.record_access(key)  # may be a non-member: must not crash
+        elif op == "remove":
+            policy.remove(key)
+            members.discard(key)
+        else:  # evict
+            victim = policy.victim(lambda k: True)
+            if members:
+                assert victim in members
+                policy.remove(victim)
+                members.discard(victim)
+            else:
+                assert victim is None
+    assert len(policy) == len(members)

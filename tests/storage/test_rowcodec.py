@@ -1,0 +1,82 @@
+"""Tests for binary row serialization (repro.storage.rowcodec)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import StorageError
+from repro.core.types import Column, DataType, Schema
+from repro.storage.rowcodec import RowCodec, decode_values, encode_values
+
+SCHEMA = Schema(
+    [
+        Column("i", DataType.INTEGER),
+        Column("f", DataType.FLOAT),
+        Column("t", DataType.TEXT),
+        Column("b", DataType.BOOLEAN),
+        Column("v", DataType.VECTOR),
+    ]
+)
+
+
+class TestRowCodec:
+    def test_round_trip_basic(self):
+        codec = RowCodec(SCHEMA)
+        row = (42, 3.14, "hello", True, (1.0, -2.5))
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_round_trip_nulls(self):
+        codec = RowCodec(SCHEMA)
+        row = (None, None, None, None, None)
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_unicode_text(self):
+        codec = RowCodec(SCHEMA)
+        row = (1, 1.0, "héllo wörld ☃", False, (0.0,))
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_negative_and_large_ints(self):
+        codec = RowCodec(SCHEMA)
+        row = (-(2**62), 0.0, "", True, ())
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_arity_checked_on_encode(self):
+        codec = RowCodec(SCHEMA)
+        with pytest.raises(StorageError, match="arity"):
+            codec.encode((1, 2))
+
+    def test_trailing_bytes_rejected(self):
+        codec = RowCodec(SCHEMA)
+        data = codec.encode((1, 1.0, "x", True, (1.0,)))
+        with pytest.raises(StorageError, match="trailing"):
+            codec.decode(data + b"\x00")
+
+    def test_truncation_rejected(self):
+        codec = RowCodec(SCHEMA)
+        data = codec.encode((1, 1.0, "x", True, (1.0,)))
+        with pytest.raises(StorageError):
+            codec.decode(data[:-3])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(StorageError, match="unknown value tag"):
+            decode_values(b"\xff", 1)
+
+
+_value = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=64),
+    st.booleans(),
+    st.tuples(st.floats(allow_nan=False, allow_infinity=False, width=32)),
+)
+
+
+@given(st.lists(_value, max_size=8))
+def test_encode_decode_round_trip_property(values):
+    encoded = encode_values(values)
+    decoded, end = decode_values(encoded, len(values))
+    assert end == len(encoded)
+    assert list(decoded) == [
+        tuple(float(x) for x in v) if isinstance(v, tuple) else v for v in values
+    ]

@@ -1,0 +1,135 @@
+"""Tests for the WAL and crash recovery (repro.storage.wal / recovery)."""
+
+import pytest
+
+from repro.storage.recovery import analyze, replay, undo_operations
+from repro.storage.wal import (
+    LogRecord,
+    LogRecordType,
+    WriteAheadLog,
+    decode_records,
+    encode_record,
+    read_log_file,
+)
+
+
+def _scripted_log(wal: WriteAheadLog) -> None:
+    """txn 1 commits an insert+update, txn 2 inserts but never commits,
+    txn 3 aborts a delete."""
+    wal.append(1, LogRecordType.BEGIN)
+    wal.append(1, LogRecordType.INSERT, "t", (0, 0), None, (1, "a"))
+    wal.append(2, LogRecordType.BEGIN)
+    wal.append(2, LogRecordType.INSERT, "t", (0, 1), None, (2, "b"))
+    wal.append(1, LogRecordType.UPDATE, "t", (0, 0), (1, "a"), (1, "a2"))
+    wal.append(1, LogRecordType.COMMIT)
+    wal.append(3, LogRecordType.BEGIN)
+    wal.append(3, LogRecordType.DELETE, "t", (0, 0), (1, "a2"), None)
+    wal.append(3, LogRecordType.ABORT)
+
+
+class TestWAL:
+    def test_lsns_monotonic(self):
+        wal = WriteAheadLog()
+        lsns = [wal.append(1, LogRecordType.BEGIN) for _ in range(5)]
+        assert lsns == [1, 2, 3, 4, 5]
+        assert wal.last_lsn == 5
+
+    def test_flush_advances_flushed_lsn(self):
+        wal = WriteAheadLog()
+        wal.append(1, LogRecordType.BEGIN)
+        assert wal.flushed_lsn == 0
+        assert wal.flush() == 1
+        assert wal.flushed_lsn == 1
+
+    def test_records_for_txn(self):
+        wal = WriteAheadLog()
+        _scripted_log(wal)
+        assert len(wal.records_for(1)) == 4
+        assert len(wal.records_for(2)) == 2
+
+    def test_record_binary_round_trip(self):
+        record = LogRecord(
+            7, 3, LogRecordType.UPDATE, "tbl", (12, 4), (1, "x", None), (2, "y", 1.5)
+        )
+        decoded = decode_records(encode_record(record))
+        assert decoded == [record]
+
+    def test_torn_tail_discarded(self):
+        record = LogRecord(1, 1, LogRecordType.INSERT, "t", (0, 0), None, (1,))
+        data = encode_record(record) + encode_record(record)[:-5]
+        decoded = decode_records(data)
+        assert len(decoded) == 1
+
+    def test_file_backed_log_survives(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        _scripted_log(wal)
+        wal.flush()
+        wal.close()
+        restored = read_log_file(path)
+        assert [r.lsn for r in restored] == list(range(1, 10))
+        assert restored[1].after == (1, "a")
+
+
+class TestRecovery:
+    def test_analyze_classifies_txns(self):
+        wal = WriteAheadLog()
+        _scripted_log(wal)
+        committed, aborted, in_flight = analyze(wal.records())
+        assert committed == {1}
+        assert aborted == {3}
+        assert in_flight == {2}
+
+    def test_replay_applies_only_committed(self):
+        wal = WriteAheadLog()
+        _scripted_log(wal)
+        state = replay(wal.records())
+        # txn 1: insert (1,'a') then update to (1,'a2'). txn 2 uncommitted,
+        # txn 3 aborted — neither is visible.
+        assert state.rows("t") == [(1, "a2")]
+        assert state.replayed_ops == 2
+
+    def test_replay_is_idempotent(self):
+        wal = WriteAheadLog()
+        _scripted_log(wal)
+        once = replay(wal.records())
+        twice = replay(list(wal.records()) + list(wal.records()))
+        assert once.rows("t") == twice.rows("t")
+
+    def test_replay_committed_delete(self):
+        wal = WriteAheadLog()
+        wal.append(1, LogRecordType.BEGIN)
+        wal.append(1, LogRecordType.INSERT, "t", (0, 0), None, (1, "a"))
+        wal.append(1, LogRecordType.DELETE, "t", (0, 0), (1, "a"), None)
+        wal.append(1, LogRecordType.COMMIT)
+        assert replay(wal.records()).rows("t") == []
+
+    def test_replay_out_of_order_input(self):
+        wal = WriteAheadLog()
+        _scripted_log(wal)
+        shuffled = list(reversed(wal.records()))
+        assert replay(shuffled).rows("t") == [(1, "a2")]
+
+    def test_undo_operations_reversed(self):
+        wal = WriteAheadLog()
+        _scripted_log(wal)
+        ops = undo_operations(wal.records_for(1))
+        assert [op.type for op in ops] == [LogRecordType.UPDATE, LogRecordType.INSERT]
+
+    def test_crash_before_commit_loses_nothing_committed(self, tmp_path):
+        """Simulated crash: only flushed records survive; committed effects
+        are reconstructed, in-flight ones are dropped."""
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(1, LogRecordType.BEGIN)
+        wal.append(1, LogRecordType.INSERT, "t", (0, 0), None, (10, "keep"))
+        wal.append(1, LogRecordType.COMMIT)
+        wal.flush()  # durable point
+        wal.append(2, LogRecordType.BEGIN)
+        wal.append(2, LogRecordType.INSERT, "t", (0, 1), None, (11, "lost"))
+        wal.flush()
+        wal.close()
+        # After the "crash", replay whatever made it to disk.
+        state = replay(read_log_file(path))
+        assert state.rows("t") == [(10, "keep")]
+        assert 2 in state.in_flight

@@ -1,0 +1,164 @@
+"""Tests for the full-text module (repro.text)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexError_
+from repro.text.inverted import InvertedIndex
+from repro.text.tokenizer import STOPWORDS, normalize, tokenize
+
+
+class TestTokenizer:
+    def test_lowercase_and_split(self):
+        assert tokenize("Hello WORLD", stem=False) == ["hello", "world"]
+
+    def test_punctuation_stripped(self):
+        assert tokenize("a-b_c, d.e!", remove_stopwords=False, stem=False) == [
+            "a", "b", "c", "d", "e",
+        ]
+
+    def test_stopwords_removed(self):
+        assert "the" not in tokenize("the quick fox")
+        assert tokenize("the and of", remove_stopwords=True) == []
+
+    def test_stopwords_kept_when_disabled(self):
+        assert "the" in tokenize("the fox", remove_stopwords=False)
+
+    def test_numbers_kept(self):
+        assert tokenize("tpc-h 1000") == ["tpc", "h", "1000"]
+
+    def test_normalize_suffixes(self):
+        assert normalize("running") == "runn"
+        assert normalize("jumped") == "jump"
+        # Singular and plural collapse to one stem.
+        assert normalize("databases") == normalize("database")
+        assert normalize("indexes") == normalize("index")
+        assert normalize("tables") == normalize("table")
+        assert normalize("class") == "class"  # -ss protected
+
+    def test_stemming_unifies_variants(self):
+        assert tokenize("index indexes") == ["index", "index"]
+
+
+class TestInvertedIndexMaintenance:
+    def test_add_and_len(self):
+        index = InvertedIndex()
+        index.add(1, "hello world")
+        assert len(index) == 1
+        assert 1 in index
+
+    def test_duplicate_id_rejected(self):
+        index = InvertedIndex()
+        index.add(1, "x")
+        with pytest.raises(IndexError_):
+            index.add(1, "y")
+
+    def test_remove_cleans_postings(self):
+        index = InvertedIndex()
+        index.add(1, "unique_term common")
+        index.add(2, "common")
+        index.remove(1)
+        assert index.document_frequency("unique_term") == 0
+        assert index.document_frequency("common") == 1
+        assert "unique_term" not in index.vocabulary()
+
+    def test_remove_missing(self):
+        with pytest.raises(IndexError_):
+            InvertedIndex().remove(1)
+
+    def test_average_length(self):
+        index = InvertedIndex()
+        index.add(1, "one two three")
+        index.add(2, "one")
+        assert index.average_length == 2.0
+
+
+class TestBM25:
+    def corpus(self):
+        index = InvertedIndex()
+        index.add("db", "database systems store data in tables with indexes")
+        index.add("ml", "neural networks train on data with gradient descent")
+        index.add("cook", "bake bread with flour water salt yeast oven")
+        index.add("db2", "query optimizer picks index scans for selective database queries")
+        return index
+
+    def test_topical_ranking(self):
+        index = self.corpus()
+        hits = index.search("database index")
+        assert hits[0][0] in ("db", "db2")
+        ids = [doc for doc, _ in hits]
+        assert "cook" not in ids
+
+    def test_scores_descending(self):
+        hits = self.corpus().search("data query database")
+        scores = [s for _, s in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_score_positive_only_with_matching_terms(self):
+        index = self.corpus()
+        assert index.score("cook", "database") == 0.0
+        assert index.score("db", "database") > 0.0
+
+    def test_rare_term_outweighs_common(self):
+        index = InvertedIndex()
+        index.add(1, "common rare")
+        index.add(2, "common common common")
+        index.add(3, "common filler words here")
+        assert index.idf("rare") > index.idf("common")
+        hits = dict(index.search("rare"))
+        assert 1 in hits and 2 not in hits
+
+    def test_idf_zero_for_missing_term(self):
+        assert self.corpus().idf("zzz") == 0.0
+
+    def test_k_limits_results(self):
+        assert len(self.corpus().search("data", k=1)) == 1
+
+    def test_bad_k(self):
+        with pytest.raises(IndexError_):
+            self.corpus().search("data", k=0)
+
+    def test_length_normalization(self):
+        """Same tf: the shorter document ranks higher."""
+        index = InvertedIndex()
+        index.add("short", "target word")
+        index.add("long", "target word plus many extra filler tokens diluting relevance")
+        hits = index.search("target")
+        assert hits[0][0] == "short"
+
+
+class TestBooleanRetrieval:
+    def test_match_all(self):
+        index = InvertedIndex()
+        index.add(1, "apple banana")
+        index.add(2, "apple cherry")
+        index.add(3, "banana cherry")
+        assert index.match_all("apple banana") == {1}
+        assert index.match_all("cherry") == {2, 3}
+        assert index.match_all("apple zebra") == set()
+
+    def test_match_any(self):
+        index = InvertedIndex()
+        index.add(1, "apple")
+        index.add(2, "banana")
+        assert index.match_any("apple banana") == {1, 2}
+        assert index.match_any("zebra") == set()
+
+    def test_empty_query(self):
+        index = InvertedIndex()
+        index.add(1, "x")
+        assert index.match_all("") == set()
+        assert index.match_any("the of and") == set()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.text(alphabet="abcdefg ", min_size=1, max_size=30), max_size=10))
+def test_search_hits_subset_of_match_any_property(texts):
+    """Every BM25 hit contains at least one query term."""
+    index = InvertedIndex()
+    for i, text in enumerate(texts):
+        index.add(i, text)
+    hits = index.search("abc def g", k=20)
+    allowed = index.match_any("abc def g")
+    assert {doc for doc, _ in hits} <= allowed

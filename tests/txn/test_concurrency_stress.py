@@ -1,0 +1,131 @@
+"""Concurrency stress tests: invariants under real thread interleavings."""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.errors import TransactionError
+from repro.txn.schemes import MVCCScheme, TwoPLScheme, make_scheme
+
+THREADS = 6
+TRANSFERS_PER_THREAD = 30
+ACCOUNTS = 10
+INITIAL = 100
+
+
+def _run_transfers(scheme, seed_base: int) -> int:
+    """Concurrent random transfers; returns total successful transfers.
+
+    The invariant: money is conserved — the sum over accounts never changes
+    no matter how transactions interleave, block, conflict, or retry.
+    """
+    scheme.load({i: INITIAL for i in range(ACCOUNTS)})
+    done = [0] * THREADS
+
+    def worker(worker_id: int) -> None:
+        rng = random.Random(seed_base + worker_id)
+        for __ in range(TRANSFERS_PER_THREAD):
+            src, dst = rng.sample(range(ACCOUNTS), 2)
+            # Lock-ordering discipline to avoid upgrade deadlock storms.
+            first, second = min(src, dst), max(src, dst)
+            while True:
+                txn = scheme.begin()
+                try:
+                    a = scheme.read(txn, first)
+                    b = scheme.read(txn, second)
+                    amount = rng.randint(1, 5)
+                    if first == src:
+                        scheme.write(txn, first, a - amount)
+                        scheme.write(txn, second, b + amount)
+                    else:
+                        scheme.write(txn, first, a + amount)
+                        scheme.write(txn, second, b - amount)
+                    scheme.commit(txn)
+                    done[worker_id] += 1
+                    break
+                except TransactionError:
+                    if txn.active:
+                        scheme.abort(txn)
+                    continue
+
+    pool = [threading.Thread(target=worker, args=(i,)) for i in range(THREADS)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join(timeout=60)
+    return sum(done)
+
+
+@pytest.mark.parametrize("scheme_name", ["global-lock", "2pl", "mvcc"])
+def test_money_conserved_under_concurrency(scheme_name):
+    scheme = make_scheme(scheme_name)
+    completed = _run_transfers(scheme, seed_base=hash(scheme_name) % 1000)
+    assert completed == THREADS * TRANSFERS_PER_THREAD
+    check = scheme.begin()
+    total = sum(scheme.read(check, i) for i in range(ACCOUNTS))
+    scheme.commit(check)
+    assert total == ACCOUNTS * INITIAL
+
+
+def test_mvcc_snapshot_stability_under_writers():
+    """A long reader sees one frozen snapshot while writers churn."""
+    scheme = MVCCScheme()
+    scheme.load({i: 0 for i in range(5)})
+    reader = scheme.begin()
+    first_view = [scheme.read(reader, i) for i in range(5)]
+
+    def writer() -> None:
+        for round_nr in range(20):
+            txn = scheme.begin()
+            try:
+                for key in range(5):
+                    scheme.write(txn, key, round_nr)
+                scheme.commit(txn)
+            except TransactionError:
+                scheme.abort(txn)
+
+    pool = [threading.Thread(target=writer) for __ in range(3)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join(timeout=30)
+    second_view = [scheme.read(reader, i) for i in range(5)]
+    assert second_view == first_view == [0, 0, 0, 0, 0]
+    scheme.commit(reader)
+    fresh = scheme.begin()
+    latest = [scheme.read(fresh, i) for i in range(5)]
+    scheme.commit(fresh)
+    assert latest != first_view  # writers did land
+
+
+def test_2pl_no_dirty_reads():
+    """A 2PL reader can never observe another transaction's uncommitted
+    write (the X lock blocks it until commit/abort)."""
+    scheme = TwoPLScheme(wait_timeout=10.0)
+    scheme.load({"k": "clean"})
+    writer_holding = threading.Event()
+    release_writer = threading.Event()
+    observed = []
+
+    def writer() -> None:
+        txn = scheme.begin()
+        scheme.write(txn, "k", "dirty")
+        writer_holding.set()
+        release_writer.wait(timeout=10)
+        scheme.abort(txn)  # the dirty value must never have been visible
+
+    def reader() -> None:
+        writer_holding.wait(timeout=10)
+        txn = scheme.begin()
+        release_timer = threading.Timer(0.2, release_writer.set)
+        release_timer.start()
+        observed.append(scheme.read(txn, "k"))  # blocks until abort
+        scheme.commit(txn)
+
+    threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert observed == ["clean"]

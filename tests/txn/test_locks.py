@@ -1,0 +1,141 @@
+"""Tests for the lock manager (repro.txn.locks)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import DeadlockError, TransactionError
+from repro.txn.locks import LockManager, LockMode
+
+S, X = LockMode.SHARED, LockMode.EXCLUSIVE
+
+
+class TestBasicModes:
+    def test_shared_locks_are_compatible(self):
+        lm = LockManager()
+        lm.acquire(1, "a", S)
+        lm.acquire(2, "a", S)
+        assert lm.holds(1, "a") is S
+        assert lm.holds(2, "a") is S
+
+    def test_exclusive_excludes(self):
+        lm = LockManager(wait_timeout=0.2)
+        lm.acquire(1, "a", X)
+        with pytest.raises(TransactionError, match="timed out"):
+            lm.acquire(2, "a", X)
+
+    def test_shared_blocks_on_exclusive(self):
+        lm = LockManager(wait_timeout=0.2)
+        lm.acquire(1, "a", X)
+        with pytest.raises(TransactionError):
+            lm.acquire(2, "a", S)
+
+    def test_exclusive_blocks_on_shared(self):
+        lm = LockManager(wait_timeout=0.2)
+        lm.acquire(1, "a", S)
+        with pytest.raises(TransactionError):
+            lm.acquire(2, "a", X)
+
+    def test_reacquire_is_noop(self):
+        lm = LockManager()
+        lm.acquire(1, "a", S)
+        lm.acquire(1, "a", S)
+        lm.acquire(1, "a", S)
+        assert lm.held_keys(1) == {"a"}
+
+    def test_upgrade_by_sole_holder(self):
+        lm = LockManager()
+        lm.acquire(1, "a", S)
+        lm.acquire(1, "a", X)
+        assert lm.holds(1, "a") is X
+
+    def test_x_subsumes_s(self):
+        lm = LockManager()
+        lm.acquire(1, "a", X)
+        lm.acquire(1, "a", S)
+        assert lm.holds(1, "a") is X
+
+    def test_upgrade_blocked_by_other_sharer(self):
+        lm = LockManager(wait_timeout=0.2)
+        lm.acquire(1, "a", S)
+        lm.acquire(2, "a", S)
+        with pytest.raises(TransactionError):
+            lm.acquire(1, "a", X)
+
+
+class TestRelease:
+    def test_release_all_frees_waiters(self):
+        lm = LockManager(wait_timeout=5.0)
+        lm.acquire(1, "a", X)
+        acquired = threading.Event()
+
+        def waiter():
+            lm.acquire(2, "a", X)
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        lm.release_all(1)
+        thread.join(timeout=2)
+        assert acquired.is_set()
+        assert lm.holds(2, "a") is X
+
+    def test_release_all_clears_every_key(self):
+        lm = LockManager()
+        lm.acquire(1, "a", S)
+        lm.acquire(1, "b", X)
+        lm.release_all(1)
+        assert lm.held_keys(1) == set()
+        assert lm.holds(1, "a") is None
+
+    def test_release_unknown_txn_is_noop(self):
+        LockManager().release_all(42)
+
+
+class TestDeadlock:
+    def test_two_txn_cycle_detected(self):
+        lm = LockManager(wait_timeout=5.0)
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        errors = []
+
+        def t1():
+            try:
+                lm.acquire(1, "b", X)
+            except DeadlockError as exc:
+                errors.append(exc)
+                lm.release_all(1)
+
+        def t2():
+            try:
+                lm.acquire(2, "a", X)
+            except DeadlockError as exc:
+                errors.append(exc)
+                lm.release_all(2)
+
+        threads = [threading.Thread(target=t1), threading.Thread(target=t2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        # At least one transaction detected the cycle and aborted; the other
+        # then completed.
+        assert len(errors) >= 1
+        assert lm.deadlocks_detected >= 1
+
+    def test_no_false_deadlock_on_plain_contention(self):
+        lm = LockManager(wait_timeout=5.0)
+        lm.acquire(1, "a", X)
+
+        def release_soon():
+            time.sleep(0.1)
+            lm.release_all(1)
+
+        thread = threading.Thread(target=release_soon)
+        thread.start()
+        lm.acquire(2, "a", X)  # must succeed without DeadlockError
+        thread.join()
+        assert lm.holds(2, "a") is X

@@ -1,0 +1,219 @@
+"""Tests for concurrency-control schemes (repro.txn.schemes)."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import TransactionError, WriteConflictError
+from repro.txn.schemes import (
+    GlobalLockScheme,
+    MVCCScheme,
+    TwoPLScheme,
+    make_scheme,
+    scheme_names,
+)
+
+ALL_SCHEMES = scheme_names()
+
+
+@pytest.fixture(params=ALL_SCHEMES)
+def scheme(request):
+    return make_scheme(request.param)
+
+
+class TestCommonBehaviour:
+    def test_read_your_own_writes(self, scheme):
+        txn = scheme.begin()
+        scheme.write(txn, "k", 1)
+        assert scheme.read(txn, "k") == 1
+        scheme.commit(txn)
+
+    def test_committed_writes_visible_later(self, scheme):
+        t1 = scheme.begin()
+        scheme.write(t1, "k", 42)
+        scheme.commit(t1)
+        t2 = scheme.begin()
+        assert scheme.read(t2, "k") == 42
+        scheme.commit(t2)
+
+    def test_abort_discards_writes(self, scheme):
+        scheme.load({"k": 1})
+        txn = scheme.begin()
+        scheme.write(txn, "k", 999)
+        scheme.abort(txn)
+        check = scheme.begin()
+        assert scheme.read(check, "k") == 1
+        scheme.commit(check)
+
+    def test_missing_key_reads_none(self, scheme):
+        txn = scheme.begin()
+        assert scheme.read(txn, "ghost") is None
+        scheme.commit(txn)
+
+    def test_operations_after_commit_rejected(self, scheme):
+        txn = scheme.begin()
+        scheme.commit(txn)
+        with pytest.raises(TransactionError):
+            scheme.read(txn, "k")
+
+    def test_commit_abort_counters(self, scheme):
+        t1 = scheme.begin()
+        scheme.commit(t1)
+        t2 = scheme.begin()
+        scheme.abort(t2)
+        assert scheme.commits == 1
+        assert scheme.aborts == 1
+
+    def test_load_convenience(self, scheme):
+        scheme.load({"a": 1, "b": 2})
+        txn = scheme.begin()
+        assert scheme.read(txn, "a") == 1
+        assert scheme.read(txn, "b") == 2
+        scheme.commit(txn)
+
+
+class TestFactory:
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_scheme("optimistic-magic")
+
+    def test_names_cover_classes(self):
+        assert set(ALL_SCHEMES) == {"global-lock", "2pl", "mvcc"}
+
+
+class TestTwoPL:
+    def test_lost_update_prevented(self):
+        """Two concurrent increments must both stick (no lost update)."""
+        scheme = TwoPLScheme(wait_timeout=10.0)
+        scheme.load({"counter": 0})
+        barrier = threading.Barrier(2)
+
+        def increment():
+            barrier.wait()
+            while True:
+                txn = scheme.begin()
+                try:
+                    value = scheme.read(txn, "counter")
+                    scheme.write(txn, "counter", value + 1)
+                    scheme.commit(txn)
+                    return
+                except TransactionError:
+                    continue  # deadlock victim retries (scheme already aborted)
+
+        threads = [threading.Thread(target=increment) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        check = scheme.begin()
+        # Both increments retried to completion: no lost update.
+        assert scheme.read(check, "counter") == 2
+        scheme.commit(check)
+
+    def test_locks_released_after_abort(self):
+        scheme = TwoPLScheme()
+        txn = scheme.begin()
+        scheme.write(txn, "k", 1)
+        scheme.abort(txn)
+        other = scheme.begin()
+        scheme.write(other, "k", 2)  # must not block
+        scheme.commit(other)
+
+
+class TestMVCC:
+    def test_snapshot_isolation_reader_sees_old_value(self):
+        scheme = MVCCScheme()
+        scheme.load({"k": "old"})
+        reader = scheme.begin()
+        writer = scheme.begin()
+        scheme.write(writer, "k", "new")
+        scheme.commit(writer)
+        assert scheme.read(reader, "k") == "old"  # snapshot!
+        scheme.commit(reader)
+        fresh = scheme.begin()
+        assert scheme.read(fresh, "k") == "new"
+        scheme.commit(fresh)
+
+    def test_first_updater_wins(self):
+        scheme = MVCCScheme()
+        scheme.load({"k": 0})
+        t1 = scheme.begin()
+        t2 = scheme.begin()
+        scheme.write(t1, "k", 1)
+        with pytest.raises(WriteConflictError):
+            scheme.write(t2, "k", 2)
+        scheme.commit(t1)
+        assert scheme.write_conflicts == 1
+
+    def test_stale_snapshot_write_conflicts(self):
+        scheme = MVCCScheme()
+        scheme.load({"k": 0})
+        stale = scheme.begin()
+        fresh = scheme.begin()
+        scheme.write(fresh, "k", 1)
+        scheme.commit(fresh)
+        with pytest.raises(WriteConflictError):
+            scheme.write(stale, "k", 2)
+
+    def test_readers_never_block_writers(self):
+        scheme = MVCCScheme()
+        scheme.load({"k": 0})
+        reader = scheme.begin()
+        assert scheme.read(reader, "k") == 0
+        writer = scheme.begin()
+        scheme.write(writer, "k", 1)  # no blocking, no error
+        scheme.commit(writer)
+        scheme.commit(reader)
+
+    def test_version_chain_grows_and_vacuums(self):
+        scheme = MVCCScheme()
+        for i in range(5):
+            txn = scheme.begin()
+            scheme.write(txn, "k", i)
+            scheme.commit(txn)
+        assert scheme.version_count("k") == 5
+        dropped = scheme.vacuum()
+        assert dropped == 4
+        assert scheme.version_count("k") == 1
+        txn = scheme.begin()
+        assert scheme.read(txn, "k") == 4
+        scheme.commit(txn)
+
+    def test_abort_releases_write_lock(self):
+        scheme = MVCCScheme()
+        t1 = scheme.begin()
+        scheme.write(t1, "k", 1)
+        scheme.abort(t1)
+        t2 = scheme.begin()
+        scheme.write(t2, "k", 2)
+        scheme.commit(t2)
+        t3 = scheme.begin()
+        assert scheme.read(t3, "k") == 2
+        scheme.commit(t3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 100)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_serial_transactions_agree_across_schemes(ops):
+    """Serially-executed random write sequences leave all three schemes with
+    identical visible state."""
+    finals = []
+    for name in ALL_SCHEMES:
+        scheme = make_scheme(name)
+        for key, value in ops:
+            txn = scheme.begin()
+            current = scheme.read(txn, key) or 0
+            scheme.write(txn, key, current + value)
+            scheme.commit(txn)
+        txn = scheme.begin()
+        finals.append({k: scheme.read(txn, k) for k in range(5)})
+        scheme.commit(txn)
+    assert finals[0] == finals[1] == finals[2]

@@ -1,0 +1,122 @@
+"""Tests for the HNSW index (repro.vector.hnsw)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexError_
+from repro.vector.flat import FlatIndex
+from repro.vector.hnsw import HNSWIndex
+
+
+def build(n=300, dim=8, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n, dim))
+    index = HNSWIndex(dim, seed=seed, **kwargs)
+    for i, vec in enumerate(vectors):
+        index.add(i, vec)
+    return index, vectors
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            HNSWIndex(0)
+        with pytest.raises(IndexError_):
+            HNSWIndex(4, m=1)
+
+    def test_duplicate_key_rejected(self):
+        index, __ = build(n=5)
+        with pytest.raises(IndexError_, match="duplicate"):
+            index.add(0, np.zeros(8))
+
+    def test_dimension_checked(self):
+        index = HNSWIndex(4)
+        with pytest.raises(IndexError_):
+            index.add("x", [1.0, 2.0])
+
+    def test_invariants_after_build(self):
+        index, __ = build(n=400)
+        index.check_invariants()
+        assert index.levels >= 1
+        assert len(index) == 400
+
+    def test_deterministic_for_seed(self):
+        a, vectors = build(n=100, seed=7)
+        b, __ = build(n=100, seed=7)
+        query = vectors[3] + 0.01
+        assert a.search(query, 5) == b.search(query, 5)
+
+
+class TestSearch:
+    def test_empty_index(self):
+        assert HNSWIndex(4).search([0, 0, 0, 0], 3) == []
+
+    def test_single_element(self):
+        index = HNSWIndex(4)
+        index.add("only", [1.0, 2.0, 3.0, 4.0])
+        assert index.search([1, 2, 3, 4], 5) == [("only", 0.0)]
+
+    def test_self_query_finds_self(self):
+        index, vectors = build(n=200)
+        for probe in (0, 57, 199):
+            got = index.search(vectors[probe], 1, ef_search=64)
+            assert got[0][0] == probe
+
+    def test_distances_ascending(self):
+        index, vectors = build(n=150)
+        result = index.search(vectors[0], 10)
+        distances = [d for __, d in result]
+        assert distances == sorted(distances)
+
+    def test_k_capped_by_size(self):
+        index, __ = build(n=7)
+        assert len(index.search(np.zeros(8), 50)) == 7
+
+    def test_bad_k(self):
+        index, __ = build(n=5)
+        with pytest.raises(IndexError_):
+            index.search(np.zeros(8), 0)
+
+    def test_recall_grows_with_ef(self):
+        index, vectors = build(n=600, seed=3)
+        flat = FlatIndex(8)
+        for i, vec in enumerate(vectors):
+            flat.add(i, vec)
+        rng = np.random.default_rng(5)
+        recalls = {}
+        for ef in (10, 40, 200):
+            total = 0.0
+            for __ in range(25):
+                query = rng.normal(size=8)
+                truth = {k for k, __ in flat.search(query, 10)}
+                got = {k for k, __ in index.search(query, 10, ef_search=ef)}
+                total += len(truth & got) / 10
+            recalls[ef] = total / 25
+        assert recalls[10] <= recalls[40] <= recalls[200]
+        assert recalls[200] >= 0.95
+
+    def test_cosine_metric(self):
+        index = HNSWIndex(2, metric="cosine", seed=1)
+        index.add("east", [1.0, 0.0])
+        index.add("north", [0.0, 1.0])
+        index.add("west", [-1.0, 0.0])
+        assert index.search([0.9, 0.1], 1)[0][0] == "east"
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_hnsw_high_ef_matches_exact_property(seed):
+    """With ef ~ corpus size, HNSW degenerates to (almost) exact search."""
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(80, 4))
+    index = HNSWIndex(4, seed=seed)
+    flat = FlatIndex(4)
+    for i, vec in enumerate(vectors):
+        index.add(i, vec)
+        flat.add(i, vec)
+    query = rng.normal(size=4)
+    truth = {k for k, __ in flat.search(query, 5)}
+    got = {k for k, __ in index.search(query, 5, ef_search=80)}
+    assert len(truth & got) >= 4  # allow one stray on adversarial graphs

@@ -1,0 +1,222 @@
+"""Tests for vector indexes (repro.vector)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexError_
+from repro.vector.flat import FlatIndex
+from repro.vector.ivf import IVFIndex, kmeans
+from repro.vector.metrics import cosine_distance, dot_distance, l2_distance
+
+
+class TestMetrics:
+    def test_l2(self):
+        assert l2_distance([0, 0], [3, 4]) == pytest.approx(5.0)
+        assert l2_distance([1, 1], [1, 1]) == 0.0
+
+    def test_dot_is_negated(self):
+        assert dot_distance([1, 2], [3, 4]) == -11.0
+
+    def test_cosine(self):
+        assert cosine_distance([1, 0], [1, 0]) == pytest.approx(0.0)
+        assert cosine_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+        assert cosine_distance([1, 0], [-1, 0]) == pytest.approx(2.0)
+
+    def test_cosine_zero_vector(self):
+        assert cosine_distance([0, 0], [1, 0]) == 1.0
+
+    def test_cosine_scale_invariant(self):
+        a, b = [1.0, 2.0, 3.0], [4.0, 5.0, 6.0]
+        assert cosine_distance(a, b) == pytest.approx(
+            cosine_distance([10 * x for x in a], b)
+        )
+
+
+class TestFlatIndex:
+    def make(self, n=50, dim=4, metric="l2", seed=0):
+        rng = np.random.default_rng(seed)
+        index = FlatIndex(dim, metric=metric)
+        vectors = rng.normal(size=(n, dim))
+        for i, vec in enumerate(vectors):
+            index.add(i, vec)
+        return index, vectors
+
+    def test_exact_nearest(self):
+        index, vectors = self.make()
+        for probe in (0, 13, 49):
+            assert index.search(vectors[probe], 1)[0][0] == probe
+
+    def test_matches_numpy_brute_force(self):
+        index, vectors = self.make(n=80)
+        rng = np.random.default_rng(1)
+        query = rng.normal(size=4)
+        got = [key for key, _ in index.search(query, 10)]
+        truth = np.argsort(np.linalg.norm(vectors - query, axis=1))[:10].tolist()
+        assert got == truth
+
+    def test_distances_ascending(self):
+        index, vectors = self.make()
+        result = index.search(vectors[0], 10)
+        distances = [d for _, d in result]
+        assert distances == sorted(distances)
+
+    def test_k_larger_than_index(self):
+        index, _ = self.make(n=5)
+        assert len(index.search(np.zeros(4), 100)) == 5
+
+    def test_duplicate_key_rejected(self):
+        index, _ = self.make(n=3)
+        with pytest.raises(IndexError_, match="duplicate"):
+            index.add(0, np.zeros(4))
+
+    def test_dimension_checked(self):
+        index = FlatIndex(4)
+        with pytest.raises(IndexError_):
+            index.add("x", [1.0, 2.0])
+        index.add("x", [1.0, 2.0, 3.0, 4.0])
+        with pytest.raises(IndexError_):
+            index.search([1.0], 1)
+
+    def test_remove(self):
+        index, vectors = self.make()
+        index.remove(0)
+        assert 0 not in index
+        assert len(index) == 49
+        assert index.search(vectors[0], 1)[0][0] != 0
+
+    def test_remove_missing(self):
+        index, _ = self.make(n=2)
+        with pytest.raises(IndexError_):
+            index.remove(99)
+
+    def test_growth_beyond_initial_capacity(self):
+        index = FlatIndex(2, initial_capacity=2)
+        for i in range(100):
+            index.add(i, [float(i), 0.0])
+        assert len(index) == 100
+        assert index.search([50.0, 0.0], 1)[0][0] == 50
+
+    def test_empty_search(self):
+        assert FlatIndex(3).search([0, 0, 0], 5) == []
+
+    def test_get(self):
+        index, vectors = self.make()
+        assert np.allclose(index.get(7), vectors[7])
+        assert index.get("missing") is None
+
+    def test_cosine_metric_ranking(self):
+        index = FlatIndex(2, metric="cosine")
+        index.add("east", [1.0, 0.0])
+        index.add("north", [0.0, 1.0])
+        index.add("west", [-1.0, 0.0])
+        ranked = [k for k, _ in index.search([0.9, 0.1], 3)]
+        assert ranked == ["east", "north", "west"]
+
+
+class TestKMeans:
+    def test_clusters_separate_obvious_groups(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(loc=0.0, scale=0.1, size=(30, 2))
+        b = rng.normal(loc=10.0, scale=0.1, size=(30, 2))
+        points = np.vstack([a, b])
+        centroids, assignments = kmeans(points, 2, seed=1)
+        assert len(set(assignments[:30])) == 1
+        assert len(set(assignments[30:])) == 1
+        assert assignments[0] != assignments[30]
+
+    def test_deterministic_for_seed(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(50, 3))
+        c1, a1 = kmeans(points, 4, seed=9)
+        c2, a2 = kmeans(points, 4, seed=9)
+        assert np.array_equal(c1, c2)
+        assert np.array_equal(a1, a2)
+
+    def test_more_clusters_than_points(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        centroids, assignments = kmeans(points, 10)
+        assert len(centroids) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(IndexError_):
+            kmeans(np.empty((0, 2)), 2)
+
+
+class TestIVFIndex:
+    def build(self, n=300, dim=8, nlist=16, seed=0):
+        rng = np.random.default_rng(seed)
+        vectors = rng.normal(size=(n, dim))
+        index = IVFIndex(dim, nlist=nlist, nprobe=4, seed=seed)
+        index.build(list(enumerate(vectors)))
+        return index, vectors
+
+    def test_untrained_search_rejected(self):
+        index = IVFIndex(4)
+        index.add("x", [0, 0, 0, 0])
+        with pytest.raises(IndexError_, match="not trained"):
+            index.search([0, 0, 0, 0], 1)
+
+    def test_full_probe_is_exact(self):
+        index, vectors = self.build(nlist=8)
+        flat = FlatIndex(8)
+        for i, vec in enumerate(vectors):
+            flat.add(i, vec)
+        query = vectors[5] + 0.01
+        exact = [k for k, _ in flat.search(query, 10)]
+        approx = [k for k, _ in index.search(query, 10, nprobe=8)]
+        assert approx == exact
+
+    def test_recall_improves_with_nprobe(self):
+        index, vectors = self.build(n=500, nlist=25)
+        flat = FlatIndex(8)
+        for i, vec in enumerate(vectors):
+            flat.add(i, vec)
+        rng = np.random.default_rng(42)
+        recalls = {}
+        for nprobe in (1, 5, 25):
+            total = 0.0
+            for _ in range(20):
+                query = rng.normal(size=8)
+                truth = {k for k, _ in flat.search(query, 10)}
+                got = {k for k, _ in index.search(query, 10, nprobe=nprobe)}
+                total += len(truth & got) / 10
+            recalls[nprobe] = total / 20
+        assert recalls[1] <= recalls[5] <= recalls[25]
+        assert recalls[25] == pytest.approx(1.0)
+
+    def test_scanned_fraction_grows_with_nprobe(self):
+        index, _ = self.build()
+        assert index.scanned_fraction(1) < index.scanned_fraction(8) <= 1.0
+
+    def test_add_after_training(self):
+        index, _ = self.build(n=50, nlist=4)
+        index.add("new", np.zeros(8))
+        assert "new" in [k for k, _ in index.search(np.zeros(8), 1)]
+
+    def test_remove(self):
+        index, vectors = self.build(n=50, nlist=4)
+        index.remove(0)
+        assert len(index) == 49
+        assert 0 not in [k for k, _ in index.search(vectors[0], 5)]
+
+    def test_duplicate_key_rejected(self):
+        index, _ = self.build(n=10, nlist=2)
+        with pytest.raises(IndexError_):
+            index.add(3, np.zeros(8))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(5, 60))
+def test_flat_top1_self_query_property(seed, n):
+    """Querying with an indexed vector always returns it first (L2)."""
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n, 3))
+    index = FlatIndex(3)
+    for i, vec in enumerate(vectors):
+        index.add(i, vec)
+    probe = int(rng.integers(n))
+    key, distance = index.search(vectors[probe], 1)[0]
+    assert distance == pytest.approx(0.0, abs=1e-9)
+    assert np.allclose(index.get(key), vectors[probe])

@@ -1,0 +1,216 @@
+"""Tests for workload generators (repro.workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import Database
+from repro.txn import make_scheme
+from repro.workloads import (
+    embed_text,
+    load_tpch,
+    make_corpus,
+    make_oltp_workload,
+    run_oltp,
+    tpch_query,
+    tpch_row_counts,
+)
+from repro.workloads.corpus import TOPICS
+
+
+@pytest.fixture(scope="module")
+def tpch_db():
+    db = Database()
+    load_tpch(db, scale_factor=0.05, seed=1)
+    return db
+
+
+class TestTPCHGenerator:
+    def test_row_counts_scale(self):
+        small = tpch_row_counts(0.1)
+        large = tpch_row_counts(1.0)
+        assert large["lineitem"] == 10 * small["lineitem"]
+        assert small["region"] == large["region"] == 5
+
+    def test_load_counts_match(self, tpch_db):
+        expected = tpch_row_counts(0.05)
+        assert tpch_db.table("lineitem").row_count == expected["lineitem"]
+        assert tpch_db.table("orders").row_count == expected["orders"]
+        assert tpch_db.table("nation").row_count == 25
+
+    def test_deterministic(self):
+        db1, db2 = Database(), Database()
+        load_tpch(db1, scale_factor=0.01, seed=7)
+        load_tpch(db2, scale_factor=0.01, seed=7)
+        q = "SELECT SUM(l_extendedprice) FROM lineitem"
+        assert db1.execute(q).scalar() == db2.execute(q).scalar()
+
+    def test_statistics_populated(self, tpch_db):
+        stats = tpch_db.table("lineitem").stats
+        assert stats is not None
+        assert stats.column("l_shipdate").histogram is not None
+
+    def test_referential_structure(self, tpch_db):
+        """Every lineitem refers to an existing order."""
+        orphans = tpch_db.execute(
+            "SELECT COUNT(*) FROM lineitem l LEFT JOIN orders o "
+            "ON l.l_orderkey = o.o_orderkey WHERE o.o_orderkey IS NULL"
+        ).scalar()
+        assert orphans == 0
+
+    def test_q1_aggregates_consistent(self, tpch_db):
+        result = tpch_db.execute(tpch_query("Q1"))
+        assert 0 < len(result.rows) <= 6  # at most 3 flags x 2 statuses
+        for row in result.rows:
+            count = row[-1]
+            sum_qty, avg_qty = row[2], row[5]
+            assert avg_qty == pytest.approx(sum_qty / count)
+
+    def test_q6_matches_manual_filter(self, tpch_db):
+        revenue = tpch_db.execute(tpch_query("Q6", date=365)).scalar()
+        rows = tpch_db.execute(
+            "SELECT l_extendedprice, l_discount, l_quantity, l_shipdate FROM lineitem"
+        ).rows
+        manual = sum(
+            p * d
+            for p, d, q, s in rows
+            if 365 <= s < 730 and 0.049 <= d <= 0.071 and q < 24
+        )
+        if revenue is None:
+            assert manual == pytest.approx(0.0)
+        else:
+            assert revenue == pytest.approx(manual)
+
+    def test_q3_limit_and_order(self, tpch_db):
+        result = tpch_db.execute(tpch_query("Q3"))
+        assert len(result.rows) <= 10
+        revenues = [row[1] for row in result.rows]
+        assert revenues == sorted(revenues, reverse=True)
+
+    def test_q5_engine_parity(self, tpch_db):
+        volcano = tpch_db.execute(tpch_query("Q5"), engine="volcano").rows
+        vectorized = tpch_db.execute(tpch_query("Q5"), engine="vectorized").rows
+        assert volcano == vectorized
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(KeyError):
+            tpch_query("Q99")
+
+    def test_q10_shape(self, tpch_db):
+        result = tpch_db.execute(tpch_query("Q10"))
+        assert len(result.rows) <= 20
+        revenues = [row[2] for row in result.rows]
+        assert revenues == sorted(revenues, reverse=True)
+
+    def test_q12_counts_partition_lineitems(self, tpch_db):
+        result = tpch_db.execute(tpch_query("Q12", date=365))
+        total = sum(row[1] + row[2] for row in result.rows)
+        manual = tpch_db.execute(
+            "SELECT COUNT(*) FROM lineitem l JOIN orders o "
+            "ON l.l_orderkey = o.o_orderkey "
+            "WHERE l.l_shipdate >= 365 AND l.l_shipdate < 730"
+        ).scalar()
+        assert total == manual
+
+
+
+class TestOLTPWorkload:
+    def test_deterministic(self):
+        a = make_oltp_workload(num_transactions=50, seed=3)
+        b = make_oltp_workload(num_transactions=50, seed=3)
+        assert a.transactions == b.transactions
+
+    def test_keys_sorted_within_txn(self):
+        workload = make_oltp_workload(num_transactions=100, seed=0)
+        for spec in workload.transactions:
+            keys = [k for k, _ in spec.accesses]
+            assert keys == sorted(keys)
+
+    def test_zipf_skews_popularity(self):
+        workload = make_oltp_workload(
+            num_transactions=500, num_keys=100, zipf_skew=1.2, seed=1
+        )
+        counts = {}
+        for spec in workload.transactions:
+            for key, _ in spec.accesses:
+                counts[key] = counts.get(key, 0) + 1
+        hot = sum(counts.get(k, 0) for k in range(10))
+        cold = sum(counts.get(k, 0) for k in range(90, 100))
+        assert hot > 3 * cold
+
+    def test_run_commits_everything(self):
+        workload = make_oltp_workload(num_transactions=60, seed=2)
+        result = run_oltp(make_scheme("mvcc"), workload, threads=4,
+                          work_per_access_s=0.0001, max_retries=500)
+        assert result.committed == 60
+        assert result.throughput > 0
+
+    def test_writes_are_preserved(self):
+        """Sum of increments equals total committed write count."""
+        workload = make_oltp_workload(
+            num_transactions=80, num_keys=20, write_fraction=1.0, seed=4
+        )
+        scheme = make_scheme("2pl")
+        result = run_oltp(
+            scheme, workload, threads=4, work_per_access_s=0.0001, max_retries=500
+        )
+        assert result.committed == len(workload.transactions)
+        txn = scheme.begin()
+        total = sum((scheme.read(txn, k) or 0) - 1000 for k in range(20))
+        scheme.commit(txn)
+        expected = sum(len(spec.accesses) for spec in workload.transactions)
+        assert total == expected
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        assert make_corpus(50, seed=1) == make_corpus(50, seed=1)
+
+    def test_duplicates_share_urls(self):
+        docs = make_corpus(300, duplicate_fraction=0.3, seed=2)
+        urls = [d.url for d in docs]
+        assert len(set(urls)) < len(urls)
+
+    def test_no_duplicates_when_disabled(self):
+        docs = make_corpus(100, duplicate_fraction=0.0, seed=3)
+        assert len({d.doc_id for d in docs}) == 100
+
+    def test_topics_drawn_from_catalog(self):
+        docs = make_corpus(100, seed=4)
+        assert {d.topic for d in docs} <= set(TOPICS)
+
+    def test_topic_words_dominate(self):
+        docs = make_corpus(200, duplicate_fraction=0.0, seed=5)
+        hits = 0
+        for doc in docs[:50]:
+            vocab = set(TOPICS[doc.topic])
+            words = doc.text.split()
+            hits += sum(1 for w in words if w in vocab) / len(words)
+        assert hits / 50 > 0.4
+
+    def test_quality_in_unit_interval(self):
+        assert all(0 <= d.quality <= 1 for d in make_corpus(100, seed=6))
+
+
+class TestEmbeddings:
+    def test_deterministic(self):
+        assert np.allclose(embed_text("hello world"), embed_text("hello world"))
+
+    def test_unit_norm(self):
+        assert np.linalg.norm(embed_text("some text here")) == pytest.approx(1.0)
+
+    def test_topic_proximity(self):
+        """Same-topic texts are closer than cross-topic texts."""
+        db1 = embed_text("query optimizer index join storage")
+        db2 = embed_text("index scan query storage btree")
+        cook = embed_text("flour oven butter dough simmer")
+        same = float(db1 @ db2)
+        cross = float(db1 @ cook)
+        assert same > cross + 0.2
+
+    def test_empty_text(self):
+        assert np.allclose(embed_text(""), np.zeros(32))
+
+    def test_seed_changes_space(self):
+        a = embed_text("hello world", seed=0)
+        b = embed_text("hello world", seed=1)
+        assert not np.allclose(a, b)
