@@ -1,0 +1,157 @@
+"""Compiled-vs-interpreted smoke benchmark (≈30 s) → BENCH_compile.json.
+
+Runs a small subset of E1 (TPC-H Q1/Q6) and an E6-style repeated-statement
+workload under two configurations:
+
+* **interpreted** — expression codegen disabled, plan cache disabled
+  (the pre-codegen engine);
+* **compiled** — expression→closure codegen + plan cache + prepared
+  statements (the defaults after this change).
+
+Emits ``BENCH_compile.json`` next to this file so future changes have a
+machine-readable perf trajectory.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_compare.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.database import Database  # noqa: E402
+from repro.exec import compile as compile_mod  # noqa: E402
+from repro.workloads.tpch import load_tpch, tpch_query  # noqa: E402
+
+TPCH_SCALE = 0.1
+TPCH_QUERIES = ["Q1", "Q6"]
+TPCH_ROUNDS = 3
+OLTP_ROWS = 5000
+OLTP_STATEMENTS = 2000
+
+
+def best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_tpch(codegen: bool) -> dict:
+    """Best-of-N latency for each TPC-H query under one configuration."""
+    compile_mod.set_enabled(codegen)
+    try:
+        db = Database(plan_cache_size=128 if codegen else 0)
+        load_tpch(db, scale_factor=TPCH_SCALE, seed=7)
+        out = {}
+        for name in TPCH_QUERIES:
+            sql = tpch_query(name)
+            rows = {}
+
+            def run():
+                rows["result"] = db.execute(sql).rows
+
+            out[name] = {
+                "best_ms": best_of(run, TPCH_ROUNDS) * 1e3,
+                "rows": len(rows["result"]),
+            }
+        return out
+    finally:
+        compile_mod.set_enabled(True)
+
+
+def make_oltp_db(plan_cache: bool) -> Database:
+    db = Database(plan_cache_size=128 if plan_cache else 0)
+    db.execute("CREATE TABLE accounts (id INTEGER NOT NULL, owner TEXT, balance DOUBLE)")
+    db.insert_rows(
+        "accounts",
+        [(i, f"owner-{i % 97}", float(i % 1000)) for i in range(OLTP_ROWS)],
+    )
+    db.execute("CREATE INDEX idx_accounts_id ON accounts (id)")
+    db.analyze()
+    return db
+
+
+def bench_oltp(codegen: bool) -> dict:
+    """Repeated point-SELECT throughput (statements/second)."""
+    compile_mod.set_enabled(codegen)
+    try:
+        db = make_oltp_db(plan_cache=codegen)
+        out = {}
+
+        # Identical statement text re-executed: the plan-cache sweet spot.
+        sql = f"SELECT owner, balance FROM accounts WHERE id = {OLTP_ROWS // 2}"
+        t0 = time.perf_counter()
+        for _ in range(OLTP_STATEMENTS):
+            db.execute(sql)
+        out["repeated_statement_tps"] = OLTP_STATEMENTS / (time.perf_counter() - t0)
+
+        # Parameterized workload: prepared statements vs text substitution.
+        if codegen:
+            stmt = db.prepare("SELECT owner, balance FROM accounts WHERE id = ?")
+            t0 = time.perf_counter()
+            for i in range(OLTP_STATEMENTS):
+                stmt.execute(((i * 37) % OLTP_ROWS,))
+            out["parameterized_tps"] = OLTP_STATEMENTS / (time.perf_counter() - t0)
+        else:
+            sql = "SELECT owner, balance FROM accounts WHERE id = ?"
+            t0 = time.perf_counter()
+            for i in range(OLTP_STATEMENTS):
+                db.execute(sql, params=((i * 37) % OLTP_ROWS,))
+            out["parameterized_tps"] = OLTP_STATEMENTS / (time.perf_counter() - t0)
+        return out
+    finally:
+        compile_mod.set_enabled(True)
+
+
+def main() -> int:
+    started = time.time()
+    report = {
+        "scale_factor": TPCH_SCALE,
+        "tpch": {},
+        "oltp": {},
+        "speedups": {},
+    }
+
+    interpreted = bench_tpch(codegen=False)
+    compiled = bench_tpch(codegen=True)
+    for name in TPCH_QUERIES:
+        speedup = interpreted[name]["best_ms"] / compiled[name]["best_ms"]
+        report["tpch"][name] = {
+            "interpreted_ms": round(interpreted[name]["best_ms"], 2),
+            "compiled_ms": round(compiled[name]["best_ms"], 2),
+            "speedup": round(speedup, 2),
+        }
+        report["speedups"][f"tpch_{name}"] = round(speedup, 2)
+
+    oltp_before = bench_oltp(codegen=False)
+    oltp_after = bench_oltp(codegen=True)
+    for key in ("repeated_statement_tps", "parameterized_tps"):
+        speedup = oltp_after[key] / oltp_before[key]
+        report["oltp"][key] = {
+            "interpreted": round(oltp_before[key], 1),
+            "compiled": round(oltp_after[key], 1),
+            "speedup": round(speedup, 2),
+        }
+        report["speedups"][f"oltp_{key}"] = round(speedup, 2)
+
+    report["elapsed_s"] = round(time.time() - started, 1)
+    out_path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_compile.json")
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+
+    print(json.dumps(report, indent=2))
+    ok = all(s >= 1.5 for k, s in report["speedups"].items() if k.startswith("tpch_"))
+    ok &= report["speedups"]["oltp_repeated_statement_tps"] >= 2.0
+    print(f"\nwrote {out_path}; targets {'MET' if ok else 'NOT MET'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

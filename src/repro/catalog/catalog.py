@@ -24,6 +24,11 @@ from repro.storage.heap import HeapFile, RecordId
 ROW_LAYOUT = "row"
 COLUMN_LAYOUT = "column"
 
+#: Tables at or below this row count keep a decoded copy of their rows after a
+#: full scan (see :meth:`TableInfo.scan`).  Larger tables always decode from
+#: pages so the cache cannot dominate memory on big loads.
+SCAN_CACHE_MAX_ROWS = 200_000
+
 
 @dataclass
 class IndexInfo:
@@ -64,12 +69,22 @@ class TableInfo:
         self.indexes: Dict[str, IndexInfo] = {}
         self.stats: Optional[TableStats] = None
         self._lock = threading.RLock()
+        # Decoded-row scan cache.  Rows are immutable tuples and every write
+        # goes through insert/delete/update below, so a completed scan can be
+        # replayed until the next write invalidates it.
+        self._scan_cache: Optional[List[Tuple[Any, Row]]] = None
+        self._write_version = 0
 
     # -- writes ----------------------------------------------------------------
+
+    def _note_write(self) -> None:
+        self._write_version += 1
+        self._scan_cache = None
 
     def insert(self, row: Sequence[Any]) -> Any:
         """Insert a row; returns its rid and maintains all indexes."""
         with self._lock:
+            self._note_write()
             if self.heap is not None:
                 rid = self.heap.insert(row)
                 stored = self.heap.get(rid)
@@ -88,6 +103,7 @@ class TableInfo:
             row = self.get(rid)
             if row is None:
                 raise StorageError(f"rid {rid} not found in {self.name!r}")
+            self._note_write()
             if self.heap is not None:
                 self.heap.delete(rid)
             else:
@@ -104,6 +120,7 @@ class TableInfo:
             old = self.get(rid)
             if old is None:
                 raise StorageError(f"rid {rid} not found in {self.name!r}")
+            self._note_write()
             if self.heap is not None:
                 new_rid = self.heap.update(rid, row)
                 stored = self.heap.get(new_rid)
@@ -132,10 +149,24 @@ class TableInfo:
         return self.column_table.get(rid)
 
     def scan(self) -> Iterator[Tuple[Any, Row]]:
-        if self.heap is not None:
-            yield from self.heap.scan()
-        else:
-            yield from self.column_table.scan()
+        cache = self._scan_cache
+        if cache is not None:
+            yield from cache
+            return
+        source = self.heap.scan() if self.heap is not None else self.column_table.scan()
+        if self.row_count > SCAN_CACHE_MAX_ROWS:
+            yield from source
+            return
+        version = self._write_version
+        pairs: List[Tuple[Any, Row]] = []
+        append = pairs.append
+        for pair in source:
+            append(pair)
+            yield pair
+        # Install only if the scan ran to completion with no interleaved write
+        # (an abandoned or racing scan must not pin a partial snapshot).
+        if self._write_version == version:
+            self._scan_cache = pairs
 
     def scan_rows(self) -> Iterator[Row]:
         for _, row in self.scan():
@@ -169,6 +200,11 @@ class Catalog:
         self.pool = pool
         self._tables: Dict[str, TableInfo] = {}
         self._lock = threading.RLock()
+        #: Bumped by every DDL change (tables and indexes).  Cached plans
+        #: embed the version they were built against; a mismatch is a miss.
+        self.version = 0
+        #: Bumped by ANALYZE: plans optimized under old statistics are stale.
+        self.stats_epoch = 0
 
     # -- tables -------------------------------------------------------------------
 
@@ -181,6 +217,7 @@ class Catalog:
                 raise CatalogError(f"table {name!r} already exists")
             table = TableInfo(name, schema, self.pool, layout=layout)
             self._tables[key] = table
+            self.version += 1
             return table
 
     def drop_table(self, name: str) -> None:
@@ -189,6 +226,7 @@ class Catalog:
             if key not in self._tables:
                 raise CatalogError(f"table {name!r} does not exist")
             del self._tables[key]
+            self.version += 1
 
     def get_table(self, name: str) -> TableInfo:
         table = self._tables.get(name.lower())
@@ -233,6 +271,7 @@ class Catalog:
                 if row[col_idx] is not None:  # NULL keys are not indexed
                     structure.insert(row[col_idx], rid)
             table.indexes[index_name] = info
+            self.version += 1
             return info
 
     def drop_index(self, index_name: str) -> None:
@@ -240,6 +279,7 @@ class Catalog:
             for table in self._tables.values():
                 if index_name in table.indexes:
                     del table.indexes[index_name]
+                    self.version += 1
                     return
             raise CatalogError(f"index {index_name!r} does not exist")
 
@@ -258,3 +298,4 @@ class Catalog:
                     table.scan_rows(),
                     byte_count=snapshot.byte_count,
                 )
+            self.stats_epoch += 1

@@ -120,6 +120,22 @@ class ColumnStats:
         if low is not None and high is not None and low == high:
             # Degenerate point range: behave like equality.
             return self.eq_selectivity(low)
+        if 0 < self.n_distinct <= len(self.mcv):
+            # The MCV list covers every distinct value with exact counts, so
+            # the range selectivity is exact — skip histogram interpolation,
+            # whose in-bucket uniformity assumption can be badly wrong on
+            # tiny or skewed domains.
+            try:
+                matching = sum(
+                    freq
+                    for value, freq in self.mcv.items()
+                    if (low is None or value >= low)
+                    and (high is None or value <= high)
+                )
+            except TypeError:
+                pass  # incomparable bound types: fall through to estimates
+            else:
+                return matching / self.count
         if (
             self.dtype.is_numeric()
             and self.min_value is not None

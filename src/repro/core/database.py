@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.catalog.catalog import COLUMN_LAYOUT, ROW_LAYOUT, Catalog, TableInfo
@@ -34,17 +34,25 @@ from repro.core.errors import (
     ReproError,
     TransactionError,
 )
+from repro.core.plancache import (
+    CachedPlan,
+    PlanCache,
+    PreparedStatement,
+    is_plan_cacheable,
+    normalize_sql,
+)
 from repro.core.querycache import QueryCache, referenced_tables
 from repro.core.result import Result
 from repro.core.types import Column, DataType, Row, Schema
+from repro.exec.compile import evaluator
 from repro.exec.vectorized import execute_vectorized
 from repro.exec.volcano import execute_volcano
 from repro.optimizer.cost import CostModel
 from repro.optimizer.optimizer import Optimizer, OptimizerOptions
 from repro.plan.binder import Binder
-from repro.plan.expressions import is_constant
+from repro.plan.expressions import ParamVector, is_constant
 from repro.sql import ast
-from repro.sql.params import substitute_params
+from repro.sql.params import count_placeholders, substitute_params
 from repro.sql.parser import parse
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import FileDiskManager, InMemoryDiskManager
@@ -65,6 +73,7 @@ class StatementStats:
     execute_ms: float = 0.0
     total_ms: float = 0.0
     rows: int = 0
+    plan_cache_hit: bool = False
 
 
 class Database:
@@ -81,6 +90,7 @@ class Database:
         cost_model: Optional[CostModel] = None,
         wal_path: Optional[str] = None,
         result_cache_size: int = 0,
+        plan_cache_size: int = 128,
     ):
         if engine not in (VOLCANO, VECTORIZED):
             raise ReproError(f"unknown engine {engine!r}")
@@ -106,6 +116,9 @@ class Database:
         self.last_stats = StatementStats()
         self.result_cache: Optional[QueryCache] = (
             QueryCache(result_cache_size) if result_cache_size > 0 else None
+        )
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(plan_cache_size) if plan_cache_size > 0 else None
         )
         self._binder = Binder(self.catalog, subquery_executor=self._run_subplan)
         self._lock = threading.RLock()
@@ -134,27 +147,56 @@ class Database:
             started = time.perf_counter()
             if params is not None:
                 sql = substitute_params(sql, params)
-            statement = parse(sql)
-            parsed = time.perf_counter()
             engine_used = engine or self.engine
-            cache_key = None
-            if self.result_cache is not None and isinstance(
-                statement, (ast.SelectStmt, ast.SetOpStmt)
-            ):
-                cache_key = (" ".join(sql.split()), engine_used)
+            normalized = normalize_sql(sql)
+            # Result cache first: only SELECTs are ever stored, so a hit
+            # implies the text is a SELECT without parsing it at all.
+            cache_key = (normalized, engine_used)
+            if self.result_cache is not None:
                 cached = self.result_cache.get(cache_key)
                 if cached is not None:
                     finished = time.perf_counter()
                     self.last_stats = StatementStats(
                         sql=sql,
-                        parse_ms=(parsed - started) * 1e3,
-                        execute_ms=(finished - parsed) * 1e3,
                         total_ms=(finished - started) * 1e3,
                         rows=len(cached.rows),
                     )
                     return Result(columns=list(cached.columns), rows=list(cached.rows))
-            result = self._dispatch(statement, engine_used)
-            if cache_key is not None and result.plan_text is None:
+            # Plan cache next: skip parse/bind/optimize, re-run the plan.
+            if self.plan_cache is not None:
+                entry = self.plan_cache.get(
+                    normalized,
+                    self.catalog.version,
+                    self.catalog.stats_epoch,
+                    self._options_key(),
+                )
+                if entry is not None:
+                    rows = self._run_physical(entry.physical, engine_used)
+                    result = Result(
+                        columns=list(entry.columns), rows=rows, rowcount=len(rows)
+                    )
+                    if self.result_cache is not None and entry.tables is not None:
+                        self.result_cache.put(
+                            cache_key, list(result.columns), list(result.rows),
+                            set(entry.tables),
+                        )
+                    finished = time.perf_counter()
+                    self.last_stats = StatementStats(
+                        sql=sql,
+                        execute_ms=(finished - started) * 1e3,
+                        total_ms=(finished - started) * 1e3,
+                        rows=len(rows),
+                        plan_cache_hit=True,
+                    )
+                    return result
+            statement = parse(sql)
+            parsed = time.perf_counter()
+            result = self._dispatch(statement, engine_used, normalized)
+            if (
+                self.result_cache is not None
+                and isinstance(statement, (ast.SelectStmt, ast.SetOpStmt))
+                and result.plan_text is None
+            ):
                 tables = referenced_tables(statement)
                 if tables is not None:
                     # Store copies: callers may mutate their Result freely.
@@ -170,6 +212,29 @@ class Database:
                 rows=len(result.rows) if result.rows else result.rowcount,
             )
             return result
+
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Parse, bind, and optimize once; execute many times.
+
+        SELECT statements (without subqueries) get a *bound* plan whose ``?``
+        placeholders read from a shared parameter vector — each
+        ``stmt.execute(params)`` writes the values and re-runs the cached
+        physical plan, skipping parse/bind/optimize/codegen entirely.  Other
+        statements fall back to client-side substitution per execution::
+
+            stmt = db.prepare("SELECT * FROM t WHERE a = ? AND b < ?")
+            stmt.execute((1, 10.0))
+            stmt.execute((2, 99.5))
+        """
+        with self._lock:
+            prep = PreparedStatement(self, sql)
+            prep.param_count = count_placeholders(sql)
+            prep.statement = parse(sql)
+            if is_plan_cacheable(prep.statement):
+                prep.param_vector = ParamVector(prep.param_count)
+                self._plan_prepared(prep)
+                prep.uses_bound_plan = True
+            return prep
 
     def explain(self, sql: str) -> str:
         """The optimized physical plan for a SELECT, as text."""
@@ -227,9 +292,11 @@ class Database:
     # Dispatch
     # ------------------------------------------------------------------
 
-    def _dispatch(self, statement: ast.Statement, engine: str) -> Result:
+    def _dispatch(
+        self, statement: ast.Statement, engine: str, normalized: Optional[str] = None
+    ) -> Result:
         if isinstance(statement, (ast.SelectStmt, ast.SetOpStmt)):
-            return self._execute_select(statement, engine)
+            return self._execute_select(statement, engine, normalized)
         if isinstance(statement, ast.ExplainStmt):
             return self._execute_explain(statement)
         if isinstance(statement, ast.CreateTableStmt):
@@ -247,6 +314,10 @@ class Database:
             self.catalog.drop_table(statement.name)
             if self.result_cache is not None:
                 self.result_cache.clear()
+            if self.plan_cache is not None:
+                # The version bump already forces misses; dropping eagerly
+                # also releases plans pinning the dead table's structures.
+                self.plan_cache.invalidate_all()
             return Result()
         if isinstance(statement, ast.InsertStmt):
             return self._execute_insert(statement)
@@ -276,19 +347,93 @@ class Database:
         __, physical = optimizer.optimize(logical_plan)
         return list(execute_volcano(physical, self.catalog))
 
-    def _execute_select(self, statement: ast.Statement, engine: str) -> Result:
+    def _execute_select(
+        self, statement: ast.Statement, engine: str, normalized: Optional[str] = None
+    ) -> Result:
         logical_plan = self._binder.bind_query(statement)
         optimizer = Optimizer(self.catalog, self.cost_model, self.optimizer_options)
         t0 = time.perf_counter()
         _, physical = optimizer.optimize(logical_plan)
         t1 = time.perf_counter()
-        if engine == VECTORIZED:
-            rows = list(execute_vectorized(physical, self.catalog))
-        else:
-            rows = list(execute_volcano(physical, self.catalog))
+        rows = self._run_physical(physical, engine)
         self.last_stats.optimize_ms = (t1 - t0) * 1e3
         schema = physical.schema
-        return Result(columns=[c.name for c in schema.columns], rows=rows, rowcount=len(rows))
+        columns = [c.name for c in schema.columns]
+        if (
+            self.plan_cache is not None
+            and normalized is not None
+            and is_plan_cacheable(statement)
+        ):
+            tables = referenced_tables(statement)
+            self.plan_cache.put(
+                normalized,
+                CachedPlan(
+                    physical=physical,
+                    columns=columns,
+                    tables=frozenset(tables) if tables is not None else None,
+                    catalog_version=self.catalog.version,
+                    stats_epoch=self.catalog.stats_epoch,
+                    options_key=self._options_key(),
+                ),
+            )
+        return Result(columns=columns, rows=rows, rowcount=len(rows))
+
+    def _run_physical(self, physical, engine: str) -> List[Row]:
+        if engine == VECTORIZED:
+            return list(execute_vectorized(physical, self.catalog))
+        return list(execute_volcano(physical, self.catalog))
+
+    def _options_key(self) -> Tuple:
+        return astuple(self.optimizer_options)
+
+    # -- prepared statements ----------------------------------------------
+
+    def _plan_prepared(self, prep: PreparedStatement) -> None:
+        """(Re)bind and (re)optimize a prepared SELECT's physical plan."""
+        logical_plan = self._binder.bind_prepared(prep.statement, prep.param_vector)
+        optimizer = Optimizer(self.catalog, self.cost_model, self.optimizer_options)
+        _, physical = optimizer.optimize(logical_plan)
+        prep.physical = physical
+        prep.columns = [c.name for c in physical.schema.columns]
+        prep.catalog_version = self.catalog.version
+        prep.stats_epoch = self.catalog.stats_epoch
+        prep.options_key = self._options_key()
+        prep.replans += 1
+
+    def _execute_prepared(
+        self,
+        prep: PreparedStatement,
+        params: Sequence[Any],
+        engine: Optional[str],
+    ) -> Result:
+        with self._lock:
+            engine_used = engine or self.engine
+            if not prep.uses_bound_plan:
+                # DML / subquery statements: substitute and take the normal
+                # path (which still hits the textual plan cache for SELECTs).
+                result = self.execute(substitute_params(prep.sql, list(params)), engine=engine_used)
+                prep.executions += 1
+                return result
+            started = time.perf_counter()
+            if (
+                prep.catalog_version != self.catalog.version
+                or prep.stats_epoch != self.catalog.stats_epoch
+                or prep.options_key != self._options_key()
+            ):
+                # Schema, stats, or optimizer options changed underneath us.
+                self._plan_prepared(prep)
+            prep.param_vector.bind(list(params))
+            rows = self._run_physical(prep.physical, engine_used)
+            prep.executions += 1
+            finished = time.perf_counter()
+            self.last_stats = StatementStats(
+                sql=prep.sql,
+                execute_ms=(finished - started) * 1e3,
+                total_ms=(finished - started) * 1e3,
+                rows=len(rows),
+                plan_cache_hit=True,
+            )
+            return Result(columns=list(prep.columns), rows=rows, rowcount=len(rows))
 
     def _execute_explain(self, statement: ast.ExplainStmt) -> Result:
         inner = statement.statement
@@ -331,9 +476,9 @@ class Database:
     def _matching_rids(self, table: TableInfo, where: Optional[ast.Expr]):
         predicate = None
         if where is not None:
-            predicate = self._binder.bind_expr(where, table.schema)
+            predicate = evaluator(self._binder.bind_expr(where, table.schema))
         for rid, row in list(table.scan()):
-            if predicate is None or predicate.eval(row) is True:
+            if predicate is None or predicate(row) is True:
                 yield rid, row
 
     def _execute_update(self, statement: ast.UpdateStmt) -> Result:
@@ -342,12 +487,12 @@ class Database:
         for column_name, value_ast in statement.assignments:
             idx = table.schema.index_of(column_name)
             bound = self._binder.bind_expr(value_ast, table.schema)
-            assignments.append((idx, bound))
+            assignments.append((idx, evaluator(bound)))
         count = 0
         for rid, row in self._matching_rids(table, statement.where):
             new_row = list(row)
-            for idx, bound in assignments:
-                new_row[idx] = bound.eval(row)
+            for idx, value_fn in assignments:
+                new_row[idx] = value_fn(row)
             new_rid = table.update(rid, tuple(new_row))
             self._log_write(table.name, "update", (rid, new_rid), row)
             count += 1

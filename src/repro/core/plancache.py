@@ -1,0 +1,201 @@
+"""Plan caching and prepared statements.
+
+``Database.execute`` used to re-lex, re-parse, re-bind, and re-optimize
+every SQL string it saw — for repeated OLTP-style statements that pipeline
+costs more than running the plan.  This module caches the *compiled* side
+of a statement:
+
+* :class:`PlanCache` — an LRU of bound + optimized physical plans, logically
+  keyed on ``(normalized SQL text, catalog version, stats epoch, optimizer
+  options)``.  DDL bumps the catalog version, ``ANALYZE`` bumps the stats
+  epoch, so any schema or statistics change makes every dependent key miss.
+  Physically the cache indexes by text and validates version/epoch on
+  lookup, which also evicts stale entries eagerly instead of letting them
+  squat in the LRU.
+
+* :class:`PreparedStatement` — ``db.prepare(sql)`` parses once, binds ``?``
+  placeholders to a shared :class:`~repro.plan.expressions.ParamVector`,
+  optimizes once, and then every ``execute(params)`` just writes the new
+  values into the vector and re-runs the cached physical plan (compiled
+  expression closures included).  Statements the bound path cannot host —
+  DML, or queries whose subqueries fold at bind time — transparently fall
+  back to client-side substitution via :mod:`repro.sql.params`.
+
+Cached plans retain their compiled expression closures (memoized on the
+expression nodes by :mod:`repro.exec.compile`), so a plan-cache hit skips
+codegen as well as planning.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.sql import ast
+
+
+@dataclass
+class PlanCacheStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class CachedPlan:
+    """One bound + optimized physical plan and what it was built against."""
+
+    physical: Any  # exec.physical.PhysicalPlan (untyped to avoid the import cycle)
+    columns: List[str]
+    tables: Optional[FrozenSet[str]]  # base tables read; None = unknown
+    catalog_version: int
+    stats_epoch: int
+    options_key: Tuple
+
+
+class PlanCache:
+    """LRU of optimized plans with version/epoch validation on lookup."""
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self,
+        normalized_sql: str,
+        catalog_version: int,
+        stats_epoch: int,
+        options_key: Tuple,
+    ) -> Optional[CachedPlan]:
+        entry = self._entries.get(normalized_sql)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if (
+            entry.catalog_version != catalog_version
+            or entry.stats_epoch != stats_epoch
+            or entry.options_key != options_key
+        ):
+            # Built against an older schema/statistics world: evict.
+            del self._entries[normalized_sql]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._entries.move_to_end(normalized_sql)
+        return entry
+
+    def put(self, normalized_sql: str, entry: CachedPlan) -> None:
+        self._entries[normalized_sql] = entry
+        self._entries.move_to_end(normalized_sql)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate_all(self) -> None:
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+
+
+def normalize_sql(sql: str) -> str:
+    """Whitespace-insensitive cache key for one statement's text."""
+    return " ".join(sql.split())
+
+
+def has_subquery(statement: ast.Statement) -> bool:
+    """Whether any expression in the statement contains a subquery.
+
+    Subqueries fold to constants at bind time, which makes their plans
+    depend on table *data*, not just schema — such plans must never be
+    reused across statements.
+    """
+
+    def expr_has(expr: Optional[ast.Expr]) -> bool:
+        if expr is None:
+            return False
+        return any(
+            isinstance(node, (ast.Subquery, ast.ExistsExpr))
+            for node in ast.walk_expr(expr)
+        )
+
+    def from_has(item) -> bool:
+        if item is None:
+            return False
+        if isinstance(item, ast.Join):
+            return from_has(item.left) or from_has(item.right) or expr_has(item.condition)
+        return False
+
+    def select_has(stmt: ast.SelectStmt) -> bool:
+        exprs = [i.expr for i in stmt.items]
+        exprs.append(stmt.where)
+        exprs.append(stmt.having)
+        exprs.extend(stmt.group_by)
+        exprs.extend(i.expr for i in stmt.order_by)
+        return any(expr_has(e) for e in exprs) or from_has(stmt.from_item)
+
+    def walk(stmt) -> bool:
+        if isinstance(stmt, ast.SelectStmt):
+            return select_has(stmt)
+        if isinstance(stmt, ast.SetOpStmt):
+            return (
+                walk(stmt.left)
+                or walk(stmt.right)
+                or any(expr_has(i.expr) for i in stmt.order_by)
+            )
+        return True  # unknown statement shapes are conservatively "has"
+
+    return walk(statement)
+
+
+def is_plan_cacheable(statement: ast.Statement) -> bool:
+    """SELECT-shaped, and safe to reuse across executions."""
+    if not isinstance(statement, (ast.SelectStmt, ast.SetOpStmt)):
+        return False
+    return not has_subquery(statement)
+
+
+class PreparedStatement:
+    """A statement parsed, bound, and optimized once, executed many times.
+
+    Obtained from ``Database.prepare``.  For SELECT statements without
+    subqueries the physical plan (and its compiled expression closures) is
+    built at prepare time and reused by every ``execute``; parameters bind
+    through a shared ParamVector, so changing them costs a list assignment.
+    Other statements fall back to parameter substitution + the normal
+    execute path (which still benefits from the textual plan cache).
+    """
+
+    def __init__(self, database, sql: str):
+        self._db = database
+        self.sql = sql
+        self.statement = None  # parsed AST (set by database during prepare)
+        self.param_count = 0
+        self.uses_bound_plan = False
+        # Bound-plan state (SELECT fast path only):
+        self.param_vector = None  # plan.expressions.ParamVector
+        self.physical = None
+        self.columns: List[str] = []
+        self.catalog_version = -1
+        self.stats_epoch = -1
+        self.options_key: Tuple = ()
+        self.executions = 0
+        self.replans = 0
+
+    def execute(self, params: Sequence[Any] = (), engine: Optional[str] = None):
+        """Run with the given parameter values; returns a Result."""
+        return self._db._execute_prepared(self, params, engine)
+
+    def __repr__(self) -> str:
+        mode = "bound-plan" if self.uses_bound_plan else "text-fallback"
+        return (
+            f"PreparedStatement({self.sql!r}, params={self.param_count}, "
+            f"mode={mode}, executions={self.executions})"
+        )

@@ -17,6 +17,7 @@ from typing import Any, List, Sequence
 import numpy as np
 
 from repro.core.errors import ExecutionError
+from repro.exec.compile import evaluator
 from repro.plan.expressions import (
     BoundBinary,
     BoundCase,
@@ -27,6 +28,7 @@ from repro.plan.expressions import (
     BoundIsNull,
     BoundLike,
     BoundLiteral,
+    BoundParam,
     BoundUnary,
 )
 
@@ -49,6 +51,8 @@ def eval_batch(expr: BoundExpr, batch: Batch, n: int) -> List[Any]:
         return batch[expr.index]
     if isinstance(expr, BoundLiteral):
         return [expr.value] * n
+    if isinstance(expr, BoundParam):
+        return [expr.slots[expr.index]] * n
     if isinstance(expr, BoundBinary):
         return _eval_binary(expr, batch, n)
     if isinstance(expr, BoundUnary):
@@ -80,15 +84,26 @@ def eval_batch(expr: BoundExpr, batch: Batch, n: int) -> List[Any]:
     raise ExecutionError(f"cannot batch-evaluate {type(expr).__name__}")
 
 
+def normalize_mask(values: Sequence[Any]) -> List[Any]:
+    """Coerce a predicate column to plain ``True`` / ``False`` / ``None``.
+
+    The numpy fast path can hand back ``np.bool_`` values, for which identity
+    tests like ``v is True`` are silently always false.  Normalizing at this
+    boundary lets consumers use plain truthiness (``None`` is falsy).
+    """
+    return [None if v is None else bool(v) for v in values]
+
+
 def _eval_rowwise(expr: BoundExpr, batch: Batch, n: int) -> List[Any]:
     columns = sorted(_columns_of(expr))
+    fn = evaluator(expr)
     out = []
     width = len(batch)
     row: List[Any] = [None] * width
     for i in range(n):
         for c in columns:
             row[c] = batch[c][i]
-        out.append(expr.eval(row))
+        out.append(fn(row))
     return out
 
 
@@ -152,9 +167,17 @@ def _eval_binary(expr: BoundBinary, batch: Batch, n: int) -> List[Any]:
             if la is not None and ra is not None:
                 fn = _NUMPY_ARITH.get(op) or _NUMPY_CMP[op]
                 return fn(la, ra).tolist()
-    # General path with NULL propagation, reusing scalar semantics.
-    probe = BoundBinary(op, _Slot(0, expr.left.dtype), _Slot(1, expr.right.dtype), expr.dtype)
-    return [probe.eval((a, b)) for a, b in zip(left, right)]
+    # General path with NULL propagation, reusing scalar semantics.  The
+    # two-slot probe closure is memoized on the expression node so repeated
+    # batches (and plan-cache hits) compile it exactly once.
+    probe_fn = getattr(expr, "_probe_fn", None)
+    if probe_fn is None:
+        probe = BoundBinary(
+            op, _Slot(0, expr.left.dtype), _Slot(1, expr.right.dtype), expr.dtype
+        )
+        probe_fn = evaluator(probe)
+        object.__setattr__(expr, "_probe_fn", probe_fn)
+    return [probe_fn((a, b)) for a, b in zip(left, right)]
 
 
 class _Slot(BoundColumn):

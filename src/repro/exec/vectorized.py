@@ -16,7 +16,8 @@ from repro.catalog.catalog import Catalog
 from repro.core.errors import ExecutionError
 from repro.core.types import Row
 from repro.exec import physical as phys
-from repro.exec.vector_eval import Batch, eval_batch
+from repro.exec.compile import evaluator
+from repro.exec.vector_eval import Batch, eval_batch, normalize_mask
 from repro.exec.volcano import _Accumulator, sort_rows
 
 DEFAULT_BATCH_SIZE = 1024
@@ -92,18 +93,16 @@ def _index_scan_rows(plan: phys.PIndexScan, catalog: Catalog) -> Iterator[Row]:
 def _rows_to_batches(
     rows: Iterator[Row], width: int, batch_size: int
 ) -> Iterator[Tuple[Batch, int]]:
-    columns: Batch = [[] for _ in range(width)]
-    n = 0
+    # Accumulate rows and pivot each chunk with one zip(*...) call — the
+    # transpose happens in C instead of a per-cell Python append loop.
+    chunk: List[Row] = []
     for row in rows:
-        for j in range(width):
-            columns[j].append(row[j])
-        n += 1
-        if n >= batch_size:
-            yield columns, n
-            columns = [[] for _ in range(width)]
-            n = 0
-    if n:
-        yield columns, n
+        chunk.append(row)
+        if len(chunk) >= batch_size:
+            yield _pivot(chunk, width), len(chunk)
+            chunk = []
+    if chunk:
+        yield _pivot(chunk, width), len(chunk)
 
 
 def _materialize(plan: phys.PhysicalPlan, catalog: Catalog, batch_size: int) -> List[Row]:
@@ -121,8 +120,8 @@ def _filter(
     plan: phys.PFilter, catalog: Catalog, batch_size: int
 ) -> Iterator[Tuple[Batch, int]]:
     for batch, n in _execute(plan.child, catalog, batch_size):
-        mask = eval_batch(plan.predicate, batch, n)
-        selected = [i for i in range(n) if mask[i] is True]
+        mask = normalize_mask(eval_batch(plan.predicate, batch, n))
+        selected = [i for i in range(n) if mask[i]]
         if not selected:
             continue
         if len(selected) == n:
@@ -143,14 +142,16 @@ def _hash_join(
 ) -> Iterator[Tuple[Batch, int]]:
     right_rows = _materialize(plan.right, catalog, batch_size)
     table: Dict[Tuple, List[Row]] = {}
+    right_keys = [evaluator(k) for k in plan.right_keys]
     for right_row in right_rows:
-        key = tuple(k.eval(right_row) for k in plan.right_keys)
+        key = tuple(k(right_row) for k in right_keys)
         if any(v is None for v in key):
             continue
         table.setdefault(key, []).append(right_row)
     right_width = len(plan.right.schema)
     null_pad = (None,) * right_width
     out_width = len(plan.schema)
+    residual = evaluator(plan.residual)
 
     out_rows: List[Row] = []
     for batch, n in _execute(plan.left, catalog, batch_size):
@@ -162,7 +163,7 @@ def _hash_join(
             if not any(v is None for v in key):
                 for right_row in table.get(key, ()):
                     combined = left_row + right_row
-                    if plan.residual is None or plan.residual.eval(combined) is True:
+                    if residual is None or residual(combined) is True:
                         matched = True
                         out_rows.append(combined)
             if plan.is_outer and not matched:
@@ -181,6 +182,7 @@ def _nested_loop_join(
     right_width = len(plan.right.schema)
     null_pad = (None,) * right_width
     out_width = len(plan.schema)
+    condition = evaluator(plan.condition)
     out_rows: List[Row] = []
     for batch, n in _execute(plan.left, catalog, batch_size):
         for i in range(n):
@@ -188,7 +190,7 @@ def _nested_loop_join(
             matched = False
             for right_row in right_rows:
                 combined = left_row + right_row
-                if plan.condition is None or plan.condition.eval(combined) is True:
+                if condition is None or condition(combined) is True:
                     matched = True
                     out_rows.append(combined)
             if plan.is_outer and not matched:
@@ -304,4 +306,6 @@ def _distinct(
 
 
 def _pivot(rows: List[Row], width: int) -> Batch:
-    return [[row[j] for row in rows] for j in range(width)]
+    if not rows:
+        return [[] for _ in range(width)]
+    return [list(col) for col in zip(*rows)]

@@ -15,6 +15,7 @@ from repro.catalog.catalog import Catalog
 from repro.core.errors import ExecutionError
 from repro.core.types import Row
 from repro.exec import physical as phys
+from repro.exec.compile import evaluator, is_enabled
 from repro.plan.expressions import AggSpec, BoundExpr
 
 
@@ -55,27 +56,44 @@ def _seq_scan(plan: phys.PSeqScan, catalog: Catalog) -> Iterator[Row]:
     yield from table.scan_rows()
 
 
+def _resolve_bound(value: Any) -> Any:
+    """An index-scan bound is a concrete value or a parameter expression."""
+    if isinstance(value, BoundExpr):
+        return value.eval(())
+    return value
+
+
 def _index_scan(plan: phys.PIndexScan, catalog: Catalog) -> Iterator[Row]:
     table = catalog.get_table(plan.table)
     info = table.indexes.get(plan.index_name)
     if info is None:
         raise ExecutionError(f"index {plan.index_name!r} disappeared")
     if plan.eq_value is not None:
-        rids = info.structure.search(plan.eq_value)
+        eq_value = _resolve_bound(plan.eq_value)
+        if eq_value is None:
+            return  # equality with a NULL parameter matches nothing
+        rids = info.structure.search(eq_value)
     else:
         if not info.supports_range():
             raise ExecutionError(f"index {plan.index_name!r} cannot do range scans")
+        low = _resolve_bound(plan.low)
+        high = _resolve_bound(plan.high)
+        if (plan.low is not None and low is None) or (
+            plan.high is not None and high is None
+        ):
+            return  # a comparison with a NULL parameter matches nothing
         rids = [
             rid
             for _, rid in info.structure.range(
-                plan.low, plan.high, plan.include_low, plan.include_high
+                low, high, plan.include_low, plan.include_high
             )
         ]
+    residual = evaluator(plan.residual)
     for rid in rids:
         row = table.get(rid)
         if row is None:
             continue  # deleted since index lookup
-        if plan.residual is not None and plan.residual.eval(row) is not True:
+        if residual is not None and residual(row) is not True:
             continue
         yield row
 
@@ -84,28 +102,28 @@ def _index_scan(plan: phys.PIndexScan, catalog: Catalog) -> Iterator[Row]:
 
 
 def _filter(plan: phys.PFilter, catalog: Catalog) -> Iterator[Row]:
-    predicate = plan.predicate
+    predicate = evaluator(plan.predicate)
     for row in execute_volcano(plan.child, catalog):
-        if predicate.eval(row) is True:
+        if predicate(row) is True:
             yield row
 
 
 def _project(plan: phys.PProject, catalog: Catalog) -> Iterator[Row]:
-    exprs = plan.exprs
+    fns = [evaluator(e) for e in plan.exprs]
     for row in execute_volcano(plan.child, catalog):
-        yield tuple(e.eval(row) for e in exprs)
+        yield tuple(fn(row) for fn in fns)
 
 
 def _nested_loop_join(plan: phys.PNestedLoopJoin, catalog: Catalog) -> Iterator[Row]:
     right_rows = list(execute_volcano(plan.right, catalog))
     right_width = len(plan.right.schema)
     null_pad = (None,) * right_width
-    condition = plan.condition
+    condition = evaluator(plan.condition)
     for left_row in execute_volcano(plan.left, catalog):
         matched = False
         for right_row in right_rows:
             combined = left_row + right_row
-            if condition is None or condition.eval(combined) is True:
+            if condition is None or condition(combined) is True:
                 matched = True
                 yield combined
         if plan.is_outer and not matched:
@@ -115,21 +133,23 @@ def _nested_loop_join(plan: phys.PNestedLoopJoin, catalog: Catalog) -> Iterator[
 def _hash_join(plan: phys.PHashJoin, catalog: Catalog) -> Iterator[Row]:
     # Build on the right input.
     table: Dict[Tuple, List[Row]] = {}
+    right_keys = [evaluator(k) for k in plan.right_keys]
     for right_row in execute_volcano(plan.right, catalog):
-        key = tuple(k.eval(right_row) for k in plan.right_keys)
+        key = tuple(k(right_row) for k in right_keys)
         if any(v is None for v in key):
             continue  # SQL equality never matches NULL
         table.setdefault(key, []).append(right_row)
     right_width = len(plan.right.schema)
     null_pad = (None,) * right_width
-    residual = plan.residual
+    residual = evaluator(plan.residual)
+    left_keys = [evaluator(k) for k in plan.left_keys]
     for left_row in execute_volcano(plan.left, catalog):
-        key = tuple(k.eval(left_row) for k in plan.left_keys)
+        key = tuple(k(left_row) for k in left_keys)
         matched = False
         if not any(v is None for v in key):
             for right_row in table.get(key, ()):
                 combined = left_row + right_row
-                if residual is None or residual.eval(combined) is True:
+                if residual is None or residual(combined) is True:
                     matched = True
                     yield combined
         if plan.is_outer and not matched:
@@ -140,23 +160,31 @@ def _hash_join(plan: phys.PHashJoin, catalog: Catalog) -> Iterator[Row]:
 
 
 class _Accumulator:
-    """State for one aggregate within one group."""
+    """State for one aggregate within one group.
 
-    __slots__ = ("spec", "count", "total", "extreme", "distinct_values")
+    ``add`` is an instance attribute: when expression codegen is enabled the
+    per-function dispatch is resolved once at construction into a specialized
+    closure (the aggregate analogue of compiling an expression), otherwise it
+    falls back to the branching interpreter in :meth:`_add_generic`.
+    """
+
+    __slots__ = ("spec", "arg_fn", "count", "total", "extreme", "distinct_values", "add")
 
     def __init__(self, spec: AggSpec):
         self.spec = spec
+        self.arg_fn = evaluator(spec.arg)
         self.count = 0
         self.total: Any = None
         self.extreme: Any = None
         self.distinct_values = set() if spec.distinct else None
+        self.add = self._make_add() if is_enabled() else self._add_generic
 
-    def add(self, row: Row) -> None:
+    def _add_generic(self, row: Row) -> None:
         spec = self.spec
-        if spec.arg is None:  # COUNT(*)
+        if self.arg_fn is None:  # COUNT(*)
             self.count += 1
             return
-        value = spec.arg.eval(row)
+        value = self.arg_fn(row)
         if value is None:
             return
         if self.distinct_values is not None:
@@ -173,6 +201,53 @@ class _Accumulator:
             if self.extreme is None or value > self.extreme:
                 self.extreme = value
 
+    def _make_add(self):
+        arg_fn = self.arg_fn
+        if arg_fn is None:  # COUNT(*)
+            def add_star(row: Row) -> None:
+                self.count += 1
+
+            return add_star
+        if self.distinct_values is not None:
+            return self._add_generic
+        func = self.spec.func
+        if func == "COUNT":
+            def add_count(row: Row) -> None:
+                if arg_fn(row) is not None:
+                    self.count += 1
+
+            return add_count
+        if func in ("SUM", "AVG"):
+            def add_sum(row: Row) -> None:
+                value = arg_fn(row)
+                if value is not None:
+                    self.count += 1
+                    total = self.total
+                    self.total = value if total is None else total + value
+
+            return add_sum
+        if func == "MIN":
+            def add_min(row: Row) -> None:
+                value = arg_fn(row)
+                if value is not None:
+                    self.count += 1
+                    extreme = self.extreme
+                    if extreme is None or value < extreme:
+                        self.extreme = value
+
+            return add_min
+        if func == "MAX":
+            def add_max(row: Row) -> None:
+                value = arg_fn(row)
+                if value is not None:
+                    self.count += 1
+                    extreme = self.extreme
+                    if extreme is None or value > extreme:
+                        self.extreme = value
+
+            return add_max
+        return self._add_generic
+
     def result(self) -> Any:
         func = self.spec.func
         if func == "COUNT":
@@ -187,8 +262,9 @@ class _Accumulator:
 def _aggregate(plan: phys.PAggregate, catalog: Catalog) -> Iterator[Row]:
     groups: Dict[Tuple, List[_Accumulator]] = {}
     order: List[Tuple] = []
+    group_fns = [evaluator(e) for e in plan.group_exprs]
     for row in execute_volcano(plan.child, catalog):
-        key = tuple(e.eval(row) for e in plan.group_exprs)
+        key = tuple(fn(row) for fn in group_fns)
         accs = groups.get(key)
         if accs is None:
             accs = [_Accumulator(spec) for spec in plan.aggregates]
@@ -277,9 +353,10 @@ def sort_rows(
 ) -> List[Row]:
     """Sort rows by bound key expressions; bounded heap when limit is given."""
     directions = [asc for _, asc in keys]
+    key_fns = [evaluator(e) for e, _ in keys]
 
     def key_of(row: Row) -> SortComparable:
-        return SortComparable([e.eval(row) for e, _ in keys], directions)
+        return SortComparable([fn(row) for fn in key_fns], directions)
 
     if limit is not None and limit < len(rows):
         return heapq.nsmallest(limit, rows, key=key_of)

@@ -27,6 +27,7 @@ from repro.plan.expressions import (
     BoundIsNull,
     BoundLike,
     BoundLiteral,
+    BoundParam,
     BoundUnary,
     split_conjuncts,
 )
@@ -208,9 +209,21 @@ class Estimator:
     ) -> float:
         left, right, op = pred.left, pred.right, pred.op
         # Normalize to column-on-the-left.
-        if isinstance(right, BoundColumn) and isinstance(left, BoundLiteral):
+        if isinstance(right, BoundColumn) and isinstance(left, (BoundLiteral, BoundParam)):
             left, right = right, left
             op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if isinstance(left, BoundColumn) and isinstance(right, BoundParam):
+            # Parameter value unknown at plan time: treat an equality like
+            # "some one value" (1/ndv) and ranges like the generic default.
+            stats = self._column_stats(origins[left.index])
+            if op in ("=", "!="):
+                base = (
+                    stats.eq_selectivity()
+                    if stats is not None
+                    else DEFAULT_EQ_SELECTIVITY
+                )
+                return base if op == "=" else max(0.0, 1.0 - base)
+            return DEFAULT_RANGE_SELECTIVITY
         if isinstance(left, BoundColumn) and isinstance(right, BoundColumn):
             if op == "=":
                 return join_selectivity(

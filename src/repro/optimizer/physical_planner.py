@@ -26,6 +26,7 @@ from repro.plan.expressions import (
     BoundColumn,
     BoundExpr,
     BoundLiteral,
+    BoundParam,
     conjoin,
     split_conjuncts,
 )
@@ -176,21 +177,28 @@ class PhysicalPlanner:
         if not isinstance(conjunct, BoundBinary):
             return None
         left, right, op = conjunct.left, conjunct.right, conjunct.op
-        if isinstance(right, BoundColumn) and isinstance(left, BoundLiteral):
+        if isinstance(right, BoundColumn) and isinstance(left, (BoundLiteral, BoundParam)):
             left, right = right, left
             op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
-        if not (isinstance(left, BoundColumn) and isinstance(right, BoundLiteral)):
+        if not (
+            isinstance(left, BoundColumn)
+            and isinstance(right, (BoundLiteral, BoundParam))
+        ):
             return None
-        if right.value is None:
-            return None
+        if isinstance(right, BoundLiteral):
+            if right.value is None:
+                return None
+            probe = right.value
+        else:
+            # Parameter placeholder: the executor resolves the BoundParam's
+            # current value on every run, so prepared plans keep index access.
+            probe = right
         column_name = table.schema[left.index].name
         if op == "=":
             info = table.index_on(column_name)
             if info is None:
                 return None
-            return _IndexChoice(
-                info, left.index, eq_value=right.value, consumed=(position,)
-            )
+            return _IndexChoice(info, left.index, eq_value=probe, consumed=(position,))
         if op in ("<", "<=", ">", ">="):
             info = table.index_on(column_name, kind_filter="btree")
             if info is None:
@@ -199,14 +207,14 @@ class PhysicalPlanner:
                 return _IndexChoice(
                     info,
                     left.index,
-                    high=right.value,
+                    high=probe,
                     include_high=(op == "<="),
                     consumed=(position,),
                 )
             return _IndexChoice(
                 info,
                 left.index,
-                low=right.value,
+                low=probe,
                 include_low=(op == ">="),
                 consumed=(position,),
             )

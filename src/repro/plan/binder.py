@@ -35,7 +35,9 @@ from repro.plan.expressions import (
     BoundIsNull,
     BoundLike,
     BoundLiteral,
+    BoundParam,
     BoundUnary,
+    ParamVector,
     is_constant,
     scalar_result_type,
 )
@@ -54,6 +56,23 @@ class Binder:
     def __init__(self, catalog: Catalog, subquery_executor=None):
         self.catalog = catalog
         self.subquery_executor = subquery_executor
+        # Prepared-statement parameter slots, set for the duration of one
+        # bind_prepared call; ``?`` placeholders bind against this vector.
+        self._param_vector: Optional[ParamVector] = None
+
+    def bind_prepared(
+        self, stmt: ast.Statement, params: ParamVector
+    ) -> logical.LogicalPlan:
+        """Bind a query whose ``?`` placeholders read from ``params``.
+
+        The returned plan's BoundParam nodes share the vector, so executing
+        with new values is just ``params.bind(...)`` — no re-bind needed.
+        """
+        self._param_vector = params
+        try:
+            return self.bind_query(stmt)
+        finally:
+            self._param_vector = None
 
     # ------------------------------------------------------------------
     # SELECT
@@ -448,6 +467,13 @@ class Binder:
         """Bind one scalar expression against a schema."""
         if isinstance(expr, ast.Literal):
             return BoundLiteral(expr.value, DataType.of_value(expr.value))
+        if isinstance(expr, ast.Parameter):
+            if self._param_vector is None:
+                raise BindError(
+                    "'?' placeholders require db.prepare() or an explicit "
+                    "params= argument to execute()"
+                )
+            return BoundParam(self._param_vector, expr.index)
         if isinstance(expr, ast.ColumnRef):
             idx = schema.index_of(expr.key())
             col = schema[idx]

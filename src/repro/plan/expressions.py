@@ -242,6 +242,54 @@ def like_to_regex(pattern: str) -> str:
     return "".join(out) + r"\Z"
 
 
+class ParamVector:
+    """Mutable parameter slots shared by one prepared statement's plan.
+
+    The plan's :class:`BoundParam` nodes all reference the same vector;
+    ``PreparedStatement.execute`` writes fresh values in before running the
+    cached physical plan, so binding parameters never re-plans (or even
+    re-parses) the statement.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, size: int):
+        self.values: list = [None] * size
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+    def bind(self, params: Sequence[Any]) -> None:
+        if len(params) != len(self.values):
+            raise ExecutionError(
+                f"statement has {len(self.values)} parameters but "
+                f"{len(params)} values were supplied"
+            )
+        self.values[:] = list(params)
+
+
+@dataclass(frozen=True, repr=False, eq=False)
+class BoundParam(BoundExpr):
+    """A ``?`` placeholder: reads slot ``index`` of a shared ParamVector.
+
+    Typed as NULL at bind time (the value is unknown until execution), which
+    makes it comparable with every other type under the dialect's rules.
+    """
+
+    slots: ParamVector
+    index: int
+    dtype: DataType = DataType.NULL
+
+    def eval(self, row: Sequence[Any]) -> Any:
+        return self.slots[self.index]
+
+    def to_sql(self) -> str:
+        return f"?{self.index + 1}"
+
+
 @dataclass(frozen=True, repr=False)
 class BoundCase(BoundExpr):
     whens: Tuple[Tuple[BoundExpr, BoundExpr], ...]
@@ -519,6 +567,17 @@ def conjoin(conjuncts: Sequence[BoundExpr]) -> Optional[BoundExpr]:
     return result
 
 
+def contains_param(expr: BoundExpr) -> bool:
+    """True when the expression reads a prepared-statement parameter."""
+    if isinstance(expr, BoundParam):
+        return True
+    return any(contains_param(child) for child in expr.children())
+
+
 def is_constant(expr: BoundExpr) -> bool:
-    """True when the expression reads no columns."""
-    return not columns_used(expr)
+    """True when the expression reads no columns and no parameters.
+
+    Parameters are runtime inputs: folding them at plan time would freeze
+    the first bound value into the cached plan.
+    """
+    return not columns_used(expr) and not contains_param(expr)

@@ -83,6 +83,17 @@ class UnaryOp(Expr):
 
 
 @dataclass(frozen=True)
+class Parameter(Expr):
+    """A ``?`` placeholder; ``index`` is its zero-based position in the
+    statement (left to right).  Only meaningful under ``db.prepare``."""
+
+    index: int
+
+    def to_sql(self) -> str:
+        return "?"
+
+
+@dataclass(frozen=True)
 class FuncCall(Expr):
     name: str  # upper-cased
     args: Tuple[Expr, ...] = ()

@@ -49,7 +49,7 @@ class Token:
 
 
 _OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%", "||")
-_PUNCT = "(),.;[]"
+_PUNCT = "(),.;[]?"
 
 
 def tokenize(sql: str) -> List[Token]:

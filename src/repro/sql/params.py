@@ -60,6 +60,11 @@ def _placeholder_positions(sql: str) -> List[int]:
     return positions
 
 
+def count_placeholders(sql: str) -> int:
+    """Number of bindable ``?`` placeholders in the statement text."""
+    return len(_placeholder_positions(sql))
+
+
 def substitute_params(sql: str, params: Sequence[Any]) -> str:
     """Replace each ``?`` placeholder with the corresponding parameter."""
     positions = _placeholder_positions(sql)

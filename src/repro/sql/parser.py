@@ -32,6 +32,7 @@ class _Parser:
         self.sql = sql
         self.tokens = tokenize(sql)
         self.pos = 0
+        self.param_count = 0  # `?` placeholders seen, in statement order
 
     # -- token plumbing ---------------------------------------------------
 
@@ -518,6 +519,11 @@ class _Parser:
             subquery = ast.Subquery(self.parse_compound_select())
             self.expect_punct(")")
             return ast.ExistsExpr(subquery)
+        if token.type is TokenType.PUNCT and token.value == "?":
+            self.advance()
+            param = ast.Parameter(self.param_count)
+            self.param_count += 1
+            return param
         if token.type is TokenType.PUNCT and token.value == "[":
             return self.parse_vector_literal()
         if token.type is TokenType.PUNCT and token.value == "(":

@@ -95,36 +95,41 @@ def decode_values(data: bytes, count: int, offset: int = 0) -> Tuple[Row, int]:
 
 
 def _decode_values(data: bytes, count: int, offset: int) -> Tuple[Row, int]:
+    # Hot path: this runs once per stored row on every scan.  Bound-method
+    # lookups are hoisted and the common fixed-width tags tested first.
     values: List[Any] = []
+    append = values.append
+    end = len(data)
+    unpack_int = _INT64.unpack_from
+    unpack_float = _FLOAT64.unpack_from
+    unpack_len = _UINT32.unpack_from
     for _ in range(count):
-        if offset >= len(data):
+        if offset >= end:
             raise StorageError("row payload truncated")
         tag = data[offset]
         offset += 1
-        if tag == _TAG_NULL:
-            values.append(None)
-        elif tag == _TAG_INT:
-            (v,) = _INT64.unpack_from(data, offset)
+        if tag == _TAG_INT:
+            append(unpack_int(data, offset)[0])
             offset += 8
-            values.append(v)
         elif tag == _TAG_FLOAT:
-            (v,) = _FLOAT64.unpack_from(data, offset)
+            append(unpack_float(data, offset)[0])
             offset += 8
-            values.append(v)
         elif tag == _TAG_TEXT:
-            (n,) = _UINT32.unpack_from(data, offset)
+            n = unpack_len(data, offset)[0]
             offset += 4
-            values.append(data[offset : offset + n].decode("utf-8"))
+            append(data[offset : offset + n].decode("utf-8"))
             offset += n
+        elif tag == _TAG_NULL:
+            append(None)
         elif tag == _TAG_BOOL:
-            values.append(bool(data[offset]))
+            append(bool(data[offset]))
             offset += 1
         elif tag == _TAG_VECTOR:
-            (n,) = _UINT32.unpack_from(data, offset)
+            n = unpack_len(data, offset)[0]
             offset += 4
             vec = struct.unpack_from(f">{n}d", data, offset)
             offset += 8 * n
-            values.append(tuple(vec))
+            append(tuple(vec))
         else:
             raise StorageError(f"unknown value tag {tag} at offset {offset - 1}")
     return tuple(values), offset

@@ -1,0 +1,89 @@
+"""Decoded-row scan cache: reuse, invalidation, and partial-scan safety."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.types import Column, DataType, Schema
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+    d.insert_rows("t", [(i, f"row-{i}") for i in range(20)])
+    return d
+
+
+def _table(db):
+    return db.catalog.get_table("t")
+
+
+class TestScanCache:
+    def test_completed_scan_installs_cache(self, db):
+        table = _table(db)
+        assert table._scan_cache is None
+        rows = list(table.scan_rows())
+        assert len(rows) == 20
+        assert table._scan_cache is not None
+
+    def test_second_scan_served_from_cache(self, db):
+        table = _table(db)
+        list(table.scan_rows())
+        cached = table._scan_cache
+        assert list(table.scan()) == cached
+        assert table._scan_cache is cached  # not rebuilt
+
+    def test_abandoned_scan_does_not_install(self, db):
+        table = _table(db)
+        it = table.scan_rows()
+        next(it)
+        it.close()
+        assert table._scan_cache is None
+
+    @pytest.mark.parametrize("write", ["insert", "delete", "update"])
+    def test_writes_invalidate(self, db, write):
+        table = _table(db)
+        list(table.scan_rows())
+        assert table._scan_cache is not None
+        if write == "insert":
+            table.insert((99, "new"))
+        elif write == "delete":
+            db.execute("DELETE FROM t WHERE a = 0")
+        else:
+            db.execute("UPDATE t SET b = 'x' WHERE a = 1")
+        assert table._scan_cache is None
+
+    def test_write_during_scan_blocks_install(self, db):
+        table = _table(db)
+        it = table.scan()
+        next(it)
+        table.insert((99, "mid-scan"))
+        list(it)  # drain to completion
+        assert table._scan_cache is None  # snapshot raced a write
+
+    def test_queries_see_fresh_data_after_cached_scan(self, db):
+        for engine in ("volcano", "vectorized"):
+            before = db.execute("SELECT COUNT(*) FROM t", engine=engine).rows[0][0]
+            db.execute("INSERT INTO t VALUES (1000, 'fresh')")
+            after = db.execute("SELECT COUNT(*) FROM t", engine=engine).rows[0][0]
+            assert after == before + 1
+
+    def test_large_tables_are_not_cached(self, db, monkeypatch):
+        from repro.catalog import catalog as catalog_mod
+
+        monkeypatch.setattr(catalog_mod, "SCAN_CACHE_MAX_ROWS", 5)
+        table = _table(db)
+        assert list(table.scan_rows())  # 20 rows > cap
+        assert table._scan_cache is None
+
+    def test_column_layout_also_cached(self):
+        db = Database()
+        schema = Schema(
+            (Column("a", DataType.INTEGER), Column("b", DataType.TEXT))
+        )
+        table = db.catalog.create_table("c", schema, layout="column")
+        table.insert_many([(i, str(i)) for i in range(5)])
+        assert list(table.scan_rows()) == [(i, str(i)) for i in range(5)]
+        assert table._scan_cache is not None
+        table.insert((5, "5"))
+        assert table._scan_cache is None

@@ -1,0 +1,185 @@
+"""Tests for the plan cache and prepared statements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import ExecutionError, ParseError
+from repro.core.plancache import PlanCache, CachedPlan
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a INTEGER, b TEXT, c DOUBLE)")
+    database.execute(
+        "INSERT INTO t VALUES (1, 'x', 1.5), (2, 'y', 2.5), (3, NULL, 3.5)"
+    )
+    return database
+
+
+class TestPlanCache:
+    def test_repeat_statement_hits(self, db):
+        db.execute("SELECT a FROM t WHERE a >= 2")
+        assert not db.last_stats.plan_cache_hit
+        result = db.execute("SELECT a FROM t WHERE a >= 2")
+        assert db.last_stats.plan_cache_hit
+        assert result.rows == [(2,), (3,)]
+        assert db.plan_cache.stats.hits == 1
+
+    def test_whitespace_insensitive_key(self, db):
+        db.execute("SELECT a FROM t WHERE a >= 2")
+        db.execute("SELECT  a   FROM t\n WHERE a >= 2")
+        assert db.last_stats.plan_cache_hit
+
+    def test_hit_sees_fresh_data(self, db):
+        db.execute("SELECT a FROM t WHERE a >= 2")
+        db.execute("INSERT INTO t VALUES (4, 'z', 4.5)")
+        result = db.execute("SELECT a FROM t WHERE a >= 2")
+        assert db.last_stats.plan_cache_hit
+        assert result.rows == [(2,), (3,), (4,)]
+
+    def test_ddl_invalidates(self, db):
+        db.execute("SELECT a FROM t WHERE a >= 2")
+        db.execute("CREATE INDEX idx_a ON t (a)")
+        db.execute("SELECT a FROM t WHERE a >= 2")
+        assert not db.last_stats.plan_cache_hit  # re-planned (may use the index)
+        assert db.plan_cache.stats.invalidations >= 1
+        db.execute("SELECT a FROM t WHERE a >= 2")
+        assert db.last_stats.plan_cache_hit
+
+    def test_analyze_invalidates(self, db):
+        db.execute("SELECT a FROM t WHERE a >= 2")
+        db.execute("ANALYZE t")
+        db.execute("SELECT a FROM t WHERE a >= 2")
+        assert not db.last_stats.plan_cache_hit
+        assert db.plan_cache.stats.invalidations >= 1
+
+    def test_drop_table_clears_cache(self, db):
+        db.execute("SELECT a FROM t WHERE a >= 2")
+        assert len(db.plan_cache) == 1
+        db.execute("DROP TABLE t")
+        assert len(db.plan_cache) == 0
+
+    def test_subqueries_are_never_cached(self, db):
+        # Subqueries fold to constants at bind time; caching would freeze
+        # data-dependent plans.
+        sql = "SELECT a FROM t WHERE a = (SELECT MAX(a) FROM t)"
+        assert db.execute(sql).rows == [(3,)]
+        db.execute("INSERT INTO t VALUES (9, 'max', 0.0)")
+        result = db.execute(sql)
+        assert not db.last_stats.plan_cache_hit
+        assert result.rows == [(9,)]
+
+    def test_dml_is_not_cached(self, db):
+        db.execute("UPDATE t SET b = 'q' WHERE a = 1")
+        assert len(db.plan_cache) == 0
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        entry = lambda: CachedPlan(None, [], None, 0, 0, ())
+        cache.put("q1", entry())
+        cache.put("q2", entry())
+        assert cache.get("q1", 0, 0, ()) is not None  # refresh q1
+        cache.put("q3", entry())  # evicts q2 (least recent)
+        assert cache.get("q2", 0, 0, ()) is None
+        assert cache.get("q1", 0, 0, ()) is not None
+        assert cache.get("q3", 0, 0, ()) is not None
+
+    def test_stale_entry_is_evicted_on_lookup(self):
+        cache = PlanCache(capacity=4)
+        cache.put("q", CachedPlan(None, [], None, 0, 0, ()))
+        assert cache.get("q", 1, 0, ()) is None  # newer catalog version
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+    def test_can_be_disabled(self):
+        database = Database(plan_cache_size=0)
+        assert database.plan_cache is None
+        database.execute("CREATE TABLE u (a INTEGER)")
+        database.execute("INSERT INTO u VALUES (1)")
+        database.execute("SELECT a FROM u")
+        database.execute("SELECT a FROM u")
+        assert not database.last_stats.plan_cache_hit
+
+
+class TestPreparedStatements:
+    def test_select_uses_bound_plan(self, db):
+        stmt = db.prepare("SELECT a, b FROM t WHERE a = ?")
+        assert stmt.uses_bound_plan
+        assert stmt.param_count == 1
+        assert stmt.execute((2,)).rows == [(2, "y")]
+        assert stmt.execute((3,)).rows == [(3, None)]
+        assert stmt.execute((99,)).rows == []
+        assert stmt.executions == 3
+        assert stmt.replans == 1  # the initial plan only
+
+    def test_null_parameter_matches_nothing(self, db):
+        stmt = db.prepare("SELECT a FROM t WHERE a = ?")
+        assert stmt.execute((None,)).rows == []  # a = NULL is never true
+
+    def test_both_engines_give_same_answer(self, db):
+        stmt = db.prepare("SELECT a FROM t WHERE c < ? ORDER BY a")
+        assert (
+            stmt.execute((3.0,), engine="volcano").rows
+            == stmt.execute((3.0,), engine="vectorized").rows
+            == [(1,), (2,)]
+        )
+
+    def test_replans_after_ddl(self, db):
+        stmt = db.prepare("SELECT a FROM t WHERE a = ?")
+        stmt.execute((1,))
+        db.execute("CREATE INDEX idx_a ON t (a)")
+        assert stmt.execute((2,)).rows == [(2,)]
+        assert stmt.replans == 2
+
+    def test_replans_after_analyze(self, db):
+        stmt = db.prepare("SELECT a FROM t WHERE a = ?")
+        stmt.execute((1,))
+        db.analyze("t")
+        assert stmt.execute((2,)).rows == [(2,)]
+        assert stmt.replans == 2
+
+    def test_sees_writes_between_executions(self, db):
+        stmt = db.prepare("SELECT b FROM t WHERE a = ?")
+        assert stmt.execute((8,)).rows == []
+        db.execute("INSERT INTO t VALUES (8, 'new', 0.0)")
+        assert stmt.execute((8,)).rows == [("new",)]
+
+    def test_wrong_arity_raises(self, db):
+        stmt = db.prepare("SELECT a FROM t WHERE a = ?")
+        with pytest.raises(ExecutionError):
+            stmt.execute((1, 2))
+
+    def test_dml_falls_back_to_substitution(self, db):
+        stmt = db.prepare("INSERT INTO t VALUES (?, ?, ?)")
+        assert not stmt.uses_bound_plan
+        stmt.execute((7, "o'brien", 7.5))  # quoting handled client-side
+        assert db.execute("SELECT b FROM t WHERE a = 7").rows == [("o'brien",)]
+
+    def test_subquery_falls_back_to_substitution(self, db):
+        stmt = db.prepare("SELECT a FROM t WHERE a = (SELECT MAX(a) FROM t)")
+        assert not stmt.uses_bound_plan
+        assert stmt.execute(()).rows == [(3,)]
+        db.execute("INSERT INTO t VALUES (11, 'max', 0.0)")
+        assert stmt.execute(()).rows == [(11,)]
+
+    def test_parameter_is_not_constant_folded(self, db):
+        # The optimizer must not freeze the first-bound value into the plan.
+        stmt = db.prepare("SELECT a FROM t WHERE a = ? + 1")
+        assert stmt.execute((1,)).rows == [(2,)]
+        assert stmt.execute((2,)).rows == [(3,)]
+        assert stmt.replans == 1
+
+    def test_bare_placeholder_without_prepare_raises(self, db):
+        with pytest.raises(Exception, match="prepare"):
+            db.execute("SELECT a FROM t WHERE a = ?")
+
+    def test_params_kwarg_still_substitutes(self, db):
+        result = db.execute("SELECT b FROM t WHERE a = ?", params=(2,))
+        assert result.rows == [("y",)]
+
+    def test_substitution_arity_mismatch_raises(self, db):
+        with pytest.raises(ParseError):
+            db.execute("SELECT a FROM t WHERE a = ?", params=(1, 2))

@@ -1,0 +1,51 @@
+"""Regression tests for predicate-mask normalization in the vectorized engine.
+
+The numpy fast path in ``vector_eval`` returns ``np.bool_`` values, for
+which identity checks like ``mask[i] is True`` are silently always false —
+a filter written that way drops every row.  ``normalize_mask`` coerces
+predicate columns to plain ``True``/``False``/``None`` at the engine
+boundary so consumers can rely on ordinary truthiness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.database import Database
+from repro.exec.vector_eval import normalize_mask
+
+
+class TestNormalizeMask:
+    def test_numpy_bools_become_python_bools(self):
+        raw = list(np.array([True, False, True]))
+        assert all(isinstance(v, np.bool_) for v in raw)
+        assert any(v is True for v in raw) is False  # the footgun
+        normalized = normalize_mask(raw)
+        assert normalized == [True, False, True]
+        assert all(v is True or v is False for v in normalized)
+
+    def test_none_is_preserved(self):
+        assert normalize_mask([None, True, False, None]) == [None, True, False, None]
+
+    def test_truthy_values_coerce(self):
+        assert normalize_mask([1, 0, "x", ""]) == [True, False, True, False]
+
+
+class TestVectorizedFilterMasks:
+    def test_numeric_fast_path_filter_keeps_rows(self):
+        # Null-free numeric comparison takes the numpy fast path; the filter
+        # must still select rows even though the mask holds np.bool_ values.
+        db = Database(engine="vectorized")
+        db.execute("CREATE TABLE nums (v DOUBLE)")
+        db.insert_rows("nums", [(float(i),) for i in range(2000)])
+        result = db.execute("SELECT v FROM nums WHERE v < 10.0")
+        assert len(result.rows) == 10
+        volcano = db.execute("SELECT v FROM nums WHERE v < 10.0", engine="volcano")
+        assert sorted(result.rows) == sorted(volcano.rows)
+
+    def test_filter_with_nulls_uses_three_valued_logic(self):
+        db = Database(engine="vectorized")
+        db.execute("CREATE TABLE m (v INTEGER)")
+        db.insert_rows("m", [(1,), (None,), (3,), (None,), (5,)])
+        result = db.execute("SELECT v FROM m WHERE v > 2")
+        assert sorted(result.rows) == [(3,), (5,)]  # NULL rows excluded

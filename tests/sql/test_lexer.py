@@ -50,8 +50,15 @@ class TestTokens:
         assert kinds("||") == [(TokenType.OPERATOR, "||")]
 
     def test_punct_and_brackets(self):
-        values = [v for _, v in kinds("( ) , . ; [ ]")]
-        assert values == ["(", ")", ",", ".", ";", "[", "]"]
+        values = [v for _, v in kinds("( ) , . ; [ ] ?")]
+        assert values == ["(", ")", ",", ".", ";", "[", "]", "?"]
+
+    def test_parameter_placeholder_is_punct(self):
+        assert kinds("a = ?") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.OPERATOR, "="),
+            (TokenType.PUNCT, "?"),
+        ]
 
     def test_line_comment_skipped(self):
         assert kinds("a -- comment\n b") == [
@@ -61,7 +68,7 @@ class TestTokens:
 
     def test_unexpected_character(self):
         with pytest.raises(ParseError, match="unexpected character"):
-            tokenize("a ? b")
+            tokenize("a @ b")
 
     def test_positions_recorded(self):
         tokens = tokenize("ab cd")
