@@ -1,0 +1,120 @@
+"""Durability cost benchmark (≈30 s) → BENCH_durability.json.
+
+Measures what crash safety actually costs on the commit path, and what
+recovery costs at reboot:
+
+* **commit throughput** — single-row INSERT commits/second on a file-backed
+  database under the three durability modes: ``none`` (WAL off), ``commit``
+  (WAL flushed to the OS, no fsync), ``fsync`` (full power-loss safety);
+* **recovery time** — reopen latency after an unclean exit, as a function
+  of the number of committed operations in the log (checkpointing off so
+  the log actually grows).
+
+Target: WAL-on without fsync costs ≤2× over WAL-off (logical logging stays
+off the critical path); recovery time scales linearly in log length.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.database import Database  # noqa: E402
+
+COMMITS = 2000
+RECOVERY_LOG_LENGTHS = [500, 2000, 8000]
+QUICK_COMMITS = 300
+QUICK_LOG_LENGTHS = [200, 800]
+
+
+def bench_commit_throughput(workdir: str, durability: str, commits: int) -> dict:
+    path = os.path.join(workdir, f"tput-{durability}.db")
+    db = Database(path=path, durability=durability, checkpoint_interval=0)
+    db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+    t0 = time.perf_counter()
+    for i in range(commits):
+        db.execute(f"INSERT INTO t VALUES ({i}, 'row-{i}')")
+    elapsed = time.perf_counter() - t0
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == commits
+    db.close()
+    return {
+        "commits": commits,
+        "elapsed_s": round(elapsed, 3),
+        "commits_per_s": round(commits / elapsed, 1),
+    }
+
+
+def bench_recovery_time(workdir: str, log_length: int) -> dict:
+    path = os.path.join(workdir, f"rec-{log_length}.db")
+    db = Database(path=path, durability="commit", checkpoint_interval=0)
+    db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+    db.insert_rows("t", [(i, f"row-{i}") for i in range(log_length)])
+    db.wal.flush()
+    # Unclean exit: drop the handles without close() so no checkpoint or
+    # clean-shutdown sidecar gets written.
+    db.wal.close()
+    db.disk.close()
+
+    t0 = time.perf_counter()
+    recovered = Database(path=path)
+    elapsed = time.perf_counter() - t0
+    assert recovered.recovery_stats == {"t": log_length}
+    assert recovered.execute("SELECT COUNT(*) FROM t").scalar() == log_length
+    recovered.close()
+    return {
+        "log_ops": log_length,
+        "recovery_s": round(elapsed, 4),
+        "ops_per_s": round(log_length / elapsed, 1),
+    }
+
+
+def main() -> int:
+    quick = "--quick" in sys.argv
+    commits = QUICK_COMMITS if quick else COMMITS
+    log_lengths = QUICK_LOG_LENGTHS if quick else RECOVERY_LOG_LENGTHS
+    started = time.time()
+    workdir = tempfile.mkdtemp(prefix="bench_durability_")
+    try:
+        report = {"commit_throughput": {}, "recovery": []}
+        for durability in ("none", "commit", "fsync"):
+            report["commit_throughput"][durability] = bench_commit_throughput(
+                workdir, durability, commits
+            )
+        for n in log_lengths:
+            report["recovery"].append(bench_recovery_time(workdir, n))
+
+        off = report["commit_throughput"]["none"]["commits_per_s"]
+        on = report["commit_throughput"]["commit"]["commits_per_s"]
+        full = report["commit_throughput"]["fsync"]["commits_per_s"]
+        report["overheads"] = {
+            "wal_no_fsync_slowdown": round(off / on, 2),
+            "wal_fsync_slowdown": round(off / full, 2),
+        }
+        report["elapsed_s"] = round(time.time() - started, 1)
+
+        out_path = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "BENCH_durability.json"
+        )
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(json.dumps(report, indent=2))
+        ok = report["overheads"]["wal_no_fsync_slowdown"] <= 2.0
+        print(f"\nwrote {out_path}; WAL-overhead target (<=2x) "
+              f"{'MET' if ok else 'NOT MET'}")
+        return 0 if ok else 1
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,8 +57,39 @@ def _schema_from_json(columns: List[Dict[str, Any]]) -> Schema:
     )
 
 
-def save_catalog(catalog: Catalog, data_path: str) -> str:
-    """Write catalog metadata next to the data file; returns the path."""
+def load_metadata(data_path: str) -> Dict[str, Any]:
+    """Read the raw metadata payload (empty dict when none exists).
+
+    Validates the format version here so both the fast-attach path and the
+    recovery decision in ``Database.__init__`` reject foreign files early.
+    """
+    path = metadata_path(data_path)
+    if not os.path.exists(path):
+        return {}
+    with open(path) as f:
+        payload = json.load(f)
+    if payload.get("version") != FORMAT_VERSION:
+        raise CatalogError(
+            f"metadata {path!r} has version {payload.get('version')}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    return payload
+
+
+def save_catalog(
+    catalog: Catalog,
+    data_path: str,
+    clean: bool = True,
+    shutdown_lsn: int = 0,
+) -> str:
+    """Write catalog metadata next to the data file; returns the path.
+
+    ``clean``/``shutdown_lsn`` record whether this was a graceful shutdown
+    and where the WAL stood at that moment; on reopen, a WAL that has grown
+    past ``shutdown_lsn`` (or a missing/unclean sidecar) triggers crash
+    recovery instead of a fast page attach.  The sidecar is written to a
+    temp file and renamed so it is itself crash-atomic.
+    """
     tables = {}
     for name in catalog.table_names():
         table = catalog.get_table(name)
@@ -82,10 +113,19 @@ def save_catalog(catalog: Catalog, data_path: str) -> str:
                 for info in table.indexes.values()
             ],
         }
-    payload = {"version": FORMAT_VERSION, "tables": tables}
+    payload = {
+        "version": FORMAT_VERSION,
+        "tables": tables,
+        "clean": clean,
+        "shutdown_lsn": shutdown_lsn,
+    }
     path = metadata_path(data_path)
-    with open(path, "w") as f:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
         json.dump(payload, f, indent=1)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
     return path
 
 
@@ -97,16 +137,9 @@ def load_catalog(catalog: Catalog, data_path: str) -> List[str]:
     """
     from repro.storage.heap import HeapFile
 
-    path = metadata_path(data_path)
-    if not os.path.exists(path):
+    payload = load_metadata(data_path)
+    if not payload:
         return []
-    with open(path) as f:
-        payload = json.load(f)
-    if payload.get("version") != FORMAT_VERSION:
-        raise CatalogError(
-            f"metadata {path!r} has version {payload.get('version')}, "
-            f"expected {FORMAT_VERSION}"
-        )
     restored = []
     for name, spec in payload["tables"].items():
         schema = _schema_from_json(spec["schema"])

@@ -21,8 +21,11 @@ Design knobs map to the paper's themes:
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import astuple, dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -56,11 +59,23 @@ from repro.sql.params import count_placeholders, substitute_params
 from repro.sql.parser import parse
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import FileDiskManager, InMemoryDiskManager
+from repro.storage.faults import NULL_INJECTOR, BufferedCrashFile, FaultyDiskManager
+from repro.storage.recovery import recover_database
 from repro.storage.replacement import make_policy
-from repro.storage.wal import LogRecordType, WriteAheadLog
+from repro.storage.wal import (
+    SYSTEM_TXN,
+    LogRecordType,
+    WriteAheadLog,
+    read_log_file,
+)
 
 VOLCANO = "volcano"
 VECTORIZED = "vectorized"
+
+#: Durability modes: "none" disables the WAL entirely; "commit" flushes the
+#: log to the OS at every commit (survives a process kill); "fsync" also
+#: fsyncs (survives power loss).  File-backed databases default to "fsync".
+DURABILITY_MODES = ("none", "commit", "fsync")
 
 
 @dataclass
@@ -91,22 +106,69 @@ class Database:
         wal_path: Optional[str] = None,
         result_cache_size: int = 0,
         plan_cache_size: int = 128,
+        durability: Optional[str] = None,
+        checkpoint_interval: int = 512,
+        fault_injector=None,
     ):
         if engine not in (VOLCANO, VECTORIZED):
             raise ReproError(f"unknown engine {engine!r}")
         if default_layout not in (ROW_LAYOUT, COLUMN_LAYOUT):
             raise ReproError(f"unknown layout {default_layout!r}")
         self.path = path
-        self.disk = FileDiskManager(path) if path else InMemoryDiskManager()
+        self.faults = fault_injector if fault_injector is not None else NULL_INJECTOR
+        resolved_wal = wal_path if wal_path is not None else (
+            path + ".wal" if path else None
+        )
+        if durability is None:
+            durability = "fsync" if resolved_wal else "commit"
+        if durability not in DURABILITY_MODES:
+            raise ReproError(f"unknown durability mode {durability!r}")
+        self.durability = durability
+        self._wal_enabled = durability != "none"
+        self.wal_path = resolved_wal if self._wal_enabled else None
+        self.checkpoint_interval = checkpoint_interval
+        self._commits_since_checkpoint = 0
+
+        # --- open protocol: decide between fast attach and crash recovery.
+        # The sidecar records the WAL position of the last clean shutdown;
+        # a WAL that grew past it (or a missing/unclean sidecar) means the
+        # process died mid-flight and the heap pages cannot be trusted.
+        from repro.catalog.persistence import load_catalog, load_metadata
+
+        existing_records = []
+        if (
+            self.wal_path
+            and os.path.exists(self.wal_path)
+            and os.path.getsize(self.wal_path) > 0
+        ):
+            existing_records = read_log_file(self.wal_path)
+        meta = load_metadata(path) if path else {}
+        last_durable_lsn = existing_records[-1].lsn if existing_records else 0
+        clean_attach = (
+            bool(meta)
+            and meta.get("clean", True)
+            and meta.get("shutdown_lsn", last_durable_lsn) == last_durable_lsn
+        )
+        need_recovery = bool(existing_records) and path is not None and not clean_attach
+        if need_recovery:
+            # Heap pages may hold torn or uncommitted images; the WAL is the
+            # source of truth.  Start the page file over and rebuild.
+            open(path, "wb").close()
+
+        disk = FileDiskManager(path) if path else InMemoryDiskManager()
+        if fault_injector is not None:
+            disk = FaultyDiskManager(disk, self.faults)
+        self.disk = disk
         self.pool = BufferPool(
             self.disk, capacity=buffer_capacity, policy=make_policy(buffer_policy)
         )
         self.catalog = Catalog(self.pool)
-        if path:
-            from repro.catalog.persistence import load_catalog
-
+        if path and not need_recovery:
             load_catalog(self.catalog, path)
-        self.wal = WriteAheadLog(wal_path)
+        opener = None
+        if fault_injector is not None:
+            opener = lambda p: BufferedCrashFile(p, self.faults)  # noqa: E731
+        self.wal = WriteAheadLog(self.wal_path, opener=opener)
         self.default_layout = default_layout
         self.engine = engine
         self.optimizer_options = (
@@ -122,9 +184,17 @@ class Database:
         )
         self._binder = Binder(self.catalog, subquery_executor=self._run_subplan)
         self._lock = threading.RLock()
-        self._txn_id = 0
+        # Never reuse a transaction id that appears in the existing log: a
+        # reused id could pair a fresh BEGIN with a stale COMMIT on replay.
+        self._txn_id = max((r.txn_id for r in existing_records), default=0)
         self._active_txn: Optional[int] = None
         self._undo_log: List[Tuple[str, str, Any, Optional[Row]]] = []
+        self.recovery_stats: Optional[Dict[str, int]] = None
+        if need_recovery:
+            self.recovery_stats = self._rebuild_from_records(existing_records)
+            # Re-anchor the log: replayed rows live at fresh rids now, so
+            # compact to a snapshot before any new record references them.
+            self.checkpoint()
 
     # ------------------------------------------------------------------
     # Public API
@@ -251,34 +321,55 @@ class Database:
     ) -> TableInfo:
         """Programmatic CREATE TABLE (the SQL path calls this too)."""
         with self._lock:
-            return self.catalog.create_table(name, schema, layout or self.default_layout)
+            layout = layout or self.default_layout
+            table = self.catalog.create_table(name, schema, layout)
+            self._log_ddl(
+                LogRecordType.CREATE_TABLE,
+                table.name,
+                (self._schema_payload(table), layout),
+            )
+            return table
 
     def insert_rows(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
-        """Bulk insert Python tuples (fast path used by workload loaders)."""
+        """Bulk insert Python tuples (fast path used by workload loaders).
+
+        The whole batch commits as one transaction: one WAL flush instead
+        of one per row."""
         with self._lock:
             table = self.catalog.get_table(table_name)
             count = 0
-            for row in rows:
-                rid = table.insert(row)
-                self._log_write(table.name, "insert", rid, None)
-                count += 1
+            with self._statement_scope():
+                for row in rows:
+                    rid = table.insert(row)
+                    self._log_write(table.name, "insert", rid, None)
+                    count += 1
             return count
 
     def table(self, name: str) -> TableInfo:
         return self.catalog.get_table(name)
 
     def close(self) -> None:
-        """Flush dirty pages, persist the catalog (file-backed databases),
-        flush the WAL, and release file handles."""
+        """Graceful shutdown: roll back any open transaction, flush dirty
+        pages, checkpoint the WAL, and mark the sidecar clean so the next
+        open fast-attaches instead of running recovery."""
         with self._lock:
+            if self._active_txn is not None:
+                self._rollback()
             self.pool.flush_all()
+            if self.path and hasattr(self.disk, "sync"):
+                self.disk.sync()
+            if self.path and self._wal_enabled:
+                self.checkpoint()
             if self.path:
                 from repro.catalog.persistence import save_catalog
 
-                save_catalog(self.catalog, self.path)
-                if hasattr(self.disk, "sync"):
-                    self.disk.sync()
-            self.wal.flush()
+                save_catalog(
+                    self.catalog,
+                    self.path,
+                    clean=True,
+                    shutdown_lsn=self.wal.last_lsn,
+                )
+            self.wal.flush(fsync=self.durability == "fsync")
             self.wal.close()
             self.disk.close()
 
@@ -302,16 +393,22 @@ class Database:
         if isinstance(statement, ast.CreateTableStmt):
             return self._execute_create_table(statement)
         if isinstance(statement, ast.CreateIndexStmt):
-            self.catalog.create_index(
+            info = self.catalog.create_index(
                 statement.name,
                 statement.table,
                 statement.column,
                 kind=statement.using,
                 unique=statement.unique,
             )
+            self._log_ddl(
+                LogRecordType.CREATE_INDEX,
+                info.table,
+                (info.name, info.column, info.kind, int(info.unique)),
+            )
             return Result()
         if isinstance(statement, ast.DropTableStmt):
             self.catalog.drop_table(statement.name)
+            self._log_ddl(LogRecordType.DROP_TABLE, statement.name, None)
             if self.result_cache is not None:
                 self.result_cache.clear()
             if self.plan_cache is not None:
@@ -468,9 +565,10 @@ class Database:
     def _execute_insert(self, statement: ast.InsertStmt) -> Result:
         rows = self._binder.bind_insert_rows(statement)
         table = self.catalog.get_table(statement.table)
-        for row in rows:
-            rid = table.insert(row)
-            self._log_write(table.name, "insert", rid, None)
+        with self._statement_scope():
+            for row in rows:
+                rid = table.insert(row)
+                self._log_write(table.name, "insert", rid, None)
         return Result(rowcount=len(rows))
 
     def _matching_rids(self, table: TableInfo, where: Optional[ast.Expr]):
@@ -489,22 +587,24 @@ class Database:
             bound = self._binder.bind_expr(value_ast, table.schema)
             assignments.append((idx, evaluator(bound)))
         count = 0
-        for rid, row in self._matching_rids(table, statement.where):
-            new_row = list(row)
-            for idx, value_fn in assignments:
-                new_row[idx] = value_fn(row)
-            new_rid = table.update(rid, tuple(new_row))
-            self._log_write(table.name, "update", (rid, new_rid), row)
-            count += 1
+        with self._statement_scope():
+            for rid, row in self._matching_rids(table, statement.where):
+                new_row = list(row)
+                for idx, value_fn in assignments:
+                    new_row[idx] = value_fn(row)
+                new_rid = table.update(rid, tuple(new_row))
+                self._log_write(table.name, "update", (rid, new_rid), row)
+                count += 1
         return Result(rowcount=count)
 
     def _execute_delete(self, statement: ast.DeleteStmt) -> Result:
         table = self.catalog.get_table(statement.table)
         count = 0
-        for rid, row in self._matching_rids(table, statement.where):
-            table.delete(rid)
-            self._log_write(table.name, "delete", rid, row)
-            count += 1
+        with self._statement_scope():
+            for rid, row in self._matching_rids(table, statement.where):
+                table.delete(rid)
+                self._log_write(table.name, "delete", rid, row)
+                count += 1
         return Result(rowcount=count)
 
     # ------------------------------------------------------------------
@@ -514,21 +614,56 @@ class Database:
     def in_transaction(self) -> bool:
         return self._active_txn is not None
 
+    @contextmanager
+    def _statement_scope(self):
+        """Make one DML statement transactional.
+
+        Inside an explicit BEGIN...COMMIT the statement just joins the open
+        transaction.  Otherwise it gets an implicit transaction of its own:
+        committed (and made durable) when the statement completes, rolled
+        back if it raises — so a multi-row INSERT that fails half-way leaves
+        nothing behind, matching SQLite's statement atomicity.  A simulated
+        :class:`~repro.storage.faults.CrashPoint` is a BaseException and
+        deliberately bypasses the rollback: after a power cut nothing runs.
+        """
+        if self._active_txn is not None:
+            yield
+            return
+        self._begin()
+        try:
+            yield
+        except Exception:
+            self._rollback()
+            raise
+        else:
+            self._commit()
+
     def _begin(self) -> None:
         if self._active_txn is not None:
             raise TransactionError("a transaction is already active")
         self._txn_id += 1
         self._active_txn = self._txn_id
         self._undo_log = []
-        self.wal.append(self._active_txn, LogRecordType.BEGIN)
+        if self._wal_enabled:
+            self.wal.append(self._active_txn, LogRecordType.BEGIN)
 
     def _commit(self) -> None:
         if self._active_txn is None:
             raise TransactionError("no active transaction")
-        self.wal.append(self._active_txn, LogRecordType.COMMIT)
-        self.wal.flush()
+        if self._wal_enabled:
+            self.wal.append(self._active_txn, LogRecordType.COMMIT)
+            self.faults.hit("commit.appended")
+            self._durable_flush()
+            self.faults.hit("commit.flushed")
         self._active_txn = None
         self._undo_log = []
+        self._commits_since_checkpoint += 1
+        if (
+            self.checkpoint_interval
+            and self.wal.path
+            and self._commits_since_checkpoint >= self.checkpoint_interval
+        ):
+            self.checkpoint()
 
     def _rollback(self) -> None:
         if self._active_txn is None:
@@ -536,10 +671,13 @@ class Database:
         # Logical undo.  Rows can move (delete+reinsert, oversized update),
         # so track where each original rid lives now while unwinding.
         remap: Dict[Any, Any] = {}
+        affected = {entry[0] for entry in self._undo_log}
         if self.result_cache is not None:
-            self.result_cache.invalidate_tables(
-                {entry[0] for entry in self._undo_log}
-            )
+            self.result_cache.invalidate_tables(affected)
+        if self.plan_cache is not None and affected:
+            # Rolled-back data may be live inside cached physical plans
+            # (decoded-row snapshots, pinned index state): rebuild them.
+            self.plan_cache.invalidate_tables(affected)
         for table_name, op, rid, before in reversed(self._undo_log):
             table = self.catalog.get_table(table_name)
             if op == "insert":
@@ -552,9 +690,108 @@ class Database:
                 restored = table.update(target, before)
                 if restored != old_rid:
                     remap[old_rid] = restored
-        self.wal.append(self._active_txn, LogRecordType.ABORT)
+        if self._wal_enabled:
+            self.wal.append(self._active_txn, LogRecordType.ABORT)
         self._active_txn = None
         self._undo_log = []
+
+    def _durable_flush(self) -> None:
+        if self._wal_enabled:
+            self.wal.flush(fsync=self.durability == "fsync")
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Compact the WAL to a snapshot of the current committed state.
+
+        The replacement log carries the schema (CREATE TABLE / CREATE INDEX
+        records), every live row as one committed snapshot transaction keyed
+        by its *current* rid, and a CHECKPOINT marker.  Compaction is atomic
+        (write temp + fsync + rename), so a crash at any point leaves either
+        the old or the new log — recovery works from both.  Runs
+        automatically every ``checkpoint_interval`` commits and on close.
+        """
+        with self._lock:
+            if not self._wal_enabled:
+                return
+            if self._active_txn is not None:
+                raise TransactionError("cannot checkpoint inside a transaction")
+            self.faults.hit("checkpoint.begin")
+            specs: List[Tuple] = []
+            names = self.catalog.table_names()
+            for name in names:
+                table = self.catalog.get_table(name)
+                specs.append(
+                    (
+                        SYSTEM_TXN,
+                        LogRecordType.CREATE_TABLE,
+                        table.name,
+                        None,
+                        None,
+                        (self._schema_payload(table), table.layout),
+                    )
+                )
+                for info in table.indexes.values():
+                    specs.append(
+                        (
+                            SYSTEM_TXN,
+                            LogRecordType.CREATE_INDEX,
+                            table.name,
+                            None,
+                            None,
+                            (info.name, info.column, info.kind, int(info.unique)),
+                        )
+                    )
+            self._txn_id += 1
+            snapshot_txn = self._txn_id
+            specs.append((snapshot_txn, LogRecordType.BEGIN, "", None, None, None))
+            for name in names:
+                table = self.catalog.get_table(name)
+                for rid, row in table.scan():
+                    specs.append(
+                        (
+                            snapshot_txn,
+                            LogRecordType.INSERT,
+                            table.name,
+                            self._wal_rid(rid),
+                            None,
+                            tuple(row),
+                        )
+                    )
+            specs.append((snapshot_txn, LogRecordType.COMMIT, "", None, None, None))
+            specs.append((SYSTEM_TXN, LogRecordType.CHECKPOINT, "", None, None, None))
+            injector = self.faults if self.faults is not NULL_INJECTOR else None
+            self.wal.compact(specs, injector=injector)
+            self._commits_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def _rebuild_from_records(self, records) -> Dict[str, int]:
+        """Rebuild schema + committed rows from the log (open-time recovery).
+
+        Direct catalog/heap calls on purpose: the operations being replayed
+        are already in the log, so nothing here may append to it.
+        """
+        from repro.catalog.persistence import _schema_from_json
+
+        state = recover_database(records)
+        restored: Dict[str, int] = {}
+        for spec in state.tables.values():
+            schema = _schema_from_json(json.loads(spec.schema_json))
+            table = self.catalog.create_table(spec.name, schema, layout=spec.layout)
+            for rid in sorted(spec.rows):
+                table.insert(spec.rows[rid])
+            for index_name, column, kind, unique in spec.indexes:
+                self.catalog.create_index(
+                    index_name, spec.name, column, kind=kind, unique=unique
+                )
+            restored[spec.name] = len(spec.rows)
+        self._txn_id = max(self._txn_id, state.max_txn_id)
+        return restored
 
     # ------------------------------------------------------------------
     # Crash recovery
@@ -584,38 +821,102 @@ class Database:
             for row in rows:
                 table.insert(row)
             restored[table_name] = len(rows)
+        # Replay rewrote table contents underneath any cached results/plans.
+        if restored:
+            if self.result_cache is not None:
+                self.result_cache.invalidate_tables(restored)
+            if self.plan_cache is not None:
+                self.plan_cache.invalidate_tables(restored)
         return restored
 
     def _log_write(
         self, table_name: str, op: str, rid: Any, before: Optional[Row]
     ) -> None:
-        txn = self._active_txn
-        autocommit = txn is None
-        if autocommit:
-            self._txn_id += 1
-            txn = self._txn_id
-            self.wal.append(txn, LogRecordType.BEGIN)
-        wal_type = {
-            "insert": LogRecordType.INSERT,
-            "delete": LogRecordType.DELETE,
-            "update": LogRecordType.UPDATE,
-        }[op]
+        """Record one row write: undo entry + WAL redo record(s).
+
+        Every DML path runs inside :meth:`_statement_scope`, so a
+        transaction is always active here.  The WAL side is logical redo
+        keyed by rid; an update that *moved* its row (grew past the old
+        slot) logs DELETE(old rid) + INSERT(new rid) — a single UPDATE
+        record would leave the old rid's image alive during replay and
+        recovery would resurrect the row twice.
+        """
+        if self._active_txn is None:
+            raise TransactionError("row writes require an active transaction")
         if self.result_cache is not None:
             self.result_cache.invalidate_tables([table_name])
-        wal_rid = rid if op != "update" else rid[1]
-        after = None
-        if op != "delete":
-            table = self.catalog.get_table(table_name)
-            after = table.get(wal_rid)
-        self.wal.append(
-            txn,
-            wal_type,
-            table=table_name,
-            rid=tuple(wal_rid) if isinstance(wal_rid, tuple) else (int(wal_rid), 0),
-            before=before,
-            after=after,
+        self._undo_log.append((table_name, op, rid, before))
+        if not self._wal_enabled:
+            return
+        txn = self._active_txn
+        if op == "insert":
+            after = self.catalog.get_table(table_name).get(rid)
+            self.wal.append(
+                txn,
+                LogRecordType.INSERT,
+                table=table_name,
+                rid=self._wal_rid(rid),
+                after=after,
+            )
+        elif op == "delete":
+            self.wal.append(
+                txn,
+                LogRecordType.DELETE,
+                table=table_name,
+                rid=self._wal_rid(rid),
+                before=before,
+            )
+        else:  # update: rid is (old_rid, new_rid)
+            old_rid, new_rid = rid
+            after = self.catalog.get_table(table_name).get(new_rid)
+            if self._wal_rid(old_rid) == self._wal_rid(new_rid):
+                self.wal.append(
+                    txn,
+                    LogRecordType.UPDATE,
+                    table=table_name,
+                    rid=self._wal_rid(new_rid),
+                    before=before,
+                    after=after,
+                )
+            else:
+                self.wal.append(
+                    txn,
+                    LogRecordType.DELETE,
+                    table=table_name,
+                    rid=self._wal_rid(old_rid),
+                    before=before,
+                )
+                self.wal.append(
+                    txn,
+                    LogRecordType.INSERT,
+                    table=table_name,
+                    rid=self._wal_rid(new_rid),
+                    after=after,
+                )
+        self.faults.hit("dml.logged")
+
+    def _log_ddl(self, type_: LogRecordType, table: str, args) -> None:
+        """Append an autocommitted DDL record and make it durable.
+
+        DDL records carry :data:`SYSTEM_TXN` and are replayed by recovery
+        in LSN order regardless of commit status — by the time the record
+        is appended, the catalog change has already taken effect.
+        """
+        if not self._wal_enabled:
+            return
+        self.wal.append(SYSTEM_TXN, type_, table=table, after=args)
+        self._durable_flush()
+        self.faults.hit("ddl.logged")
+
+    @staticmethod
+    def _wal_rid(rid: Any) -> Tuple[int, int]:
+        return tuple(rid) if isinstance(rid, tuple) else (int(rid), 0)
+
+    def _schema_payload(self, table) -> str:
+        from repro.catalog.persistence import _schema_to_json
+
+        return json.dumps(
+            _schema_to_json(
+                Schema([c.with_table(None) for c in table.schema.columns])
+            )
         )
-        if autocommit:
-            self.wal.append(txn, LogRecordType.COMMIT)
-        else:
-            self._undo_log.append((table_name, op, rid, before))

@@ -104,6 +104,25 @@ class PlanCache:
         self.stats.invalidations += len(self._entries)
         self._entries.clear()
 
+    def invalidate_tables(self, tables) -> None:
+        """Drop plans touching any of ``tables`` (case-insensitive).
+
+        Used on transaction rollback and WAL recovery replay: those paths
+        rewrite table contents underneath any plan whose physical operators
+        may pin per-table state, so dependent plans must be rebuilt.  Plans
+        with unknown table sets are dropped conservatively.
+        """
+        lowered = {t.lower() for t in tables}
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if entry.tables is None
+            or any(t.lower() in lowered for t in entry.tables)
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+
 
 def normalize_sql(sql: str) -> str:
     """Whitespace-insensitive cache key for one statement's text."""

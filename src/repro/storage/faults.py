@@ -1,0 +1,299 @@
+"""Fault injection for crash-safety testing.
+
+The durability claim — "committed transactions survive a crash at any
+point" — is only testable if every point can actually crash.  This module
+provides the three pieces the crash-matrix harness needs:
+
+* :class:`FaultInjector` — a registry of named *crash points*.  Write-path
+  code calls ``injector.hit("site")`` at each interesting step; the injector
+  counts every hit and, when armed via :meth:`FaultInjector.arm`, raises
+  :class:`CrashPoint` at an exact (site, hit-number) pair.  A counting run
+  with an unarmed injector therefore enumerates the full crash matrix.
+
+* :class:`BufferedCrashFile` — a file wrapper that models the OS page cache
+  under power loss: ``write`` lands in a volatile buffer, only ``sync``
+  makes bytes durable, and :meth:`BufferedCrashFile.crash` discards whatever
+  was not synced (optionally keeping a *torn* prefix of the tail, and
+  optionally lying about fsync).
+
+* :class:`FaultyDiskManager` — the same model at page granularity, wrapped
+  around any real :class:`~repro.storage.disk.DiskManager`.  Dirty page
+  write-backs stay volatile until ``sync``; a crash can leave a torn
+  (half-old/half-new) page image behind.
+
+:class:`CrashSim` ties them together into the workload → crash → reopen →
+recover driver used by ``tests/crash``.
+
+``CrashPoint`` deliberately subclasses :class:`BaseException`: a simulated
+power failure must not be swallowed by ``except Exception`` cleanup code on
+its way out of the engine — nothing runs after the power is gone.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.storage.disk import DiskManager
+from repro.storage.page import PAGE_SIZE
+
+
+class CrashPoint(BaseException):
+    """Raised by an armed :class:`FaultInjector` to simulate a power cut."""
+
+    def __init__(self, site: str, hit: int):
+        super().__init__(f"simulated crash at {site!r} (hit {hit})")
+        self.site = site
+        self.hit = hit
+
+
+class FaultInjector:
+    """Counts named crash points and crashes on an armed (site, hit) pair.
+
+    Knobs:
+
+    * ``lying_fsync`` — ``sync`` calls report success without making data
+      durable (firmware that acknowledges FLUSH CACHE and does nothing).
+    * ``torn_tail_bytes`` — on crash, this many bytes of the oldest unsynced
+      write survive (a torn write straddling the power cut).  ``None``
+      drops unsynced data whole.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self._armed: Optional[Tuple[str, int]] = None
+        self.lying_fsync = False
+        self.torn_tail_bytes: Optional[int] = None
+        self._volatiles: List[Any] = []
+        self.crashed = False
+
+    # -- crash points ------------------------------------------------------
+
+    def hit(self, site: str) -> None:
+        """Record one pass through ``site``; crash if armed for it."""
+        count = self.counts.get(site, 0) + 1
+        self.counts[site] = count
+        if self._armed is not None and self._armed == (site, count):
+            raise CrashPoint(site, count)
+
+    def arm(self, site: str, hit: int = 1) -> None:
+        """Crash at the ``hit``-th pass through ``site`` (1-based)."""
+        self._armed = (site, hit)
+        self.counts.pop(site, None)
+
+    def disarm(self) -> None:
+        self._armed = None
+        self.counts.clear()
+        self.crashed = False
+
+    def sites(self) -> Dict[str, int]:
+        """Site → hit count observed so far (the crash matrix axes)."""
+        return dict(self.counts)
+
+    # -- volatile state ----------------------------------------------------
+
+    def register_volatile(self, obj: Any) -> None:
+        """Track an object whose ``crash()`` discards unsynced state."""
+        self._volatiles.append(obj)
+
+    def crash_volatiles(self) -> None:
+        """Power cut: every registered volatile loses its unsynced data."""
+        self.crashed = True
+        for obj in self._volatiles:
+            obj.crash()
+        self._volatiles.clear()
+
+
+class _NullInjector(FaultInjector):
+    """Zero-overhead injector used when fault injection is off."""
+
+    def hit(self, site: str) -> None:  # noqa: D102 - hot no-op
+        pass
+
+    def register_volatile(self, obj: Any) -> None:
+        pass
+
+
+NULL_INJECTOR = _NullInjector()
+
+
+class BufferedCrashFile:
+    """Append-only file whose writes are volatile until ``sync``.
+
+    Models the OS page cache + disk cache under power loss.  The WAL opens
+    its log through this wrapper during crash simulation, so "appended but
+    not fsynced" records genuinely disappear at a crash, and a torn tail
+    can cut a record in half.
+    """
+
+    def __init__(self, path: str, injector: Optional[FaultInjector] = None):
+        self.path = path
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self._file = open(path, "ab")
+        self._pending: List[bytes] = []
+        self._closed = False
+        self.injector.register_volatile(self)
+
+    def write(self, data: bytes) -> int:
+        self.injector.hit("wal.append")
+        self._pending.append(bytes(data))
+        return len(data)
+
+    def flush(self) -> None:
+        """Flush to the "OS" only — still volatile.  (Real power loss
+        takes everything the disk has not acknowledged.)"""
+
+    def sync(self) -> None:
+        """Make pending writes durable — unless the fsync lies."""
+        self.injector.hit("wal.fsync")
+        if self.injector.lying_fsync:
+            return
+        for chunk in self._pending:
+            self._file.write(chunk)
+        self._pending.clear()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.injector.hit("wal.fsynced")
+
+    def crash(self) -> None:
+        """Drop unsynced data; optionally persist a torn prefix first."""
+        if self._closed:
+            return
+        torn = self.injector.torn_tail_bytes
+        if torn is not None and self._pending:
+            prefix = b"".join(self._pending)[:torn]
+            self._file.write(prefix)
+            self._file.flush()
+        self._pending.clear()
+        self._file.close()
+        self._closed = True
+
+    def close(self) -> None:
+        """Clean close: a graceful exit persists everything."""
+        if self._closed:
+            return
+        for chunk in self._pending:
+            self._file.write(chunk)
+        self._pending.clear()
+        self._file.flush()
+        self._file.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class FaultyDiskManager(DiskManager):
+    """A DiskManager whose page writes are volatile until ``sync``.
+
+    Wraps a real disk manager.  Dirty write-backs from the buffer pool land
+    in a volatile cache (the drive's write cache); ``sync`` propagates them
+    to the wrapped manager.  :meth:`crash` discards the cache, optionally
+    leaving one *torn page* — half new bytes, half old — behind.
+    """
+
+    def __init__(self, inner: DiskManager, injector: Optional[FaultInjector] = None):
+        super().__init__()
+        self.inner = inner
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self._pending: Dict[int, bytes] = {}
+        self._closed = False
+        self.injector.register_volatile(self)
+
+    def allocate_page(self) -> int:
+        return self.inner.allocate_page()
+
+    def read_page(self, page_id: int) -> bytes:
+        with self._lock:
+            self.reads += 1
+            if page_id in self._pending:
+                return self._pending[page_id]
+        return self.inner.read_page(page_id)
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        self.injector.hit("disk.write_page")
+        with self._lock:
+            self.writes += 1
+            self._pending[page_id] = bytes(data)
+
+    def num_pages(self) -> int:
+        return self.inner.num_pages()
+
+    def sync(self) -> None:
+        self.injector.hit("disk.sync")
+        if self.injector.lying_fsync:
+            return
+        with self._lock:
+            for page_id, data in self._pending.items():
+                self.inner.write_page(page_id, data)
+            self._pending.clear()
+        if hasattr(self.inner, "sync"):
+            self.inner.sync()
+
+    def crash(self) -> None:
+        """Power cut: unsynced pages are lost; one may end up torn."""
+        if self._closed:
+            return
+        with self._lock:
+            if self.injector.torn_tail_bytes is not None and self._pending:
+                page_id, new_data = next(iter(self._pending.items()))
+                try:
+                    old_data = self.inner.read_page(page_id)
+                except Exception:
+                    old_data = bytes(PAGE_SIZE)
+                keep = self.injector.torn_tail_bytes
+                torn = new_data[:keep] + old_data[keep:]
+                self.inner.write_page(page_id, torn[:PAGE_SIZE])
+            self._pending.clear()
+        self.inner.close()
+        self._closed = True
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.sync()
+        self.inner.close()
+        self._closed = True
+
+
+class CrashSim:
+    """Workload → crash → reopen driver over a real on-disk database.
+
+    Usage::
+
+        sim = CrashSim(str(tmp_path))
+        db = sim.open()
+        sim.injector.arm("wal.append", 3)
+        try:
+            run_workload(db)
+        except CrashPoint:
+            sim.crash()
+        db = sim.reopen()   # recovery runs inside Database.__init__
+    """
+
+    def __init__(self, dirpath: str, **db_kwargs: Any):
+        self.data_path = os.path.join(dirpath, "crash.db")
+        self.injector = FaultInjector()
+        self.db_kwargs = db_kwargs
+        self.db = None
+
+    def open(self):
+        from repro.core.database import Database
+
+        self.db = Database(
+            path=self.data_path,
+            fault_injector=self.injector,
+            **self.db_kwargs,
+        )
+        return self.db
+
+    def crash(self) -> None:
+        """Simulate the power cut: volatile state is gone, files remain."""
+        self.injector.crash_volatiles()
+        self.db = None
+
+    def reopen(self):
+        """Reboot: disarm the injector and open (running recovery)."""
+        self.injector.disarm()
+        return self.open()

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.types import Row
-from repro.storage.wal import LogRecord, LogRecordType
+from repro.storage.wal import LogRecord, LogRecordType, ROW_OPS
 
 Rid = Tuple[int, int]
 
@@ -81,6 +81,76 @@ def replay(records: Iterable[LogRecord]) -> RecoveredState:
             if record.rid is None or record.after is None:
                 continue
             table[record.rid] = record.after
+            state.replayed_ops += 1
+    return state
+
+
+@dataclass
+class RecoveredTable:
+    """One table's schema and row images reconstructed from the log."""
+
+    name: str
+    schema_json: str
+    layout: str
+    rows: Dict[Rid, Row] = field(default_factory=dict)
+    indexes: List[Tuple[str, str, str, bool]] = field(default_factory=list)
+    # (index_name, column, kind, unique)
+
+    def sorted_rows(self) -> List[Row]:
+        return [self.rows[rid] for rid in sorted(self.rows)]
+
+
+@dataclass
+class RecoveredDatabase:
+    """Full logical database state from one log: DDL + committed DML.
+
+    This is what the live engine rebuilds from after a crash: tables are
+    keyed case-insensitively (matching the catalog), preserving creation
+    order so page allocation during the rebuild is deterministic.
+    """
+
+    tables: "Dict[str, RecoveredTable]" = field(default_factory=dict)
+    committed: Set[int] = field(default_factory=set)
+    in_flight: Set[int] = field(default_factory=set)
+    max_txn_id: int = 0
+    replayed_ops: int = 0
+
+
+def recover_database(records: Iterable[LogRecord]) -> RecoveredDatabase:
+    """Analyze + redo over a self-contained log (schema and data).
+
+    The three classic phases collapse cleanly under logical logging:
+
+    * **analyze** — classify transactions (committed / aborted / in-flight);
+    * **redo** — apply DDL and committed row operations in LSN order;
+    * **undo** — loser transactions are simply never applied, which is
+      equivalent to rolling them back (their effects exist only on heap
+      pages that the rebuild abandons).
+    """
+    records = sorted(records, key=lambda r: r.lsn)
+    committed, aborted, in_flight = analyze(records)
+    state = RecoveredDatabase(committed=committed, in_flight=in_flight)
+    for record in records:
+        state.max_txn_id = max(state.max_txn_id, record.txn_id)
+        key = record.table.lower()
+        if record.type is LogRecordType.CREATE_TABLE:
+            schema_json, layout = record.after  # type: ignore[misc]
+            state.tables[key] = RecoveredTable(record.table, schema_json, layout)
+        elif record.type is LogRecordType.DROP_TABLE:
+            state.tables.pop(key, None)
+        elif record.type is LogRecordType.CREATE_INDEX:
+            table = state.tables.get(key)
+            if table is not None:
+                name, column, kind, unique = record.after  # type: ignore[misc]
+                table.indexes.append((name, column, kind, bool(unique)))
+        elif record.type in ROW_OPS and record.txn_id in committed:
+            table = state.tables.get(key)
+            if table is None or record.rid is None:
+                continue
+            if record.type is LogRecordType.DELETE:
+                table.rows.pop(record.rid, None)
+            elif record.after is not None:  # INSERT / UPDATE
+                table.rows[record.rid] = record.after
             state.replayed_ops += 1
     return state
 

@@ -1,9 +1,17 @@
 """Write-ahead logging.
 
 Log records capture logical row operations (insert/delete/update) with
-before/after images, plus transaction lifecycle markers.  The log assigns
-monotonically increasing LSNs and supports binary serialization to a file so
-recovery can be exercised across a simulated crash.
+before/after images, transaction lifecycle markers, and DDL (create/drop
+table, create index) so a log alone can rebuild a database.  The log assigns
+monotonically increasing LSNs — continued across reopens of the same file —
+and supports binary serialization so recovery can be exercised across real
+and simulated crashes.
+
+Durability contract: ``append`` is volatile; ``flush(fsync=True)`` makes
+everything up to the current LSN durable.  ``compact`` atomically replaces
+the log file with a snapshot (checkpointing): the new log is written to a
+temp file, fsynced, and renamed over the old one, so a crash at any point
+leaves one intact log behind.
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ import os
 import struct
 import threading
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.errors import WALError
 from repro.core.types import Row
@@ -28,6 +36,22 @@ class LogRecordType(enum.Enum):
     DELETE = 5
     UPDATE = 6
     CHECKPOINT = 7
+    CREATE_TABLE = 8
+    DROP_TABLE = 9
+    CREATE_INDEX = 10
+
+#: Row operations (the redo set).
+ROW_OPS = (LogRecordType.INSERT, LogRecordType.DELETE, LogRecordType.UPDATE)
+#: Schema operations, always applied in LSN order regardless of txn status
+#: (DDL is autocommitted: the record is only appended once it took effect).
+DDL_OPS = (
+    LogRecordType.CREATE_TABLE,
+    LogRecordType.DROP_TABLE,
+    LogRecordType.CREATE_INDEX,
+)
+
+#: txn_id used for DDL and other system records.
+SYSTEM_TXN = 0
 
 
 @dataclass(frozen=True)
@@ -35,7 +59,8 @@ class LogRecord:
     """One WAL entry.
 
     ``rid`` is a (page_id, slot) pair for row operations.  ``before`` /
-    ``after`` are full row images (logical logging).
+    ``after`` are full row images (logical logging).  DDL records reuse
+    ``after`` as an argument tuple (e.g. the schema JSON for CREATE_TABLE).
     """
 
     lsn: int
@@ -111,21 +136,48 @@ def decode_records(data: bytes) -> List[LogRecord]:
     return records
 
 
+def _sync_file(f) -> None:
+    """Durably flush a file object (duck-typed for crash-sim wrappers)."""
+    if hasattr(f, "sync"):
+        f.sync()
+    else:
+        f.flush()
+        os.fsync(f.fileno())
+
+
 class WriteAheadLog:
     """Append-only log with optional file persistence.
 
     ``flush`` makes everything up to the current LSN durable; ``records``
     iterates the in-memory tail (tests) while :func:`read_log_file` reads a
-    persisted log back (recovery).
+    persisted log back (recovery).  Reopening an existing log file continues
+    its LSN sequence instead of reusing numbers.
+
+    ``opener`` replaces the file factory (crash simulation hooks in a
+    volatile-buffer wrapper here); it must return an append-mode file-like
+    object with ``write``/``flush``/``close`` and ideally ``sync``.
     """
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        opener: Optional[Callable[[str], object]] = None,
+    ):
         self.path = path
+        self._opener = opener if opener is not None else (lambda p: open(p, "ab"))
         self._records: List[LogRecord] = []
         self._next_lsn = 1
         self._flushed_lsn = 0
         self._lock = threading.Lock()
-        self._file = open(path, "ab") if path else None
+        self._file = None
+        if path:
+            if os.path.exists(path) and os.path.getsize(path) > 0:
+                # Continue the LSN sequence of the existing log.
+                existing = read_log_file(path)
+                if existing:
+                    self._next_lsn = existing[-1].lsn + 1
+                    self._flushed_lsn = existing[-1].lsn
+            self._file = self._opener(path)
 
     def append(
         self,
@@ -145,12 +197,19 @@ class WriteAheadLog:
                 self._file.write(encode_record(record))
             return record.lsn
 
-    def flush(self) -> int:
-        """Make all appended records durable; returns the flushed LSN."""
+    def flush(self, fsync: bool = True) -> int:
+        """Push appended records toward disk; returns the flushed LSN.
+
+        ``fsync=True`` (the default) makes them durable against power loss;
+        ``fsync=False`` only hands them to the OS (survives a process kill,
+        not a power cut) — the ``durability="commit"`` mode.
+        """
         with self._lock:
             if self._file is not None:
-                self._file.flush()
-                os.fsync(self._file.fileno())
+                if fsync:
+                    _sync_file(self._file)
+                else:
+                    self._file.flush()
             self._flushed_lsn = self._next_lsn - 1
             return self._flushed_lsn
 
@@ -175,9 +234,56 @@ class WriteAheadLog:
         with self._lock:
             self._records.clear()
 
+    def compact(
+        self,
+        specs: Sequence[Tuple[int, LogRecordType, str, Optional[Tuple[int, int]], Optional[Row], Optional[Row]]],
+        injector=None,
+    ) -> int:
+        """Atomically replace the whole log with ``specs`` (checkpointing).
+
+        Each spec is ``(txn_id, type, table, rid, before, after)``; fresh
+        LSNs continue the current sequence.  File-backed logs write the
+        replacement to ``<path>.tmp``, fsync it, and rename it over the live
+        log, so a crash before the rename leaves the old log intact and a
+        crash after it leaves the new one — never neither.  Returns the last
+        LSN of the compacted log.
+        """
+        with self._lock:
+            records = []
+            for txn_id, type_, table, rid, before, after in specs:
+                records.append(
+                    LogRecord(self._next_lsn, txn_id, type_, table, rid, before, after)
+                )
+                self._next_lsn += 1
+            if self._file is None:
+                self._records = records
+                self._flushed_lsn = self._next_lsn - 1
+                return self._flushed_lsn
+            tmp_path = self.path + ".tmp"
+            if os.path.exists(tmp_path):
+                os.remove(tmp_path)  # stale temp from a crashed checkpoint
+            tmp = self._opener(tmp_path)
+            try:
+                for record in records:
+                    tmp.write(encode_record(record))
+                _sync_file(tmp)
+            finally:
+                tmp.close()
+            if injector is not None:
+                injector.hit("checkpoint.pre_rename")
+            # Close the live handle before the swap; reopen after.
+            self._file.close()
+            os.replace(tmp_path, self.path)
+            if injector is not None:
+                injector.hit("checkpoint.post_rename")
+            self._file = self._opener(self.path)
+            self._records = records
+            self._flushed_lsn = self._next_lsn - 1
+            return self._flushed_lsn
+
     def close(self) -> None:
         with self._lock:
-            if self._file is not None and not self._file.closed:
+            if self._file is not None and not getattr(self._file, "closed", False):
                 self._file.flush()
                 self._file.close()
 

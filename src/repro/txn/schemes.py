@@ -18,12 +18,16 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.errors import TransactionError, WriteConflictError
+from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
 from repro.txn.locks import LockManager, LockMode
 
 _MISSING = object()
+
+#: Pseudo-table name used for key-value records in a scheme's WAL.
+KV_TABLE = "__kv__"
 
 
 @dataclass
@@ -51,6 +55,38 @@ class ConcurrencyScheme:
         self._id_lock = threading.Lock()
         self.commits = 0
         self.aborts = 0
+        self.wal: Optional[WriteAheadLog] = None
+
+    def attach_wal(
+        self, wal: WriteAheadLog, existing: Iterable[LogRecord] = ()
+    ) -> None:
+        """Make committed write sets durable through ``wal``.
+
+        Commit-time group logging: when a transaction commits, its final
+        write set is appended as BEGIN + one record per key + COMMIT and
+        flushed *before* the commit becomes visible to others (locks
+        released / versions installed).  Aborted transactions log nothing.
+
+        Pass the log's ``existing`` records when reattaching after a crash
+        so fresh transaction ids continue past the old ones — a reused id
+        could pair a new BEGIN with a stale COMMIT during replay.
+        """
+        self.wal = wal
+        with self._id_lock:
+            self._next_txn = max(
+                self._next_txn, max((r.txn_id for r in existing), default=0)
+            )
+
+    def _log_commit(self, txn: "TransactionHandle") -> None:
+        if self.wal is None or not txn.write_set:
+            return
+        self.wal.append(txn.txn_id, LogRecordType.BEGIN)
+        for key, value in txn.write_set.items():
+            self.wal.append(
+                txn.txn_id, LogRecordType.INSERT, table=KV_TABLE, after=(key, value)
+            )
+        self.wal.append(txn.txn_id, LogRecordType.COMMIT)
+        self.wal.flush()
 
     def _new_txn_id(self) -> int:
         with self._id_lock:
@@ -102,10 +138,12 @@ class GlobalLockScheme(ConcurrencyScheme):
     def write(self, txn: TransactionHandle, key: Hashable, value: Any) -> None:
         txn._require_active()
         txn.undo.append((key, self._store.get(key, _MISSING)))
+        txn.write_set[key] = value
         self._store[key] = value
 
     def commit(self, txn: TransactionHandle) -> None:
         txn._require_active()
+        self._log_commit(txn)
         txn.active = False
         self.commits += 1
         self._mutex.release()
@@ -155,10 +193,12 @@ class TwoPLScheme(ConcurrencyScheme):
             raise
         with self._store_lock:
             txn.undo.append((key, self._store.get(key, _MISSING)))
+            txn.write_set[key] = value
             self._store[key] = value
 
     def commit(self, txn: TransactionHandle) -> None:
         txn._require_active()
+        self._log_commit(txn)
         txn.active = False
         self.locks.release_all(txn.txn_id)
         self.commits += 1
@@ -247,6 +287,9 @@ class MVCCScheme(ConcurrencyScheme):
     def commit(self, txn: TransactionHandle) -> None:
         txn._require_active()
         with self._latch:
+            # Log-before-install: the commit record must be durable before
+            # any reader can observe the new versions.
+            self._log_commit(txn)
             self._clock += 1
             commit_ts = self._clock
             for key, value in txn.write_set.items():
@@ -287,6 +330,31 @@ class MVCCScheme(ConcurrencyScheme):
                 dropped += len(chain) - len(keep)
                 self._versions[key] = keep
         return dropped
+
+
+def recover_store(records: Iterable[LogRecord]) -> Dict[Hashable, Any]:
+    """Fold a scheme's WAL back into the key-value store it described.
+
+    Only committed transactions' writes are applied, in LSN order; a
+    transaction whose COMMIT record never made it to disk (crash between
+    append and flush, or a lying fsync) is discarded wholesale — the
+    commit-time group logging in :meth:`ConcurrencyScheme._log_commit`
+    guarantees a committed write set is contiguous in the log.
+    """
+    from repro.storage.recovery import analyze
+
+    ordered = sorted(records, key=lambda r: r.lsn)
+    committed, _, _ = analyze(ordered)
+    store: Dict[Hashable, Any] = {}
+    for record in ordered:
+        if (
+            record.type is LogRecordType.INSERT
+            and record.txn_id in committed
+            and record.after is not None
+        ):
+            key, value = record.after
+            store[key] = value
+    return store
 
 
 _SCHEMES = {

@@ -91,14 +91,26 @@ class TestMetadataFile:
         _make(db_path).close()
         assert os.path.exists(metadata_path(db_path))
 
-    def test_missing_sidecar_is_fresh_database(self, db_path):
-        # A data file without metadata (e.g. pre-persistence version).
+    def test_missing_sidecar_triggers_wal_recovery(self, db_path):
+        # A data file without a metadata sidecar is a crash signature: the
+        # WAL next to it is the source of truth and recovery rebuilds from
+        # it (this used to silently present a fresh, empty database).
         db = Database(path=db_path)
         db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (7)")
         db.pool.flush_all()
         db.disk.close()  # "crash": no close(), no sidecar
+        db.wal.close()
+        recovered = Database(path=db_path)
+        assert recovered.recovery_stats == {"t": 1}
+        assert recovered.execute("SELECT a FROM t").scalar() == 7
+        recovered.close()
+
+    def test_no_files_at_all_is_fresh_database(self, db_path):
+        # Nothing on disk (no data file, no sidecar, no WAL): fresh start.
         fresh = Database(path=db_path)
         assert fresh.catalog.table_names() == []
+        assert fresh.recovery_stats is None
         fresh.close()
 
     def test_version_mismatch_rejected(self, db_path):

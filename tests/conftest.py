@@ -1,4 +1,4 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and tier marking for the test suite."""
 
 from __future__ import annotations
 
@@ -8,6 +8,18 @@ from repro.core.database import Database
 from repro.core.types import Column, DataType, Schema
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import InMemoryDiskManager
+
+
+def pytest_collection_modifyitems(config, items):
+    """Every test not explicitly ``slow`` or ``crash`` is tier-1.
+
+    CI selects tiers with ``-m``: pushes run ``-m "not slow"`` (tier-1 plus
+    the sampled crash matrix), the nightly job runs everything with
+    ``REPRO_NIGHTLY=1`` for the full matrix and extended fuzzing.
+    """
+    for item in items:
+        if "slow" not in item.keywords and "crash" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)
 
 
 @pytest.fixture

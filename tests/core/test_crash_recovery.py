@@ -1,0 +1,298 @@
+"""End-to-end crash recovery through the live transaction path.
+
+Unlike ``test_durability.py`` (which drives ``restore_from_wal`` by hand),
+these tests exercise the wired-in path: every committed DML is logged
+automatically, and reopening a database after an unclean exit runs
+analyze/redo/undo inside ``Database.__init__``.
+"""
+
+import os
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import TransactionError
+from repro.storage.wal import LogRecordType
+
+
+def _crash(db):
+    """Abandon a database without close(): flush nothing, drop handles."""
+    db.wal.close()
+    db.disk.close()
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "data.db")
+
+
+class TestLiveRecovery:
+    def test_committed_rows_survive_unclean_exit(self, db_path):
+        db = Database(path=db_path)
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        _crash(db)
+        recovered = Database(path=db_path)
+        assert recovered.recovery_stats == {"t": 2}
+        assert recovered.execute("SELECT a, b FROM t ORDER BY a").rows == [
+            (1, "x"),
+            (2, "y"),
+        ]
+        recovered.close()
+
+    def test_uncommitted_txn_rolled_back_by_recovery(self, db_path):
+        db = Database(path=db_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (2)")
+        db.wal.flush()  # even durable records of an open txn must not apply
+        _crash(db)
+        recovered = Database(path=db_path)
+        assert recovered.execute("SELECT a FROM t").rows == [(1,)]
+        recovered.close()
+
+    def test_update_and_delete_replay(self, db_path):
+        db = Database(path=db_path)
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+        db.execute("UPDATE t SET b = 'updated' WHERE a = 1")
+        db.execute("DELETE FROM t WHERE a = 2")
+        _crash(db)
+        recovered = Database(path=db_path)
+        assert recovered.execute("SELECT a, b FROM t ORDER BY a").rows == [
+            (1, "updated"),
+            (3, "z"),
+        ]
+        recovered.close()
+
+    def test_moved_row_update_not_duplicated(self, db_path):
+        # An update that grows a row past its slot moves it to a new rid.
+        # Replay must not resurrect both the old and the new image.
+        db = Database(path=db_path)
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        db.execute("INSERT INTO t VALUES (1, 'small')")
+        db.execute("INSERT INTO t VALUES (2, 'pad'), (3, 'pad')")
+        db.execute(f"UPDATE t SET b = '{'x' * 2000}' WHERE a = 1")
+        _crash(db)
+        recovered = Database(path=db_path)
+        assert recovered.execute("SELECT COUNT(*) FROM t").scalar() == 3
+        assert (
+            recovered.execute("SELECT COUNT(*) FROM t WHERE a = 1").scalar() == 1
+        )
+        assert recovered.execute(
+            "SELECT b FROM t WHERE a = 1"
+        ).scalar() == "x" * 2000
+        recovered.close()
+
+    def test_explicit_rollback_not_replayed(self, db_path):
+        db = Database(path=db_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (99)")
+        db.execute("ROLLBACK")
+        db.execute("INSERT INTO t VALUES (1)")
+        _crash(db)
+        recovered = Database(path=db_path)
+        assert recovered.execute("SELECT a FROM t").rows == [(1,)]
+        recovered.close()
+
+    def test_indexes_rebuilt_by_recovery(self, db_path):
+        db = Database(path=db_path)
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        db.insert_rows("t", [(i, f"r{i}") for i in range(200)])
+        db.execute("CREATE INDEX idx_a ON t (a)")
+        _crash(db)
+        recovered = Database(path=db_path)
+        recovered.analyze()
+        assert "IndexScan" in recovered.explain("SELECT b FROM t WHERE a = 7")
+        assert recovered.execute("SELECT b FROM t WHERE a = 7").scalar() == "r7"
+        recovered.close()
+
+    def test_ddl_after_crash_recovery(self, db_path):
+        # DROP + CREATE sequences must replay in LSN order.
+        db = Database(path=db_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("DROP TABLE t")
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        db.execute("INSERT INTO t VALUES (5, 'new')")
+        _crash(db)
+        recovered = Database(path=db_path)
+        assert recovered.execute("SELECT a, b FROM t").rows == [(5, "new")]
+        recovered.close()
+
+    def test_recovery_after_checkpoint(self, db_path):
+        db = Database(path=db_path, checkpoint_interval=5)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        for i in range(20):  # crosses several checkpoint boundaries
+            db.execute(f"INSERT INTO t VALUES ({i})")
+        _crash(db)
+        recovered = Database(path=db_path)
+        assert recovered.execute("SELECT COUNT(*) FROM t").scalar() == 20
+        recovered.close()
+
+    def test_repeated_crash_recover_cycles(self, db_path):
+        for round_no in range(4):
+            db = Database(path=db_path)
+            if round_no == 0:
+                db.execute("CREATE TABLE t (a INTEGER)")
+            db.execute(f"INSERT INTO t VALUES ({round_no})")
+            _crash(db)
+        final = Database(path=db_path)
+        assert final.execute("SELECT a FROM t ORDER BY a").rows == [
+            (0,),
+            (1,),
+            (2,),
+            (3,),
+        ]
+        final.close()
+
+    def test_clean_close_fast_attaches(self, db_path):
+        db = Database(path=db_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.close()
+        reopened = Database(path=db_path)
+        assert reopened.recovery_stats is None  # no recovery ran
+        assert reopened.execute("SELECT a FROM t").rows == [(1,)]
+        reopened.close()
+
+    def test_statement_atomicity_on_failure(self, db_path):
+        # A multi-row INSERT that fails half-way must leave nothing behind.
+        db = Database(path=db_path)
+        db.execute("CREATE TABLE t (a INTEGER NOT NULL)")
+        with pytest.raises(Exception):
+            db.insert_rows("t", [(1,), (2,), (None,)])
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+        _crash(db)
+        recovered = Database(path=db_path)
+        assert recovered.execute("SELECT COUNT(*) FROM t").scalar() == 0
+        recovered.close()
+
+
+class TestDurabilityModes:
+    def test_durability_none_disables_wal(self, db_path):
+        db = Database(path=db_path, durability="none")
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db.wal.records() == []
+        assert not os.path.exists(db_path + ".wal")
+        db.close()
+
+    def test_unknown_durability_rejected(self, db_path):
+        with pytest.raises(Exception, match="durability"):
+            Database(path=db_path, durability="paranoid")
+
+    def test_file_backed_defaults_to_fsync(self, db_path):
+        db = Database(path=db_path)
+        assert db.durability == "fsync"
+        db.close()
+
+    def test_memory_database_defaults_to_commit(self):
+        db = Database()
+        assert db.durability == "commit"
+        db.close()
+
+
+class TestCheckpoint:
+    def test_checkpoint_compacts_log(self, db_path):
+        db = Database(path=db_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        for i in range(100):
+            db.execute(f"INSERT INTO t VALUES ({i})")
+        size_before = os.path.getsize(db_path + ".wal")
+        db.checkpoint()
+        size_after = os.path.getsize(db_path + ".wal")
+        assert size_after < size_before
+        db.close()
+        reopened = Database(path=db_path)
+        assert reopened.execute("SELECT COUNT(*) FROM t").scalar() == 100
+        reopened.close()
+
+    def test_checkpoint_marker_written(self, db_path):
+        db = Database(path=db_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.checkpoint()
+        assert any(
+            r.type is LogRecordType.CHECKPOINT for r in db.wal.records()
+        )
+        db.close()
+
+    def test_checkpoint_inside_txn_rejected(self, db_path):
+        db = Database(path=db_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("BEGIN")
+        with pytest.raises(TransactionError, match="checkpoint"):
+            db.checkpoint()
+        db.execute("ROLLBACK")
+        db.close()
+
+    def test_crash_right_after_checkpoint_recovers(self, db_path):
+        db = Database(path=db_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.checkpoint()
+        db.execute("INSERT INTO t VALUES (2)")  # tail past the checkpoint
+        _crash(db)
+        recovered = Database(path=db_path)
+        assert recovered.execute("SELECT a FROM t ORDER BY a").rows == [(1,), (2,)]
+        recovered.close()
+
+
+class TestCacheInvalidation:
+    """Regression tests: stale caches after rollback / recovery replay."""
+
+    def test_result_cache_invalidated_by_restore_from_wal(self, tmp_path):
+        wal_file = str(tmp_path / "x.wal")
+        db = Database(wal_path=wal_file, result_cache_size=32)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.wal.flush()
+
+        fresh = Database(wal_path=str(tmp_path / "y.wal"), result_cache_size=32)
+        fresh.execute("CREATE TABLE t (a INTEGER)")
+        # Populate the result cache against the empty table...
+        assert fresh.execute("SELECT COUNT(*) FROM t").scalar() == 0
+        # ...then replay rewrites the table underneath it.
+        fresh.restore_from_wal(wal_file)
+        assert fresh.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_plan_cache_invalidated_by_restore_from_wal(self, tmp_path):
+        wal_file = str(tmp_path / "x.wal")
+        db = Database(wal_path=wal_file)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(i,) for i in range(10)])
+        db.wal.flush()
+
+        fresh = Database(wal_path=str(tmp_path / "y.wal"))
+        fresh.execute("CREATE TABLE t (a INTEGER)")
+        assert fresh.execute("SELECT a FROM t WHERE a >= 0").rows == []
+        assert len(fresh.plan_cache) > 0
+        fresh.restore_from_wal(wal_file)
+        rows = fresh.execute("SELECT a FROM t WHERE a >= 0").rows
+        assert sorted(rows) == [(i,) for i in range(10)]
+
+    def test_plan_cache_invalidated_by_rollback(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (2)")
+        # Cache a plan (and run it) while the uncommitted row is visible.
+        assert sorted(db.execute("SELECT a FROM t WHERE a > 0").rows) == [
+            (1,),
+            (2,),
+        ]
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT a FROM t WHERE a > 0").rows == [(1,)]
+
+    def test_result_cache_invalidated_by_rollback(self):
+        db = Database(result_cache_size=32)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (7)")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0

@@ -1,0 +1,304 @@
+"""The crash matrix: kill the engine at every instrumented point.
+
+Phase 1 runs a canonical workload under an *unarmed* injector, which counts
+every pass through every crash site — that census IS the matrix.  Phase 2
+re-runs the workload once per (site, hit) cell with the injector armed to
+raise :class:`CrashPoint` exactly there, simulates the power cut (volatile
+buffers dropped), reopens the database, and checks the recovery contract:
+
+    the recovered state equals the state after the last acknowledged
+    statement, or that state plus the fully-applied in-flight statement
+    (its commit record may have become durable just before the cut).
+
+Acknowledged commits may never be lost (fsync durability) and in-flight
+statements may never be half-applied.  Torn WAL tails and lying fsyncs get
+their own variants with correspondingly weaker contracts.
+
+The default run samples each site at its first, second, and last hit; set
+``REPRO_NIGHTLY=1`` to sweep every (site, hit) cell.
+"""
+
+import os
+
+import pytest
+
+from repro.core.database import Database
+from repro.storage.faults import CrashPoint, CrashSim, FaultInjector
+from repro.storage.wal import WriteAheadLog, read_log_file
+from repro.txn.schemes import recover_store, scheme_names, make_scheme
+
+NIGHTLY = bool(os.environ.get("REPRO_NIGHTLY"))
+
+# One canonical workload: DDL, batch + single inserts, updates (including a
+# row-moving one), deletes, an aborted txn, and enough commits to cross the
+# small checkpoint interval used below.
+WORKLOAD = [
+    "CREATE TABLE t (a INTEGER, b TEXT)",
+    "INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')",
+    "INSERT INTO t VALUES (4, 'four')",
+    "UPDATE t SET b = 'TWO' WHERE a = 2",
+    "DELETE FROM t WHERE a = 3",
+    "INSERT INTO t VALUES (5, '" + "x" * 600 + "')",
+    "UPDATE t SET b = '" + "y" * 900 + "' WHERE a = 1",  # moves the row
+    "INSERT INTO t VALUES (6, 'six'), (7, 'seven')",
+    "DELETE FROM t WHERE a >= 6",
+    "UPDATE t SET a = a + 10 WHERE a <= 2",
+]
+DB_KWARGS = {"checkpoint_interval": 4}
+
+
+def _expected_states():
+    """State snapshots after each workload statement (no-fault reference).
+
+    ``states[k]`` is the table multiset after ``k`` statements; ``None``
+    means the table does not exist yet.
+    """
+    db = Database(**DB_KWARGS)
+    states = [None]
+    for i, sql in enumerate(WORKLOAD):
+        db.execute(sql)
+        states.append(sorted(db.execute("SELECT a, b FROM t").rows))
+    db.close()
+    return states
+
+
+STATES = _expected_states()
+
+
+def _recovered_state(db):
+    if not db.catalog.has_table("t"):
+        return None
+    return sorted(db.execute("SELECT a, b FROM t").rows)
+
+
+def _census(tmp_path):
+    """Phase 1: run the workload fault-free and count crash sites."""
+    sim = CrashSim(str(tmp_path), **DB_KWARGS)
+    db = sim.open()
+    for sql in WORKLOAD:
+        db.execute(sql)
+    sites = sim.injector.sites()
+    db.close()
+    return sites
+
+
+def _matrix_cells():
+    """(site, hit) parameter grid, sampled unless REPRO_NIGHTLY is set."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sites = _census(tmp)
+    cells = []
+    for site, count in sorted(sites.items()):
+        if NIGHTLY:
+            hits = range(1, count + 1)
+        else:
+            hits = sorted({1, 2, (count + 1) // 2, count} & set(range(1, count + 1)))
+        cells.extend((site, hit) for hit in hits)
+    return cells
+
+
+MATRIX = _matrix_cells()
+
+
+def _run_until_crash(sim):
+    """Run the workload; returns the number of acknowledged statements."""
+    db = sim.open()
+    acked = 0
+    try:
+        for sql in WORKLOAD:
+            db.execute(sql)
+            acked += 1
+    except CrashPoint:
+        sim.crash()
+        return acked, True
+    db.close()
+    return acked, False
+
+
+class TestCrashMatrix:
+    def test_census_covers_the_write_path(self, tmp_path):
+        sites = _census(tmp_path)
+        for expected in (
+            "wal.append",
+            "wal.fsync",
+            "wal.fsynced",
+            "dml.logged",
+            "ddl.logged",
+            "commit.appended",
+            "commit.flushed",
+            "checkpoint.begin",
+        ):
+            assert expected in sites, f"{expected} never hit by the workload"
+
+    @pytest.mark.crash
+    @pytest.mark.parametrize("site,hit", MATRIX, ids=[f"{s}@{h}" for s, h in MATRIX])
+    def test_crash_anywhere_recovers_consistently(self, tmp_path, site, hit):
+        sim = CrashSim(str(tmp_path), **DB_KWARGS)
+        sim.injector.arm(site, hit)
+        acked, crashed = _run_until_crash(sim)
+        if not crashed:
+            # Armed point was past the workload's end: nothing to prove
+            # beyond the usual clean-close behavior.
+            db = sim.reopen()
+            assert _recovered_state(db) == STATES[-1]
+            db.close()
+            return
+        db = sim.reopen()
+        recovered = _recovered_state(db)
+        acceptable = [STATES[acked]]
+        if acked + 1 < len(STATES):
+            acceptable.append(STATES[acked + 1])
+        assert recovered in acceptable, (
+            f"crash at {site}@{hit} after {acked} acked statements: "
+            f"recovered {recovered!r}, expected one of {acceptable!r}"
+        )
+        # The database must stay fully usable after recovery.
+        db.execute("INSERT INTO t VALUES (100, 'post-crash')"
+                   if recovered is not None else
+                   "CREATE TABLE t (a INTEGER, b TEXT)")
+        db.close()
+
+    @pytest.mark.crash
+    @pytest.mark.parametrize("torn_bytes", [1, 3, 7, 16])
+    def test_torn_wal_tail_discarded(self, tmp_path, torn_bytes):
+        # Crash before the fsync lands, leaving a byte-torn tail of the
+        # in-flight transaction's records: recovery must drop it whole.
+        sim = CrashSim(str(tmp_path), **DB_KWARGS)
+        sim.injector.torn_tail_bytes = torn_bytes
+        sim.injector.arm("wal.fsync", 5)
+        acked, crashed = _run_until_crash(sim)
+        assert crashed
+        db = sim.reopen()
+        recovered = _recovered_state(db)
+        assert recovered in (STATES[acked], STATES[acked + 1])
+        db.close()
+
+    @pytest.mark.crash
+    def test_lying_fsync_weakens_to_prefix(self, tmp_path):
+        # Firmware that acknowledges FLUSH CACHE without persisting: acked
+        # commits CAN be lost, but the survivor must still be a consistent
+        # prefix of the committed sequence — never a half-applied statement.
+        sim = CrashSim(str(tmp_path), **DB_KWARGS)
+        sim.injector.lying_fsync = True
+        db = sim.open()
+        for sql in WORKLOAD:
+            db.execute(sql)
+        sim.crash()
+        db = sim.reopen()
+        assert _recovered_state(db) in STATES
+        db.close()
+
+
+class TestSchemeCrashMatrix:
+    """The same contract for the concurrency schemes' KV stores."""
+
+    TXNS = [  # (key, value) written by one committed txn each
+        [("a", 1)],
+        [("b", 2), ("c", 3)],
+        [("a", 10)],
+        [("d", 4), ("a", 11), ("e", 5)],
+        [("b", 20)],
+    ]
+
+    def _states(self):
+        states = [{}]
+        current = {}
+        for writes in self.TXNS:
+            current = dict(current)
+            current.update(dict(writes))
+            states.append(current)
+        return states
+
+    def _run(self, scheme, wal, upto=None, abort_last=False):
+        acked = 0
+        for i, writes in enumerate(self.TXNS if upto is None else self.TXNS[:upto]):
+            txn = scheme.begin()
+            for key, value in writes:
+                scheme.write(txn, key, value)
+            if abort_last and i == len(self.TXNS) - 1:
+                scheme.abort(txn)
+            else:
+                scheme.commit(txn)
+                acked += 1
+        return acked
+
+    @pytest.mark.crash
+    @pytest.mark.parametrize("name", scheme_names())
+    @pytest.mark.parametrize("site,hit", [
+        ("wal.append", 1),
+        ("wal.append", 3),
+        ("wal.append", 7),
+        ("wal.fsync", 1),
+        ("wal.fsync", 3),
+        ("wal.fsynced", 2),
+    ], ids=lambda v: v if isinstance(v, str) else str(v))
+    def test_scheme_crash_recovers_committed_prefix(self, tmp_path, name, site, hit):
+        path = str(tmp_path / f"{name}.wal")
+        injector = FaultInjector()
+        injector.arm(site, hit)
+        scheme = make_scheme(name)
+        from repro.storage.faults import BufferedCrashFile
+
+        wal = WriteAheadLog(path, opener=lambda p: BufferedCrashFile(p, injector))
+        scheme.attach_wal(wal)
+        states = self._states()
+        acked = 0
+        try:
+            for writes in self.TXNS:
+                txn = scheme.begin()
+                for key, value in writes:
+                    scheme.write(txn, key, value)
+                scheme.commit(txn)
+                acked += 1
+            wal.close()
+        except CrashPoint:
+            injector.crash_volatiles()
+        recovered = recover_store(read_log_file(path))
+        assert recovered in (states[acked], states[acked + 1] if acked + 1 < len(states) else states[acked]), (
+            f"{name} crash at {site}@{hit}: acked={acked}, recovered={recovered}"
+        )
+
+    @pytest.mark.parametrize("name", scheme_names())
+    def test_scheme_aborted_txn_never_recovered(self, tmp_path, name):
+        path = str(tmp_path / f"{name}.wal")
+        scheme = make_scheme(name)
+        wal = WriteAheadLog(path)
+        scheme.attach_wal(wal)
+        self._run(scheme, wal, abort_last=True)
+        wal.close()
+        recovered = recover_store(read_log_file(path))
+        assert recovered == self._states()[-2]  # last txn aborted
+
+    @pytest.mark.parametrize("name", scheme_names())
+    def test_scheme_reattach_continues_txn_ids(self, tmp_path, name):
+        path = str(tmp_path / f"{name}.wal")
+        scheme = make_scheme(name)
+        wal = WriteAheadLog(path)
+        scheme.attach_wal(wal)
+        self._run(scheme, wal)
+        wal.close()
+        records = read_log_file(path)
+        scheme2 = make_scheme(name)
+        wal2 = WriteAheadLog(path)
+        scheme2.attach_wal(wal2, existing=records)
+        txn = scheme2.begin()
+        assert txn.txn_id > max(r.txn_id for r in records)
+        scheme2.abort(txn)
+        wal2.close()
+
+    @pytest.mark.crash
+    @pytest.mark.parametrize("name", scheme_names())
+    def test_scheme_lying_fsync_loses_at_most_a_suffix(self, tmp_path, name):
+        path = str(tmp_path / f"{name}.wal")
+        injector = FaultInjector()
+        injector.lying_fsync = True
+        scheme = make_scheme(name)
+        from repro.storage.faults import BufferedCrashFile
+
+        wal = WriteAheadLog(path, opener=lambda p: BufferedCrashFile(p, injector))
+        scheme.attach_wal(wal)
+        self._run(scheme, wal)
+        injector.crash_volatiles()
+        recovered = recover_store(read_log_file(path))
+        assert recovered in self._states()

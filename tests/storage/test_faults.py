@@ -1,0 +1,168 @@
+"""Unit tests for the fault-injection layer itself.
+
+The crash matrix is only trustworthy if the simulated hardware misbehaves
+exactly as advertised: unsynced writes vanish, synced writes survive, torn
+tails keep a byte-accurate prefix, and a lying fsync acknowledges without
+persisting.
+"""
+
+import os
+
+import pytest
+
+from repro.storage.disk import FileDiskManager, InMemoryDiskManager
+from repro.storage.faults import (
+    BufferedCrashFile,
+    CrashPoint,
+    FaultInjector,
+    FaultyDiskManager,
+    NULL_INJECTOR,
+)
+from repro.storage.page import PAGE_SIZE
+
+
+class TestFaultInjector:
+    def test_counts_every_hit(self):
+        inj = FaultInjector()
+        for _ in range(3):
+            inj.hit("a")
+        inj.hit("b")
+        assert inj.sites() == {"a": 3, "b": 1}
+
+    def test_armed_site_raises_at_exact_hit(self):
+        inj = FaultInjector()
+        inj.arm("commit", hit=2)
+        inj.hit("commit")  # hit 1: survives
+        with pytest.raises(CrashPoint) as excinfo:
+            inj.hit("commit")
+        assert excinfo.value.site == "commit"
+        assert excinfo.value.hit == 2
+
+    def test_other_sites_unaffected_by_arming(self):
+        inj = FaultInjector()
+        inj.arm("commit", hit=1)
+        inj.hit("other")
+        inj.hit("other")
+
+    def test_crashpoint_is_not_an_exception(self):
+        # `except Exception` cleanup code must not swallow a power cut.
+        assert not issubclass(CrashPoint, Exception)
+        assert issubclass(CrashPoint, BaseException)
+
+    def test_disarm_resets(self):
+        inj = FaultInjector()
+        inj.arm("x", hit=1)
+        inj.disarm()
+        inj.hit("x")  # no crash
+        assert inj.sites() == {"x": 1}
+
+    def test_null_injector_is_inert(self):
+        NULL_INJECTOR.hit("anything")
+        NULL_INJECTOR.register_volatile(object())
+        assert NULL_INJECTOR.sites() == {}
+
+
+class TestBufferedCrashFile:
+    def test_unsynced_writes_lost_on_crash(self, tmp_path):
+        path = str(tmp_path / "log")
+        inj = FaultInjector()
+        f = BufferedCrashFile(path, inj)
+        f.write(b"durable")
+        f.sync()
+        f.write(b"volatile")
+        f.crash()
+        assert open(path, "rb").read() == b"durable"
+
+    def test_synced_writes_survive_crash(self, tmp_path):
+        path = str(tmp_path / "log")
+        f = BufferedCrashFile(path, FaultInjector())
+        f.write(b"one")
+        f.write(b"two")
+        f.sync()
+        f.crash()
+        assert open(path, "rb").read() == b"onetwo"
+
+    def test_clean_close_persists_everything(self, tmp_path):
+        path = str(tmp_path / "log")
+        f = BufferedCrashFile(path, FaultInjector())
+        f.write(b"pending")
+        f.close()
+        assert open(path, "rb").read() == b"pending"
+
+    def test_torn_tail_keeps_prefix(self, tmp_path):
+        path = str(tmp_path / "log")
+        inj = FaultInjector()
+        inj.torn_tail_bytes = 4
+        f = BufferedCrashFile(path, inj)
+        f.write(b"0123456789")
+        f.crash()
+        assert open(path, "rb").read() == b"0123"
+
+    def test_lying_fsync_acknowledges_without_persisting(self, tmp_path):
+        path = str(tmp_path / "log")
+        inj = FaultInjector()
+        inj.lying_fsync = True
+        f = BufferedCrashFile(path, inj)
+        f.write(b"gone")
+        f.sync()  # returns normally — but nothing hit the platter
+        f.crash()
+        assert open(path, "rb").read() == b""
+
+    def test_crash_volatiles_reaches_registered_files(self, tmp_path):
+        inj = FaultInjector()
+        f = BufferedCrashFile(str(tmp_path / "log"), inj)
+        f.write(b"x")
+        inj.crash_volatiles()
+        assert f.closed
+        assert inj.crashed
+
+
+class TestFaultyDiskManager:
+    def _page(self, fill):
+        return bytes([fill]) * PAGE_SIZE
+
+    def test_unsynced_pages_lost_on_crash(self, tmp_path):
+        inner = FileDiskManager(str(tmp_path / "d.db"))
+        inj = FaultInjector()
+        disk = FaultyDiskManager(inner, inj)
+        pid = disk.allocate_page()
+        disk.write_page(pid, self._page(1))
+        disk.sync()
+        disk.write_page(pid, self._page(2))
+        disk.crash()
+        reread = FileDiskManager(str(tmp_path / "d.db"))
+        assert reread.read_page(pid) == self._page(1)
+        reread.close()
+
+    def test_pending_pages_readable_before_sync(self):
+        disk = FaultyDiskManager(InMemoryDiskManager(), FaultInjector())
+        pid = disk.allocate_page()
+        disk.write_page(pid, self._page(7))
+        assert disk.read_page(pid) == self._page(7)
+
+    def test_torn_page_is_half_old_half_new(self, tmp_path):
+        inner = FileDiskManager(str(tmp_path / "d.db"))
+        inj = FaultInjector()
+        inj.torn_tail_bytes = PAGE_SIZE // 2
+        disk = FaultyDiskManager(inner, inj)
+        pid = disk.allocate_page()
+        disk.write_page(pid, self._page(1))
+        disk.sync()
+        disk.write_page(pid, self._page(2))
+        disk.crash()
+        reread = FileDiskManager(str(tmp_path / "d.db"))
+        torn = reread.read_page(pid)
+        half = PAGE_SIZE // 2
+        assert torn[:half] == self._page(2)[:half]
+        assert torn[half:] == self._page(1)[half:]
+        reread.close()
+
+    def test_clean_close_syncs(self, tmp_path):
+        inner = FileDiskManager(str(tmp_path / "d.db"))
+        disk = FaultyDiskManager(inner, FaultInjector())
+        pid = disk.allocate_page()
+        disk.write_page(pid, self._page(9))
+        disk.close()
+        reread = FileDiskManager(str(tmp_path / "d.db"))
+        assert reread.read_page(pid) == self._page(9)
+        reread.close()
