@@ -1,0 +1,107 @@
+"""Plan-invariant verifier overhead on the TPC-H-like suite.
+
+Measures end-to-end query latency with ``verify_plans`` off vs. on, in two
+regimes:
+
+* **cached** (default configuration, plan cache enabled) — the verifier
+  runs only on the first planning of each query text, so steady-state
+  overhead must stay within the acceptance budget (<= 10%);
+* **cold** (plan cache disabled) — every execution replans and re-verifies;
+  reported for information, as the worst case the verifier can cost.
+
+Writes ``BENCH_verify.json`` next to this script.
+
+Usage: python benchmarks/bench_verify_overhead.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.database import Database  # noqa: E402
+from repro.workloads.tpch import TPCH_QUERIES, load_tpch  # noqa: E402
+
+OVERHEAD_BUDGET_PCT = 10.0  # acceptance: cached overhead <= 10%
+
+
+def _build(verify: bool, cold: bool, scale_factor: float) -> Database:
+    db = Database(
+        verify_plans=verify,
+        plan_cache_size=0 if cold else 128,
+    )
+    load_tpch(db, scale_factor=scale_factor, seed=0)
+    db.execute("ANALYZE")
+    return db
+
+
+def _time_suite(db: Database, repeats: int) -> float:
+    """Median over `repeats` of one full pass over all queries (ms)."""
+    queries = [make_sql() for make_sql in TPCH_QUERIES.values()]
+    for sql in queries:  # warm plan cache / interpreter
+        db.execute(sql)
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for sql in queries:
+            db.execute(sql)
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return statistics.median(samples)
+
+
+def run(scale_factor: float, repeats: int) -> dict:
+    results = {"scale_factor": scale_factor, "queries": sorted(TPCH_QUERIES)}
+    for regime, cold in (("cached", False), ("cold", True)):
+        base_ms = _time_suite(_build(False, cold, scale_factor), repeats)
+        verified_ms = _time_suite(_build(True, cold, scale_factor), repeats)
+        overhead_pct = (verified_ms / base_ms - 1.0) * 100.0
+        results[regime] = {
+            "baseline_ms": round(base_ms, 2),
+            "verify_on_ms": round(verified_ms, 2),
+            "overhead_pct": round(overhead_pct, 2),
+        }
+    results["budget_pct"] = OVERHEAD_BUDGET_PCT
+    results["within_budget"] = (
+        results["cached"]["overhead_pct"] <= OVERHEAD_BUDGET_PCT
+    )
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small scale, fewer repeats")
+    parser.add_argument("--scale-factor", type=float, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args()
+    scale_factor = args.scale_factor or (0.02 if args.quick else 0.05)
+    repeats = args.repeats or (3 if args.quick else 5)
+
+    results = run(scale_factor, repeats)
+    out_path = os.path.join(os.path.dirname(__file__), "BENCH_verify.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+
+    for regime in ("cached", "cold"):
+        r = results[regime]
+        print(
+            f"{regime:>7}: baseline {r['baseline_ms']:.1f} ms, "
+            f"verify-on {r['verify_on_ms']:.1f} ms "
+            f"({r['overhead_pct']:+.1f}%)"
+        )
+    status = "PASS" if results["within_budget"] else "FAIL"
+    print(
+        f"cached-regime budget (<= {OVERHEAD_BUDGET_PCT:.0f}%): {status} "
+        f"-> {out_path}"
+    )
+    return 0 if results["within_budget"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

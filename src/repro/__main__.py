@@ -1,4 +1,11 @@
-"""``python -m repro`` — launch the interactive SQL shell."""
+"""``python -m repro`` — interactive SQL shell, or ``lint`` subcommand."""
+
+import sys
+
+if len(sys.argv) > 1 and sys.argv[1] == "lint":
+    from repro.analyze.cli import main as lint_main
+
+    raise SystemExit(lint_main(sys.argv[2:]))
 
 from repro.cli import main
 

@@ -1,0 +1,54 @@
+"""Static analysis: plan-invariant verification, SQL linting, ORM checks.
+
+Three passes share one fact/rule framework (:mod:`repro.analyze.facts`):
+
+* :mod:`repro.analyze.invariants` — typed invariants checked on the plan
+  tree after binding and between every optimizer rewrite.  Enabled for the
+  whole test suite via ``REPRO_VERIFY_PLANS=1`` and opt-in in production
+  with ``Database(verify_plans=True)``.
+* :mod:`repro.analyze.lint` — query linting before execution: non-sargable
+  predicates, implicit cross joins, ``SELECT *``, mixed-type comparisons,
+  and missing-index opportunities (statistics-aware when a catalog is
+  available).
+* :mod:`repro.analyze.orm_check` — static N+1 detection over Python source
+  that uses :mod:`repro.orm` (lazy relationship access inside loops).
+
+The command-line entry point is ``python -m repro lint <query|file|dir>``
+(:mod:`repro.analyze.cli`).
+"""
+
+from repro.analyze.facts import (
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisReport,
+    Finding,
+    Rule,
+    RuleRegistry,
+    parse_suppressions,
+)
+from repro.analyze.invariants import (
+    PlanInvariantViolation,
+    PlanVerifier,
+    check_logical_invariants,
+    check_physical_invariants,
+)
+from repro.analyze.lint import SqlLinter
+from repro.analyze.orm_check import scan_python_source
+
+__all__ = [
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "AnalysisReport",
+    "Finding",
+    "Rule",
+    "RuleRegistry",
+    "parse_suppressions",
+    "PlanInvariantViolation",
+    "PlanVerifier",
+    "check_logical_invariants",
+    "check_physical_invariants",
+    "SqlLinter",
+    "scan_python_source",
+]

@@ -1,0 +1,229 @@
+"""``python -m repro lint`` — lint SQL scripts, Python ORM code, or queries.
+
+Targets:
+
+* a ``.sql`` file — statements are split and linted in order; DDL/DML and
+  ``ANALYZE`` are *executed* into a scratch in-memory database so the
+  catalog-aware rules (sargability, missing indexes, type coercion) see
+  real schemas, indexes, and statistics;
+* a ``.py`` file — scanned by the static ORM N+1 detector;
+* a directory — every ``.sql`` and ``.py`` file under it (relationship
+  declarations are unioned across the directory before the ORM scan);
+* anything else — treated as a literal SQL query and linted without a
+  catalog.
+
+Findings print as ``path:line: [rule] severity: message``.  In-source
+suppressions (``-- lint: allow(rule)`` for SQL, ``# lint: allow(rule)``
+for Python) silence individual lines.  Exit status: 0 clean, 1 findings,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Optional, Set, Tuple
+
+from repro.analyze.facts import (
+    ERROR,
+    AnalysisReport,
+    Finding,
+    apply_suppressions,
+    parse_suppressions,
+)
+from repro.analyze.lint import SqlLinter
+from repro.analyze.orm_check import collect_relationships, scan_python_file
+from repro.core.errors import ReproError
+from repro.sql import ast
+from repro.sql.parser import parse
+
+USAGE = "usage: python -m repro lint <query | file.sql | file.py | directory> ..."
+
+#: Statement types executed into the scratch database (building the catalog
+#: the statistics-aware rules read); everything else is lint-only.
+_EXECUTABLE = (
+    ast.CreateTableStmt,
+    ast.CreateIndexStmt,
+    ast.DropTableStmt,
+    ast.InsertStmt,
+    ast.UpdateStmt,
+    ast.DeleteStmt,
+    ast.AnalyzeStmt,
+)
+
+
+def split_sql_statements(text: str) -> List[Tuple[int, str]]:
+    """Split a script into ``(start_line, statement_text)`` pairs.
+
+    Tracks single-quoted strings (with ``''`` escapes) and ``--`` line
+    comments so semicolons inside them don't split.  ``start_line`` is the
+    first line of the statement with actual SQL on it (comment-only and
+    blank prefixes don't count), and chunks containing only comments are
+    dropped.
+    """
+    statements: List[Tuple[int, str]] = []
+    buf: List[str] = []
+    line = 1
+    sql_line: Optional[int] = None  # first line with significant SQL
+    in_string = False
+    in_comment = False
+
+    def flush() -> None:
+        nonlocal buf, sql_line
+        statement = "".join(buf).strip()
+        if statement and sql_line is not None:
+            statements.append((sql_line, statement))
+        buf = []
+        sql_line = None
+
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            in_comment = False
+            buf.append(ch)
+        elif in_comment:
+            buf.append(ch)
+        elif in_string:
+            buf.append(ch)
+            if ch == "'":
+                if i + 1 < len(text) and text[i + 1] == "'":
+                    buf.append("'")
+                    i += 1
+                else:
+                    in_string = False
+        elif ch == "'":
+            in_string = True
+            buf.append(ch)
+            if sql_line is None:
+                sql_line = line
+        elif ch == "-" and text[i : i + 2] == "--":
+            in_comment = True
+            buf.append(ch)
+        elif ch == ";":
+            flush()
+        else:
+            if sql_line is None and not ch.isspace():
+                sql_line = line
+            buf.append(ch)
+        i += 1
+    flush()
+    return statements
+
+
+def lint_sql_text(
+    text: str, source: str = "<query>", use_scratch_db: bool = True
+) -> AnalysisReport:
+    """Lint a SQL script (possibly many statements), catalog-aware."""
+    db = None
+    if use_scratch_db:
+        from repro.core.database import Database
+
+        db = Database()
+    linter = SqlLinter(catalog=db.catalog if db is not None else None)
+    report = AnalysisReport()
+    for start_line, statement_text in split_sql_statements(text):
+        try:
+            stmt = parse(statement_text)
+        except ReproError as exc:
+            report.extend(
+                [Finding("sql-parse", ERROR, str(exc), source, start_line)]
+            )
+            continue
+        report.extend(linter.lint_statement(stmt, source, start_line))
+        if db is not None and isinstance(stmt, _EXECUTABLE):
+            try:
+                db.execute(statement_text)
+            except ReproError as exc:
+                report.extend(
+                    [Finding("sql-exec", ERROR, str(exc), source, start_line)]
+                )
+    return report
+
+
+def _lint_sql_file(path: str) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    report = lint_sql_text(text, source=path)
+    return apply_suppressions(report.findings, _sql_suppressions(text))
+
+
+def _sql_suppressions(text: str):
+    """SQL uses ``-- lint: allow(rule)``; reuse the shared parser by
+    normalizing the comment leader."""
+    return parse_suppressions(text.replace("-- lint:", "# lint:").replace("--lint:", "# lint:"))
+
+
+def _lint_python_file(path: str, extra_relationships: Optional[Set[str]] = None) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    findings = scan_python_file(path, extra_relationships)
+    return apply_suppressions(findings, parse_suppressions(text))
+
+
+def _collect_directory_relationships(py_files: List[str]) -> Set[str]:
+    import ast as pyast
+
+    names: Set[str] = set()
+    for path in py_files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                names |= collect_relationships(pyast.parse(handle.read()))
+        except (OSError, SyntaxError):
+            continue
+    return names
+
+
+def _lint_directory(path: str) -> List[Finding]:
+    sql_files: List[str] = []
+    py_files: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames[:] = sorted(d for d in dirnames if not d.startswith("."))
+        for name in sorted(filenames):
+            full = os.path.join(dirpath, name)
+            if name.endswith(".sql"):
+                sql_files.append(full)
+            elif name.endswith(".py"):
+                py_files.append(full)
+    relationships = _collect_directory_relationships(py_files)
+    findings: List[Finding] = []
+    for sql_file in sql_files:
+        findings.extend(_lint_sql_file(sql_file))
+    for py_file in py_files:
+        findings.extend(_lint_python_file(py_file, relationships))
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or "-h" in args or "--help" in args:
+        print(USAGE, file=sys.stderr)
+        return 0 if args else 2
+    findings: List[Finding] = []
+    for target in args:
+        if os.path.isdir(target):
+            findings.extend(_lint_directory(target))
+        elif os.path.isfile(target):
+            if target.endswith(".py"):
+                findings.extend(_lint_python_file(target))
+            else:
+                findings.extend(_lint_sql_file(target))
+        elif target.endswith((".sql", ".py")) or os.path.sep in target:
+            print(f"error: no such file or directory: {target}", file=sys.stderr)
+            return 2
+        else:
+            report = lint_sql_text(target, use_scratch_db=False)
+            findings.extend(report.findings)
+    report = AnalysisReport(findings)
+    try:
+        output = report.format()
+        if output:
+            print(output)
+        print(
+            f"{len(report)} finding(s)" if report else "clean: no findings",
+            file=sys.stderr,
+        )
+    except BrokenPipeError:  # e.g. piped into `head`
+        pass
+    return 1 if report else 0

@@ -1,0 +1,168 @@
+"""Shared fact/rule framework for every static-analysis pass.
+
+All three passes (plan invariants, SQL lint, ORM checks) produce
+:class:`Finding` values and organize their checks as :class:`Rule`
+subclasses collected in a :class:`RuleRegistry`.  A finding names the rule
+that produced it, a severity, a human-readable message, and a source
+location — enough for the CLI to print ``path:line: [rule] message`` lines
+and for tests to assert on exact rule hits.
+
+Suppressions follow the familiar in-source comment convention::
+
+    total = sum(len(a.books) for a in authors)  # lint: allow(orm-n-plus-one)
+
+``# lint: allow(rule-id)`` (or ``allow(*)``) on a line silences findings
+reported against that line; a suppression on line 1 silences the whole file.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis result, attributable to a rule and a source location."""
+
+    rule: str
+    severity: str
+    message: str
+    source: str = "<query>"
+    line: int = 0
+
+    def format(self) -> str:
+        location = self.source if self.line <= 0 else f"{self.source}:{self.line}"
+        return f"{location}: [{self.rule}] {self.severity}: {self.message}"
+
+
+class Rule:
+    """Base class for one analysis check.
+
+    Subclasses set ``id`` (kebab-case slug), ``severity``, and
+    ``description``, and implement :meth:`check` over whatever target type
+    their registry dispatches (a statement, a plan, a Python module).
+    """
+
+    id: str = ""
+    severity: str = WARNING
+    description: str = ""
+
+    def check(self, target, context) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, message: str, source: str = "<query>", line: int = 0
+    ) -> Finding:
+        return Finding(self.id, self.severity, message, source, line)
+
+
+class RuleRegistry:
+    """An ordered collection of rules run against one target."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+        self._rules: List[Rule] = list(rules) if rules else []
+
+    def register(self, rule: Rule) -> Rule:
+        if any(r.id == rule.id for r in self._rules):
+            raise ValueError(f"duplicate rule id {rule.id!r}")
+        self._rules.append(rule)
+        return rule
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def rule_ids(self) -> List[str]:
+        return [r.id for r in self._rules]
+
+    def run(self, target, context) -> List[Finding]:
+        findings: List[Finding] = []
+        for rule in self._rules:
+            findings.extend(rule.check(target, context))
+        return findings
+
+
+@dataclass
+class AnalysisReport:
+    """Findings from one analysis run, with filtering and formatting."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def extend(self, more: Iterable[Finding]) -> None:
+        self.findings.extend(more)
+
+    def __bool__(self) -> bool:
+        return bool(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    def by_rule(self, rule_id: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule == rule_id]
+
+    def rules_hit(self) -> Set[str]:
+        return {f.rule for f in self.findings}
+
+    def sorted(self) -> List[Finding]:
+        return sorted(
+            self.findings,
+            key=lambda f: (f.source, f.line, _SEVERITY_ORDER.get(f.severity, 9), f.rule),
+        )
+
+    def format(self) -> str:
+        return "\n".join(f.format() for f in self.sorted())
+
+
+# --------------------------------------------------------------------------
+# Suppression comments
+# --------------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(r"#\s*(?:repro-)?lint:\s*allow\(([\w*,\s-]+)\)")
+
+
+def parse_suppressions(source_text: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on them."""
+    suppressed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source_text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            suppressed.setdefault(lineno, set()).update(rules)
+    return suppressed
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], suppressions: Dict[int, Set[str]]
+) -> List[Finding]:
+    """Drop findings silenced by ``# lint: allow(...)`` comments."""
+    if not suppressions:
+        return list(findings)
+    file_wide = suppressions.get(1, set())
+    kept = []
+    for finding in findings:
+        allowed = file_wide | suppressions.get(finding.line, set())
+        if "*" in allowed or finding.rule in allowed:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def relocate(findings: Iterable[Finding], source: str, line_offset: int = 0) -> List[Finding]:
+    """Rewrite findings to a new source label, shifting line numbers."""
+    return [
+        replace(f, source=source, line=f.line + line_offset if f.line else line_offset)
+        for f in findings
+    ]

@@ -1,0 +1,421 @@
+"""Plan-invariant verification.
+
+Every optimizer rewrite must preserve a set of typed invariants; this module
+checks them on whole plan trees so the optimizer can assert correctness
+after binding and *between every rewrite pass* instead of discovering a
+broken rule through wrong query results.
+
+Checked invariants:
+
+* **schema preservation** — the plan's output schema (column count, names,
+  types) matches the schema the binder produced;
+* **column-reference resolution** — every :class:`BoundColumn` index inside
+  a node's expressions falls inside that node's input row;
+* **predicate typing** — Filter predicates, Join conditions, and HAVING
+  filters are boolean (or the untyped NULL literal);
+* **alias uniqueness** — no two base-table scans share an alias, which
+  would make qualified references ambiguous after a rewrite;
+* **cardinality sanity** (physical plans) — estimates are non-negative and
+  finite, and row-reducing operators (Filter, Limit, Distinct) never claim
+  more rows than their input.
+
+The driver is :class:`PlanVerifier`: construct it with the bound plan (it
+snapshots the baseline schema and checks the bound tree immediately), then
+call :meth:`~PlanVerifier.check` after each rewrite and
+:meth:`~PlanVerifier.check_physical` after lowering.  Violations raise
+:class:`PlanInvariantViolation` carrying structured findings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analyze.facts import ERROR, Finding
+from repro.core.errors import ReproError
+from repro.core.types import DataType, Schema
+from repro.exec import physical as phys
+from repro.plan import logical
+from repro.plan.expressions import BoundColumn, BoundExpr
+
+_RULE_SCHEMA = "plan-schema-preserved"
+_RULE_COLUMNS = "plan-column-resolution"
+_RULE_BOOLEAN = "plan-predicate-boolean"
+_RULE_ALIASES = "plan-alias-unique"
+_RULE_CARDINALITY = "plan-cardinality-monotone"
+
+#: Estimates are floats built from independent per-node estimator calls;
+#: allow a sliver of slack before calling a reducing operator non-monotone.
+_CARDINALITY_SLACK = 1e-6
+
+
+class PlanInvariantViolation(ReproError):
+    """An optimizer rewrite (or the binder) produced an invalid plan."""
+
+    def __init__(self, stage: str, findings: Sequence[Finding]):
+        self.stage = stage
+        self.findings = list(findings)
+        details = "; ".join(f.message for f in self.findings[:5])
+        more = f" (+{len(self.findings) - 5} more)" if len(self.findings) > 5 else ""
+        super().__init__(
+            f"plan invariant violated after {stage!r}: {details}{more}"
+        )
+
+
+def _finding(rule: str, message: str, stage: str) -> Finding:
+    return Finding(rule, ERROR, message, source=f"<plan:{stage}>")
+
+
+def _expr_columns(expr: BoundExpr) -> List[BoundColumn]:
+    out: List[BoundColumn] = []
+
+    def walk(node: BoundExpr) -> None:
+        if isinstance(node, BoundColumn):
+            out.append(node)
+        for child in node.children():
+            walk(child)
+
+    walk(expr)
+    return out
+
+
+def _check_exprs(
+    exprs: Sequence[Tuple[str, BoundExpr]],
+    input_width: int,
+    node_label: str,
+    stage: str,
+    findings: List[Finding],
+) -> None:
+    for role, expr in exprs:
+        for col in _expr_columns(expr):
+            if not 0 <= col.index < input_width:
+                findings.append(
+                    _finding(
+                        _RULE_COLUMNS,
+                        f"{node_label}: {role} references column "
+                        f"{col.name}#{col.index} outside its input row "
+                        f"(width {input_width})",
+                        stage,
+                    )
+                )
+
+
+def _check_boolean(
+    expr: BoundExpr, node_label: str, role: str, stage: str, findings: List[Finding]
+) -> None:
+    if expr.dtype not in (DataType.BOOLEAN, DataType.NULL):
+        findings.append(
+            _finding(
+                _RULE_BOOLEAN,
+                f"{node_label}: {role} has type {expr.dtype.value}, expected BOOLEAN",
+                stage,
+            )
+        )
+
+
+# --------------------------------------------------------------------------
+# Logical plan invariants
+# --------------------------------------------------------------------------
+
+
+def _alias_scopes(plan: logical.LogicalPlan) -> List[List[str]]:
+    """Scan aliases grouped by join scope.
+
+    Alias uniqueness only holds *within* one FROM clause's join tree; the
+    arms of a set operation (or any subtree past a Project/Aggregate/...)
+    are separate scopes that may legitimately scan the same tables.
+    """
+    scopes: List[List[str]] = []
+
+    def collect(node: logical.LogicalPlan) -> List[str]:
+        """Aliases of the contiguous Scan/Join/Filter subtree at ``node``."""
+        if isinstance(node, logical.Scan):
+            return [node.alias]
+        if isinstance(node, logical.Filter):
+            return collect(node.child)
+        if isinstance(node, logical.Join):
+            return collect(node.left) + collect(node.right)
+        # Scope boundary: subtrees below start their own scopes.
+        for child in node.children():
+            enter(child)
+        return []
+
+    def enter(node: logical.LogicalPlan) -> None:
+        scopes.append(collect(node))
+
+    enter(plan)
+    return scopes
+
+
+def check_logical_invariants(
+    plan: logical.LogicalPlan, stage: str = "plan"
+) -> List[Finding]:
+    """All structural findings for one logical plan tree (empty = valid)."""
+    findings: List[Finding] = []
+
+    def walk(node: logical.LogicalPlan) -> None:
+        label = type(node).__name__
+        if isinstance(node, logical.Filter):
+            width = len(node.child.output_schema())
+            _check_exprs([("predicate", node.predicate)], width, label, stage, findings)
+            _check_boolean(node.predicate, label, "predicate", stage, findings)
+        elif isinstance(node, logical.Project):
+            width = len(node.child.output_schema())
+            _check_exprs(
+                [(f"expression {i}", e) for i, e in enumerate(node.exprs)],
+                width,
+                label,
+                stage,
+                findings,
+            )
+            if len(node.exprs) != len(node.names):
+                findings.append(
+                    _finding(
+                        _RULE_SCHEMA,
+                        f"{label}: {len(node.exprs)} expressions but "
+                        f"{len(node.names)} output names",
+                        stage,
+                    )
+                )
+        elif isinstance(node, logical.Join):
+            width = len(node.left.output_schema()) + len(node.right.output_schema())
+            if node.condition is not None:
+                _check_exprs([("condition", node.condition)], width, label, stage, findings)
+                _check_boolean(node.condition, label, "condition", stage, findings)
+        elif isinstance(node, logical.Aggregate):
+            width = len(node.child.output_schema())
+            exprs = [(f"group key {i}", e) for i, e in enumerate(node.group_exprs)]
+            exprs.extend(
+                (f"aggregate {spec.to_sql()}", spec.arg)
+                for spec in node.aggregates
+                if spec.arg is not None
+            )
+            _check_exprs(exprs, width, label, stage, findings)
+        elif isinstance(node, logical.Sort):
+            width = len(node.child.output_schema())
+            _check_exprs(
+                [(f"sort key {i}", e) for i, (e, _) in enumerate(node.keys)],
+                width,
+                label,
+                stage,
+                findings,
+            )
+        elif isinstance(node, logical.SetOp):
+            left_width = len(node.left.output_schema())
+            right_width = len(node.right.output_schema())
+            if left_width != right_width:
+                findings.append(
+                    _finding(
+                        _RULE_SCHEMA,
+                        f"{label}: operands have {left_width} and {right_width} columns",
+                        stage,
+                    )
+                )
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+    for scope in _alias_scopes(plan):
+        seen = set()
+        for alias in scope:
+            if alias in seen:
+                findings.append(
+                    _finding(
+                        _RULE_ALIASES,
+                        f"duplicate scan alias {alias!r} makes qualified "
+                        "references ambiguous",
+                        stage,
+                    )
+                )
+            seen.add(alias)
+    return findings
+
+
+def check_schema_preserved(
+    baseline: Schema, schema: Schema, stage: str = "plan"
+) -> List[Finding]:
+    """Findings when ``schema`` drifted from the binder's ``baseline``."""
+    findings: List[Finding] = []
+    if len(baseline) != len(schema):
+        findings.append(
+            _finding(
+                _RULE_SCHEMA,
+                f"output width changed: {len(baseline)} columns became {len(schema)}",
+                stage,
+            )
+        )
+        return findings
+    for i, (before, after) in enumerate(zip(baseline.columns, schema.columns)):
+        if before.name != after.name:
+            findings.append(
+                _finding(
+                    _RULE_SCHEMA,
+                    f"output column {i} renamed: {before.name!r} became {after.name!r}",
+                    stage,
+                )
+            )
+        if not _types_compatible(before.dtype, after.dtype):
+            findings.append(
+                _finding(
+                    _RULE_SCHEMA,
+                    f"output column {i} ({before.name!r}) changed type: "
+                    f"{before.dtype.value} became {after.dtype.value}",
+                    stage,
+                )
+            )
+    return findings
+
+
+def _types_compatible(before: DataType, after: DataType) -> bool:
+    """Exact match, modulo the untyped NULL literal on either side."""
+    return before == after or DataType.NULL in (before, after)
+
+
+# --------------------------------------------------------------------------
+# Physical plan invariants
+# --------------------------------------------------------------------------
+
+
+def check_physical_invariants(
+    plan: phys.PhysicalPlan, stage: str = "physical"
+) -> List[Finding]:
+    """Structural + cardinality findings for one physical plan tree."""
+    findings: List[Finding] = []
+
+    def walk(node: phys.PhysicalPlan) -> None:
+        label = type(node).__name__
+        rows = node.estimated_rows()
+        if rows < 0 or rows != rows or rows == float("inf"):
+            findings.append(
+                _finding(
+                    _RULE_CARDINALITY,
+                    f"{label}: cardinality estimate {rows!r} is not a finite "
+                    "non-negative number",
+                    stage,
+                )
+            )
+        if isinstance(node, (phys.PFilter, phys.PLimit, phys.PDistinct)):
+            child_rows = node.child.estimated_rows()
+            if rows > child_rows * (1.0 + _CARDINALITY_SLACK) + _CARDINALITY_SLACK:
+                findings.append(
+                    _finding(
+                        _RULE_CARDINALITY,
+                        f"{label}: claims {rows:.3f} rows from a child with "
+                        f"{child_rows:.3f} — a row-reducing operator grew its input",
+                        stage,
+                    )
+                )
+        if isinstance(node, phys.PFilter):
+            width = len(node.child.schema)
+            _check_exprs([("predicate", node.predicate)], width, label, stage, findings)
+            _check_boolean(node.predicate, label, "predicate", stage, findings)
+        elif isinstance(node, phys.PProject):
+            width = len(node.child.schema)
+            _check_exprs(
+                [(f"expression {i}", e) for i, e in enumerate(node.exprs)],
+                width,
+                label,
+                stage,
+                findings,
+            )
+        elif isinstance(node, phys.PIndexScan):
+            width = len(node.schema)
+            if not 0 <= node.column_index < width:
+                findings.append(
+                    _finding(
+                        _RULE_COLUMNS,
+                        f"{label}: index column #{node.column_index} outside "
+                        f"schema of width {width}",
+                        stage,
+                    )
+                )
+            if node.residual is not None:
+                _check_exprs([("residual", node.residual)], width, label, stage, findings)
+                _check_boolean(node.residual, label, "residual", stage, findings)
+        elif isinstance(node, phys.PHashJoin):
+            left_width = len(node.left.schema)
+            right_width = len(node.right.schema)
+            _check_exprs(
+                [(f"left key {i}", k) for i, k in enumerate(node.left_keys)],
+                left_width,
+                label,
+                stage,
+                findings,
+            )
+            _check_exprs(
+                [(f"right key {i}", k) for i, k in enumerate(node.right_keys)],
+                right_width,
+                label,
+                stage,
+                findings,
+            )
+            if node.residual is not None:
+                _check_exprs(
+                    [("residual", node.residual)],
+                    left_width + right_width,
+                    label,
+                    stage,
+                    findings,
+                )
+        elif isinstance(node, phys.PNestedLoopJoin):
+            if node.condition is not None:
+                width = len(node.left.schema) + len(node.right.schema)
+                _check_exprs([("condition", node.condition)], width, label, stage, findings)
+                _check_boolean(node.condition, label, "condition", stage, findings)
+        elif isinstance(node, phys.PAggregate):
+            width = len(node.child.schema)
+            exprs = [(f"group key {i}", e) for i, e in enumerate(node.group_exprs)]
+            exprs.extend(
+                (f"aggregate {spec.to_sql()}", spec.arg)
+                for spec in node.aggregates
+                if spec.arg is not None
+            )
+            _check_exprs(exprs, width, label, stage, findings)
+        elif isinstance(node, phys.PSort):
+            width = len(node.child.schema)
+            _check_exprs(
+                [(f"sort key {i}", e) for i, (e, _) in enumerate(node.keys)],
+                width,
+                label,
+                stage,
+                findings,
+            )
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+class PlanVerifier:
+    """Asserts invariants across one query's optimization pipeline.
+
+    Construct with the freshly bound plan; the constructor snapshots the
+    baseline output schema and validates the bound tree itself (stage
+    ``"bind"``), so a binder bug is caught before any rewrite runs.
+    """
+
+    def __init__(self, bound_plan: logical.LogicalPlan):
+        self.baseline: Schema = bound_plan.output_schema()
+        self.stages_checked: List[str] = []
+        self.check("bind", bound_plan)
+
+    def check(self, stage: str, plan: logical.LogicalPlan) -> None:
+        """Validate a logical plan; raises :class:`PlanInvariantViolation`."""
+        findings = check_logical_invariants(plan, stage)
+        findings.extend(check_schema_preserved(self.baseline, plan.output_schema(), stage))
+        self.stages_checked.append(stage)
+        if findings:
+            raise PlanInvariantViolation(stage, findings)
+
+    def check_physical(self, stage: str, plan: phys.PhysicalPlan) -> None:
+        """Validate the lowered physical plan."""
+        findings = check_physical_invariants(plan, stage)
+        findings.extend(check_schema_preserved(self.baseline, plan.schema, stage))
+        self.stages_checked.append(stage)
+        if findings:
+            raise PlanInvariantViolation(stage, findings)

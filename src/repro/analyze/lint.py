@@ -1,0 +1,551 @@
+"""SQL linting: flag pathological query shapes before execution.
+
+The linter works on the parser's AST (:mod:`repro.sql.ast`), optionally
+consulting a :class:`~repro.catalog.catalog.Catalog` so index- and
+statistics-aware rules (sargability, missing indexes, type coercion) can
+distinguish a real problem from a harmless one.  Without a catalog the
+rules degrade gracefully: structural checks still run, catalog-dependent
+ones either skip or fire conservatively.
+
+Rules:
+
+``select-star``
+    ``SELECT *`` defeats projection pushdown — every column is decoded and
+    carried through the pipeline even if the caller uses one.
+``implicit-cross-join``
+    A comma/CROSS join with no WHERE conjunct connecting the two sides is
+    a Cartesian product.
+``non-sargable``
+    A predicate that wraps a column in a function or arithmetic (or a LIKE
+    with a leading wildcard) cannot use an index on that column.
+``mixed-type-comparison``
+    Comparing a column against a constant of a different type forces a
+    per-row coercion; TEXT vs. numeric is almost certainly a bug.
+``missing-index``
+    A selective sargable predicate on an unindexed column — the classic
+    missed-index opportunity, scored with ``catalog/statistics.py`` when
+    ANALYZE has run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analyze.facts import (
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisReport,
+    Finding,
+    Rule,
+    RuleRegistry,
+)
+from repro.core.types import DataType
+from repro.sql import ast
+
+_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+_RANGE_OPS = {"<", "<=", ">", ">="}
+
+#: Don't suggest an index when stats say the predicate keeps more than this
+#: fraction of the table (a scan is fine for unselective predicates).
+_MISSING_INDEX_MAX_SELECTIVITY = 0.25
+
+
+# --------------------------------------------------------------------------
+# Analysis context: scope resolution over the FROM clause
+# --------------------------------------------------------------------------
+
+
+class LintContext:
+    """Everything a rule may need about one statement: scopes + catalog."""
+
+    def __init__(
+        self,
+        stmt: ast.Statement,
+        catalog=None,
+        source: str = "<query>",
+        line: int = 0,
+        synthetic_select: bool = False,
+    ):
+        self.stmt = stmt
+        self.catalog = catalog
+        self.source = source
+        self.line = line
+        #: True when the "select" was synthesized from UPDATE/DELETE, so
+        #: projection-shape rules (select-star) don't apply.
+        self.synthetic_select = synthetic_select
+
+    def alias_map(self, from_item: Optional[ast.FromItem]) -> Dict[str, str]:
+        """Map binding name (alias or table name) → table name."""
+        out: Dict[str, str] = {}
+
+        def walk(item: Optional[ast.FromItem]) -> None:
+            if item is None:
+                return
+            if isinstance(item, ast.TableRef):
+                out[item.binding_name] = item.name
+            elif isinstance(item, ast.Join):
+                walk(item.left)
+                walk(item.right)
+
+        walk(from_item)
+        return out
+
+    def table_info(self, table_name: str):
+        if self.catalog is None or not self.catalog.has_table(table_name):
+            return None
+        return self.catalog.get_table(table_name)
+
+    def resolve_column(
+        self, ref: ast.ColumnRef, aliases: Dict[str, str]
+    ) -> Optional[Tuple[str, "object"]]:
+        """Resolve a column reference to ``(table_name, TableInfo)``.
+
+        Qualified refs resolve through the alias map; unqualified refs
+        resolve when exactly one in-scope table has the column.  Returns
+        None when the catalog can't answer.
+        """
+        if self.catalog is None:
+            return None
+        if ref.table is not None:
+            table_name = aliases.get(ref.table)
+            if table_name is None:
+                return None
+            info = self.table_info(table_name)
+            return (table_name, info) if info is not None else None
+        matches = []
+        for table_name in set(aliases.values()):
+            info = self.table_info(table_name)
+            if info is not None and any(
+                c.name == ref.name for c in info.schema.columns
+            ):
+                matches.append((table_name, info))
+        return matches[0] if len(matches) == 1 else None
+
+    def column_dtype(
+        self, ref: ast.ColumnRef, aliases: Dict[str, str]
+    ) -> Optional[DataType]:
+        resolved = self.resolve_column(ref, aliases)
+        if resolved is None:
+            return None
+        _, info = resolved
+        for col in info.schema.columns:
+            if col.name == ref.name:
+                return col.dtype
+        return None
+
+    def owning_aliases(
+        self, ref: ast.ColumnRef, aliases: Dict[str, str]
+    ) -> Set[str]:
+        """Binding names a reference could belong to (for join-connectivity)."""
+        if ref.table is not None:
+            return {ref.table} if ref.table in aliases else set()
+        owners = set()
+        for binding, table_name in aliases.items():
+            info = self.table_info(table_name)
+            if info is not None and any(
+                c.name == ref.name for c in info.schema.columns
+            ):
+                owners.add(binding)
+        # Without a catalog an unqualified column could come from anywhere.
+        return owners if owners else set(aliases)
+
+
+def iter_selects(stmt: ast.Statement) -> Iterator[ast.SelectStmt]:
+    """Every SELECT in a statement, including set-op arms and subqueries."""
+    if isinstance(stmt, ast.SelectStmt):
+        yield stmt
+        for expr in _statement_exprs(stmt):
+            for sub in ast.walk_expr(expr):
+                if isinstance(sub, ast.Subquery):
+                    yield from iter_selects(sub.select)
+                elif isinstance(sub, ast.ExistsExpr):
+                    yield from iter_selects(sub.subquery.select)
+    elif isinstance(stmt, ast.SetOpStmt):
+        yield from iter_selects(stmt.left)
+        yield from iter_selects(stmt.right)
+
+
+def _statement_exprs(select: ast.SelectStmt) -> List[ast.Expr]:
+    exprs: List[ast.Expr] = [item.expr for item in select.items]
+    if select.where is not None:
+        exprs.append(select.where)
+    exprs.extend(select.group_by)
+    if select.having is not None:
+        exprs.append(select.having)
+    exprs.extend(o.expr for o in select.order_by)
+    exprs.extend(_join_conditions(select.from_item))
+    return exprs
+
+
+def _join_conditions(item: Optional[ast.FromItem]) -> List[ast.Expr]:
+    out: List[ast.Expr] = []
+    if isinstance(item, ast.Join):
+        if item.condition is not None:
+            out.append(item.condition)
+        out.extend(_join_conditions(item.left))
+        out.extend(_join_conditions(item.right))
+    return out
+
+
+def _split_conjuncts(expr: Optional[ast.Expr]) -> List[ast.Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _is_constant(expr: ast.Expr) -> bool:
+    """No column references anywhere (literals, params, pure functions)."""
+    return not any(isinstance(e, ast.ColumnRef) for e in ast.walk_expr(expr))
+
+
+def _predicate_exprs(
+    select: ast.SelectStmt,
+) -> List[ast.Expr]:
+    """WHERE conjuncts + join ON conjuncts — where sargability matters."""
+    out = _split_conjuncts(select.where)
+    for cond in _join_conditions(select.from_item):
+        out.extend(_split_conjuncts(cond))
+    return out
+
+
+def _literal_dtype(value) -> DataType:
+    if value is None:
+        return DataType.NULL
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, tuple):
+        return DataType.VECTOR
+    return DataType.TEXT
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+
+class SelectStarRule(Rule):
+    id = "select-star"
+    severity = WARNING
+    description = "SELECT * defeats projection pushdown"
+
+    def check(self, stmt, context: LintContext):
+        if context.synthetic_select:
+            return
+        for select in iter_selects(stmt):
+            for item in select.items:
+                if isinstance(item.expr, ast.Star):
+                    yield self.finding(
+                        f"{item.expr.to_sql()} carries every column through the "
+                        "plan and defeats projection pushdown; select only the "
+                        "columns you use",
+                        context.source,
+                        context.line,
+                    )
+
+
+class ImplicitCrossJoinRule(Rule):
+    id = "implicit-cross-join"
+    severity = WARNING
+    description = "cross join with no connecting predicate (Cartesian product)"
+
+    def check(self, stmt, context: LintContext):
+        for select in iter_selects(stmt):
+            aliases = context.alias_map(select.from_item)
+            conjuncts = _split_conjuncts(select.where)
+            yield from self._walk(select.from_item, conjuncts, aliases, context)
+
+    def _walk(self, item, conjuncts, aliases, context):
+        if not isinstance(item, ast.Join):
+            return
+        yield from self._walk(item.left, conjuncts, aliases, context)
+        yield from self._walk(item.right, conjuncts, aliases, context)
+        if item.kind != "cross":
+            return
+        left_names = self._binding_names(item.left)
+        right_names = self._binding_names(item.right)
+        for conjunct in conjuncts:
+            sides_hit = set()
+            for ref in ast.column_refs(conjunct):
+                owners = context.owning_aliases(ref, aliases)
+                if owners & left_names:
+                    sides_hit.add("left")
+                if owners & right_names:
+                    sides_hit.add("right")
+            if {"left", "right"} <= sides_hit:
+                return  # some WHERE conjunct connects the two sides
+        yield self.finding(
+            f"cross join between {{{', '.join(sorted(left_names))}}} and "
+            f"{{{', '.join(sorted(right_names))}}} has no connecting predicate; "
+            "this is a Cartesian product — add a join condition",
+            context.source,
+            context.line,
+        )
+
+    @staticmethod
+    def _binding_names(item) -> Set[str]:
+        names: Set[str] = set()
+
+        def walk(node):
+            if isinstance(node, ast.TableRef):
+                names.add(node.binding_name)
+            elif isinstance(node, ast.Join):
+                walk(node.left)
+                walk(node.right)
+
+        walk(item)
+        return names
+
+
+class NonSargableRule(Rule):
+    id = "non-sargable"
+    severity = WARNING
+    description = "predicate shape prevents index use"
+
+    def check(self, stmt, context: LintContext):
+        for select in iter_selects(stmt):
+            aliases = context.alias_map(select.from_item)
+            for pred in _predicate_exprs(select):
+                yield from self._check_predicate(pred, aliases, context)
+
+    def _check_predicate(self, pred, aliases, context: LintContext):
+        if isinstance(pred, ast.BinaryOp) and pred.op in _COMPARISONS:
+            for expr_side, const_side in ((pred.left, pred.right), (pred.right, pred.left)):
+                if _is_constant(const_side) and not _is_constant(expr_side):
+                    if isinstance(expr_side, ast.ColumnRef):
+                        continue  # bare column: sargable
+                    refs = ast.column_refs(expr_side)
+                    for ref in refs:
+                        if self._indexed(ref, aliases, context):
+                            yield self.finding(
+                                f"predicate {pred.to_sql()} wraps indexed column "
+                                f"{ref.to_sql()!r} in an expression, so the index "
+                                "cannot be used; rewrite to compare the bare column",
+                                context.source,
+                                context.line,
+                            )
+                            break
+                    else:
+                        if refs and context.catalog is None:
+                            yield self.finding(
+                                f"predicate {pred.to_sql()} wraps column "
+                                f"{refs[0].to_sql()!r} in an expression; if the "
+                                "column is indexed the index cannot be used",
+                                context.source,
+                                context.line,
+                            )
+        elif isinstance(pred, ast.LikeExpr):
+            if (
+                isinstance(pred.operand, ast.ColumnRef)
+                and isinstance(pred.pattern, ast.Literal)
+                and isinstance(pred.pattern.value, str)
+                and pred.pattern.value[:1] in ("%", "_")
+            ):
+                indexed = self._indexed(pred.operand, aliases, context)
+                if indexed or context.catalog is None:
+                    yield self.finding(
+                        f"LIKE pattern {pred.pattern.to_sql()} has a leading "
+                        f"wildcard, so an index on {pred.operand.to_sql()!r} "
+                        "cannot prune the scan",
+                        context.source,
+                        context.line,
+                    )
+
+    @staticmethod
+    def _indexed(ref: ast.ColumnRef, aliases, context: LintContext) -> bool:
+        resolved = context.resolve_column(ref, aliases)
+        if resolved is None:
+            return False
+        _, info = resolved
+        return info.index_on(ref.name) is not None
+
+
+class MixedTypeComparisonRule(Rule):
+    id = "mixed-type-comparison"
+    severity = WARNING
+    description = "comparison across types forces per-row coercion"
+
+    def check(self, stmt, context: LintContext):
+        if context.catalog is None:
+            return
+        for select in iter_selects(stmt):
+            aliases = context.alias_map(select.from_item)
+            for pred in _predicate_exprs(select):
+                if not (isinstance(pred, ast.BinaryOp) and pred.op in _COMPARISONS):
+                    continue
+                for col_side, lit_side in ((pred.left, pred.right), (pred.right, pred.left)):
+                    if isinstance(col_side, ast.ColumnRef) and isinstance(
+                        lit_side, ast.Literal
+                    ):
+                        col_type = context.column_dtype(col_side, aliases)
+                        lit_type = _literal_dtype(lit_side.value)
+                        if col_type is None or lit_type is DataType.NULL:
+                            continue
+                        if col_type == lit_type:
+                            continue
+                        if col_type.is_numeric() and lit_type.is_numeric():
+                            yield Finding(
+                                self.id,
+                                WARNING,
+                                f"{pred.to_sql()} compares {col_type.value} column "
+                                f"{col_side.to_sql()!r} with a {lit_type.value} "
+                                "literal; every row is coerced before comparing",
+                                context.source,
+                                context.line,
+                            )
+                        elif DataType.TEXT in (col_type, lit_type):
+                            yield Finding(
+                                self.id,
+                                ERROR,
+                                f"{pred.to_sql()} compares {col_type.value} column "
+                                f"{col_side.to_sql()!r} with a {lit_type.value} "
+                                "literal; text/numeric comparison is almost "
+                                "certainly a bug",
+                                context.source,
+                                context.line,
+                            )
+                        break
+
+
+class MissingIndexRule(Rule):
+    id = "missing-index"
+    severity = INFO
+    description = "selective sargable predicate on an unindexed column"
+
+    def check(self, stmt, context: LintContext):
+        if context.catalog is None:
+            return
+        for select in iter_selects(stmt):
+            aliases = context.alias_map(select.from_item)
+            suggested: Set[Tuple[str, str]] = set()
+            for pred in _predicate_exprs(select):
+                hit = self._sargable_column(pred)
+                if hit is None:
+                    continue
+                ref, kind, value = hit
+                resolved = context.resolve_column(ref, aliases)
+                if resolved is None:
+                    continue
+                table_name, info = resolved
+                if info.index_on(ref.name) is not None:
+                    continue
+                if info.row_count == 0:
+                    continue
+                key = (table_name, ref.name)
+                if key in suggested:
+                    continue
+                selectivity = self._selectivity(info, ref.name, kind, value)
+                if selectivity is not None and selectivity > _MISSING_INDEX_MAX_SELECTIVITY:
+                    continue
+                detail = (
+                    f" (estimated selectivity {selectivity:.3f})"
+                    if selectivity is not None
+                    else " (no statistics; run ANALYZE for an estimate)"
+                )
+                suggested.add(key)
+                yield self.finding(
+                    f"predicate on {ref.to_sql()!r} is sargable but "
+                    f"{table_name!r} has no index on {ref.name!r}{detail}; "
+                    f"consider CREATE INDEX ON {table_name} ({ref.name})",
+                    context.source,
+                    context.line,
+                )
+
+    @staticmethod
+    def _sargable_column(pred):
+        """Return ``(ref, kind, value)`` for an index-friendly predicate."""
+        if isinstance(pred, ast.BinaryOp) and pred.op in _COMPARISONS and pred.op != "!=":
+            for col_side, const_side in ((pred.left, pred.right), (pred.right, pred.left)):
+                if isinstance(col_side, ast.ColumnRef) and _is_constant(const_side):
+                    kind = "eq" if pred.op == "=" else "range"
+                    value = (
+                        const_side.value
+                        if isinstance(const_side, ast.Literal)
+                        else None
+                    )
+                    return col_side, kind, value
+        elif isinstance(pred, ast.BetweenExpr) and not pred.negated:
+            if isinstance(pred.operand, ast.ColumnRef):
+                return pred.operand, "range", None
+        elif isinstance(pred, ast.InExpr) and not pred.negated:
+            if isinstance(pred.operand, ast.ColumnRef) and all(
+                _is_constant(v) for v in pred.values
+            ):
+                return pred.operand, "eq", None
+        return None
+
+    @staticmethod
+    def _selectivity(info, column: str, kind: str, value) -> Optional[float]:
+        if info.stats is None:
+            return None
+        col_stats = info.stats.column(column)
+        if col_stats is None:
+            return None
+        if kind == "eq":
+            return col_stats.eq_selectivity(value)
+        return col_stats.range_selectivity()
+
+
+DEFAULT_RULES = (
+    SelectStarRule,
+    ImplicitCrossJoinRule,
+    NonSargableRule,
+    MixedTypeComparisonRule,
+    MissingIndexRule,
+)
+
+
+def default_registry() -> RuleRegistry:
+    registry = RuleRegistry()
+    for rule_cls in DEFAULT_RULES:
+        registry.register(rule_cls())
+    return registry
+
+
+class SqlLinter:
+    """Run the SQL lint rules over parsed statements.
+
+    ``catalog`` is optional; when given, index- and statistics-aware rules
+    use it (and ``missing-index`` / ``mixed-type-comparison`` only run with
+    one).
+    """
+
+    def __init__(self, catalog=None, registry: Optional[RuleRegistry] = None):
+        self.catalog = catalog
+        self.registry = registry or default_registry()
+
+    def lint_statement(
+        self, stmt: ast.Statement, source: str = "<query>", line: int = 0
+    ) -> List[Finding]:
+        synthetic = isinstance(stmt, (ast.UpdateStmt, ast.DeleteStmt))
+        if synthetic:
+            stmt = _as_select(stmt)
+        if not isinstance(stmt, (ast.SelectStmt, ast.SetOpStmt)):
+            return []
+        context = LintContext(stmt, self.catalog, source, line, synthetic_select=synthetic)
+        return self.registry.run(stmt, context)
+
+    def lint_sql(
+        self, sql: str, source: str = "<query>", line: int = 0
+    ) -> AnalysisReport:
+        from repro.sql.parser import parse
+
+        report = AnalysisReport()
+        report.extend(self.lint_statement(parse(sql), source, line))
+        return report
+
+
+def _as_select(stmt) -> ast.SelectStmt:
+    """View UPDATE/DELETE as a SELECT over the same table + WHERE so the
+    predicate rules (sargability, missing index, coercion) apply."""
+    return ast.SelectStmt(
+        items=(ast.SelectItem(ast.Star()),),
+        from_item=ast.TableRef(stmt.table),
+        where=stmt.where,
+    )

@@ -1,0 +1,197 @@
+"""Static ORM N+1 detection over Python source.
+
+The E2 experiment shows the failure mode at runtime: iterating a lazy
+query and touching a :class:`~repro.orm.models.HasMany` relationship inside
+the loop issues one ``SELECT`` per parent row.  This pass finds the same
+shape *statically*:
+
+1. collect relationship names from ``Model.relate("books", ...)`` calls and
+   ``books = has_many(...)`` class attributes;
+2. find loops and comprehensions whose iterable is a lazy ORM query —
+   ``session.query(Model)...all()`` with no ``.options(...)`` call (eager
+   loading) in the chain, directly or through an intermediate variable;
+3. flag any ``<loop-var>.<relationship>`` attribute access inside the loop
+   body.
+
+The detector is intentionally syntactic: it reports the pattern, the E2
+benchmark measures its cost, and EXPERIMENTS.md E12 checks they agree.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+from typing import Iterable, List, Optional, Set
+
+from repro.analyze.facts import WARNING, Finding
+
+RULE_ID = "orm-n-plus-one"
+
+_RELATIONSHIP_FACTORIES = {"has_many", "HasMany"}
+_LOOP_NODES = (pyast.For, pyast.ListComp, pyast.SetComp, pyast.GeneratorExp, pyast.DictComp)
+
+
+def collect_relationships(tree: pyast.AST) -> Set[str]:
+    """Relationship attribute names declared in a module.
+
+    Recognizes both declaration styles::
+
+        Author.relate("books", Book, foreign_key="author_id")
+
+        class Author(Model):
+            books = has_many(Book, "author_id")
+    """
+    names: Set[str] = set()
+    for node in pyast.walk(tree):
+        if isinstance(node, pyast.Call):
+            func = node.func
+            if (
+                isinstance(func, pyast.Attribute)
+                and func.attr == "relate"
+                and node.args
+                and isinstance(node.args[0], pyast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                names.add(node.args[0].value)
+        elif isinstance(node, pyast.ClassDef):
+            for stmt in node.body:
+                if not (isinstance(stmt, pyast.Assign) and isinstance(stmt.value, pyast.Call)):
+                    continue
+                func = stmt.value.func
+                func_name = (
+                    func.id
+                    if isinstance(func, pyast.Name)
+                    else func.attr
+                    if isinstance(func, pyast.Attribute)
+                    else None
+                )
+                if func_name in _RELATIONSHIP_FACTORIES:
+                    for target in stmt.targets:
+                        if isinstance(target, pyast.Name):
+                            names.add(target.id)
+    return names
+
+
+def _is_lazy_query_expr(node: pyast.AST, lazy_vars: Set[str]) -> bool:
+    """Is this iterable a lazy (non-eager) ORM query result?"""
+    if isinstance(node, pyast.Name):
+        return node.id in lazy_vars
+    try:
+        text = pyast.unparse(node)
+    except Exception:  # pragma: no cover - malformed node
+        return False
+    return ".query(" in text and ".all()" in text and ".options(" not in text
+
+
+def _collect_lazy_vars(tree: pyast.AST) -> Set[str]:
+    """Names assigned directly from a lazy query (``authors = s.query(...).all()``)."""
+    lazy: Set[str] = set()
+    for node in pyast.walk(tree):
+        if isinstance(node, pyast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, pyast.Name) and _is_lazy_query_expr(node.value, set()):
+                lazy.add(target.id)
+    return lazy
+
+
+def _target_names(target: pyast.AST) -> Set[str]:
+    if isinstance(target, pyast.Name):
+        return {target.id}
+    if isinstance(target, (pyast.Tuple, pyast.List)):
+        names: Set[str] = set()
+        for element in target.elts:
+            names |= _target_names(element)
+        return names
+    return set()
+
+
+def _relationship_accesses(
+    body_nodes: Iterable[pyast.AST], loop_vars: Set[str], relationships: Set[str]
+) -> List[pyast.Attribute]:
+    hits = []
+    for body in body_nodes:
+        for node in pyast.walk(body):
+            if (
+                isinstance(node, pyast.Attribute)
+                and isinstance(node.value, pyast.Name)
+                and node.value.id in loop_vars
+                and node.attr in relationships
+            ):
+                hits.append(node)
+    return hits
+
+
+def scan_python_source(
+    source: str,
+    path: str = "<source>",
+    extra_relationships: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """All N+1 findings for one Python module (unsuppressed).
+
+    ``extra_relationships`` supplies relationship names declared in *other*
+    modules (the CLI unions declarations across a directory before scanning
+    each file).
+    """
+    try:
+        tree = pyast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "python-syntax",
+                WARNING,
+                f"could not parse: {exc.msg}",
+                path,
+                exc.lineno or 0,
+            )
+        ]
+    relationships = collect_relationships(tree)
+    if extra_relationships:
+        relationships |= extra_relationships
+    if not relationships:
+        return []
+    lazy_vars = _collect_lazy_vars(tree)
+    findings: List[Finding] = []
+    for node in pyast.walk(tree):
+        if isinstance(node, pyast.For):
+            if not _is_lazy_query_expr(node.iter, lazy_vars):
+                continue
+            loop_vars = _target_names(node.target)
+            hits = _relationship_accesses(node.body, loop_vars, relationships)
+        elif isinstance(node, _LOOP_NODES):
+            loop_vars = set()
+            for gen in node.generators:
+                if _is_lazy_query_expr(gen.iter, lazy_vars):
+                    loop_vars |= _target_names(gen.target)
+            if not loop_vars:
+                continue
+            if isinstance(node, pyast.DictComp):
+                body_nodes: List[pyast.AST] = [node.key, node.value]
+            else:
+                body_nodes = [node.elt]
+            body_nodes.extend(
+                if_clause for gen in node.generators for if_clause in gen.ifs
+            )
+            hits = _relationship_accesses(body_nodes, loop_vars, relationships)
+        else:
+            continue
+        for hit in hits:
+            access = f"{hit.value.id}.{hit.attr}"  # type: ignore[union-attr]
+            findings.append(
+                Finding(
+                    RULE_ID,
+                    WARNING,
+                    f"lazy relationship access {access!r} inside a loop over a "
+                    "lazy query issues one SELECT per row (N+1); load the "
+                    f"relationship eagerly with .options(eager({hit.attr!r}))",
+                    path,
+                    hit.lineno,
+                )
+            )
+    return findings
+
+
+def scan_python_file(
+    path: str, extra_relationships: Optional[Set[str]] = None
+) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return scan_python_source(source, path, extra_relationships)

@@ -109,6 +109,7 @@ class Database:
         durability: Optional[str] = None,
         checkpoint_interval: int = 512,
         fault_injector=None,
+        verify_plans: Optional[bool] = None,
     ):
         if engine not in (VOLCANO, VECTORIZED):
             raise ReproError(f"unknown engine {engine!r}")
@@ -175,6 +176,12 @@ class Database:
             optimizer_options if optimizer_options is not None else OptimizerOptions()
         )
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        # Plan-invariant verification: opt-in per Database, with an env
+        # default so the whole test suite runs verified (REPRO_VERIFY_PLANS=1
+        # in tests/conftest.py).
+        if verify_plans is None:
+            verify_plans = os.environ.get("REPRO_VERIFY_PLANS", "") not in ("", "0")
+        self.verify_plans = verify_plans
         self.last_stats = StatementStats()
         self.result_cache: Optional[QueryCache] = (
             QueryCache(result_cache_size) if result_cache_size > 0 else None
@@ -440,7 +447,9 @@ class Database:
 
     def _run_subplan(self, logical_plan) -> List[Row]:
         """Execute an uncorrelated subquery's logical plan (bind-time fold)."""
-        optimizer = Optimizer(self.catalog, self.cost_model, self.optimizer_options)
+        optimizer = Optimizer(
+            self.catalog, self.cost_model, self.optimizer_options, verify=self.verify_plans
+        )
         __, physical = optimizer.optimize(logical_plan)
         return list(execute_volcano(physical, self.catalog))
 
@@ -448,7 +457,9 @@ class Database:
         self, statement: ast.Statement, engine: str, normalized: Optional[str] = None
     ) -> Result:
         logical_plan = self._binder.bind_query(statement)
-        optimizer = Optimizer(self.catalog, self.cost_model, self.optimizer_options)
+        optimizer = Optimizer(
+            self.catalog, self.cost_model, self.optimizer_options, verify=self.verify_plans
+        )
         t0 = time.perf_counter()
         _, physical = optimizer.optimize(logical_plan)
         t1 = time.perf_counter()
@@ -488,7 +499,9 @@ class Database:
     def _plan_prepared(self, prep: PreparedStatement) -> None:
         """(Re)bind and (re)optimize a prepared SELECT's physical plan."""
         logical_plan = self._binder.bind_prepared(prep.statement, prep.param_vector)
-        optimizer = Optimizer(self.catalog, self.cost_model, self.optimizer_options)
+        optimizer = Optimizer(
+            self.catalog, self.cost_model, self.optimizer_options, verify=self.verify_plans
+        )
         _, physical = optimizer.optimize(logical_plan)
         prep.physical = physical
         prep.columns = [c.name for c in physical.schema.columns]
@@ -537,7 +550,9 @@ class Database:
         if not isinstance(inner, (ast.SelectStmt, ast.SetOpStmt)):
             raise ExecutionError("EXPLAIN supports SELECT statements")
         logical_plan = self._binder.bind_query(inner)
-        optimizer = Optimizer(self.catalog, self.cost_model, self.optimizer_options)
+        optimizer = Optimizer(
+            self.catalog, self.cost_model, self.optimizer_options, verify=self.verify_plans
+        )
         optimized, physical = optimizer.optimize(logical_plan)
         text = (
             "== logical plan ==\n"

@@ -55,29 +55,53 @@ class Optimizer:
         catalog: Catalog,
         cost_model: Optional[CostModel] = None,
         options: Optional[OptimizerOptions] = None,
+        verify: bool = False,
     ):
         self.catalog = catalog
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.options = options if options is not None else OptimizerOptions()
         self.estimator = Estimator(catalog)
+        #: When set, plan invariants (schema preservation, column-ref bounds,
+        #: predicate typing, cardinality sanity) are asserted after binding
+        #: and between every rewrite phase; violations raise
+        #: :class:`repro.analyze.invariants.PlanInvariantViolation`.
+        self.verify = verify
 
-    def optimize_logical(self, plan: logical.LogicalPlan) -> logical.LogicalPlan:
+    def _make_verifier(self, plan: logical.LogicalPlan):
+        if not self.verify:
+            return None
+        from repro.analyze.invariants import PlanVerifier
+
+        return PlanVerifier(plan)
+
+    def optimize_logical(
+        self, plan: logical.LogicalPlan, _verifier=None
+    ) -> logical.LogicalPlan:
         """Run rewrite phases; returns the optimized logical plan."""
+        verifier = _verifier if _verifier is not None else self._make_verifier(plan)
         options = self.options
         if options.enable_folding:
             plan = fold_plan(plan)
+            if verifier is not None:
+                verifier.check("fold", plan)
         if options.enable_pushdown:
-            for _ in range(_MAX_REWRITE_PASSES):
+            for pass_no in range(_MAX_REWRITE_PASSES):
                 rewritten = push_down_filters(plan)
+                if verifier is not None:
+                    verifier.check(f"pushdown[{pass_no}]", rewritten)
                 if rewritten.pretty() == plan.pretty():
                     plan = rewritten
                     break
                 plan = rewritten
         if options.enable_join_reorder:
             plan = self._reorder(plan)
+            if verifier is not None:
+                verifier.check("join_order", plan)
         return plan
 
-    def plan_physical(self, plan: logical.LogicalPlan) -> phys.PhysicalPlan:
+    def plan_physical(
+        self, plan: logical.LogicalPlan, _verifier=None
+    ) -> phys.PhysicalPlan:
         """Lower a logical plan using the configured planner flags."""
         flags = PlannerFlags(
             enable_index_scan=self.options.enable_index_scan,
@@ -85,14 +109,19 @@ class Optimizer:
             enable_topn_sort=self.options.enable_topn_sort,
         )
         planner = PhysicalPlanner(self.catalog, self.cost_model, flags)
-        return planner.plan(plan)
+        physical = planner.plan(plan)
+        verifier = _verifier if _verifier is not None else self._make_verifier(plan)
+        if verifier is not None:
+            verifier.check_physical("physical", physical)
+        return physical
 
     def optimize(
         self, plan: logical.LogicalPlan
     ) -> Tuple[logical.LogicalPlan, phys.PhysicalPlan]:
         """Rewrite + lower; returns (logical, physical)."""
-        optimized = self.optimize_logical(plan)
-        return optimized, self.plan_physical(optimized)
+        verifier = self._make_verifier(plan)
+        optimized = self.optimize_logical(plan, _verifier=verifier)
+        return optimized, self.plan_physical(optimized, _verifier=verifier)
 
     # -- join reordering traversal ------------------------------------------
 

@@ -357,7 +357,10 @@ class Binder:
             return AggSpec("COUNT", None, call.distinct, name=_default_name(call))
         for node in ast.walk_expr(arg_ast):
             if isinstance(node, ast.FuncCall) and node.name in AGGREGATE_FUNCS:
-                raise BindError("nested aggregate functions are not allowed")
+                raise BindError(
+                    f"aggregate {node.to_sql()!r} cannot be nested inside "
+                    f"{call.name}: nested aggregate functions are not allowed"
+                )
         arg = self.bind_expr(arg_ast, schema)
         if call.name in ("SUM", "AVG") and not (
             arg.dtype.is_numeric() or arg.dtype is DataType.NULL

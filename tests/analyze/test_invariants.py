@@ -1,0 +1,271 @@
+"""Plan-invariant verifier: seeded broken rewrites must be caught."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze.invariants import (
+    PlanInvariantViolation,
+    PlanVerifier,
+    check_logical_invariants,
+    check_physical_invariants,
+    check_schema_preserved,
+)
+from repro.core.database import Database
+from repro.core.types import Column, DataType, Schema
+from repro.exec import physical as phys
+from repro.plan import logical
+from repro.plan.expressions import BoundBinary, BoundColumn, BoundLiteral
+
+
+def _scan(alias="t"):
+    schema = Schema(
+        [
+            Column("id", DataType.INTEGER),
+            Column("name", DataType.TEXT),
+        ]
+    ).with_table(alias)
+    return logical.Scan("t", alias, schema)
+
+
+def _bool_pred(index=0, value=1):
+    return BoundBinary(
+        "=",
+        BoundColumn(index, DataType.INTEGER, "id"),
+        BoundLiteral(value, DataType.INTEGER),
+        DataType.BOOLEAN,
+    )
+
+
+class TestLogicalInvariants:
+    def test_valid_plan_has_no_findings(self):
+        plan = logical.Filter(_scan(), _bool_pred())
+        assert check_logical_invariants(plan) == []
+
+    def test_out_of_bounds_column_ref(self):
+        plan = logical.Filter(_scan(), _bool_pred(index=7))
+        findings = check_logical_invariants(plan)
+        assert any(f.rule == "plan-column-resolution" for f in findings)
+        assert any("#7" in f.message for f in findings)
+
+    def test_non_boolean_predicate(self):
+        plan = logical.Filter(_scan(), BoundColumn(0, DataType.INTEGER, "id"))
+        findings = check_logical_invariants(plan)
+        assert any(f.rule == "plan-predicate-boolean" for f in findings)
+
+    def test_duplicate_alias_same_scope(self):
+        plan = logical.Join(_scan("a"), _scan("a"), logical.CROSS, None)
+        findings = check_logical_invariants(plan)
+        assert any(f.rule == "plan-alias-unique" for f in findings)
+
+    def test_duplicate_alias_across_setop_arms_is_legal(self):
+        left = logical.Project(
+            _scan("a"), (BoundColumn(0, DataType.INTEGER, "id"),), ("id",)
+        )
+        right = logical.Project(
+            _scan("a"), (BoundColumn(0, DataType.INTEGER, "id"),), ("id",)
+        )
+        plan = logical.SetOp(left, right, "union", all=False)
+        assert check_logical_invariants(plan) == []
+
+    def test_setop_width_mismatch(self):
+        narrow = logical.Project(
+            _scan("a"), (BoundColumn(0, DataType.INTEGER, "id"),), ("id",)
+        )
+        plan = logical.SetOp(narrow, _scan("b"), "union", all=True)
+        findings = check_logical_invariants(plan)
+        assert any(f.rule == "plan-schema-preserved" for f in findings)
+
+    def test_project_name_count_mismatch(self):
+        plan = logical.Project(
+            _scan(), (BoundColumn(0, DataType.INTEGER, "id"),), ("id", "extra")
+        )
+        findings = check_logical_invariants(plan)
+        assert any("output names" in f.message for f in findings)
+
+
+class TestSchemaPreservation:
+    def test_width_change(self):
+        before = Schema([Column("a", DataType.INTEGER), Column("b", DataType.TEXT)])
+        after = Schema([Column("a", DataType.INTEGER)])
+        findings = check_schema_preserved(before, after)
+        assert findings and "width changed" in findings[0].message
+
+    def test_rename(self):
+        before = Schema([Column("a", DataType.INTEGER)])
+        after = Schema([Column("z", DataType.INTEGER)])
+        findings = check_schema_preserved(before, after)
+        assert findings and "renamed" in findings[0].message
+
+    def test_type_change(self):
+        before = Schema([Column("a", DataType.INTEGER)])
+        after = Schema([Column("a", DataType.TEXT)])
+        findings = check_schema_preserved(before, after)
+        assert findings and "changed type" in findings[0].message
+
+    def test_null_dtype_is_compatible(self):
+        # Untyped literals/params carry NULL; a rewrite may narrow or widen.
+        before = Schema([Column("a", DataType.NULL)])
+        after = Schema([Column("a", DataType.INTEGER)])
+        assert check_schema_preserved(before, after) == []
+
+
+class TestPhysicalInvariants:
+    def _pscan(self, rows=100.0):
+        schema = Schema([Column("id", DataType.INTEGER), Column("name", DataType.TEXT)])
+        return phys.PSeqScan(table="t", alias="t", schema=schema, cardinality=rows)
+
+    def test_valid_physical_plan(self):
+        scan = self._pscan()
+        plan = phys.PFilter(
+            child=scan, predicate=_bool_pred(), schema=scan.schema, cardinality=10.0
+        )
+        assert check_physical_invariants(plan) == []
+
+    def test_filter_growing_cardinality_is_flagged(self):
+        scan = self._pscan(rows=100.0)
+        plan = phys.PFilter(
+            child=scan, predicate=_bool_pred(), schema=scan.schema, cardinality=500.0
+        )
+        findings = check_physical_invariants(plan)
+        assert any(f.rule == "plan-cardinality-monotone" for f in findings)
+
+    def test_negative_cardinality_is_flagged(self):
+        plan = self._pscan(rows=-5.0)
+        findings = check_physical_invariants(plan)
+        assert any("non-negative" in f.message for f in findings)
+
+    def test_hash_join_key_out_of_bounds(self):
+        left = self._pscan()
+        right = self._pscan()
+        plan = phys.PHashJoin(
+            left=left,
+            right=right,
+            kind="inner",
+            left_keys=(BoundColumn(0, DataType.INTEGER, "id"),),
+            right_keys=(BoundColumn(9, DataType.INTEGER, "id"),),
+            residual=None,
+            schema=Schema(list(left.schema.columns) + list(right.schema.columns)),
+            cardinality=50.0,
+        )
+        findings = check_physical_invariants(plan)
+        assert any(f.rule == "plan-column-resolution" for f in findings)
+
+
+class TestPlanVerifier:
+    def test_bind_stage_checked_at_construction(self):
+        broken = logical.Filter(_scan(), _bool_pred(index=9))
+        with pytest.raises(PlanInvariantViolation) as exc:
+            PlanVerifier(broken)
+        assert exc.value.stage == "bind"
+
+    def test_schema_drift_across_stages(self):
+        plan = logical.Project(
+            _scan(), (BoundColumn(0, DataType.INTEGER, "id"),), ("id",)
+        )
+        verifier = PlanVerifier(plan)
+        # A "rewrite" that drops the Project changes the output schema.
+        with pytest.raises(PlanInvariantViolation) as exc:
+            verifier.check("broken_rewrite", plan.child)
+        assert exc.value.stage == "broken_rewrite"
+        assert any("width changed" in f.message for f in exc.value.findings)
+
+    def test_stages_accumulate(self):
+        plan = logical.Filter(_scan(), _bool_pred())
+        verifier = PlanVerifier(plan)
+        verifier.check("fold", plan)
+        assert verifier.stages_checked == ["bind", "fold"]
+
+
+class TestSeededBrokenRewrite:
+    """End to end: a deliberately broken optimizer rule is caught in-flight."""
+
+    def _db(self, **kwargs):
+        db = Database(**kwargs)
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+        return db
+
+    def test_project_dropping_rewrite_is_caught(self, monkeypatch):
+        """A pushdown that strips the top Project loses the output schema."""
+        from repro.optimizer import optimizer as opt_mod
+
+        real = opt_mod.push_down_filters
+
+        def broken(plan):
+            rewritten = real(plan)
+            if isinstance(rewritten, logical.Project):
+                return rewritten.child  # seeded bug: drop the projection
+            return rewritten
+
+        monkeypatch.setattr(opt_mod, "push_down_filters", broken)
+        db = self._db(verify_plans=True, plan_cache_size=0)
+        with pytest.raises(PlanInvariantViolation) as exc:
+            db.execute("SELECT a FROM t WHERE b = 'x'")
+        assert "pushdown" in exc.value.stage
+
+    def test_predicate_corrupting_rewrite_is_caught(self, monkeypatch):
+        """A rewrite that replaces a filter predicate with a non-boolean."""
+        from repro.optimizer import optimizer as opt_mod
+
+        real = opt_mod.push_down_filters
+
+        def corrupt(plan):
+            if isinstance(plan, logical.Filter):
+                return logical.Filter(
+                    corrupt(plan.child), BoundLiteral(1, DataType.INTEGER)
+                )
+            if isinstance(plan, logical.Project):
+                return logical.Project(corrupt(plan.child), plan.exprs, plan.names)
+            if isinstance(plan, logical.Sort):
+                return logical.Sort(corrupt(plan.child), plan.keys)
+            return plan
+
+        def broken(plan):
+            return corrupt(real(plan))
+
+        monkeypatch.setattr(opt_mod, "push_down_filters", broken)
+        db = self._db(verify_plans=True, plan_cache_size=0)
+        with pytest.raises(PlanInvariantViolation) as exc:
+            db.execute("SELECT a, b FROM t WHERE a > 1 ORDER BY a")
+        assert any(
+            f.rule == "plan-predicate-boolean" for f in exc.value.findings
+        )
+
+    def test_same_broken_rewrite_unverified_returns_wrong_results(self, monkeypatch):
+        """Without the verifier the seeded bug silently changes the schema —
+        exactly the failure mode that motivates default-on verification."""
+        from repro.optimizer import optimizer as opt_mod
+
+        real = opt_mod.push_down_filters
+
+        def broken(plan):
+            rewritten = real(plan)
+            if isinstance(rewritten, logical.Project):
+                return rewritten.child
+            return rewritten
+
+        monkeypatch.setattr(opt_mod, "push_down_filters", broken)
+        db = self._db(verify_plans=False, plan_cache_size=0)
+        result = db.execute("SELECT a FROM t WHERE b = 'x'")
+        assert len(result.rows[0]) != 1  # wrong arity went undetected
+
+
+class TestDatabaseWiring:
+    def test_env_default_enables_verification(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_PLANS", "1")
+        assert Database().verify_plans is True
+        monkeypatch.setenv("REPRO_VERIFY_PLANS", "0")
+        assert Database().verify_plans is False
+        monkeypatch.delenv("REPRO_VERIFY_PLANS")
+        assert Database().verify_plans is False
+
+    def test_explicit_flag_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_PLANS", "0")
+        assert Database(verify_plans=True).verify_plans is True
+
+    def test_verified_database_executes_normally(self):
+        db = Database(verify_plans=True)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        assert db.execute("SELECT a FROM t ORDER BY a").rows == [(1,), (2,)]

@@ -1,0 +1,202 @@
+"""SQL linter: each rule on seeded positives and clean negatives."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analyze.cli import lint_sql_text, main as lint_main, split_sql_statements
+from repro.analyze.facts import apply_suppressions, parse_suppressions
+from repro.analyze.lint import SqlLinter
+from repro.core.database import Database
+from repro.sql.parser import parse
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "..", "fixtures", "lint")
+
+
+@pytest.fixture
+def catalog_db():
+    db = Database()
+    db.execute("CREATE TABLE users (id INTEGER NOT NULL, name TEXT, age INTEGER, city TEXT)")
+    db.execute("CREATE INDEX idx_age ON users (age)")
+    db.execute(
+        "INSERT INTO users VALUES "
+        "(1, 'alice', 30, 'nyc'), (2, 'bob', 25, 'sf'), (3, 'carol', 35, 'nyc'), "
+        "(4, 'dave', 41, 'chi'), (5, 'erin', 29, 'nyc'), (6, 'frank', 33, 'sf')"
+    )
+    db.execute("ANALYZE")
+    return db
+
+
+def _rules(sql, db=None):
+    linter = SqlLinter(catalog=db.catalog if db else None)
+    return {f.rule for f in linter.lint_statement(parse(sql))}
+
+
+class TestSelectStar:
+    def test_positive(self):
+        assert "select-star" in _rules("SELECT * FROM t")
+
+    def test_qualified_star(self):
+        assert "select-star" in _rules("SELECT t.* FROM t")
+
+    def test_negative(self):
+        assert "select-star" not in _rules("SELECT a, b FROM t")
+
+    def test_count_star_is_fine(self):
+        assert "select-star" not in _rules("SELECT COUNT(*) FROM t")
+
+
+class TestImplicitCrossJoin:
+    def test_comma_join_without_connection(self, catalog_db):
+        assert "implicit-cross-join" in _rules(
+            "SELECT u.name FROM users AS u, users AS v WHERE u.age > 30", catalog_db
+        )
+
+    def test_comma_join_with_connecting_conjunct(self, catalog_db):
+        assert "implicit-cross-join" not in _rules(
+            "SELECT u.name FROM users AS u, users AS v WHERE u.id = v.id", catalog_db
+        )
+
+    def test_explicit_join_with_condition(self, catalog_db):
+        assert "implicit-cross-join" not in _rules(
+            "SELECT u.name FROM users AS u JOIN users AS v ON u.id = v.id", catalog_db
+        )
+
+    def test_no_catalog_still_detects(self):
+        # Without a catalog, qualified refs still localize each side.
+        assert "implicit-cross-join" in _rules(
+            "SELECT a.x FROM t1 AS a, t2 AS b WHERE a.x > 1"
+        )
+
+
+class TestNonSargable:
+    def test_arithmetic_on_indexed_column(self, catalog_db):
+        assert "non-sargable" in _rules(
+            "SELECT name FROM users WHERE age + 1 > 30", catalog_db
+        )
+
+    def test_function_wrapping_indexed_column(self, catalog_db):
+        assert "non-sargable" in _rules(
+            "SELECT name FROM users WHERE ABS(age) = 30", catalog_db
+        )
+
+    def test_bare_indexed_column_is_fine(self, catalog_db):
+        assert "non-sargable" not in _rules(
+            "SELECT name FROM users WHERE age > 30", catalog_db
+        )
+
+    def test_unindexed_column_not_flagged_with_catalog(self, catalog_db):
+        # Wrapping an unindexed column loses nothing: no index to defeat.
+        assert "non-sargable" not in _rules(
+            "SELECT name FROM users WHERE LENGTH(city) = 3", catalog_db
+        )
+
+    def test_leading_wildcard_like(self):
+        assert "non-sargable" in _rules("SELECT a FROM t WHERE name LIKE '%x'")
+
+    def test_prefix_like_is_fine(self):
+        assert "non-sargable" not in _rules("SELECT a FROM t WHERE name LIKE 'x%'")
+
+
+class TestMixedTypeComparison:
+    def test_integer_vs_float(self, catalog_db):
+        assert "mixed-type-comparison" in _rules(
+            "SELECT name FROM users WHERE age = 30.5", catalog_db
+        )
+
+    def test_text_vs_integer_is_error(self, catalog_db):
+        linter = SqlLinter(catalog=catalog_db.catalog)
+        findings = linter.lint_statement(
+            parse("SELECT name FROM users WHERE name = 42")
+        )
+        hits = [f for f in findings if f.rule == "mixed-type-comparison"]
+        assert hits and hits[0].severity == "error"
+
+    def test_matching_types(self, catalog_db):
+        assert "mixed-type-comparison" not in _rules(
+            "SELECT name FROM users WHERE age = 30 AND name = 'bob'", catalog_db
+        )
+
+    def test_requires_catalog(self):
+        assert "mixed-type-comparison" not in _rules("SELECT a FROM t WHERE a = 1.5")
+
+
+class TestMissingIndex:
+    def test_selective_equality_on_unindexed_column(self, catalog_db):
+        assert "missing-index" in _rules(
+            "SELECT name FROM users WHERE id = 3", catalog_db
+        )
+
+    def test_indexed_column_not_flagged(self, catalog_db):
+        assert "missing-index" not in _rules(
+            "SELECT name FROM users WHERE age = 30", catalog_db
+        )
+
+    def test_unselective_predicate_not_flagged(self, catalog_db):
+        # price > 0-style predicates keep most rows; a scan is correct.
+        assert "missing-index" not in _rules(
+            "SELECT name FROM users WHERE age > 0", catalog_db
+        )
+
+    def test_requires_catalog(self):
+        assert "missing-index" not in _rules("SELECT a FROM t WHERE a = 1")
+
+
+class TestStatementSplitting:
+    def test_line_numbers_and_quoted_semicolons(self):
+        script = "SELECT 1;\n-- comment; not a split\nSELECT 'a;b'\nFROM t;\nSELECT 2;"
+        statements = split_sql_statements(script)
+        assert [line for line, _ in statements] == [1, 3, 5]
+        assert statements[1][1] == "-- comment; not a split\nSELECT 'a;b'\nFROM t"
+
+
+class TestFixtureCorpus:
+    """Acceptance: all five lint classes fire on the corpus; clean passes."""
+
+    def test_bad_corpus_hits_all_five_classes(self, capsys):
+        path = os.path.join(FIXTURES, "bad_queries.sql")
+        assert lint_main([path]) == 1
+        out = capsys.readouterr().out
+        for rule in (
+            "select-star",
+            "implicit-cross-join",
+            "non-sargable",
+            "mixed-type-comparison",
+            "missing-index",
+        ):
+            assert f"[{rule}]" in out
+
+    def test_clean_corpus_is_clean(self, capsys):
+        path = os.path.join(FIXTURES, "clean_queries.sql")
+        assert lint_main([path]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_literal_query_target(self, capsys):
+        assert lint_main(["SELECT * FROM t1, t2"]) == 1
+        out = capsys.readouterr().out
+        assert "[select-star]" in out and "[implicit-cross-join]" in out
+
+    def test_missing_file_is_usage_error(self):
+        assert lint_main(["does/not/exist.sql"]) == 2
+
+
+class TestSuppressions:
+    def test_comment_suppresses_rule_on_line(self):
+        text = "SELECT * FROM t;  -- lint: allow(select-star)"
+        report = lint_sql_text(text, use_scratch_db=False)
+        assert report.by_rule("select-star")  # raw finding exists
+        suppressions = parse_suppressions(text.replace("-- lint:", "# lint:"))
+        assert apply_suppressions(report.findings, suppressions) == []
+
+    def test_other_rules_survive_suppression(self):
+        text = "SELECT * FROM t1, t2;  -- lint: allow(select-star)"
+        report = lint_sql_text(text, use_scratch_db=False)
+        suppressions = parse_suppressions(text.replace("-- lint:", "# lint:"))
+        kept = apply_suppressions(report.findings, suppressions)
+        assert {f.rule for f in kept} == {"implicit-cross-join"}
+
+    def test_parse_error_reported_not_raised(self):
+        report = lint_sql_text("SELEC nope", use_scratch_db=False)
+        assert report.by_rule("sql-parse")

@@ -1,0 +1,152 @@
+"""Static ORM N+1 detector, cross-checked against the E2 benchmark code.
+
+E2 measures the lazy/eager gap at runtime (1+N queries vs. 1); these tests
+assert the *static* detector draws the same line: the exact lazy traversal
+E2 benchmarks is flagged, the eager variant and raw SQL are not.
+"""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+from repro.analyze.cli import main as lint_main
+from repro.analyze.orm_check import (
+    RULE_ID,
+    collect_relationships,
+    scan_python_file,
+    scan_python_source,
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+E2_BENCH = os.path.join(REPO_ROOT, "benchmarks", "bench_e2_orm_n_plus_one.py")
+EXAMPLE = os.path.join(REPO_ROOT, "examples", "orm_antipattern.py")
+
+
+def _scan(*parts: str):
+    source = "\n".join(textwrap.dedent(part) for part in parts)
+    return scan_python_source(source, "<test>")
+
+
+HEADER = """
+    class Author(Model):
+        id = IntegerField(primary_key=True)
+
+    class Book(Model):
+        id = IntegerField(primary_key=True)
+
+    Author.relate("books", Book, foreign_key="author_id")
+"""
+
+
+class TestRelationshipCollection:
+    def test_relate_call(self):
+        import ast
+
+        tree = ast.parse(textwrap.dedent(HEADER))
+        assert collect_relationships(tree) == {"books"}
+
+    def test_has_many_class_attribute(self):
+        import ast
+
+        source = textwrap.dedent(
+            """
+            class Author(Model):
+                id = IntegerField(primary_key=True)
+                books = has_many(Book, "author_id")
+            """
+        )
+        assert collect_relationships(ast.parse(source)) == {"books"}
+
+
+class TestDetection:
+    def test_generator_over_lazy_query(self):
+        findings = _scan(
+            HEADER,
+            """
+            def traverse(session):
+                return sum(len(a.books) for a in session.query(Author).all())
+            """
+        )
+        assert [f.rule for f in findings] == [RULE_ID]
+        assert "a.books" in findings[0].message
+
+    def test_for_loop_over_lazy_query(self):
+        findings = _scan(
+            HEADER,
+            """
+            def traverse(session):
+                total = 0
+                for author in session.query(Author).all():
+                    total += len(author.books)
+                return total
+            """
+        )
+        assert [f.rule for f in findings] == [RULE_ID]
+
+    def test_loop_over_lazy_variable(self):
+        findings = _scan(
+            HEADER,
+            """
+            def traverse(session):
+                authors = session.query(Author).all()
+                return [len(a.books) for a in authors]
+            """
+        )
+        assert [f.rule for f in findings] == [RULE_ID]
+
+    def test_eager_query_is_clean(self):
+        findings = _scan(
+            HEADER,
+            """
+            def traverse(session):
+                return sum(
+                    len(a.books)
+                    for a in session.query(Author).options(eager("books")).all()
+                )
+            """
+        )
+        assert findings == []
+
+    def test_loop_without_relationship_access_is_clean(self):
+        findings = _scan(
+            HEADER,
+            """
+            def names(session):
+                return [a.name for a in session.query(Author).all()]
+            """
+        )
+        assert findings == []
+
+    def test_raw_sql_is_clean(self):
+        findings = _scan(
+            HEADER,
+            """
+            def count(session):
+                return session.execute("SELECT COUNT(*) FROM books").scalar()
+            """
+        )
+        assert findings == []
+
+
+class TestE2CrossCheck:
+    """The detector and the E2 runtime measurements must agree."""
+
+    def test_flags_exactly_the_lazy_traversal(self):
+        findings = scan_python_file(E2_BENCH)
+        assert [f.rule for f in findings] == [RULE_ID]
+        # The one finding is inside traverse_lazy (the 1+N measurement);
+        # traverse_eager (1 query) and raw_sql are clean.
+        with open(E2_BENCH) as handle:
+            lines = handle.read().splitlines()
+        flagged = findings[0].line
+        region = "\n".join(lines[max(0, flagged - 4) : flagged])
+        assert "def traverse_lazy" in region
+
+    def test_example_antipattern_is_suppressed_for_ci(self, capsys):
+        # The deliberate N+1 in examples/ carries a lint: allow comment so
+        # `python -m repro lint examples/` gates CI at zero findings.
+        raw = scan_python_file(EXAMPLE)
+        assert [f.rule for f in raw] == [RULE_ID]
+        assert lint_main([os.path.join(REPO_ROOT, "examples")]) == 0
+        capsys.readouterr()

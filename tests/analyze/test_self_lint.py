@@ -1,0 +1,112 @@
+"""Repo self-lint (tools/lint_repro.py): seeded positives + src/ is clean."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+TOOL = os.path.join(REPO_ROOT, "tools", "lint_repro.py")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+import lint_repro  # noqa: E402
+
+
+def _lint_source(source: str, tmp_path):
+    target = tmp_path / "sample.py"
+    target.write_text(textwrap.dedent(source))
+    return lint_repro.lint_file(str(target))
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self, tmp_path):
+        findings = _lint_source(
+            """
+            try:
+                work()
+            except:
+                pass
+            """,
+            tmp_path,
+        )
+        assert [f[2] for f in findings] == ["bare-except"]
+        assert "CrashPoint" in findings[0][3]
+
+    def test_base_exception_flagged(self, tmp_path):
+        findings = _lint_source(
+            """
+            try:
+                work()
+            except BaseException:
+                log()
+            """,
+            tmp_path,
+        )
+        assert [f[2] for f in findings] == ["bare-except"]
+
+    def test_reraising_handler_allowed(self, tmp_path):
+        findings = _lint_source(
+            """
+            try:
+                work()
+            except BaseException:
+                cleanup()
+                raise
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_except_exception_allowed(self, tmp_path):
+        findings = _lint_source(
+            """
+            try:
+                work()
+            except Exception:
+                pass
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+
+class TestMutableDefaults:
+    def test_list_literal_default(self, tmp_path):
+        findings = _lint_source("def f(x, acc=[]):\n    return acc\n", tmp_path)
+        assert [f[2] for f in findings] == ["mutable-default-arg"]
+        assert "'acc'" in findings[0][3]
+
+    def test_dict_call_default(self, tmp_path):
+        findings = _lint_source("def f(opts=dict()):\n    return opts\n", tmp_path)
+        assert [f[2] for f in findings] == ["mutable-default-arg"]
+
+    def test_kwonly_default(self, tmp_path):
+        findings = _lint_source("def f(*, acc={}):\n    return acc\n", tmp_path)
+        assert [f[2] for f in findings] == ["mutable-default-arg"]
+
+    def test_none_default_allowed(self, tmp_path):
+        findings = _lint_source("def f(x, acc=None, n=0):\n    return acc\n", tmp_path)
+        assert findings == []
+
+
+class TestRepoIsClean:
+    def test_src_has_no_findings(self):
+        """The satellite guarantee: the shipped tree passes its own lint."""
+        assert lint_repro.lint_tree(os.path.join(REPO_ROOT, "src")) == []
+
+    def test_cli_exit_codes(self, tmp_path):
+        clean = subprocess.run(
+            [sys.executable, TOOL, os.path.join(REPO_ROOT, "src")],
+            capture_output=True,
+            text=True,
+        )
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+        bad = tmp_path / "bad.py"
+        bad.write_text("try:\n    x()\nexcept:\n    pass\n")
+        dirty = subprocess.run(
+            [sys.executable, TOOL, str(tmp_path)], capture_output=True, text=True
+        )
+        assert dirty.returncode == 1
+        assert "[bare-except]" in dirty.stdout

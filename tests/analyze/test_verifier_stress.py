@@ -1,0 +1,93 @@
+"""Regression harness: adversarial query shapes under full verification.
+
+The suite-wide ``REPRO_VERIFY_PLANS=1`` already checks every test query;
+this file concentrates the shapes most likely to break a rewrite —
+outer joins with pushable/unpushable predicates, self-joins, aggregate
+key pushdown, set operations re-scanning the same tables, multi-join
+reordering — on both execution engines, so a future rule change that
+violates an invariant fails here with a precise stage name even if no
+behavioral test notices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import Database
+
+ADVERSARIAL_QUERIES = [
+    # outer join: right-side predicate must NOT sink below the join
+    "SELECT p.name, o.amount FROM people AS p LEFT JOIN orders AS o "
+    "ON p.id = o.pid WHERE p.age > 26 ORDER BY o.amount DESC LIMIT 3",
+    # aggregate over a join, HAVING on an aggregate
+    "SELECT p.city, COUNT(*), SUM(o.amount) FROM people AS p JOIN orders AS o "
+    "ON p.id = o.pid GROUP BY p.city HAVING SUM(o.amount) > 10 ORDER BY p.city",
+    # OR at the top keeps the conjunct intact through pushdown
+    "SELECT name FROM people WHERE age + 1 > 26 AND city = 'nyc' OR name LIKE 'a%'",
+    # self-join through distinct aliases (alias-unique within one scope)
+    "SELECT x.name, y.name FROM people AS x, people AS y "
+    "WHERE x.id < y.id AND x.city = y.city",
+    # uncorrelated subquery folded at bind time
+    "SELECT name FROM people WHERE id IN (SELECT pid FROM orders WHERE amount > 15)",
+    # set op arms scanning the same table (separate alias scopes)
+    "SELECT city FROM people WHERE age > 25 UNION "
+    "SELECT city FROM people WHERE name LIKE '%o%' ORDER BY city",
+    # aggregate key pushdown (HAVING references a group key)
+    "SELECT p.city, COUNT(*) FROM people AS p GROUP BY p.city HAVING p.city != 'sf'",
+    # anti-join pattern over an outer join with a join-condition filter
+    "SELECT p.name FROM people AS p LEFT JOIN orders AS o "
+    "ON p.id = o.pid AND o.amount > 20 WHERE o.oid IS NULL",
+    # EXCEPT/INTERSECT schema alignment
+    "SELECT city FROM people EXCEPT SELECT city FROM people WHERE age < 29",
+    "SELECT city FROM people INTERSECT SELECT 'nyc'",
+    # three-way join: DP reorder + restored column order
+    "SELECT t1.name FROM people AS t1 JOIN people AS t2 ON t1.id = t2.id "
+    "JOIN orders AS o ON t1.id = o.pid WHERE t2.age > 24",
+    "SELECT COUNT(*) FROM people AS p, orders AS o, people AS q "
+    "WHERE p.id = o.pid AND q.id = p.id AND q.age > 20",
+    # CASE folding keeps the projection's schema
+    "SELECT name, CASE WHEN age > 30 THEN 'old' WHEN age > 26 THEN 'mid' "
+    "ELSE 'young' END FROM people",
+    # constant folding in projections and filters
+    "SELECT 1 + 2 * 3, UPPER(name) FROM people WHERE LENGTH(name) > 3",
+]
+
+
+@pytest.fixture(scope="module")
+def verified_db():
+    db = Database(verify_plans=True)
+    db.execute(
+        "CREATE TABLE people (id INTEGER NOT NULL, name TEXT, age INTEGER, city TEXT)"
+    )
+    db.execute(
+        "INSERT INTO people VALUES "
+        "(1, 'alice', 30, 'nyc'), (2, 'bob', 25, 'sf'), (3, 'carol', 35, 'nyc'), "
+        "(4, 'dave', 28, 'chi'), (5, 'erin', NULL, 'sf')"
+    )
+    db.execute("CREATE TABLE orders (oid INTEGER, pid INTEGER, amount FLOAT)")
+    db.execute(
+        "INSERT INTO orders VALUES "
+        "(100, 1, 20.0), (101, 1, 35.5), (102, 2, 10.0), (103, 3, 7.25), "
+        "(104, 3, 99.0), (105, 9, 1.0)"
+    )
+    db.execute("CREATE INDEX idx_age ON people (age)")
+    db.execute("ANALYZE")
+    return db
+
+
+@pytest.mark.parametrize("query", ADVERSARIAL_QUERIES)
+@pytest.mark.parametrize("engine", ["volcano", "vectorized"])
+def test_adversarial_query_passes_verification(verified_db, query, engine):
+    verified_db.execute(query, engine=engine)  # raises on any violation
+
+
+def test_prepared_statements_are_verified(verified_db):
+    prep = verified_db.prepare("SELECT name FROM people WHERE age > ? AND city = ?")
+    assert prep.execute((26, "nyc")).rows == [("alice",), ("carol",)]
+
+
+def test_explain_is_verified(verified_db):
+    verified_db.execute(
+        "EXPLAIN SELECT p.name FROM people AS p JOIN orders AS o "
+        "ON p.id = o.pid WHERE o.amount > 15"
+    )

@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Default-on plan verification for the whole suite: every Database built by
+# any test asserts plan invariants between optimizer rewrites, so every
+# existing query doubles as a verifier test.  Set REPRO_VERIFY_PLANS=0 to
+# measure the unverified baseline.
+os.environ.setdefault("REPRO_VERIFY_PLANS", "1")
 
 from repro.core.database import Database
 from repro.core.types import Column, DataType, Schema

@@ -1,0 +1,40 @@
+-- Seeded lint positives: each query below trips exactly one rule class.
+-- DDL/DML/ANALYZE run into the linter's scratch database so the
+-- catalog-aware rules see real indexes and statistics.
+CREATE TABLE users (id INTEGER NOT NULL, name TEXT, age INTEGER, city TEXT);
+CREATE INDEX idx_users_age ON users (age);
+CREATE INDEX idx_users_name ON users (name);
+CREATE TABLE orders (oid INTEGER, uid INTEGER, amount FLOAT, note TEXT);
+CREATE INDEX idx_orders_uid ON orders (uid);
+INSERT INTO users VALUES
+  (1, 'alice', 30, 'nyc'), (2, 'bob', 25, 'sf'), (3, 'carol', 35, 'nyc'),
+  (4, 'dave', 41, 'chi'), (5, 'erin', 29, 'nyc'), (6, 'frank', 33, 'sf'),
+  (7, 'grace', 27, 'nyc'), (8, 'heidi', 38, 'sf');
+INSERT INTO orders VALUES
+  (100, 1, 20.0, 'a'), (101, 2, 35.5, 'b'), (102, 3, 10.0, 'c'),
+  (103, 1, 7.25, 'd'), (104, 5, 12.0, 'e'), (105, 7, 3.5, 'f');
+ANALYZE;
+
+-- select-star: every column decoded and carried for no reason
+SELECT * FROM users;
+
+-- implicit-cross-join: comma join, WHERE never connects the two sides
+SELECT u.name, o.amount FROM users AS u, orders AS o WHERE u.age > 30;
+
+-- non-sargable: arithmetic on the indexed age column blocks idx_users_age
+SELECT name FROM users WHERE age + 1 > 30;
+
+-- non-sargable: leading wildcard defeats idx_users_name
+SELECT id FROM users WHERE name LIKE '%son';
+
+-- non-sargable (in an UPDATE): function wraps the indexed name column
+UPDATE users SET age = 0 WHERE UPPER(name) = 'ALICE';
+
+-- mixed-type-comparison: INTEGER column against a FLOAT literal
+SELECT name FROM users WHERE age = 30.5;
+
+-- mixed-type-comparison: TEXT column against a number is an error
+SELECT name FROM users WHERE name = 42;
+
+-- missing-index: selective equality on unindexed users.id
+SELECT name FROM users WHERE id = 3;

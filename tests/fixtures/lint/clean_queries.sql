@@ -1,0 +1,30 @@
+-- Clean negatives: well-shaped queries that must produce zero findings.
+CREATE TABLE products (pid INTEGER NOT NULL, label TEXT, price FLOAT, grade INTEGER);
+CREATE INDEX idx_products_pid ON products (pid);
+CREATE INDEX idx_products_label ON products (label);
+CREATE TABLE stock (sid INTEGER, pid INTEGER, quantity INTEGER);
+CREATE INDEX idx_stock_pid ON stock (pid);
+INSERT INTO products VALUES
+  (1, 'widget', 9.99, 3), (2, 'gadget', 19.5, 2), (3, 'sprocket', 4.25, 1),
+  (4, 'flange', 12.0, 3), (5, 'gear', 7.75, 2);
+INSERT INTO stock VALUES (10, 1, 4), (11, 2, 0), (12, 3, 9), (13, 5, 2);
+ANALYZE;
+
+-- explicit projection, bare indexed column predicate
+SELECT label, price FROM products WHERE pid = 2;
+
+-- explicit join with an ON condition
+SELECT p.label, s.quantity FROM products AS p JOIN stock AS s ON p.pid = s.pid;
+
+-- comma join is fine when a WHERE conjunct connects the sides
+SELECT p.label, s.quantity FROM products AS p, stock AS s
+  WHERE p.pid = s.pid AND s.quantity > 0;
+
+-- unselective range predicate: a scan is the right plan, no index nag
+SELECT label FROM products WHERE price > 0.0;
+
+-- matching literal types throughout
+SELECT label FROM products WHERE label = 'widget' AND grade = 3;
+
+-- sargable DELETE through the index
+DELETE FROM stock WHERE pid = 5;

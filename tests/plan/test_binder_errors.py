@@ -1,0 +1,96 @@
+"""Binder error paths: every message must name the offending identifier.
+
+A bind error is the first thing a user sees when a query is wrong; these
+tests pin both the exception type and that the message carries the actual
+column/function name, so errors stay actionable as the binder evolves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import BindError
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("CREATE TABLE people (id INTEGER, name TEXT, age INTEGER)")
+    d.execute("CREATE TABLE pets (id INTEGER, owner_id INTEGER, name TEXT)")
+    d.execute("INSERT INTO people VALUES (1, 'alice', 30), (2, 'bob', 25)")
+    d.execute("INSERT INTO pets VALUES (10, 1, 'rex'), (11, 2, 'tom')")
+    return d
+
+
+class TestUnknownColumn:
+    def test_select_list(self, db):
+        with pytest.raises(BindError, match=r"unknown column: 'salary'"):
+            db.execute("SELECT salary FROM people")
+
+    def test_where_clause(self, db):
+        with pytest.raises(BindError, match=r"unknown column: 'heightt'"):
+            db.execute("SELECT name FROM people WHERE heightt > 10")
+
+    def test_qualified_with_wrong_table(self, db):
+        with pytest.raises(BindError, match=r"unknown column: 'pets\.age'"):
+            db.execute(
+                "SELECT people.name FROM people JOIN pets "
+                "ON people.id = pets.owner_id WHERE pets.age > 1"
+            )
+
+    def test_order_by(self, db):
+        with pytest.raises(BindError, match=r"unknown column: 'wight'"):
+            db.execute("SELECT name FROM people ORDER BY wight")
+
+    def test_update_and_delete(self, db):
+        with pytest.raises(BindError, match=r"unknown column: 'agee'"):
+            db.execute("UPDATE people SET age = 1 WHERE agee > 10")
+        with pytest.raises(BindError, match=r"unknown column: 'agee'"):
+            db.execute("DELETE FROM people WHERE agee > 10")
+
+
+class TestAmbiguousReference:
+    def test_join_with_shared_column_name(self, db):
+        # Both tables have `id` and `name`.
+        with pytest.raises(BindError, match=r"ambiguous column reference: 'name'"):
+            db.execute(
+                "SELECT name FROM people JOIN pets ON people.id = pets.owner_id"
+            )
+
+    def test_self_join(self, db):
+        with pytest.raises(BindError, match=r"ambiguous column reference: 'age'"):
+            db.execute(
+                "SELECT age FROM people AS a, people AS b WHERE a.id = b.id"
+            )
+
+    def test_qualification_resolves_it(self, db):
+        result = db.execute(
+            "SELECT people.name FROM people JOIN pets "
+            "ON people.id = pets.owner_id ORDER BY people.name"
+        )
+        assert result.rows == [("alice",), ("bob",)]
+
+
+class TestBadAggregateNesting:
+    def test_nested_aggregate_names_both_functions(self, db):
+        with pytest.raises(
+            BindError, match=r"aggregate 'MAX\(age\)' cannot be nested inside SUM"
+        ):
+            db.execute("SELECT SUM(MAX(age)) FROM people")
+
+    def test_nested_under_expression_inside_aggregate(self, db):
+        with pytest.raises(
+            BindError, match=r"aggregate 'COUNT\(id\)' cannot be nested inside AVG"
+        ):
+            db.execute("SELECT AVG(age + COUNT(id)) FROM people")
+
+    def test_aggregate_in_where_names_function(self, db):
+        with pytest.raises(BindError, match=r"aggregate SUM is not allowed"):
+            db.execute("SELECT name FROM people WHERE SUM(age) > 10")
+
+    def test_ungrouped_column_names_column(self, db):
+        with pytest.raises(
+            BindError, match=r"column 'name' must appear in GROUP BY"
+        ):
+            db.execute("SELECT name, COUNT(*) FROM people GROUP BY age")

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""AST-based self-lint for this repository.
+
+Two checks, both motivated by real failure modes in this codebase:
+
+* **bare-except** — ``except:`` / ``except BaseException:`` swallow
+  *everything*, including ``storage.faults.CrashPoint`` (a BaseException
+  the crash-matrix tests raise mid-operation to simulate power loss).  A
+  handler that traps it silently turns a simulated crash into a normal
+  return and invalidates the whole durability suite.  A handler that
+  re-raises unconditionally (bare ``raise`` in its body) is allowed.
+* **mutable-default-arg** — ``def f(x, acc=[])`` shares one list across
+  calls; with a Database living for many statements this is a classic
+  source of cross-query state leaks.
+
+Usage: ``python tools/lint_repro.py [dir ...]`` (default: ``src``).
+Prints ``path:line: [rule] message`` per finding; exit 1 if any.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+Finding = Tuple[str, int, str, str]  # path, line, rule, message
+
+
+def _is_bare_reraise(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body unconditionally re-raise?"""
+    return any(
+        isinstance(stmt, ast.Raise) and stmt.exc is None for stmt in handler.body
+    )
+
+
+def _check_excepts(tree: ast.AST, path: str) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            kind = "bare 'except:'"
+        elif isinstance(node.type, ast.Name) and node.type.id == "BaseException":
+            kind = "'except BaseException:'"
+        else:
+            continue
+        if _is_bare_reraise(node):
+            continue
+        yield (
+            path,
+            node.lineno,
+            "bare-except",
+            f"{kind} swallows BaseException (including storage.faults.CrashPoint, "
+            "breaking crash simulation); catch Exception or a specific type, "
+            "or re-raise",
+        )
+
+
+_MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _check_mutable_defaults(tree: ast.AST, path: str) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(positional[len(positional) - len(args.defaults):], args.defaults):
+            if _is_mutable_default(default):
+                yield (
+                    path,
+                    default.lineno,
+                    "mutable-default-arg",
+                    f"argument {arg.arg!r} defaults to a mutable object shared "
+                    "across calls; default to None and build inside",
+                )
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None and _is_mutable_default(default):
+                yield (
+                    path,
+                    default.lineno,
+                    "mutable-default-arg",
+                    f"argument {arg.arg!r} defaults to a mutable object shared "
+                    "across calls; default to None and build inside",
+                )
+
+
+def lint_file(path: str) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, "syntax", f"could not parse: {exc.msg}")]
+    findings = list(_check_excepts(tree, path))
+    findings.extend(_check_mutable_defaults(tree, path))
+    return findings
+
+
+def lint_tree(root: str) -> List[Finding]:
+    if os.path.isfile(root):
+        return lint_file(root)
+    findings: List[Finding] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if not d.startswith((".", "__pycache__")))
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                findings.extend(lint_file(os.path.join(dirpath, name)))
+    return findings
+
+
+def main(argv: List[str] = None) -> int:
+    targets = list(sys.argv[1:] if argv is None else argv) or ["src"]
+    findings: List[Finding] = []
+    for target in targets:
+        if not os.path.exists(target):
+            print(f"error: no such path: {target}", file=sys.stderr)
+            return 2
+        findings.extend(lint_tree(target))
+    for path, line, rule, message in sorted(findings):
+        print(f"{path}:{line}: [{rule}] {message}")
+    print(
+        f"{len(findings)} finding(s)" if findings else "clean: no findings",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
