@@ -1,4 +1,4 @@
-"""``python -m repro`` — interactive SQL shell, or ``lint`` subcommand."""
+"""``python -m repro`` — interactive SQL shell, or ``lint``/``sanitize`` subcommands."""
 
 import sys
 
@@ -6,6 +6,11 @@ if len(sys.argv) > 1 and sys.argv[1] == "lint":
     from repro.analyze.cli import main as lint_main
 
     raise SystemExit(lint_main(sys.argv[2:]))
+
+if len(sys.argv) > 1 and sys.argv[1] == "sanitize":
+    from repro.analyze.sanitize_cli import main as sanitize_main
+
+    raise SystemExit(sanitize_main(sys.argv[2:]))
 
 from repro.cli import main
 

@@ -12,9 +12,14 @@ Three passes share one fact/rule framework (:mod:`repro.analyze.facts`):
   available).
 * :mod:`repro.analyze.orm_check` — static N+1 detection over Python source
   that uses :mod:`repro.orm` (lazy relationship access inside loops).
+* :mod:`repro.analyze.concurrency` — the concurrency sanitizer: a
+  precedence-graph serializability checker with anomaly classification, a
+  dynamic lock-order-inversion analysis over recorded schedules
+  (:mod:`repro.txn.trace`), and a static latch-coverage AST pass.
 
-The command-line entry point is ``python -m repro lint <query|file|dir>``
-(:mod:`repro.analyze.cli`).
+Command-line entry points: ``python -m repro lint <query|file|dir>``
+(:mod:`repro.analyze.cli`) and ``python -m repro sanitize <trace|--fuzz>``
+(:mod:`repro.analyze.sanitize_cli`).
 """
 
 from repro.analyze.facts import (
@@ -33,10 +38,18 @@ from repro.analyze.invariants import (
     check_logical_invariants,
     check_physical_invariants,
 )
+from repro.analyze.concurrency import (
+    check_latch_coverage,
+    check_lock_order,
+    check_schedule,
+)
 from repro.analyze.lint import SqlLinter
 from repro.analyze.orm_check import scan_python_source
 
 __all__ = [
+    "check_latch_coverage",
+    "check_lock_order",
+    "check_schedule",
     "ERROR",
     "INFO",
     "WARNING",

@@ -1,0 +1,716 @@
+"""Concurrency sanitizer: serializability, lock-order, and latch analysis.
+
+Three analyses over the transaction layer, all reporting through the shared
+:mod:`repro.analyze.facts` Finding/Rule framework:
+
+* **Precedence-graph serializability** (:func:`check_schedule`) — builds
+  the WR/WW/RW conflict graph of the *committed* transactions in a recorded
+  schedule (:mod:`repro.txn.trace`), detects cycles, and classifies the
+  witnessed anomaly (dirty read, lost update, non-repeatable read, write
+  skew) with the exact transaction/event chain in the finding message.
+* **Lock-order inversion** (:func:`check_lock_order`) — builds the dynamic
+  lock-order graph (edge ``a → b`` when some transaction held ``a`` while
+  acquiring ``b``); a cycle means a potential deadlock even if none fired
+  during the run.
+* **Latch coverage** (:func:`check_latch_coverage`) — a static AST pass:
+  instance fields guarded by a dedicated latch (``self._latch``,
+  ``self._store_lock``, ``self._mutex``, ``self._cond``) in one method but
+  accessed bare in another are check-then-act races waiting to happen.
+  Methods named ``*_locked`` (the caller-holds-the-latch convention) and
+  methods only ever called from latched sections are exempt.
+
+Conflict-graph semantics depend on the scheme family:
+
+* **in-place** stores (global-lock, 2PL): writes hit the shared store at
+  their event time, so conflicting operations are ordered by their logical
+  timestamps — the classic conflict-serializability graph.
+* **versioned** stores (MVCC): reads see the snapshot taken at ``begin``
+  and writes install at ``commit``, so a read's logical time is its
+  transaction's begin event and a write's is its commit event.  Under
+  snapshot isolation every cycle contains anti-dependency (RW) edges —
+  the write-skew shape the fuzzer asserts is the *only* MVCC anomaly.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analyze.facts import (
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisReport,
+    Finding,
+)
+from repro.txn import trace
+from repro.txn.trace import ScheduleEvent
+
+WR = "wr"
+WW = "ww"
+RW = "rw"
+
+#: Schemes whose writes mutate the shared store in event order.
+IN_PLACE_SCHEMES = ("global-lock", "2pl")
+#: Schemes whose reads/writes are snapshot/commit ordered.
+VERSIONED_SCHEMES = ("mvcc",)
+
+#: Rule ids the serializability checker can emit, most specific first.
+ANOMALY_DIRTY_READ = "dirty-read"
+ANOMALY_LOST_UPDATE = "lost-update"
+ANOMALY_NON_REPEATABLE = "non-repeatable-read"
+ANOMALY_WRITE_SKEW = "write-skew"
+ANOMALY_GENERIC = "non-serializable"
+LOCK_ORDER_RULE = "lock-order-inversion"
+INCOMPLETE_RULE = "incomplete-txn"
+LATCH_RULE = "latch-coverage"
+
+
+@dataclass(frozen=True)
+class ConflictEdge:
+    """One precedence-graph edge: ``src`` must serialize before ``dst``."""
+
+    src: int
+    dst: int
+    kind: str  # wr | ww | rw
+    key: Hashable
+    src_seq: int
+    dst_seq: int
+
+    def format(self) -> str:
+        return (
+            f"txn {self.src} -{self.kind}({self.key!r})-> txn {self.dst} "
+            f"[@{self.src_seq} -> @{self.dst_seq}]"
+        )
+
+
+@dataclass
+class Schedule:
+    """A parsed trace: per-transaction status and per-key operation lists."""
+
+    scheme: str
+    events: List[ScheduleEvent]
+    committed: Set[int]
+    aborted: Set[int]
+    incomplete: Set[int]
+    begin_seq: Dict[int, int]
+    commit_seq: Dict[int, int]
+
+    @classmethod
+    def from_events(
+        cls, events: Sequence[ScheduleEvent], scheme: str = "unknown"
+    ) -> "Schedule":
+        committed: Set[int] = set()
+        aborted: Set[int] = set()
+        seen: Set[int] = set()
+        begin_seq: Dict[int, int] = {}
+        commit_seq: Dict[int, int] = {}
+        for event in events:
+            seen.add(event.txn_id)
+            if event.op == trace.BEGIN:
+                begin_seq.setdefault(event.txn_id, event.seq)
+            elif event.op == trace.COMMIT:
+                committed.add(event.txn_id)
+                commit_seq[event.txn_id] = event.seq
+            elif event.op == trace.ABORT:
+                aborted.add(event.txn_id)
+        incomplete = seen - committed - aborted
+        return cls(
+            scheme=scheme,
+            events=list(events),
+            committed=committed,
+            aborted=aborted,
+            incomplete=incomplete,
+            begin_seq=begin_seq,
+            commit_seq=commit_seq,
+        )
+
+    def is_versioned(self) -> bool:
+        return self.scheme in VERSIONED_SCHEMES
+
+
+# --------------------------------------------------------------------------
+# Conflict graph construction
+# --------------------------------------------------------------------------
+
+
+def build_conflict_graph(schedule: Schedule) -> List[ConflictEdge]:
+    """WR/WW/RW edges between *committed* transactions."""
+    if schedule.is_versioned():
+        return _versioned_edges(schedule)
+    return _in_place_edges(schedule)
+
+
+def _in_place_edges(schedule: Schedule) -> List[ConflictEdge]:
+    """Conflict edges by event order (writes take effect immediately)."""
+    per_key: Dict[Hashable, List[Tuple[int, int, str]]] = defaultdict(list)
+    for event in schedule.events:
+        if event.txn_id not in schedule.committed:
+            continue
+        if event.op == trace.READ:
+            per_key[event.key].append((event.seq, event.txn_id, "r"))
+        elif event.op == trace.WRITE:
+            per_key[event.key].append((event.seq, event.txn_id, "w"))
+    edges: Dict[Tuple[int, int, str, Hashable], ConflictEdge] = {}
+    for key, ops in per_key.items():
+        for i, (seq_a, txn_a, type_a) in enumerate(ops):
+            for seq_b, txn_b, type_b in ops[i + 1 :]:
+                if txn_a == txn_b or (type_a == "r" and type_b == "r"):
+                    continue
+                kind = {"wr": WR, "ww": WW, "rw": RW}[type_a + type_b]
+                identity = (txn_a, txn_b, kind, key)
+                if identity not in edges:
+                    edges[identity] = ConflictEdge(
+                        txn_a, txn_b, kind, key, seq_a, seq_b
+                    )
+    return list(edges.values())
+
+
+def _versioned_edges(schedule: Schedule) -> List[ConflictEdge]:
+    """Conflict edges with snapshot semantics: reads at begin, writes at
+    commit.  Only committed transactions participate."""
+    reads: Dict[Hashable, Dict[int, int]] = defaultdict(dict)  # key -> txn -> seq
+    writes: Dict[Hashable, Dict[int, int]] = defaultdict(dict)
+    for event in schedule.events:
+        if event.txn_id not in schedule.committed:
+            continue
+        if event.op == trace.READ:
+            reads[event.key].setdefault(event.txn_id, event.seq)
+        elif event.op == trace.WRITE:
+            writes[event.key].setdefault(event.txn_id, event.seq)
+    edges: Dict[Tuple[int, int, str, Hashable], ConflictEdge] = {}
+
+    def add(src: int, dst: int, kind: str, key: Hashable, s: int, d: int) -> None:
+        identity = (src, dst, kind, key)
+        if identity not in edges:
+            edges[identity] = ConflictEdge(src, dst, kind, key, s, d)
+
+    for key in set(reads) | set(writes):
+        committed_writers = [
+            (schedule.commit_seq[txn], txn)
+            for txn in writes.get(key, ())
+            if txn in schedule.commit_seq
+        ]
+        committed_writers.sort()
+        # WW: commit (version-install) order.
+        for i, (commit_a, txn_a) in enumerate(committed_writers):
+            for commit_b, txn_b in committed_writers[i + 1 :]:
+                add(txn_a, txn_b, WW, key, commit_a, commit_b)
+        for reader, read_seq in reads.get(key, {}).items():
+            snapshot = schedule.begin_seq.get(reader, read_seq)
+            for commit_w, writer in committed_writers:
+                if writer == reader:
+                    continue
+                if commit_w < snapshot:
+                    # Reader's snapshot includes the writer's version.
+                    add(writer, reader, WR, key, commit_w, read_seq)
+                else:
+                    # Anti-dependency: the reader saw the state *before*
+                    # this writer's version landed.
+                    add(reader, writer, RW, key, read_seq, commit_w)
+    return list(edges.values())
+
+
+# --------------------------------------------------------------------------
+# Cycle detection + anomaly classification
+# --------------------------------------------------------------------------
+
+
+def _strongly_connected(nodes: Iterable[int], adj: Dict[int, Set[int]]) -> List[Set[int]]:
+    """Tarjan's SCC, iterative (traces can hold many transactions)."""
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    sccs: List[Set[int]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: List[Tuple[int, Iterable]] = [(root, iter(adj.get(root, ())))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, neighbours = work[-1]
+            advanced = False
+            for nxt in neighbours:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(adj.get(nxt, ()))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: Set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def _witness_cycle(
+    component: Set[int], edges: List[ConflictEdge]
+) -> List[ConflictEdge]:
+    """A shortest cycle through the component's smallest member (BFS)."""
+    start = min(component)
+    adj: Dict[int, List[ConflictEdge]] = defaultdict(list)
+    for edge in edges:
+        if edge.src in component and edge.dst in component:
+            adj[edge.src].append(edge)
+    # BFS from start back to start.
+    frontier: List[Tuple[int, List[ConflictEdge]]] = [(start, [])]
+    visited: Set[int] = set()
+    while frontier:
+        next_frontier: List[Tuple[int, List[ConflictEdge]]] = []
+        for node, path in frontier:
+            for edge in adj.get(node, ()):
+                if edge.dst == start:
+                    return path + [edge]
+                if edge.dst not in visited:
+                    visited.add(edge.dst)
+                    next_frontier.append((edge.dst, path + [edge]))
+        frontier = next_frontier
+    return []  # unreachable for a genuine SCC
+
+
+def classify_cycle(
+    cycle: Sequence[ConflictEdge], all_edges: Sequence[ConflictEdge]
+) -> str:
+    """Name the anomaly a precedence cycle witnesses.
+
+    Classification looks at *all* edges between the cycle's member pairs
+    (a 2-cycle often carries parallel RW and WW edges on the same key):
+
+    * ``lost-update`` — RW(a→b, k) opposed by WW(b→a, k) on the same key:
+      ``a`` read ``k``, ``b`` overwrote it, ``a`` wrote ``k`` without
+      seeing ``b``'s update.
+    * ``non-repeatable-read`` — RW(a→b, k) opposed by WR(b→a, k): ``a``
+      read ``k`` both before and after ``b``'s committed write.
+    * ``write-skew`` — the cycle closes purely through anti-dependencies
+      (≥2 RW edges): disjoint writes based on overlapping reads, the
+      canonical snapshot-isolation anomaly.
+    * ``non-serializable`` — any other conflict cycle.
+    """
+    members = {edge.src for edge in cycle} | {edge.dst for edge in cycle}
+    between: Dict[Tuple[int, int], List[ConflictEdge]] = defaultdict(list)
+    for edge in all_edges:
+        if edge.src in members and edge.dst in members:
+            between[(edge.src, edge.dst)].append(edge)
+    for (src, dst), forward in between.items():
+        backward = between.get((dst, src), [])
+        for fwd in forward:
+            if fwd.kind != RW:
+                continue
+            for bwd in backward:
+                if bwd.key != fwd.key:
+                    continue
+                if bwd.kind == WW:
+                    return ANOMALY_LOST_UPDATE
+                if bwd.kind == WR:
+                    return ANOMALY_NON_REPEATABLE
+    rw_count = sum(1 for edge in cycle if edge.kind == RW)
+    if all(edge.kind == RW for edge in cycle):
+        return ANOMALY_WRITE_SKEW
+    if rw_count >= 2:
+        # Snapshot-isolation dangerous structure: the cycle only exists
+        # because of anti-dependencies.
+        return ANOMALY_WRITE_SKEW
+    return ANOMALY_GENERIC
+
+
+# --------------------------------------------------------------------------
+# Dirty reads (in-place schemes only)
+# --------------------------------------------------------------------------
+
+
+def _dirty_reads(schedule: Schedule) -> List[Finding]:
+    """Reads that observed a write whose transaction later aborted.
+
+    Replays the event log against a per-key writer stack: writes push, an
+    abort unwinds that transaction's entries (matching the undo-restore the
+    schemes perform).  A committed reader whose observed top-of-stack writer
+    aborted read data that was never committed — a dirty read.
+    """
+    if schedule.is_versioned():
+        return []  # snapshot reads can never observe uncommitted versions
+    chains: Dict[Hashable, List[Tuple[int, int]]] = defaultdict(list)
+    observations: List[Tuple[int, int, Hashable, int, int]] = []
+    for event in schedule.events:
+        if event.op == trace.WRITE:
+            chains[event.key].append((event.txn_id, event.seq))
+        elif event.op == trace.ABORT:
+            for chain in chains.values():
+                chain[:] = [entry for entry in chain if entry[0] != event.txn_id]
+        elif event.op == trace.READ:
+            chain = chains.get(event.key)
+            if chain:
+                writer, write_seq = chain[-1]
+                if writer != event.txn_id:
+                    observations.append(
+                        (event.txn_id, writer, event.key, event.seq, write_seq)
+                    )
+    findings = []
+    for reader, writer, key, read_seq, write_seq in observations:
+        if reader in schedule.committed and writer in schedule.aborted:
+            findings.append(
+                Finding(
+                    ANOMALY_DIRTY_READ,
+                    ERROR,
+                    f"txn {reader} read {key!r} at @{read_seq} from txn "
+                    f"{writer}'s uncommitted write at @{write_seq}; txn "
+                    f"{writer} later aborted — txn {reader} committed on "
+                    "data that never existed",
+                    source="<schedule>",
+                    line=read_seq,
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Lock-order analysis
+# --------------------------------------------------------------------------
+
+
+#: Schemes whose traces imply lock acquisition through data access: under
+#: strict 2PL the first READ/WRITE of a key is its lock grant, so traces
+#: carry no per-key LOCK events (see ``TwoPLScheme.__init__``).
+LOCK_IMPLIED_SCHEMES = ("2pl",)
+
+
+def check_lock_order(
+    events: Sequence[ScheduleEvent],
+    source: str = "<schedule>",
+    implicit_locks: bool = False,
+) -> List[Finding]:
+    """Dynamic lock-order graph: a cycle is a potential deadlock.
+
+    Edge ``a → b`` is added when any transaction acquires ``b`` while
+    holding ``a``.  Consistent global ordering keeps the graph acyclic; a
+    cycle means two code paths disagree about the order, which deadlocks
+    under the wrong interleaving even if this run never did.
+
+    With ``implicit_locks`` (2PL traces), READ/WRITE events count as lock
+    acquisitions of their key.  UNLOCK events mark *early* release;
+    COMMIT/ABORT implies release of everything still held
+    (``LockManager.release_all`` records no per-key events — see its
+    docstring).
+    """
+    acquire_ops = {trace.LOCK}
+    if implicit_locks:
+        acquire_ops.update((trace.READ, trace.WRITE))
+    held: Dict[int, List[Hashable]] = defaultdict(list)
+    # (key_a, key_b) -> (txn, seq of the acquisition that added the edge)
+    order: Dict[Tuple[Hashable, Hashable], Tuple[int, int]] = {}
+    for event in events:
+        if event.op in acquire_ops:
+            for prior in held[event.txn_id]:
+                if prior != event.key:
+                    order.setdefault((prior, event.key), (event.txn_id, event.seq))
+            if event.key not in held[event.txn_id]:
+                held[event.txn_id].append(event.key)
+        elif event.op == trace.UNLOCK:
+            if event.key in held[event.txn_id]:
+                held[event.txn_id].remove(event.key)
+        elif event.op in (trace.COMMIT, trace.ABORT):
+            held.pop(event.txn_id, None)
+    adj: Dict[Hashable, Set[Hashable]] = defaultdict(set)
+    for key_a, key_b in order:
+        adj[key_a].add(key_b)
+    nodes = sorted(adj, key=repr)
+    findings: List[Finding] = []
+    reported: Set[frozenset] = set()
+    for component in _strongly_connected(nodes, adj):
+        if len(component) < 2:
+            continue
+        identity = frozenset(component)
+        if identity in reported:
+            continue
+        reported.add(identity)
+        keys = sorted(component, key=repr)
+        witnesses = []
+        witness_seqs = []
+        for (key_a, key_b), (txn, seq) in sorted(
+            order.items(), key=lambda item: item[1][1]
+        ):
+            if key_a in component and key_b in component:
+                witnesses.append(
+                    f"txn {txn} took {key_a!r} then {key_b!r} (@{seq})"
+                )
+                witness_seqs.append(seq)
+        findings.append(
+            Finding(
+                LOCK_ORDER_RULE,
+                WARNING,
+                "inconsistent lock acquisition order across "
+                f"{[repr(k) for k in keys]} — potential deadlock even though "
+                f"none fired this run; {'; '.join(witnesses[:6])}",
+                source=source,
+                line=min(witness_seqs) if witness_seqs else 0,
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Top-level schedule check
+# --------------------------------------------------------------------------
+
+
+def check_schedule(
+    events: Sequence[ScheduleEvent],
+    scheme: str = "unknown",
+    source: str = "<schedule>",
+    include_lock_order: bool = True,
+) -> AnalysisReport:
+    """Run every dynamic analysis over one recorded schedule."""
+    schedule = Schedule.from_events(events, scheme=scheme)
+    report = AnalysisReport()
+    report.extend(_dirty_reads(schedule))
+    edges = build_conflict_graph(schedule)
+    adj: Dict[int, Set[int]] = defaultdict(set)
+    for edge in edges:
+        adj[edge.src].add(edge.dst)
+    for component in _strongly_connected(sorted(adj), adj):
+        if len(component) < 2:
+            continue
+        cycle = _witness_cycle(component, edges)
+        anomaly = classify_cycle(cycle, edges)
+        chain = " ; ".join(edge.format() for edge in cycle)
+        report.extend(
+            [
+                Finding(
+                    anomaly,
+                    ERROR,
+                    f"precedence cycle over txns {sorted(component)} "
+                    f"({anomaly.replace('-', ' ')}): {chain}",
+                    source=source,
+                    line=cycle[0].src_seq if cycle else 0,
+                )
+            ]
+        )
+    if include_lock_order:
+        report.extend(
+            check_lock_order(
+                events,
+                source=source,
+                implicit_locks=scheme in LOCK_IMPLIED_SCHEMES,
+            )
+        )
+    if schedule.incomplete:
+        report.extend(
+            [
+                Finding(
+                    INCOMPLETE_RULE,
+                    INFO,
+                    f"txns {sorted(schedule.incomplete)} neither committed "
+                    "nor aborted in this trace; they are excluded from the "
+                    "serializability check",
+                    source=source,
+                )
+            ]
+        )
+    return report
+
+
+# --------------------------------------------------------------------------
+# Latch-coverage (static AST pass)
+# --------------------------------------------------------------------------
+
+#: Dedicated latch attributes the pass recognizes as guards.  The generic
+#: ``self._lock`` facade pattern (one RLock around a whole public API, as in
+#: ``core.database``) is deliberately out of scope — its helpers run under
+#: the caller's lock by construction, which a per-field pass cannot see.
+LATCH_ATTRS = ("_latch", "_store_lock", "_mutex", "_cond")
+
+_LOCK_FACTORY_NAMES = ("Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore")
+
+
+def _is_self_attr(node: pyast.AST, attr: Optional[str] = None) -> bool:
+    return (
+        isinstance(node, pyast.Attribute)
+        and isinstance(node.value, pyast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def _with_latch_name(stmt: pyast.With) -> Optional[str]:
+    """The guard attribute if this is ``with self.<latch>[...]:``."""
+    for item in stmt.items:
+        expr = item.context_expr
+        if isinstance(expr, pyast.Call):  # e.g. self._cond.wait_for(...)
+            expr = expr.func
+        if _is_self_attr(expr) and expr.attr in LATCH_ATTRS:
+            return expr.attr
+    return None
+
+
+class _MethodScan(pyast.NodeVisitor):
+    """Field accesses and intra-class calls, split by latched/bare context."""
+
+    def __init__(self):
+        self.latched_accesses: Dict[str, int] = {}  # field -> first line
+        self.bare_accesses: Dict[str, int] = {}
+        self.latched_calls: Set[str] = set()
+        self.bare_calls: Set[str] = set()
+        self._depth = 0
+
+    def visit_With(self, node: pyast.With) -> None:
+        guarded = _with_latch_name(node) is not None
+        if guarded:
+            self._depth += 1
+        self.generic_visit(node)
+        if guarded:
+            self._depth -= 1
+
+    def visit_Attribute(self, node: pyast.Attribute) -> None:
+        if _is_self_attr(node):
+            target = (
+                self.latched_accesses if self._depth > 0 else self.bare_accesses
+            )
+            target.setdefault(node.attr, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: pyast.Call) -> None:
+        if _is_self_attr(node.func):
+            calls = self.latched_calls if self._depth > 0 else self.bare_calls
+            calls.add(node.func.attr)
+            # The method name itself is a call, not a field access: visit
+            # only the arguments.
+            for arg in node.args:
+                self.visit(arg)
+            for kw in node.keywords:
+                self.visit(kw.value)
+            return
+        self.generic_visit(node)
+
+
+def check_latch_coverage(
+    tree: pyast.AST, path: str = "<module>"
+) -> List[Finding]:
+    """Flag fields latched in one method but accessed bare in another.
+
+    For each class: the field universe is what ``__init__`` assigns to
+    ``self``; a field is *guarded* when any method touches it inside a
+    ``with self.<latch>`` block for a latch in :data:`LATCH_ATTRS`.  A bare
+    access to a guarded field from a different method is reported unless
+    that method (a) is ``__init__`` (no concurrent sharing yet), (b) follows
+    the ``*_locked`` caller-holds-the-latch naming convention, or (c) is
+    only ever called from latched context within the class (computed as a
+    fixpoint over the intra-class call graph).
+    """
+    findings: List[Finding] = []
+    for node in pyast.walk(tree):
+        if not isinstance(node, pyast.ClassDef):
+            continue
+        findings.extend(_check_class(node, path))
+    return findings
+
+
+def _check_class(cls: pyast.ClassDef, path: str) -> List[Finding]:
+    methods: Dict[str, pyast.FunctionDef] = {
+        item.name: item
+        for item in cls.body
+        if isinstance(item, (pyast.FunctionDef, pyast.AsyncFunctionDef))
+    }
+    init = methods.get("__init__")
+    if init is None:
+        return []
+    fields: Set[str] = set()
+    lock_fields: Set[str] = set()
+    for stmt in pyast.walk(init):
+        if isinstance(stmt, (pyast.Assign, pyast.AnnAssign, pyast.AugAssign)):
+            targets = stmt.targets if isinstance(stmt, pyast.Assign) else [stmt.target]
+            for target in targets:
+                if _is_self_attr(target):
+                    fields.add(target.attr)
+                    value = stmt.value
+                    if (
+                        isinstance(value, pyast.Call)
+                        and isinstance(value.func, pyast.Attribute)
+                        and value.func.attr in _LOCK_FACTORY_NAMES
+                    ):
+                        lock_fields.add(target.attr)
+    lock_fields.update(attr for attr in fields if attr in LATCH_ATTRS)
+
+    scans: Dict[str, _MethodScan] = {}
+    for name, method in methods.items():
+        if name == "__init__":
+            continue
+        scan = _MethodScan()
+        for stmt in method.body:
+            scan.visit(stmt)
+        scans[name] = scan
+
+    # Fixpoint: a method runs latched if it follows the *_locked convention,
+    # or every intra-class call to it comes from latched context.
+    held: Set[str] = {name for name in scans if name.endswith("_locked")}
+    changed = True
+    while changed:
+        changed = False
+        callers: Dict[str, List[Tuple[str, bool]]] = defaultdict(list)
+        for caller, scan in scans.items():
+            caller_held = caller in held
+            for callee in scan.latched_calls:
+                callers[callee].append((caller, True))
+            for callee in scan.bare_calls:
+                callers[callee].append((caller, caller_held))
+        for name in scans:
+            if name in held or name not in callers:
+                continue
+            if all(latched for _, latched in callers[name]):
+                held.add(name)
+                changed = True
+
+    guarded: Dict[str, str] = {}  # field -> a method that latches it
+    for name, scan in scans.items():
+        for attr in scan.latched_accesses:
+            if attr in fields and attr not in lock_fields:
+                guarded.setdefault(attr, name)
+
+    findings: List[Finding] = []
+    for name, scan in scans.items():
+        if name in held:
+            continue
+        for attr, lineno in sorted(scan.bare_accesses.items(), key=lambda i: i[1]):
+            if attr not in guarded or attr in lock_fields:
+                continue
+            findings.append(
+                Finding(
+                    LATCH_RULE,
+                    WARNING,
+                    f"{cls.name}.{name} accesses self.{attr} without the "
+                    f"latch that guards it in {cls.name}.{guarded[attr]} — "
+                    "either take the latch, rename the method with a "
+                    "'_locked' suffix if callers hold it, or suppress with "
+                    "'# lint: allow(latch-coverage)'",
+                    source=path,
+                    line=lineno,
+                )
+            )
+    return findings
+
+
+def check_latch_coverage_source(source: str, path: str = "<module>") -> List[Finding]:
+    """Convenience wrapper: parse and scan one Python source string."""
+    return check_latch_coverage(pyast.parse(source), path)

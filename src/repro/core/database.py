@@ -45,6 +45,7 @@ from repro.core.plancache import (
     normalize_sql,
 )
 from repro.core.querycache import QueryCache, referenced_tables
+from repro.txn import trace as schedule_trace
 from repro.core.result import Result
 from repro.core.types import Column, DataType, Row, Schema
 from repro.exec.compile import evaluator
@@ -110,6 +111,7 @@ class Database:
         checkpoint_interval: int = 512,
         fault_injector=None,
         verify_plans: Optional[bool] = None,
+        record_schedule: Optional[bool] = None,
     ):
         if engine not in (VOLCANO, VECTORIZED):
             raise ReproError(f"unknown engine {engine!r}")
@@ -182,6 +184,17 @@ class Database:
         if verify_plans is None:
             verify_plans = os.environ.get("REPRO_VERIFY_PLANS", "") not in ("", "0")
         self.verify_plans = verify_plans
+        # Concurrency-sanitizer schedule recording: statement transactions
+        # log begin/read/write/commit/abort events (reads at table, writes
+        # at (table, rid) granularity) for `python -m repro sanitize`.
+        # Opt-in per Database, or suite-wide via REPRO_SANITIZE=1.
+        if record_schedule is None:
+            record_schedule = schedule_trace.sanitize_enabled()
+        self.schedule_recorder: Optional[schedule_trace.ScheduleRecorder] = (
+            schedule_trace.ScheduleRecorder(scheme="database")
+            if record_schedule
+            else None
+        )
         self.last_stats = StatementStats()
         self.result_cache: Optional[QueryCache] = (
             QueryCache(result_cache_size) if result_cache_size > 0 else None
@@ -248,6 +261,8 @@ class Database:
                     self._options_key(),
                 )
                 if entry is not None:
+                    if self.schedule_recorder is not None:
+                        self._record_schedule_reads(entry.tables)
                     rows = self._run_physical(entry.physical, engine_used)
                     result = Result(
                         columns=list(entry.columns), rows=rows, rowcount=len(rows)
@@ -456,6 +471,8 @@ class Database:
     def _execute_select(
         self, statement: ast.Statement, engine: str, normalized: Optional[str] = None
     ) -> Result:
+        if self.schedule_recorder is not None:
+            self._record_schedule_reads(referenced_tables(statement))
         logical_plan = self._binder.bind_query(statement)
         optimizer = Optimizer(
             self.catalog, self.cost_model, self.optimizer_options, verify=self.verify_plans
@@ -653,18 +670,41 @@ class Database:
         else:
             self._commit()
 
+    def _record_schedule(self, op: str, key=None) -> None:
+        """Log one sanitizer event for the active statement transaction.
+
+        Reads are recorded at table granularity, writes at ``(table, rid)``;
+        autocommit reads outside any transaction are not recorded — only
+        transactional history feeds the serializability checker.
+        """
+        if self.schedule_recorder is not None and self._active_txn is not None:
+            self.schedule_recorder.record(self._active_txn, op, key=key)
+
+    def _record_schedule_reads(self, tables) -> None:
+        if (
+            self.schedule_recorder is not None
+            and self._active_txn is not None
+            and tables
+        ):
+            for table in sorted(tables):
+                self.schedule_recorder.record(
+                    self._active_txn, schedule_trace.READ, key=table
+                )
+
     def _begin(self) -> None:
         if self._active_txn is not None:
             raise TransactionError("a transaction is already active")
         self._txn_id += 1
         self._active_txn = self._txn_id
         self._undo_log = []
+        self._record_schedule(schedule_trace.BEGIN)
         if self._wal_enabled:
             self.wal.append(self._active_txn, LogRecordType.BEGIN)
 
     def _commit(self) -> None:
         if self._active_txn is None:
             raise TransactionError("no active transaction")
+        self._record_schedule(schedule_trace.COMMIT)
         if self._wal_enabled:
             self.wal.append(self._active_txn, LogRecordType.COMMIT)
             self.faults.hit("commit.appended")
@@ -683,6 +723,7 @@ class Database:
     def _rollback(self) -> None:
         if self._active_txn is None:
             raise TransactionError("no active transaction")
+        self._record_schedule(schedule_trace.ABORT)
         # Logical undo.  Rows can move (delete+reinsert, oversized update),
         # so track where each original rid lives now while unwinding.
         remap: Dict[Any, Any] = {}
@@ -858,6 +899,11 @@ class Database:
         """
         if self._active_txn is None:
             raise TransactionError("row writes require an active transaction")
+        if self.schedule_recorder is not None:
+            write_rid = rid[1] if op == "update" else rid
+            self._record_schedule(
+                schedule_trace.WRITE, key=(table_name, self._wal_rid(write_rid))
+            )
         if self.result_cache is not None:
             self.result_cache.invalidate_tables([table_name])
         self._undo_log.append((table_name, op, rid, before))

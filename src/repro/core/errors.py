@@ -70,7 +70,50 @@ class TransactionAborted(TransactionError):
 
 
 class DeadlockError(TransactionAborted):
-    """The transaction was chosen as a deadlock victim."""
+    """The transaction was chosen as a deadlock victim.
+
+    Attributes name the actual conflict so sanitizer findings and user
+    errors can report it: ``txn_id`` (the victim), ``key`` (the resource it
+    was acquiring), ``held_keys`` (what it already held), and ``cycle`` (the
+    waits-for cycle ``[victim, ..., victim]`` it would have closed).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        txn_id: "int | None" = None,
+        key=None,
+        held_keys=(),
+        cycle=(),
+    ):
+        super().__init__(message)
+        self.txn_id = txn_id
+        self.key = key
+        self.held_keys = set(held_keys)
+        self.cycle = list(cycle)
+
+
+class LockTimeoutError(TransactionAborted):
+    """A lock wait exceeded the manager's ``wait_timeout``.
+
+    Carries the same conflict metadata as :class:`DeadlockError`:
+    ``txn_id``, ``key`` (the resource waited on), ``held_keys``, and
+    ``blockers`` (the transactions that held it when the wait gave up).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        txn_id: "int | None" = None,
+        key=None,
+        held_keys=(),
+        blockers=(),
+    ):
+        super().__init__(message)
+        self.txn_id = txn_id
+        self.key = key
+        self.held_keys = set(held_keys)
+        self.blockers = list(blockers)
 
 
 class WriteConflictError(TransactionAborted):

@@ -4,6 +4,11 @@ Three interchangeable concurrency-control schemes over a keyed store back
 experiment E6 ("one gazillion TAs/sec"): a single global lock (serial), strict
 two-phase locking with deadlock detection, and multi-version concurrency
 control with first-updater-wins conflict handling.
+
+The layer is sanitizer-instrumented: every scheme can record its schedule
+(:mod:`repro.txn.trace`) for the serializability and lock-order analyses in
+:mod:`repro.analyze.concurrency`, and :mod:`repro.txn.fuzz` drives seeded
+deterministic interleavings through the real schemes (E13).
 """
 
 from repro.txn.locks import LockManager, LockMode
@@ -16,6 +21,12 @@ from repro.txn.schemes import (
     make_scheme,
     scheme_names,
 )
+from repro.txn.trace import (
+    ScheduleEvent,
+    ScheduleRecorder,
+    load_trace,
+    sanitize_enabled,
+)
 
 __all__ = [
     "LockManager",
@@ -27,4 +38,8 @@ __all__ = [
     "TransactionHandle",
     "make_scheme",
     "scheme_names",
+    "ScheduleEvent",
+    "ScheduleRecorder",
+    "load_trace",
+    "sanitize_enabled",
 ]

@@ -1,0 +1,258 @@
+"""Deterministic schedule fuzzer: seeded interleavings, no threads.
+
+In the spirit of the crash matrix (seeded fault sites instead of real power
+cuts), the fuzzer explores transaction interleavings *deterministically*: a
+single driver thread owns a seeded RNG and, at every step, picks which
+transaction advances by one operation.  A 2PL request that would block is
+deferred instead of parking the driver (``LockManager.would_block``), so
+the same seed always yields the same schedule — a failing seed is a
+repro, not a flake.
+
+Each interleaving runs a small multi-transaction workload through a real
+scheme with schedule recording on; the recorded trace feeds the
+serializability checker (:mod:`repro.analyze.concurrency`).  The contract
+asserted by ``tests/txn/fuzz_schedules.py`` and ``python -m repro sanitize
+--fuzz``:
+
+* ``global-lock`` and ``2pl`` schedules are conflict-serializable, with no
+  dirty reads and no lock-order inversions;
+* ``mvcc`` schedules show *only* the documented snapshot-isolation anomaly
+  (write skew) — never lost updates, dirty reads, or non-repeatable reads.
+
+Transactions touch their keys in sorted order (the lock-ordering discipline
+the stress tests also follow), so a lock-order finding on a real scheme is
+a genuine bug, not workload noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import TransactionError
+from repro.txn.locks import LockMode
+from repro.txn.schemes import ConcurrencyScheme, TransactionHandle, make_scheme
+from repro.txn.trace import ScheduleEvent
+
+#: Per-key access patterns a transaction program can use.
+ACTIONS = ("read", "write", "rmw")
+
+
+@dataclass
+class TxnProgram:
+    """One transaction's scripted operations: ``[("read"|"write", key), ...]``."""
+
+    ops: List[Tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class FuzzOutcome:
+    """One interleaving's result: the trace plus commit/abort accounting."""
+
+    scheme: str
+    seed: int
+    events: List[ScheduleEvent]
+    committed: int = 0
+    aborted: int = 0
+
+
+def generate_programs(
+    rng: random.Random,
+    txns: int = 3,
+    keys: int = 3,
+    ops_per_txn: int = 3,
+) -> List[TxnProgram]:
+    """Small read/write/read-modify-write programs over a shared key space.
+
+    Keys within a transaction are visited in sorted order — consistent
+    global lock ordering — and the mix is biased so that overlapping
+    read-sets with disjoint write-sets (the write-skew shape) appear often.
+    """
+    programs = []
+    for _ in range(txns):
+        chosen = sorted(rng.sample(range(keys), min(ops_per_txn, keys)))
+        ops: List[Tuple[str, int]] = []
+        for key in chosen:
+            action = rng.choice(ACTIONS)
+            if action in ("read", "rmw"):
+                ops.append(("read", key))
+            if action in ("write", "rmw"):
+                ops.append(("write", key))
+        programs.append(TxnProgram(ops))
+    return programs
+
+
+class _Runner:
+    """Driver-side state for one scripted transaction."""
+
+    __slots__ = ("program", "txn", "pc", "done", "committed")
+
+    def __init__(self, program: TxnProgram):
+        self.program = program
+        self.txn: Optional[TransactionHandle] = None
+        self.pc = 0
+        self.done = False
+        self.committed = False
+
+    def next_op(self) -> Optional[Tuple[str, int]]:
+        if self.pc < len(self.program.ops):
+            return self.program.ops[self.pc]
+        return None
+
+
+def run_interleaving(
+    scheme: ConcurrencyScheme,
+    programs: Sequence[TxnProgram],
+    seed: int,
+) -> FuzzOutcome:
+    """Drive ``programs`` through ``scheme`` under one seeded interleaving.
+
+    The scheme must have been constructed with ``record_schedule=True``.
+    Serial schemes (``global-lock``) run transactions to completion in a
+    seeded order; lock-based and versioned schemes interleave at operation
+    granularity.  Driver-detected deadlocks (every unfinished transaction
+    would block) abort a seeded victim, mirroring the lock manager's
+    detect-and-abort policy without wall-clock waits.
+    """
+    if scheme.recorder is None:
+        raise ValueError("run_interleaving needs a scheme with record_schedule=True")
+    rng = random.Random(seed)
+    outcome = FuzzOutcome(scheme=scheme.name, seed=seed, events=[])
+
+    if scheme.name == "global-lock":
+        order = list(range(len(programs)))
+        rng.shuffle(order)
+        for index in order:
+            runner = _Runner(programs[index])
+            runner.txn = scheme.begin()
+            for op, key in runner.program.ops:
+                if op == "read":
+                    scheme.read(runner.txn, key)
+                else:
+                    value = scheme.read(runner.txn, key)
+                    scheme.write(runner.txn, key, (value or 0) + 1)
+            scheme.commit(runner.txn)
+            outcome.committed += 1
+        outcome.events = scheme.recorder.events()
+        return outcome
+
+    runners = [_Runner(program) for program in programs]
+    lock_based = hasattr(scheme, "locks")
+
+    def blocked(runner: _Runner) -> bool:
+        if not lock_based or runner.txn is None:
+            return False
+        op = runner.next_op()
+        if op is None:
+            return False  # commit never blocks under strict 2PL
+        mode = LockMode.SHARED if op[0] == "read" else LockMode.EXCLUSIVE
+        return scheme.locks.would_block(runner.txn.txn_id, op[1], mode)
+
+    while True:
+        pending = [r for r in runners if not r.done]
+        if not pending:
+            break
+        runnable = [r for r in pending if not blocked(r)]
+        if not runnable:
+            # Driver-level deadlock: every remaining transaction waits on
+            # another.  Abort a seeded victim and let the rest proceed.
+            victim = rng.choice(pending)
+            scheme.abort(victim.txn)
+            victim.done = True
+            outcome.aborted += 1
+            continue
+        runner = rng.choice(runnable)
+        if runner.txn is None:
+            runner.txn = scheme.begin()
+            continue
+        op = runner.next_op()
+        try:
+            if op is None:
+                scheme.commit(runner.txn)
+                runner.done = True
+                runner.committed = True
+                outcome.committed += 1
+            elif op[0] == "read":
+                scheme.read(runner.txn, op[1])
+                runner.pc += 1
+            else:
+                value = scheme.read(runner.txn, op[1])
+                scheme.write(runner.txn, op[1], (value or 0) + 1)
+                runner.pc += 1
+        except TransactionError:
+            # Write conflict (MVCC) or a lock-manager abort: the scheme
+            # already rolled the transaction back.
+            if runner.txn.active:
+                scheme.abort(runner.txn)
+            runner.done = True
+            outcome.aborted += 1
+    outcome.events = scheme.recorder.events()
+    return outcome
+
+
+def fuzz_one(
+    scheme_name: str,
+    seed: int,
+    txns: int = 3,
+    keys: int = 3,
+    ops_per_txn: int = 3,
+    scheme: Optional[ConcurrencyScheme] = None,
+    initial: int = 0,
+) -> FuzzOutcome:
+    """Build a fresh recorded scheme, one seeded workload, one interleaving."""
+    if scheme is None:
+        scheme = make_scheme(scheme_name, record_schedule=True)
+    rng = random.Random(seed * 1_000_003 + 17)
+    programs = generate_programs(rng, txns=txns, keys=keys, ops_per_txn=ops_per_txn)
+    scheme.load({key: initial for key in range(keys)})
+    scheme.recorder.clear()  # the load transaction is setup, not workload
+    return run_interleaving(scheme, programs, seed)
+
+
+def expected_anomalies(scheme_name: str) -> Tuple[str, ...]:
+    """Anomaly rule ids a *correct* implementation may legitimately show."""
+    from repro.analyze.concurrency import ANOMALY_WRITE_SKEW
+
+    if scheme_name == "mvcc":
+        return (ANOMALY_WRITE_SKEW,)
+    return ()
+
+
+def fuzz_summary(
+    scheme_name: str,
+    seeds: Sequence[int],
+    txns: int = 3,
+    keys: int = 3,
+    ops_per_txn: int = 3,
+) -> Dict[str, object]:
+    """Run many seeds; classify findings against the scheme's contract.
+
+    Returns counts plus the list of ``(seed, finding)`` contract violations
+    (anomalies outside :func:`expected_anomalies`, dirty reads, lock-order
+    inversions).
+    """
+    from repro.analyze.concurrency import check_schedule
+
+    allowed = set(expected_anomalies(scheme_name))
+    witnessed: Dict[str, int] = {}
+    violations: List[Tuple[int, str]] = []
+    for seed in seeds:
+        outcome = fuzz_one(
+            scheme_name, seed, txns=txns, keys=keys, ops_per_txn=ops_per_txn
+        )
+        report = check_schedule(
+            outcome.events, scheme=scheme_name, source=f"seed:{seed}"
+        )
+        for finding in report.findings:
+            if finding.severity == "info":
+                continue
+            witnessed[finding.rule] = witnessed.get(finding.rule, 0) + 1
+            if finding.rule not in allowed:
+                violations.append((seed, finding.format()))
+    return {
+        "scheme": scheme_name,
+        "seeds": len(seeds),
+        "witnessed": witnessed,
+        "violations": violations,
+    }

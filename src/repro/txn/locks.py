@@ -5,9 +5,18 @@ edges in a waits-for graph; before sleeping (and periodically while waiting)
 the requester runs a cycle check and aborts itself with
 :class:`~repro.core.errors.DeadlockError` if it closes a cycle — a
 detect-and-abort-self policy, which keeps victims deterministic for tests.
+The exception carries the victim id, the contested key, the victim's held
+keys, and the waits-for cycle, so sanitizer findings and user errors can
+name the actual conflict instead of just "deadlock".
 
 Lock upgrades (S → X by the sole shared holder) are supported, since
 read-modify-write is the OLTP workload's bread and butter.
+
+When a :class:`~repro.txn.trace.ScheduleRecorder` is attached, every grant
+and early (single-key) release is logged from inside the lock table's own
+latch, so event order matches grant order — the input the lock-order
+inversion analysis needs.  End-of-transaction ``release_all`` logs nothing;
+the scheme's COMMIT/ABORT event already marks the release point.
 """
 
 from __future__ import annotations
@@ -17,7 +26,8 @@ import threading
 from collections import defaultdict
 from typing import Dict, Hashable, List, Optional, Set
 
-from repro.core.errors import DeadlockError, TransactionError
+from repro.core.errors import DeadlockError, LockTimeoutError
+from repro.txn.trace import LOCK, UNLOCK, ScheduleRecorder
 
 
 class LockMode(enum.Enum):
@@ -43,12 +53,13 @@ class LockManager:
         self._held: Dict[int, Set[Hashable]] = defaultdict(set)
         self._cond = threading.Condition()
         self.deadlocks_detected = 0
+        self.recorder: Optional[ScheduleRecorder] = None
 
     # -- public API -----------------------------------------------------------
 
     def acquire(self, txn_id: int, key: Hashable, mode: LockMode) -> None:
         """Block until the lock is granted; raises DeadlockError on cycles
-        and TransactionError when the wait exceeds ``wait_timeout``."""
+        and LockTimeoutError when the wait exceeds ``wait_timeout``."""
         waited = 0.0
         step = 0.05
         with self._cond:
@@ -63,21 +74,68 @@ class LockManager:
                     self._waits_for.pop(txn_id, None)
                     return
                 self._waits_for[txn_id] = set(blockers)
-                if self._in_cycle(txn_id):
+                cycle = self._find_cycle(txn_id)
+                if cycle is not None:
                     self._waits_for.pop(txn_id, None)
                     self.deadlocks_detected += 1
                     self._cond.notify_all()
-                    raise DeadlockError(f"txn {txn_id} aborted: deadlock on {key!r}")
+                    raise DeadlockError(
+                        f"txn {txn_id} aborted: deadlock on {key!r} "
+                        f"(cycle {' -> '.join(str(t) for t in cycle)}; "
+                        f"held {sorted(map(repr, self._held.get(txn_id, ())))})",
+                        txn_id=txn_id,
+                        key=key,
+                        held_keys=set(self._held.get(txn_id, ())),
+                        cycle=cycle,
+                    )
                 if not self._cond.wait(timeout=step):
                     waited += step
                     if waited >= self.wait_timeout:
                         self._waits_for.pop(txn_id, None)
-                        raise TransactionError(
-                            f"txn {txn_id} timed out waiting for {key!r}"
+                        raise LockTimeoutError(
+                            f"txn {txn_id} timed out waiting for {key!r} "
+                            f"(held by {sorted(blockers)}; "
+                            f"held {sorted(map(repr, self._held.get(txn_id, ())))})",
+                            txn_id=txn_id,
+                            key=key,
+                            held_keys=set(self._held.get(txn_id, ())),
+                            blockers=sorted(blockers),
                         )
 
+    def would_block(self, txn_id: int, key: Hashable, mode: LockMode) -> bool:
+        """Whether ``acquire`` would have to wait right now.
+
+        Used by the deterministic schedule fuzzer to interleave transactions
+        from a single driver thread: a request that would block is deferred
+        instead of deadlocking the driver."""
+        with self._cond:
+            state = self._locks.get(key)
+            if state is None:
+                return False
+            return bool(self._blockers(state, txn_id, mode))
+
+    def release(self, txn_id: int, key: Hashable) -> None:
+        """Release one lock early (non-strict schemes; also used by tests to
+        build deliberately broken 2PL variants)."""
+        with self._cond:
+            state = self._locks.get(key)
+            if state is not None and txn_id in state.holders:
+                del state.holders[txn_id]
+                if not state.holders:
+                    del self._locks[key]
+                self._held[txn_id].discard(key)
+                if self.recorder is not None:
+                    self.recorder.record(txn_id, UNLOCK, key)
+            self._cond.notify_all()
+
     def release_all(self, txn_id: int) -> None:
-        """Release every lock held by a transaction (commit/abort)."""
+        """Release every lock held by a transaction (commit/abort).
+
+        Deliberately records no UNLOCK events: end-of-transaction release
+        is implied by the COMMIT/ABORT event the scheme logs, and the
+        lock-order analyzer clears its held-set there — per-key events
+        here would double the trace volume of every 2PL transaction.
+        """
         with self._cond:
             for key in list(self._held.get(txn_id, ())):
                 state = self._locks.get(key)
@@ -123,19 +181,31 @@ class LockManager:
         current = state.holders.get(txn_id)
         if current is LockMode.EXCLUSIVE:
             return  # X subsumes everything
-        state.holders[txn_id] = mode if current is None or mode is LockMode.EXCLUSIVE else current
+        granted = mode if current is None or mode is LockMode.EXCLUSIVE else current
+        state.holders[txn_id] = granted
         self._held[txn_id].add(key)
+        rec = self.recorder
+        if rec is not None and granted is not current:
+            rec.buffer.append((txn_id, LOCK, key, granted.value))
 
-    def _in_cycle(self, start: int) -> bool:
-        """DFS from ``start`` through the waits-for graph looking for start."""
-        stack = list(self._waits_for.get(start, ()))
+    def _find_cycle(self, start: int) -> Optional[List[int]]:
+        """DFS from ``start`` through the waits-for graph; returns the cycle
+        path ``[start, ..., start]`` if one closes, else None."""
+        path: List[int] = [start]
         seen: Set[int] = set()
-        while stack:
-            node = stack.pop()
-            if node == start:
-                return True
-            if node in seen:
-                continue
-            seen.add(node)
-            stack.extend(self._waits_for.get(node, ()))
-        return False
+
+        def visit(node: int) -> Optional[List[int]]:
+            for nxt in self._waits_for.get(node, ()):
+                if nxt == start:
+                    return path + [start]
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                path.append(nxt)
+                found = visit(nxt)
+                if found is not None:
+                    return found
+                path.pop()
+            return None
+
+        return visit(start)

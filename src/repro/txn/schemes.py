@@ -12,6 +12,19 @@ swap them freely:
 
 Each scheme counts commits/aborts so benchmarks can report abort rates next
 to throughput.
+
+Every scheme can record its schedule for the concurrency sanitizer
+(:mod:`repro.analyze.concurrency`): pass ``record_schedule=True`` (or set
+``REPRO_SANITIZE=1``) and the scheme logs its events through a
+:class:`~repro.txn.trace.ScheduleRecorder`.  Each append happens at a point
+where some lock the scheme already holds orders it against conflicting
+operations — inside the latched section for global-lock and MVCC, under the
+freshly-granted S/X lock for 2PL — so trace order equals effect order even
+under free-running threads, with no recorder-side serialization.  2PL
+traces are deliberately lean (read/write/commit/abort only): BEGIN and
+per-key LOCK/UNLOCK events would say nothing the first access and the
+COMMIT don't already say, and the analyzer reconstructs them
+(``implicit_locks``).
 """
 
 from __future__ import annotations
@@ -23,11 +36,16 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 from repro.core.errors import TransactionError, WriteConflictError
 from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
 from repro.txn.locks import LockManager, LockMode
+from repro.txn import trace
+from repro.txn.trace import COMMIT, READ, WRITE, ScheduleRecorder, sanitize_enabled
 
 _MISSING = object()
 
 #: Pseudo-table name used for key-value records in a scheme's WAL.
 KV_TABLE = "__kv__"
+
+#: Lock-event key used for :class:`GlobalLockScheme`'s single mutex.
+GLOBAL_KEY = "__global__"
 
 
 @dataclass
@@ -50,12 +68,17 @@ class ConcurrencyScheme:
 
     name = "abstract"
 
-    def __init__(self):
+    def __init__(self, record_schedule: Optional[bool] = None):
         self._next_txn = 0
         self._id_lock = threading.Lock()
         self.commits = 0
         self.aborts = 0
         self.wal: Optional[WriteAheadLog] = None
+        if record_schedule is None:
+            record_schedule = sanitize_enabled()
+        self.recorder: Optional[ScheduleRecorder] = (
+            ScheduleRecorder(scheme=self.name) if record_schedule else None
+        )
 
     def attach_wal(
         self, wal: WriteAheadLog, existing: Iterable[LogRecord] = ()
@@ -122,17 +145,23 @@ class GlobalLockScheme(ConcurrencyScheme):
 
     name = "global-lock"
 
-    def __init__(self):
-        super().__init__()
+    def __init__(self, record_schedule: Optional[bool] = None):
+        super().__init__(record_schedule=record_schedule)
         self._mutex = threading.Lock()
         self._store: Dict[Hashable, Any] = {}
 
     def begin(self) -> TransactionHandle:
         self._mutex.acquire()
-        return TransactionHandle(self._new_txn_id())
+        txn = TransactionHandle(self._new_txn_id())
+        if self.recorder is not None:
+            self.recorder.record(txn.txn_id, trace.BEGIN)
+            self.recorder.record(txn.txn_id, trace.LOCK, GLOBAL_KEY, mode="X")
+        return txn
 
     def read(self, txn: TransactionHandle, key: Hashable) -> Any:
         txn._require_active()
+        if self.recorder is not None:
+            self.recorder.record(txn.txn_id, trace.READ, key)
         return self._store.get(key)
 
     def write(self, txn: TransactionHandle, key: Hashable, value: Any) -> None:
@@ -140,12 +169,17 @@ class GlobalLockScheme(ConcurrencyScheme):
         txn.undo.append((key, self._store.get(key, _MISSING)))
         txn.write_set[key] = value
         self._store[key] = value
+        if self.recorder is not None:
+            self.recorder.record(txn.txn_id, trace.WRITE, key)
 
     def commit(self, txn: TransactionHandle) -> None:
         txn._require_active()
         self._log_commit(txn)
         txn.active = False
         self.commits += 1
+        if self.recorder is not None:
+            self.recorder.record(txn.txn_id, trace.COMMIT)
+            self.recorder.record(txn.txn_id, trace.UNLOCK, GLOBAL_KEY)
         self._mutex.release()
 
     def abort(self, txn: TransactionHandle) -> None:
@@ -157,6 +191,9 @@ class GlobalLockScheme(ConcurrencyScheme):
                 self._store[key] = old
         txn.active = False
         self.aborts += 1
+        if self.recorder is not None:
+            self.recorder.record(txn.txn_id, trace.ABORT)
+            self.recorder.record(txn.txn_id, trace.UNLOCK, GLOBAL_KEY)
         self._mutex.release()
 
 
@@ -165,13 +202,32 @@ class TwoPLScheme(ConcurrencyScheme):
 
     name = "2pl"
 
-    def __init__(self, wait_timeout: float = 10.0):
-        super().__init__()
+    def __init__(
+        self, wait_timeout: float = 10.0, record_schedule: Optional[bool] = None
+    ):
+        super().__init__(record_schedule=record_schedule)
         self.locks = LockManager(wait_timeout=wait_timeout)
+        # The scheme's own trace carries no per-key LOCK events: under
+        # strict 2PL the first READ/WRITE of a key *is* its lock
+        # acquisition, and the lock-order analyzer derives exactly that
+        # (implicit_locks in repro.analyze.concurrency).  Recording both
+        # would double the trace volume of every transaction.  Attach a
+        # recorder to ``self.locks`` directly for lock-granularity traces.
+        #
+        # The bound append shaves two attribute lookups per event off the
+        # hot path (clear() empties the buffer in place, so the binding
+        # stays valid for the recorder's lifetime).
+        self._rec_append = (
+            self.recorder.buffer.append if self.recorder is not None else None
+        )
         self._store: Dict[Hashable, Any] = {}
         self._store_lock = threading.Lock()
 
     def begin(self) -> TransactionHandle:
+        # No BEGIN event: 2PL reads take no snapshot, so the begin
+        # timestamp means nothing to the checker (transaction membership
+        # comes from any event) and the first lock acquisition marks the
+        # transaction's real entry into the contention graph.
         return TransactionHandle(self._new_txn_id())
 
     def read(self, txn: TransactionHandle, key: Hashable) -> Any:
@@ -181,6 +237,14 @@ class TwoPLScheme(ConcurrencyScheme):
         except TransactionError:
             self.abort(txn)
             raise
+        # Record outside the store latch: the S lock just acquired is what
+        # orders this read against conflicting writes (they hold X until
+        # commit), so the append needs no extra serialization — and keeping
+        # it out of the critical section keeps recording off the other
+        # threads' clock.  Inlined: this is the scheme's hottest path.
+        append = self._rec_append
+        if append is not None:
+            append((txn.txn_id, READ, key, None))
         with self._store_lock:
             return self._store.get(key)
 
@@ -191,6 +255,9 @@ class TwoPLScheme(ConcurrencyScheme):
         except TransactionError:
             self.abort(txn)
             raise
+        append = self._rec_append
+        if append is not None:  # outside the latch: the X lock orders this write
+            append((txn.txn_id, WRITE, key, None))
         with self._store_lock:
             txn.undo.append((key, self._store.get(key, _MISSING)))
             txn.write_set[key] = value
@@ -200,6 +267,11 @@ class TwoPLScheme(ConcurrencyScheme):
         txn._require_active()
         self._log_commit(txn)
         txn.active = False
+        # The commit point precedes lock release (strictness): record it
+        # before release_all lets conflicting operations proceed.
+        append = self._rec_append
+        if append is not None:
+            append((txn.txn_id, COMMIT, None, None))
         self.locks.release_all(txn.txn_id)
         self.commits += 1
 
@@ -212,6 +284,8 @@ class TwoPLScheme(ConcurrencyScheme):
                     self._store.pop(key, None)
                 else:
                     self._store[key] = old
+            if self.recorder is not None:
+                self.recorder.record(txn.txn_id, trace.ABORT)
         txn.active = False
         self.locks.release_all(txn.txn_id)
         self.aborts += 1
@@ -231,30 +305,44 @@ class MVCCScheme(ConcurrencyScheme):
     never block.  Writers take a per-key write lock until commit and abort
     with :class:`WriteConflictError` if a concurrent transaction committed a
     newer version after their snapshot (first-updater-wins).
+
+    Latching discipline: ``self._latch`` guards the version chains, the
+    write-lock table, the commit clock, *and* the transaction-state
+    transitions (active → committed/aborted).  The active check runs inside
+    the latch together with the action it guards — a check outside would be
+    a check-then-act race letting two threads commit the same handle twice.
     """
 
     name = "mvcc"
 
-    def __init__(self):
-        super().__init__()
+    def __init__(self, record_schedule: Optional[bool] = None):
+        super().__init__(record_schedule=record_schedule)
         self._versions: Dict[Hashable, List[_Version]] = {}
         self._write_locks: Dict[Hashable, int] = {}
         self._latch = threading.Lock()
         self._clock = 0
         self.write_conflicts = 0
 
-    def _now(self) -> int:
-        return self._clock
-
     def begin(self) -> TransactionHandle:
+        txn_id = self._new_txn_id()
         with self._latch:
-            return TransactionHandle(self._new_txn_id(), snapshot_ts=self._clock)
+            # Snapshot allocation and the begin event land under the same
+            # latch acquisition as commit-timestamp bumps, so the recorded
+            # begin/commit order matches snapshot visibility.
+            txn = TransactionHandle(txn_id, snapshot_ts=self._clock)
+            if self.recorder is not None:
+                self.recorder.record(txn.txn_id, trace.BEGIN)
+            return txn
 
     def read(self, txn: TransactionHandle, key: Hashable) -> Any:
         txn._require_active()
         if key in txn.write_set:
+            if self.recorder is not None:
+                self.recorder.record(txn.txn_id, trace.READ, key)
             return txn.write_set[key]
         with self._latch:
+            if self.recorder is not None:
+                self.recorder.record(txn.txn_id, trace.READ, key)
             return self._visible_value(key, txn.snapshot_ts)
 
     def _visible_value(self, key: Hashable, snapshot_ts: int) -> Any:
@@ -265,8 +353,8 @@ class MVCCScheme(ConcurrencyScheme):
         return None
 
     def write(self, txn: TransactionHandle, key: Hashable, value: Any) -> None:
-        txn._require_active()
         with self._latch:
+            txn._require_active()
             owner = self._write_locks.get(key)
             if owner is not None and owner != txn.txn_id:
                 self._abort_locked(txn)
@@ -283,10 +371,15 @@ class MVCCScheme(ConcurrencyScheme):
                 )
             self._write_locks[key] = txn.txn_id
             txn.write_set[key] = value
+            if self.recorder is not None:
+                self.recorder.record(txn.txn_id, trace.WRITE, key)
 
     def commit(self, txn: TransactionHandle) -> None:
-        txn._require_active()
         with self._latch:
+            # Active check and commit under one latch acquisition: a second
+            # committer (or a racing abort) must observe the first one's
+            # state transition, never double-install versions.
+            txn._require_active()
             # Log-before-install: the commit record must be durable before
             # any reader can observe the new versions.
             self._log_commit(txn)
@@ -300,11 +393,13 @@ class MVCCScheme(ConcurrencyScheme):
                 self._write_locks.pop(key, None)
             txn.active = False
             self.commits += 1
+            if self.recorder is not None:
+                self.recorder.record(txn.txn_id, trace.COMMIT)
 
     def abort(self, txn: TransactionHandle) -> None:
-        if not txn.active:
-            return
         with self._latch:
+            if not txn.active:
+                return
             self._abort_locked(txn)
 
     def _abort_locked(self, txn: TransactionHandle) -> None:
@@ -313,6 +408,8 @@ class MVCCScheme(ConcurrencyScheme):
                 del self._write_locks[key]
         txn.active = False
         self.aborts += 1
+        if self.recorder is not None:
+            self.recorder.record(txn.txn_id, trace.ABORT)
 
     def version_count(self, key: Hashable) -> int:
         with self._latch:
@@ -320,9 +417,9 @@ class MVCCScheme(ConcurrencyScheme):
 
     def vacuum(self, before_ts: Optional[int] = None) -> int:
         """Drop versions superseded before ``before_ts`` (default: now)."""
-        cutoff = self._clock if before_ts is None else before_ts
         dropped = 0
         with self._latch:
+            cutoff = self._clock if before_ts is None else before_ts
             for key, chain in self._versions.items():
                 keep = [
                     v for v in chain if v.end_ts is None or v.end_ts > cutoff

@@ -1,0 +1,199 @@
+"""Schedule recording for the transaction layer — the sanitizer's input.
+
+A :class:`ScheduleRecorder` captures one totally-ordered log of transaction
+events (begin / read / write / lock / unlock / commit / abort), each stamped
+with a logical timestamp (``seq``).  The concurrency schemes in
+:mod:`repro.txn.schemes` emit events from *inside* their latched sections,
+so the sequence order matches the order in which effects actually landed in
+the shared store — the property the serializability checker in
+:mod:`repro.analyze.concurrency` relies on.
+
+Recording is off by default and costs one attribute check per operation
+when disabled.  Enable it per scheme (``make_scheme("2pl",
+record_schedule=True)``), per database (``Database(record_schedule=True)``),
+or globally with ``REPRO_SANITIZE=1`` in the environment.
+
+Traces serialize to JSON-lines (one header line with the scheme name, then
+one line per event) so ``python -m repro sanitize trace.jsonl`` can check a
+schedule recorded by another process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Hashable, List, Optional, Tuple
+
+#: Event kinds, in the vocabulary the checker understands.
+BEGIN = "begin"
+READ = "read"
+WRITE = "write"
+LOCK = "lock"
+UNLOCK = "unlock"
+COMMIT = "commit"
+ABORT = "abort"
+
+EVENT_OPS = (BEGIN, READ, WRITE, LOCK, UNLOCK, COMMIT, ABORT)
+
+#: Current trace file format version.
+TRACE_FORMAT = 1
+
+
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` asks for suite-wide schedule recording."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+@dataclass(frozen=True)
+class ScheduleEvent:
+    """One transaction-layer event with a logical timestamp.
+
+    ``seq`` is a recorder-local logical clock: strictly increasing, assigned
+    under the recorder's own lock.  ``mode`` carries the lock mode ("S"/"X")
+    for lock events and is ``None`` otherwise.
+    """
+
+    seq: int
+    txn_id: int
+    op: str
+    key: Optional[Hashable] = None
+    mode: Optional[str] = None
+
+    def format(self) -> str:
+        parts = [f"@{self.seq}", f"txn {self.txn_id}", self.op]
+        if self.key is not None:
+            parts.append(repr(self.key))
+        if self.mode is not None:
+            parts.append(f"[{self.mode}]")
+        return " ".join(parts)
+
+
+class ScheduleRecorder:
+    """Thread-safe, append-only event log whose order *is* the clock.
+
+    The hot path takes **no lock and draws no timestamp**: it appends one
+    ``(txn_id, op, key, mode)`` tuple to a list.  ``list.append`` is atomic
+    under the GIL (CPython's documented thread-safety), so the list's
+    append order is a valid total order; a dedicated recorder lock or
+    counter would be a fourth contended serialization point next to the
+    schemes' own latches and blows the overhead budget
+    (``benchmarks/bench_sanitize_overhead.py``).  Every ordering the
+    checker relies on (effects landing in the shared store) happens inside
+    a scheme latch, and appends made under one latch are ordered by that
+    latch.  :meth:`events` materializes :class:`ScheduleEvent` objects
+    lazily, assigning ``seq`` from the position in the buffer.
+
+    ``buffer`` is deliberately public: the schemes' hottest operations
+    inline the append — ``rec.buffer.append((txn_id, op, key, mode))`` —
+    because even one Python-level call per event is measurable against a
+    dict-backed store.  Everything else goes through :meth:`record`.
+    """
+
+    def __init__(self, scheme: str = "unknown"):
+        self.scheme = scheme
+        self.buffer: List[Tuple] = []  # (txn_id, op, key, mode)
+
+    def record(
+        self,
+        txn_id: int,
+        op: str,
+        key: Optional[Hashable] = None,
+        mode: Optional[str] = None,
+    ) -> int:
+        """Append one event; returns its (approximate) logical timestamp."""
+        self.buffer.append((txn_id, op, key, mode))
+        return len(self.buffer)
+
+    def events(self) -> List[ScheduleEvent]:
+        """Snapshot of the event log so far (safe to call while recording)."""
+        return [
+            ScheduleEvent(seq, *entry)
+            for seq, entry in enumerate(self.buffer[:], start=1)
+        ]
+
+    def clear(self) -> None:
+        # In place, so bound ``buffer.append`` references cached by the
+        # schemes' hot paths survive a clear.
+        del self.buffer[:]
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+    # -- persistence ---------------------------------------------------------
+
+    def dump(self, path: str) -> int:
+        """Write the trace as JSON-lines; returns the number of events.
+
+        Keys must be JSON-representable; tuples round-trip as tuples (they
+        are tagged), which covers the ``(table, rid)`` keys the Database
+        recorder emits.
+        """
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {"format": TRACE_FORMAT, "scheme": self.scheme}
+            handle.write(json.dumps(header) + "\n")
+            for event in events:
+                handle.write(
+                    json.dumps(
+                        {
+                            "seq": event.seq,
+                            "txn": event.txn_id,
+                            "op": event.op,
+                            "key": _encode_key(event.key),
+                            "mode": event.mode,
+                        }
+                    )
+                    + "\n"
+                )
+        return len(events)
+
+
+def _encode_key(key: Any) -> Any:
+    if isinstance(key, tuple):
+        return {"__tuple__": [_encode_key(part) for part in key]}
+    return key
+
+
+def _decode_key(key: Any) -> Any:
+    if isinstance(key, dict) and "__tuple__" in key:
+        return tuple(_decode_key(part) for part in key["__tuple__"])
+    return key
+
+
+def load_trace(path: str) -> Tuple[str, List[ScheduleEvent]]:
+    """Read a trace written by :meth:`ScheduleRecorder.dump`.
+
+    Returns ``(scheme_name, events)``.  Raises ``ValueError`` on a malformed
+    file so the CLI can report a usage error instead of a stack trace.
+    """
+    events: List[ScheduleEvent] = []
+    scheme = "unknown"
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if lineno == 1 and "format" in payload:
+                scheme = payload.get("scheme", "unknown")
+                continue
+            try:
+                op = payload["op"]
+                if op not in EVENT_OPS:
+                    raise ValueError(f"{path}:{lineno}: unknown op {op!r}")
+                events.append(
+                    ScheduleEvent(
+                        seq=int(payload["seq"]),
+                        txn_id=int(payload["txn"]),
+                        op=op,
+                        key=_decode_key(payload.get("key")),
+                        mode=payload.get("mode"),
+                    )
+                )
+            except (KeyError, TypeError) as exc:
+                raise ValueError(f"{path}:{lineno}: malformed event: {exc}") from exc
+    return scheme, events

@@ -1,0 +1,397 @@
+"""Concurrency sanitizer: serializability checker, lock order, latches, CLI."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analyze.concurrency import (
+    ANOMALY_DIRTY_READ,
+    ANOMALY_GENERIC,
+    ANOMALY_LOST_UPDATE,
+    ANOMALY_NON_REPEATABLE,
+    ANOMALY_WRITE_SKEW,
+    INCOMPLETE_RULE,
+    LOCK_ORDER_RULE,
+    RW,
+    WR,
+    WW,
+    ConflictEdge,
+    Schedule,
+    build_conflict_graph,
+    check_latch_coverage_source,
+    check_lock_order,
+    check_schedule,
+    classify_cycle,
+)
+from repro.analyze.sanitize_cli import main as sanitize_main
+from repro.txn import trace
+from repro.txn.trace import ScheduleEvent, ScheduleRecorder
+
+
+def _events(*specs):
+    """Compact schedule builder: specs are (txn, op[, key[, mode]])."""
+    out = []
+    for seq, spec in enumerate(specs, start=1):
+        txn, op = spec[0], spec[1]
+        key = spec[2] if len(spec) > 2 else None
+        mode = spec[3] if len(spec) > 3 else None
+        out.append(ScheduleEvent(seq, txn, op, key, mode))
+    return out
+
+
+B, R, W, C, A = trace.BEGIN, trace.READ, trace.WRITE, trace.COMMIT, trace.ABORT
+L, U = trace.LOCK, trace.UNLOCK
+
+
+def _rules(report):
+    return [f.rule for f in report.findings]
+
+
+class TestSerializability:
+    def test_serial_history_is_clean(self):
+        report = check_schedule(
+            _events(
+                (1, B), (1, R, "x"), (1, W, "x"), (1, C),
+                (2, B), (2, R, "x"), (2, W, "x"), (2, C),
+            ),
+            scheme="2pl",
+        )
+        assert not report.findings
+
+    def test_lost_update_cycle(self):
+        # Both read x before either writes: the second write clobbers the
+        # first without having seen it.
+        report = check_schedule(
+            _events(
+                (1, B), (2, B),
+                (1, R, "x"), (2, R, "x"),
+                (1, W, "x"), (1, C),
+                (2, W, "x"), (2, C),
+            ),
+            scheme="2pl",
+        )
+        assert _rules(report) == [ANOMALY_LOST_UPDATE]
+        message = report.findings[0].message
+        assert "txn 1" in message and "txn 2" in message and "@" in message
+
+    def test_non_repeatable_read_cycle(self):
+        # txn 1 reads x before and after txn 2's committed write.
+        report = check_schedule(
+            _events(
+                (1, B), (2, B),
+                (1, R, "x"),
+                (2, W, "x"), (2, C),
+                (1, R, "x"), (1, C),
+            ),
+            scheme="2pl",
+        )
+        assert _rules(report) == [ANOMALY_NON_REPEATABLE]
+
+    def test_dirty_read_from_aborted_writer(self):
+        # txn 2 reads txn 1's write, commits; txn 1 aborts afterwards.
+        report = check_schedule(
+            _events(
+                (1, B), (2, B),
+                (1, W, "x"),
+                (2, R, "x"), (2, C),
+                (1, A),
+            ),
+            scheme="2pl",
+        )
+        assert ANOMALY_DIRTY_READ in _rules(report)
+        assert "uncommitted write" in report.findings[0].message
+
+    def test_aborted_writer_is_not_a_conflict(self):
+        # The same history minus the read: the aborted write must not
+        # create edges against committed transactions.
+        schedule = Schedule.from_events(
+            _events(
+                (1, B), (2, B),
+                (1, W, "x"), (1, A),
+                (2, W, "x"), (2, C),
+            ),
+            scheme="2pl",
+        )
+        assert build_conflict_graph(schedule) == []
+
+    def test_write_skew_under_mvcc(self):
+        # Overlapping snapshots, disjoint writes: r1(x,y) r2(x,y) w1(x) w2(y).
+        report = check_schedule(
+            _events(
+                (1, B), (2, B),
+                (1, R, "x"), (1, R, "y"),
+                (2, R, "x"), (2, R, "y"),
+                (1, W, "x"), (2, W, "y"),
+                (1, C), (2, C),
+            ),
+            scheme="mvcc",
+        )
+        assert _rules(report) == [ANOMALY_WRITE_SKEW]
+
+    def test_mvcc_snapshot_read_is_not_non_repeatable(self):
+        # Under snapshot semantics a re-read inside one txn sees the same
+        # version even after a concurrent commit: WR must point at the
+        # *begin* snapshot, yielding a single RW edge, no cycle.
+        report = check_schedule(
+            _events(
+                (1, B), (2, B),
+                (1, R, "x"),
+                (2, W, "x"), (2, C),
+                (1, R, "x"), (1, C),
+            ),
+            scheme="mvcc",
+        )
+        assert not report.findings
+
+    def test_mvcc_wr_edge_from_earlier_commit(self):
+        # A commit that lands before the reader begins is in its snapshot.
+        schedule = Schedule.from_events(
+            _events(
+                (1, B), (1, W, "x"), (1, C),
+                (2, B), (2, R, "x"), (2, C),
+            ),
+            scheme="mvcc",
+        )
+        edges = build_conflict_graph(schedule)
+        assert [(e.src, e.dst, e.kind) for e in edges] == [(1, 2, WR)]
+
+    def test_incomplete_txn_reported_as_info(self):
+        report = check_schedule(
+            _events((1, B), (1, W, "x")), scheme="2pl"
+        )
+        assert _rules(report) == [INCOMPLETE_RULE]
+        assert report.findings[0].severity == "info"
+
+
+class TestClassifyCycle:
+    def _edge(self, src, dst, kind, key="x"):
+        return ConflictEdge(src, dst, kind, key, 0, 0)
+
+    def test_pure_rw_cycle_is_write_skew(self):
+        cycle = [self._edge(1, 2, RW, "x"), self._edge(2, 1, RW, "y")]
+        assert classify_cycle(cycle, cycle) == ANOMALY_WRITE_SKEW
+
+    def test_mixed_cycle_with_single_rw_is_generic(self):
+        cycle = [
+            self._edge(1, 2, WW, "x"),
+            self._edge(2, 3, WW, "y"),
+            self._edge(3, 1, RW, "z"),
+        ]
+        assert classify_cycle(cycle, cycle) == ANOMALY_GENERIC
+
+
+class TestLockOrder:
+    def test_consistent_order_is_clean(self):
+        events = _events(
+            (1, L, "a", "X"), (1, L, "b", "X"), (1, U, "a"), (1, U, "b"),
+            (2, L, "a", "X"), (2, L, "b", "X"), (2, U, "a"), (2, U, "b"),
+        )
+        assert check_lock_order(events) == []
+
+    def test_inverted_order_is_flagged(self):
+        events = _events(
+            (1, L, "a", "X"), (1, L, "b", "X"), (1, U, "a"), (1, U, "b"),
+            (2, L, "b", "X"), (2, L, "a", "X"), (2, U, "a"), (2, U, "b"),
+        )
+        findings = check_lock_order(events, source="t")
+        assert [f.rule for f in findings] == [LOCK_ORDER_RULE]
+        message = findings[0].message
+        assert "txn 1 took 'a' then 'b'" in message
+        assert "txn 2 took 'b' then 'a'" in message
+
+    def test_release_breaks_the_held_set(self):
+        # b is taken only after a is released: no a→b ordering exists.
+        events = _events(
+            (1, L, "a", "X"), (1, U, "a"), (1, L, "b", "X"), (1, U, "b"),
+            (2, L, "b", "X"), (2, U, "b"), (2, L, "a", "X"), (2, U, "a"),
+        )
+        assert check_lock_order(events) == []
+
+
+class TestLatchCoverage:
+    def test_bare_access_to_guarded_field_flagged(self):
+        findings = check_latch_coverage_source(
+            textwrap.dedent(
+                """
+                import threading
+
+                class Store:
+                    def __init__(self):
+                        self._latch = threading.Lock()
+                        self._data = {}
+
+                    def put(self, k, v):
+                        with self._latch:
+                            self._data[k] = v
+
+                    def peek(self, k):
+                        return self._data.get(k)
+                """
+            ),
+            "sample.py",
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "latch-coverage"
+        assert "Store.peek" in findings[0].message
+        assert "self._data" in findings[0].message
+
+    def test_fully_latched_class_is_clean(self):
+        findings = check_latch_coverage_source(
+            textwrap.dedent(
+                """
+                import threading
+
+                class Store:
+                    def __init__(self):
+                        self._latch = threading.Lock()
+                        self._data = {}
+
+                    def put(self, k, v):
+                        with self._latch:
+                            self._data[k] = v
+
+                    def peek(self, k):
+                        with self._latch:
+                            return self._data.get(k)
+                """
+            )
+        )
+        assert findings == []
+
+    def test_locked_suffix_convention_exempts(self):
+        findings = check_latch_coverage_source(
+            textwrap.dedent(
+                """
+                import threading
+
+                class Store:
+                    def __init__(self):
+                        self._latch = threading.Lock()
+                        self._clock = 0
+
+                    def tick(self):
+                        with self._latch:
+                            self._bump_locked()
+
+                    def _bump_locked(self):
+                        self._clock += 1
+                """
+            )
+        )
+        assert findings == []
+
+    def test_callgraph_fixpoint_exempts_latched_only_helpers(self):
+        findings = check_latch_coverage_source(
+            textwrap.dedent(
+                """
+                import threading
+
+                class Store:
+                    def __init__(self):
+                        self._latch = threading.Lock()
+                        self._clock = 0
+
+                    def tick(self):
+                        with self._latch:
+                            self._clock += 1
+                            return self.helper()
+
+                    def helper(self):
+                        return self._clock
+                """
+            )
+        )
+        assert findings == []
+
+    def test_unguarded_fields_stay_quiet(self):
+        findings = check_latch_coverage_source(
+            textwrap.dedent(
+                """
+                class Plain:
+                    def __init__(self):
+                        self.n = 0
+
+                    def bump(self):
+                        self.n += 1
+                """
+            )
+        )
+        assert findings == []
+
+
+class TestSanitizeCli:
+    def _dump(self, tmp_path, events, scheme="2pl"):
+        rec = ScheduleRecorder(scheme=scheme)
+        for event in events:
+            rec.record(event.txn_id, event.op, key=event.key, mode=event.mode)
+        path = str(tmp_path / "trace.jsonl")
+        rec.dump(path)
+        return path
+
+    def test_clean_trace_exits_zero(self, tmp_path, capsys):
+        path = self._dump(
+            tmp_path, _events((1, B), (1, W, "x"), (1, C))
+        )
+        assert sanitize_main([path]) == 0
+        assert "clean" in capsys.readouterr().err
+
+    def test_racy_trace_exits_one(self, tmp_path, capsys):
+        path = self._dump(
+            tmp_path,
+            _events(
+                (1, B), (2, B),
+                (1, R, "x"), (2, R, "x"),
+                (1, W, "x"), (1, C),
+                (2, W, "x"), (2, C),
+            ),
+        )
+        assert sanitize_main([path]) == 1
+        assert ANOMALY_LOST_UPDATE in capsys.readouterr().out
+
+    def test_missing_trace_is_usage_error(self, tmp_path):
+        assert sanitize_main([str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_fuzz_mode_smoke(self, capsys):
+        assert sanitize_main(["--fuzz", "--seeds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "global-lock" in out and "2pl" in out and "mvcc" in out
+
+    def test_fuzz_rejects_unknown_scheme(self):
+        assert sanitize_main(["--fuzz", "--schemes", "optimistic"]) == 2
+
+
+class TestDatabaseRecording:
+    def test_database_records_statement_txns(self):
+        from repro.core.database import Database
+
+        db = Database(record_schedule=True)
+        db.execute("CREATE TABLE t (id INT, n INT)")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (1, 10)")
+        db.execute("SELECT n FROM t")
+        db.execute("COMMIT")
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET n = 11 WHERE id = 1")
+        db.execute("ROLLBACK")
+        ops = [(e.txn_id, e.op) for e in db.schedule_recorder.events()]
+        assert ops[0] == (1, B) and (1, C) in ops and (2, A) in ops
+        writes = [e for e in db.schedule_recorder.events() if e.op == W]
+        assert all(e.key[0] == "t" for e in writes)
+        reads = [e for e in db.schedule_recorder.events() if e.op == R]
+        assert [e.key for e in reads] == ["t"]
+        report = check_schedule(
+            db.schedule_recorder.events(), scheme="database"
+        )
+        assert not report.findings
+
+    def test_recording_off_by_default(self, monkeypatch):
+        from repro.core.database import Database
+
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert Database().schedule_recorder is None
+
+    def test_env_var_enables_recording(self, monkeypatch):
+        from repro.core.database import Database
+
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert Database().schedule_recorder is not None

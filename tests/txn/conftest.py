@@ -1,0 +1,19 @@
+"""Run the txn suite with schedule recording on.
+
+An autouse fixture turns on ``REPRO_SANITIZE`` for every test in this
+directory (and only this directory — ``monkeypatch`` restores the
+environment afterwards), so the transaction tests double as sanitizer
+exercises: the recorder's locking and event paths run under the same
+stress workloads that hammer the schemes themselves.  An explicit
+``REPRO_SANITIZE`` from the caller's environment still wins.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_txn_tests(monkeypatch):
+    if "REPRO_SANITIZE" not in os.environ:
+        monkeypatch.setenv("REPRO_SANITIZE", "1")

@@ -1,0 +1,136 @@
+"""Lock upgrades (S → X) and the metadata carried by lock-wait errors."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.errors import DeadlockError, LockTimeoutError, TransactionError
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.trace import ScheduleRecorder
+
+
+class TestUpgrade:
+    def test_sole_holder_upgrades_in_place(self):
+        locks = LockManager()
+        locks.acquire(1, "x", LockMode.SHARED)
+        locks.acquire(1, "x", LockMode.EXCLUSIVE)
+        assert locks.holds(1, "x") is LockMode.EXCLUSIVE
+        # X subsumes a later S request from the same txn.
+        locks.acquire(1, "x", LockMode.SHARED)
+        assert locks.holds(1, "x") is LockMode.EXCLUSIVE
+
+    def test_upgrade_records_both_grants(self):
+        locks = LockManager()
+        locks.recorder = ScheduleRecorder(scheme="2pl")
+        locks.acquire(1, "x", LockMode.SHARED)
+        locks.acquire(1, "x", LockMode.EXCLUSIVE)
+        locks.acquire(1, "x", LockMode.EXCLUSIVE)  # reacquire: no new event
+        modes = [e.mode for e in locks.recorder.events()]
+        assert modes == ["S", "X"]
+
+    def test_upgrade_waits_for_other_readers(self):
+        locks = LockManager()
+        locks.acquire(1, "x", LockMode.SHARED)
+        locks.acquire(2, "x", LockMode.SHARED)
+        assert locks.would_block(1, "x", LockMode.EXCLUSIVE)
+
+        upgraded = threading.Event()
+
+        def upgrader():
+            locks.acquire(1, "x", LockMode.EXCLUSIVE)
+            upgraded.set()
+
+        thread = threading.Thread(target=upgrader)
+        thread.start()
+        assert not upgraded.wait(timeout=0.2)  # still parked behind txn 2
+        locks.release_all(2)
+        assert upgraded.wait(timeout=5.0)
+        thread.join()
+        assert locks.holds(1, "x") is LockMode.EXCLUSIVE
+
+    def test_upgrade_deadlock_between_two_readers(self):
+        # Both hold S on x and both want X: each waits on the other —
+        # the classic upgrade deadlock.  Exactly one aborts.
+        locks = LockManager()
+        locks.acquire(1, "x", LockMode.SHARED)
+        locks.acquire(2, "x", LockMode.SHARED)
+        errors = []
+        done = []
+        barrier = threading.Barrier(2)
+
+        def upgrader(txn_id):
+            barrier.wait()
+            try:
+                locks.acquire(txn_id, "x", LockMode.EXCLUSIVE)
+                done.append(txn_id)
+            except DeadlockError as exc:
+                errors.append(exc)
+                locks.release_all(txn_id)
+
+        threads = [
+            threading.Thread(target=upgrader, args=(t,)) for t in (1, 2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert len(errors) == 1 and len(done) == 1
+        assert locks.deadlocks_detected == 1
+        victim = errors[0]
+        assert victim.txn_id in (1, 2)
+        assert victim.key == "x"
+        assert victim.held_keys == {"x"}
+        # The cycle closes back on the victim: [victim, other, victim].
+        assert victim.cycle[0] == victim.cycle[-1] == victim.txn_id
+
+
+class TestErrorMetadata:
+    def test_deadlock_error_names_the_conflict(self):
+        locks = LockManager()
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        blocked = threading.Event()
+
+        def waiter():
+            blocked.set()
+            try:
+                locks.acquire(2, "a", LockMode.EXCLUSIVE)
+            except TransactionError:
+                pass
+            finally:
+                locks.release_all(2)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        blocked.wait()
+        # Let txn 2 register its wait on a before txn 1 closes the cycle.
+        deadline = 50
+        while deadline and not locks.would_block(3, "a", LockMode.SHARED):
+            deadline -= 1
+        with pytest.raises(DeadlockError) as excinfo:
+            for _ in range(200):
+                locks.acquire(1, "b", LockMode.EXCLUSIVE)
+                locks.release(1, "b")
+        locks.release_all(1)
+        thread.join(timeout=10.0)
+        err = excinfo.value
+        assert err.txn_id == 1
+        assert err.key == "b"
+        assert "a" in err.held_keys
+        assert set(err.cycle) == {1, 2}
+        assert isinstance(err, TransactionError)
+
+    def test_timeout_error_names_the_blockers(self):
+        locks = LockManager(wait_timeout=0.15)
+        locks.acquire(1, "x", LockMode.EXCLUSIVE)
+        locks.acquire(2, "held", LockMode.SHARED)
+        with pytest.raises(LockTimeoutError, match="timed out") as excinfo:
+            locks.acquire(2, "x", LockMode.SHARED)
+        err = excinfo.value
+        assert err.txn_id == 2
+        assert err.key == "x"
+        assert err.blockers == [1]
+        assert err.held_keys == {"held"}
+        assert isinstance(err, TransactionError)

@@ -1,0 +1,89 @@
+"""Schedule recorder: event log, logical clock, trace persistence."""
+
+import json
+import threading
+
+import pytest
+
+from repro.txn import trace
+from repro.txn.trace import ScheduleEvent, ScheduleRecorder, load_trace
+
+
+def test_record_assigns_increasing_seq():
+    rec = ScheduleRecorder(scheme="2pl")
+    s1 = rec.record(1, trace.BEGIN)
+    s2 = rec.record(1, trace.READ, key="x")
+    s3 = rec.record(1, trace.COMMIT)
+    assert (s1, s2, s3) == (1, 2, 3)
+    events = rec.events()
+    assert [e.op for e in events] == [trace.BEGIN, trace.READ, trace.COMMIT]
+    assert [e.seq for e in events] == [1, 2, 3]
+    assert events[1].key == "x"
+
+
+def test_clear_resets_clock():
+    rec = ScheduleRecorder()
+    rec.record(1, trace.BEGIN)
+    rec.clear()
+    assert len(rec) == 0
+    assert rec.record(2, trace.BEGIN) == 1
+
+
+def test_event_format_mentions_everything():
+    event = ScheduleEvent(seq=7, txn_id=3, op=trace.LOCK, key="x", mode="X")
+    text = event.format()
+    assert "@7" in text and "txn 3" in text and "lock" in text and "[X]" in text
+
+
+def test_concurrent_recording_keeps_seq_unique():
+    rec = ScheduleRecorder()
+    barrier = threading.Barrier(4)
+
+    def hammer(txn_id):
+        barrier.wait()
+        for _ in range(200):
+            rec.record(txn_id, trace.READ, key="k")
+
+    threads = [threading.Thread(target=hammer, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    seqs = [e.seq for e in rec.events()]
+    assert len(seqs) == 800
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == 800
+
+
+def test_dump_load_roundtrip(tmp_path):
+    rec = ScheduleRecorder(scheme="database")
+    rec.record(1, trace.BEGIN)
+    rec.record(1, trace.WRITE, key=("t", (0, 0)))
+    rec.record(1, trace.LOCK, key="x", mode="S")
+    rec.record(1, trace.COMMIT)
+    path = str(tmp_path / "trace.jsonl")
+    assert rec.dump(path) == 4
+    scheme, events = load_trace(path)
+    assert scheme == "database"
+    assert events == rec.events()
+    # tuple keys survive (JSON has no tuples; they are tagged)
+    assert events[1].key == ("t", (0, 0))
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json at all\n")
+    with pytest.raises(ValueError, match="not JSON"):
+        load_trace(str(path))
+    path.write_text(json.dumps({"format": 1, "scheme": "2pl"}) + "\n" + json.dumps({"seq": 1, "txn": 1, "op": "teleport"}) + "\n")
+    with pytest.raises(ValueError, match="unknown op"):
+        load_trace(str(path))
+
+
+def test_sanitize_enabled_reads_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert not trace.sanitize_enabled()
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert not trace.sanitize_enabled()
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert trace.sanitize_enabled()

@@ -12,6 +12,14 @@ Two checks, both motivated by real failure modes in this codebase:
 * **mutable-default-arg** — ``def f(x, acc=[])`` shares one list across
   calls; with a Database living for many statements this is a classic
   source of cross-query state leaks.
+* **latch-coverage** — a field guarded by ``with self._latch:`` (or
+  ``_store_lock`` / ``_mutex`` / ``_cond``) in one method but accessed
+  bare in a sibling method is a data race waiting for a schedule
+  (:func:`repro.analyze.concurrency.check_latch_coverage`).  Helpers that
+  run under a caller's latch opt out with a ``_locked`` name suffix.
+
+Findings suppress with a trailing ``# lint: allow(rule)`` comment on the
+flagged line, same syntax as the SQL linter.
 
 Usage: ``python tools/lint_repro.py [dir ...]`` (default: ``src``).
 Prints ``path:line: [rule] message`` per finding; exit 1 if any.
@@ -23,6 +31,13 @@ import ast
 import os
 import sys
 from typing import Iterator, List, Tuple
+
+# CI runs this file as a script with no PYTHONPATH; the latch-coverage
+# pass lives in the package, so put src/ on the path ourselves.
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+
+from repro.analyze.concurrency import check_latch_coverage  # noqa: E402
+from repro.analyze.facts import parse_suppressions  # noqa: E402
 
 Finding = Tuple[str, int, str, str]  # path, line, rule, message
 
@@ -106,7 +121,14 @@ def lint_file(path: str) -> List[Finding]:
         return [(path, exc.lineno or 0, "syntax", f"could not parse: {exc.msg}")]
     findings = list(_check_excepts(tree, path))
     findings.extend(_check_mutable_defaults(tree, path))
-    return findings
+    findings.extend(
+        (f.source or path, f.line, f.rule, f.message)
+        for f in check_latch_coverage(tree, path)
+    )
+    suppressed = parse_suppressions(source)
+    return [
+        f for f in findings if f[2] not in suppressed.get(f[1], frozenset())
+    ]
 
 
 def lint_tree(root: str) -> List[Finding]:
