@@ -16,13 +16,13 @@ machine-readable perf trajectory.  Run directly::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from bench_json import write_report  # noqa: E402
 from repro.core.database import Database  # noqa: E402
 from repro.exec import compile as compile_mod  # noqa: E402
 from repro.workloads.tpch import load_tpch, tpch_query  # noqa: E402
@@ -142,11 +142,7 @@ def main() -> int:
         report["speedups"][f"oltp_{key}"] = round(speedup, 2)
 
     report["elapsed_s"] = round(time.time() - started, 1)
-    out_path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_compile.json")
-    with open(out_path, "w") as fh:
-        json.dump(report, fh, indent=2)
-
-    print(json.dumps(report, indent=2))
+    out_path = write_report("compile", report)
     ok = all(s >= 1.5 for k, s in report["speedups"].items() if k.startswith("tpch_"))
     ok &= report["speedups"]["oltp_repeated_statement_tps"] >= 2.0
     print(f"\nwrote {out_path}; targets {'MET' if ok else 'NOT MET'}")

@@ -20,7 +20,6 @@ Run directly::
 
 from __future__ import annotations
 
-import json
 import os
 import shutil
 import sys
@@ -29,6 +28,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from bench_json import write_report  # noqa: E402
 from repro.core.database import Database  # noqa: E402
 
 COMMITS = 2000
@@ -102,12 +102,7 @@ def main() -> int:
         }
         report["elapsed_s"] = round(time.time() - started, 1)
 
-        out_path = os.path.join(
-            os.path.dirname(os.path.abspath(__file__)), "BENCH_durability.json"
-        )
-        with open(out_path, "w") as fh:
-            json.dump(report, fh, indent=2)
-        print(json.dumps(report, indent=2))
+        out_path = write_report("durability", report)
         ok = report["overheads"]["wal_no_fsync_slowdown"] <= 2.0
         print(f"\nwrote {out_path}; WAL-overhead target (<=2x) "
               f"{'MET' if ok else 'NOT MET'}")

@@ -1,0 +1,55 @@
+"""Shared writer for the ``BENCH_*.json`` result files.
+
+The BENCH files are committed so perf changes show up in review diffs.
+That only works if two runs of the same benchmark produce *comparable*
+files: keys in a stable (insertion) order, and enough machine context to
+tell a real regression from a hardware difference.  Every benchmark goes
+through :func:`write_report`, which
+
+* prepends a ``meta`` block (benchmark name, python version, platform,
+  logical core count) so a diff immediately shows when two files came from
+  different machines,
+* serializes with ``sort_keys=False`` — dicts keep the order the benchmark
+  built them in, so adding one measurement produces a one-hunk diff instead
+  of reshuffling the whole file, and
+* ends the file with a trailing newline (committed files diff cleanly).
+
+Timing values should be rounded by the caller (``round(x, 3)``): raw floats
+make every run a full-file diff.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from typing import Optional
+
+
+def machine_meta(name: str) -> dict:
+    """The machine/interpreter context block every BENCH file leads with."""
+    return {
+        "benchmark": name,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": f"{platform.system()}-{platform.machine()}",
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def write_report(name: str, report: dict, directory: Optional[str] = None) -> str:
+    """Write ``BENCH_<name>.json`` next to the benchmarks; returns the path.
+
+    ``report``'s key order is preserved verbatim after the ``meta`` block.
+    """
+    if directory is None:
+        directory = os.path.dirname(os.path.abspath(__file__))
+    payload = {"meta": machine_meta(name)}
+    payload.update(report)
+    out_path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=False), file=sys.stderr)
+    return out_path

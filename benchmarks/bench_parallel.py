@@ -1,0 +1,156 @@
+"""Morsel-driven parallel execution benchmark (≈30 s) → BENCH_parallel.json.
+
+Measures the three exchange operators against the serial vectorized engine
+on scan-heavy workloads shaped like TPC-H Q1/Q6:
+
+* **filter_sum** (Q6-style) — tight filter over a wide numeric table,
+  ``SUM(price * discount)`` on the survivors;
+* **grouped_agg** (Q1-style) — low-cardinality GROUP BY with a fan of
+  COUNT/SUM/AVG aggregates;
+* **hash_join** — partitioned-build join probed by a parallel scan.
+
+Each query runs serial (``workers=0``) and at ``workers`` ∈ {1, 2, 4}.
+``workers=1`` executes morsel tasks inline on the caller, so its column
+isolates the exchange machinery's overhead from actual parallelism.
+
+Targets: ≥2× speedup at 4 workers on the aggregate queries (on a single-CPU
+box this comes from the numpy morsel kernels replacing per-row accumulator
+loops; with real cores, thread overlap stacks on top), and ≤10% overhead
+at ``workers=1`` against serial.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from bench_json import write_report  # noqa: E402
+from repro.core.database import Database  # noqa: E402
+from repro.optimizer.optimizer import OptimizerOptions  # noqa: E402
+
+ROWS = 300_000
+QUICK_ROWS = 50_000
+ROUNDS = 3
+WORKER_COUNTS = (1, 2, 4)
+
+QUERIES = {
+    "filter_sum": (
+        "SELECT SUM(price * discount) FROM items "
+        "WHERE discount >= 5 AND discount <= 7 AND qty < 24"
+    ),
+    "grouped_agg": (
+        "SELECT flag, COUNT(*), SUM(qty), SUM(price), AVG(price), MAX(qty) "
+        "FROM items GROUP BY flag"
+    ),
+    "hash_join": (
+        "SELECT SUM(items.price) FROM items "
+        "JOIN parts ON items.part_id = parts.id WHERE items.qty > 10"
+    ),
+}
+
+
+def build_db(rows: int, workers: int) -> Database:
+    db = Database(
+        engine="vectorized",
+        default_layout="column",
+        optimizer_options=OptimizerOptions(workers=workers),
+        verify_plans=False,
+    )
+    db.execute(
+        "CREATE TABLE items (part_id INTEGER NOT NULL, flag INTEGER NOT NULL, "
+        "qty INTEGER NOT NULL, price FLOAT NOT NULL, discount INTEGER NOT NULL)"
+    )
+    db.insert_rows(
+        "items",
+        [
+            (
+                i % (rows // 10),
+                i % 4,
+                i * 7 % 50,
+                float((i * 31) % 10_000) / 100.0,
+                i * 13 % 11,
+            )
+            for i in range(rows)
+        ],
+    )
+    db.execute("CREATE TABLE parts (id INTEGER NOT NULL, weight FLOAT NOT NULL)")
+    db.insert_rows(
+        "parts", [(i, float(i % 100)) for i in range(rows // 10)]
+    )
+    db.execute("ANALYZE")
+    return db
+
+
+def best_of(db: Database, sql: str, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        db.execute(sql)
+        best = min(best, time.perf_counter() - t0)
+    return best * 1000.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer rows")
+    args = parser.parse_args()
+    rows = QUICK_ROWS if args.quick else ROWS
+    started = time.time()
+
+    serial_db = build_db(rows, workers=0)
+    parallel_dbs = {w: build_db(rows, workers=w) for w in WORKER_COUNTS}
+
+    report = {"rows": rows, "queries": {}, "speedup_at_4": {}, "overhead_at_1_pct": {}}
+    baselines = {}
+    for name, sql in QUERIES.items():
+        serial_ms = best_of(serial_db, sql, ROUNDS)
+        baselines[name] = serial_db.execute(sql).rows
+        entry = {"serial_ms": round(serial_ms, 2), "workers": {}}
+        for w, db in parallel_dbs.items():
+            assert db.execute(sql).rows == baselines[name] or all(
+                abs(a - b) < 1e-6 * max(abs(a), 1.0)
+                for got, want in zip(db.execute(sql).rows, baselines[name])
+                for a, b in zip(got, want)
+            ), f"{name} at workers={w} diverged from serial"
+            ms = best_of(db, sql, ROUNDS)
+            entry["workers"][str(w)] = {
+                "ms": round(ms, 2),
+                "speedup": round(serial_ms / ms, 2),
+            }
+        report["queries"][name] = entry
+        report["speedup_at_4"][name] = entry["workers"]["4"]["speedup"]
+        report["overhead_at_1_pct"][name] = round(
+            (entry["workers"]["1"]["ms"] / serial_ms - 1.0) * 100.0, 1
+        )
+
+    report["elapsed_s"] = round(time.time() - started, 1)
+    out_path = write_report("parallel", report)
+
+    agg_ok = all(
+        report["speedup_at_4"][q] >= 2.0 for q in ("filter_sum", "grouped_agg")
+    )
+    overhead_ok = all(v <= 10.0 for v in report["overhead_at_1_pct"].values())
+    for name, entry in report["queries"].items():
+        per_w = ", ".join(
+            f"{w}w {info['ms']:.1f} ms ({info['speedup']:.2f}x)"
+            for w, info in entry["workers"].items()
+        )
+        print(f"{name:>12}: serial {entry['serial_ms']:.1f} ms | {per_w}")
+    print(
+        f"wrote {out_path}; targets (agg >=2x at 4 workers: "
+        f"{'MET' if agg_ok else 'NOT MET'}; workers=1 overhead <=10%: "
+        f"{'MET' if overhead_ok else 'NOT MET'})"
+    )
+    return 0 if (agg_ok and overhead_ok) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,6 @@ Usage: python benchmarks/bench_sanitize_overhead.py [--quick]
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import statistics
 import sys
@@ -26,6 +25,7 @@ from typing import Tuple
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from bench_json import write_report  # noqa: E402
 from repro.core.errors import TransactionError  # noqa: E402
 from repro.txn.schemes import TwoPLScheme  # noqa: E402
 
@@ -141,10 +141,7 @@ def main() -> int:
     repeats = args.repeats or (3 if args.quick else 5)
 
     results = run(args.threads, transfers, args.accounts, repeats)
-    out_path = os.path.join(os.path.dirname(__file__), "BENCH_sanitize.json")
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
+    out_path = write_report("sanitize", results)
 
     print(
         f"2pl transfers ({args.threads} threads x {transfers}): "

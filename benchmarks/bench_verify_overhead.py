@@ -17,7 +17,6 @@ Usage: python benchmarks/bench_verify_overhead.py [--quick]
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import statistics
 import sys
@@ -25,6 +24,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from bench_json import write_report  # noqa: E402
 from repro.core.database import Database  # noqa: E402
 from repro.workloads.tpch import TPCH_QUERIES, load_tpch  # noqa: E402
 
@@ -83,10 +83,7 @@ def main() -> int:
     repeats = args.repeats or (3 if args.quick else 5)
 
     results = run(scale_factor, repeats)
-    out_path = os.path.join(os.path.dirname(__file__), "BENCH_verify.json")
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
+    out_path = write_report("verify", results)
 
     for regime in ("cached", "cold"):
         r = results[regime]

@@ -379,6 +379,82 @@ def check_physical_invariants(
                 stage,
                 findings,
             )
+        elif isinstance(node, phys.PParallelScan):
+            # Fused filter/project bind against the *base table* schema, not
+            # the (possibly projected) output schema.
+            width = len(node.base_schema)
+            if node.predicate is not None:
+                _check_exprs([("predicate", node.predicate)], width, label, stage, findings)
+                _check_boolean(node.predicate, label, "predicate", stage, findings)
+            if node.exprs is not None:
+                _check_exprs(
+                    [(f"expression {i}", e) for i, e in enumerate(node.exprs)],
+                    width,
+                    label,
+                    stage,
+                    findings,
+                )
+                if len(node.exprs) != len(node.schema):
+                    findings.append(
+                        _finding(
+                            _RULE_SCHEMA,
+                            f"{label}: {len(node.exprs)} projection expressions "
+                            f"but {len(node.schema)} output columns",
+                            stage,
+                        )
+                    )
+            elif len(node.base_schema) != len(node.schema):
+                findings.append(
+                    _finding(
+                        _RULE_SCHEMA,
+                        f"{label}: identity projection but base width "
+                        f"{len(node.base_schema)} != output width {len(node.schema)}",
+                        stage,
+                    )
+                )
+            if node.workers < 1:
+                findings.append(
+                    _finding(
+                        _RULE_CARDINALITY,
+                        f"{label}: workers={node.workers} — a parallel operator "
+                        "reached the executor with no workers",
+                        stage,
+                    )
+                )
+        elif isinstance(node, phys.PTwoPhaseAggregate):
+            width = len(node.child.schema)
+            exprs = [(f"group key {i}", e) for i, e in enumerate(node.group_exprs)]
+            exprs.extend(
+                (f"aggregate {spec.to_sql()}", spec.arg)
+                for spec in node.aggregates
+                if spec.arg is not None
+            )
+            _check_exprs(exprs, width, label, stage, findings)
+        elif isinstance(node, phys.PPartitionedHashJoin):
+            left_width = len(node.left.schema)
+            right_width = len(node.right.schema)
+            _check_exprs(
+                [(f"left key {i}", k) for i, k in enumerate(node.left_keys)],
+                left_width,
+                label,
+                stage,
+                findings,
+            )
+            _check_exprs(
+                [(f"right key {i}", k) for i, k in enumerate(node.right_keys)],
+                right_width,
+                label,
+                stage,
+                findings,
+            )
+            if node.residual is not None:
+                _check_exprs(
+                    [("residual", node.residual)],
+                    left_width + right_width,
+                    label,
+                    stage,
+                    findings,
+                )
         for child in node.children():
             walk(child)
 

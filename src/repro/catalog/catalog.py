@@ -164,9 +164,23 @@ class TableInfo:
             append(pair)
             yield pair
         # Install only if the scan ran to completion with no interleaved write
-        # (an abandoned or racing scan must not pin a partial snapshot).
-        if self._write_version == version:
-            self._scan_cache = pairs
+        # (an abandoned or racing scan must not pin a partial snapshot).  The
+        # version re-check happens under the table lock so it cannot race a
+        # writer between the comparison and the install.
+        with self._lock:
+            if self._write_version == version:
+                self._scan_cache = pairs
+
+    def morsels(self, morsel_size: int = 8192):
+        """A morsel source over the current table contents (layout dispatch).
+
+        Returns an object with ``specs`` (opaque morsel descriptors) and
+        ``read(spec) -> (columns, n)`` — the storage contract the parallel
+        executor (:mod:`repro.exec.parallel`) fans out over worker threads.
+        """
+        if self.heap is not None:
+            return self.heap.morsel_source(morsel_size)
+        return self.column_table.morsel_source(morsel_size)
 
     def scan_rows(self) -> Iterator[Row]:
         for _, row in self.scan():

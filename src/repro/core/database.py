@@ -26,7 +26,7 @@ import os
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import astuple, dataclass, field
+from dataclasses import astuple, dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.catalog.catalog import COLUMN_LAYOUT, ROW_LAYOUT, Catalog, TableInfo
@@ -79,6 +79,21 @@ VECTORIZED = "vectorized"
 DURABILITY_MODES = ("none", "commit", "fsync")
 
 
+def _workers_from_env() -> Optional[int]:
+    """Worker count requested by the environment, or None to leave options be.
+
+    ``REPRO_WORKERS=N`` pins an exact count; ``REPRO_PARALLEL=1`` enables
+    parallel plans with ``max(2, cpu_count)`` workers (the CI matrix leg
+    sets both, explicitly).
+    """
+    count = os.environ.get("REPRO_WORKERS", "")
+    if count:
+        return int(count)
+    if os.environ.get("REPRO_PARALLEL", "") not in ("", "0"):
+        return max(2, os.cpu_count() or 1)
+    return None
+
+
 @dataclass
 class StatementStats:
     """Timing + plan info for the most recent statement."""
@@ -112,6 +127,7 @@ class Database:
         fault_injector=None,
         verify_plans: Optional[bool] = None,
         record_schedule: Optional[bool] = None,
+        workers: Optional[int] = None,
     ):
         if engine not in (VOLCANO, VECTORIZED):
             raise ReproError(f"unknown engine {engine!r}")
@@ -177,6 +193,16 @@ class Database:
         self.optimizer_options = (
             optimizer_options if optimizer_options is not None else OptimizerOptions()
         )
+        # Intra-query parallelism.  Explicit ``workers=N`` wins; otherwise
+        # REPRO_WORKERS=N, then REPRO_PARALLEL=1 (=> 2 workers), then the
+        # optimizer options as passed.  ``replace`` keeps a caller-supplied
+        # options object unmutated (it may be shared across databases).
+        if workers is None:
+            workers = _workers_from_env()
+        if workers is not None:
+            if workers < 0:
+                raise ReproError(f"workers must be >= 0, got {workers}")
+            self.optimizer_options = replace(self.optimizer_options, workers=workers)
         self.cost_model = cost_model if cost_model is not None else CostModel()
         # Plan-invariant verification: opt-in per Database, with an env
         # default so the whole test suite runs verified (REPRO_VERIFY_PLANS=1

@@ -28,6 +28,7 @@ codegen as well as planning.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
@@ -59,11 +60,18 @@ class CachedPlan:
 
 
 class PlanCache:
-    """LRU of optimized plans with version/epoch validation on lookup."""
+    """LRU of optimized plans with version/epoch validation on lookup.
+
+    Thread-safe: even a "read" reorders the LRU list (``move_to_end``) and
+    may evict a stale entry, so concurrent lookups from worker threads would
+    corrupt the ``OrderedDict`` without the lock.  All operations are
+    dict-sized, so one plain mutex is cheaper than any copy-on-read scheme.
+    """
 
     def __init__(self, capacity: int = 128):
         self.capacity = capacity
         self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = PlanCacheStats()
 
     def __len__(self) -> int:
@@ -76,33 +84,36 @@ class PlanCache:
         stats_epoch: int,
         options_key: Tuple,
     ) -> Optional[CachedPlan]:
-        entry = self._entries.get(normalized_sql)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if (
-            entry.catalog_version != catalog_version
-            or entry.stats_epoch != stats_epoch
-            or entry.options_key != options_key
-        ):
-            # Built against an older schema/statistics world: evict.
-            del self._entries[normalized_sql]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        self._entries.move_to_end(normalized_sql)
-        return entry
+        with self._lock:
+            entry = self._entries.get(normalized_sql)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if (
+                entry.catalog_version != catalog_version
+                or entry.stats_epoch != stats_epoch
+                or entry.options_key != options_key
+            ):
+                # Built against an older schema/statistics world: evict.
+                del self._entries[normalized_sql]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            self._entries.move_to_end(normalized_sql)
+            return entry
 
     def put(self, normalized_sql: str, entry: CachedPlan) -> None:
-        self._entries[normalized_sql] = entry
-        self._entries.move_to_end(normalized_sql)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[normalized_sql] = entry
+            self._entries.move_to_end(normalized_sql)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def invalidate_all(self) -> None:
-        self.stats.invalidations += len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
 
     def invalidate_tables(self, tables) -> None:
         """Drop plans touching any of ``tables`` (case-insensitive).
@@ -112,16 +123,17 @@ class PlanCache:
         may pin per-table state, so dependent plans must be rebuilt.  Plans
         with unknown table sets are dropped conservatively.
         """
-        lowered = {t.lower() for t in tables}
-        stale = [
-            key
-            for key, entry in self._entries.items()
-            if entry.tables is None
-            or any(t.lower() in lowered for t in entry.tables)
-        ]
-        for key in stale:
-            del self._entries[key]
-        self.stats.invalidations += len(stale)
+        with self._lock:
+            lowered = {t.lower() for t in tables}
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if entry.tables is None
+                or any(t.lower() in lowered for t in entry.tables)
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
 
 
 def normalize_sql(sql: str) -> str:

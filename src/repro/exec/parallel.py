@@ -1,0 +1,665 @@
+"""Morsel-driven parallel execution.
+
+The exchange operators in :mod:`repro.exec.physical` (``PParallelScan``,
+``PTwoPhaseAggregate``, ``PPartitionedHashJoin``) are executed here, on a
+shared worker pool, and both engines consume the results: the vectorized
+engine takes column-major batches, the volcano engine pivots them to rows.
+
+Design (after Leis et al.'s morsel-driven parallelism, scaled down):
+
+* **Morsels.** Storage hands out fixed-size row-range partitions —
+  ``TableInfo.morsels()`` dispatches to row-range slices on column tables
+  and page chunks on heaps.  Each morsel task runs scan + filter + project
+  (and, fused, partial aggregation or hash-join probe) for one morsel.
+
+* **Ordered gather.** Tasks are submitted for every morsel up front and
+  results are collected *in morsel order*.  Since serial scans visit rows
+  in exactly the concatenation of morsels, a parallel plan reproduces the
+  serial plan's row order — a stronger guarantee than the multiset equality
+  the differential suite checks, and the reason first-seen group order and
+  hash-join output order survive parallelization.
+
+* **Kernels.** Predicates/projections over clean (null-free, delete-free)
+  numeric columns run as numpy ufuncs over zero-copy array slices; numpy
+  releases the GIL inside those loops, so threads genuinely overlap.  On
+  NULLs, text, or exotic expressions the task falls back to the same
+  per-row evaluation the serial vectorized engine uses — correctness never
+  depends on the fast path.
+
+* **Workers.** ``workers <= 1`` executes tasks inline on the caller (the
+  overhead-measurement configuration).  The default backend is a cached
+  ``ThreadPoolExecutor`` per worker count.  ``REPRO_PROCESS_POOL=1`` opts
+  into a fork-based process pool for pure-Python operator chains that the
+  GIL would serialize; task closures are shipped by fork inheritance (they
+  capture compiled evaluator closures, which do not pickle) and only the
+  results cross the pipe.
+
+* **Sanitizer.** Under ``REPRO_SANITIZE=1`` every morsel task logs
+  BEGIN / READ(table, morsel) / COMMIT to a pool-owned
+  :class:`~repro.txn.trace.ScheduleRecorder`, so the PR-4 serializability
+  checker can audit worker interleavings (read-only tasks: trivially
+  serializable, no lock inversions).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.catalog.catalog import Catalog
+from repro.exec import physical as phys
+from repro.exec.compile import evaluator
+from repro.exec.vector_eval import eval_batch, normalize_mask
+from repro.plan.expressions import (
+    AggSpec,
+    BoundBinary,
+    BoundColumn,
+    BoundExpr,
+    BoundLiteral,
+    BoundUnary,
+)
+from repro.txn.trace import (
+    ABORT,
+    BEGIN,
+    COMMIT,
+    READ,
+    ScheduleRecorder,
+    sanitize_enabled,
+)
+
+Batch = List[List[Any]]  # column-major, same convention as vector_eval
+
+_NUMPY_ARITH = {"+": np.add, "-": np.subtract, "*": np.multiply}
+_NUMPY_CMP = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def process_pool_enabled() -> bool:
+    """True when ``REPRO_PROCESS_POOL`` opts into the fork-based backend."""
+    return os.environ.get("REPRO_PROCESS_POOL", "") not in ("", "0")
+
+
+# -- worker pool ----------------------------------------------------------------
+
+_THREAD_POOLS: Dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+#: Pool-owned schedule recorder; morsel tasks append here under
+#: ``REPRO_SANITIZE=1``.  Tests drain it with ``pool_recorder().clear()``.
+_RECORDER = ScheduleRecorder("parallel-pool")
+_TASK_IDS = itertools.count(1)
+
+
+def pool_recorder() -> ScheduleRecorder:
+    return _RECORDER
+
+
+def _thread_pool(workers: int) -> ThreadPoolExecutor:
+    with _POOLS_LOCK:
+        pool = _THREAD_POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"repro-morsel-{workers}"
+            )
+            _THREAD_POOLS[workers] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down cached thread pools (test hygiene; pools rebuild lazily)."""
+    with _POOLS_LOCK:
+        pools = list(_THREAD_POOLS.values())
+        _THREAD_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+#: Fork-backend scratch: tasks are published here before the pool forks, so
+#: children inherit them by address space, not pickling.
+_FORK_TASKS: List[Callable[[], Any]] = []
+
+
+def _run_fork_task(index: int) -> Any:
+    return _FORK_TASKS[index]()
+
+
+def _map_fork(tasks: Sequence[Callable[[], Any]], workers: int) -> List[Any]:
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork: degrade to threads
+        pool = _thread_pool(workers)
+        return [f.result() for f in [pool.submit(t) for t in tasks]]
+    global _FORK_TASKS
+    _FORK_TASKS = list(tasks)
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(_run_fork_task, range(len(tasks)))
+    finally:
+        _FORK_TASKS = []
+
+
+def map_ordered(tasks: Sequence[Callable[[], Any]], workers: int) -> List[Any]:
+    """Run tasks on the pool; return results in task (= morsel) order."""
+    if workers <= 1 or len(tasks) <= 1:
+        return [task() for task in tasks]
+    if process_pool_enabled():
+        return _map_fork(tasks, workers)
+    pool = _thread_pool(workers)
+    futures = [pool.submit(task) for task in tasks]
+    return [future.result() for future in futures]
+
+
+def _traced(task: Callable[[], Any], table: str, morsel: int) -> Callable[[], Any]:
+    """Wrap a morsel task with BEGIN/READ/COMMIT schedule events."""
+    if not sanitize_enabled():
+        return task
+    buffer = _RECORDER.buffer
+
+    def traced() -> Any:
+        tid = next(_TASK_IDS)
+        buffer.append((tid, BEGIN, None, None))
+        buffer.append((tid, READ, (table, morsel), None))
+        try:
+            out = task()
+        except BaseException:
+            buffer.append((tid, ABORT, None, None))
+            raise
+        buffer.append((tid, COMMIT, None, None))
+        return out
+
+    return traced
+
+
+# -- numpy kernels ---------------------------------------------------------------
+
+
+def _numpy_operand(expr: BoundExpr, columns: Batch) -> Any:
+    """``expr`` as a numpy array/scalar over clean columns, or None.
+
+    Only sound over morsel batches whose numpy columns are null-free (the
+    clean-array contract): comparisons and arithmetic then have no NULL
+    three-valued logic to honor.  Returns a scalar for literals so ufuncs
+    broadcast.
+    """
+    if isinstance(expr, BoundColumn):
+        col = columns[expr.index]
+        return col if isinstance(col, np.ndarray) else None
+    if isinstance(expr, BoundLiteral):
+        value = expr.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        return value
+    if isinstance(expr, BoundUnary) and expr.op == "-":
+        operand = _numpy_operand(expr.operand, columns)
+        return None if operand is None else np.negative(operand)
+    if isinstance(expr, BoundBinary) and expr.op in _NUMPY_ARITH:
+        left = _numpy_operand(expr.left, columns)
+        if left is None:
+            return None
+        right = _numpy_operand(expr.right, columns)
+        if right is None:
+            return None
+        return _NUMPY_ARITH[expr.op](left, right)
+    return None
+
+
+def _numpy_mask(pred: BoundExpr, columns: Batch) -> Optional[np.ndarray]:
+    """Boolean selection mask via numpy, or None to fall back to eval_batch."""
+    if isinstance(pred, BoundBinary):
+        if pred.op == "AND":
+            left = _numpy_mask(pred.left, columns)
+            if left is None:
+                return None
+            right = _numpy_mask(pred.right, columns)
+            if right is None:
+                return None
+            return left & right
+        if pred.op == "OR":
+            left = _numpy_mask(pred.left, columns)
+            if left is None:
+                return None
+            right = _numpy_mask(pred.right, columns)
+            if right is None:
+                return None
+            return left | right
+        if pred.op in _NUMPY_CMP:
+            left = _numpy_operand(pred.left, columns)
+            if left is None:
+                return None
+            right = _numpy_operand(pred.right, columns)
+            if right is None:
+                return None
+            if np.isscalar(left) and np.isscalar(right):
+                return None  # constant predicate: let the general path decide
+            return _NUMPY_CMP[pred.op](left, right)
+    return None
+
+
+def _compress(columns: Batch, n: int, keep: Sequence[int]) -> Tuple[Batch, int]:
+    """Keep only the rows at positions ``keep`` (already in order)."""
+    if len(keep) == n:
+        return columns, n
+    idx = np.asarray(keep, dtype=np.intp)
+    out: Batch = []
+    for col in columns:
+        if isinstance(col, np.ndarray):
+            out.append(col[idx])
+        else:
+            out.append([col[i] for i in keep])
+    return out, len(keep)
+
+
+def _apply_filter(
+    predicate: Optional[BoundExpr], columns: Batch, n: int
+) -> Tuple[Batch, int]:
+    if predicate is None or n == 0:
+        return columns, n
+    mask = _numpy_mask(predicate, columns)
+    if mask is not None:
+        if mask.all():
+            return columns, n
+        keep = np.flatnonzero(mask)
+        out: Batch = []
+        for col in columns:
+            if isinstance(col, np.ndarray):
+                out.append(col[keep])
+            else:
+                out.append([col[i] for i in keep])
+        return out, len(keep)
+    values = normalize_mask(eval_batch(predicate, columns, n))
+    keep_list = [i for i, v in enumerate(values) if v is True]
+    return _compress(columns, n, keep_list)
+
+
+def _apply_project(
+    exprs: Optional[Tuple[BoundExpr, ...]], columns: Batch, n: int
+) -> Batch:
+    if exprs is None:
+        return columns
+    out: Batch = []
+    for expr in exprs:
+        arr = _numpy_operand(expr, columns)
+        if arr is not None and not np.isscalar(arr):
+            out.append(arr)
+        else:
+            out.append(eval_batch(expr, columns, n))
+    return out
+
+
+def _to_lists(columns: Batch, width: int, n: int) -> Batch:
+    """Engine boundary: numpy views become plain lists of Python scalars."""
+    if n == 0:
+        return [[] for _ in range(width)]
+    out: Batch = []
+    for col in columns:
+        if isinstance(col, np.ndarray):
+            out.append(col.tolist())
+        elif isinstance(col, list):
+            out.append(col)
+        else:
+            out.append(list(col))
+    return out
+
+
+# -- parallel scan ----------------------------------------------------------------
+
+
+def _scan_tasks(
+    node: phys.PParallelScan, catalog: Catalog
+) -> List[Callable[[], Tuple[Batch, int]]]:
+    """One fused scan+filter+project task per morsel, sanitizer-traced."""
+    source = catalog.get_table(node.table).morsels(node.morsel_size)
+    predicate, exprs = node.predicate, node.exprs
+
+    def make(spec: Any) -> Callable[[], Tuple[Batch, int]]:
+        def task() -> Tuple[Batch, int]:
+            columns, n = source.read(spec)
+            columns, n = _apply_filter(predicate, columns, n)
+            return _apply_project(exprs, columns, n), n
+
+        return task
+
+    return [
+        _traced(make(spec), node.table, i) for i, spec in enumerate(source.specs)
+    ]
+
+
+def scan_batches(
+    node: phys.PParallelScan, catalog: Catalog
+) -> Iterator[Tuple[Batch, int]]:
+    """Execute a parallel scan; yield column-major batches in morsel order."""
+    width = len(node.schema)
+    for columns, n in map_ordered(_scan_tasks(node, catalog), node.workers):
+        if n:
+            yield _to_lists(columns, width, n), n
+
+
+def scan_rows(node: phys.PParallelScan, catalog: Catalog) -> Iterator[Tuple]:
+    """Row-at-a-time view of a parallel scan (volcano consumption)."""
+    for columns, n in scan_batches(node, catalog):
+        for row in zip(*columns):
+            yield row
+
+
+# -- two-phase aggregation ---------------------------------------------------------
+
+#: Partial state per (group, aggregate): [count, total, extreme, distinct_set].
+#: Mirrors volcano's ``_Accumulator`` fields so finalization semantics match.
+
+
+def _new_state(spec: AggSpec) -> List[Any]:
+    return [0, None, None, set() if spec.distinct else None]
+
+
+def _state_add(state: List[Any], spec: AggSpec, value: Any) -> None:
+    if value is None:
+        return
+    if state[3] is not None:
+        if value in state[3]:
+            return
+        state[3].add(value)
+    state[0] += 1
+    func = spec.func
+    if func in ("SUM", "AVG"):
+        state[1] = value if state[1] is None else state[1] + value
+    elif func == "MIN":
+        if state[2] is None or value < state[2]:
+            state[2] = value
+    elif func == "MAX":
+        if state[2] is None or value > state[2]:
+            state[2] = value
+
+
+def _merge_state(into: List[Any], other: List[Any], spec: AggSpec) -> None:
+    if into[3] is not None:
+        # DISTINCT: the value set *is* the state; rebuild counts on finalize.
+        into[3] |= other[3]
+        return
+    into[0] += other[0]
+    if other[1] is not None:
+        into[1] = other[1] if into[1] is None else into[1] + other[1]
+    if other[2] is not None:
+        func = spec.func
+        if into[2] is None:
+            into[2] = other[2]
+        elif func == "MIN" and other[2] < into[2]:
+            into[2] = other[2]
+        elif func == "MAX" and other[2] > into[2]:
+            into[2] = other[2]
+
+
+def _finalize_state(state: List[Any], spec: AggSpec) -> Any:
+    count, total, extreme, distinct = state
+    if distinct is not None:
+        count = len(distinct)
+        if spec.func in ("SUM", "AVG"):
+            total = None
+            for value in distinct:
+                total = value if total is None else total + value
+        elif spec.func in ("MIN", "MAX"):
+            if distinct:
+                extreme = min(distinct) if spec.func == "MIN" else max(distinct)
+    func = spec.func
+    if func == "COUNT":
+        return count
+    if func == "SUM":
+        return total
+    if func == "AVG":
+        return total / count if count else None
+    return extreme
+
+
+def _numpy_partial(
+    spec: AggSpec,
+    arr: np.ndarray,
+    gids: Optional[np.ndarray],
+    n_groups: int,
+) -> Optional[List[List[Any]]]:
+    """Per-group partial states for one aggregate via numpy, or None.
+
+    Only for non-DISTINCT aggregates over a clean numeric array (no NULLs),
+    so every row contributes: count is the group size, SUM/AVG reduce with
+    exact dtype-preserving kernels (``np.add.at`` for int64 — ``bincount``
+    would round-trip through float64 and lose >2^53 precision).
+    """
+    if spec.distinct:
+        return None
+    func = spec.func
+    if gids is None:  # single (global) group
+        count = int(arr.size)
+        state: List[Any] = [count, None, None, None]
+        if func in ("SUM", "AVG") and count:
+            state[1] = arr.sum().item()
+        elif func == "MIN" and count:
+            state[2] = arr.min().item()
+        elif func == "MAX" and count:
+            state[2] = arr.max().item()
+        return [state]
+    counts = np.bincount(gids, minlength=n_groups)
+    states = [[int(c), None, None, None] for c in counts]
+    if func in ("SUM", "AVG"):
+        if arr.dtype.kind == "i":
+            totals = np.zeros(n_groups, dtype=np.int64)
+            np.add.at(totals, gids, arr)
+        else:
+            totals = np.bincount(gids, weights=arr, minlength=n_groups)
+        for g, state in enumerate(states):
+            if state[0]:
+                state[1] = totals[g].item()
+    elif func in ("MIN", "MAX"):
+        if func == "MIN":
+            extremes = np.full(n_groups, np.inf)
+            np.minimum.at(extremes, gids, arr)
+        else:
+            extremes = np.full(n_groups, -np.inf)
+            np.maximum.at(extremes, gids, arr)
+        if arr.dtype.kind == "i":
+            extremes = extremes.astype(np.int64)
+        for g, state in enumerate(states):
+            if state[0]:
+                state[2] = extremes[g].item()
+    return states
+
+
+def _partial_aggregate(
+    columns: Batch,
+    n: int,
+    group_exprs: Tuple[BoundExpr, ...],
+    aggregates: Tuple[AggSpec, ...],
+) -> Tuple[List[Tuple], Dict[Tuple, List[List[Any]]]]:
+    """Phase one: aggregate one morsel into per-group partial states.
+
+    Returns ``(group_order, key -> [state per aggregate])`` where
+    ``group_order`` lists keys in first-seen row order within the morsel.
+    """
+    order: List[Tuple] = []
+    partials: Dict[Tuple, List[List[Any]]] = {}
+    if n == 0:
+        return order, partials
+
+    gids: Optional[np.ndarray] = None
+    if group_exprs:
+        key_cols = []
+        for expr in group_exprs:
+            values = eval_batch(expr, columns, n)
+            if isinstance(values, np.ndarray):
+                values = values.tolist()
+            key_cols.append(values)
+        gid_of: Dict[Tuple, int] = {}
+        gids = np.empty(n, dtype=np.intp)
+        for i, key in enumerate(zip(*key_cols)):
+            gid = gid_of.get(key)
+            if gid is None:
+                gid = len(order)
+                gid_of[key] = gid
+                order.append(key)
+                partials[key] = [_new_state(spec) for spec in aggregates]
+            gids[i] = gid
+    else:
+        order.append(())
+        partials[()] = [_new_state(spec) for spec in aggregates]
+
+    n_groups = len(order)
+    for a, spec in enumerate(aggregates):
+        if spec.arg is None:  # COUNT(*): every row counts
+            if gids is None:
+                partials[()][a][0] = n
+            else:
+                for g, c in enumerate(np.bincount(gids, minlength=n_groups)):
+                    partials[order[g]][a][0] = int(c)
+            continue
+        arr = _numpy_operand(spec.arg, columns)
+        if arr is not None and not np.isscalar(arr):
+            states = _numpy_partial(spec, arr, gids, n_groups)
+            if states is not None:
+                for g, state in enumerate(states):
+                    partials[order[g]][a] = state
+                continue
+            values = arr.tolist()
+        else:
+            values = eval_batch(spec.arg, columns, n)
+            if isinstance(values, np.ndarray):
+                values = values.tolist()
+        if gids is None:
+            state = partials[()][a]
+            for value in values:
+                _state_add(state, spec, value)
+        else:
+            for i, value in enumerate(values):
+                _state_add(partials[order[gids[i]]][a], spec, value)
+    return order, partials
+
+
+def aggregate_rows(
+    node: phys.PTwoPhaseAggregate, catalog: Catalog
+) -> List[Tuple]:
+    """Execute a two-phase aggregate; returns final rows in serial order."""
+    scan = node.child
+    group_exprs, aggregates = node.group_exprs, node.aggregates
+    source = catalog.get_table(scan.table).morsels(scan.morsel_size)
+    predicate, exprs = scan.predicate, scan.exprs
+
+    def make(spec: Any) -> Callable[[], Tuple[List[Tuple], Dict]]:
+        def task() -> Tuple[List[Tuple], Dict]:
+            columns, n = source.read(spec)
+            columns, n = _apply_filter(predicate, columns, n)
+            columns = _apply_project(exprs, columns, n)
+            return _partial_aggregate(columns, n, group_exprs, aggregates)
+
+        return task
+
+    tasks = [
+        _traced(make(spec), scan.table, i) for i, spec in enumerate(source.specs)
+    ]
+    order: List[Tuple] = []
+    merged: Dict[Tuple, List[List[Any]]] = {}
+    # Phase two: merge partials in morsel order => serial first-seen order.
+    for morsel_order, partials in map_ordered(tasks, node.workers):
+        for key in morsel_order:
+            states = merged.get(key)
+            if states is None:
+                merged[key] = partials[key]
+                order.append(key)
+            else:
+                for state, other, spec in zip(states, partials[key], aggregates):
+                    _merge_state(state, other, spec)
+    if not merged and not group_exprs:
+        # Global aggregate over an empty input: one row of identity values.
+        return [
+            tuple(_finalize_state(_new_state(spec), spec) for spec in aggregates)
+        ]
+    return [
+        key + tuple(
+            _finalize_state(state, spec)
+            for state, spec in zip(merged[key], aggregates)
+        )
+        for key in order
+    ]
+
+
+# -- partitioned hash join ----------------------------------------------------------
+
+
+def join_rows(
+    node: phys.PPartitionedHashJoin,
+    catalog: Catalog,
+    right_rows: List[Tuple],
+) -> List[Tuple]:
+    """Parallel partitioned build + morsel-parallel probe, in serial order.
+
+    ``right_rows`` is the materialized build side, produced by whichever
+    engine is driving (keeps this module engine-agnostic and import-cycle
+    free).
+    """
+    partitions = max(1, node.partitions)
+    right_key_fns = [evaluator(k) for k in node.right_keys]
+
+    def build(part: int) -> Dict[Tuple, List[Tuple]]:
+        # Full pass over build rows, keeping this partition's keys: per-key
+        # lists stay in right-input order, matching serial PHashJoin.
+        table: Dict[Tuple, List[Tuple]] = {}
+        for row in right_rows:
+            key = tuple(fn(row) for fn in right_key_fns)
+            if any(v is None for v in key):
+                continue  # SQL equality never matches NULL
+            if hash(key) % partitions != part:
+                continue
+            table.setdefault(key, []).append(row)
+        return table
+
+    built = map_ordered([lambda p=p: build(p) for p in range(partitions)], node.workers)
+
+    scan = node.left
+    source = catalog.get_table(scan.table).morsels(scan.morsel_size)
+    predicate, exprs = scan.predicate, scan.exprs
+    left_keys = node.left_keys
+    residual = evaluator(node.residual)
+    null_pad = (None,) * len(node.right.schema)
+    is_outer = node.is_outer
+    left_width = len(scan.schema)
+
+    def make(spec: Any) -> Callable[[], List[Tuple]]:
+        def probe() -> List[Tuple]:
+            columns, n = source.read(spec)
+            columns, n = _apply_filter(predicate, columns, n)
+            columns = _apply_project(exprs, columns, n)
+            if n == 0:
+                return []
+            columns = _to_lists(columns, left_width, n)
+            key_cols = [eval_batch(k, columns, n) for k in left_keys]
+            out: List[Tuple] = []
+            for i, left_row in enumerate(zip(*columns)):
+                key = tuple(col[i] for col in key_cols)
+                matched = False
+                if not any(v is None for v in key):
+                    for right_row in built[hash(key) % partitions].get(key, ()):
+                        combined = left_row + right_row
+                        if residual is None or residual(combined) is True:
+                            matched = True
+                            out.append(combined)
+                if is_outer and not matched:
+                    out.append(left_row + null_pad)
+            return out
+
+        return probe
+
+    tasks = [
+        _traced(make(spec), scan.table, i) for i, spec in enumerate(source.specs)
+    ]
+    rows: List[Tuple] = []
+    for chunk in map_ordered(tasks, node.workers):
+        rows.extend(chunk)
+    return rows

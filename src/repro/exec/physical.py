@@ -249,3 +249,107 @@ class PDistinct(PhysicalPlan):
 
     def children(self) -> Tuple[PhysicalPlan, ...]:
         return (self.child,)
+
+
+# -- exchange operators (morsel-driven parallelism) -----------------------------
+
+
+@dataclass(repr=False)
+class PParallelScan(PhysicalPlan):
+    """Exchange leaf: a morsel-parallel scan with fused filter and project.
+
+    Replaces a ``Project(Filter(SeqScan))`` chain (either stage optional).
+    The executor splits the table into morsels, runs predicate + projection
+    kernels per morsel on the worker pool, and gathers results **in morsel
+    order**, so the output row order equals the serial chain's.
+
+    ``base_schema`` is the scanned table's schema; ``predicate`` and
+    ``exprs`` are bound against it.  ``exprs is None`` means identity
+    projection (output schema == base schema).
+    """
+
+    table: str
+    alias: str
+    base_schema: Schema
+    predicate: Optional[BoundExpr]
+    exprs: Optional[Tuple[BoundExpr, ...]]
+    schema: Schema
+    workers: int = 2
+    morsel_size: int = 8192
+    cardinality: float = 0.0
+
+    def node_label(self) -> str:
+        parts = [f"{self.table} AS {self.alias}", f"workers={self.workers}"]
+        if self.predicate is not None:
+            parts.append(f"filter={self.predicate.to_sql()}")
+        if self.exprs is not None:
+            parts.append(f"project={len(self.exprs)} cols")
+        return f"ParallelScan({', '.join(parts)})  rows~{self.cardinality:.0f}"
+
+
+@dataclass(repr=False)
+class PTwoPhaseAggregate(PhysicalPlan):
+    """Exchange aggregate: per-morsel partial states, merged on the gather.
+
+    The child must be a :class:`PParallelScan`; partial aggregation is fused
+    into each morsel task (numpy kernels where the argument column is clean
+    numeric), and the final merge walks partials in morsel order so group
+    output order matches serial first-seen order.
+    """
+
+    child: PParallelScan
+    group_exprs: Tuple[BoundExpr, ...]
+    aggregates: Tuple[AggSpec, ...]
+    schema: Schema
+    workers: int = 2
+    cardinality: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        keys = ", ".join(e.to_sql() for e in self.group_exprs)
+        aggs = ", ".join(a.to_sql() for a in self.aggregates)
+        return (
+            f"TwoPhaseAggregate(keys=[{keys}] aggs=[{aggs}] "
+            f"workers={self.workers})  rows~{self.cardinality:.0f}"
+        )
+
+
+@dataclass(repr=False)
+class PPartitionedHashJoin(PhysicalPlan):
+    """Exchange join: parallel partitioned build, morsel-parallel probe.
+
+    The right (build) input is materialized serially by the engine, split
+    into ``partitions`` hash partitions built concurrently, then the left
+    :class:`PParallelScan` probes morsel-by-morsel on the pool.  Probing in
+    morsel order reproduces :class:`PHashJoin`'s output order exactly.
+    """
+
+    left: PParallelScan
+    right: PhysicalPlan
+    kind: str  # inner | left
+    left_keys: Tuple[BoundExpr, ...]
+    right_keys: Tuple[BoundExpr, ...]
+    residual: Optional[BoundExpr]
+    schema: Schema
+    workers: int = 2
+    partitions: int = 8
+    cardinality: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    @property
+    def is_outer(self) -> bool:
+        return self.kind == LEFT_OUTER
+
+    def node_label(self) -> str:
+        keys = ", ".join(
+            f"{l.to_sql()}={r.to_sql()}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        extra = f" residual={self.residual.to_sql()}" if self.residual else ""
+        return (
+            f"PartitionedHashJoin({self.kind} ON {keys}){extra} "
+            f"workers={self.workers}x{self.partitions}  rows~{self.cardinality:.0f}"
+        )

@@ -15,6 +15,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from repro.catalog.catalog import Catalog
 from repro.core.errors import ExecutionError
 from repro.core.types import Row
+from repro.exec import parallel
 from repro.exec import physical as phys
 from repro.exec.compile import evaluator
 from repro.exec.vector_eval import Batch, eval_batch, normalize_mask
@@ -63,6 +64,15 @@ def _execute(
         yield from _limit(plan, catalog, batch_size)
     elif isinstance(plan, phys.PDistinct):
         yield from _distinct(plan, catalog, batch_size)
+    elif isinstance(plan, phys.PParallelScan):
+        yield from parallel.scan_batches(plan, catalog)
+    elif isinstance(plan, phys.PTwoPhaseAggregate):
+        rows = parallel.aggregate_rows(plan, catalog)
+        yield from _rows_to_batches(iter(rows), len(plan.schema), batch_size)
+    elif isinstance(plan, phys.PPartitionedHashJoin):
+        right_rows = _materialize(plan.right, catalog, batch_size)
+        rows = parallel.join_rows(plan, catalog, right_rows)
+        yield from _rows_to_batches(iter(rows), len(plan.schema), batch_size)
     else:
         raise ExecutionError(f"vectorized engine cannot execute {type(plan).__name__}")
 

@@ -14,6 +14,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.catalog.catalog import Catalog
 from repro.core.errors import ExecutionError
 from repro.core.types import Row
+from repro.exec import parallel
 from repro.exec import physical as phys
 from repro.exec.compile import evaluator, is_enabled
 from repro.plan.expressions import AggSpec, BoundExpr
@@ -45,6 +46,12 @@ def execute_volcano(plan: phys.PhysicalPlan, catalog: Catalog) -> Iterator[Row]:
         return _limit(plan, catalog)
     if isinstance(plan, phys.PDistinct):
         return _distinct(plan, catalog)
+    if isinstance(plan, phys.PParallelScan):
+        return parallel.scan_rows(plan, catalog)
+    if isinstance(plan, phys.PTwoPhaseAggregate):
+        return iter(parallel.aggregate_rows(plan, catalog))
+    if isinstance(plan, phys.PPartitionedHashJoin):
+        return _partitioned_hash_join(plan, catalog)
     raise ExecutionError(f"volcano engine cannot execute {type(plan).__name__}")
 
 
@@ -154,6 +161,13 @@ def _hash_join(plan: phys.PHashJoin, catalog: Catalog) -> Iterator[Row]:
                     yield combined
         if plan.is_outer and not matched:
             yield left_row + null_pad
+
+
+def _partitioned_hash_join(
+    plan: phys.PPartitionedHashJoin, catalog: Catalog
+) -> Iterator[Row]:
+    right_rows = list(execute_volcano(plan.right, catalog))
+    yield from parallel.join_rows(plan, catalog, right_rows)
 
 
 # -- aggregation --------------------------------------------------------------------

@@ -33,6 +33,13 @@ class OptimizerOptions:
     enable_index_scan: bool = True
     enable_hash_join: bool = True
     enable_topn_sort: bool = True
+    #: Intra-query parallelism: 0 = serial plans, 1 = exchange operators run
+    #: inline (overhead measurement), >= 2 = morsels on the worker pool.
+    #: Participates in the plan-cache key (via astuple), so serial and
+    #: parallel plans never collide in the cache.
+    workers: int = 0
+    morsel_size: int = 8192
+    parallel_min_rows: int = 2048
 
     @staticmethod
     def naive() -> "OptimizerOptions":
@@ -107,9 +114,12 @@ class Optimizer:
             enable_index_scan=self.options.enable_index_scan,
             enable_hash_join=self.options.enable_hash_join,
             enable_topn_sort=self.options.enable_topn_sort,
+            workers=self.options.workers,
+            morsel_size=self.options.morsel_size,
+            parallel_min_rows=self.options.parallel_min_rows,
         )
         planner = PhysicalPlanner(self.catalog, self.cost_model, flags)
-        physical = planner.plan(plan)
+        physical = planner.parallelize(planner.plan(plan))
         verifier = _verifier if _verifier is not None else self._make_verifier(plan)
         if verifier is not None:
             verifier.check_physical("physical", physical)

@@ -39,6 +39,18 @@ class PlannerFlags:
     enable_index_scan: bool = True
     enable_hash_join: bool = True
     enable_topn_sort: bool = True
+    #: 0 disables the parallelism pass; 1 keeps exchange operators but runs
+    #: their morsels inline (the overhead-measurement configuration); >= 2
+    #: fans morsels out to the shared worker pool.
+    workers: int = 0
+    morsel_size: int = 8192
+    #: Tables below this row count stay serial: morsel dispatch overhead
+    #: would dominate.  Tests force parallel plans by setting it to 0.
+    parallel_min_rows: int = 2048
+
+
+#: Aggregate functions with a known partial-state decomposition.
+_PARALLEL_AGG_FUNCS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
 
 
 @dataclass
@@ -219,6 +231,95 @@ class PhysicalPlanner:
                 consumed=(position,),
             )
         return None
+
+    # -- parallelism ---------------------------------------------------------
+
+    def parallelize(self, plan: phys.PhysicalPlan) -> phys.PhysicalPlan:
+        """Rewrite eligible subtrees into exchange operators.
+
+        The decision pass is deliberately conservative — the serial plan is
+        always the fallback:
+
+        * only ``Project(Filter(SeqScan))`` chains (either stage optional)
+          become parallel scans; index scans keep their access-path order
+          and stay serial;
+        * tables under ``parallel_min_rows`` stay serial (morsel dispatch
+          would cost more than it saves);
+        * aggregates parallelize only when every function has a partial
+          decomposition; hash joins only when their probe side is an
+          eligible chain.
+
+        Everything the pass leaves serial executes exactly as before, so a
+        parallel plan is always a drop-in replacement — and the ordered
+        gather in :mod:`repro.exec.parallel` means even row *order* matches.
+        """
+        if self.flags.workers <= 0:
+            return plan
+        return self._parallelize(plan)
+
+    def _parallel_chain(self, node: phys.PhysicalPlan) -> Optional[phys.PParallelScan]:
+        """A PParallelScan for a Project/Filter/SeqScan chain, else None."""
+        project: Optional[phys.PProject] = None
+        filter_: Optional[phys.PFilter] = None
+        cur = node
+        if isinstance(cur, phys.PProject):
+            project, cur = cur, cur.child
+        if isinstance(cur, phys.PFilter):
+            filter_, cur = cur, cur.child
+        if not isinstance(cur, phys.PSeqScan):
+            return None
+        table = self.catalog.get_table(cur.table)
+        if table.row_count < self.flags.parallel_min_rows:
+            return None
+        return phys.PParallelScan(
+            table=cur.table,
+            alias=cur.alias,
+            base_schema=cur.schema,
+            predicate=filter_.predicate if filter_ is not None else None,
+            exprs=project.exprs if project is not None else None,
+            schema=node.schema,
+            workers=self.flags.workers,
+            morsel_size=self.flags.morsel_size,
+            cardinality=node.estimated_rows(),
+        )
+
+    def _parallelize(self, node: phys.PhysicalPlan) -> phys.PhysicalPlan:
+        chain = self._parallel_chain(node)
+        if chain is not None:
+            return chain
+        if isinstance(node, phys.PAggregate):
+            child_chain = self._parallel_chain(node.child)
+            if child_chain is not None and all(
+                spec.func in _PARALLEL_AGG_FUNCS for spec in node.aggregates
+            ):
+                return phys.PTwoPhaseAggregate(
+                    child=child_chain,
+                    group_exprs=node.group_exprs,
+                    aggregates=node.aggregates,
+                    schema=node.schema,
+                    workers=self.flags.workers,
+                    cardinality=node.cardinality,
+                )
+        if isinstance(node, phys.PHashJoin):
+            left_chain = self._parallel_chain(node.left)
+            if left_chain is not None:
+                return phys.PPartitionedHashJoin(
+                    left=left_chain,
+                    right=self._parallelize(node.right),
+                    kind=node.kind,
+                    left_keys=node.left_keys,
+                    right_keys=node.right_keys,
+                    residual=node.residual,
+                    schema=node.schema,
+                    workers=self.flags.workers,
+                    partitions=max(4, self.flags.workers * 4),
+                    cardinality=node.cardinality,
+                )
+        for attr in ("child", "left", "right"):
+            child = getattr(node, attr, None)
+            if isinstance(child, phys.PhysicalPlan):
+                setattr(node, attr, self._parallelize(child))
+        return node
 
     # -- joins ------------------------------------------------------------------
 

@@ -51,6 +51,7 @@ class ColumnTable:
             if index in self._deleted:
                 raise StorageError(f"row {index} already deleted")
             self._deleted.add(index)
+            self._array_cache.clear()
 
     def update(self, index: int, row: Sequence[Any]) -> None:
         """Overwrite a row in place."""
@@ -111,7 +112,12 @@ class ColumnTable:
             return [v for i, v in enumerate(col) if i not in self._deleted]
 
     def column_array(self, name_or_index) -> np.ndarray:
-        """Live values of a numeric column as a numpy array (cached)."""
+        """Live values of a numeric column as a numpy array (cached).
+
+        The returned array is marked read-only: it is shared between every
+        caller (including concurrent morsel workers), so an in-place write
+        would corrupt other readers' view of the table.
+        """
         idx = self._resolve(name_or_index)
         dtype = self.schema[idx].dtype
         if not dtype.is_numeric():
@@ -128,8 +134,65 @@ class ColumnTable:
                 [np.nan if v is None else v for v in values],
                 dtype=np.int64 if dtype is DataType.INTEGER and None not in values else np.float64,
             )
+            arr.setflags(write=False)
             self._array_cache[idx] = arr
             return arr
+
+    def clean_array(self, index: int) -> Optional[np.ndarray]:
+        """A NULL-free numeric array aligned with raw row indexes, or None.
+
+        This is the morsel fast path: when the column is numeric, holds no
+        NULLs, and the table has no tombstones, row ``i`` of the table is
+        element ``i`` of the array, so a morsel ``[start, end)`` is a
+        zero-copy slice.  Any other situation returns None and the caller
+        falls back to per-value Python lists.  The result (including the
+        negative answer) is cached alongside :meth:`column_array` and
+        invalidated by every write.
+        """
+        with self._lock:
+            key = ("clean", index)
+            if key in self._array_cache:
+                return self._array_cache[key]
+            arr: Optional[np.ndarray] = None
+            dtype = self.schema[index].dtype
+            if not self._deleted and dtype.is_numeric():
+                values = self._columns[index]
+                if None not in values:
+                    arr = np.asarray(
+                        values,
+                        dtype=np.int64 if dtype is DataType.INTEGER else np.float64,
+                    )
+                    arr.setflags(write=False)
+            self._array_cache[key] = arr
+            return arr
+
+    # -- morsels ------------------------------------------------------------
+
+    def morsel_source(self, morsel_size: int = 8192) -> "ColumnMorselSource":
+        """A consistent snapshot of the table split into row-range morsels."""
+        if morsel_size < 1:
+            raise StorageError("morsel_size must be >= 1")
+        with self._lock:
+            total = len(self._columns[0]) if self._columns else 0
+            deleted = set(self._deleted) if self._deleted else None
+            columns = list(self._columns)
+        live: Optional[List[int]] = None
+        if deleted:
+            live = [i for i in range(total) if i not in deleted]
+            count = len(live)
+        else:
+            count = total
+        arrays: List[Optional[np.ndarray]] = []
+        if live is None:
+            # Arrays align with raw indexes only when nothing is deleted.
+            arrays = [self.clean_array(j) for j in range(len(columns))]
+        else:
+            arrays = [None] * len(columns)
+        specs = [
+            (start, min(start + morsel_size, count))
+            for start in range(0, count, morsel_size)
+        ]
+        return ColumnMorselSource(columns, arrays, live, specs)
 
     # -- stats --------------------------------------------------------------
 
@@ -173,3 +236,33 @@ class ColumnTable:
                 raise StorageError(f"column index {name_or_index} out of range")
             return name_or_index
         return self.schema.index_of(name_or_index)
+
+
+class ColumnMorselSource:
+    """Row-range morsels over one snapshot of a :class:`ColumnTable`.
+
+    ``read`` is safe to call from worker threads: it only slices the
+    snapshot's immutable arrays and (GIL-atomically) the underlying column
+    lists, never touching table locks.  Numeric NULL-free columns come back
+    as zero-copy numpy views so downstream kernels release the GIL.
+    """
+
+    __slots__ = ("columns", "arrays", "live", "specs")
+
+    def __init__(self, columns, arrays, live, specs):
+        self.columns = columns
+        self.arrays = arrays
+        self.live = live
+        self.specs = specs
+
+    def read(self, spec: Tuple[int, int]) -> Tuple[List[Any], int]:
+        """Column-major values for morsel ``spec``; returns (columns, n)."""
+        start, end = spec
+        if self.live is not None:
+            idx = self.live[start:end]
+            return [[col[i] for i in idx] for col in self.columns], len(idx)
+        out: List[Any] = []
+        for j, col in enumerate(self.columns):
+            arr = self.arrays[j]
+            out.append(arr[start:end] if arr is not None else col[start:end])
+        return out, end - start

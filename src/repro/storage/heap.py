@@ -176,6 +176,31 @@ class HeapFile:
         for _, row in self.scan():
             yield row
 
+    # -- morsels ---------------------------------------------------------------
+
+    def morsel_source(self, morsel_size: int = 8192) -> "HeapMorselSource":
+        """Split the heap into page-chunk morsels of roughly ``morsel_size`` rows.
+
+        Heap morsels are page-aligned: a spec is a list of page ids, sized so
+        the expected row count per morsel approximates ``morsel_size`` (from
+        the current rows-per-page average).  Reads go through the buffer pool,
+        whose internal lock makes concurrent ``fetch_page``/``unpin`` from
+        worker threads safe; :class:`repro.storage.rowcodec.RowCodec` is
+        stateless, so decoding needs no coordination.
+        """
+        if morsel_size < 1:
+            raise StorageError("morsel_size must be >= 1")
+        with self._lock:
+            page_ids = list(self._page_ids)
+            row_count = self._row_count
+        rows_per_page = max(1, row_count // max(1, len(page_ids)))
+        pages_per_morsel = max(1, morsel_size // rows_per_page)
+        specs = [
+            page_ids[start : start + pages_per_morsel]
+            for start in range(0, len(page_ids), pages_per_morsel)
+        ]
+        return HeapMorselSource(self.pool, self.codec, specs)
+
     # -- stats ------------------------------------------------------------------
 
     @property
@@ -199,3 +224,29 @@ class HeapFile:
     def _check_rid(self, rid: RecordId) -> None:
         if rid.page_id not in self._page_id_set:
             raise StorageError(f"record id {rid} is not in heap {self.name!r}")
+
+
+class HeapMorselSource:
+    """Page-chunk morsels over a snapshot of a :class:`HeapFile`'s page list."""
+
+    __slots__ = ("pool", "codec", "specs")
+
+    def __init__(self, pool: BufferPool, codec: RowCodec, specs):
+        self.pool = pool
+        self.codec = codec
+        self.specs = specs
+
+    def read(self, spec) -> Tuple[list, int]:
+        """Decode one page-chunk morsel into column-major lists."""
+        decode = self.codec.decode
+        rows = []
+        for page_id in spec:
+            page = self.pool.fetch_page(page_id)
+            try:
+                records = list(page.records())
+            finally:
+                self.pool.unpin(page_id)
+            rows.extend(decode(payload) for _, payload in records)
+        if not rows:
+            return [[] for _ in self.codec.schema], 0
+        return [list(col) for col in zip(*rows)], len(rows)
