@@ -1,22 +1,29 @@
 """Morsel-driven parallel execution benchmark (≈30 s) → BENCH_parallel.json.
 
-Measures the three exchange operators against the serial vectorized engine
-on scan-heavy workloads shaped like TPC-H Q1/Q6:
+Measures the exchange operators against the serial vectorized engine on
+workloads shaped like TPC-H Q1/Q6 plus join- and sort-heavy shapes:
 
 * **filter_sum** (Q6-style) — tight filter over a wide numeric table,
   ``SUM(price * discount)`` on the survivors;
 * **grouped_agg** (Q1-style) — low-cardinality GROUP BY with a fan of
   COUNT/SUM/AVG aggregates;
-* **hash_join** — partitioned-build join probed by a parallel scan.
+* **hash_join** — radix-partitioned build joined by a parallel probe;
+* **order_by** — full parallel sort (per-morsel keys + global lexsort);
+* **order_by_limit** — per-morsel top-k + merge.
 
 Each query runs serial (``workers=0``) and at ``workers`` ∈ {1, 2, 4}.
 ``workers=1`` executes morsel tasks inline on the caller, so its column
 isolates the exchange machinery's overhead from actual parallelism.
 
-Targets: ≥2× speedup at 4 workers on the aggregate queries (on a single-CPU
-box this comes from the numpy morsel kernels replacing per-row accumulator
-loops; with real cores, thread overlap stacks on top), and ≤10% overhead
-at ``workers=1`` against serial.
+**Honest multi-core reporting**: every report carries ``cpu_count``, and
+each worker column records whether it was oversubscribed (more workers
+than cores).  Speedup targets that depend on real parallelism — join
+≥1.5× and sort ≥2× at 4 workers — are only *enforced* when the box
+actually has ≥4 cores; on smaller machines they are reported but marked
+``SKIPPED`` rather than silently "failing" (or worse, silently passing
+because a numpy kernel hid the lack of cores).  Targets that come from
+kernel quality rather than core count — aggregate ≥2× at 4 workers,
+≤10% overhead at ``workers=1`` — are enforced everywhere.
 
 Run directly::
 
@@ -54,6 +61,21 @@ QUERIES = {
         "SELECT SUM(items.price) FROM items "
         "JOIN parts ON items.part_id = parts.id WHERE items.qty > 10"
     ),
+    "order_by": (
+        "SELECT qty, price FROM items WHERE discount >= 3 "
+        "ORDER BY qty DESC, price"
+    ),
+    "order_by_limit": (
+        "SELECT qty, price FROM items ORDER BY price DESC, qty LIMIT 100"
+    ),
+}
+
+# (query, target speedup at 4 workers, needs >=4 real cores to be fair)
+TARGETS = {
+    "filter_sum": (2.0, False),
+    "grouped_agg": (2.0, False),
+    "hash_join": (1.5, True),
+    "order_by": (2.0, True),
 }
 
 
@@ -98,32 +120,56 @@ def best_of(db: Database, sql: str, rounds: int) -> float:
     return best * 1000.0
 
 
+def _rows_close(got, want) -> bool:
+    if got == want:
+        return True
+    if len(got) != len(want):
+        return False
+    for g_row, w_row in zip(got, want):
+        for a, b in zip(g_row, w_row):
+            if isinstance(a, float) and isinstance(b, float):
+                if abs(a - b) > 1e-6 * max(abs(a), abs(b), 1.0):
+                    return False
+            elif a != b:
+                return False
+    return True
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="fewer rows")
     args = parser.parse_args()
     rows = QUICK_ROWS if args.quick else ROWS
+    cpu_count = os.cpu_count() or 1
     started = time.time()
 
     serial_db = build_db(rows, workers=0)
     parallel_dbs = {w: build_db(rows, workers=w) for w in WORKER_COUNTS}
 
-    report = {"rows": rows, "queries": {}, "speedup_at_4": {}, "overhead_at_1_pct": {}}
-    baselines = {}
+    report = {
+        "rows": rows,
+        "cpu_count": cpu_count,
+        "queries": {},
+        "speedup_at_4": {},
+        "overhead_at_1_pct": {},
+    }
+    oversubscribed_any = False
     for name, sql in QUERIES.items():
         serial_ms = best_of(serial_db, sql, ROUNDS)
-        baselines[name] = serial_db.execute(sql).rows
+        baseline = serial_db.execute(sql).rows
         entry = {"serial_ms": round(serial_ms, 2), "workers": {}}
         for w, db in parallel_dbs.items():
-            assert db.execute(sql).rows == baselines[name] or all(
-                abs(a - b) < 1e-6 * max(abs(a), 1.0)
-                for got, want in zip(db.execute(sql).rows, baselines[name])
-                for a, b in zip(got, want)
-            ), f"{name} at workers={w} diverged from serial"
+            assert _rows_close(db.execute(sql).rows, baseline), (
+                f"{name} at workers={w} diverged from serial"
+            )
             ms = best_of(db, sql, ROUNDS)
+            over = w > cpu_count
+            oversubscribed_any = oversubscribed_any or over
             entry["workers"][str(w)] = {
                 "ms": round(ms, 2),
                 "speedup": round(serial_ms / ms, 2),
+                "cpu_count": cpu_count,
+                "oversubscribed": over,
             }
         report["queries"][name] = entry
         report["speedup_at_4"][name] = entry["workers"]["4"]["speedup"]
@@ -132,24 +178,49 @@ def main() -> int:
         )
 
     report["elapsed_s"] = round(time.time() - started, 1)
+
+    if oversubscribed_any:
+        print(
+            f"WARNING: only {cpu_count} core(s) available — worker counts above "
+            f"that are OVERSUBSCRIBED and their speedups measure kernel quality, "
+            f"not parallelism.  Multi-core targets are skipped below; run on a "
+            f">=4-core box (see the bench-multicore CI job) for honest numbers.",
+            file=sys.stderr,
+        )
+
+    failures = []
+    verdicts = {}
+    for name, (target, needs_cores) in TARGETS.items():
+        speedup = report["speedup_at_4"][name]
+        if needs_cores and cpu_count < 4:
+            verdicts[name] = f"SKIPPED (cpu_count={cpu_count} < 4)"
+            continue
+        met = speedup >= target
+        verdicts[name] = f"{'MET' if met else 'NOT MET'} ({speedup:.2f}x vs {target}x)"
+        if not met:
+            failures.append(name)
+    overhead_ok = all(v <= 10.0 for v in report["overhead_at_1_pct"].values())
+    if not overhead_ok:
+        failures.append("overhead_at_1")
+    report["targets"] = verdicts
+    report["overhead_target_met"] = overhead_ok
     out_path = write_report("parallel", report)
 
-    agg_ok = all(
-        report["speedup_at_4"][q] >= 2.0 for q in ("filter_sum", "grouped_agg")
-    )
-    overhead_ok = all(v <= 10.0 for v in report["overhead_at_1_pct"].values())
     for name, entry in report["queries"].items():
         per_w = ", ".join(
-            f"{w}w {info['ms']:.1f} ms ({info['speedup']:.2f}x)"
+            f"{w}w {info['ms']:.1f} ms ({info['speedup']:.2f}x"
+            f"{', OVERSUB' if info['oversubscribed'] else ''})"
             for w, info in entry["workers"].items()
         )
-        print(f"{name:>12}: serial {entry['serial_ms']:.1f} ms | {per_w}")
+        print(f"{name:>14}: serial {entry['serial_ms']:.1f} ms | {per_w}")
+    for name, verdict in verdicts.items():
+        print(f"target {name:>14} >=4w: {verdict}")
     print(
-        f"wrote {out_path}; targets (agg >=2x at 4 workers: "
-        f"{'MET' if agg_ok else 'NOT MET'}; workers=1 overhead <=10%: "
-        f"{'MET' if overhead_ok else 'NOT MET'})"
+        f"workers=1 overhead <=10%: {'MET' if overhead_ok else 'NOT MET'} "
+        f"({report['overhead_at_1_pct']})"
     )
-    return 0 if (agg_ok and overhead_ok) else 1
+    print(f"wrote {out_path}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -430,6 +430,41 @@ def check_physical_invariants(
                 if spec.arg is not None
             )
             _check_exprs(exprs, width, label, stage, findings)
+            if node.workers < 1:
+                findings.append(
+                    _finding(
+                        _RULE_CARDINALITY,
+                        f"{label}: workers={node.workers} — a parallel operator "
+                        "reached the executor with no workers",
+                        stage,
+                    )
+                )
+        elif isinstance(node, phys.PParallelSort):
+            width = len(node.child.schema)
+            _check_exprs(
+                [(f"sort key {i}", e) for i, (e, _) in enumerate(node.keys)],
+                width,
+                label,
+                stage,
+                findings,
+            )
+            if node.workers < 1:
+                findings.append(
+                    _finding(
+                        _RULE_CARDINALITY,
+                        f"{label}: workers={node.workers} — a parallel operator "
+                        "reached the executor with no workers",
+                        stage,
+                    )
+                )
+            if node.limit_hint is not None and node.limit_hint < 0:
+                findings.append(
+                    _finding(
+                        _RULE_CARDINALITY,
+                        f"{label}: negative top-N hint {node.limit_hint}",
+                        stage,
+                    )
+                )
         elif isinstance(node, phys.PPartitionedHashJoin):
             left_width = len(node.left.schema)
             right_width = len(node.right.schema)
@@ -454,6 +489,16 @@ def check_physical_invariants(
                     label,
                     stage,
                     findings,
+                )
+            if node.workers < 1 or node.partitions < 1:
+                findings.append(
+                    _finding(
+                        _RULE_CARDINALITY,
+                        f"{label}: workers={node.workers}, "
+                        f"partitions={node.partitions} — a parallel join needs "
+                        "at least one of each",
+                        stage,
+                    )
                 )
         for child in node.children():
             walk(child)

@@ -1,9 +1,10 @@
 """Morsel-driven parallel execution.
 
 The exchange operators in :mod:`repro.exec.physical` (``PParallelScan``,
-``PTwoPhaseAggregate``, ``PPartitionedHashJoin``) are executed here, on a
-shared worker pool, and both engines consume the results: the vectorized
-engine takes column-major batches, the volcano engine pivots them to rows.
+``PTwoPhaseAggregate``, ``PPartitionedHashJoin``, ``PParallelSort``) are
+executed here, on a shared worker pool, and both engines consume the
+results: the vectorized engine takes column-major batches, the volcano
+engine pivots them to rows.
 
 Design (after Leis et al.'s morsel-driven parallelism, scaled down):
 
@@ -38,11 +39,15 @@ Design (after Leis et al.'s morsel-driven parallelism, scaled down):
   BEGIN / READ(table, morsel) / COMMIT to a pool-owned
   :class:`~repro.txn.trace.ScheduleRecorder`, so the PR-4 serializability
   checker can audit worker interleavings (read-only tasks: trivially
-  serializable, no lock inversions).
+  serializable, no lock inversions).  Join build-side tasks trace under
+  the synthetic labels ``@join-build`` (chunk partitioning) and
+  ``@join-partition`` (partition finalize); sort tasks trace against the
+  table they scan.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import os
 import threading
@@ -54,6 +59,7 @@ import numpy as np
 from repro.catalog.catalog import Catalog
 from repro.exec import physical as phys
 from repro.exec.compile import evaluator
+from repro.exec.stablehash import stable_hash, stable_partitions
 from repro.exec.vector_eval import eval_batch, normalize_mask
 from repro.plan.expressions import (
     AggSpec,
@@ -592,35 +598,286 @@ def aggregate_rows(
 
 # -- partitioned hash join ----------------------------------------------------------
 
+#: Keys within this signed range vectorize as int64 without overflow.
+_INT64_MIN, _INT64_MAX = -(1 << 63), (1 << 63)
+
+
+class _RadixBuild:
+    """Build-side result of the single-pass radix partitioning.
+
+    Two shapes, chosen by what the key values turned out to be:
+
+    * **vector mode** (``kind`` is ``"i"`` or ``"f"``): one shared
+      read-only pair of numpy arrays.  ``all_keys`` holds every non-NULL
+      build key, partition by partition, sorted (stably) within each
+      partition; ``all_rids[i]`` is the build-row index of ``all_keys[i]``.
+      ``offsets[p] : offsets[p+1]`` is partition ``p``'s slice.  Probes
+      binary-search their partition's slice — no per-worker dicts, no
+      Python objects on the hot path, and ``searchsorted`` releases the
+      GIL.  Stable per-partition sort keeps equal keys in build-input
+      order, which is what reproduces serial ``PHashJoin`` output order.
+
+    * **dict mode** (``kind`` is None): per-partition ``key -> [rid]``
+      dicts for strings, tuples (multi-column keys), and exotic numerics.
+      Rid lists are in build-input order for the same reason.
+    """
+
+    __slots__ = ("partitions", "kind", "all_keys", "all_rids", "offsets", "tables")
+
+    def __init__(self, partitions: int, kind: Optional[str]):
+        self.partitions = partitions
+        self.kind = kind
+        self.all_keys: Optional[np.ndarray] = None
+        self.all_rids: Optional[np.ndarray] = None
+        self.offsets: Optional[np.ndarray] = None
+        self.tables: Optional[List[Dict[Any, List[int]]]] = None
+
+    def lookup(self, key: Any) -> Sequence[int]:
+        """Build-row indices matching one probe key (scalar fallback path)."""
+        if self.tables is not None:
+            part = self.tables[stable_hash(key) % self.partitions]
+            return part.get(key, ())
+        value = key
+        if isinstance(value, bool):
+            value = int(value)
+        if self.kind == "i":
+            if isinstance(value, float):
+                if value != value or not value.is_integer():
+                    return ()
+                value = int(value)
+            if not isinstance(value, int) or not _INT64_MIN <= value < _INT64_MAX:
+                return ()
+        else:  # "f"
+            if isinstance(value, int):
+                as_float = float(value)
+                if as_float != value:
+                    return ()  # inexact conversion: equals no float at all
+                value = as_float
+            if not isinstance(value, float):
+                return ()
+        p = stable_hash(key) % self.partitions
+        lo, hi = int(self.offsets[p]), int(self.offsets[p + 1])
+        seg = self.all_keys[lo:hi]
+        left = lo + int(np.searchsorted(seg, value, side="left"))
+        right = lo + int(np.searchsorted(seg, value, side="right"))
+        return self.all_rids[left:right]
+
+
+def _merge_kind(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    if a == "":
+        return b
+    if b == "" or a == b:
+        return a
+    return None
+
+
+def _radix_build(
+    right_rows: List[Tuple],
+    right_key_fns: List[Callable],
+    partitions: int,
+    workers: int,
+) -> _RadixBuild:
+    """Single pass over the build side: chunked parallel radix partitioning.
+
+    Phase one fans build-row chunks out to workers; each chunk task routes
+    its rows into per-partition key/rid lists (one hash per row — the old
+    implementation re-hashed every row once *per partition*).  Phase two
+    concatenates chunk outputs in chunk order, preserving build-input order
+    within every partition.  Phase three finalizes partitions in parallel,
+    largest first so a skewed partition starts immediately and smaller ones
+    pack in behind it (LPT scheduling — the work-stealing analogue for a
+    futures pool).
+    """
+    n_build = len(right_rows)
+    single = len(right_key_fns) == 1
+    if workers <= 1 or n_build < 4096:
+        n_chunks = 1
+    else:
+        n_chunks = min(workers * 4, max(1, n_build // 2048))
+    bounds = [
+        (n_build * c // n_chunks, n_build * (c + 1) // n_chunks)
+        for c in range(n_chunks)
+    ]
+
+    def partition_chunk(start: int, end: int):
+        keys: List[List[Any]] = [[] for _ in range(partitions)]
+        rids: List[List[int]] = [[] for _ in range(partitions)]
+        kind: Optional[str] = "" if single else None
+        fn = right_key_fns[0]
+        for rid in range(start, end):
+            row = right_rows[rid]
+            if single:
+                key = fn(row)
+                if key is None:
+                    continue  # SQL equality never matches NULL
+            else:
+                key = tuple(k(row) for k in right_key_fns)
+                if any(v is None for v in key):
+                    continue
+            p = stable_hash(key) % partitions
+            keys[p].append(key)
+            rids[p].append(rid)
+            if kind is not None:
+                if isinstance(key, bool):
+                    kind = None
+                elif isinstance(key, int):
+                    kind = (
+                        "i"
+                        if kind in ("", "i") and _INT64_MIN <= key < _INT64_MAX
+                        else None
+                    )
+                elif isinstance(key, float):
+                    # NaN keys never vectorize: searchsorted would treat
+                    # them as orderable and fabricate NaN == NaN matches.
+                    kind = "f" if kind in ("", "f") and key == key else None
+                else:
+                    kind = None
+        return keys, rids, kind
+
+    chunk_tasks = [
+        _traced(
+            lambda s=start, e=end: partition_chunk(s, e), "@join-build", c
+        )
+        for c, (start, end) in enumerate(bounds)
+    ]
+    keys_per_part: List[List[Any]] = [[] for _ in range(partitions)]
+    rids_per_part: List[List[int]] = [[] for _ in range(partitions)]
+    kind: Optional[str] = "" if single else None
+    for chunk_keys, chunk_rids, chunk_kind in map_ordered(chunk_tasks, workers):
+        for p in range(partitions):
+            keys_per_part[p].extend(chunk_keys[p])
+            rids_per_part[p].extend(chunk_rids[p])
+        if kind is not None:
+            kind = _merge_kind(kind, chunk_kind)
+    if kind == "":
+        kind = None  # no non-NULL keys at all: dict mode handles empty fine
+
+    build = _RadixBuild(partitions, kind)
+    by_size = sorted(range(partitions), key=lambda p: -len(keys_per_part[p]))
+
+    if kind is not None:
+        dtype = np.int64 if kind == "i" else np.float64
+
+        def finalize_vector(p: int):
+            arr = np.asarray(keys_per_part[p], dtype=dtype)
+            order = np.argsort(arr, kind="stable")
+            return arr[order], np.asarray(rids_per_part[p], dtype=np.intp)[order]
+
+        finalize_tasks = [
+            _traced(lambda p=p: (p, finalize_vector(p)), "@join-partition", p)
+            for p in by_size
+        ]
+        finalized = dict(map_ordered(finalize_tasks, workers))
+        offsets = np.zeros(partitions + 1, dtype=np.intp)
+        for p in range(partitions):
+            offsets[p + 1] = offsets[p] + len(keys_per_part[p])
+        build.offsets = offsets
+        build.all_keys = np.concatenate(
+            [finalized[p][0] for p in range(partitions)]
+        ) if int(offsets[-1]) else np.empty(0, dtype=dtype)
+        build.all_rids = np.concatenate(
+            [finalized[p][1] for p in range(partitions)]
+        ) if int(offsets[-1]) else np.empty(0, dtype=np.intp)
+        return build
+
+    def finalize_dict(p: int):
+        table: Dict[Any, List[int]] = {}
+        for key, rid in zip(keys_per_part[p], rids_per_part[p]):
+            table.setdefault(key, []).append(rid)
+        return table
+
+    finalize_tasks = [
+        _traced(lambda p=p: (p, finalize_dict(p)), "@join-partition", p)
+        for p in by_size
+    ]
+    finalized = dict(map_ordered(finalize_tasks, workers))
+    build.tables = [finalized[p] for p in range(partitions)]
+    return build
+
+
+def _probe_vectorized(
+    key_arr: np.ndarray,
+    columns: Batch,
+    n: int,
+    build: _RadixBuild,
+    right_rows: List[Tuple],
+    is_outer: bool,
+    null_pad: Tuple,
+    left_width: int,
+) -> Optional[List[Tuple]]:
+    """Whole-morsel probe against a vector-mode build, or None to fall back.
+
+    One hash kernel routes the morsel's keys to partitions, one pair of
+    ``searchsorted`` calls per touched partition finds every match range,
+    and the match expansion (which probe row pairs with which build rows)
+    is pure index arithmetic — ``repeat``/``cumsum`` — so the entire
+    matching phase runs in numpy with the GIL released.
+    """
+    pids = stable_partitions(key_arr, build.partitions)
+    if pids is None:
+        return None  # non-finite floats present: scalar path handles them
+    all_keys, all_rids, offsets = build.all_keys, build.all_rids, build.offsets
+    starts = np.zeros(n, dtype=np.intp)
+    counts = np.zeros(n, dtype=np.intp)
+    for p in np.unique(pids):
+        lo, hi = int(offsets[p]), int(offsets[p + 1])
+        mask = pids == p
+        if lo == hi:
+            continue
+        seg = all_keys[lo:hi]
+        sub = key_arr[mask]
+        starts[mask] = lo + np.searchsorted(seg, sub, side="left")
+        counts[mask] = (
+            lo + np.searchsorted(seg, sub, side="right")
+        ) - starts[mask]
+
+    list_cols = _to_lists(columns, left_width, n)
+    left_tuples = list(zip(*list_cols))
+    if not is_outer:
+        total = int(counts.sum())
+        if total == 0:
+            return []
+        left_idx = np.repeat(np.arange(n), counts)
+        base = np.cumsum(counts) - counts
+        rpos = np.repeat(starts, counts) + (
+            np.arange(total) - np.repeat(base, counts)
+        )
+        rids = all_rids[rpos]
+        return [
+            left_tuples[i] + right_rows[r]
+            for i, r in zip(left_idx.tolist(), rids.tolist())
+        ]
+    out_counts = np.maximum(counts, 1)
+    total = int(out_counts.sum())
+    left_idx = np.repeat(np.arange(n), out_counts)
+    base = np.cumsum(out_counts) - out_counts
+    pos = np.arange(total) - np.repeat(base, out_counts)
+    is_match = pos < np.repeat(counts, out_counts)
+    rpos = np.repeat(starts, out_counts) + pos
+    rids = np.zeros(total, dtype=np.intp)
+    rids[is_match] = all_rids[rpos[is_match]]
+    out: List[Tuple] = []
+    for i, r, m in zip(left_idx.tolist(), rids.tolist(), is_match.tolist()):
+        out.append(left_tuples[i] + (right_rows[r] if m else null_pad))
+    return out
+
 
 def join_rows(
     node: phys.PPartitionedHashJoin,
     catalog: Catalog,
     right_rows: List[Tuple],
 ) -> List[Tuple]:
-    """Parallel partitioned build + morsel-parallel probe, in serial order.
+    """Radix-partitioned parallel build + morsel-parallel probe, in serial order.
 
     ``right_rows`` is the materialized build side, produced by whichever
     engine is driving (keeps this module engine-agnostic and import-cycle
-    free).
+    free).  Partition routing uses :mod:`repro.exec.stablehash`, never the
+    ``PYTHONHASHSEED``-randomized builtin, so assignments reproduce across
+    runs and across ``REPRO_PROCESS_POOL=1`` fork workers.
     """
     partitions = max(1, node.partitions)
     right_key_fns = [evaluator(k) for k in node.right_keys]
-
-    def build(part: int) -> Dict[Tuple, List[Tuple]]:
-        # Full pass over build rows, keeping this partition's keys: per-key
-        # lists stay in right-input order, matching serial PHashJoin.
-        table: Dict[Tuple, List[Tuple]] = {}
-        for row in right_rows:
-            key = tuple(fn(row) for fn in right_key_fns)
-            if any(v is None for v in key):
-                continue  # SQL equality never matches NULL
-            if hash(key) % partitions != part:
-                continue
-            table.setdefault(key, []).append(row)
-        return table
-
-    built = map_ordered([lambda p=p: build(p) for p in range(partitions)], node.workers)
+    build = _radix_build(right_rows, right_key_fns, partitions, node.workers)
 
     scan = node.left
     source = catalog.get_table(scan.table).morsels(scan.morsel_size)
@@ -630,6 +887,11 @@ def join_rows(
     null_pad = (None,) * len(node.right.schema)
     is_outer = node.is_outer
     left_width = len(scan.schema)
+    single = len(left_keys) == 1
+    #: The numpy probe requires same-kind dtypes on both sides; cross-kind
+    #: comparisons (int64 keys probed with floats, say) go through the
+    #: scalar path's exact conversion rules instead of a lossy array cast.
+    vector_ok = build.kind is not None and single and residual is None
 
     def make(spec: Any) -> Callable[[], List[Tuple]]:
         def probe() -> List[Tuple]:
@@ -638,15 +900,38 @@ def join_rows(
             columns = _apply_project(exprs, columns, n)
             if n == 0:
                 return []
+            if vector_ok:
+                key_arr = _numpy_operand(left_keys[0], columns)
+                if (
+                    isinstance(key_arr, np.ndarray)
+                    and key_arr.dtype.kind == build.kind
+                ):
+                    out = _probe_vectorized(
+                        key_arr,
+                        columns,
+                        n,
+                        build,
+                        right_rows,
+                        is_outer,
+                        null_pad,
+                        left_width,
+                    )
+                    if out is not None:
+                        return out
             columns = _to_lists(columns, left_width, n)
             key_cols = [eval_batch(k, columns, n) for k in left_keys]
-            out: List[Tuple] = []
+            out = []
             for i, left_row in enumerate(zip(*columns)):
-                key = tuple(col[i] for col in key_cols)
+                if single:
+                    key = key_cols[0][i]
+                    has_null = key is None
+                else:
+                    key = tuple(col[i] for col in key_cols)
+                    has_null = any(v is None for v in key)
                 matched = False
-                if not any(v is None for v in key):
-                    for right_row in built[hash(key) % partitions].get(key, ()):
-                        combined = left_row + right_row
+                if not has_null:
+                    for rid in build.lookup(key):
+                        combined = left_row + right_rows[rid]
                         if residual is None or residual(combined) is True:
                             matched = True
                             out.append(combined)
@@ -663,3 +948,147 @@ def join_rows(
     for chunk in map_ordered(tasks, node.workers):
         rows.extend(chunk)
     return rows
+
+
+# -- parallel sort ------------------------------------------------------------------
+
+
+def _sort_key_arrays(
+    keys: Sequence[Tuple[BoundExpr, bool]], columns: Batch
+) -> Optional[List[np.ndarray]]:
+    """Direction-adjusted numpy key arrays for one morsel, or None.
+
+    DESC is folded into the array so every later step sorts plain
+    ascending: ``~arr`` for integers (bitwise complement is monotone
+    decreasing and, unlike negation, cannot overflow at ``-2**63``) and
+    ``-arr`` for floats.  Only clean (null-free) numeric columns qualify —
+    the general path owns NULL placement and mixed types.
+    """
+    arrs: List[np.ndarray] = []
+    for expr, asc in keys:
+        arr = _numpy_operand(expr, columns)
+        if not isinstance(arr, np.ndarray):
+            return None
+        if arr.dtype.kind in ("i", "u"):
+            arrs.append(arr if asc else ~arr)
+        elif arr.dtype.kind == "f":
+            arrs.append(arr if asc else -arr)
+        else:
+            return None
+    return arrs
+
+
+def sorted_rows(node: phys.PParallelSort, catalog: Catalog) -> List[Tuple]:
+    """Execute a parallel sort; returns rows in exact serial order.
+
+    Morsel tasks scan/filter/project as usual, then either hand back
+    direction-adjusted numpy key arrays (clean numeric keys) or a sorted
+    run of rows (everything else).  The gather is one global *stable*
+    ``np.lexsort`` in the numpy case — concatenation order is morsel order
+    is serial scan order, so stability alone reproduces serial tie
+    ordering — or a ``heapq.merge`` of the sorted runs, with ties broken
+    by run index for the same reason.
+
+    With a ``limit_hint`` each morsel keeps only its own top-k before the
+    gather (any row in the global top-k is necessarily in its morsel's
+    top-k, and stable per-morsel selection keeps exactly the tied rows
+    serial ``heapq.nsmallest`` would keep), so ``ORDER BY ... LIMIT``
+    never materializes full runs.
+    """
+    from repro.exec.volcano import SortComparable, sort_rows
+
+    scan = node.child
+    source = catalog.get_table(scan.table).morsels(scan.morsel_size)
+    predicate, exprs = scan.predicate, scan.exprs
+    keys = node.keys
+    limit = node.limit_hint
+    width = len(scan.schema)
+    n_keys = len(keys)
+
+    def make(spec: Any) -> Callable[[], Tuple]:
+        def task() -> Tuple:
+            columns, n = source.read(spec)
+            columns, n = _apply_filter(predicate, columns, n)
+            columns = _apply_project(exprs, columns, n)
+            if n == 0:
+                return ("rows", [])
+            key_arrs = _sort_key_arrays(keys, columns)
+            if key_arrs is not None:
+                if limit is not None and limit < n:
+                    order = np.lexsort(key_arrs[::-1])[:limit]
+                    picked: Batch = []
+                    for col in columns:
+                        if isinstance(col, np.ndarray):
+                            picked.append(col[order])
+                        else:
+                            picked.append([col[i] for i in order.tolist()])
+                    columns = picked
+                    key_arrs = [arr[order] for arr in key_arrs]
+                    n = len(order)
+                return ("np", columns, n, key_arrs)
+            rows = list(zip(*_to_lists(columns, width, n)))
+            return ("rows", sort_rows(rows, keys, limit))
+
+        return task
+
+    tasks = [
+        _traced(make(spec), scan.table, i) for i, spec in enumerate(source.specs)
+    ]
+    results = [r for r in map_ordered(tasks, node.workers) if r[0] != "rows" or r[1]]
+    if not results:
+        return []
+
+    # Vector gather: every morsel produced key arrays of consistent kinds.
+    if all(r[0] == "np" for r in results):
+        kinds = {
+            tuple(arr.dtype.kind for arr in r[3]) for r in results
+        }
+        if len(kinds) == 1:
+            key_concat = [
+                np.concatenate([r[3][k] for r in results]) for k in range(n_keys)
+            ]
+            order = np.lexsort(key_concat[::-1])
+            if limit is not None:
+                order = order[:limit]
+            out_cols: List[List[Any]] = []
+            for c in range(width):
+                pieces = [r[1][c] for r in results]
+                if all(isinstance(p, np.ndarray) for p in pieces):
+                    out_cols.append(np.concatenate(pieces)[order].tolist())
+                else:
+                    flat: List[Any] = []
+                    for piece in pieces:
+                        flat.extend(
+                            piece.tolist() if isinstance(piece, np.ndarray) else piece
+                        )
+                    out_cols.append([flat[i] for i in order.tolist()])
+            return list(zip(*out_cols)) if out_cols else []
+
+    # General gather: k-way merge of sorted runs.  Numpy morsels (mixed in
+    # only when dtypes drifted mid-table) are sorted here before merging.
+    key_fns = [evaluator(e) for e, _ in keys]
+    directions = [asc for _, asc in keys]
+    runs: List[List[Tuple]] = []
+    for r in results:
+        if r[0] == "rows":
+            runs.append(r[1])
+        else:
+            rows = list(zip(*_to_lists(r[1], width, r[2])))
+            runs.append(sort_rows(rows, keys, limit))
+
+    def decorated(run: List[Tuple], run_idx: int):
+        # Rows are never compared: ties on (key, run_idx) cannot happen
+        # across runs, and heapq.merge preserves order within one run.
+        for row in run:
+            yield (
+                SortComparable([fn(row) for fn in key_fns], directions),
+                run_idx,
+                row,
+            )
+
+    out: List[Tuple] = []
+    for _, _, row in heapq.merge(*(decorated(run, i) for i, run in enumerate(runs))):
+        out.append(row)
+        if limit is not None and len(out) >= limit:
+            break
+    return out

@@ -353,3 +353,34 @@ class PPartitionedHashJoin(PhysicalPlan):
             f"PartitionedHashJoin({self.kind} ON {keys}){extra} "
             f"workers={self.workers}x{self.partitions}  rows~{self.cardinality:.0f}"
         )
+
+
+@dataclass(repr=False)
+class PParallelSort(PhysicalPlan):
+    """Exchange sort: per-morsel partition sort, merged on the gather.
+
+    The child must be a :class:`PParallelScan`.  Each morsel task sorts its
+    own rows (numpy ``lexsort`` on clean numeric keys, the serial
+    comparison sort otherwise); the gather is a global stable sort of key
+    arrays or a k-way merge of sorted runs.  Both gathers break ties by
+    morsel order, which is serial scan order, so output row order —
+    including tie ordering — equals serial :class:`PSort`.  ``limit_hint``
+    bounds each morsel to its own top-k before the gather.
+    """
+
+    child: PParallelScan
+    keys: Tuple[Tuple[BoundExpr, bool], ...]
+    schema: Schema
+    workers: int = 2
+    limit_hint: Optional[int] = None
+    cardinality: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def node_label(self) -> str:
+        keys = ", ".join(
+            f"{e.to_sql()} {'ASC' if asc else 'DESC'}" for e, asc in self.keys
+        )
+        hint = f" top-{self.limit_hint}" if self.limit_hint else ""
+        return f"ParallelSort({keys}){hint} workers={self.workers}"

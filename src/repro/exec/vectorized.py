@@ -73,6 +73,9 @@ def _execute(
         right_rows = _materialize(plan.right, catalog, batch_size)
         rows = parallel.join_rows(plan, catalog, right_rows)
         yield from _rows_to_batches(iter(rows), len(plan.schema), batch_size)
+    elif isinstance(plan, phys.PParallelSort):
+        rows = parallel.sorted_rows(plan, catalog)
+        yield from _rows_to_batches(iter(rows), len(plan.schema), batch_size)
     else:
         raise ExecutionError(f"vectorized engine cannot execute {type(plan).__name__}")
 

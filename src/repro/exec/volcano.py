@@ -52,6 +52,8 @@ def execute_volcano(plan: phys.PhysicalPlan, catalog: Catalog) -> Iterator[Row]:
         return iter(parallel.aggregate_rows(plan, catalog))
     if isinstance(plan, phys.PPartitionedHashJoin):
         return _partitioned_hash_join(plan, catalog)
+    if isinstance(plan, phys.PParallelSort):
+        return iter(parallel.sorted_rows(plan, catalog))
     raise ExecutionError(f"volcano engine cannot execute {type(plan).__name__}")
 
 

@@ -40,6 +40,9 @@ class OptimizerOptions:
     workers: int = 0
     morsel_size: int = 8192
     parallel_min_rows: int = 2048
+    #: Radix partition count for parallel joins (0 = auto: workers * 4).
+    #: Also part of the plan-cache key, like every knob here.
+    join_partitions: int = 0
 
     @staticmethod
     def naive() -> "OptimizerOptions":
@@ -117,6 +120,7 @@ class Optimizer:
             workers=self.options.workers,
             morsel_size=self.options.morsel_size,
             parallel_min_rows=self.options.parallel_min_rows,
+            join_partitions=self.options.join_partitions,
         )
         planner = PhysicalPlanner(self.catalog, self.cost_model, flags)
         physical = planner.parallelize(planner.plan(plan))

@@ -47,6 +47,9 @@ class PlannerFlags:
     #: Tables below this row count stay serial: morsel dispatch overhead
     #: would dominate.  Tests force parallel plans by setting it to 0.
     parallel_min_rows: int = 2048
+    #: Radix partition count for parallel joins; 0 picks workers * 4
+    #: (enough partitions that LPT scheduling absorbs skew).
+    join_partitions: int = 0
 
 
 #: Aggregate functions with a known partial-state decomposition.
@@ -246,8 +249,8 @@ class PhysicalPlanner:
         * tables under ``parallel_min_rows`` stay serial (morsel dispatch
           would cost more than it saves);
         * aggregates parallelize only when every function has a partial
-          decomposition; hash joins only when their probe side is an
-          eligible chain.
+          decomposition; hash joins and sorts only when their probe side /
+          input is an eligible chain.
 
         Everything the pass leaves serial executes exactly as before, so a
         parallel plan is always a drop-in replacement — and the ordered
@@ -312,7 +315,21 @@ class PhysicalPlanner:
                     residual=node.residual,
                     schema=node.schema,
                     workers=self.flags.workers,
-                    partitions=max(4, self.flags.workers * 4),
+                    partitions=self.flags.join_partitions
+                    or max(4, self.flags.workers * 4),
+                    cardinality=node.cardinality,
+                )
+        if isinstance(node, phys.PSort):
+            child_chain = self._parallel_chain(node.child)
+            if child_chain is not None:
+                # The top-N hint was planted by the Limit lowering before
+                # this pass ran, so it transfers to the per-morsel sorts.
+                return phys.PParallelSort(
+                    child=child_chain,
+                    keys=node.keys,
+                    schema=node.schema,
+                    workers=self.flags.workers,
+                    limit_hint=node.limit_hint,
                     cardinality=node.cardinality,
                 )
         for attr in ("child", "left", "right"):

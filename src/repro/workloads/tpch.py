@@ -298,6 +298,41 @@ def q12_shipping_modes(date: int = 365) -> str:
     """
 
 
+def q15_top_suppliers(date: int = 1000) -> str:
+    """Shape of TPC-H Q15: revenue per supplier over a quarter.
+
+    Join-heavy: lineitem probes a supplier build side through the
+    partitioned hash join when parallelism is on.
+    """
+    return f"""
+        SELECT s.s_suppkey, s.s_name,
+               SUM(l.l_extendedprice * (1 - l.l_discount)) AS total_revenue
+        FROM lineitem l
+        JOIN supplier s ON l.l_suppkey = s.s_suppkey
+        WHERE l.l_shipdate >= {date}
+          AND l.l_shipdate < {date + 92}
+        GROUP BY s.s_suppkey, s.s_name
+        ORDER BY total_revenue DESC, s.s_suppkey
+        LIMIT 25
+    """
+
+
+def qsort_shipping_ledger(date: int = 600) -> str:
+    """Sort-heavy, no aggregate: a raw ORDER BY over filtered lineitems.
+
+    l_quantity takes only 50 distinct values, so the sort is tie-heavy and
+    pins the parallel sort's stability guarantee; with no GROUP BY between
+    scan and sort, the plan is exactly ParallelSort over ParallelScan.
+    """
+    return f"""
+        SELECT l_orderkey, l_linenumber, l_quantity, l_extendedprice
+        FROM lineitem
+        WHERE l_shipdate >= {date}
+          AND l_shipdate < {date + 365}
+        ORDER BY l_quantity DESC, l_shipdate, l_orderkey, l_linenumber
+    """
+
+
 TPCH_QUERIES = {
     "Q1": q1_pricing_summary,
     "Q3": q3_shipping_priority,
@@ -305,11 +340,13 @@ TPCH_QUERIES = {
     "Q6": q6_forecast_revenue,
     "Q10": q10_returned_items,
     "Q12": q12_shipping_modes,
+    "Q15": q15_top_suppliers,
+    "QSORT": qsort_shipping_ledger,
 }
 
 
 def tpch_query(name: str, **params) -> str:
-    """SQL text of a named query (Q1/Q3/Q5/Q6) with optional parameters."""
+    """SQL text of a named query (see ``TPCH_QUERIES``) with parameters."""
     key = name.upper()
     if key not in TPCH_QUERIES:
         raise KeyError(f"unknown TPC-H query {name!r}; have {sorted(TPCH_QUERIES)}")

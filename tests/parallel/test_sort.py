@@ -1,0 +1,207 @@
+"""Parallel ORDER BY: exact serial order, including tie stability.
+
+The parallel sort has three execution paths — global numpy lexsort
+(no limit, homogeneous numeric columns), per-morsel top-k (limit hint),
+and per-morsel sort + k-way merge (text keys, NULLs, row layout).  Every
+path must reproduce the serial engine's row order *exactly*: SQL sorts
+are stable here, so rows with equal keys keep their insertion order and
+any divergence is a bug, not an acceptable reordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import Database
+from repro.exec import physical as phys
+from repro.optimizer.optimizer import OptimizerOptions
+
+from tests.parallel.test_morsels import parallel_db
+
+
+def _serial_db(engine="vectorized", layout="column"):
+    return Database(engine=engine, default_layout=layout)
+
+
+def _load(db, rows):
+    db.execute("CREATE TABLE t (a INTEGER, b FLOAT, s TEXT, seq INTEGER)")
+    db.insert_rows("t", rows)
+
+
+def _tie_heavy_rows(n):
+    # Few distinct keys, many rows: almost every comparison is a tie, so
+    # stability bugs cannot hide.  ``seq`` records insertion order.
+    rows = []
+    for i in range(n):
+        rows.append(
+            (
+                i % 5 if i % 17 else None,
+                float(i % 3),
+                f"s{i % 4}" if i % 13 else None,
+                i,
+            )
+        )
+    return rows
+
+
+def _check(sql, rows, workers=2, morsel_size=64, engine="vectorized", layout="column"):
+    serial = _serial_db(engine=engine, layout=layout)
+    par = parallel_db(workers=workers, morsel_size=morsel_size, engine=engine, layout=layout)
+    _load(serial, rows)
+    _load(par, rows)
+    expected = serial.execute(sql).rows
+    got = par.execute(sql).rows
+    assert got == expected
+    return expected
+
+
+class TestTieStability:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("engine", ["volcano", "vectorized"])
+    def test_duplicate_keys_keep_insertion_order(self, engine, workers):
+        # 400 rows, 5 distinct keys: parallel must interleave the morsel
+        # runs back into exact insertion order within each key group.
+        rows = [(i % 5, 0.0, "x", i) for i in range(400)]
+        out = _check(
+            "SELECT a, seq FROM t ORDER BY a",
+            rows,
+            workers=workers,
+            engine=engine,
+        )
+        # Independent oracle: within each key, seq strictly increases.
+        for (k1, s1), (k2, s2) in zip(out, out[1:]):
+            if k1 == k2:
+                assert s1 < s2
+
+    @pytest.mark.parametrize("engine", ["volcano", "vectorized"])
+    def test_desc_ties_also_keep_insertion_order(self, engine):
+        rows = [(i % 5, 0.0, "x", i) for i in range(400)]
+        out = _check("SELECT a, seq FROM t ORDER BY a DESC", rows, engine=engine)
+        for (k1, s1), (k2, s2) in zip(out, out[1:]):
+            if k1 == k2:
+                assert s1 < s2
+
+    def test_nulls_last_asc_first_desc(self):
+        rows = _tie_heavy_rows(300)
+        asc = _check("SELECT a, seq FROM t ORDER BY a", rows)
+        desc = _check("SELECT a, seq FROM t ORDER BY a DESC", rows)
+        n_null = sum(1 for r in rows if r[0] is None)
+        assert n_null > 0
+        assert all(k is None for k, _ in asc[-n_null:])
+        assert all(k is None for k, _ in desc[:n_null])
+
+    def test_multi_key_mixed_directions(self):
+        rows = _tie_heavy_rows(500)
+        _check("SELECT a, b, seq FROM t ORDER BY b DESC, a, seq", rows)
+
+    def test_text_keys_route_through_merge_path(self):
+        rows = _tie_heavy_rows(300)
+        _check("SELECT s, seq FROM t ORDER BY s", rows)
+        _check("SELECT s, seq FROM t ORDER BY s DESC", rows)
+
+    @pytest.mark.parametrize("engine", ["volcano", "vectorized"])
+    def test_row_layout_uses_general_path(self, engine):
+        rows = [(i % 7, float(i % 3), f"s{i % 4}", i) for i in range(300)]
+        _check(
+            "SELECT a, seq FROM t ORDER BY a, b DESC",
+            rows,
+            engine=engine,
+            layout="row",
+        )
+
+    def test_order_by_column_not_in_select(self):
+        # Sort plans *below* Project here, so keys bind to the scan schema.
+        rows = _tie_heavy_rows(300)
+        _check("SELECT seq FROM t ORDER BY b DESC, a", rows)
+
+
+class TestLimitTopK:
+    @pytest.mark.parametrize("limit", [0, 1, 7, 399, 400, 1000])
+    def test_limit_matches_serial_prefix(self, limit):
+        rows = [(i % 5, float(i % 3), "x", i) for i in range(400)]
+        _check(f"SELECT a, seq FROM t ORDER BY a, b DESC LIMIT {limit}", rows)
+
+    def test_limit_with_offset(self):
+        rows = [(i % 5, 0.0, "x", i) for i in range(200)]
+        _check("SELECT a, seq FROM t ORDER BY a LIMIT 10 OFFSET 35", rows)
+
+    def test_planner_plants_limit_hint(self):
+        par = parallel_db(workers=2, morsel_size=16)
+        par.execute("CREATE TABLE t (a INTEGER, seq INTEGER)")
+        par.insert_rows("t", [(i % 5, i) for i in range(100)])
+        plan = par.explain("SELECT a FROM t ORDER BY a LIMIT 3")
+        assert "ParallelSort" in plan
+        assert "top-3" in plan
+
+
+class TestMorselBoundaries:
+    # Sizes that straddle the default 1024-row morsel: 0 morsels' worth,
+    # exactly one, one plus a single straggler row.
+    @pytest.mark.parametrize("n_rows", [1, 1023, 1024, 1025])
+    def test_boundary_sizes_match_serial(self, n_rows):
+        rows = [(i % 5, float(i % 3), "x", i) for i in range(n_rows)]
+        _check(
+            "SELECT a, seq FROM t ORDER BY a, b DESC",
+            rows,
+            morsel_size=1024,
+        )
+
+    def test_empty_table(self):
+        _check("SELECT a, seq FROM t ORDER BY a", [])
+        _check("SELECT a, seq FROM t ORDER BY a LIMIT 5", [])
+
+    def test_single_row_morsels(self):
+        # morsel_size=1: maximum number of runs for the merge to zip up.
+        rows = [(i % 3, 0.0, "x", i) for i in range(64)]
+        _check("SELECT a, seq FROM t ORDER BY a", rows, morsel_size=1)
+
+
+class TestPlanShape:
+    def test_psort_becomes_parallel_sort_over_parallel_scan(self):
+        par = parallel_db(workers=2)
+        par.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        par.insert_rows("t", [(i % 5, i) for i in range(200)])
+        plan = par.explain("SELECT a, b FROM t ORDER BY a")
+        assert "ParallelSort" in plan
+        assert "ParallelScan" in plan
+        assert "workers=2" in plan
+
+    def test_serial_db_never_plans_parallel_sort(self):
+        db = _serial_db()
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(i,) for i in range(50)])
+        assert "ParallelSort" not in db.explain("SELECT a FROM t ORDER BY a")
+
+    def test_invariant_verifier_rejects_bad_parallel_sort(self):
+        import dataclasses
+
+        from repro.analyze.invariants import check_physical_invariants
+        from repro.core.types import Column, DataType, Schema
+        from repro.plan.expressions import BoundColumn
+
+        schema = Schema([Column("a", DataType.INTEGER)])
+        scan = phys.PParallelScan(
+            table="t",
+            alias="t",
+            base_schema=schema,
+            predicate=None,
+            exprs=None,
+            schema=schema,
+            workers=2,
+            morsel_size=64,
+            cardinality=10.0,
+        )
+        node = phys.PParallelSort(
+            child=scan,
+            keys=((BoundColumn(0, DataType.INTEGER, "a"), False),),
+            schema=schema,
+            workers=2,
+        )
+        assert check_physical_invariants(node) == []
+        findings = check_physical_invariants(dataclasses.replace(node, workers=0))
+        assert any("workers" in f.message for f in findings)
+        findings = check_physical_invariants(dataclasses.replace(node, limit_hint=-1))
+        assert any("top-N hint" in f.message for f in findings)
+        bad_key = ((BoundColumn(5, DataType.INTEGER, "ghost"), False),)
+        findings = check_physical_invariants(dataclasses.replace(node, keys=bad_key))
+        assert findings
