@@ -1,0 +1,138 @@
+"""Wire-protocol server throughput/latency benchmark → BENCH_server.json.
+
+Simulates 100 and 1000 concurrent clients against one
+:class:`~repro.net.server.DatabaseServer` and reports TPS plus latency
+percentiles per tier.  Clients are asyncio connections multiplexed on one
+event loop — the point is to stress the *server's* session handling,
+framing, admission, and the transaction gate with realistic concurrency,
+not to benchmark the OS thread scheduler with a thousand real threads.
+
+The workload is the classic point-select/point-update OLTP mix (90/10)
+over an indexed key column, with every statement autocommitted: each
+request crosses the full stack — client codec → TCP → frame parse →
+session queue → txn gate → engine on the executor → result encode.
+
+Latency honesty: p50/p99 are computed from *per-request* wall times
+measured at the client, so they include queueing behind the gate — which
+is exactly what a caller of a single-writer engine experiences.  The
+report carries machine metadata (cores, python) via ``bench_json`` so two
+files from different boxes are never compared as if equal.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_server.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from bench_json import write_report  # noqa: E402
+from repro.net import ServerThread, aconnect  # noqa: E402
+
+KEYS = 1_000
+CLIENT_TIERS = (100, 1_000)
+TOTAL_REQUESTS = 6_000  # per tier, split across clients
+QUICK_TIERS = (20, 100)
+QUICK_REQUESTS = 1_000
+UPDATE_FRACTION = 0.1
+
+
+def percentile(samples, q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[idx]
+
+
+async def _client(port: int, client_id: int, requests: int, latencies: list) -> int:
+    rng = random.Random(client_id)
+    conn = await aconnect(port=port, user=f"bench{client_id}")
+    throttles = 0
+    try:
+        for _ in range(requests):
+            key = rng.randrange(KEYS)
+            if rng.random() < UPDATE_FRACTION:
+                sql, args = "UPDATE kv SET val = val + 1 WHERE id = ?", (key,)
+            else:
+                sql, args = "SELECT val FROM kv WHERE id = ?", (key,)
+            start = time.perf_counter()
+            await conn.execute(sql, args)
+            latencies.append(time.perf_counter() - start)
+        throttles = conn.throttles
+    finally:
+        await conn.close()
+    return throttles
+
+
+async def _run_tier(port: int, clients: int, total_requests: int) -> dict:
+    per_client = max(1, total_requests // clients)
+    latencies: list = []
+    start = time.perf_counter()
+    throttles = await asyncio.gather(
+        *(_client(port, i, per_client, latencies) for i in range(clients))
+    )
+    elapsed = time.perf_counter() - start
+    requests = len(latencies)
+    return {
+        "clients": clients,
+        "requests": requests,
+        "elapsed_s": round(elapsed, 3),
+        "tps": round(requests / elapsed, 1),
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "max_ms": round(max(latencies) * 1e3, 3),
+        "throttles": sum(throttles),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: smaller client tiers and request counts",
+    )
+    args = parser.parse_args()
+    tiers = QUICK_TIERS if args.quick else CLIENT_TIERS
+    total = QUICK_REQUESTS if args.quick else TOTAL_REQUESTS
+
+    report: dict = {"workload": {
+        "keys": KEYS,
+        "mix": f"{int((1 - UPDATE_FRACTION) * 100)}% point SELECT / "
+               f"{int(UPDATE_FRACTION * 100)}% point UPDATE, autocommit",
+        "quick": args.quick,
+    }}
+    with ServerThread(
+        max_connections=max(tiers) + 16, max_inflight=8, executor_threads=16
+    ) as srv:
+        srv.db.execute("CREATE TABLE kv (id INTEGER, val INTEGER)")
+        srv.db.execute("CREATE INDEX kv_id ON kv (id)")
+        for base in range(0, KEYS, 500):
+            rows = ", ".join(f"({k}, 0)" for k in range(base, min(base + 500, KEYS)))
+            srv.db.execute(f"INSERT INTO kv VALUES {rows}")
+
+        for clients in tiers:
+            tier = asyncio.run(_run_tier(srv.port, clients, total))
+            report[f"clients_{clients}"] = tier
+            print(
+                f"  {clients:>5} clients: {tier['tps']:>8} tps  "
+                f"p50 {tier['p50_ms']:.2f} ms  p99 {tier['p99_ms']:.2f} ms",
+                file=sys.stderr,
+            )
+        report["server_stats"] = dict(srv.server.stats)
+
+    write_report("server", report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,11 @@
-"""``python -m repro`` — interactive SQL shell, or ``lint``/``sanitize`` subcommands."""
+"""``python -m repro`` — interactive SQL shell, or ``lint``/``sanitize``/``serve`` subcommands."""
 
 import sys
+
+if len(sys.argv) > 1 and sys.argv[1] == "serve":
+    from repro.net.serve import main as serve_main
+
+    raise SystemExit(serve_main(sys.argv[2:]))
 
 if len(sys.argv) > 1 and sys.argv[1] == "lint":
     from repro.analyze.cli import main as lint_main

@@ -171,6 +171,11 @@ class TableInfo:
             if self._write_version == version:
                 self._scan_cache = pairs
 
+    def release_caches(self) -> None:
+        """Drop the decoded-row scan cache (shutdown/resource-release path)."""
+        with self._lock:
+            self._scan_cache = None
+
     def morsels(self, morsel_size: int = 8192):
         """A morsel source over the current table contents (layout dispatch).
 

@@ -56,7 +56,7 @@ from repro.optimizer.optimizer import Optimizer, OptimizerOptions
 from repro.plan.binder import Binder
 from repro.plan.expressions import ParamVector, is_constant
 from repro.sql import ast
-from repro.sql.params import count_placeholders, substitute_params
+from repro.sql.params import count_placeholders, normalize_params, substitute_params
 from repro.sql.parser import parse
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import FileDiskManager, InMemoryDiskManager
@@ -230,6 +230,7 @@ class Database:
         )
         self._binder = Binder(self.catalog, subquery_executor=self._run_subplan)
         self._lock = threading.RLock()
+        self._closed = False
         # Never reuse a transaction id that appears in the existing log: a
         # reused id could pair a fresh BEGIN with a stale COMMIT on replay.
         self._txn_id = max((r.txn_id for r in existing_records), default=0)
@@ -254,15 +255,19 @@ class Database:
     ) -> Result:
         """Parse, plan, and run one SQL statement.
 
-        ``params`` binds Python values to ``?`` placeholders (escaped
-        client-side, so string values are always safe)::
+        ``params`` binds Python values to placeholders (escaped client-side,
+        so string values are always safe).  Three styles, matching the
+        network clients: ``?`` / ``$1`` positional with a sequence, or
+        ``:name`` with a mapping::
 
             db.execute("SELECT * FROM t WHERE name = ? AND n < ?", params=("o'brien", 5))
+            db.execute("SELECT * FROM t WHERE name = :n", params={"n": "o'brien"})
         """
         with self._lock:
             started = time.perf_counter()
             if params is not None:
-                sql = substitute_params(sql, params)
+                sql, values = normalize_params(sql, params)
+                sql = substitute_params(sql, values)
             engine_used = engine or self.engine
             normalized = normalize_sql(sql)
             # Result cache first: only SELECTs are ever stored, so a hit
@@ -398,9 +403,19 @@ class Database:
 
     def close(self) -> None:
         """Graceful shutdown: roll back any open transaction, flush dirty
-        pages, checkpoint the WAL, and mark the sidecar clean so the next
-        open fast-attaches instead of running recovery."""
+        pages, checkpoint the WAL, mark the sidecar clean so the next open
+        fast-attaches instead of running recovery, and release every cache
+        that pins rows or plans.
+
+        Idempotent: the server opens and closes thousands of sessions, and
+        double-close (context manager + explicit call, or error-path
+        cleanup racing normal teardown) must be a no-op, not a crash on an
+        already-closed WAL file.
+        """
         with self._lock:
+            if self._closed:
+                return
+            self._closed = True
             if self._active_txn is not None:
                 self._rollback()
             self.pool.flush_all()
@@ -420,6 +435,21 @@ class Database:
             self.wal.flush(fsync=self.durability == "fsync")
             self.wal.close()
             self.disk.close()
+            # Release cached plans/results/decoded rows: cached physical
+            # plans pin index state and row snapshots, and a long-lived
+            # process that opens thousands of Databases (the server's
+            # open/close-per-session tests do exactly this) must not
+            # accumulate them after close.
+            if self.plan_cache is not None:
+                self.plan_cache.invalidate_all()
+            if self.result_cache is not None:
+                self.result_cache.clear()
+            for name in self.catalog.table_names():
+                self.catalog.get_table(name).release_caches()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "Database":
         return self

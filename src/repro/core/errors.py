@@ -134,3 +134,62 @@ class PipelineError(ReproError):
 
 class IntegrationError(ReproError):
     """A data-integration component was misconfigured."""
+
+
+class ProtocolError(ReproError):
+    """A wire-protocol frame was malformed or sent out of sequence.
+
+    Raised by the network codec (:mod:`repro.net.protocol`) and by the
+    server/client when the conversation leaves the protocol state machine.
+    A ProtocolError on a live connection is unrecoverable — the byte stream
+    cannot resynchronize — so both ends disconnect after reporting it.
+    """
+
+
+class AdmissionError(ReproError):
+    """The server refused a connection or statement due to admission control.
+
+    Carried across the wire when ``max_connections`` is reached; clients
+    may retry after backoff.
+    """
+
+
+# -- wire mapping ------------------------------------------------------------
+#
+# Errors cross the network as (class name, message) pairs.  The registry is
+# derived from the live class hierarchy, so any ReproError subclass added
+# above is wire-mappable with no further registration; unknown names (a
+# newer server talking to an older client) degrade to plain ReproError
+# rather than failing the decode.
+
+
+def _wire_registry() -> "dict[str, type]":
+    registry = {"ReproError": ReproError}
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        for sub in cls.__subclasses__():
+            registry[sub.__name__] = sub
+            stack.append(sub)
+    return registry
+
+
+def error_to_wire(exc: BaseException) -> "tuple[str, str]":
+    """The ``(class name, message)`` pair a server sends for ``exc``."""
+    name = type(exc).__name__ if isinstance(exc, ReproError) else "ExecutionError"
+    return name, str(exc)
+
+
+def error_from_wire(name: str, message: str) -> ReproError:
+    """Reconstruct the client-side exception for a wire error frame.
+
+    Every class in the hierarchy is constructible from a single message
+    (subclass-specific metadata like deadlock cycles defaults to empty), so
+    the client raises the *same class* the server caught — the differential
+    suite asserts class equality between networked and embedded runs.
+    """
+    cls = _wire_registry().get(name, ReproError)
+    try:
+        return cls(message)
+    except TypeError:
+        return ReproError(f"{name}: {message}")

@@ -1,0 +1,51 @@
+"""Network layer: wire protocol, asyncio server, and sync/async clients.
+
+Everything before this package was embedded — one process, one user.  The
+paper's central worry is exactly that gap: academic prototypes stop where
+the field's real problems (many concurrent users hitting one system) begin.
+This package turns the embedded engine into a multi-user database:
+
+* :mod:`repro.net.protocol` — length-prefixed binary frames and the typed
+  value codec shared by server and clients;
+* :mod:`repro.net.server` — an asyncio TCP server over
+  :class:`repro.core.database.Database` with per-connection sessions,
+  prepared-statement registries, admission control, backpressure, and
+  graceful shutdown (plus a transactional KV surface over the
+  :mod:`repro.txn.schemes` concurrency schemes, so cross-connection
+  2PL/MVCC contention is real and sanitizer-checkable);
+* :mod:`repro.net.client` — a sync client and an asyncio client sharing
+  one codec, with ``?`` / ``$1`` / ``:name`` parameters, connection pools,
+  and a faithful mapping of :mod:`repro.core.errors` across the wire.
+
+Start a server with ``python -m repro serve`` or programmatically::
+
+    from repro.net.server import ServerThread
+    from repro.net.client import connect
+
+    with ServerThread() as srv:
+        with connect(port=srv.port) as conn:
+            conn.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+            conn.execute("INSERT INTO t VALUES ($1, $2)", (1, "x"))
+            print(conn.execute("SELECT * FROM t WHERE a = :a", {"a": 1}).rows)
+"""
+
+from repro.net.client import (
+    AsyncConnection,
+    AsyncPool,
+    Connection,
+    Pool,
+    aconnect,
+    connect,
+)
+from repro.net.server import DatabaseServer, ServerThread
+
+__all__ = [
+    "AsyncConnection",
+    "AsyncPool",
+    "Connection",
+    "DatabaseServer",
+    "Pool",
+    "ServerThread",
+    "aconnect",
+    "connect",
+]

@@ -1,0 +1,633 @@
+"""Sync and async database clients sharing one protocol codec.
+
+Both clients speak the frame protocol of :mod:`repro.net.protocol` and
+present the same surface, mirroring the dual API of the stoolap-python
+driver:
+
+* :func:`connect` → :class:`Connection` — blocking socket client;
+* :func:`aconnect` → :class:`AsyncConnection` — asyncio client (all
+  request methods are coroutines);
+* :class:`Pool` / :class:`AsyncPool` — small fixed-capacity connection
+  pools with context-managed checkout.
+
+Parameters bind in any of three styles (never mixed in one statement)::
+
+    conn.execute("SELECT * FROM t WHERE a = ?", (1,))
+    conn.execute("SELECT * FROM t WHERE a = $1 AND b = $2", (1, "x"))
+    conn.execute("SELECT * FROM t WHERE a = :a", {"a": 1})
+
+Server-side errors arrive as ERROR frames carrying the exception class
+name from :mod:`repro.core.errors`; the client raises the *same class*, so
+``except BindError:`` works identically against an embedded database and a
+networked one.  THROTTLE frames (backpressure) are counted on
+``conn.throttles`` and never raised.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import queue as queue_module
+import socket
+import threading
+from typing import Any, List, Optional, Tuple
+
+from repro.core.errors import ProtocolError, ReproError, error_from_wire
+from repro.core.result import Result
+from repro.net import protocol as proto
+
+_stmt_counter = itertools.count(1)
+
+
+class _ResponseAssembler:
+    """Frame → response state machine shared by both client flavors.
+
+    Feed semantic frames one at a time; :meth:`feed` returns ``None`` while
+    a multi-frame response (result batches) is still accumulating and a
+    ``(kind, value)`` pair when one response is complete.  Raises the
+    mapped exception for ERROR frames.  THROTTLE is handled by the caller
+    (it is out-of-band and can arrive mid-response).
+    """
+
+    def __init__(self) -> None:
+        self._columns: Optional[List[str]] = None
+        self._rowcount = 0
+        self._rows: List[Tuple[Any, ...]] = []
+
+    def feed(self, frame_type: int, payload: bytes) -> Optional[Tuple[str, Any]]:
+        if frame_type == proto.ERROR:
+            info = proto.decode_payload(payload)
+            if not isinstance(info, dict):
+                raise ProtocolError("malformed ERROR frame")
+            raise error_from_wire(
+                str(info.get("class", "ReproError")), str(info.get("message", ""))
+            )
+        if frame_type == proto.RESULT_HEADER:
+            header = proto.decode_payload(payload)
+            if not isinstance(header, list) or len(header) != 2:
+                raise ProtocolError("malformed RESULT_HEADER frame")
+            self._columns = [str(c) for c in header[0]]
+            self._rowcount = int(header[1])
+            self._rows = []
+            return None
+        if frame_type == proto.RESULT_BATCH:
+            if self._columns is None:
+                raise ProtocolError("RESULT_BATCH before RESULT_HEADER")
+            batch = proto.decode_payload(payload)
+            if not isinstance(batch, list):
+                raise ProtocolError("malformed RESULT_BATCH frame")
+            self._rows.extend(tuple(row) for row in batch)
+            return None
+        if frame_type == proto.RESULT_DONE:
+            if self._columns is None:
+                raise ProtocolError("RESULT_DONE before RESULT_HEADER")
+            result = Result(
+                columns=self._columns, rows=self._rows, rowcount=self._rowcount
+            )
+            self._columns, self._rows = None, []
+            return ("result", result)
+        if frame_type == proto.WELCOME:
+            return ("welcome", proto.decode_payload(payload))
+        if frame_type == proto.OK:
+            return ("ok", None)
+        if frame_type == proto.KV_BEGUN:
+            return ("kv_begun", proto.decode_payload(payload))
+        if frame_type == proto.KV_VALUE:
+            return ("kv_value", proto.decode_payload(payload))
+        if frame_type == proto.GOODBYE:
+            info = proto.decode_payload(payload)
+            reason = info.get("reason", "server closed") if isinstance(info, dict) else ""
+            raise ProtocolError(f"server disconnected: {reason}")
+        raise ProtocolError(
+            f"unexpected frame {proto.FRAME_NAMES.get(frame_type, hex(frame_type))}"
+        )
+
+
+def _expect(kind: str, reply: Tuple[str, Any]) -> Any:
+    got, value = reply
+    if got != kind:
+        raise ProtocolError(f"expected {kind} response, got {got}")
+    return value
+
+
+class _PreparedMixin:
+    """Client-side prepared-statement handle bookkeeping."""
+
+    def __init__(self, conn, name: str, sql: str, tokens: List[str]):
+        self._conn = conn
+        self.name = name
+        self.sql = sql
+        self._tokens = tokens
+        self.closed = False
+
+    def _values(self, params: Any) -> List[Any]:
+        if self.closed:
+            raise ProtocolError(f"prepared statement {self.name!r} is closed")
+        return proto.map_params(self._tokens, params)
+
+
+class Prepared(_PreparedMixin):
+    """A statement parsed/bound/optimized server-side, executed many times."""
+
+    def execute(self, params: Any = ()) -> Result:
+        return self._conn._execute_prepared(self.name, self._values(params))
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._conn._close_prepared(self.name)
+
+
+class AsyncPrepared(_PreparedMixin):
+    async def execute(self, params: Any = ()) -> Result:
+        return await self._conn._execute_prepared(self.name, self._values(params))
+
+    async def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            await self._conn._close_prepared(self.name)
+
+
+class _ConnectionBase:
+    """State shared by both clients: parameter handling, stmt naming."""
+
+    def __init__(self) -> None:
+        self.throttles = 0
+        self.server_info: dict = {}
+        self.closed = False
+        self.in_transaction = False
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ProtocolError("connection is closed")
+
+    @staticmethod
+    def _query_frame(sql: str, params: Any) -> bytes:
+        rewritten, values = proto.normalize_params(sql, params)
+        return proto.encode_message(proto.QUERY, [rewritten, values])
+
+    def _note_txn(self, sql: str) -> None:
+        head = sql.lstrip().split(None, 1)
+        word = head[0].upper() if head else ""
+        if word == "BEGIN":
+            self.in_transaction = True
+        elif word in ("COMMIT", "ROLLBACK"):
+            self.in_transaction = False
+
+
+class Connection(_ConnectionBase):
+    """Blocking client over a plain TCP socket."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 5433,
+        user: str = "anon",
+        timeout: Optional[float] = None,
+    ):
+        super().__init__()
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._decoder = proto.FrameDecoder()
+        self._assembler = _ResponseAssembler()
+        self._lock = threading.Lock()
+        try:
+            self.server_info = _expect(
+                "welcome",
+                self._request(
+                    proto.encode_message(proto.HELLO, {"user": user, "options": {}})
+                ),
+            )
+        except BaseException:
+            self._sock.close()
+            self.closed = True
+            raise
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _read_frame(self) -> Tuple[int, bytes]:
+        while True:
+            for frame in self._decoder.frames():
+                return frame
+            data = self._sock.recv(65536)
+            if not data:
+                self.closed = True
+                raise ProtocolError("server closed the connection")
+            self._decoder.feed(data)
+
+    def _request(self, frame: bytes) -> Tuple[str, Any]:
+        self._check_open()
+        with self._lock:
+            self._sock.sendall(frame)
+            while True:
+                frame_type, payload = self._read_frame()
+                if frame_type == proto.THROTTLE:
+                    self.throttles += 1
+                    continue
+                reply = self._assembler.feed(frame_type, payload)
+                if reply is not None:
+                    return reply
+
+    # -- public API --------------------------------------------------------
+
+    def execute(self, sql: str, params: Any = None) -> Result:
+        """Run one statement; params may be a sequence or a mapping."""
+        result = _expect("result", self._request(self._query_frame(sql, params)))
+        self._note_txn(sql)
+        return result
+
+    def prepare(self, sql: str) -> Prepared:
+        rewritten, tokens = proto.compile_placeholders(sql)
+        name = f"s{next(_stmt_counter)}"
+        _expect("ok", self._request(proto.encode_message(proto.PARSE, [name, rewritten])))
+        return Prepared(self, name, sql, tokens)
+
+    def _execute_prepared(self, name: str, values: List[Any]) -> Result:
+        return _expect(
+            "result",
+            self._request(proto.encode_message(proto.EXECUTE, [name, values])),
+        )
+
+    def _close_prepared(self, name: str) -> None:
+        if not self.closed:
+            _expect("ok", self._request(proto.encode_message(proto.CLOSE_STMT, name)))
+
+    def begin(self) -> None:
+        self.execute("BEGIN")
+
+    def commit(self) -> None:
+        self.execute("COMMIT")
+
+    def rollback(self) -> None:
+        self.execute("ROLLBACK")
+
+    # -- KV surface --------------------------------------------------------
+
+    def kv_begin(self) -> int:
+        return _expect("kv_begun", self._request(proto.encode_frame(proto.KV_BEGIN)))
+
+    def kv_read(self, txn: int, key: Any) -> Any:
+        return _expect(
+            "kv_value",
+            self._request(proto.encode_message(proto.KV_READ, [txn, key])),
+        )
+
+    def kv_write(self, txn: int, key: Any, value: Any) -> None:
+        _expect(
+            "ok", self._request(proto.encode_message(proto.KV_WRITE, [txn, key, value]))
+        )
+
+    def kv_commit(self, txn: int) -> None:
+        _expect("ok", self._request(proto.encode_message(proto.KV_COMMIT, txn)))
+
+    def kv_abort(self, txn: int) -> None:
+        _expect("ok", self._request(proto.encode_message(proto.KV_ABORT, txn)))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._sock.sendall(proto.encode_frame(proto.TERMINATE))
+        except (ConnectionError, OSError):
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class AsyncConnection(_ConnectionBase):
+    """Asyncio client over a StreamReader/StreamWriter pair."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        super().__init__()
+        self._reader = reader
+        self._writer = writer
+        self._assembler = _ResponseAssembler()
+        self._lock = asyncio.Lock()
+
+    async def _handshake(self, user: str) -> None:
+        try:
+            self.server_info = _expect(
+                "welcome",
+                await self._request(
+                    proto.encode_message(proto.HELLO, {"user": user, "options": {}})
+                ),
+            )
+        except BaseException:
+            self._writer.close()
+            self.closed = True
+            raise
+
+    async def _read_frame(self) -> Tuple[int, bytes]:
+        try:
+            header = await self._reader.readexactly(4)
+            body_len = int.from_bytes(header, "big")
+            if body_len < 1 or body_len > proto.MAX_FRAME:
+                raise ProtocolError(f"bad frame length {body_len}")
+            body = await self._reader.readexactly(body_len)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError) as exc:
+            self.closed = True
+            raise ProtocolError("server closed the connection") from exc
+        return body[0], body[1:]
+
+    async def _request(self, frame: bytes) -> Tuple[str, Any]:
+        self._check_open()
+        async with self._lock:
+            self._writer.write(frame)
+            await self._writer.drain()
+            while True:
+                frame_type, payload = await self._read_frame()
+                if frame_type == proto.THROTTLE:
+                    self.throttles += 1
+                    continue
+                reply = self._assembler.feed(frame_type, payload)
+                if reply is not None:
+                    return reply
+
+    # -- public API --------------------------------------------------------
+
+    async def execute(self, sql: str, params: Any = None) -> Result:
+        result = _expect("result", await self._request(self._query_frame(sql, params)))
+        self._note_txn(sql)
+        return result
+
+    async def prepare(self, sql: str) -> AsyncPrepared:
+        rewritten, tokens = proto.compile_placeholders(sql)
+        name = f"s{next(_stmt_counter)}"
+        _expect(
+            "ok",
+            await self._request(proto.encode_message(proto.PARSE, [name, rewritten])),
+        )
+        return AsyncPrepared(self, name, sql, tokens)
+
+    async def _execute_prepared(self, name: str, values: List[Any]) -> Result:
+        return _expect(
+            "result",
+            await self._request(proto.encode_message(proto.EXECUTE, [name, values])),
+        )
+
+    async def _close_prepared(self, name: str) -> None:
+        if not self.closed:
+            _expect(
+                "ok",
+                await self._request(proto.encode_message(proto.CLOSE_STMT, name)),
+            )
+
+    async def begin(self) -> None:
+        await self.execute("BEGIN")
+
+    async def commit(self) -> None:
+        await self.execute("COMMIT")
+
+    async def rollback(self) -> None:
+        await self.execute("ROLLBACK")
+
+    # -- KV surface --------------------------------------------------------
+
+    async def kv_begin(self) -> int:
+        return _expect(
+            "kv_begun", await self._request(proto.encode_frame(proto.KV_BEGIN))
+        )
+
+    async def kv_read(self, txn: int, key: Any) -> Any:
+        return _expect(
+            "kv_value",
+            await self._request(proto.encode_message(proto.KV_READ, [txn, key])),
+        )
+
+    async def kv_write(self, txn: int, key: Any, value: Any) -> None:
+        _expect(
+            "ok",
+            await self._request(
+                proto.encode_message(proto.KV_WRITE, [txn, key, value])
+            ),
+        )
+
+    async def kv_commit(self, txn: int) -> None:
+        _expect("ok", await self._request(proto.encode_message(proto.KV_COMMIT, txn)))
+
+    async def kv_abort(self, txn: int) -> None:
+        _expect("ok", await self._request(proto.encode_message(proto.KV_ABORT, txn)))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._writer.write(proto.encode_frame(proto.TERMINATE))
+            await self._writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncConnection":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = 5433,
+    user: str = "anon",
+    timeout: Optional[float] = None,
+) -> Connection:
+    """Open a blocking connection and complete the handshake."""
+    return Connection(host=host, port=port, user=user, timeout=timeout)
+
+
+async def aconnect(
+    host: str = "127.0.0.1", port: int = 5433, user: str = "anon"
+) -> AsyncConnection:
+    """Open an asyncio connection and complete the handshake."""
+    reader, writer = await asyncio.open_connection(host, port)
+    conn = AsyncConnection(reader, writer)
+    await conn._handshake(user)
+    return conn
+
+
+class Pool:
+    """Fixed-capacity pool of blocking connections.
+
+    Connections are created lazily up to ``size`` and reused LIFO (warmest
+    first).  A connection that died (or is mid-transaction) is discarded on
+    release instead of being handed to the next borrower.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 5433,
+        size: int = 4,
+        user: str = "anon",
+        timeout: Optional[float] = None,
+    ):
+        if size < 1:
+            raise ReproError(f"pool size must be >= 1, got {size}")
+        self._args = dict(host=host, port=port, user=user, timeout=timeout)
+        self.size = size
+        self._idle: "queue_module.LifoQueue[Connection]" = queue_module.LifoQueue()
+        self._created = 0
+        self._lock = threading.Lock()
+        self.closed = False
+
+    def _checkout(self) -> Connection:
+        if self.closed:
+            raise ProtocolError("pool is closed")
+        try:
+            return self._idle.get_nowait()
+        except queue_module.Empty:
+            pass
+        with self._lock:
+            if self._created < self.size:
+                self._created += 1
+                try:
+                    return connect(**self._args)
+                except BaseException:
+                    self._created -= 1
+                    raise
+        return self._idle.get()
+
+    def _checkin(self, conn: Connection) -> None:
+        if conn.closed or conn.in_transaction or self.closed:
+            # Mid-transaction connections are poisoned: rolling back here
+            # would hide a caller bug, so drop the connection (the server
+            # rolls the transaction back on disconnect).
+            conn.close()
+            with self._lock:
+                self._created -= 1
+            return
+        self._idle.put(conn)
+
+    class _Lease:
+        def __init__(self, pool: "Pool"):
+            self._pool = pool
+            self.conn: Optional[Connection] = None
+
+        def __enter__(self) -> Connection:
+            self.conn = self._pool._checkout()
+            return self.conn
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            if self.conn is not None:
+                self._pool._checkin(self.conn)
+
+    def acquire(self) -> "Pool._Lease":
+        """``with pool.acquire() as conn:`` — borrow a connection."""
+        return Pool._Lease(self)
+
+    def execute(self, sql: str, params: Any = None) -> Result:
+        with self.acquire() as conn:
+            return conn.execute(sql, params)
+
+    def close(self) -> None:
+        self.closed = True
+        while True:
+            try:
+                self._idle.get_nowait().close()
+            except queue_module.Empty:
+                return
+
+    def __enter__(self) -> "Pool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class AsyncPool:
+    """Fixed-capacity pool of asyncio connections (mirror of :class:`Pool`)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 5433,
+        size: int = 4,
+        user: str = "anon",
+    ):
+        if size < 1:
+            raise ReproError(f"pool size must be >= 1, got {size}")
+        self._args = dict(host=host, port=port, user=user)
+        self.size = size
+        self._idle: "asyncio.LifoQueue[AsyncConnection]" = asyncio.LifoQueue()
+        self._created = 0
+        self._lock = asyncio.Lock()
+        self.closed = False
+
+    async def _checkout(self) -> AsyncConnection:
+        if self.closed:
+            raise ProtocolError("pool is closed")
+        try:
+            return self._idle.get_nowait()
+        except asyncio.QueueEmpty:
+            pass
+        async with self._lock:
+            if self._created < self.size:
+                self._created += 1
+                try:
+                    return await aconnect(**self._args)
+                except BaseException:
+                    self._created -= 1
+                    raise
+        return await self._idle.get()
+
+    async def _checkin(self, conn: AsyncConnection) -> None:
+        if conn.closed or conn.in_transaction or self.closed:
+            await conn.close()
+            async with self._lock:
+                self._created -= 1
+            return
+        self._idle.put_nowait(conn)
+
+    class _Lease:
+        def __init__(self, pool: "AsyncPool"):
+            self._pool = pool
+            self.conn: Optional[AsyncConnection] = None
+
+        async def __aenter__(self) -> AsyncConnection:
+            self.conn = await self._pool._checkout()
+            return self.conn
+
+        async def __aexit__(self, exc_type, exc, tb) -> None:
+            if self.conn is not None:
+                await self._pool._checkin(self.conn)
+
+    def acquire(self) -> "AsyncPool._Lease":
+        """``async with pool.acquire() as conn:`` — borrow a connection."""
+        return AsyncPool._Lease(self)
+
+    async def execute(self, sql: str, params: Any = None) -> Result:
+        async with self.acquire() as conn:
+            return await conn.execute(sql, params)
+
+    async def close(self) -> None:
+        self.closed = True
+        while True:
+            try:
+                conn = self._idle.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            await conn.close()
+
+    async def __aenter__(self) -> "AsyncPool":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

@@ -1,0 +1,332 @@
+"""The wire protocol: length-prefixed binary frames + a typed value codec.
+
+One frame on the wire is::
+
+    +----------------+--------+----------------------+
+    | length (u32 BE)| type   | payload              |
+    +----------------+--------+----------------------+
+
+``length`` counts the type byte plus the payload, so an empty frame has
+length 1.  Frames larger than :data:`MAX_FRAME` are rejected before any
+allocation — an adversarial length prefix cannot make the server reserve
+gigabytes.
+
+Values (parameters, result cells) use a tagged binary encoding that
+round-trips Python types exactly — the differential suite asserts
+*identical* results between a networked client and the embedded engine, so
+the codec cannot afford JSON's int/float blurring:
+
+=====  ======================================  =================
+tag    payload                                 Python type
+=====  ======================================  =================
+``N``  none                                    ``None``
+``T``  none                                    ``True``
+``F``  none                                    ``False``
+``i``  8-byte signed big-endian                ``int`` (64-bit)
+``I``  u32 length + ASCII decimal              ``int`` (big)
+``d``  8-byte IEEE-754 double                  ``float``
+``s``  u32 length + UTF-8 bytes                ``str``
+``b``  u32 length + raw bytes                  ``bytes``
+``l``  u32 count + encoded values              ``list``
+``m``  u32 count + (str, value) pairs          ``dict``
+=====  ======================================  =================
+
+Every decode path bounds-checks before it slices and raises
+:class:`~repro.core.errors.ProtocolError` on malformed input; the protocol
+fuzzer feeds this module garbage at volume and the server must always
+answer with a well-formed error frame or a clean disconnect, never a
+traceback.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ProtocolError
+
+#: Protocol version announced in HELLO/WELCOME.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame's (type + payload) size: 16 MiB.
+MAX_FRAME = 16 * 1024 * 1024
+
+#: Rows per RESULT_BATCH frame.
+BATCH_ROWS = 256
+
+# -- frame types: client -> server -------------------------------------------
+HELLO = 0x01  # map: {"user": str, "options": map} — must be first
+QUERY = 0x02  # list: [sql str, params list]
+PARSE = 0x03  # list: [name str, sql str]
+EXECUTE = 0x04  # list: [name str, params list]
+CLOSE_STMT = 0x05  # str: name
+TERMINATE = 0x06  # empty: client is done (clean goodbye)
+
+# transactional KV surface (drives the txn/schemes.py concurrency schemes)
+KV_BEGIN = 0x10  # empty
+KV_READ = 0x11  # list: [txn int, key]
+KV_WRITE = 0x12  # list: [txn int, key, value]
+KV_COMMIT = 0x13  # int-valued: txn
+KV_ABORT = 0x14  # int-valued: txn
+
+# -- frame types: server -> client -------------------------------------------
+WELCOME = 0x81  # map: {"version", "server", "engine", "scheme", "max_inflight"}
+RESULT_HEADER = 0x82  # list: [columns list, rowcount int]
+RESULT_BATCH = 0x83  # list of rows (each row a list)
+RESULT_DONE = 0x84  # empty
+ERROR = 0x85  # map: {"class": str, "message": str}
+THROTTLE = 0x86  # map: {"inflight": int, "cap": int} — backpressure notice
+GOODBYE = 0x87  # map: {"reason": str} — server-initiated clean shutdown
+KV_BEGUN = 0x88  # int: txn id
+KV_VALUE = 0x89  # value
+OK = 0x8A  # empty: generic acknowledgement (PARSE, CLOSE_STMT, KV writes)
+
+FRAME_NAMES = {
+    HELLO: "HELLO",
+    QUERY: "QUERY",
+    PARSE: "PARSE",
+    EXECUTE: "EXECUTE",
+    CLOSE_STMT: "CLOSE_STMT",
+    TERMINATE: "TERMINATE",
+    KV_BEGIN: "KV_BEGIN",
+    KV_READ: "KV_READ",
+    KV_WRITE: "KV_WRITE",
+    KV_COMMIT: "KV_COMMIT",
+    KV_ABORT: "KV_ABORT",
+    WELCOME: "WELCOME",
+    RESULT_HEADER: "RESULT_HEADER",
+    RESULT_BATCH: "RESULT_BATCH",
+    RESULT_DONE: "RESULT_DONE",
+    ERROR: "ERROR",
+    THROTTLE: "THROTTLE",
+    GOODBYE: "GOODBYE",
+    KV_BEGUN: "KV_BEGUN",
+    KV_VALUE: "KV_VALUE",
+    OK: "OK",
+}
+
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+
+
+# ---------------------------------------------------------------------------
+# Value codec
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any, out: Optional[List[bytes]] = None) -> bytes:
+    """Encode one Python value; returns the bytes (or appends to ``out``)."""
+    parts: List[bytes] = [] if out is None else out
+    _encode_into(value, parts)
+    return b"".join(parts) if out is None else b""
+
+
+def _encode_into(value: Any, parts: List[bytes]) -> None:
+    if value is None:
+        parts.append(b"N")
+    elif value is True:
+        parts.append(b"T")
+    elif value is False:
+        parts.append(b"F")
+    elif isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            parts.append(b"i" + _I64.pack(value))
+        else:
+            text = str(value).encode("ascii")
+            parts.append(b"I" + _U32.pack(len(text)) + text)
+    elif isinstance(value, float):
+        parts.append(b"d" + _F64.pack(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        parts.append(b"s" + _U32.pack(len(raw)) + raw)
+    elif isinstance(value, bytes):
+        parts.append(b"b" + _U32.pack(len(value)) + value)
+    elif isinstance(value, (list, tuple)):
+        parts.append(b"l" + _U32.pack(len(value)))
+        for item in value:
+            _encode_into(item, parts)
+    elif isinstance(value, dict):
+        parts.append(b"m" + _U32.pack(len(value)))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ProtocolError(f"map keys must be str, got {type(key).__name__}")
+            raw = key.encode("utf-8")
+            parts.append(b"s" + _U32.pack(len(raw)) + raw)
+            _encode_into(item, parts)
+    else:
+        # numpy scalars (the vectorized engine's result cells) unwrap to the
+        # matching Python type, so both engines serialize identically.
+        item = getattr(value, "item", None)
+        if callable(item):
+            _encode_into(item(), parts)
+        else:
+            raise ProtocolError(
+                f"cannot encode value of type {type(value).__name__}"
+            )
+
+
+def _need(data: bytes, offset: int, count: int) -> None:
+    if offset + count > len(data):
+        raise ProtocolError(
+            f"truncated value: need {count} bytes at offset {offset}, "
+            f"have {len(data) - offset}"
+        )
+
+
+def _read_u32(data: bytes, offset: int) -> Tuple[int, int]:
+    _need(data, offset, 4)
+    return _U32.unpack_from(data, offset)[0], offset + 4
+
+
+def decode_value(data: bytes, offset: int = 0) -> Tuple[Any, int]:
+    """Decode one value at ``offset``; returns ``(value, next_offset)``."""
+    _need(data, offset, 1)
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == b"N":
+        return None, offset
+    if tag == b"T":
+        return True, offset
+    if tag == b"F":
+        return False, offset
+    if tag == b"i":
+        _need(data, offset, 8)
+        return _I64.unpack_from(data, offset)[0], offset + 8
+    if tag == b"I":
+        length, offset = _read_u32(data, offset)
+        _need(data, offset, length)
+        try:
+            return int(data[offset : offset + length]), offset + length
+        except ValueError as exc:
+            raise ProtocolError(f"malformed bigint literal: {exc}") from exc
+    if tag == b"d":
+        _need(data, offset, 8)
+        return _F64.unpack_from(data, offset)[0], offset + 8
+    if tag == b"s":
+        length, offset = _read_u32(data, offset)
+        _need(data, offset, length)
+        try:
+            return data[offset : offset + length].decode("utf-8"), offset + length
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"invalid UTF-8 in string value: {exc}") from exc
+    if tag == b"b":
+        length, offset = _read_u32(data, offset)
+        _need(data, offset, length)
+        return data[offset : offset + length], offset + length
+    if tag == b"l":
+        count, offset = _read_u32(data, offset)
+        # Each element costs at least one tag byte; reject absurd counts
+        # before looping so a 4-byte header can't buy a billion iterations.
+        _need(data, offset, count)
+        items: List[Any] = []
+        for _ in range(count):
+            item, offset = decode_value(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == b"m":
+        count, offset = _read_u32(data, offset)
+        _need(data, offset, count)
+        mapping: Dict[str, Any] = {}
+        for _ in range(count):
+            key, offset = decode_value(data, offset)
+            if not isinstance(key, str):
+                raise ProtocolError("map key is not a string")
+            mapping[key], offset = decode_value(data, offset)
+        return mapping, offset
+    raise ProtocolError(f"unknown value tag 0x{tag.hex()}")
+
+
+def decode_payload(data: bytes) -> Any:
+    """Decode a payload that must be exactly one value."""
+    value, offset = decode_value(data, 0)
+    if offset != len(data):
+        raise ProtocolError(f"{len(data) - offset} trailing bytes after value")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Frames
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(frame_type: int, payload: bytes = b"") -> bytes:
+    """One wire frame: u32 length, type byte, payload."""
+    if not 0 <= frame_type <= 0xFF:
+        raise ProtocolError(f"frame type {frame_type} out of range")
+    body_len = 1 + len(payload)
+    if body_len > MAX_FRAME:
+        raise ProtocolError(f"frame of {body_len} bytes exceeds MAX_FRAME")
+    return _U32.pack(body_len) + bytes([frame_type]) + payload
+
+
+def encode_message(frame_type: int, value: Any = None) -> bytes:
+    """A frame whose payload is one encoded value (``None`` -> empty)."""
+    return encode_frame(frame_type, b"" if value is None else encode_value(value))
+
+
+class FrameDecoder:
+    """Incremental frame parser shared by the sync client and tests.
+
+    Feed it raw socket bytes; iterate complete ``(type, payload)`` frames.
+    Raises :class:`ProtocolError` on an oversized or undersized length
+    prefix — the connection is unrecoverable at that point (the stream can
+    never resynchronize), so callers must disconnect.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def frames(self) -> Iterator[Tuple[int, bytes]]:
+        while True:
+            if len(self._buffer) < 4:
+                return
+            (body_len,) = _U32.unpack_from(self._buffer, 0)
+            if body_len < 1:
+                raise ProtocolError("frame length prefix below minimum (1)")
+            if body_len > MAX_FRAME:
+                raise ProtocolError(
+                    f"frame length {body_len} exceeds MAX_FRAME ({MAX_FRAME})"
+                )
+            if len(self._buffer) < 4 + body_len:
+                return
+            frame_type = self._buffer[4]
+            payload = bytes(self._buffer[5 : 4 + body_len])
+            del self._buffer[: 4 + body_len]
+            yield frame_type, payload
+
+
+# ---------------------------------------------------------------------------
+# Result encoding (header / batches / done)
+# ---------------------------------------------------------------------------
+
+
+def encode_result(columns: Sequence[str], rows: Sequence[Sequence[Any]],
+                  rowcount: int) -> List[bytes]:
+    """A full result as RESULT_HEADER + RESULT_BATCH* + RESULT_DONE frames."""
+    frames = [encode_message(RESULT_HEADER, [list(columns), rowcount])]
+    for start in range(0, len(rows), BATCH_ROWS):
+        batch = [list(row) for row in rows[start : start + BATCH_ROWS]]
+        frames.append(encode_message(RESULT_BATCH, batch))
+    frames.append(encode_frame(RESULT_DONE))
+    return frames
+
+
+# ---------------------------------------------------------------------------
+# Parameter styles: ? (SQLite), $1 (PostgreSQL), :name (named)
+#
+# The implementation lives in repro.sql.params (the embedded engine accepts
+# the same styles); re-exported here because they are part of the wire
+# surface — clients compile placeholders before frames hit the socket.
+# ---------------------------------------------------------------------------
+
+from repro.sql.params import (  # noqa: E402  (re-export)
+    compile_placeholders,
+    map_params,
+    normalize_params,
+)

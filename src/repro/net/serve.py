@@ -1,0 +1,93 @@
+"""``python -m repro serve`` — run the wire-protocol server.
+
+Examples::
+
+    python -m repro serve                      # in-memory, 127.0.0.1:5433
+    python -m repro serve mydata.db --port 6000
+    python -m repro serve --engine vectorized --scheme mvcc --max-connections 256
+
+Stops cleanly on SIGINT/SIGTERM: stops accepting, drains in-flight
+statements (up to ``--drain-timeout`` seconds), rolls back what remains,
+and closes the database.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+from typing import List, Optional
+
+from repro.net.server import DatabaseServer
+from repro.txn.schemes import scheme_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve a repro database over the wire protocol.",
+    )
+    parser.add_argument("path", nargs="?", default=None, help="database file (default: in-memory)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=5433)
+    parser.add_argument("--engine", default="volcano", choices=["volcano", "vectorized"])
+    parser.add_argument(
+        "--scheme",
+        default="2pl",
+        choices=scheme_names(),
+        help="concurrency scheme for the transactional KV surface",
+    )
+    parser.add_argument("--max-connections", type=int, default=64)
+    parser.add_argument("--max-inflight", type=int, default=8)
+    parser.add_argument("--drain-timeout", type=float, default=5.0)
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    server = DatabaseServer(
+        path=args.path,
+        host=args.host,
+        port=args.port,
+        engine=args.engine,
+        scheme=args.scheme,
+        max_connections=args.max_connections,
+        max_inflight=args.max_inflight,
+    )
+    await server.start()
+    print(
+        f"repro server listening on {server.host}:{server.port} "
+        f"(engine={server.db.engine}, kv scheme={server.scheme.name}, "
+        f"max_connections={server.max_connections})",
+        flush=True,
+    )
+    stop_event = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(sig, stop_event.set)
+    serve_task = asyncio.ensure_future(server.serve_forever())
+    await stop_event.wait()
+    print("shutting down: draining in-flight statements...", flush=True)
+    serve_task.cancel()
+    with contextlib.suppress(asyncio.CancelledError):
+        await serve_task
+    await server.stop(drain=True, timeout=args.drain_timeout)
+    print(
+        f"served {server.stats['connections']} connections, "
+        f"{server.stats['statements']} statements",
+        flush=True,
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,682 @@
+"""The asyncio TCP server: many connections over one embedded Database.
+
+Architecture, per connection:
+
+* a **reader task** parses frames off the socket into a bounded queue —
+  when the queue is full (the per-session in-flight cap) it sends one
+  :data:`~repro.net.protocol.THROTTLE` frame and stops reading, so TCP
+  flow control pushes the backpressure all the way to the client;
+* a **worker task** drains the queue and processes requests strictly in
+  order, so responses always match request order (simple-protocol
+  pipelining, like PostgreSQL's).
+
+Transaction scope is per connection: ``BEGIN`` acquires the server-wide
+transaction gate (the embedded engine supports one live transaction) and
+holds it until ``COMMIT``/``ROLLBACK`` — or until the connection drops, in
+which case the session's open transaction is rolled back.  Autocommit
+statements take the gate per statement, so a statement from connection B
+can never silently join connection A's open transaction.
+
+Statements execute on a thread pool: the event loop stays free to accept
+connections, parse frames, and emit backpressure while the engine (which
+serializes internally anyway) grinds through SQL.
+
+Besides SQL, the server exposes the transactional KV surface of
+:mod:`repro.txn.schemes` (``KV_BEGIN``/``KV_READ``/``KV_WRITE``/…): KV
+transactions from different connections interleave under the configured
+scheme's own concurrency control (2PL lock waits, MVCC snapshots), which
+makes cross-connection contention *real* — and, with ``REPRO_SANITIZE=1``,
+recorded, so the PR 4 precedence-graph checker can certify server-side
+schedules.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional
+
+from repro.core.database import Database
+from repro.core.errors import (
+    AdmissionError,
+    BindError,
+    ProtocolError,
+    ReproError,
+    TransactionError,
+    error_to_wire,
+)
+from repro.core.plancache import PreparedStatement
+from repro.net import protocol as proto
+from repro.txn.schemes import ConcurrencyScheme, make_scheme
+
+#: Per-session prepared-statement registry cap (leak guard).
+MAX_SESSION_STMTS = 256
+
+#: Upper bound on a single QUERY/PARSE statement's text length.
+MAX_SQL_LENGTH = 1 * 1024 * 1024
+
+_TXN_HEADS = ("BEGIN", "COMMIT", "ROLLBACK")
+
+
+def _statement_head(sql: str) -> str:
+    head = sql.lstrip().split(None, 1)
+    return head[0].upper() if head else ""
+
+
+class Session:
+    """Per-connection state: auth, prepared statements, txn + KV handles."""
+
+    def __init__(self, session_id: int, writer: asyncio.StreamWriter):
+        self.id = session_id
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.authenticated = False
+        self.user = ""
+        self.stmts: Dict[str, PreparedStatement] = {}
+        self.kv_txns: Dict[int, Any] = {}
+        self.owns_txn_gate = False
+        self.inflight: asyncio.Queue = asyncio.Queue()
+        self.throttles_sent = 0
+        self.busy = False  # worker is mid-statement (drain bookkeeping)
+        self.closed = False
+
+    async def send(self, *frames: bytes) -> None:
+        if self.closed:
+            return
+        async with self.write_lock:
+            try:
+                for frame in frames:
+                    self.writer.write(frame)
+                await self.writer.drain()
+            except (ConnectionError, OSError):
+                self.closed = True
+
+
+class DatabaseServer:
+    """Serve one :class:`~repro.core.database.Database` over TCP.
+
+    Parameters mirror the admission-control story: ``max_connections``
+    bounds concurrent sessions (excess connects get an
+    :class:`~repro.core.errors.AdmissionError` frame and a close);
+    ``max_inflight`` bounds pipelined-but-unprocessed requests per session
+    before backpressure kicks in.
+    """
+
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        path: Optional[str] = None,
+        max_connections: int = 64,
+        max_inflight: int = 8,
+        scheme: Any = "2pl",
+        executor_threads: int = 16,
+        **db_kwargs: Any,
+    ):
+        if db is not None and (path is not None or db_kwargs):
+            raise ReproError("pass either a Database or construction kwargs, not both")
+        self._owns_db = db is None
+        self.db = db if db is not None else Database(path=path, **db_kwargs)
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.max_inflight = max_inflight
+        # Accept a scheme name or a ready instance (tests pass instances
+        # constructed with record_schedule=True for sanitizer certification).
+        self.scheme: ConcurrencyScheme = (
+            scheme if isinstance(scheme, ConcurrencyScheme) else make_scheme(scheme)
+        )
+        self.sessions: Dict[int, Session] = {}
+        self.stats = {
+            "connections": 0,
+            "refused": 0,
+            "statements": 0,
+            "kv_ops": 0,
+            "protocol_errors": 0,
+            "throttles": 0,
+        }
+        self._next_session_id = 0
+        self._txn_gate = asyncio.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_threads, thread_name_prefix="repro-net"
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._accepting = False
+        self._session_tasks: Dict[int, asyncio.Task] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._on_connect, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._accepting = True
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, drain or abort, close all.
+
+        With ``drain=True`` the server waits up to ``timeout`` seconds for
+        every session's in-flight statements to finish; whatever is still
+        running after that (and any open transactions) is aborted.  Idle
+        sessions get a GOODBYE frame so well-behaved clients close cleanly.
+        """
+        self._accepting = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            deadline = asyncio.get_running_loop().time() + timeout
+            while asyncio.get_running_loop().time() < deadline:
+                if all(
+                    s.inflight.empty() and not s.busy for s in self.sessions.values()
+                ):
+                    break
+                await asyncio.sleep(0.01)
+        goodbye = proto.encode_message(proto.GOODBYE, {"reason": "server shutdown"})
+        for session in list(self.sessions.values()):
+            await session.send(goodbye)
+        for task in list(self._session_tasks.values()):
+            task.cancel()
+        for task in list(self._session_tasks.values()):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._session_tasks.clear()
+        for session in list(self.sessions.values()):
+            await self._cleanup_session(session)
+        self._executor.shutdown(wait=False)
+        if self._owns_db:
+            await asyncio.get_running_loop().run_in_executor(None, self.db.close)
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if not self._accepting or len(self.sessions) >= self.max_connections:
+            self.stats["refused"] += 1
+            try:
+                writer.write(
+                    proto.encode_message(
+                        proto.ERROR,
+                        {
+                            "class": "AdmissionError",
+                            "message": (
+                                f"server at capacity ({self.max_connections} connections)"
+                            ),
+                        },
+                    )
+                )
+                await writer.drain()
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+            return
+        self._next_session_id += 1
+        session = Session(self._next_session_id, writer)
+        self.sessions[session.id] = session
+        self.stats["connections"] += 1
+        task = asyncio.current_task()
+        self._session_tasks[session.id] = task
+        try:
+            await self._run_session(session, reader)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._session_tasks.pop(session.id, None)
+            await self._cleanup_session(session)
+
+    async def _run_session(self, session: Session, reader: asyncio.StreamReader) -> None:
+        worker = asyncio.ensure_future(self._worker_loop(session))
+        try:
+            await self._reader_loop(session, reader)
+        finally:
+            # Reader is done (EOF, protocol error, or cancellation): let the
+            # worker finish what is already queued, then stop it.  If the
+            # worker already died (protocol error) there is nothing to wait
+            # for — it drained its queue on the way out.
+            if not worker.done():
+                try:
+                    await asyncio.wait_for(session.inflight.join(), timeout=5.0)
+                except (asyncio.TimeoutError, asyncio.CancelledError):
+                    pass
+            worker.cancel()
+            try:
+                await worker
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    async def _reader_loop(self, session: Session, reader: asyncio.StreamReader) -> None:
+        while not session.closed:
+            try:
+                header = await reader.readexactly(4)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return
+            body_len = int.from_bytes(header, "big")
+            if body_len < 1 or body_len > proto.MAX_FRAME:
+                await self._protocol_error(
+                    session, f"frame length {body_len} outside [1, {proto.MAX_FRAME}]"
+                )
+                return
+            try:
+                body = await reader.readexactly(body_len)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return
+            frame_type, payload = body[0], body[1:]
+            if frame_type == proto.TERMINATE:
+                return
+            if session.inflight.qsize() >= self.max_inflight:
+                session.throttles_sent += 1
+                self.stats["throttles"] += 1
+                await session.send(
+                    proto.encode_message(
+                        proto.THROTTLE,
+                        {"inflight": session.inflight.qsize(), "cap": self.max_inflight},
+                    )
+                )
+                # Wait for the worker to drain below the cap before reading
+                # more — the socket buffer (TCP flow control) holds the rest.
+                while session.inflight.qsize() >= self.max_inflight:
+                    await asyncio.sleep(0.001)
+            session.inflight.put_nowait((frame_type, payload))
+
+    async def _worker_loop(self, session: Session) -> None:
+        while True:
+            frame_type, payload = await session.inflight.get()
+            session.busy = True
+            try:
+                await self._process(session, frame_type, payload)
+            except ProtocolError as exc:
+                await self._protocol_error(session, str(exc))
+                self._drain_queue(session)
+                return
+            except (ConnectionError, OSError):
+                self._drain_queue(session)
+                return
+            except Exception as exc:  # engine bug: report, keep session alive
+                await self._send_error(session, exc)
+            finally:
+                session.busy = False
+                session.inflight.task_done()
+
+    @staticmethod
+    def _drain_queue(session: Session) -> None:
+        while True:
+            try:
+                session.inflight.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            session.inflight.task_done()
+
+    async def _protocol_error(self, session: Session, message: str) -> None:
+        """Report an unrecoverable framing/state error and disconnect."""
+        self.stats["protocol_errors"] += 1
+        await session.send(
+            proto.encode_message(
+                proto.ERROR, {"class": "ProtocolError", "message": message}
+            )
+        )
+        session.closed = True
+        try:
+            session.writer.close()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _send_error(self, session: Session, exc: BaseException) -> None:
+        name, message = error_to_wire(exc)
+        await session.send(
+            proto.encode_message(proto.ERROR, {"class": name, "message": message})
+        )
+
+    # -- request processing ----------------------------------------------------
+
+    async def _process(self, session: Session, frame_type: int, payload: bytes) -> None:
+        if frame_type == proto.HELLO:
+            await self._handle_hello(session, payload)
+            return
+        if not session.authenticated:
+            raise ProtocolError(
+                f"first frame must be HELLO, got "
+                f"{proto.FRAME_NAMES.get(frame_type, hex(frame_type))}"
+            )
+        try:
+            handler = {
+                proto.QUERY: self._handle_query,
+                proto.PARSE: self._handle_parse,
+                proto.EXECUTE: self._handle_execute,
+                proto.CLOSE_STMT: self._handle_close_stmt,
+                proto.KV_BEGIN: self._handle_kv_begin,
+                proto.KV_READ: self._handle_kv_read,
+                proto.KV_WRITE: self._handle_kv_write,
+                proto.KV_COMMIT: self._handle_kv_commit,
+                proto.KV_ABORT: self._handle_kv_abort,
+            }[frame_type]
+        except KeyError:
+            raise ProtocolError(
+                f"unexpected frame type 0x{frame_type:02x}"
+            ) from None
+        try:
+            await handler(session, payload)
+        except ReproError as exc:
+            if isinstance(exc, ProtocolError):
+                raise
+            await self._send_error(session, exc)
+
+    async def _handle_hello(self, session: Session, payload: bytes) -> None:
+        hello = proto.decode_payload(payload)
+        if not isinstance(hello, dict) or not isinstance(hello.get("user"), str):
+            raise ProtocolError("HELLO payload must be a map with a 'user' string")
+        if not hello["user"]:
+            # Auth stub: any non-empty user name is accepted today; the
+            # refusal path exists so clients already handle it.
+            await self._send_error(session, AdmissionError("empty user name refused"))
+            return
+        session.authenticated = True
+        session.user = hello["user"]
+        await session.send(
+            proto.encode_message(
+                proto.WELCOME,
+                {
+                    "version": proto.PROTOCOL_VERSION,
+                    "server": "repro",
+                    "engine": self.db.engine,
+                    "scheme": self.scheme.name,
+                    "max_inflight": self.max_inflight,
+                },
+            )
+        )
+
+    # -- SQL ---------------------------------------------------------------
+
+    async def _run_engine(self, fn, *args, **kwargs):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, functools.partial(fn, *args, **kwargs)
+        )
+
+    async def _run_statement(self, session: Session, head: str, thunk) -> None:
+        """Execute one statement thunk under the correct transaction scope."""
+        self.stats["statements"] += 1
+        if head == "BEGIN":
+            if session.owns_txn_gate:
+                raise TransactionError("a transaction is already active")
+            await self._txn_gate.acquire()
+            session.owns_txn_gate = True
+            try:
+                result = await self._run_engine(thunk)
+            except BaseException:
+                session.owns_txn_gate = False
+                self._txn_gate.release()
+                raise
+        elif head in ("COMMIT", "ROLLBACK"):
+            if not session.owns_txn_gate:
+                raise TransactionError("no active transaction")
+            try:
+                result = await self._run_engine(thunk)
+            finally:
+                if not self.db.in_transaction():
+                    session.owns_txn_gate = False
+                    self._txn_gate.release()
+        elif session.owns_txn_gate:
+            result = await self._run_engine(thunk)
+        else:
+            async with self._txn_gate:
+                result = await self._run_engine(thunk)
+        await session.send(
+            *proto.encode_result(result.columns, result.rows, result.rowcount)
+        )
+
+    async def _handle_query(self, session: Session, payload: bytes) -> None:
+        message = proto.decode_payload(payload)
+        if (
+            not isinstance(message, list)
+            or len(message) != 2
+            or not isinstance(message[0], str)
+            or not isinstance(message[1], list)
+        ):
+            raise ProtocolError("QUERY payload must be [sql, params]")
+        sql, values = message
+        if len(sql) > MAX_SQL_LENGTH:
+            raise ProtocolError(f"statement text exceeds {MAX_SQL_LENGTH} bytes")
+        params = values if values else None
+        await self._run_statement(
+            session,
+            _statement_head(sql),
+            functools.partial(self.db.execute, sql, params=params),
+        )
+
+    async def _handle_parse(self, session: Session, payload: bytes) -> None:
+        message = proto.decode_payload(payload)
+        if (
+            not isinstance(message, list)
+            or len(message) != 2
+            or not isinstance(message[0], str)
+            or not isinstance(message[1], str)
+        ):
+            raise ProtocolError("PARSE payload must be [name, sql]")
+        name, sql = message
+        if len(sql) > MAX_SQL_LENGTH:
+            raise ProtocolError(f"statement text exceeds {MAX_SQL_LENGTH} bytes")
+        if len(session.stmts) >= MAX_SESSION_STMTS and name not in session.stmts:
+            raise AdmissionError(
+                f"session prepared-statement limit reached ({MAX_SESSION_STMTS})"
+            )
+        # db.prepare keys the bound plan into the shared plan cache
+        # machinery; the session registry only holds the handle.
+        session.stmts[name] = await self._run_engine(self.db.prepare, sql)
+        await session.send(proto.encode_frame(proto.OK))
+
+    async def _handle_execute(self, session: Session, payload: bytes) -> None:
+        message = proto.decode_payload(payload)
+        if (
+            not isinstance(message, list)
+            or len(message) != 2
+            or not isinstance(message[0], str)
+            or not isinstance(message[1], list)
+        ):
+            raise ProtocolError("EXECUTE payload must be [name, params]")
+        name, values = message
+        prep = session.stmts.get(name)
+        if prep is None:
+            raise BindError(f"unknown prepared statement {name!r}")
+        await self._run_statement(
+            session,
+            _statement_head(prep.sql),
+            functools.partial(prep.execute, tuple(values)),
+        )
+
+    async def _handle_close_stmt(self, session: Session, payload: bytes) -> None:
+        name = proto.decode_payload(payload)
+        if not isinstance(name, str):
+            raise ProtocolError("CLOSE_STMT payload must be a statement name")
+        session.stmts.pop(name, None)
+        await session.send(proto.encode_frame(proto.OK))
+
+    # -- KV surface --------------------------------------------------------
+
+    async def _handle_kv_begin(self, session: Session, payload: bytes) -> None:
+        # On the pool, not the loop: global-lock's begin() blocks until the
+        # holder commits, and a blocked event loop would wedge every session.
+        handle = await self._run_engine(self.scheme.begin)
+        session.kv_txns[handle.txn_id] = handle
+        self.stats["kv_ops"] += 1
+        await session.send(proto.encode_message(proto.KV_BEGUN, handle.txn_id))
+
+    def _kv_handle(self, session: Session, txn: Any):
+        if not isinstance(txn, int) or txn not in session.kv_txns:
+            raise BindError(f"unknown KV transaction {txn!r}")
+        return session.kv_txns[txn]
+
+    async def _kv_call(self, session: Session, txn: int, fn, *args):
+        """Run one scheme op on the pool; drop dead handles on abort."""
+        self.stats["kv_ops"] += 1
+        try:
+            return await self._run_engine(fn, *args)
+        except ReproError:
+            handle = session.kv_txns.get(txn)
+            if handle is not None and not handle.active:
+                del session.kv_txns[txn]
+            raise
+
+    async def _handle_kv_read(self, session: Session, payload: bytes) -> None:
+        message = proto.decode_payload(payload)
+        if not isinstance(message, list) or len(message) != 2:
+            raise ProtocolError("KV_READ payload must be [txn, key]")
+        txn, key = message
+        handle = self._kv_handle(session, txn)
+        key = tuple(key) if isinstance(key, list) else key
+        value = await self._kv_call(session, txn, self.scheme.read, handle, key)
+        await session.send(proto.encode_message(proto.KV_VALUE, value))
+
+    async def _handle_kv_write(self, session: Session, payload: bytes) -> None:
+        message = proto.decode_payload(payload)
+        if not isinstance(message, list) or len(message) != 3:
+            raise ProtocolError("KV_WRITE payload must be [txn, key, value]")
+        txn, key, value = message
+        handle = self._kv_handle(session, txn)
+        key = tuple(key) if isinstance(key, list) else key
+        await self._kv_call(session, txn, self.scheme.write, handle, key, value)
+        await session.send(proto.encode_frame(proto.OK))
+
+    async def _handle_kv_commit(self, session: Session, payload: bytes) -> None:
+        txn = proto.decode_payload(payload)
+        handle = self._kv_handle(session, txn)
+        try:
+            await self._kv_call(session, txn, self.scheme.commit, handle)
+        finally:
+            if not handle.active:
+                session.kv_txns.pop(txn, None)
+        await session.send(proto.encode_frame(proto.OK))
+
+    async def _handle_kv_abort(self, session: Session, payload: bytes) -> None:
+        txn = proto.decode_payload(payload)
+        handle = self._kv_handle(session, txn)
+        try:
+            await self._kv_call(session, txn, self.scheme.abort, handle)
+        finally:
+            session.kv_txns.pop(txn, None)
+        await session.send(proto.encode_frame(proto.OK))
+
+    # -- teardown ----------------------------------------------------------
+
+    async def _cleanup_session(self, session: Session) -> None:
+        """Release everything a dead connection held.
+
+        An open SQL transaction is rolled back (and the gate released) so
+        one dropped client cannot wedge every other session; live KV
+        handles are aborted through their scheme so their locks free.
+        """
+        if self.sessions.pop(session.id, None) is None:
+            return
+        session.closed = True
+        if session.owns_txn_gate:
+            try:
+                if self.db.in_transaction():
+                    await self._run_engine(self.db.execute, "ROLLBACK")
+            except Exception:
+                pass
+            session.owns_txn_gate = False
+            self._txn_gate.release()
+        for handle in list(session.kv_txns.values()):
+            if handle.active:
+                try:
+                    await self._run_engine(self.scheme.abort, handle)
+                except Exception:
+                    pass
+        session.kv_txns.clear()
+        session.stmts.clear()
+        try:
+            session.writer.close()
+        except (ConnectionError, OSError):
+            pass
+
+
+class ServerThread:
+    """Run a :class:`DatabaseServer` on a background event loop thread.
+
+    The bridge the sync client, tests, and benchmarks use::
+
+        with ServerThread(max_connections=128) as srv:
+            conn = connect(port=srv.port)
+
+    Exposes ``server`` (the DatabaseServer), ``db``, and the bound ``port``.
+    """
+
+    def __init__(self, db: Optional[Database] = None, **server_kwargs: Any):
+        self._db = db
+        self._kwargs = server_kwargs
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self.server: Optional[DatabaseServer] = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def db(self) -> Database:
+        return self.server.db
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True, name="repro-server")
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.server is None:
+            raise ReproError("server thread failed to start within 10s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = DatabaseServer(self._db, **self._kwargs)
+            loop.run_until_complete(server.start())
+            self.server = server
+        except Exception as exc:
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
+        if self._loop is None or self.server is None:
+            return
+        if self._loop.is_closed():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(drain=drain, timeout=timeout), self._loop
+        )
+        try:
+            future.result(timeout=timeout + 5.0)
+        except Exception:
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

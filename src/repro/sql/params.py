@@ -5,11 +5,19 @@ lightweight drivers do: the scan skips string literals, quoted identifiers,
 and comments, so a ``?`` inside any of those is never touched, and each
 value is rendered as a properly escaped SQL literal (string quoting handled
 here, so user input cannot break out of a literal).
+
+Three placeholder styles are accepted (never mixed in one statement):
+``?`` positional, ``$1`` explicit positional, and ``:name`` named.
+:func:`compile_placeholders` rewrites any style to ``?`` form once;
+:func:`map_params` orders a params sequence/mapping against the compiled
+token list at bind time.  Both the embedded engine
+(``Database.execute(..., params=...)``) and the network clients share this
+code, so a statement behaves identically in-process and over the wire.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+from typing import Any, List, Sequence, Tuple
 
 from repro.core.errors import ParseError
 
@@ -83,3 +91,148 @@ def substitute_params(sql: str, params: Sequence[Any]) -> str:
         last = pos + 1
     out.append(sql[last:])
     return "".join(out)
+
+
+def _scan_placeholders(sql: str) -> List[Tuple[int, int, str]]:
+    """Placeholder spans outside strings/identifiers/comments.
+
+    Returns ``(start, end, token)`` per placeholder, where token is ``"?"``,
+    ``"$3"``, or ``":name"``.
+    """
+    spans: List[Tuple[int, int, str]] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            i += 1
+            while i < n:
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":
+                        i += 2
+                        continue
+                    break
+                i += 1
+            i += 1
+            continue
+        if ch == '"':
+            end = sql.find('"', i + 1)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "-" and i + 1 < n and sql[i + 1] == "-":
+            newline = sql.find("\n", i)
+            i = n if newline == -1 else newline + 1
+            continue
+        if ch == "?":
+            spans.append((i, i + 1, "?"))
+            i += 1
+            continue
+        if ch == "$" and i + 1 < n and sql[i + 1].isdigit():
+            j = i + 1
+            while j < n and sql[j].isdigit():
+                j += 1
+            spans.append((i, j, sql[i:j]))
+            i = j
+            continue
+        if (
+            ch == ":"
+            and i + 1 < n
+            and (sql[i + 1].isalpha() or sql[i + 1] == "_")
+            and (i == 0 or not (sql[i - 1].isalnum() or sql[i - 1] in "_:"))
+        ):
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            spans.append((i, j, sql[i:j]))
+            i = j
+            continue
+        i += 1
+    return spans
+
+
+def compile_placeholders(sql: str) -> Tuple[str, List[str]]:
+    """Rewrite every placeholder to ``?``; returns ``(sql, tokens)``.
+
+    ``tokens`` is the original placeholder token per position (``"?"``,
+    ``"$2"``, ``":name"``) — :func:`map_params` uses it to order values at
+    bind time, so a statement can be compiled once (prepare/PARSE) and
+    bound many times.  Styles cannot be mixed within one statement.
+    """
+    spans = _scan_placeholders(sql)
+    if not spans:
+        return sql, []
+    styles = {"?" if t == "?" else ("$" if t.startswith("$") else ":") for _, _, t in spans}
+    if len(styles) > 1:
+        raise ParseError(
+            "cannot mix placeholder styles in one statement: "
+            + ", ".join(sorted(t for _, _, t in spans))
+        )
+    out: List[str] = []
+    last = 0
+    for start, end, _ in spans:
+        out.append(sql[last:start])
+        out.append("?")
+        last = end
+    out.append(sql[last:])
+    return "".join(out), [token for _, _, token in spans]
+
+
+def map_params(tokens: Sequence[str], params: Any) -> List[Any]:
+    """Order parameter values to match compiled placeholder ``tokens``.
+
+    * ``?`` positional — params is a sequence consumed left to right;
+    * ``$1`` positional — params is a sequence indexed explicitly (the same
+      ``$n`` may appear multiple times);
+    * ``:name`` named — params is a mapping.
+
+    Raises :class:`~repro.core.errors.ParseError` on arity/name mismatches,
+    the same error class ``?`` binds raise today.
+    """
+    if params is None:
+        params = ()
+    if not tokens:
+        count = len(params) if isinstance(params, dict) else len(list(params))
+        if count:
+            raise ParseError(
+                f"statement has 0 placeholders but {count} parameters were supplied"
+            )
+        return []
+    style = "?" if tokens[0] == "?" else ("$" if tokens[0].startswith("$") else ":")
+    values: List[Any] = []
+    if style == ":":
+        if not isinstance(params, dict):
+            raise ParseError("named placeholders require a mapping of parameters")
+        seen = set()
+        for token in tokens:
+            name = token[1:]
+            seen.add(name)
+            if name not in params:
+                raise ParseError(f"missing value for named parameter :{name}")
+            values.append(params[name])
+        extra = set(params) - seen
+        if extra:
+            raise ParseError("unused named parameters: " + ", ".join(sorted(extra)))
+        return values
+    if isinstance(params, dict):
+        raise ParseError("positional placeholders require a sequence of parameters")
+    params = list(params)
+    if style == "?":
+        if len(params) != len(tokens):
+            raise ParseError(
+                f"statement has {len(tokens)} placeholders but "
+                f"{len(params)} parameters were supplied"
+            )
+        return params
+    for token in tokens:  # $N
+        index = int(token[1:])
+        if not 1 <= index <= len(params):
+            raise ParseError(
+                f"placeholder {token} out of range for {len(params)} parameters"
+            )
+        values.append(params[index - 1])
+    return values
+
+
+def normalize_params(sql: str, params: Any) -> Tuple[str, List[Any]]:
+    """One-shot form: rewrite any placeholder style to ``?`` + values."""
+    rewritten, tokens = compile_placeholders(sql)
+    return rewritten, map_params(tokens, params)

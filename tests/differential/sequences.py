@@ -1,0 +1,105 @@
+"""Shared randomized SQL sequence generator for differential suites.
+
+Originally private to the sqlite3 oracle (``test_oracle.py``); factored out
+so the network differential suite (``tests/net/test_differential.py``) can
+replay the *same* seeded sequences through the wire clients and assert
+they behave identically to the embedded engine.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+NUM_SEQUENCES = 110  # per engine; x2 engines > 200 sequences per run
+NIGHTLY_MULTIPLIER = 5
+STATEMENTS_PER_SEQUENCE = 40
+
+NAMES = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "omega"]
+
+
+def num_sequences() -> int:
+    if os.environ.get("REPRO_NIGHTLY"):
+        return NUM_SEQUENCES * NIGHTLY_MULTIPLIER
+    return NUM_SEQUENCES
+
+
+def predicate(rng: random.Random) -> str:
+    """A WHERE clause both dialects parse identically (no NULL semantics)."""
+    clauses = []
+    for _ in range(rng.randint(1, 2)):
+        col = rng.choice(["id", "name", "val"])
+        if col == "id":
+            op = rng.choice(["=", "<", ">", "<=", ">="])
+            clauses.append(f"id {op} {rng.randint(0, 60)}")
+        elif col == "name":
+            clauses.append(f"name = '{rng.choice(NAMES)}'")
+        else:
+            op = rng.choice(["<", ">", "<=", ">="])
+            clauses.append(f"val {op} {rng.randint(0, 200)}.5")
+    joiner = rng.choice([" AND ", " OR "])
+    return joiner.join(clauses)
+
+
+def statement(rng: random.Random, in_txn: bool) -> str:
+    """One random statement; explicit txn control keeps both engines in step."""
+    roll = rng.random()
+    if in_txn and roll < 0.15:
+        return rng.choice(["COMMIT", "ROLLBACK"])
+    if not in_txn and roll < 0.08:
+        return "BEGIN"
+    roll = rng.random()
+    if roll < 0.40:
+        rows = ", ".join(
+            f"({rng.randint(0, 60)}, '{rng.choice(NAMES)}', {rng.randint(0, 200)}.5)"
+            for _ in range(rng.randint(1, 3))
+        )
+        return f"INSERT INTO t VALUES {rows}"
+    if roll < 0.60:
+        assignment = rng.choice(
+            [
+                f"val = {rng.randint(0, 200)}.5",
+                "val = val + 1.0",
+                f"name = '{rng.choice(NAMES)}'",
+                f"id = id + {rng.randint(1, 3)}",
+            ]
+        )
+        return f"UPDATE t SET {assignment} WHERE {predicate(rng)}"
+    if roll < 0.75:
+        return f"DELETE FROM t WHERE {predicate(rng)}"
+    if roll < 0.90:
+        return f"SELECT id, name, val FROM t WHERE {predicate(rng)}"
+    return f"SELECT COUNT(*), SUM(val) FROM t WHERE {predicate(rng)}"
+
+
+def sequence(seed: int, length: int = STATEMENTS_PER_SEQUENCE):
+    """The full seeded statement list (with txn-state tracking baked in)."""
+    rng = random.Random(seed)
+    statements = []
+    in_txn = False
+    for _ in range(length):
+        sql = statement(rng, in_txn)
+        if sql == "BEGIN":
+            in_txn = True
+        elif sql in ("COMMIT", "ROLLBACK"):
+            in_txn = False
+        statements.append(sql)
+    if in_txn:
+        statements.append("COMMIT")
+    return statements
+
+
+def canon(rows):
+    """Order-insensitive, float-tolerant form of a result multiset."""
+    out = []
+    for row in rows:
+        canon_row = []
+        for v in row:
+            if isinstance(v, float):
+                canon_row.append(round(v, 6))
+            elif v is None:
+                canon_row.append(0)  # SUM() over zero rows: engine yields 0
+            else:
+                canon_row.append(v)
+        out.append(tuple(canon_row))
+    return sorted(out, key=repr)

@@ -13,105 +13,24 @@ The default run covers ``NUM_SEQUENCES`` seeds per engine; set
 ``REPRO_NIGHTLY=1`` to multiply the coverage (the CI nightly job does).
 """
 
-import os
-import random
 import sqlite3
 
 import pytest
 
 from repro.core.database import Database
 
-NUM_SEQUENCES = 110  # per engine; x2 engines > 200 sequences per run
-NIGHTLY_MULTIPLIER = 5
-STATEMENTS_PER_SEQUENCE = 40
-
-NAMES = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "omega"]
-
-
-def _num_sequences() -> int:
-    if os.environ.get("REPRO_NIGHTLY"):
-        return NUM_SEQUENCES * NIGHTLY_MULTIPLIER
-    return NUM_SEQUENCES
-
-
-def _predicate(rng: random.Random) -> str:
-    """A WHERE clause both dialects parse identically (no NULL semantics)."""
-    clauses = []
-    for _ in range(rng.randint(1, 2)):
-        col = rng.choice(["id", "name", "val"])
-        if col == "id":
-            op = rng.choice(["=", "<", ">", "<=", ">="])
-            clauses.append(f"id {op} {rng.randint(0, 60)}")
-        elif col == "name":
-            clauses.append(f"name = '{rng.choice(NAMES)}'")
-        else:
-            op = rng.choice(["<", ">", "<=", ">="])
-            clauses.append(f"val {op} {rng.randint(0, 200)}.5")
-    joiner = rng.choice([" AND ", " OR "])
-    return joiner.join(clauses)
-
-
-def _statement(rng: random.Random, in_txn: bool) -> str:
-    """One random statement; explicit txn control keeps both engines in step."""
-    roll = rng.random()
-    if in_txn and roll < 0.15:
-        return rng.choice(["COMMIT", "ROLLBACK"])
-    if not in_txn and roll < 0.08:
-        return "BEGIN"
-    roll = rng.random()
-    if roll < 0.40:
-        rows = ", ".join(
-            f"({rng.randint(0, 60)}, '{rng.choice(NAMES)}', {rng.randint(0, 200)}.5)"
-            for _ in range(rng.randint(1, 3))
-        )
-        return f"INSERT INTO t VALUES {rows}"
-    if roll < 0.60:
-        assignment = rng.choice(
-            [
-                f"val = {rng.randint(0, 200)}.5",
-                "val = val + 1.0",
-                f"name = '{rng.choice(NAMES)}'",
-                f"id = id + {rng.randint(1, 3)}",
-            ]
-        )
-        return f"UPDATE t SET {assignment} WHERE {_predicate(rng)}"
-    if roll < 0.75:
-        return f"DELETE FROM t WHERE {_predicate(rng)}"
-    if roll < 0.90:
-        return f"SELECT id, name, val FROM t WHERE {_predicate(rng)}"
-    return f"SELECT COUNT(*), SUM(val) FROM t WHERE {_predicate(rng)}"
-
-
-def _canon(rows):
-    """Order-insensitive, float-tolerant form of a result multiset."""
-    out = []
-    for row in rows:
-        canon_row = []
-        for v in row:
-            if isinstance(v, float):
-                canon_row.append(round(v, 6))
-            elif v is None:
-                canon_row.append(0)  # SUM() over zero rows: engine yields 0
-            else:
-                canon_row.append(v)
-        out.append(tuple(canon_row))
-    return sorted(out, key=repr)
+from tests.differential.sequences import canon as _canon
+from tests.differential.sequences import num_sequences as _num_sequences
+from tests.differential.sequences import sequence
 
 
 def _run_sequence(seed: int, engine: str):
-    rng = random.Random(seed)
     db = Database(engine=engine)
     db.execute("CREATE TABLE t (id INTEGER, name TEXT, val FLOAT)")
     lite = sqlite3.connect(":memory:", isolation_level=None)
     lite.execute("CREATE TABLE t (id INTEGER, name TEXT, val FLOAT)")
-    in_txn = False
     try:
-        for step in range(STATEMENTS_PER_SEQUENCE):
-            sql = _statement(rng, in_txn)
-            if sql == "BEGIN":
-                in_txn = True
-            elif sql in ("COMMIT", "ROLLBACK"):
-                in_txn = False
+        for step, sql in enumerate(sequence(seed)):
             ours = db.execute(sql)
             theirs = lite.execute(sql).fetchall()
             if sql.startswith("SELECT"):
@@ -120,10 +39,8 @@ def _run_sequence(seed: int, engine: str):
                     f"{sql!r}\n  ours:   {_canon(ours.rows)[:10]}\n"
                     f"  sqlite: {_canon(theirs)[:10]}"
                 )
-        if in_txn:
-            db.execute("COMMIT")
-            lite.execute("COMMIT")
         # Final full-table check: the cumulative effect of every DML agrees.
+        # (sequence() already closes any trailing open transaction.)
         final_ours = db.execute("SELECT id, name, val FROM t").rows
         final_theirs = lite.execute("SELECT id, name, val FROM t").fetchall()
         assert _canon(final_ours) == _canon(final_theirs), (

@@ -1,0 +1,14 @@
+"""Shared fixtures for the network-protocol suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import ServerThread
+
+
+@pytest.fixture
+def server():
+    """A fresh in-memory server on an ephemeral port, torn down after."""
+    with ServerThread() as srv:
+        yield srv

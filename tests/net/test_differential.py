@@ -1,0 +1,215 @@
+"""Client-vs-embedded differential suite.
+
+The PR 2 oracle proved the embedded engine against sqlite3.  This suite
+closes the second gap: the *network path* — codec, framing, session state,
+transaction gating — must be invisible.  Every seeded SQL sequence from
+``tests.differential.sequences`` replays through the sync client and the
+asyncio client against a served database, in lockstep with a fresh
+embedded :class:`~repro.core.database.Database`; every statement must
+produce the identical result multiset and rowcount, and every failing
+statement the identical error class.
+
+With the oracle suite this composes transitively:
+``wire clients == embedded engine == sqlite3``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import ReproError
+from repro.net import ServerThread, aconnect, connect
+
+from tests.differential.sequences import canon, num_sequences, sequence
+
+SCHEMA = "CREATE TABLE t (id INTEGER, name TEXT, val FLOAT)"
+
+
+@pytest.fixture(scope="module")
+def diff_server():
+    with ServerThread() as srv:
+        yield srv
+
+
+def _reset(execute) -> None:
+    try:
+        execute("DROP TABLE t")
+    except ReproError:
+        pass
+    execute(SCHEMA)
+
+
+def _compare_step(seed: int, step: int, sql: str, ours, theirs) -> None:
+    o_err = ours if isinstance(ours, BaseException) else None
+    t_err = theirs if isinstance(theirs, BaseException) else None
+    if o_err is not None or t_err is not None:
+        assert type(o_err) is type(t_err), (
+            f"error divergence at seed={seed} step={step}: {sql!r}\n"
+            f"  wire:     {type(o_err).__name__ if o_err else 'no error'}: {o_err}\n"
+            f"  embedded: {type(t_err).__name__ if t_err else 'no error'}: {t_err}"
+        )
+        return
+    assert ours.columns == theirs.columns, f"seed={seed} step={step}: {sql!r}"
+    assert ours.rowcount == theirs.rowcount, f"seed={seed} step={step}: {sql!r}"
+    assert canon(ours.rows) == canon(theirs.rows), (
+        f"row divergence at seed={seed} step={step}: {sql!r}\n"
+        f"  wire:     {canon(ours.rows)[:10]}\n"
+        f"  embedded: {canon(theirs.rows)[:10]}"
+    )
+
+
+def _embedded_for(seed: int) -> Database:
+    db = Database()
+    db.execute(SCHEMA)
+    return db
+
+
+def _run(fn, *args):
+    """Call; capture a ReproError as a value instead of raising."""
+    try:
+        return fn(*args)
+    except ReproError as exc:
+        return exc
+
+
+def _replay_sync(srv: ServerThread, seed: int) -> None:
+    embedded = _embedded_for(seed)
+    with connect(port=srv.port) as conn:
+        _reset(conn.execute)
+        for step, sql in enumerate(sequence(seed)):
+            ours = _run(conn.execute, sql)
+            theirs = _run(embedded.execute, sql)
+            _compare_step(seed, step, sql, ours, theirs)
+        final_ours = conn.execute("SELECT id, name, val FROM t")
+        final_theirs = embedded.execute("SELECT id, name, val FROM t")
+        assert canon(final_ours.rows) == canon(final_theirs.rows), (
+            f"final state diverged at seed={seed}"
+        )
+    embedded.close()
+
+
+def _replay_async(srv: ServerThread, seed: int) -> None:
+    async def scenario():
+        embedded = _embedded_for(seed)
+        conn = await aconnect(port=srv.port)
+        try:
+
+            async def wire(sql):
+                try:
+                    return await conn.execute(sql)
+                except ReproError as exc:
+                    return exc
+
+            try:
+                await conn.execute("DROP TABLE t")
+            except ReproError:
+                pass
+            await conn.execute(SCHEMA)
+            for step, sql in enumerate(sequence(seed)):
+                ours = await wire(sql)
+                theirs = _run(embedded.execute, sql)
+                _compare_step(seed, step, sql, ours, theirs)
+            final_ours = await conn.execute("SELECT id, name, val FROM t")
+            final_theirs = embedded.execute("SELECT id, name, val FROM t")
+            assert canon(final_ours.rows) == canon(final_theirs.rows), (
+                f"final state diverged at seed={seed}"
+            )
+        finally:
+            await conn.close()
+            embedded.close()
+
+    asyncio.run(scenario())
+
+
+@pytest.mark.parametrize("seed", range(num_sequences()))
+def test_sync_client_matches_embedded(diff_server, seed):
+    _replay_sync(diff_server, seed)
+
+
+@pytest.mark.parametrize("seed", range(num_sequences()))
+def test_async_client_matches_embedded(diff_server, seed):
+    _replay_async(diff_server, seed)
+
+
+# -- error-class parity ------------------------------------------------------
+#
+# The random sequences are all-valid by construction, so the error paths
+# get their own deterministic corpus: each statement must fail with the
+# *same exception class* through the wire as it does embedded.
+
+ERROR_STATEMENTS = [
+    "SELECT id FROM missing_table",
+    "SELEKT garbage",
+    "INSERT INTO t VALUES (1)",  # wrong arity for the 3-column schema
+    "COMMIT",  # no open transaction
+    "ROLLBACK",
+    "CREATE TABLE t (id INTEGER, name TEXT, val FLOAT)",  # already exists
+    "SELECT nosuchcol FROM t",
+    "DROP TABLE missing_table",
+]
+
+
+def test_error_class_parity_sync(diff_server):
+    embedded = Database()
+    embedded.execute(SCHEMA)
+    with connect(port=diff_server.port) as conn:
+        _reset(conn.execute)
+        for sql in ERROR_STATEMENTS:
+            ours = _run(conn.execute, sql)
+            theirs = _run(embedded.execute, sql)
+            assert isinstance(theirs, ReproError), f"corpus statement passed: {sql!r}"
+            assert type(ours) is type(theirs), (
+                f"{sql!r}: wire raised {type(ours).__name__}, "
+                f"embedded raised {type(theirs).__name__}"
+            )
+            assert str(ours) == str(theirs), sql
+    embedded.close()
+
+
+def test_error_class_parity_async(diff_server):
+    async def scenario():
+        embedded = Database()
+        embedded.execute(SCHEMA)
+        conn = await aconnect(port=diff_server.port)
+        try:
+            try:
+                await conn.execute("DROP TABLE t")
+            except ReproError:
+                pass
+            await conn.execute(SCHEMA)
+            for sql in ERROR_STATEMENTS:
+                try:
+                    ours = await conn.execute(sql)
+                except ReproError as exc:
+                    ours = exc
+                theirs = _run(embedded.execute, sql)
+                assert type(ours) is type(theirs), sql
+        finally:
+            await conn.close()
+            embedded.close()
+
+    asyncio.run(scenario())
+
+
+def test_prepared_path_matches_embedded(diff_server):
+    """The PARSE/EXECUTE path agrees with embedded prepare/execute."""
+    embedded = Database()
+    embedded.execute(SCHEMA)
+    with connect(port=diff_server.port) as conn:
+        _reset(conn.execute)
+        wire_ins = conn.prepare("INSERT INTO t VALUES (?, ?, ?)")
+        emb_ins = embedded.prepare("INSERT INTO t VALUES (?, ?, ?)")
+        for i in range(25):
+            row = (i % 7, f"n{i % 5}", i + 0.5)
+            wire_ins.execute(row)
+            emb_ins.execute(row)
+        wire_sel = conn.prepare("SELECT name, val FROM t WHERE id >= $1 AND val < $2")
+        emb_sel = embedded.prepare("SELECT name, val FROM t WHERE id >= ? AND val < ?")
+        for args in [(0, 100.0), (3, 10.5), (6, 0.0)]:
+            assert canon(wire_sel.execute(args).rows) == canon(
+                emb_sel.execute(args).rows
+            ), args
+    embedded.close()

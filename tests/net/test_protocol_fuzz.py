@@ -1,0 +1,207 @@
+"""Protocol fuzzer: hostile byte streams against a live server.
+
+Each seeded case opens a raw socket and feeds the server a randomized
+attack script — truncated frames, oversized length prefixes, garbage
+bytes, frames out of protocol order, malformed payload encodings, and
+random SQL.  The contract under fuzz:
+
+* the server never crashes (a **canary** session keeps getting correct
+  answers after every case);
+* no case corrupts another session's data (the canary table's contents
+  are pinned);
+* every byte the server sends back parses as a well-formed frame — a
+  hostile client gets a clean ERROR frame or a clean disconnect, never
+  garbage or a hang.
+
+25 seeds per push; ``REPRO_NIGHTLY=1`` multiplies to 400.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import struct
+
+import pytest
+
+from repro.net import ServerThread, connect
+from repro.net import protocol as proto
+
+NUM_SEEDS = 25
+NIGHTLY_MULTIPLIER = 16  # 400 seeds
+
+CANARY_ROWS = [(1, "alpha", 1.5), (2, "beta", 2.5), (3, "gamma", 3.5)]
+
+
+def num_seeds() -> int:
+    if os.environ.get("REPRO_NIGHTLY"):
+        return NUM_SEEDS * NIGHTLY_MULTIPLIER
+    return NUM_SEEDS
+
+
+@pytest.fixture(scope="module")
+def fuzz_server():
+    """One long-lived server shared by every seed (cross-case survival is
+    itself part of the contract), with a pinned canary table."""
+    with ServerThread(max_connections=32, max_inflight=4) as srv:
+        srv.db.execute("CREATE TABLE canary (id INTEGER, name TEXT, val FLOAT)")
+        for row in CANARY_ROWS:
+            srv.db.execute(f"INSERT INTO canary VALUES ({row[0]}, '{row[1]}', {row[2]})")
+        yield srv
+
+
+def _check_canary(srv: ServerThread) -> None:
+    """A fresh well-behaved session still gets exact, uncorrupted answers."""
+    with connect(port=srv.port, timeout=10.0) as conn:
+        rows = conn.execute("SELECT id, name, val FROM canary WHERE id >= ?", (1,)).rows
+        assert sorted(rows) == CANARY_ROWS, "fuzzing corrupted another session's data"
+
+
+# -- attack generators -------------------------------------------------------
+#
+# Each returns bytes to send.  None of them may reference the canary table:
+# a *valid* DML against it would be the fuzzer corrupting data itself.
+
+
+def _garbage(rng: random.Random) -> bytes:
+    return bytes(rng.randrange(256) for _ in range(rng.randint(1, 512)))
+
+
+def _oversized_length(rng: random.Random) -> bytes:
+    n = rng.choice([proto.MAX_FRAME + 1, 2**31 - 1, 2**32 - 1, 0])
+    return struct.pack(">I", n) + bytes([proto.QUERY])
+
+
+def _truncated_frame(rng: random.Random) -> bytes:
+    frame = proto.encode_message(proto.QUERY, ["SELECT id FROM fuzz_t", []])
+    return frame[: rng.randint(1, len(frame) - 1)]
+
+
+def _bad_payload(rng: random.Random) -> bytes:
+    frame_type = rng.choice(
+        [proto.HELLO, proto.QUERY, proto.PARSE, proto.EXECUTE, proto.KV_READ]
+    )
+    return proto.encode_frame(frame_type, _garbage(rng))
+
+
+def _huge_declared_count(rng: random.Random) -> bytes:
+    # A list value whose declared element count vastly exceeds the bytes
+    # present: the decoder must reject it instead of allocating.
+    payload = b"l" + struct.pack(">I", 2**31 - 1) + b"i" + struct.pack(">q", 7)
+    return proto.encode_frame(proto.QUERY, payload)
+
+
+def _wrong_order(rng: random.Random) -> bytes:
+    return rng.choice(
+        [
+            proto.encode_message(proto.EXECUTE, ["ghost", []]),
+            proto.encode_message(proto.KV_READ, [999, "k"]),
+            proto.encode_message(proto.KV_COMMIT, 12345),
+            proto.encode_frame(proto.KV_BEGIN),
+            proto.encode_message(proto.CLOSE_STMT, "nothing"),
+            proto.encode_frame(0x7F, b"x"),  # unassigned frame type
+            proto.encode_frame(proto.WELCOME, b"m\x00\x00\x00\x00"),  # server-only type
+        ]
+    )
+
+
+def _random_sql(rng: random.Random) -> bytes:
+    sql = rng.choice(
+        [
+            "SELECT id FROM fuzz_t",
+            "SELEKT nonsense",
+            "INSERT INTO fuzz_t VALUES (1)",
+            "DROP TABLE fuzz_t",
+            "COMMIT",
+            "ROLLBACK",
+            "SELECT " + "x" * rng.randint(1, 200),
+            "",
+            "\x00\xff" * rng.randint(1, 50),
+        ]
+    )
+    return proto.encode_message(proto.QUERY, [sql, []])
+
+
+ATTACKS = [
+    _garbage,
+    _oversized_length,
+    _truncated_frame,
+    _bad_payload,
+    _huge_declared_count,
+    _wrong_order,
+    _random_sql,
+]
+
+
+def _drain_responses(sock: socket.socket) -> int:
+    """Read until disconnect or quiescence; every frame must parse clean.
+
+    Returns the number of well-formed frames observed.  Raises (failing
+    the test) if the server emits bytes that do not frame-decode.
+    """
+    decoder = proto.FrameDecoder()
+    frames = 0
+    sock.settimeout(0.25)
+    while True:
+        try:
+            data = sock.recv(65536)
+        except socket.timeout:
+            break
+        except OSError:
+            break
+        if not data:
+            break  # clean disconnect
+        decoder.feed(data)
+        for frame_type, payload in decoder.frames():
+            # Every server-sent frame must carry a decodable payload.
+            if payload:
+                proto.decode_payload(payload)
+            assert frame_type in proto.FRAME_NAMES, hex(frame_type)
+            frames += 1
+    return frames
+
+
+@pytest.mark.parametrize("seed", range(num_seeds()))
+def test_fuzz_seed(fuzz_server, seed):
+    rng = random.Random(0xF00D + seed)
+    sock = socket.create_connection(("127.0.0.1", fuzz_server.port), timeout=10.0)
+    try:
+        if rng.random() < 0.5:
+            # Half the cases authenticate first, so attacks also exercise
+            # the post-handshake handlers, not just the HELLO gate.
+            sock.sendall(proto.encode_message(proto.HELLO, {"user": "fuzz"}))
+        for _ in range(rng.randint(1, 12)):
+            attack = rng.choice(ATTACKS)
+            try:
+                sock.sendall(attack(rng))
+            except OSError:
+                break  # server already dropped us: a legal outcome
+            if rng.random() < 0.3:
+                _drain_responses(sock)
+        _drain_responses(sock)
+    finally:
+        sock.close()
+    _check_canary(fuzz_server)
+
+
+def test_fuzz_interleaved_with_healthy_session(fuzz_server):
+    """A well-behaved session in the middle of hostile ones stays correct."""
+    healthy = connect(port=fuzz_server.port, timeout=10.0)
+    try:
+        rng = random.Random(0xBEEF)
+        for i in range(10):
+            sock = socket.create_connection(
+                ("127.0.0.1", fuzz_server.port), timeout=10.0
+            )
+            try:
+                sock.sendall(rng.choice(ATTACKS)(rng))
+                _drain_responses(sock)
+            finally:
+                sock.close()
+            rows = healthy.execute(
+                "SELECT COUNT(*), SUM(val) FROM canary WHERE id >= $1", (1,)
+            ).rows
+            assert rows == [(3, 7.5)], f"healthy session diverged at step {i}"
+    finally:
+        healthy.close()

@@ -1,0 +1,390 @@
+"""Server behavior: sessions, admission, backpressure, txn scope, shutdown.
+
+The protocol fuzzer (``test_protocol_fuzz.py``) covers hostile inputs and
+the differential suite (``test_differential.py``) covers SQL semantics;
+this file pins down the *server-specific* contracts — connection limits,
+per-session transaction scope over one embedded engine, THROTTLE
+backpressure, disconnect cleanup, and resource release across thousands of
+sessions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import (
+    AdmissionError,
+    BindError,
+    CatalogError,
+    ParseError,
+    ProtocolError,
+    TransactionError,
+)
+from repro.net import AsyncPool, Pool, ServerThread, aconnect, connect
+from repro.net import protocol as proto
+
+
+# --------------------------------------------------------------------------
+# Basic round trips
+# --------------------------------------------------------------------------
+
+
+def test_query_roundtrip_and_param_styles(server):
+    with connect(port=server.port) as conn:
+        assert conn.server_info["version"] == proto.PROTOCOL_VERSION
+        conn.execute("CREATE TABLE t (id INTEGER, name TEXT, val FLOAT)")
+        conn.execute("INSERT INTO t VALUES (?, ?, ?)", (1, "alpha", 1.5))
+        conn.execute("INSERT INTO t VALUES ($1, $2, $1 + 1.0)", (2, "beta"))
+        conn.execute(
+            "INSERT INTO t VALUES (:id, :name, :val)",
+            {"id": 3, "name": "gamma", "val": 3.5},
+        )
+        rows = conn.execute("SELECT id, name, val FROM t WHERE id >= ?", (1,)).rows
+        assert sorted(rows) == [(1, "alpha", 1.5), (2, "beta", 3.0), (3, "gamma", 3.5)]
+        # Exact type fidelity over the wire: ints stay ints, floats floats.
+        assert all(
+            isinstance(r[0], int) and isinstance(r[2], float) for r in rows
+        )
+
+
+def test_prepared_statements(server):
+    with connect(port=server.port) as conn:
+        conn.execute("CREATE TABLE t (id INTEGER, name TEXT, val FLOAT)")
+        ins = conn.prepare("INSERT INTO t VALUES (:id, :name, :val)")
+        for i in range(10):
+            ins.execute({"id": i, "name": f"n{i}", "val": i + 0.5})
+        sel = conn.prepare("SELECT name FROM t WHERE id = $1")
+        assert sel.execute((7,)).rows == [("n7",)]
+        assert sel.execute((3,)).rows == [("n3",)]
+        sel.close()
+        with pytest.raises(ProtocolError):
+            sel.execute((1,))
+        ins.close()
+
+
+def test_error_classes_cross_the_wire(server):
+    with connect(port=server.port) as conn:
+        with pytest.raises(CatalogError):
+            conn.execute("SELECT id FROM missing_table")
+        with pytest.raises(ParseError):
+            conn.execute("SELEKT broken syntax")
+        with pytest.raises(ParseError):
+            conn.execute("SELECT ? WHERE 1 = ?", (1, 2, 3))
+        with pytest.raises(TransactionError):
+            conn.execute("COMMIT")
+        with pytest.raises(BindError):
+            # EXECUTE against a name this session never PARSEd.
+            conn._execute_prepared("never-parsed", [])
+        # The session survived every error above.
+        conn.execute("CREATE TABLE t (id INTEGER)")
+        conn.execute("INSERT INTO t VALUES (1)")
+        assert conn.execute("SELECT id FROM t").rows == [(1,)]
+
+
+def test_async_client_mirror(server):
+    async def scenario():
+        conn = await aconnect(port=server.port)
+        try:
+            await conn.execute("CREATE TABLE t (id INTEGER, name TEXT)")
+            stmt = await conn.prepare("INSERT INTO t VALUES (?, ?)")
+            await stmt.execute((1, "x"))
+            await stmt.execute((2, "y"))
+            await stmt.close()
+            result = await conn.execute("SELECT id, name FROM t WHERE id = :i", {"i": 2})
+            assert result.rows == [(2, "y")]
+            with pytest.raises(CatalogError):
+                await conn.execute("SELECT * FROM nope")
+            await conn.begin()
+            await conn.execute("INSERT INTO t VALUES (3, 'z')")
+            await conn.rollback()
+            count = await conn.execute("SELECT COUNT(*) FROM t")
+            assert count.rows == [(2,)]
+        finally:
+            await conn.close()
+
+    asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------------
+# Admission control and backpressure
+# --------------------------------------------------------------------------
+
+
+def test_admission_refuses_excess_connections():
+    with ServerThread(max_connections=2) as srv:
+        a = connect(port=srv.port)
+        b = connect(port=srv.port)
+        with pytest.raises(AdmissionError):
+            connect(port=srv.port)
+        assert srv.server.stats["refused"] == 1
+        # Capacity frees when a session leaves.
+        a.close()
+        deadline = time.time() + 5.0
+        while len(srv.server.sessions) > 1 and time.time() < deadline:
+            time.sleep(0.01)
+        c = connect(port=srv.port)
+        assert c.execute("SELECT 1").rows == [(1,)]
+        c.close()
+        b.close()
+
+
+def test_prepared_statement_registry_cap():
+    from repro.net.server import MAX_SESSION_STMTS
+
+    with ServerThread() as srv, connect(port=srv.port) as conn:
+        conn.execute("CREATE TABLE t (id INTEGER)")
+        for i in range(MAX_SESSION_STMTS):
+            conn._request(
+                proto.encode_message(proto.PARSE, [f"p{i}", "SELECT id FROM t"])
+            )
+        with pytest.raises(AdmissionError):
+            conn.prepare("SELECT id FROM t")
+        # Re-parsing an *existing* name is fine (replacement, not growth).
+        conn._request(proto.encode_message(proto.PARSE, ["p0", "SELECT 1"]))
+
+
+def test_backpressure_throttle_frames():
+    """Blast pipelined queries without reading; expect THROTTLE + all replies."""
+    with ServerThread(max_inflight=4) as srv:
+        sock = socket.create_connection(("127.0.0.1", srv.port), timeout=10.0)
+        try:
+            sock.sendall(proto.encode_message(proto.HELLO, {"user": "pipeliner"}))
+            decoder = proto.FrameDecoder()
+            n_queries = 64
+            sock.sendall(
+                b"".join(
+                    proto.encode_message(proto.QUERY, [f"SELECT {i}", []])
+                    for i in range(n_queries)
+                )
+            )
+            got_results = 0
+            got_throttle = 0
+            welcome_seen = False
+            deadline = time.time() + 30.0
+            while got_results < n_queries and time.time() < deadline:
+                data = sock.recv(65536)
+                assert data, "server closed mid-pipeline"
+                decoder.feed(data)
+                for frame_type, payload in decoder.frames():
+                    if frame_type == proto.WELCOME:
+                        welcome_seen = True
+                    elif frame_type == proto.THROTTLE:
+                        got_throttle += 1
+                    elif frame_type == proto.RESULT_DONE:
+                        got_results += 1
+                    else:
+                        assert frame_type in (
+                            proto.RESULT_HEADER,
+                            proto.RESULT_BATCH,
+                        ), f"unexpected frame 0x{frame_type:02x}"
+            assert welcome_seen
+            assert got_results == n_queries
+            # 64 pipelined queries against a cap of 4 must trip backpressure.
+            assert got_throttle >= 1
+            assert srv.server.stats["throttles"] >= 1
+        finally:
+            sock.close()
+
+
+# --------------------------------------------------------------------------
+# Cross-connection transaction scope
+# --------------------------------------------------------------------------
+
+
+def test_autocommit_cannot_join_another_sessions_txn(server):
+    """B's statements wait out A's open transaction instead of joining it."""
+    a = connect(port=server.port)
+    b = connect(port=server.port)
+    try:
+        a.execute("CREATE TABLE t (id INTEGER)")
+        a.execute("BEGIN")
+        a.execute("INSERT INTO t VALUES (1)")
+
+        b_result = {}
+
+        def b_reads():
+            b_result["rows"] = b.execute("SELECT id FROM t").rows
+
+        thread = threading.Thread(target=b_reads)
+        thread.start()
+        # B is gated behind A's transaction: it must not finish yet.
+        thread.join(timeout=0.3)
+        assert thread.is_alive(), "B's autocommit ran inside A's open transaction"
+        a.execute("ROLLBACK")
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        # B ran after the rollback, so A's uncommitted insert is invisible.
+        assert b_result["rows"] == []
+    finally:
+        a.close()
+        b.close()
+
+
+def test_nested_begin_rejected(server):
+    with connect(port=server.port) as conn:
+        conn.execute("CREATE TABLE t (id INTEGER)")
+        conn.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            conn.execute("BEGIN")
+        conn.execute("ROLLBACK")
+
+
+def test_disconnect_mid_transaction_rolls_back(server):
+    a = connect(port=server.port)
+    a.execute("CREATE TABLE t (id INTEGER)")
+    a.execute("INSERT INTO t VALUES (0)")
+    a.execute("BEGIN")
+    a.execute("INSERT INTO t VALUES (1)")
+    # Kill the socket without COMMIT or TERMINATE: a crashed client.
+    a._sock.close()
+    deadline = time.time() + 10.0
+    while server.db.in_transaction() and time.time() < deadline:
+        time.sleep(0.01)
+    assert not server.db.in_transaction(), "dropped session left a txn open"
+    with connect(port=server.port) as b:
+        assert b.execute("SELECT id FROM t").rows == [(0,)]
+        # The gate was released: B can open its own transaction.
+        b.execute("BEGIN")
+        b.execute("INSERT INTO t VALUES (2)")
+        b.execute("COMMIT")
+        assert sorted(b.execute("SELECT id FROM t").rows) == [(0,), (2,)]
+
+
+# --------------------------------------------------------------------------
+# Graceful shutdown
+# --------------------------------------------------------------------------
+
+
+def test_graceful_shutdown_notifies_idle_clients():
+    srv = ServerThread().start()
+    conn = connect(port=srv.port)
+    conn.execute("SELECT 1")
+    srv.stop(drain=True)
+    # The server sent GOODBYE (or closed); the next request must fail
+    # cleanly with ProtocolError, not hang or return garbage.
+    with pytest.raises(ProtocolError):
+        conn.execute("SELECT 2")
+    conn.close()
+    assert srv.server.db.closed  # server owned the db and released it
+
+
+def test_shutdown_aborts_open_transactions():
+    srv = ServerThread().start()
+    conn = connect(port=srv.port)
+    conn.execute("CREATE TABLE t (id INTEGER)")
+    conn.execute("BEGIN")
+    conn.execute("INSERT INTO t VALUES (1)")
+    srv.stop(drain=True, timeout=0.5)
+    conn.close()
+    assert not srv.server.sessions
+    assert srv.server.db.closed
+
+
+# --------------------------------------------------------------------------
+# Connection pools
+# --------------------------------------------------------------------------
+
+
+def test_pool_reuses_connections(server):
+    with Pool(port=server.port, size=2) as pool:
+        pool.execute("CREATE TABLE t (id INTEGER)")
+        with pool.acquire() as conn:
+            first = conn
+            conn.execute("INSERT INTO t VALUES (1)")
+        with pool.acquire() as conn:
+            assert conn is first  # LIFO: warmest connection comes back first
+        assert pool._created == 1
+        # Concurrent leases force a second connection but never a third.
+        with pool.acquire() as c1, pool.acquire() as c2:
+            assert c1 is not c2
+        assert pool._created == 2
+        assert server.server.stats["connections"] == 2
+
+
+def test_pool_drops_poisoned_connections(server):
+    with Pool(port=server.port, size=2) as pool:
+        pool.execute("CREATE TABLE t (id INTEGER)")
+        with pool.acquire() as conn:
+            conn.execute("BEGIN")
+            conn.execute("INSERT INTO t VALUES (1)")
+            # Lease exits mid-transaction: the pool must not reuse this
+            # connection, and the server rolls the transaction back.
+        assert pool._created == 0
+        deadline = time.time() + 10.0
+        while server.db.in_transaction() and time.time() < deadline:
+            time.sleep(0.01)
+        assert pool.execute("SELECT COUNT(*) FROM t").rows == [(0,)]
+
+
+def test_async_pool(server):
+    async def scenario():
+        async with AsyncPool(port=server.port, size=2) as pool:
+            await pool.execute("CREATE TABLE t (id INTEGER)")
+            async with pool.acquire() as conn:
+                await conn.execute("INSERT INTO t VALUES (1)")
+            result = await pool.execute("SELECT id FROM t")
+            assert result.rows == [(1,)]
+            assert pool._created == 1
+
+    asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------------
+# Session churn and Database.close() (leak regression)
+# --------------------------------------------------------------------------
+
+
+def test_thousand_sessions_no_leak():
+    """Open/close 1000 sessions against one server: nothing accumulates."""
+    with ServerThread(max_connections=8) as srv:
+        srv.db.execute("CREATE TABLE t (id INTEGER)")
+        srv.db.execute("INSERT INTO t VALUES (42)")
+        for i in range(1000):
+            conn = connect(port=srv.port)
+            if i % 100 == 0:
+                assert conn.execute("SELECT id FROM t").rows == [(42,)]
+            conn.close()
+        deadline = time.time() + 10.0
+        while srv.server.sessions and time.time() < deadline:
+            time.sleep(0.01)
+        assert not srv.server.sessions, "sessions leaked after churn"
+        assert not srv.server._session_tasks
+        assert srv.server.stats["connections"] == 1000
+        # Session churn must not leak into the engine: no stuck txn, no
+        # prepared-statement growth beyond the shared plan cache's capacity.
+        assert not srv.db.in_transaction()
+        assert len(srv.db.plan_cache) <= 128
+
+
+def test_database_close_idempotent_and_releases_caches(tmp_path):
+    db = Database(path=str(tmp_path / "d.db"))
+    db.execute("CREATE TABLE t (id INTEGER, name TEXT)")
+    db.execute("INSERT INTO t VALUES (1, 'a')")
+    db.execute("SELECT * FROM t WHERE id = 1")  # warm plan + scan caches
+    table = db.catalog.get_table("t")
+    assert db.plan_cache is not None and len(db.plan_cache) > 0
+    assert not db.closed
+    db.close()
+    assert db.closed
+    assert len(db.plan_cache) == 0
+    assert table._scan_cache is None
+    db.close()  # second close is a no-op, not an error
+    db.close()
+    assert db.closed
+
+
+def test_database_open_close_cycles():
+    """Many full engine lifecycles: stable, no cross-instance bleed."""
+    for i in range(50):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER)")
+        db.execute(f"INSERT INTO t VALUES ({i})")
+        assert db.execute("SELECT id FROM t").rows == [(i,)]
+        db.close()
+        db.close()
