@@ -1,0 +1,103 @@
+"""Wall-clock budget for the whole-program async-safety analyzer.
+
+The CI lint job runs ``python -m repro asynccheck src/repro`` on every
+push, so the analyzer has a hard latency budget: a full build-and-analyze
+pass over ``src/repro`` must finish in <= 10 s, or it gets kicked out of
+the fast lint tier.  This benchmark times the two phases separately —
+call-graph construction (parse + resolve every module) and rule execution
+(reachability, lock scans) — because they regress for different reasons:
+graph build cost scales with package size, rule cost with async surface
+area and blocking-set fan-in.
+
+Acceptance: best full-pass sample <= 10 s.  Writes
+``BENCH_asynccheck.json`` next to this script.
+
+Usage: python benchmarks/bench_asynccheck.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from bench_json import write_report  # noqa: E402
+from repro.analyze.asyncsafe import analyze_paths  # noqa: E402
+from repro.analyze.callgraph import build_callgraph  # noqa: E402
+
+BUDGET_SECONDS = 10.0  # acceptance: full pass over src/repro in <= 10 s
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def run(repeats: int) -> dict:
+    build_s = []
+    full_s = []
+    graph = None
+    report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        graph = build_callgraph([SRC_REPRO])
+        build_s.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        report = analyze_paths([SRC_REPRO])
+        full_s.append(time.perf_counter() - start)
+
+    call_sites = sum(len(f.calls) for f in graph.functions.values())
+    resolved = sum(
+        1 for f in graph.functions.values() for s in f.calls if s.targets
+    )
+    best_full = min(full_s)
+    return {
+        "target": "src/repro",
+        "repeats": repeats,
+        "modules": len(graph.modules),
+        "functions": len(graph.functions),
+        "classes": len(graph.classes),
+        "async_functions": sum(1 for _ in graph.async_functions()),
+        "call_sites": call_sites,
+        "resolved_call_sites": resolved,
+        "findings": len(report),
+        "build_graph_s": round(min(build_s), 3),
+        "full_pass_s": round(best_full, 3),
+        "full_pass_mean_s": round(statistics.mean(full_s), 3),
+        "budget_s": BUDGET_SECONDS,
+        "within_budget": best_full <= BUDGET_SECONDS,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer repeats")
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args()
+    repeats = args.repeats or (2 if args.quick else 5)
+
+    results = run(repeats)
+    out_path = write_report("asynccheck", results)
+
+    print(
+        f"asynccheck src/repro: {results['modules']} modules, "
+        f"{results['functions']} functions "
+        f"({results['async_functions']} async), "
+        f"{results['resolved_call_sites']}/{results['call_sites']} "
+        f"call sites resolved, {results['findings']} findings"
+    )
+    print(
+        f"graph build {results['build_graph_s']:.2f} s, "
+        f"full pass {results['full_pass_s']:.2f} s "
+        f"(mean {results['full_pass_mean_s']:.2f} s over {repeats})"
+    )
+    status = "PASS" if results["within_budget"] else "FAIL"
+    print(f"budget (<= {BUDGET_SECONDS:.0f} s): {status} -> {out_path}")
+    return 0 if results["within_budget"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

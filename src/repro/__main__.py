@@ -1,4 +1,4 @@
-"""``python -m repro`` — interactive SQL shell, or ``lint``/``sanitize``/``serve`` subcommands."""
+"""``python -m repro`` — interactive SQL shell, or ``lint``/``sanitize``/``asynccheck``/``serve`` subcommands."""
 
 import sys
 
@@ -11,6 +11,11 @@ if len(sys.argv) > 1 and sys.argv[1] == "lint":
     from repro.analyze.cli import main as lint_main
 
     raise SystemExit(lint_main(sys.argv[2:]))
+
+if len(sys.argv) > 1 and sys.argv[1] == "asynccheck":
+    from repro.analyze.cli import asynccheck_main
+
+    raise SystemExit(asynccheck_main(sys.argv[2:]))
 
 if len(sys.argv) > 1 and sys.argv[1] == "sanitize":
     from repro.analyze.sanitize_cli import main as sanitize_main

@@ -1,0 +1,465 @@
+"""Whole-program async-safety analysis over the call graph.
+
+PR 7 shipped the asyncio server and immediately hit the classic failure
+mode: a blocking ``scheme.begin()`` ran on the event loop and wedged every
+session — caught only by the dynamic contention suite.  This pass makes
+that class of bug a *lint failure*: it walks the
+:mod:`repro.analyze.callgraph` graph and reports, through the shared
+:mod:`repro.analyze.facts` framework:
+
+``blocking-call-reachable-from-coroutine``
+    A call to a curated blocking set (``time.sleep``, socket/file I/O,
+    ``threading.Lock.acquire``, ``Future.result``, the
+    ``txn/schemes.py`` transaction verbs, direct ``Database.execute``)
+    reachable from an ``async def`` body *without* passing through
+    ``run_in_executor``/``to_thread``.  Executor-shipped work passes the
+    callable as a reference, which produces no call edge — so the safe
+    idiom is clean by construction, and the finding points at the first
+    call site inside the coroutine that starts the blocking chain.
+
+``lock-held-across-await``
+    A ``threading.Lock``/``RLock`` acquired (``with`` block or explicit
+    ``.acquire()``) with an ``await`` inside the critical region.  The
+    lock is held across a scheduling point: every other thread — and any
+    other coroutine that touches the lock — can deadlock against the
+    suspended holder.
+
+``missing-await``
+    A call to a known coroutine function whose result is discarded or
+    bound to a name that is never used: the body never runs.
+
+``unawaited-task-leak``
+    ``create_task``/``ensure_future`` results that are neither stored nor
+    awaited; the event loop keeps only a weak reference, so the task can
+    be garbage-collected mid-flight and its exceptions are lost.
+
+Suppress single findings with ``# asyncsafe: allow(rule)`` (or
+``allow(*)``) on the flagged line; a suppression on line 1 silences the
+whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analyze.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    _dotted_text,
+    build_callgraph,
+)
+from repro.analyze.facts import (
+    ERROR,
+    WARNING,
+    AnalysisReport,
+    Finding,
+    Rule,
+    RuleRegistry,
+    apply_suppressions,
+    parse_suppressions,
+)
+
+#: Factory/constructor return types the graph cannot see from source.
+DEFAULT_RETURNS: Dict[str, str] = {
+    "repro.txn.schemes.make_scheme": "repro.txn.schemes.ConcurrencyScheme",
+    "asyncio.get_event_loop": "asyncio.AbstractEventLoop",
+    "asyncio.get_running_loop": "asyncio.AbstractEventLoop",
+    "asyncio.new_event_loop": "asyncio.AbstractEventLoop",
+    "asyncio.run_coroutine_threadsafe": "concurrent.futures.Future",
+    "socket.create_connection": "socket.socket",
+    "socket.socket": "socket.socket",
+    "threading.Lock": "threading.Lock",
+    "threading.RLock": "threading.RLock",
+    "threading.Condition": "threading.Condition",
+    "threading.Event": "threading.Event",
+    "threading.Thread": "threading.Thread",
+    "asyncio.Lock": "asyncio.Lock",
+    "asyncio.Queue": "asyncio.Queue",
+    "asyncio.LifoQueue": "asyncio.LifoQueue",
+    "queue.Queue": "queue.Queue",
+    "queue.LifoQueue": "queue.LifoQueue",
+    "queue.PriorityQueue": "queue.PriorityQueue",
+    "concurrent.futures.ThreadPoolExecutor": "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ThreadPoolExecutor.submit": "concurrent.futures.Future",
+}
+
+#: Module-level / builtin callables that block the calling thread.
+BLOCKING_FUNCTIONS: Dict[str, str] = {
+    "time.sleep": "sleeps the whole thread",
+    "open": "file I/O blocks",
+    "input": "waits on stdin",
+    "socket.create_connection": "connect blocks on the network",
+    "socket.getaddrinfo": "DNS resolution blocks",
+    "subprocess.run": "waits for a child process",
+    "subprocess.check_output": "waits for a child process",
+    "subprocess.check_call": "waits for a child process",
+    "os.system": "waits for a child process",
+}
+
+#: ``(type, method)`` pairs that block; known classes match subclasses too.
+BLOCKING_METHODS: Dict[Tuple[str, str], str] = {
+    ("threading.Lock", "acquire"): "blocks until the lock is free",
+    ("threading.RLock", "acquire"): "blocks until the lock is free",
+    ("threading.Condition", "acquire"): "blocks until the lock is free",
+    ("threading.Condition", "wait"): "blocks until notified",
+    ("threading.Event", "wait"): "blocks until set",
+    ("threading.Thread", "join"): "blocks until the thread exits",
+    ("concurrent.futures.Future", "result"): "blocks until the future resolves",
+    ("concurrent.futures.Future", "exception"): "blocks until the future resolves",
+    ("socket.socket", "recv"): "socket I/O blocks",
+    ("socket.socket", "recvfrom"): "socket I/O blocks",
+    ("socket.socket", "send"): "socket I/O blocks",
+    ("socket.socket", "sendall"): "socket I/O blocks",
+    ("socket.socket", "accept"): "socket I/O blocks",
+    ("socket.socket", "connect"): "socket I/O blocks",
+    ("socket.socket", "makefile"): "socket I/O blocks",
+    ("queue.Queue", "get"): "blocks until an item arrives",
+    ("queue.Queue", "put"): "blocks while the queue is full",
+    ("queue.Queue", "join"): "blocks until the queue drains",
+    ("queue.LifoQueue", "get"): "blocks until an item arrives",
+    ("queue.LifoQueue", "put"): "blocks while the queue is full",
+    ("queue.PriorityQueue", "get"): "blocks until an item arrives",
+    ("queue.PriorityQueue", "put"): "blocks while the queue is full",
+    # The engine's own blocking surface: the PR 7 wedge was exactly a
+    # scheme.begin() on the loop (global-lock begin waits for the holder).
+    ("repro.txn.schemes.ConcurrencyScheme", "begin"): "may wait on other transactions",
+    ("repro.txn.schemes.ConcurrencyScheme", "commit"): "may wait on other transactions",
+    ("repro.txn.schemes.ConcurrencyScheme", "abort"): "may wait on other transactions",
+    ("repro.txn.schemes.ConcurrencyScheme", "read"): "2PL lock waits block",
+    ("repro.txn.schemes.ConcurrencyScheme", "write"): "2PL lock waits block",
+    ("repro.core.database.Database", "execute"): "runs a whole statement synchronously",
+}
+
+#: threading lock types for the lock-held-across-await rule.
+THREAD_LOCK_TYPES = {"threading.Lock", "threading.RLock", "threading.Condition"}
+
+#: Wrappers that run (or schedule) a coroutine on the loop: calls inside
+#: them execute, so rule 1 traverses them and rule 3 accepts them.
+SPAWN_WRAPPERS = {
+    "create_task",
+    "ensure_future",
+    "gather",
+    "wait",
+    "wait_for",
+    "shield",
+    "as_completed",
+    "run",
+    "run_until_complete",
+    "run_coroutine_threadsafe",
+    "Task",
+}
+
+#: Transitive-chain search depth (paths longer than this are noise anyway).
+MAX_CHAIN_DEPTH = 12
+
+
+def classify_blocking(
+    graph: CallGraph, target: str
+) -> Optional[Tuple[str, str]]:
+    """``target`` qualname → (canonical blocking name, reason) or None."""
+    if target in BLOCKING_FUNCTIONS:
+        return target, BLOCKING_FUNCTIONS[target]
+    owner, _, method = target.rpartition(".")
+    if not owner:
+        return None
+    for (base, name), reason in BLOCKING_METHODS.items():
+        if method != name:
+            continue
+        if owner == base or (owner in graph.classes and graph.is_subclass(owner, base)):
+            return f"{base}.{name}", reason
+    return None
+
+
+def _edge_runs_on_loop(site: CallSite, callee: FunctionInfo) -> bool:
+    """Does calling ``callee`` at ``site`` execute its body on this thread
+    (the event loop, when the root is a coroutine)?"""
+    if not callee.is_async:
+        return True  # plain call: body runs right here
+    return site.awaited or site.wrapper in SPAWN_WRAPPERS
+
+
+class _BlockingReach:
+    """Memoized: which blocking targets does each function reach, and how."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self._memo: Dict[str, Dict[str, Tuple[str, Tuple[Tuple[str, str, int], ...]]]] = {}
+
+    def reach(
+        self, qualname: str, _stack: frozenset = frozenset(), _depth: int = 0
+    ) -> Dict[str, Tuple[str, Tuple[Tuple[str, str, int], ...]]]:
+        if qualname in self._memo:
+            return self._memo[qualname]
+        if qualname in _stack or _depth > MAX_CHAIN_DEPTH:
+            return {}
+        fn = self.graph.functions.get(qualname)
+        if fn is None:
+            return {}
+        found: Dict[str, Tuple[str, Tuple[Tuple[str, str, int], ...]]] = {}
+        stack = _stack | {qualname}
+        for site in fn.calls:
+            hop = (site.callee, fn.path, site.lineno)
+            for target in site.targets:
+                blocked = classify_blocking(self.graph, target)
+                if blocked is not None:
+                    name, reason = blocked
+                    found.setdefault(name, (reason, (hop,)))
+                    continue
+                callee = self.graph.functions.get(target)
+                if callee is None or not _edge_runs_on_loop(site, callee):
+                    continue
+                for name, (reason, chain) in self.reach(
+                    target, stack, _depth + 1
+                ).items():
+                    found.setdefault(name, (reason, (hop,) + chain))
+        if qualname not in _stack:
+            self._memo[qualname] = found
+        return found
+
+
+def _chain_text(chain: Tuple[Tuple[str, str, int], ...]) -> str:
+    return " -> ".join(
+        f"{callee}() [{os.path.basename(path)}:{lineno}]"
+        for callee, path, lineno in chain
+    )
+
+
+class BlockingReachableRule(Rule):
+    id = "blocking-call-reachable-from-coroutine"
+    severity = ERROR
+    description = (
+        "a blocking call runs on the event loop (directly in a coroutine or "
+        "through its sync call chain) without run_in_executor/to_thread"
+    )
+
+    def check(self, graph: CallGraph, context) -> Iterable[Finding]:
+        reach = _BlockingReach(graph)
+        seen: Set[Tuple[str, int, str]] = set()
+        for fn in graph.async_functions():
+            for site in fn.calls:
+                for target in site.targets:
+                    blocked = classify_blocking(graph, target)
+                    if blocked is not None:
+                        name, reason = blocked
+                        key = (fn.path, site.lineno, name)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        yield self.finding(
+                            f"coroutine '{fn.name}' calls blocking '{site.callee}' "
+                            f"({name}: {reason}) on the event loop; ship it "
+                            "through loop.run_in_executor()/asyncio.to_thread()",
+                            fn.path,
+                            site.lineno,
+                        )
+                        continue
+                    callee = graph.functions.get(target)
+                    if callee is None or not _edge_runs_on_loop(site, callee):
+                        continue
+                    for name, (reason, chain) in reach.reach(target).items():
+                        key = (fn.path, site.lineno, name)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        yield self.finding(
+                            f"coroutine '{fn.name}' reaches blocking '{name}' "
+                            f"({reason}) on the event loop via "
+                            f"{site.callee}() -> {_chain_text(chain)}; ship the "
+                            "blocking step through loop.run_in_executor()/"
+                            "asyncio.to_thread()",
+                            fn.path,
+                            site.lineno,
+                        )
+
+
+class LockAcrossAwaitRule(Rule):
+    id = "lock-held-across-await"
+    severity = ERROR
+    description = (
+        "a threading.Lock/RLock is held across an await: the coroutine "
+        "suspends mid-critical-section and can deadlock the loop"
+    )
+
+    def check(self, graph: CallGraph, context) -> Iterable[Finding]:
+        for fn in graph.async_functions():
+            scope = graph.scope_for(fn)
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.With):
+                    for item in node.items:
+                        lock_type = scope.infer(item.context_expr)
+                        if lock_type in THREAD_LOCK_TYPES and _contains_await(node):
+                            yield self.finding(
+                                f"coroutine '{fn.name}' holds a {lock_type} "
+                                "across an await inside this 'with' block; use "
+                                "asyncio.Lock, or release before awaiting",
+                                fn.path,
+                                node.lineno,
+                            )
+                            break
+            yield from self._check_manual_acquire(fn, scope)
+
+    def _check_manual_acquire(self, fn: FunctionInfo, scope) -> Iterable[Finding]:
+        """``x.acquire()`` … ``await`` … without an intervening ``x.release()``."""
+        events: List[Tuple[Tuple[int, int], str, str, Optional[str]]] = []
+        for node in ast.walk(fn.node):
+            pos = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+            if isinstance(node, ast.Await):
+                events.append((pos, "await", "", None))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("acquire", "release")
+            ):
+                lock_type = scope.infer(node.func.value)
+                if lock_type in THREAD_LOCK_TYPES:
+                    receiver = _dotted_text(node.func.value) or "<lock>"
+                    events.append((pos, node.func.attr, receiver, lock_type))
+        events.sort(key=lambda e: e[0])
+        for index, (pos, kind, receiver, lock_type) in enumerate(events):
+            if kind != "acquire":
+                continue
+            for _, later_kind, later_receiver, _ in events[index + 1:]:
+                if later_kind == "release" and later_receiver == receiver:
+                    break  # released before any await
+                if later_kind == "await":
+                    yield self.finding(
+                        f"coroutine '{fn.name}' acquires {lock_type} "
+                        f"'{receiver}' and awaits before releasing it; use "
+                        "asyncio.Lock, or release before awaiting",
+                        fn.path,
+                        pos[0],
+                    )
+                    break
+
+
+def _contains_await(node: ast.AST) -> bool:
+    return any(isinstance(child, ast.Await) for child in ast.walk(node))
+
+
+class MissingAwaitRule(Rule):
+    id = "missing-await"
+    severity = ERROR
+    description = (
+        "a coroutine-returning call is never awaited: the body never runs"
+    )
+
+    def check(self, graph: CallGraph, context) -> Iterable[Finding]:
+        for fn in graph.functions.values():
+            for site in fn.calls:
+                async_targets = [
+                    t
+                    for t in site.targets
+                    if t in graph.functions and graph.functions[t].is_async
+                ]
+                if not async_targets:
+                    continue
+                if site.awaited or site.wrapper is not None:
+                    # Awaited, task-spawned, or passed to some runner — at
+                    # worst a judgement call, not a definite drop.
+                    continue
+                callee_name = async_targets[0].rsplit(".", 1)[-1]
+                if site.discarded:
+                    yield self.finding(
+                        f"result of coroutine '{callee_name}()' is discarded "
+                        "without await: the coroutine never runs (add await, "
+                        "or asyncio.create_task to run it concurrently)",
+                        fn.path,
+                        site.lineno,
+                    )
+                elif site.assigned_name and site.assigned_name not in fn.name_loads:
+                    yield self.finding(
+                        f"coroutine '{callee_name}()' is assigned to "
+                        f"'{site.assigned_name}' but never awaited: the "
+                        "coroutine never runs",
+                        fn.path,
+                        site.lineno,
+                    )
+
+
+class TaskLeakRule(Rule):
+    id = "unawaited-task-leak"
+    severity = WARNING
+    description = (
+        "a created task is neither stored nor awaited: the loop holds only "
+        "a weak reference, so it can be collected mid-flight"
+    )
+
+    _SPAWNERS = {"create_task", "ensure_future"}
+
+    def check(self, graph: CallGraph, context) -> Iterable[Finding]:
+        for fn in graph.functions.values():
+            for site in fn.calls:
+                trailing = site.callee.rsplit(".", 1)[-1]
+                if trailing not in self._SPAWNERS or site.awaited:
+                    continue
+                if site.discarded:
+                    yield self.finding(
+                        f"task from '{site.callee}(...)' is neither stored nor "
+                        "awaited: it can be garbage-collected mid-flight and "
+                        "its exception is silently lost; keep a reference",
+                        fn.path,
+                        site.lineno,
+                    )
+                elif site.assigned_name and site.assigned_name not in fn.name_loads:
+                    yield self.finding(
+                        f"task from '{site.callee}(...)' is bound to "
+                        f"'{site.assigned_name}' but never awaited, cancelled, "
+                        "or read: keep and reap the reference",
+                        fn.path,
+                        site.lineno,
+                    )
+
+
+def default_registry(rules: Optional[Sequence[str]] = None) -> RuleRegistry:
+    registry = RuleRegistry()
+    for rule in (
+        BlockingReachableRule(),
+        LockAcrossAwaitRule(),
+        MissingAwaitRule(),
+        TaskLeakRule(),
+    ):
+        if rules is None or rule.id in rules:
+            registry.register(rule)
+    return registry
+
+
+def analyze_graph(
+    graph: CallGraph,
+    rules: Optional[Sequence[str]] = None,
+    suppress: bool = True,
+) -> AnalysisReport:
+    """Run the async-safety rules over an already-built graph."""
+    findings = default_registry(rules).run(graph, None)
+    if suppress:
+        by_source: Dict[str, List[Finding]] = {}
+        for finding in findings:
+            by_source.setdefault(finding.source, []).append(finding)
+        sources = {m.path: m.source for m in graph.modules.values()}
+        kept: List[Finding] = []
+        for source_path, group in by_source.items():
+            text = sources.get(source_path)
+            if text is None:
+                kept.extend(group)
+                continue
+            kept.extend(
+                apply_suppressions(
+                    group, parse_suppressions(text, tool="asyncsafe")
+                )
+            )
+        findings = kept
+    report = AnalysisReport()
+    report.extend(sorted(findings, key=lambda f: (f.source, f.line, f.rule)))
+    return report
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[str]] = None,
+    suppress: bool = True,
+) -> AnalysisReport:
+    """Build the call graph for ``paths`` and run every async-safety rule."""
+    graph = build_callgraph(paths, returns=DEFAULT_RETURNS)
+    return analyze_graph(graph, rules=rules, suppress=suppress)

@@ -1,0 +1,637 @@
+"""Whole-program intra-package call graph, built from the AST alone.
+
+The async-safety analyzer (and future passes: taint tracking, resource-leak
+detection) need one thing the per-file linters cannot give them: *who calls
+whom*, across modules, with enough type information to resolve
+``self.scheme.begin()`` to ``repro.txn.schemes.ConcurrencyScheme.begin``.
+This module builds that graph statically:
+
+* every ``.py`` file under the analyzed roots is parsed; module names are
+  derived from the package structure (directories with ``__init__.py``);
+* imports are resolved per module, so ``from repro.net import protocol as
+  proto`` makes ``proto.encode_message(...)`` resolve to the real function;
+* a light type environment is inferred — parameter/attribute annotations,
+  ``self.x = ClassName(...)`` constructor assignments, and a caller-supplied
+  map of factory return types (``make_scheme(...)`` →
+  ``ConcurrencyScheme``) — enough for method resolution through the known
+  class hierarchy (MRO walk over known bases);
+* every call site records how its result is consumed: awaited, passed to a
+  wrapper call (``create_task``, ``run_in_executor``), discarded as a bare
+  expression statement, or assigned to a name.
+
+The graph is deliberately an *under*-approximation: a receiver whose type
+cannot be inferred produces no edge (and therefore no finding), never a
+guessed one.  Bound-method references passed as arguments (the
+``run_in_executor(None, self.db.execute)`` idiom) are not calls and create
+no edge — which is exactly why executor-shipped work never counts as
+running on the event loop.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Builtin callables worth resolving by bare name (no import needed).
+_BUILTIN_CALLS = {"open", "input", "print", "exec", "eval", "compile"}
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    callee: str                      # dotted text as written, e.g. "self.scheme.begin"
+    targets: Tuple[str, ...]         # resolved qualified names (possibly external)
+    lineno: int
+    col: int
+    awaited: bool = False            # directly under an ``await``
+    wrapper: Optional[str] = None    # trailing name of the call this is an argument of
+    discarded: bool = False          # bare expression statement: result dropped
+    assigned_name: Optional[str] = None  # simple ``name = call(...)`` target
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method (sync or async) in the analyzed tree."""
+
+    qualname: str
+    module: str
+    name: str
+    class_name: Optional[str]
+    path: str
+    lineno: int
+    is_async: bool
+    node: ast.AST = field(repr=False)
+    calls: List[CallSite] = field(default_factory=list)
+    name_loads: Set[str] = field(default_factory=set)
+    local_functions: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: str
+    name: str
+    lineno: int
+    bases: List[str] = field(default_factory=list)      # resolved dotted names
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> function qualname
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    name: str
+    path: str
+    tree: ast.AST = field(repr=False)
+    source: str = field(repr=False, default="")
+    imports: Dict[str, str] = field(default_factory=dict)   # local name -> dotted
+    classes: Dict[str, str] = field(default_factory=dict)   # local name -> class qualname
+    functions: Dict[str, str] = field(default_factory=dict)  # local name -> fn qualname
+
+
+class CallGraph:
+    """The resolved whole-program graph; see :func:`build_callgraph`."""
+
+    def __init__(self, returns: Optional[Dict[str, str]] = None):
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.returns: Dict[str, str] = dict(returns or {})
+
+    # -- queries -----------------------------------------------------------
+
+    def async_functions(self) -> Iterator[FunctionInfo]:
+        return (fn for fn in self.functions.values() if fn.is_async)
+
+    def mro(self, class_qual: str) -> List[str]:
+        """Known-class linearization: the class, then bases breadth-first."""
+        order, queue, seen = [], [class_qual], set()
+        while queue:
+            cls = queue.pop(0)
+            if cls in seen:
+                continue
+            seen.add(cls)
+            order.append(cls)
+            info = self.classes.get(cls)
+            if info:
+                queue.extend(info.bases)
+        return order
+
+    def is_subclass(self, class_qual: str, base_qual: str) -> bool:
+        return base_qual in self.mro(class_qual)
+
+    def resolve_method(self, type_qual: str, method: str) -> str:
+        """``type.method`` → defining function qualname (MRO walk), or the
+        dotted external form when the type is not (fully) known."""
+        for cls in self.mro(type_qual):
+            info = self.classes.get(cls)
+            if info and method in info.methods:
+                return info.methods[method]
+        return f"{type_qual}.{method}"
+
+    def attr_type(self, class_qual: str, attr: str) -> Optional[str]:
+        for cls in self.mro(class_qual):
+            info = self.classes.get(cls)
+            if info and attr in info.attr_types:
+                return info.attr_types[attr]
+        return None
+
+    def scope_for(self, fn: FunctionInfo) -> "Scope":
+        """A resolution scope for ``fn`` (module imports + local inference),
+        for passes that need to type arbitrary expressions in its body."""
+        module = self.modules[fn.module]
+        class_qual = (
+            f"{fn.module}.{fn.class_name}" if fn.class_name else None
+        )
+        scope = Scope(self, module, class_qual, fn.local_functions)
+        scope.load_function_locals(fn.node)
+        return scope
+
+
+# --------------------------------------------------------------------------
+# Name / type resolution
+# --------------------------------------------------------------------------
+
+
+def _dotted_text(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` → "a.b.c" for pure Name/Attribute chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Scope:
+    """Resolution context for one function body (or class/module body)."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        module: ModuleInfo,
+        class_qual: Optional[str] = None,
+        local_functions: Optional[Dict[str, str]] = None,
+    ):
+        self.graph = graph
+        self.module = module
+        self.class_qual = class_qual
+        self.locals: Dict[str, str] = {}  # name -> inferred type qualname
+        self.local_functions = dict(local_functions or {})
+
+    # -- names -------------------------------------------------------------
+
+    def resolve_name(self, name: str) -> Optional[str]:
+        """Local/module/import name → dotted qualified name."""
+        if name in self.local_functions:
+            return self.local_functions[name]
+        if name in self.module.functions:
+            return self.module.functions[name]
+        if name in self.module.classes:
+            return self.module.classes[name]
+        if name in self.module.imports:
+            return self.module.imports[name]
+        if name in _BUILTIN_CALLS:
+            return name
+        return None
+
+    # -- types -------------------------------------------------------------
+
+    def infer(self, expr: ast.AST) -> Optional[str]:
+        """Best-effort type (dotted class name) of an expression."""
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and self.class_qual:
+                return self.class_qual
+            return self.locals.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self.infer(expr.value)
+            if base:
+                return self.graph.attr_type(base, expr.attr)
+            return None
+        if isinstance(expr, ast.Call):
+            for target in self.resolve_call(expr):
+                if target in self.graph.classes:
+                    return target
+                mapped = self.graph.returns.get(target)
+                if mapped:
+                    return mapped
+            return None
+        if isinstance(expr, ast.IfExp):
+            return self.infer(expr.body) or self.infer(expr.orelse)
+        if isinstance(expr, ast.Await):
+            return None
+        return None
+
+    def annotation_type(self, ann: Optional[ast.AST]) -> Optional[str]:
+        """Resolve an annotation to a dotted type, unwrapping Optional[...]."""
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, ast.Subscript):
+            head = _dotted_text(ann.value)
+            tail = head.rsplit(".", 1)[-1] if head else ""
+            if tail in ("Optional", "Union"):
+                inner = ann.slice
+                if isinstance(inner, ast.Tuple) and inner.elts:
+                    inner = inner.elts[0]
+                return self.annotation_type(inner)
+            return self.annotation_type(ann.value)
+        dotted = _dotted_text(ann)
+        if dotted is None:
+            return None
+        base, _, rest = dotted.partition(".")
+        resolved = self.resolve_name(base)
+        if resolved is None:
+            return None
+        return f"{resolved}.{rest}" if rest else resolved
+
+    # -- calls -------------------------------------------------------------
+
+    def resolve_call(self, call: ast.Call) -> Tuple[str, ...]:
+        """Resolved target qualnames of one call expression (may be empty)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            resolved = self.resolve_name(func.id)
+            return (resolved,) if resolved else ()
+        if isinstance(func, ast.Attribute):
+            dotted = _dotted_text(func)
+            if dotted:
+                base, rest = dotted.split(".", 1)
+                if base != "self" and base not in self.locals:
+                    resolved = self.resolve_name(base)
+                    if resolved:
+                        full = f"{resolved}.{rest}"
+                        # Known module function / class method spelled via the
+                        # module or class object keeps its real qualname.
+                        if full in self.graph.functions:
+                            return (full,)
+                        owner, _, method = full.rpartition(".")
+                        if owner in self.graph.classes:
+                            return (self.graph.resolve_method(owner, method),)
+                        return (full,)
+            receiver = self.infer(func.value)
+            if receiver:
+                return (self.graph.resolve_method(receiver, func.attr),)
+            return ()
+        return ()
+
+    # -- local environment --------------------------------------------------
+
+    def load_function_locals(self, fn_node: ast.AST) -> None:
+        """Populate ``locals`` from parameter annotations and simple
+        first-wins assignments in document order."""
+        args = fn_node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            inferred = self.annotation_type(arg.annotation)
+            if inferred and arg.arg not in self.locals:
+                self.locals[arg.arg] = inferred
+        for stmt in iter_statements(fn_node.body):
+            self._note_assignment(stmt)
+
+    def _note_assignment(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name) and target.id not in self.locals:
+                inferred = self.infer(stmt.value)
+                if inferred:
+                    self.locals[target.id] = inferred
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if stmt.target.id not in self.locals:
+                inferred = self.annotation_type(stmt.annotation) or (
+                    self.infer(stmt.value) if stmt.value is not None else None
+                )
+                if inferred:
+                    self.locals[stmt.target.id] = inferred
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    inferred = self.infer(item.context_expr)
+                    if inferred and item.optional_vars.id not in self.locals:
+                        self.locals[item.optional_vars.id] = inferred
+
+
+def iter_statements(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+    """All statements in document order, without descending into nested
+    function/class definitions (those are separate scopes)."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for field_name in ("body", "orelse", "finalbody"):
+            nested = getattr(stmt, field_name, None)
+            if nested:
+                for inner in iter_statements(nested):
+                    yield inner
+        for handler in getattr(stmt, "handlers", []) or []:
+            for inner in iter_statements(handler.body):
+                yield inner
+
+
+def walk_in_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function bodies or
+    lambdas — their calls do not execute where they are defined."""
+    queue: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while queue:
+        child = queue.pop(0)
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        queue.extend(ast.iter_child_nodes(child))
+
+
+# --------------------------------------------------------------------------
+# Graph construction
+# --------------------------------------------------------------------------
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name from the package structure on disk: walk up while
+    ``__init__.py`` exists.  Outside a package the file stem is the name."""
+    path = os.path.abspath(path)
+    parts = [os.path.splitext(os.path.basename(path))[0]]
+    directory = os.path.dirname(path)
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        parts.append(os.path.basename(directory))
+        directory = os.path.dirname(directory)
+    if parts[0] == "__init__":
+        parts.pop(0)
+    return ".".join(reversed(parts)) or os.path.basename(path)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    for target in paths:
+        if os.path.isfile(target):
+            yield target
+            continue
+        for dirpath, dirnames, filenames in os.walk(target):
+            dirnames[:] = sorted(
+                d for d in dirnames if not d.startswith((".", "__pycache__"))
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def build_callgraph(
+    paths: Sequence[str], returns: Optional[Dict[str, str]] = None
+) -> CallGraph:
+    """Parse every ``.py`` under ``paths`` and build the resolved graph."""
+    graph = CallGraph(returns=returns)
+    trees: List[ModuleInfo] = []
+    for path in iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source)
+        except (OSError, SyntaxError):
+            continue
+        module = ModuleInfo(module_name_for(path), path, tree, source)
+        if module.name in graph.modules:  # same module reached via two roots
+            continue
+        graph.modules[module.name] = module
+        trees.append(module)
+    for module in trees:
+        _collect_definitions(graph, module)
+    for module in trees:
+        _resolve_imports(module)
+    for module in trees:
+        _resolve_bases(graph, module)
+    for module in trees:
+        _infer_attribute_types(graph, module)
+    for module in trees:
+        _extract_calls(graph, module)
+    return graph
+
+
+def _collect_definitions(graph: CallGraph, module: ModuleInfo) -> None:
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _register_function(graph, module, node, class_name=None, prefix=module.name)
+        elif isinstance(node, ast.ClassDef):
+            _register_class(graph, module, node)
+
+
+def _register_class(graph: CallGraph, module: ModuleInfo, node: ast.ClassDef) -> None:
+    qualname = f"{module.name}.{node.name}"
+    info = ClassInfo(qualname, module.name, node.name, node.lineno)
+    graph.classes[qualname] = info
+    module.classes[node.name] = qualname
+    for child in node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = _register_function(
+                graph, module, child, class_name=node.name, prefix=qualname
+            )
+            info.methods[child.name] = fn.qualname
+        elif isinstance(child, ast.ClassDef):
+            # Nested class (e.g. Pool._Lease): registered flat with a
+            # dotted local name so `Pool._Lease(...)` still resolves.
+            inner_qual = f"{qualname}.{child.name}"
+            inner = ClassInfo(inner_qual, module.name, child.name, child.lineno)
+            graph.classes[inner_qual] = inner
+            module.classes[f"{node.name}.{child.name}"] = inner_qual
+            for grand in child.body:
+                if isinstance(grand, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    fn = _register_function(
+                        graph,
+                        module,
+                        grand,
+                        class_name=f"{node.name}.{child.name}",
+                        prefix=inner_qual,
+                    )
+                    inner.methods[grand.name] = fn.qualname
+
+
+def _register_function(
+    graph: CallGraph,
+    module: ModuleInfo,
+    node: ast.AST,
+    class_name: Optional[str],
+    prefix: str,
+) -> FunctionInfo:
+    qualname = f"{prefix}.{node.name}"
+    fn = FunctionInfo(
+        qualname=qualname,
+        module=module.name,
+        name=node.name,
+        class_name=class_name,
+        path=module.path,
+        lineno=node.lineno,
+        is_async=isinstance(node, ast.AsyncFunctionDef),
+        node=node,
+    )
+    graph.functions[qualname] = fn
+    if class_name is None:
+        module.functions[node.name] = qualname
+    # Nested defs become their own functions, resolvable by local name.
+    for stmt in iter_statements(node.body):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested = _register_function(
+                graph, module, stmt, class_name=class_name, prefix=qualname
+            )
+            fn.local_functions[stmt.name] = nested.qualname
+    return fn
+
+
+def _resolve_imports(module: ModuleInfo) -> None:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                full = alias.name if alias.asname else alias.name.split(".")[0]
+                module.imports.setdefault(local, full)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                package = module.name.rsplit(".", node.level)[0]
+                base = f"{package}.{base}" if base else package
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                module.imports.setdefault(local, f"{base}.{alias.name}")
+
+
+def _resolve_bases(graph: CallGraph, module: ModuleInfo) -> None:
+    scope = Scope(graph, module)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        info = graph.classes.get(f"{module.name}.{node.name}")
+        if info is None:  # nested class registered under its outer name
+            continue
+        for base in node.bases:
+            dotted = _dotted_text(base)
+            if not dotted:
+                continue
+            head, _, rest = dotted.partition(".")
+            resolved = scope.resolve_name(head)
+            if resolved:
+                info.bases.append(f"{resolved}.{rest}" if rest else resolved)
+            else:
+                info.bases.append(dotted)
+
+
+def _infer_attribute_types(graph: CallGraph, module: ModuleInfo) -> None:
+    for class_local, class_qual in module.classes.items():
+        info = graph.classes[class_qual]
+        class_node = _find_class_node(module.tree, class_local)
+        if class_node is None:
+            continue
+        # Class-level annotations: ``scheme: ConcurrencyScheme``.
+        scope = Scope(graph, module, class_qual)
+        for stmt in class_node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                inferred = scope.annotation_type(stmt.annotation)
+                if inferred:
+                    info.attr_types.setdefault(stmt.target.id, inferred)
+        # ``self.x = ...`` in any method body (``__init__`` first).
+        methods = sorted(
+            (n for n in class_node.body
+             if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))),
+            key=lambda n: (n.name != "__init__", n.lineno),
+        )
+        for method in methods:
+            method_scope = Scope(graph, module, class_qual)
+            method_scope.load_function_locals(method)
+            for stmt in iter_statements(method.body):
+                target, value, annotation = _self_attr_assignment(stmt)
+                if target is None:
+                    continue
+                inferred = method_scope.annotation_type(annotation) or (
+                    method_scope.infer(value) if value is not None else None
+                )
+                if inferred:
+                    info.attr_types.setdefault(target, inferred)
+
+
+def _find_class_node(tree: ast.AST, dotted_local: str) -> Optional[ast.ClassDef]:
+    node: Optional[ast.AST] = tree
+    for part in dotted_local.split("."):
+        found = None
+        for child in getattr(node, "body", []):
+            if isinstance(child, ast.ClassDef) and child.name == part:
+                found = child
+                break
+        node = found
+        if node is None:
+            return None
+    return node if isinstance(node, ast.ClassDef) else None
+
+
+def _self_attr_assignment(stmt: ast.stmt):
+    """``self.attr = value`` / ``self.attr: T = value`` → (attr, value, ann)."""
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return target.attr, stmt.value, None
+    elif isinstance(stmt, ast.AnnAssign):
+        target = stmt.target
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return target.attr, stmt.value, stmt.annotation
+    return None, None, None
+
+
+def _extract_calls(graph: CallGraph, module: ModuleInfo) -> None:
+    for fn in list(graph.functions.values()):
+        if fn.module != module.name:
+            continue
+        scope = graph.scope_for(fn)
+        parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(fn.node):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        fn.name_loads = {
+            n.id
+            for n in ast.walk(fn.node)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+        }
+        for node in walk_in_scope(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            site = CallSite(
+                callee=_dotted_text(node.func) or type(node.func).__name__,
+                targets=scope.resolve_call(node),
+                lineno=node.lineno,
+                col=node.col_offset,
+            )
+            consumer = parents.get(node)
+            if isinstance(consumer, ast.Await):
+                site.awaited = True
+                consumer = parents.get(consumer)
+            if isinstance(consumer, ast.Call) and (
+                node in consumer.args
+                or node in [kw.value for kw in consumer.keywords]
+            ):
+                wrapper = consumer.func
+                site.wrapper = (
+                    wrapper.attr
+                    if isinstance(wrapper, ast.Attribute)
+                    else wrapper.id if isinstance(wrapper, ast.Name) else None
+                )
+            elif isinstance(consumer, ast.Expr):
+                site.discarded = True
+            elif isinstance(consumer, ast.Assign) and len(consumer.targets) == 1:
+                target = consumer.targets[0]
+                if isinstance(target, ast.Name):
+                    site.assigned_name = target.id
+            elif isinstance(consumer, ast.AnnAssign) and isinstance(
+                consumer.target, ast.Name
+            ):
+                site.assigned_name = consumer.target.id
+            fn.calls.append(site)

@@ -1,6 +1,7 @@
-"""``python -m repro lint`` — lint SQL scripts, Python ORM code, or queries.
+"""``python -m repro lint`` / ``python -m repro asynccheck`` — the
+static-analysis CLIs over the shared Finding framework.
 
-Targets:
+``lint`` targets:
 
 * a ``.sql`` file — statements are split and linted in order; DDL/DML and
   ``ANALYZE`` are *executed* into a scratch in-memory database so the
@@ -12,14 +13,22 @@ Targets:
 * anything else — treated as a literal SQL query and linted without a
   catalog.
 
-Findings print as ``path:line: [rule] severity: message``.  In-source
+``asynccheck`` targets are ``.py`` files or directories: one whole-program
+call graph is built per invocation and the async-safety rules
+(:mod:`repro.analyze.asyncsafe`) run over it.
+
+Every analyzer subcommand (``lint``, ``sanitize``, ``asynccheck``) shares
+one contract: findings print as ``path:line: [rule] severity: message``
+(or a JSON document with ``--format json``), a summary goes to stderr, and
+the exit status is 0 clean / 1 findings / 2 usage error.  In-source
 suppressions (``-- lint: allow(rule)`` for SQL, ``# lint: allow(rule)``
-for Python) silence individual lines.  Exit status: 0 clean, 1 findings,
-2 usage error.
+and ``# asyncsafe: allow(rule)`` for Python) silence individual lines.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import sys
 from typing import List, Optional, Set, Tuple
@@ -37,7 +46,77 @@ from repro.core.errors import ReproError
 from repro.sql import ast
 from repro.sql.parser import parse
 
-USAGE = "usage: python -m repro lint <query | file.sql | file.py | directory> ..."
+USAGE = (
+    "usage: python -m repro lint [--format json|text] "
+    "<query | file.sql | file.py | directory> ..."
+)
+
+#: Shared analyzer exit codes (lint, sanitize, asynccheck all honor these).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+FORMATS = ("text", "json")
+
+
+def extract_format_flag(args: List[str]) -> Tuple[Optional[str], List[str]]:
+    """Pop ``--format X`` / ``--format=X`` out of a raw argv list.
+
+    Returns ``(format, remaining_args)``; format is None on a bad value so
+    hand-rolled CLIs (lint takes literal SQL positionals, so it cannot use
+    argparse) can exit with the shared usage code.
+    """
+    remaining: List[str] = []
+    fmt = "text"
+    iterator = iter(args)
+    for arg in iterator:
+        if arg == "--format":
+            fmt = next(iterator, "")
+        elif arg.startswith("--format="):
+            fmt = arg.split("=", 1)[1]
+        else:
+            remaining.append(arg)
+    if fmt not in FORMATS:
+        return None, remaining
+    return fmt, remaining
+
+
+def emit_report(report: AnalysisReport, fmt: str = "text") -> int:
+    """Print findings in the shared format and return the shared exit code.
+
+    ``text``: one ``path:line: [rule] severity: message`` line per finding
+    on stdout, human summary on stderr.  ``json``: a single document on
+    stdout — ``{"count": N, "clean": bool, "findings": [...]}`` — with the
+    same stderr summary, so scripts can pipe stdout without losing it.
+    """
+    try:
+        if fmt == "json":
+            payload = {
+                "count": len(report),
+                "clean": not report,
+                "findings": [
+                    {
+                        "source": f.source,
+                        "line": f.line,
+                        "rule": f.rule,
+                        "severity": f.severity,
+                        "message": f.message,
+                    }
+                    for f in report.sorted()
+                ],
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            output = report.format()
+            if output:
+                print(output)
+        print(
+            f"{len(report)} finding(s)" if report else "clean: no findings",
+            file=sys.stderr,
+        )
+    except BrokenPipeError:  # e.g. piped into `head`
+        pass
+    return EXIT_FINDINGS if report else EXIT_CLEAN
 
 #: Statement types executed into the scratch database (building the catalog
 #: the statistics-aware rules read); everything else is lint-only.
@@ -199,7 +278,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     if not args or "-h" in args or "--help" in args:
         print(USAGE, file=sys.stderr)
-        return 0 if args else 2
+        return EXIT_CLEAN if args else EXIT_USAGE
+    fmt, args = extract_format_flag(args)
+    if fmt is None:
+        print(USAGE, file=sys.stderr)
+        return EXIT_USAGE
+    if not args:
+        print(USAGE, file=sys.stderr)
+        return EXIT_USAGE
     findings: List[Finding] = []
     for target in args:
         if os.path.isdir(target):
@@ -211,19 +297,63 @@ def main(argv: Optional[List[str]] = None) -> int:
                 findings.extend(_lint_sql_file(target))
         elif target.endswith((".sql", ".py")) or os.path.sep in target:
             print(f"error: no such file or directory: {target}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         else:
             report = lint_sql_text(target, use_scratch_db=False)
             findings.extend(report.findings)
-    report = AnalysisReport(findings)
+    return emit_report(AnalysisReport(findings), fmt)
+
+
+def asynccheck_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro asynccheck <file.py | directory> ...``"""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro asynccheck",
+        description="Whole-program async-safety analysis: event-loop "
+        "blocking, locks held across await, missing awaits, task leaks.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="Python files or directories to analyze"
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text", help="output format"
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all four)",
+    )
+    parser.add_argument(
+        "--no-suppress",
+        action="store_true",
+        help="ignore '# asyncsafe: allow(...)' comments (audit mode)",
+    )
     try:
-        output = report.format()
-        if output:
-            print(output)
-        print(
-            f"{len(report)} finding(s)" if report else "clean: no findings",
-            file=sys.stderr,
-        )
-    except BrokenPipeError:  # e.g. piped into `head`
-        pass
-    return 1 if report else 0
+        args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+    except SystemExit as exc:
+        return EXIT_CLEAN if exc.code in (0, None) else EXIT_USAGE
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        return EXIT_USAGE
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        for path in missing:
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+        return EXIT_USAGE
+
+    from repro.analyze.asyncsafe import analyze_paths, default_registry
+
+    rules: Optional[List[str]] = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        known = set(default_registry().rule_ids())
+        unknown = [r for r in rules if r not in known]
+        if unknown:
+            print(
+                f"error: unknown rule(s) {unknown}; known: {sorted(known)}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+    report = analyze_paths(
+        args.paths, rules=rules, suppress=not args.no_suppress
+    )
+    return emit_report(report, args.format)

@@ -130,14 +130,28 @@ class AnalysisReport:
 # Suppression comments
 # --------------------------------------------------------------------------
 
-_SUPPRESS_RE = re.compile(r"#\s*(?:repro-)?lint:\s*allow\(([\w*,\s-]+)\)")
+_SUPPRESS_RES: Dict[str, "re.Pattern"] = {}
 
 
-def parse_suppressions(source_text: str) -> Dict[int, Set[str]]:
+def _suppress_re(tool: str) -> "re.Pattern":
+    """Compiled ``# <tool>: allow(...)`` matcher, one per analyzer family
+    (``lint`` for the SQL/ORM linter, ``asyncsafe`` for the async-safety
+    pass) so one tool's suppression never silences another's findings."""
+    pattern = _SUPPRESS_RES.get(tool)
+    if pattern is None:
+        pattern = re.compile(
+            r"#\s*(?:repro-)?" + re.escape(tool) + r":\s*allow\(([\w*,\s-]+)\)"
+        )
+        _SUPPRESS_RES[tool] = pattern
+    return pattern
+
+
+def parse_suppressions(source_text: str, tool: str = "lint") -> Dict[int, Set[str]]:
     """Map 1-based line numbers to the rule ids suppressed on them."""
+    suppress_re = _suppress_re(tool)
     suppressed: Dict[int, Set[str]] = {}
     for lineno, line in enumerate(source_text.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
+        match = suppress_re.search(line)
         if match:
             rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
             suppressed.setdefault(lineno, set()).update(rules)

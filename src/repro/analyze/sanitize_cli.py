@@ -12,13 +12,15 @@ Two modes:
   interleavings of every scheme and verify the contract: global-lock and
   2PL schedules conflict-serializable, MVCC showing only write skew.
 
-Exit status: 0 clean / contract held, 1 findings / contract violated,
-2 usage error.
+Shares the analyzer CLI contract of :mod:`repro.analyze.cli`: ``--format
+json|text`` output and exit status 0 clean / contract held, 1 findings /
+contract violated, 2 usage error.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -29,29 +31,29 @@ from repro.txn.schemes import scheme_names
 from repro.txn.trace import load_trace
 
 
-def _check_traces(paths: List[str]) -> int:
+def _check_traces(paths: List[str], fmt: str = "text") -> int:
+    from repro.analyze.cli import EXIT_USAGE, emit_report
+
     report = AnalysisReport()
     for path in paths:
         try:
             scheme, events = load_trace(path)
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         report.extend(
             check_schedule(events, scheme=scheme, source=path).findings
         )
-    output = report.format()
-    if output:
-        print(output)
-    print(
-        f"{len(report)} finding(s)" if report else "clean: no findings",
-        file=sys.stderr,
-    )
-    return 1 if report else 0
+    return emit_report(report, fmt)
 
 
-def _run_fuzz(schemes: List[str], seeds: int, txns: int, keys: int, ops: int) -> int:
+def _run_fuzz(
+    schemes: List[str], seeds: int, txns: int, keys: int, ops: int, fmt: str = "text"
+) -> int:
+    from repro.analyze.cli import EXIT_CLEAN, EXIT_FINDINGS
+
     failed = False
+    results = []
     for scheme_name in schemes:
         summary = fuzz_summary(
             scheme_name, range(seeds), txns=txns, keys=keys, ops_per_txn=ops
@@ -59,23 +61,39 @@ def _run_fuzz(schemes: List[str], seeds: int, txns: int, keys: int, ops: int) ->
         witnessed = summary["witnessed"]
         violations = summary["violations"]
         allowed = set(expected_anomalies(scheme_name))
-        shown = (
-            ", ".join(f"{rule}×{count}" for rule, count in sorted(witnessed.items()))
-            or "none"
-        )
-        status = "FAIL" if violations else "ok"
-        contract = (
-            f"allowed: {sorted(allowed)}" if allowed else "allowed: none"
-        )
-        print(
-            f"{scheme_name:>11}: {seeds} interleavings, anomalies {shown} "
-            f"({contract}) ... {status}"
-        )
-        for seed, finding in violations:
-            print(f"    seed {seed}: {finding}")
+        if fmt == "json":
+            results.append(
+                {
+                    "scheme": scheme_name,
+                    "seeds": seeds,
+                    "witnessed": dict(sorted(witnessed.items())),
+                    "allowed": sorted(allowed),
+                    "violations": [
+                        {"seed": seed, "finding": finding.format()}
+                        for seed, finding in violations
+                    ],
+                }
+            )
+        else:
+            shown = (
+                ", ".join(f"{rule}×{count}" for rule, count in sorted(witnessed.items()))
+                or "none"
+            )
+            status = "FAIL" if violations else "ok"
+            contract = (
+                f"allowed: {sorted(allowed)}" if allowed else "allowed: none"
+            )
+            print(
+                f"{scheme_name:>11}: {seeds} interleavings, anomalies {shown} "
+                f"({contract}) ... {status}"
+            )
+            for seed, finding in violations:
+                print(f"    seed {seed}: {finding}")
         if violations:
             failed = True
-    return 1 if failed else 0
+    if fmt == "json":
+        print(json.dumps({"clean": not failed, "schemes": results}, indent=2))
+    return EXIT_FINDINGS if failed else EXIT_CLEAN
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -103,6 +121,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--txns", type=int, default=3, help="fuzz: txns per interleaving")
     parser.add_argument("--keys", type=int, default=3, help="fuzz: shared key count")
     parser.add_argument("--ops", type=int, default=3, help="fuzz: keys touched per txn")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
     try:
         args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
     except SystemExit as exc:
@@ -113,8 +134,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if unknown:
             print(f"error: unknown scheme(s) {unknown}", file=sys.stderr)
             return 2
-        return _run_fuzz(schemes, args.seeds, args.txns, args.keys, args.ops)
+        return _run_fuzz(
+            schemes, args.seeds, args.txns, args.keys, args.ops, args.format
+        )
     if not args.traces:
         parser.print_usage(sys.stderr)
         return 2
-    return _check_traces(args.traces)
+    return _check_traces(args.traces, args.format)

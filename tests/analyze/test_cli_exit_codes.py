@@ -1,0 +1,144 @@
+"""The unified analyzer CLI contract: exit codes and ``--format json``.
+
+Every analyzer subcommand (``lint``, ``sanitize``, ``asynccheck``) honors
+the same status convention — 0 clean, 1 findings, 2 usage error — and
+emits a machine-parseable document under ``--format json``.  These tests
+pin the contract so a refactor of any one CLI can't silently drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analyze.cli import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    asynccheck_main,
+    extract_format_flag,
+)
+from repro.analyze.cli import main as lint_main
+from repro.analyze.sanitize_cli import main as sanitize_main
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+ASYNC_FIXTURES = os.path.join(REPO_ROOT, "tests", "fixtures", "asyncsafe")
+
+
+class TestSharedConstants:
+    def test_exit_code_values_are_pinned(self):
+        assert (EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE) == (0, 1, 2)
+
+    def test_extract_format_flag(self):
+        assert extract_format_flag(["a", "--format", "json", "b"]) == (
+            "json",
+            ["a", "b"],
+        )
+        assert extract_format_flag(["--format=text", "x"]) == ("text", ["x"])
+        assert extract_format_flag(["x"]) == ("text", ["x"])
+        fmt, rest = extract_format_flag(["--format", "yaml", "x"])
+        assert fmt is None and rest == ["x"]
+
+
+class TestLintCli:
+    def test_clean_query_exits_zero(self, capsys):
+        assert lint_main(["SELECT id FROM t WHERE id = 1"]) == EXIT_CLEAN
+
+    def test_findings_exit_one(self, capsys):
+        assert lint_main(["SELECT * FROM t"]) == EXIT_FINDINGS
+
+    def test_no_args_is_usage_error(self, capsys):
+        assert lint_main([]) == EXIT_USAGE
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert lint_main(["no/such/file.sql"]) == EXIT_USAGE
+
+    def test_bad_format_is_usage_error(self, capsys):
+        assert lint_main(["--format", "yaml", "SELECT 1"]) == EXIT_USAGE
+
+    def test_json_output_parses(self, capsys):
+        code = lint_main(["--format", "json", "SELECT * FROM t"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == EXIT_FINDINGS
+        assert payload["clean"] is False
+        assert payload["count"] == len(payload["findings"]) >= 1
+        finding = payload["findings"][0]
+        assert {"source", "line", "rule", "severity", "message"} <= set(finding)
+
+
+class TestAsynccheckCli:
+    def test_clean_path_exits_zero(self, capsys):
+        clean = os.path.join(ASYNC_FIXTURES, "clean_blocking.py")
+        assert asynccheck_main([clean]) == EXIT_CLEAN
+
+    def test_findings_exit_one(self, capsys):
+        bad = os.path.join(ASYNC_FIXTURES, "bad_blocking.py")
+        assert asynccheck_main([bad]) == EXIT_FINDINGS
+
+    def test_no_args_is_usage_error(self, capsys):
+        assert asynccheck_main([]) == EXIT_USAGE
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert asynccheck_main(["no/such/dir"]) == EXIT_USAGE
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert asynccheck_main(["--rules", "bogus", ASYNC_FIXTURES]) == EXIT_USAGE
+
+    def test_json_output_parses(self, capsys):
+        bad = os.path.join(ASYNC_FIXTURES, "bad_task_leak.py")
+        code = asynccheck_main(["--format", "json", bad])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == EXIT_FINDINGS
+        assert payload["clean"] is False
+        assert all(
+            f["rule"] == "unawaited-task-leak" for f in payload["findings"]
+        )
+
+    def test_text_findings_name_rules_in_brackets(self, capsys):
+        bad = os.path.join(ASYNC_FIXTURES, "bad_missing_await.py")
+        asynccheck_main([bad])
+        out = capsys.readouterr().out
+        assert "[missing-await]" in out
+
+
+class TestSanitizeCli:
+    def test_fuzz_contract_holds_exits_zero(self, capsys):
+        assert sanitize_main(["--fuzz", "--seeds", "2"]) == EXIT_CLEAN
+
+    def test_no_args_is_usage_error(self, capsys):
+        assert sanitize_main([]) == EXIT_USAGE
+
+    def test_unknown_scheme_is_usage_error(self, capsys):
+        assert (
+            sanitize_main(["--fuzz", "--schemes", "nonsense"]) == EXIT_USAGE
+        )
+
+    def test_fuzz_json_output_parses(self, capsys):
+        code = sanitize_main(["--fuzz", "--seeds", "2", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == EXIT_CLEAN
+        assert payload["clean"] is True
+        assert {s["scheme"] for s in payload["schemes"]} >= {"global-lock"}
+
+    def test_trace_findings_exit_one(self, tmp_path, capsys):
+        from repro.analyze.concurrency import check_schedule
+        from repro.txn.fuzz import fuzz_one
+        from repro.txn.schemes import make_scheme
+
+        # A seeded MVCC interleaving known to exhibit write skew gives the
+        # trace checker real findings to report.
+        for seed in range(40):
+            scheme = make_scheme("mvcc", record_schedule=True)
+            outcome = fuzz_one("mvcc", seed, scheme=scheme)
+            report = check_schedule(outcome.events, scheme="mvcc")
+            if any(f.severity != "info" for f in report.findings):
+                trace = tmp_path / "trace.jsonl"
+                scheme.recorder.dump(str(trace))
+                code = sanitize_main([str(trace), "--format", "json"])
+                payload = json.loads(capsys.readouterr().out)
+                assert code == EXIT_FINDINGS
+                assert payload["count"] >= 1
+                return
+        pytest.skip("no anomalous interleaving in the first 40 seeds")

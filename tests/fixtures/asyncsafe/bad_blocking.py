@@ -1,0 +1,35 @@
+"""Fixture: blocking calls reachable from coroutines (rule 1).
+
+Each marked line must be flagged by blocking-call-reachable-from-coroutine.
+The analyzer resolves both direct blocking calls inside ``async def`` and
+transitive ones through sync helpers.
+"""
+
+import socket
+import time
+
+
+def slow_helper() -> None:
+    time.sleep(0.5)  # MARK: transitive-sleep
+
+
+def middle_layer() -> None:
+    slow_helper()
+
+
+async def direct_sleep() -> None:
+    time.sleep(1.0)  # MARK: direct-sleep
+
+
+async def transitive_sleep() -> None:
+    middle_layer()  # MARK: call-into-blocking-chain
+
+
+async def direct_socket() -> None:
+    sock = socket.create_connection(("localhost", 5432))  # MARK: direct-socket
+    sock.close()
+
+
+async def file_io() -> None:
+    handle = open("/tmp/data.bin", "rb")  # MARK: direct-open
+    handle.close()

@@ -1,0 +1,32 @@
+"""Fixture: threading locks held across await points (rule 2).
+
+A ``threading.Lock`` held while the coroutine suspends blocks every other
+thread contending for it for as long as the event loop takes to resume —
+and deadlocks outright if the resumption needs the lock.  Both the
+``with`` form and the manual acquire/release form must be flagged.
+"""
+
+import asyncio
+import threading
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data = {}
+
+    async def refresh(self, key: str) -> None:
+        with self._lock:  # MARK: with-held-across-await
+            value = await fetch_remote(key)
+            self._data[key] = value
+
+    async def refresh_manual(self, key: str) -> None:
+        self._lock.acquire()  # MARK: manual-held-across-await
+        value = await fetch_remote(key)
+        self._data[key] = value
+        self._lock.release()
+
+
+async def fetch_remote(key: str) -> str:
+    await asyncio.sleep(0.01)
+    return key.upper()

@@ -1,0 +1,32 @@
+"""Fixture: coroutines called without await (rule 3).
+
+Calling an ``async def`` returns a coroutine object without running it;
+dropping that object (or binding it and never using it) means the work
+silently never happens — Python only warns at garbage-collection time,
+long after the bug site.
+"""
+
+import asyncio
+
+
+async def fetch(n: int) -> int:
+    await asyncio.sleep(0)
+    return n * 2
+
+
+async def writer(n: int) -> None:
+    await asyncio.sleep(0)
+
+
+async def discarded_call() -> None:
+    fetch(1)  # MARK: discarded-coroutine
+
+
+async def bound_never_used() -> None:
+    result = fetch(2)  # MARK: bound-unused-coroutine
+    print("did some other work")
+
+
+class Pipeline:
+    async def run(self) -> None:
+        writer(3)  # MARK: method-discarded-coroutine

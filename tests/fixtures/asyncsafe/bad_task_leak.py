@@ -1,0 +1,24 @@
+"""Fixture: fire-and-forget tasks with no strong reference (rule 4).
+
+The event loop keeps only a weak reference to tasks; a task whose handle
+is dropped can be garbage-collected mid-flight, and its exceptions vanish.
+"""
+
+import asyncio
+
+
+async def worker(n: int) -> None:
+    await asyncio.sleep(0)
+
+
+async def fire_and_forget() -> None:
+    asyncio.create_task(worker(1))  # MARK: discarded-task
+
+
+async def bound_and_dropped() -> None:
+    task = asyncio.create_task(worker(2))  # MARK: bound-unused-task
+    print("handle never awaited or stored")
+
+
+async def ensured() -> None:
+    asyncio.ensure_future(worker(3))  # MARK: discarded-ensure-future

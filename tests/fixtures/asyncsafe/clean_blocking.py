@@ -1,0 +1,27 @@
+"""Fixture: the same work as bad_blocking.py, done safely.
+
+Blocking calls shipped to worker threads via ``run_in_executor`` /
+``asyncio.to_thread`` never run on the event loop, so nothing here should
+be flagged.  Passing a bound method *reference* (not calling it) is the
+idiom the real server uses.
+"""
+
+import asyncio
+import time
+
+
+def slow_helper() -> None:
+    time.sleep(0.5)
+
+
+async def shipped_to_executor() -> None:
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, slow_helper)
+
+
+async def shipped_to_thread() -> None:
+    await asyncio.to_thread(slow_helper)
+
+
+async def native_sleep() -> None:
+    await asyncio.sleep(1.0)

@@ -1,0 +1,44 @@
+"""Fixture: lock usage that must NOT trip lock-held-across-await.
+
+* a ``threading.Lock`` held in a coroutine with no await inside the
+  critical section (fine: the loop never suspends while holding it);
+* an ``asyncio.Lock`` held across await (that is exactly what it is for);
+* acquire/release bracketing completed before the await starts — rule 1
+  still sees the bare ``.acquire()`` on the loop, so this line carries the
+  documented suppression syntax for a judged-acceptable blocking call.
+"""
+
+import asyncio
+import threading
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._sync_lock = threading.Lock()
+        self._async_lock = asyncio.Lock()
+        self._data = {}
+
+    async def read_local(self, key: str) -> str:
+        with self._sync_lock:
+            value = self._data.get(key, "")
+        await asyncio.sleep(0)
+        return value
+
+    async def refresh(self, key: str) -> None:
+        async with self._async_lock:
+            self._data[key] = await fetch_remote(key)
+
+    async def swap(self, key: str, value: str) -> str:
+        # Uncontended in-process lock, released before the first await:
+        # blocking-on-the-loop risk judged acceptable here.
+        self._sync_lock.acquire()  # asyncsafe: allow(blocking-call-reachable-from-coroutine)
+        old = self._data.get(key, "")
+        self._data[key] = value
+        self._sync_lock.release()
+        await asyncio.sleep(0)
+        return old
+
+
+async def fetch_remote(key: str) -> str:
+    await asyncio.sleep(0.01)
+    return key.upper()

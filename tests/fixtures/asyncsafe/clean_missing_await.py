@@ -1,0 +1,36 @@
+"""Fixture: coroutine-call shapes that must NOT trip missing-await.
+
+Awaited calls, spawn wrappers (create_task / gather), returning the
+coroutine for the caller to await (delegation), and binding-then-awaiting
+later are all legitimate.
+"""
+
+import asyncio
+
+
+async def fetch(n: int) -> int:
+    await asyncio.sleep(0)
+    return n * 2
+
+
+async def awaited() -> int:
+    return await fetch(1)
+
+
+async def spawned() -> None:
+    task = asyncio.create_task(fetch(2))
+    await task
+
+
+async def gathered() -> None:
+    await asyncio.gather(fetch(3), fetch(4))
+
+
+def delegated():
+    # Sync factory handing the coroutine to its caller to await.
+    return fetch(5)
+
+
+async def bound_then_awaited() -> int:
+    pending = fetch(6)
+    return await pending

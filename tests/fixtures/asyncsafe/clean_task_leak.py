@@ -1,0 +1,31 @@
+"""Fixture: task-spawn shapes that must NOT trip unawaited-task-leak.
+
+Awaiting the task, storing it (set/list/attribute) for later management,
+and gathering a comprehension of tasks all keep strong references.
+"""
+
+import asyncio
+
+
+async def worker(n: int) -> None:
+    await asyncio.sleep(0)
+
+
+async def awaited_task() -> None:
+    task = asyncio.create_task(worker(1))
+    await task
+
+
+class Supervisor:
+    def __init__(self) -> None:
+        self._tasks = set()
+
+    async def spawn(self) -> None:
+        task = asyncio.create_task(worker(2))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+
+async def fan_out() -> None:
+    tasks = [asyncio.create_task(worker(n)) for n in range(4)]
+    await asyncio.gather(*tasks)

@@ -1,0 +1,29 @@
+"""Fixture: reconstruction of the PR 7 event-loop wedge.
+
+The original bug: ``net/server.py`` called ``self.scheme.begin()``
+directly inside the ``kv_begin`` coroutine handler.  Under the
+global-lock scheme, ``begin()`` blocks until the single database lock is
+free — but the coroutine holding the loop is the only thing that could
+ever release it, so one in-flight transaction wedged the whole server.
+Rule 1 must flag the marked line (the exact shape that shipped).
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.txn.schemes import ConcurrencyScheme, make_scheme
+
+
+class MiniServer:
+    def __init__(self, scheme: str = "global-lock") -> None:
+        self.scheme: ConcurrencyScheme = make_scheme(scheme)
+        self._executor = ThreadPoolExecutor(max_workers=1)
+        self._sessions = {}
+
+    async def handle_kv_begin(self, session_id: int) -> int:
+        handle = self.scheme.begin()  # MARK: wedge-begin
+        self._sessions[session_id] = handle
+        return handle.txn_id
+
+    async def handle_kv_commit(self, session_id: int) -> None:
+        handle = self._sessions.pop(session_id)
+        self.scheme.commit(handle)  # MARK: wedge-commit

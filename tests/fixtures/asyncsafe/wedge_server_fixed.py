@@ -1,0 +1,31 @@
+"""Fixture: the post-PR 7 shape of the wedge — must analyze clean.
+
+Engine work ships to a worker thread via ``run_in_executor``; the bound
+method is passed as a *reference*, never called on the loop, so the
+global lock can block a worker thread without stalling the reactor.
+"""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.txn.schemes import ConcurrencyScheme, make_scheme
+
+
+class MiniServer:
+    def __init__(self, scheme: str = "global-lock") -> None:
+        self.scheme: ConcurrencyScheme = make_scheme(scheme)
+        self._executor = ThreadPoolExecutor(max_workers=1)
+        self._sessions = {}
+
+    async def _run_engine(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn, *args)
+
+    async def handle_kv_begin(self, session_id: int) -> int:
+        handle = await self._run_engine(self.scheme.begin)
+        self._sessions[session_id] = handle
+        return handle.txn_id
+
+    async def handle_kv_commit(self, session_id: int) -> None:
+        handle = self._sessions.pop(session_id)
+        await self._run_engine(self.scheme.commit, handle)

@@ -17,9 +17,16 @@ Two checks, both motivated by real failure modes in this codebase:
   bare in a sibling method is a data race waiting for a schedule
   (:func:`repro.analyze.concurrency.check_latch_coverage`).  Helpers that
   run under a caller's latch opt out with a ``_locked`` name suffix.
+* **async-safety** — each lint root is also fed through the whole-program
+  call-graph analyzer (:mod:`repro.analyze.asyncsafe`): event-loop
+  blocking reachable from coroutines, threading locks held across
+  ``await``, missing awaits, and unawaited-task leaks.  The PR 7 wedge (a
+  blocking ``scheme.begin()`` on the loop) is now a lint failure here, not
+  a production hang.
 
 Findings suppress with a trailing ``# lint: allow(rule)`` comment on the
-flagged line, same syntax as the SQL linter.
+flagged line, same syntax as the SQL linter; the async-safety pass uses
+``# asyncsafe: allow(rule)``.
 
 Usage: ``python tools/lint_repro.py [dir ...]`` (default: ``src``).
 Prints ``path:line: [rule] message`` per finding; exit 1 if any.
@@ -131,15 +138,31 @@ def lint_file(path: str) -> List[Finding]:
     ]
 
 
+def _asyncsafe_findings(root: str) -> List[Finding]:
+    """Whole-program async-safety pass over one lint root.
+
+    Built as a single call graph per root (cross-module reachability needs
+    every file at once); suppressions (`# asyncsafe: allow(rule)`) are
+    applied inside the analyzer.
+    """
+    from repro.analyze.asyncsafe import analyze_paths
+
+    return [
+        (f.source, f.line, f.rule, f.message)
+        for f in analyze_paths([root]).sorted()
+    ]
+
+
 def lint_tree(root: str) -> List[Finding]:
     if os.path.isfile(root):
-        return lint_file(root)
+        return lint_file(root) + _asyncsafe_findings(root)
     findings: List[Finding] = []
     for dirpath, dirnames, filenames in os.walk(root):
         dirnames[:] = sorted(d for d in dirnames if not d.startswith((".", "__pycache__")))
         for name in sorted(filenames):
             if name.endswith(".py"):
                 findings.extend(lint_file(os.path.join(dirpath, name)))
+    findings.extend(_asyncsafe_findings(root))
     return findings
 
 
