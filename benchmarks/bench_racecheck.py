@@ -1,0 +1,134 @@
+"""Wall-clock budget for the static race detector and the check umbrella.
+
+The CI lint job runs ``python -m repro racecheck src/repro`` (and the
+``check`` umbrella drives racecheck + asynccheck through one shared graph
+build) on every push, so both have a hard latency budget: a full
+build-and-analyze pass over ``src/repro`` must finish in <= 10 s to stay
+in the fast lint tier.  Three phases are timed separately because they
+regress for different reasons:
+
+* call-graph construction — scales with package size (parse + resolve);
+* race analysis — scales with thread-root count and reachable state
+  (lockset propagation, escape closure, order-graph construction);
+* the combined ``check`` pass (asynccheck + racecheck over ONE graph) —
+  must cost *less* than the sum of the two separate passes, or the
+  shared-graph refactor has silently stopped sharing.
+
+Acceptance: best racecheck full-pass sample <= 10 s AND combined check
+pass < separate asynccheck pass + separate racecheck pass.  Writes
+``BENCH_racecheck.json`` next to this script.
+
+Usage: python benchmarks/bench_racecheck.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from bench_json import write_report  # noqa: E402
+from repro.analyze import asyncsafe, racecheck  # noqa: E402
+from repro.analyze.callgraph import build_callgraph  # noqa: E402
+from repro.analyze.check import run_check  # noqa: E402
+
+BUDGET_SECONDS = 10.0  # acceptance: full pass over src/repro in <= 10 s
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def run(repeats: int) -> dict:
+    build_s = []
+    race_full_s = []
+    async_full_s = []
+    check_s = []
+    graph = None
+    analysis = None
+    report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        graph = build_callgraph([SRC_REPRO], returns=asyncsafe.DEFAULT_RETURNS)
+        build_s.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        report = racecheck.analyze_paths([SRC_REPRO])
+        race_full_s.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        asyncsafe.analyze_paths([SRC_REPRO])
+        async_full_s.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        run_check([SRC_REPRO], tools=("asynccheck", "racecheck"))
+        check_s.append(time.perf_counter() - start)
+
+    # Re-derive the analysis once for the structural stats.
+    analysis = racecheck.RaceAnalysis(graph)
+    best_race = min(race_full_s)
+    best_check = min(check_s)
+    separate_sum = min(async_full_s) + min(race_full_s)
+    return {
+        "target": "src/repro",
+        "repeats": repeats,
+        "modules": len(graph.modules),
+        "functions": len(graph.functions),
+        "classes": len(graph.classes),
+        "thread_roots": len(analysis.roots),
+        "shared_classes": len(analysis.shared),
+        "propagated_states": len(analysis._states),
+        "lock_order_edges": len(analysis.order_edges),
+        "findings": len(report),
+        "build_graph_s": round(min(build_s), 3),
+        "racecheck_pass_s": round(best_race, 3),
+        "racecheck_pass_mean_s": round(statistics.mean(race_full_s), 3),
+        "asynccheck_pass_s": round(min(async_full_s), 3),
+        "check_combined_s": round(best_check, 3),
+        "separate_sum_s": round(separate_sum, 3),
+        "combined_beats_separate": best_check < separate_sum,
+        "budget_s": BUDGET_SECONDS,
+        "within_budget": best_race <= BUDGET_SECONDS,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer repeats")
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args()
+    repeats = args.repeats or (2 if args.quick else 5)
+
+    results = run(repeats)
+    out_path = write_report("racecheck", results)
+
+    print(
+        f"racecheck src/repro: {results['modules']} modules, "
+        f"{results['functions']} functions, "
+        f"{results['thread_roots']} thread roots, "
+        f"{results['shared_classes']} shared classes, "
+        f"{results['propagated_states']} propagated states, "
+        f"{results['findings']} findings"
+    )
+    print(
+        f"graph build {results['build_graph_s']:.2f} s, "
+        f"racecheck pass {results['racecheck_pass_s']:.2f} s "
+        f"(mean {results['racecheck_pass_mean_s']:.2f} s over {repeats}); "
+        f"check combined {results['check_combined_s']:.2f} s vs "
+        f"{results['separate_sum_s']:.2f} s separate"
+    )
+    ok = results["within_budget"] and results["combined_beats_separate"]
+    budget = "PASS" if results["within_budget"] else "FAIL"
+    sharing = "PASS" if results["combined_beats_separate"] else "FAIL"
+    print(
+        f"budget (<= {BUDGET_SECONDS:.0f} s): {budget}; "
+        f"shared-graph win: {sharing} -> {out_path}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

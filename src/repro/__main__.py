@@ -1,4 +1,4 @@
-"""``python -m repro`` — interactive SQL shell, or ``lint``/``sanitize``/``asynccheck``/``serve`` subcommands."""
+"""``python -m repro`` — interactive SQL shell, or ``lint``/``sanitize``/``asynccheck``/``racecheck``/``check``/``serve`` subcommands."""
 
 import sys
 
@@ -16,6 +16,16 @@ if len(sys.argv) > 1 and sys.argv[1] == "asynccheck":
     from repro.analyze.cli import asynccheck_main
 
     raise SystemExit(asynccheck_main(sys.argv[2:]))
+
+if len(sys.argv) > 1 and sys.argv[1] == "racecheck":
+    from repro.analyze.cli import racecheck_main
+
+    raise SystemExit(racecheck_main(sys.argv[2:]))
+
+if len(sys.argv) > 1 and sys.argv[1] == "check":
+    from repro.analyze.cli import check_main
+
+    raise SystemExit(check_main(sys.argv[2:]))
 
 if len(sys.argv) > 1 and sys.argv[1] == "sanitize":
     from repro.analyze.sanitize_cli import main as sanitize_main

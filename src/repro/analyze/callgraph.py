@@ -67,6 +67,7 @@ class FunctionInfo:
     calls: List[CallSite] = field(default_factory=list)
     name_loads: Set[str] = field(default_factory=set)
     local_functions: Dict[str, str] = field(default_factory=dict)
+    enclosing: Optional[str] = None  # qualname of the enclosing function
 
 
 @dataclass
@@ -99,6 +100,7 @@ class CallGraph:
         self.functions: Dict[str, FunctionInfo] = {}
         self.classes: Dict[str, ClassInfo] = {}
         self.returns: Dict[str, str] = dict(returns or {})
+        self._subclasses: Optional[Dict[str, List[str]]] = None
 
     # -- queries -----------------------------------------------------------
 
@@ -138,15 +140,58 @@ class CallGraph:
                 return info.attr_types[attr]
         return None
 
+    def subclasses_of(self, class_qual: str) -> List[str]:
+        """Known classes that (transitively) list ``class_qual`` as a base."""
+        if self._subclasses is None:
+            index: Dict[str, List[str]] = {}
+            for qual, info in self.classes.items():
+                for base in info.bases:
+                    index.setdefault(base, []).append(qual)
+            self._subclasses = index
+        result, queue, seen = [], list(self._subclasses.get(class_qual, ())), set()
+        while queue:
+            sub = queue.pop(0)
+            if sub in seen:
+                continue
+            seen.add(sub)
+            result.append(sub)
+            queue.extend(self._subclasses.get(sub, ()))
+        return result
+
+    def overrides_of(self, class_qual: str, method: str) -> List[str]:
+        """Function qualnames of subclass overrides of ``class_qual.method``."""
+        found = []
+        for sub in self.subclasses_of(class_qual):
+            info = self.classes.get(sub)
+            if info and method in info.methods:
+                found.append(info.methods[method])
+        return found
+
     def scope_for(self, fn: FunctionInfo) -> "Scope":
         """A resolution scope for ``fn`` (module imports + local inference),
-        for passes that need to type arbitrary expressions in its body."""
+        for passes that need to type arbitrary expressions in its body.
+
+        Nested functions inherit their enclosing scopes' locals and local
+        function bindings (closure capture), innermost binding wins."""
         module = self.modules[fn.module]
         class_qual = (
             f"{fn.module}.{fn.class_name}" if fn.class_name else None
         )
-        scope = Scope(self, module, class_qual, fn.local_functions)
+        local_functions = dict(fn.local_functions)
+        chain: List[FunctionInfo] = []
+        outer = fn.enclosing
+        while outer is not None and outer in self.functions:
+            ancestor = self.functions[outer]
+            chain.append(ancestor)
+            for name, qual in ancestor.local_functions.items():
+                local_functions.setdefault(name, qual)
+            outer = ancestor.enclosing
+        scope = Scope(self, module, class_qual, local_functions)
         scope.load_function_locals(fn.node)
+        # Enclosing bodies fill in closure-captured names; ``load_function_locals``
+        # is first-wins, so the inner function's own bindings stay authoritative.
+        for ancestor in chain:
+            scope.load_function_locals(ancestor.node)
         return scope
 
 
@@ -476,6 +521,7 @@ def _register_function(
             nested = _register_function(
                 graph, module, stmt, class_name=class_name, prefix=qualname
             )
+            nested.enclosing = qualname
             fn.local_functions[stmt.name] = nested.qualname
     return fn
 

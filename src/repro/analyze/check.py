@@ -1,0 +1,113 @@
+"""One-pass umbrella over every static analyzer: ``python -m repro check``.
+
+``lint`` (catalog/ORM rules), ``asynccheck`` (async-safety), and
+``racecheck`` (static race detection) each used to be separate CLI
+invocations.  The two whole-program analyzers both run over the same
+:class:`~repro.analyze.callgraph.CallGraph`, and parsing the package is
+the dominant cost of either pass — so the umbrella builds the graph
+**once** and hands it to both, then merges all findings into one report
+with the shared exit-code contract (0 clean / 1 findings / 2 usage).
+
+:func:`run_check` is also the programmatic entry point
+``tools/lint_repro.py`` drives, so the self-lint, CI, and the CLI all
+agree on what "the analyzers" are.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analyze.asyncsafe import DEFAULT_RETURNS
+from repro.analyze.callgraph import CallGraph, build_callgraph
+from repro.analyze.facts import AnalysisReport, Finding
+
+#: Umbrella tool names, in run order.
+ALL_TOOLS = ("lint", "asynccheck", "racecheck")
+
+#: Tools that need the whole-program call graph.
+GRAPH_TOOLS = ("asynccheck", "racecheck")
+
+
+@dataclass
+class CheckResult:
+    """Merged findings from one umbrella pass."""
+
+    report: AnalysisReport
+    #: ``[(tool, finding)]`` in report order — lets callers label output.
+    tagged: List[Tuple[str, Finding]] = field(default_factory=list)
+    #: findings per tool (zero entries included for every tool that ran).
+    tool_counts: Dict[str, int] = field(default_factory=dict)
+    #: the shared graph (None when no graph-based tool ran).
+    graph: Optional[CallGraph] = None
+
+    def tool_for(self, finding: Finding) -> str:
+        for tool, tagged in self.tagged:
+            if tagged is finding:
+                return tool
+        return "unknown"
+
+
+def _lint_findings(paths: Sequence[str]) -> List[Finding]:
+    # Imported lazily: the SQL linter pulls in the parser/optimizer stack,
+    # which graph-only callers (tools/lint_repro.py) don't need.
+    from repro.analyze.cli import (
+        _lint_directory,
+        _lint_python_file,
+        _lint_sql_file,
+    )
+
+    findings: List[Finding] = []
+    for target in paths:
+        if os.path.isdir(target):
+            findings.extend(_lint_directory(target))
+        elif target.endswith(".py"):
+            findings.extend(_lint_python_file(target))
+        else:
+            findings.extend(_lint_sql_file(target))
+    return findings
+
+
+def run_check(
+    paths: Sequence[str],
+    tools: Sequence[str] = ALL_TOOLS,
+    suppress: bool = True,
+    graph: Optional[CallGraph] = None,
+) -> CheckResult:
+    """Run the requested analyzers over ``paths`` with one shared graph.
+
+    ``graph`` lets a caller that already built a :class:`CallGraph` for the
+    same paths reuse it; otherwise one is built if any graph-based tool is
+    requested.  Findings are merged and sorted by (source, line, rule).
+    """
+    unknown = [tool for tool in tools if tool not in ALL_TOOLS]
+    if unknown:
+        raise ValueError(f"unknown tool(s) {unknown}; known: {list(ALL_TOOLS)}")
+    if graph is None and any(tool in tools for tool in GRAPH_TOOLS):
+        graph = build_callgraph(paths, returns=DEFAULT_RETURNS)
+
+    tagged: List[Tuple[str, Finding]] = []
+    tool_counts: Dict[str, int] = {}
+    if "lint" in tools:
+        lint_findings = _lint_findings(paths)
+        tool_counts["lint"] = len(lint_findings)
+        tagged.extend(("lint", finding) for finding in lint_findings)
+    if "asynccheck" in tools:
+        from repro.analyze import asyncsafe
+
+        report = asyncsafe.analyze_graph(graph, suppress=suppress)
+        tool_counts["asynccheck"] = len(report)
+        tagged.extend(("asynccheck", finding) for finding in report.findings)
+    if "racecheck" in tools:
+        from repro.analyze import racecheck
+
+        report = racecheck.analyze_graph(graph, suppress=suppress)
+        tool_counts["racecheck"] = len(report)
+        tagged.extend(("racecheck", finding) for finding in report.findings)
+
+    tagged.sort(key=lambda item: (item[1].source, item[1].line, item[1].rule))
+    report = AnalysisReport([finding for _, finding in tagged])
+    return CheckResult(
+        report=report, tagged=tagged, tool_counts=tool_counts, graph=graph
+    )

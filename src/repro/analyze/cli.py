@@ -1,5 +1,5 @@
-"""``python -m repro lint`` / ``python -m repro asynccheck`` — the
-static-analysis CLIs over the shared Finding framework.
+"""``python -m repro lint`` / ``asynccheck`` / ``racecheck`` / ``check``
+— the static-analysis CLIs over the shared Finding framework.
 
 ``lint`` targets:
 
@@ -13,16 +13,21 @@ static-analysis CLIs over the shared Finding framework.
 * anything else — treated as a literal SQL query and linted without a
   catalog.
 
-``asynccheck`` targets are ``.py`` files or directories: one whole-program
-call graph is built per invocation and the async-safety rules
-(:mod:`repro.analyze.asyncsafe`) run over it.
+``asynccheck`` and ``racecheck`` targets are ``.py`` files or
+directories: one whole-program call graph is built per invocation and the
+async-safety rules (:mod:`repro.analyze.asyncsafe`) or race-detection
+rules (:mod:`repro.analyze.racecheck`) run over it.  ``check`` is the
+umbrella: lint + asynccheck + racecheck over a single shared graph build
+(:mod:`repro.analyze.check`), findings merged and tagged per tool.
 
-Every analyzer subcommand (``lint``, ``sanitize``, ``asynccheck``) shares
-one contract: findings print as ``path:line: [rule] severity: message``
-(or a JSON document with ``--format json``), a summary goes to stderr, and
-the exit status is 0 clean / 1 findings / 2 usage error.  In-source
-suppressions (``-- lint: allow(rule)`` for SQL, ``# lint: allow(rule)``
-and ``# asyncsafe: allow(rule)`` for Python) silence individual lines.
+Every analyzer subcommand (``lint``, ``sanitize``, ``asynccheck``,
+``racecheck``, ``check``) shares one contract: findings print as
+``path:line: [rule] severity: message`` (or a JSON document with
+``--format json``), a summary goes to stderr, and the exit status is
+0 clean / 1 findings / 2 usage error.  In-source suppressions
+(``-- lint: allow(rule)`` for SQL, ``# lint: allow(rule)``,
+``# asyncsafe: allow(rule)``, and ``# racecheck: allow(rule)`` for
+Python) silence individual lines.
 """
 
 from __future__ import annotations
@@ -357,3 +362,152 @@ def asynccheck_main(argv: Optional[List[str]] = None) -> int:
         args.paths, rules=rules, suppress=not args.no_suppress
     )
     return emit_report(report, args.format)
+
+
+def racecheck_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro racecheck <file.py | directory> ...``"""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro racecheck",
+        description="Whole-program static race detection: unlocked shared "
+        "writes, inconsistent locksets, ABBA lock orders, and locals "
+        "escaping across thread boundaries.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="Python files or directories to analyze"
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text", help="output format"
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all four)",
+    )
+    parser.add_argument(
+        "--no-suppress",
+        action="store_true",
+        help="ignore '# racecheck: allow(...)' comments (audit mode)",
+    )
+    try:
+        args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+    except SystemExit as exc:
+        return EXIT_CLEAN if exc.code in (0, None) else EXIT_USAGE
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        return EXIT_USAGE
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        for path in missing:
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+        return EXIT_USAGE
+
+    from repro.analyze.racecheck import analyze_paths, default_registry
+
+    rules: Optional[List[str]] = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        known = set(default_registry().rule_ids())
+        unknown = [r for r in rules if r not in known]
+        if unknown:
+            print(
+                f"error: unknown rule(s) {unknown}; known: {sorted(known)}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+    report = analyze_paths(
+        args.paths, rules=rules, suppress=not args.no_suppress
+    )
+    return emit_report(report, args.format)
+
+
+def check_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro check <file.py | directory> ...``
+
+    Umbrella: lint + asynccheck + racecheck over one shared call-graph
+    build, merged findings, shared exit-code contract (the worst outcome
+    of the constituent tools wins: any finding → 1, usage error → 2).
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro check",
+        description="Run every static analyzer (lint, asynccheck, "
+        "racecheck) in one pass over a shared call graph.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="Python files or directories to analyze"
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text", help="output format"
+    )
+    parser.add_argument(
+        "--tools",
+        default=None,
+        help="comma-separated subset of lint,asynccheck,racecheck",
+    )
+    parser.add_argument(
+        "--no-suppress",
+        action="store_true",
+        help="ignore in-source allow() comments (audit mode)",
+    )
+    try:
+        args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+    except SystemExit as exc:
+        return EXIT_CLEAN if exc.code in (0, None) else EXIT_USAGE
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        return EXIT_USAGE
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        for path in missing:
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+        return EXIT_USAGE
+
+    from repro.analyze.check import ALL_TOOLS, run_check
+
+    tools: List[str] = list(ALL_TOOLS)
+    if args.tools:
+        tools = [t.strip() for t in args.tools.split(",") if t.strip()]
+        unknown = [t for t in tools if t not in ALL_TOOLS]
+        if unknown:
+            print(
+                f"error: unknown tool(s) {unknown}; known: {list(ALL_TOOLS)}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+    result = run_check(args.paths, tools=tools, suppress=not args.no_suppress)
+    try:
+        if args.format == "json":
+            payload = {
+                "count": len(result.report),
+                "clean": not result.report,
+                "tools": result.tool_counts,
+                "findings": [
+                    {
+                        "tool": tool,
+                        "source": f.source,
+                        "line": f.line,
+                        "rule": f.rule,
+                        "severity": f.severity,
+                        "message": f.message,
+                    }
+                    for tool, f in result.tagged
+                ],
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            output = result.report.format()
+            if output:
+                print(output)
+        per_tool = ", ".join(
+            f"{tool}: {result.tool_counts.get(tool, 0)}" for tool in tools
+        )
+        print(
+            (
+                f"{len(result.report)} finding(s) ({per_tool})"
+                if result.report
+                else f"clean: no findings ({per_tool})"
+            ),
+            file=sys.stderr,
+        )
+    except BrokenPipeError:
+        pass
+    return EXIT_FINDINGS if result.report else EXIT_CLEAN

@@ -1,0 +1,1764 @@
+"""Whole-program static race detector over the call graph.
+
+Every real data race in this engine so far — the PR 5 ``PlanCache``
+missing lock, the ``TableInfo`` scan-cache install race, the
+``ColumnTable.delete`` cache invalidation — was found by hand or by
+hammer tests after the fact.  This pass makes the bug class a lint
+failure.  It walks the :mod:`repro.analyze.callgraph` graph and reports,
+through the shared :mod:`repro.analyze.facts` framework:
+
+``unlocked-shared-write``
+    A *compound* write to an attribute of a thread-shared object with no
+    lock held, racing another write to the same attribute whose lockset
+    does not intersect.  "Compound" means the enclosing function touches
+    the same receiver more than once (check-then-act) or the write is a
+    read-modify-write (``self.count += 1``): under the GIL a *single*
+    store or ``list.append`` is atomic, so lone atomic publications are
+    deliberately not flagged (that is how the lock-free schedule recorder
+    stays clean).
+
+``inconsistent-locksets``
+    Both racing writes hold locks — but disjoint ones, so neither
+    serializes against the other.
+
+``lock-order-cycle``
+    The static lock-order graph (every acquisition made while another
+    lock is held adds an edge) contains a cycle: a potential ABBA
+    deadlock.  Complements the PR 4 *dynamic* lock-order-inversion
+    checker, which only sees orders that a recorded schedule happened to
+    exercise.
+
+``thread-escaping-local``
+    A local captured by a closure shipped across a thread boundary
+    (``submit``/``Thread(target=...)``) is written both by the child and
+    by the parent after the ship point (or by many racing children) with
+    disjoint locksets.
+
+Thread-entry roots are functions shipped across thread boundaries via
+``ThreadPoolExecutor.submit``, ``loop.run_in_executor``,
+``asyncio.to_thread`` and ``threading.Thread(target=...)`` — including
+callables that *flow through parameters* into a ship site
+(``_run_engine(fn)`` → ``run_in_executor(..., partial(fn, ...))``) and
+task collections handed to the ``exec/parallel.py`` pool helpers.
+Objects are *shared* when reachable from more than one root: receivers
+of shipped bound methods, extra shipped arguments, module-level
+singletons, and everything reachable from those through attribute types.
+
+The analysis is an *under*-approximation in the same discipline as
+PR 8: an unresolved receiver is "not shared", virtual dispatch expands
+only through abstract method bodies, writes in constructors are exempt
+(the object has not escaped yet), and a class where one method acquires
+a lock that a sibling method releases (``GlobalLockScheme.begin`` /
+``commit``) is treated as externally serialized by that lock.  The
+shipped ``src/repro`` tree analyzes clean with **zero** suppressions.
+
+Suppress single findings with ``# racecheck: allow(rule)`` (or
+``allow(*)``) on the flagged line; a suppression on line 1 silences the
+whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analyze.asyncsafe import DEFAULT_RETURNS, THREAD_LOCK_TYPES
+from repro.analyze.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    Scope,
+    _dotted_text,
+    build_callgraph,
+)
+from repro.analyze.facts import (
+    ERROR,
+    WARNING,
+    AnalysisReport,
+    Finding,
+    Rule,
+    RuleRegistry,
+    apply_suppressions,
+    parse_suppressions,
+)
+
+RULE_UNLOCKED = "unlocked-shared-write"
+RULE_INCONSISTENT = "inconsistent-locksets"
+RULE_LOCK_ORDER = "lock-order-cycle"
+RULE_ESCAPE = "thread-escaping-local"
+
+#: Call-chain hops kept per root before the walk gives up on a path.
+MAX_CHAIN_DEPTH = 16
+
+#: Safety valve on (function, lockset) states per root.
+MAX_STATES = 20000
+
+#: Container methods that mutate their receiver.  Each is one C-level
+#: call — atomic under the GIL — so they count as *atomic* writes: they
+#: race only as part of a compound group, never alone.
+MUTATING_METHODS = {
+    "append", "appendleft", "extend", "extendleft", "insert", "add",
+    "update", "setdefault", "pop", "popitem", "popleft", "remove",
+    "discard", "clear", "move_to_end", "sort", "reverse", "rotate",
+}
+
+#: Functions whose ``self`` writes are construction-phase (pre-escape).
+_CONSTRUCTORS = {"__init__", "__new__", "__post_init__"}
+
+#: Lock identity: ("attr", defining-class-qual, attr) for instance locks,
+#: ("local", function-qual, name) for function locals, ("global", module,
+#: name) for module-level locks.
+LockId = Tuple[str, str, str]
+
+
+def _lock_text(lock: LockId) -> str:
+    kind, owner, name = lock
+    return f"{owner.rsplit('.', 1)[-1]}.{name}" if kind == "attr" else name
+
+
+def _locks_text(locks: Iterable[LockId]) -> str:
+    names = sorted(_lock_text(l) for l in locks)
+    return "{" + ", ".join(names) + "}" if names else "no lock"
+
+
+def _chain_text(hops: Sequence[Tuple[str, str, int]]) -> str:
+    return " -> ".join(
+        f"{name.rsplit('.', 1)[-1]}() [{os.path.basename(path)}:{lineno}]"
+        for name, path, lineno in hops
+    )
+
+
+# --------------------------------------------------------------------------
+# Per-function summaries
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Access:
+    """One attribute access on a typed receiver."""
+
+    base: str                 # receiver base text, e.g. "self" / "cache"
+    recv_class: str           # inferred class qual (or "global:mod.name")
+    attr: str
+    write: bool
+    rmw: bool                 # read-modify-write (aug-assign)
+    lineno: int
+    locks: FrozenSet[LockId]
+    compound: bool = False    # part of a multi-access group / rmw
+
+
+@dataclass
+class NameAccess:
+    """An attribute/element access through a bare local or closure name."""
+
+    name: str
+    attr: str                 # attribute name, or "[]" for subscripts
+    write: bool
+    rmw: bool
+    lineno: int
+    locks: FrozenSet[LockId]
+    #: the subscript index references a function parameter — the
+    #: per-worker-slot pattern (``slots[worker_id] += 1``): each task
+    #: writes its own element, so sibling instances are disjoint.
+    param_index: bool = False
+
+
+@dataclass
+class SummaryCall:
+    """One call edge with the lockset held at the call site."""
+
+    targets: Tuple[str, ...]
+    recv_class: Optional[str]
+    method: Optional[str]
+    lineno: int
+    locks: FrozenSet[LockId]
+    node: ast.Call = field(repr=False, default=None)
+
+
+@dataclass
+class ShipSite:
+    """One thread-boundary crossing (submit / Thread / run_in_executor)."""
+
+    kind: str
+    lineno: int
+    many: bool                      # executor/loop ships can race themselves
+    callables: List[object] = field(default_factory=list)   # _FuncRef/_ParamRef
+    shipped_types: List[str] = field(default_factory=list)  # extra-arg classes
+
+
+@dataclass(frozen=True)
+class _FuncRef:
+    qual: str
+    recv_class: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class _ParamRef:
+    name: str
+    collection: bool = False
+
+
+@dataclass
+class FnSummary:
+    fn: FunctionInfo
+    accesses: List[Access] = field(default_factory=list)
+    name_accesses: List[NameAccess] = field(default_factory=list)
+    calls: List[SummaryCall] = field(default_factory=list)
+    acquisitions: List[Tuple[LockId, int, FrozenSet[LockId]]] = field(
+        default_factory=list
+    )
+    ships: List[ShipSite] = field(default_factory=list)
+    bound_names: Set[str] = field(default_factory=set)
+    #: locks this function acquires and never releases / releases without
+    #: acquiring — the protocol-lock inference signal.
+    acquires_unreleased: Set[LockId] = field(default_factory=set)
+    releases_unacquired: Set[LockId] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class ThreadRoot:
+    func: str
+    recv_class: Optional[str]
+    kind: str
+    site_path: str
+    site_line: int
+    many: bool
+
+    @property
+    def label(self) -> str:
+        return self.func.rsplit(".", 1)[-1]
+
+# --------------------------------------------------------------------------
+# Summary construction: one lockset-tracking walk per function body
+# --------------------------------------------------------------------------
+
+
+class _SummaryBuilder:
+    """Builds a :class:`FnSummary` with a document-order lockset scan.
+
+    ``with lock:`` blocks scope exactly; manual ``acquire``/``release``
+    pairs are tracked in document order (the same over-approximation of
+    the held region that ``asyncsafe`` uses — over-holding can only
+    *suppress* race findings, never invent them).
+    """
+
+    def __init__(self, analysis: "RaceAnalysis", fn: FunctionInfo):
+        self.analysis = analysis
+        self.graph = analysis.graph
+        self.fn = fn
+        self.scope = analysis.graph.scope_for(fn)
+        self.summary = FnSummary(fn)
+        self.with_stack: List[LockId] = []
+        self.manual: List[LockId] = []
+        self.loop_iters: Dict[str, ast.AST] = {}   # loop var -> iterable expr
+        self.local_assigns: Dict[str, ast.AST] = {}  # name -> last assigned expr
+        self.loop_depth = 0
+        self.exempt_self = fn.name in _CONSTRUCTORS
+        args = fn.node.args
+        self.param_names: Set[str] = {
+            a.arg for a in args.posonlyargs + args.args + args.kwonlyargs
+        }
+        if args.vararg:
+            self.param_names.add(args.vararg.arg)
+        if args.kwarg:
+            self.param_names.add(args.kwarg.arg)
+
+    # -- helpers -----------------------------------------------------------
+
+    def current_locks(self) -> FrozenSet[LockId]:
+        return frozenset(self.with_stack) | frozenset(self.manual)
+
+    def lock_id_of(self, expr: ast.AST) -> Optional[LockId]:
+        """Identity of a lock-typed expression, or None."""
+        if isinstance(expr, ast.Attribute):
+            recv = self.scope.infer(expr.value)
+            if recv and recv in self.graph.classes:
+                if self.graph.attr_type(recv, expr.attr) in THREAD_LOCK_TYPES:
+                    owner = self._defining_class(recv, expr.attr)
+                    return ("attr", owner, expr.attr)
+            return None
+        if isinstance(expr, ast.Name):
+            local_type = self.scope.locals.get(expr.id)
+            if local_type in THREAD_LOCK_TYPES:
+                return ("local", self.fn.qualname, expr.id)
+            if expr.id not in self.summary.bound_names:
+                module_globals = self.analysis.module_globals(self.fn.module)
+                if module_globals.get(expr.id) in THREAD_LOCK_TYPES:
+                    return ("global", self.fn.module, expr.id)
+        return None
+
+    def _defining_class(self, recv: str, attr: str) -> str:
+        for cls in self.graph.mro(recv):
+            info = self.graph.classes.get(cls)
+            if info and attr in info.attr_types:
+                return cls
+        return recv
+
+    # -- entry -------------------------------------------------------------
+
+    def build(self) -> FnSummary:
+        node = self.fn.node
+        args = node.args
+        params = [
+            a.arg
+            for a in args.posonlyargs + args.args + args.kwonlyargs
+        ]
+        if args.vararg:
+            params.append(args.vararg.arg)
+        if args.kwarg:
+            params.append(args.kwarg.arg)
+        bound = set(params)
+        nonlocals: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) and sub is not node:
+                bound.add(sub.name)
+                continue
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, (ast.Store, ast.Del)):
+                bound.add(sub.id)
+            elif isinstance(sub, (ast.Nonlocal, ast.Global)):
+                nonlocals.update(sub.names)
+        self.summary.bound_names = bound - nonlocals
+        self.visit_body(node.body)
+        # Whatever is still "manually held" at the end was acquired and
+        # never released here — the protocol-lock signal.
+        self.summary.acquires_unreleased.update(self.manual)
+        return self.summary
+
+    # -- statements --------------------------------------------------------
+
+    def visit_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.visit_stmt(stmt)
+
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquired: List[LockId] = []
+            for item in stmt.items:
+                self.visit_expr(item.context_expr)
+                lock = self.lock_id_of(item.context_expr)
+                if lock is not None:
+                    self.summary.acquisitions.append(
+                        (lock, stmt.lineno, self.current_locks())
+                    )
+                    acquired.append(lock)
+                    self.with_stack.append(lock)
+            self.visit_body(stmt.body)
+            for _ in acquired:
+                self.with_stack.pop()
+            return
+        if isinstance(stmt, ast.If):
+            self.visit_expr(stmt.test)
+            self.visit_body(stmt.body)
+            self.visit_body(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.visit_expr(stmt.iter)
+            bound_loop = None
+            if isinstance(stmt.target, ast.Name):
+                bound_loop = stmt.target.id
+                self.loop_iters[bound_loop] = stmt.iter
+            self.loop_depth += 1
+            self.visit_body(stmt.body)
+            self.loop_depth -= 1
+            self.visit_body(stmt.orelse)
+            if bound_loop is not None:
+                self.loop_iters.pop(bound_loop, None)
+            return
+        if isinstance(stmt, ast.While):
+            self.visit_expr(stmt.test)
+            self.loop_depth += 1
+            self.visit_body(stmt.body)
+            self.loop_depth -= 1
+            self.visit_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.Try):
+            self.visit_body(stmt.body)
+            for handler in stmt.handlers:
+                self.visit_body(handler.body)
+            self.visit_body(stmt.orelse)
+            self.visit_body(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Assign):
+            self.visit_expr(stmt.value)
+            for target in stmt.targets:
+                self.visit_target(target, rmw=False)
+                if isinstance(target, ast.Name):
+                    self.local_assigns[target.id] = stmt.value
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.visit_expr(stmt.value)
+                self.visit_target(stmt.target, rmw=False)
+                if isinstance(stmt.target, ast.Name):
+                    self.local_assigns[stmt.target.id] = stmt.value
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self.visit_expr(stmt.value)
+            self.visit_target(stmt.target, rmw=True)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self.visit_target(target, rmw=False)
+            return
+        if isinstance(stmt, (ast.Expr, ast.Return)):
+            if stmt.value is not None:
+                self.visit_expr(stmt.value)
+            return
+        if isinstance(stmt, (ast.Assert, ast.Raise)):
+            for attr_name in ("test", "msg", "exc", "cause"):
+                value = getattr(stmt, attr_name, None)
+                if value is not None:
+                    self.visit_expr(value)
+            return
+        # Remaining statements (Pass, Import, Global, Nonlocal, Break...)
+        # carry no expressions worth scanning.
+
+    # -- assignment targets ------------------------------------------------
+
+    def visit_target(self, target: ast.AST, rmw: bool) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.visit_target(element, rmw)
+            return
+        if isinstance(target, ast.Starred):
+            self.visit_target(target.value, rmw)
+            return
+        if isinstance(target, ast.Attribute):
+            self.record_access(target, write=True, rmw=rmw)
+            self.visit_expr(target.value)
+            return
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Attribute):
+                # ``self._entries[key] = v`` / ``del self._entries[key]``
+                # writes *through* the attribute.
+                self.record_access(base, write=True, rmw=rmw)
+                self.visit_expr(base.value)
+            elif isinstance(base, ast.Name):
+                self.record_name_access(base.id, "[]", write=True, rmw=rmw,
+                                        lineno=target.lineno,
+                                        param_index=self._slice_uses_param(
+                                            target.slice))
+            else:
+                self.visit_expr(base)
+            self.visit_expr(target.slice)
+            return
+        if isinstance(target, ast.Name) and rmw:
+            # ``x += 1`` on a closure variable (requires nonlocal).
+            self.record_name_access(target.id, "", write=True, rmw=True,
+                                    lineno=target.lineno)
+
+    # -- expressions -------------------------------------------------------
+
+    def visit_expr(self, node: ast.AST) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.Call):
+            self.handle_call(node)
+            return
+        if isinstance(node, ast.Attribute):
+            self.record_access(node, write=False, rmw=False)
+            self.visit_expr(node.value)
+            return
+        if isinstance(node, ast.Subscript):
+            base = node.value
+            if isinstance(base, ast.Attribute):
+                self.record_access(base, write=False, rmw=False)
+                self.visit_expr(base.value)
+            elif isinstance(base, ast.Name):
+                self.record_name_access(base.id, "[]", write=False,
+                                        rmw=False, lineno=node.lineno)
+            else:
+                self.visit_expr(base)
+            self.visit_expr(node.slice)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # separate execution context
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            bound_here: List[str] = []
+            for gen in node.generators:
+                self.visit_expr(gen.iter)
+                if isinstance(gen.target, ast.Name):
+                    self.loop_iters[gen.target.id] = gen.iter
+                    bound_here.append(gen.target.id)
+                for cond in gen.ifs:
+                    self.visit_expr(cond)
+            self.loop_depth += 1
+            if isinstance(node, ast.DictComp):
+                self.visit_expr(node.key)
+                self.visit_expr(node.value)
+            else:
+                self.visit_expr(node.elt)
+            self.loop_depth -= 1
+            for name in bound_here:
+                self.loop_iters.pop(name, None)
+            return
+        for child in ast.iter_child_nodes(node):
+            self.visit_expr(child)
+
+    def handle_call(self, node: ast.Call) -> None:
+        func = node.func
+        targets = self.scope.resolve_call(node)
+        # Manual lock protocol: x.acquire() / x.release().
+        if isinstance(func, ast.Attribute) and func.attr in ("acquire", "release"):
+            lock = self.lock_id_of(func.value)
+            if lock is not None:
+                if func.attr == "acquire":
+                    self.summary.acquisitions.append(
+                        (lock, node.lineno, self.current_locks())
+                    )
+                    self.manual.append(lock)
+                else:
+                    if lock in self.manual:
+                        self.manual.remove(lock)
+                    else:
+                        self.summary.releases_unacquired.add(lock)
+                for arg in node.args:
+                    self.visit_expr(arg)
+                return
+        recv_class = None
+        method = None
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            recv_class = self.scope.infer(func.value)
+            known_method = bool(
+                recv_class
+                and recv_class in self.graph.classes
+                and self.graph.resolve_method(recv_class, func.attr)
+                in self.graph.functions
+            )
+            if not known_method:
+                # Unresolved method on an attribute / name receiver: model
+                # it as a container access (``self._entries.move_to_end``).
+                inner = func.value
+                if isinstance(inner, ast.Attribute):
+                    self.record_access(
+                        inner,
+                        write=func.attr in MUTATING_METHODS,
+                        rmw=False,
+                    )
+                    self.visit_expr(inner.value)
+                elif isinstance(inner, ast.Name):
+                    self.record_name_access(
+                        inner.id,
+                        func.attr,
+                        write=func.attr in MUTATING_METHODS,
+                        rmw=False,
+                        lineno=node.lineno,
+                    )
+                else:
+                    self.visit_expr(inner)
+            else:
+                self.visit_expr(func.value)
+        if targets:
+            self.summary.calls.append(
+                SummaryCall(
+                    targets=targets,
+                    recv_class=recv_class,
+                    method=method,
+                    lineno=node.lineno,
+                    locks=self.current_locks(),
+                    node=node,
+                )
+            )
+        self.detect_ship(node, targets)
+        for arg in node.args:
+            self.visit_expr(arg)
+        for keyword in node.keywords:
+            self.visit_expr(keyword.value)
+
+    # -- accesses ----------------------------------------------------------
+
+    def record_access(self, node: ast.Attribute, write: bool, rmw: bool) -> None:
+        base = node.value
+        recv = self.scope.infer(base)
+        if recv and recv in self.graph.classes:
+            # Method references are call plumbing, not state accesses; lock
+            # attributes are modeled as locksets, not data.
+            if self.graph.resolve_method(recv, node.attr) in self.graph.functions:
+                return
+            if self.graph.attr_type(recv, node.attr) in THREAD_LOCK_TYPES:
+                return
+            base_text = _dotted_text(base) or "<expr>"
+            if self.exempt_self and base_text.split(".")[0] == "self":
+                return
+            self.summary.accesses.append(
+                Access(
+                    base=base_text,
+                    recv_class=recv,
+                    attr=node.attr,
+                    write=write,
+                    rmw=rmw,
+                    lineno=node.lineno,
+                    locks=self.current_locks(),
+                )
+            )
+            return
+        if isinstance(base, ast.Name):
+            self.record_name_access(
+                base.id, node.attr, write=write, rmw=rmw, lineno=node.lineno
+            )
+
+    def _slice_uses_param(self, slice_node: ast.AST) -> bool:
+        return any(
+            isinstance(sub, ast.Name) and sub.id in self.param_names
+            for sub in ast.walk(slice_node)
+        )
+
+    def record_name_access(
+        self,
+        name: str,
+        attr: str,
+        write: bool,
+        rmw: bool,
+        lineno: int,
+        param_index: bool = False,
+    ) -> None:
+        self.summary.name_accesses.append(
+            NameAccess(
+                name=name,
+                attr=attr,
+                write=write,
+                rmw=rmw,
+                lineno=lineno,
+                locks=self.current_locks(),
+                param_index=param_index,
+            )
+        )
+
+    # -- thread-boundary ships --------------------------------------------
+
+    def detect_ship(self, node: ast.Call, targets: Tuple[str, ...]) -> None:
+        func = node.func
+        trailing = (
+            func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        kind = None
+        callable_exprs: List[ast.AST] = []
+        extra_exprs: List[ast.AST] = []
+        if trailing == "submit" and node.args:
+            kind, many = "submit", True
+            callable_exprs.append(node.args[0])
+            extra_exprs.extend(node.args[1:])
+            extra_exprs.extend(kw.value for kw in node.keywords)
+        elif trailing == "run_in_executor" and len(node.args) >= 2:
+            kind, many = "run_in_executor", True
+            callable_exprs.append(node.args[1])
+            extra_exprs.extend(node.args[2:])
+        elif trailing == "to_thread" and node.args:
+            kind, many = "to_thread", True
+            callable_exprs.append(node.args[0])
+            extra_exprs.extend(node.args[1:])
+        elif "threading.Thread" in targets or trailing == "Thread":
+            kind, many = "Thread", self.loop_depth > 0
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    callable_exprs.append(keyword.value)
+                elif keyword.arg == "args" and isinstance(
+                    keyword.value, (ast.Tuple, ast.List)
+                ):
+                    extra_exprs.extend(keyword.value.elts)
+                elif keyword.arg == "kwargs" and isinstance(keyword.value, ast.Dict):
+                    extra_exprs.extend(keyword.value.values)
+        if kind is None:
+            return
+        ship = ShipSite(kind=kind, lineno=node.lineno, many=many)
+        for expr in callable_exprs:
+            refs, extras = self.resolve_callable(expr)
+            ship.callables.extend(refs)
+            extra_exprs.extend(extras)
+        for expr in extra_exprs:
+            shipped = self.scope.infer(expr)
+            if shipped and shipped in self.graph.classes:
+                ship.shipped_types.append(shipped)
+        self.summary.ships.append(ship)
+
+    def resolve_callable(self, expr: ast.AST):
+        """Resolve a shipped-callable expression.
+
+        Returns ``(refs, extra_shipped_exprs)`` where refs are
+        :class:`_FuncRef` / :class:`_ParamRef` entries.  Unresolvable
+        shapes produce nothing (under-approximation).
+        """
+        refs: List[object] = []
+        extras: List[ast.AST] = []
+        if isinstance(expr, ast.Call):
+            inner_targets = self.scope.resolve_call(expr)
+            if any(t.endswith("functools.partial") or t == "partial"
+                   for t in inner_targets) and expr.args:
+                inner_refs, inner_extras = self.resolve_callable(expr.args[0])
+                refs.extend(inner_refs)
+                extras.extend(inner_extras)
+                extras.extend(expr.args[1:])
+                extras.extend(kw.value for kw in expr.keywords)
+            else:
+                # ``submit(make(spec))``: whatever ``make`` can return.
+                for target in inner_targets:
+                    for qual in self.analysis.callable_returns(target):
+                        refs.append(_FuncRef(qual))
+                for arg in expr.args:
+                    sub_refs, _ = self.resolve_callable(arg)
+                    refs.extend(r for r in sub_refs if isinstance(r, _FuncRef))
+            return refs, extras
+        if isinstance(expr, ast.Lambda):
+            # Treat every resolvable call in the lambda body as a root.
+            for sub in ast.walk(expr.body):
+                if isinstance(sub, ast.Call):
+                    for qual in self.scope.resolve_call(sub):
+                        if qual in self.graph.functions:
+                            recv = None
+                            if isinstance(sub.func, ast.Attribute):
+                                recv = self.scope.infer(sub.func.value)
+                            refs.append(_FuncRef(qual, recv))
+            return refs, extras
+        if isinstance(expr, ast.Name):
+            params = self._param_names()
+            if expr.id in self.loop_iters:
+                sub_refs, sub_extras = self.resolve_collection(
+                    self.loop_iters[expr.id]
+                )
+                return sub_refs, sub_extras
+            if expr.id in params:
+                refs.append(_ParamRef(expr.id))
+                return refs, extras
+            resolved = self.scope.resolve_name(expr.id)
+            if resolved and resolved in self.graph.functions:
+                refs.append(_FuncRef(resolved))
+            return refs, extras
+        if isinstance(expr, ast.Attribute):
+            recv = self.scope.infer(expr.value)
+            if recv and recv in self.graph.classes:
+                target = self.graph.resolve_method(recv, expr.attr)
+                if target in self.graph.functions:
+                    refs.append(_FuncRef(target, recv))
+            return refs, extras
+        return refs, extras
+
+    def resolve_collection(self, expr: ast.AST):
+        """Resolve an iterable-of-callables expression (task lists)."""
+        refs: List[object] = []
+        extras: List[ast.AST] = []
+        if isinstance(expr, ast.Name):
+            params = self._param_names()
+            if expr.id in params:
+                return [_ParamRef(expr.id, collection=True)], extras
+            assigned = self.local_assigns.get(expr.id)
+            if assigned is not None and assigned is not expr:
+                return self.resolve_collection(assigned)
+            return refs, extras
+        if isinstance(expr, (ast.List, ast.Tuple)):
+            for element in expr.elts:
+                sub_refs, sub_extras = self.resolve_callable(element)
+                refs.extend(sub_refs)
+                extras.extend(sub_extras)
+            return refs, extras
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            return self.resolve_callable(expr.elt)
+        if isinstance(expr, ast.Call):
+            for target in self.scope.resolve_call(expr):
+                for qual in self.analysis.callable_returns(target):
+                    refs.append(_FuncRef(qual))
+            return refs, extras
+        return refs, extras
+
+    def _param_names(self) -> Set[str]:
+        args = self.fn.node.args
+        names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+        return names
+
+
+# --------------------------------------------------------------------------
+# Whole-program analysis
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Ctx:
+    """One (thread root, access) pairing with the locks held on the path."""
+
+    root: ThreadRoot
+    access: Access
+    func: str
+    locks: FrozenSet[LockId]
+    state: Tuple
+
+
+class RaceAnalysis:
+    """Shared computation behind all four racecheck rules."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self._module_globals: Dict[str, Dict[str, Optional[str]]] = {}
+        self._callable_returns: Dict[str, FrozenSet[str]] = {}
+        self._class_extra_types: Dict[str, Set[str]] = {}
+        self.summaries: Dict[str, FnSummary] = {}
+        for qual, fn in graph.functions.items():
+            try:
+                self.summaries[qual] = _SummaryBuilder(self, fn).build()
+            except RecursionError:  # pathological nesting: skip the function
+                self.summaries[qual] = FnSummary(fn)
+        self.protocol_locks = self._infer_protocol_locks()
+        self._apply_ambient_locks()
+        self._mark_compound()
+        self.roots = self._compute_roots()
+        self.shared = self._compute_shared()
+        self.contexts: Dict[str, List[_Ctx]] = {}
+        self.order_edges: Dict[Tuple[LockId, LockId], Tuple] = {}
+        self._states: Dict[Tuple, Tuple] = {}
+        self._propagate()
+        self.race_findings = self._detect_races()
+        self.order_findings = self._detect_order_cycles()
+        self.escape_findings = self._detect_escaping_locals()
+
+    # -- small caches ------------------------------------------------------
+
+    def module_globals(self, module_name: str) -> Dict[str, Optional[str]]:
+        """Module-level ``NAME = <expr>`` bindings → inferred type quals."""
+        cached = self._module_globals.get(module_name)
+        if cached is not None:
+            return cached
+        result: Dict[str, Optional[str]] = {}
+        module = self.graph.modules.get(module_name)
+        if module is not None:
+            scope = Scope(self.graph, module)
+            for stmt in module.tree.body:
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    if isinstance(target, ast.Name):
+                        if isinstance(stmt.value, (ast.Dict, ast.List, ast.Set)):
+                            result[target.id] = "container"
+                        else:
+                            result[target.id] = scope.infer(stmt.value)
+        self._module_globals[module_name] = result
+        return result
+
+    def callable_returns(self, qual: str, _depth: int = 0) -> FrozenSet[str]:
+        """Function qualnames that calling ``qual`` may hand back (task
+        factories: ``make(spec)`` → the nested closure it returns)."""
+        cached = self._callable_returns.get(qual)
+        if cached is not None:
+            return cached
+        if _depth > 4 or qual not in self.graph.functions:
+            return frozenset()
+        self._callable_returns[qual] = frozenset()  # cycle guard
+        fn = self.graph.functions[qual]
+        scope = self.graph.scope_for(fn)
+        found: Set[str] = set()
+        for sub in ast.walk(fn.node):
+            if not isinstance(sub, ast.Return) or sub.value is None:
+                continue
+            value = sub.value
+            if isinstance(value, ast.Name):
+                resolved = scope.resolve_name(value.id)
+                if resolved in self.graph.functions:
+                    found.add(resolved)
+            elif isinstance(value, ast.Call):
+                for target in scope.resolve_call(value):
+                    found.update(self.callable_returns(target, _depth + 1))
+                for arg in value.args:
+                    if isinstance(arg, ast.Name):
+                        resolved = scope.resolve_name(arg.id)
+                        if resolved in self.graph.functions:
+                            found.add(resolved)
+        self._callable_returns[qual] = frozenset(found)
+        return self._callable_returns[qual]
+
+    def _class_qual(self, fn: FunctionInfo) -> Optional[str]:
+        return f"{fn.module}.{fn.class_name}" if fn.class_name else None
+
+    def _is_abstract(self, qual: str) -> bool:
+        fn = self.graph.functions.get(qual)
+        if fn is None:
+            return False
+        body = list(fn.node.body)
+        if body and isinstance(body[0], ast.Expr) and isinstance(
+            body[0].value, ast.Constant
+        ) and isinstance(body[0].value.value, str):
+            body = body[1:]
+        if len(body) != 1:
+            return False
+        stmt = body[0]
+        if isinstance(stmt, ast.Pass):
+            return True
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            return stmt.value.value is Ellipsis
+        if isinstance(stmt, ast.Raise) and stmt.exc is not None:
+            exc = stmt.exc
+            name = exc.func if isinstance(exc, ast.Call) else exc
+            return _dotted_text(name) == "NotImplementedError"
+        return False
+
+    def _expand_virtual(self, qual: str) -> List[str]:
+        """A call target, plus subclass overrides when it is abstract."""
+        targets = [qual] if qual in self.graph.functions else []
+        if targets and self._is_abstract(qual):
+            fn = self.graph.functions[qual]
+            owner = self._class_qual(fn)
+            if owner:
+                targets.extend(self.graph.overrides_of(owner, fn.name))
+        return targets
+
+    # -- protocol locks ----------------------------------------------------
+
+    def _infer_protocol_locks(self) -> Dict[str, FrozenSet[LockId]]:
+        """Locks acquired in one method and released in a sibling method
+        (``GlobalLockScheme.begin`` / ``commit``): the class is externally
+        serialized by that lock, so all its methods run under it."""
+        acquirers: Dict[Tuple[str, LockId], bool] = {}
+        releasers: Dict[Tuple[str, LockId], bool] = {}
+        for summary in self.summaries.values():
+            owner = self._class_qual(summary.fn)
+            if owner is None:
+                continue
+            for lock in summary.acquires_unreleased:
+                acquirers[(owner, lock)] = True
+            for lock in summary.releases_unacquired:
+                releasers[(owner, lock)] = True
+        protocol: Dict[str, Set[LockId]] = {}
+        for (owner, lock) in acquirers:
+            if (owner, lock) in releasers:
+                protocol.setdefault(owner, set()).add(lock)
+        return {owner: frozenset(locks) for owner, locks in protocol.items()}
+
+    def _ambient_for(self, fn: FunctionInfo) -> FrozenSet[LockId]:
+        owner = self._class_qual(fn)
+        if owner is None:
+            return frozenset()
+        held: Set[LockId] = set()
+        for cls in self.graph.mro(owner):
+            held.update(self.protocol_locks.get(cls, ()))
+        return frozenset(held)
+
+    def _apply_ambient_locks(self) -> None:
+        for summary in self.summaries.values():
+            ambient = self._ambient_for(summary.fn)
+            if not ambient:
+                continue
+            for access in summary.accesses:
+                access.locks = access.locks | ambient
+            for name_access in summary.name_accesses:
+                name_access.locks = name_access.locks | ambient
+            for call in summary.calls:
+                call.locks = call.locks | ambient
+
+    def _mark_compound(self) -> None:
+        """A write is *compound* when it is an RMW, or the function already
+        touched the same receiver base at an earlier (or the same) line — a
+        check-then-act window.  A lone atomic publish followed by a later
+        read (``buffer.append(x); return len(buffer)``) is not a window:
+        nothing the writer decided depends on stale shared state."""
+        for summary in self.summaries.values():
+            lines: Dict[str, List[int]] = {}
+            for access in summary.accesses:
+                lines.setdefault(access.base, []).append(access.lineno)
+            for access in summary.accesses:
+                earlier = sum(
+                    1
+                    for lineno in lines[access.base]
+                    if lineno < access.lineno
+                )
+                same_line = sum(
+                    1
+                    for lineno in lines[access.base]
+                    if lineno == access.lineno
+                )
+                access.compound = access.rmw or earlier >= 1 or same_line >= 2
+
+    # -- thread roots ------------------------------------------------------
+
+    def _compute_roots(self) -> Dict[Tuple[str, Optional[str]], ThreadRoot]:
+        roots: Dict[Tuple[str, Optional[str]], ThreadRoot] = {}
+        ship_params: Dict[Tuple[str, str], Tuple[bool, bool]] = {}
+
+        def add_root(ref: _FuncRef, kind: str, path: str, line: int, many: bool):
+            for qual in self._expand_virtual(ref.qual):
+                fn = self.graph.functions[qual]
+                recv = ref.recv_class
+                owner = self._class_qual(fn)
+                if recv and owner and recv != owner:
+                    # Virtual expansion: attribute the root to the class
+                    # that actually defines the override.
+                    recv = owner if self.graph.is_subclass(owner, recv) else recv
+                key = (qual, recv)
+                if key not in roots:
+                    roots[key] = ThreadRoot(qual, recv, kind, path, line, many)
+                elif many and not roots[key].many:
+                    roots[key] = ThreadRoot(qual, recv, kind, path, line, True)
+
+        # Seed: direct ship sites.
+        for summary in self.summaries.values():
+            for ship in summary.ships:
+                for ref in ship.callables:
+                    if isinstance(ref, _FuncRef):
+                        add_root(ref, ship.kind, summary.fn.path, ship.lineno,
+                                 ship.many)
+                    elif isinstance(ref, _ParamRef):
+                        key = (summary.fn.qualname, ref.name)
+                        ship_params[key] = (ref.collection, True)
+
+        # Fixpoint: callables flowing through parameters into ship sites.
+        changed = True
+        iterations = 0
+        while changed and iterations < 20:
+            changed = False
+            iterations += 1
+            for summary in self.summaries.values():
+                fn = summary.fn
+                for call in summary.calls:
+                    if call.node is None:
+                        continue
+                    expanded: List[str] = []
+                    for target in call.targets:
+                        expanded.extend(self._expand_virtual(target))
+                    for target in expanded:
+                        callee = self.graph.functions[target]
+                        hits = [
+                            (param, ship_params[(target, param)])
+                            for param in self._params_of(callee)
+                            if (target, param) in ship_params
+                        ]
+                        if not hits:
+                            continue
+                        builder = _SummaryBuilder(self, fn)
+                        builder.summary = summary
+                        for param, (collection, many) in hits:
+                            arg = self._arg_for(call.node, callee, param)
+                            if arg is None:
+                                continue
+                            if collection:
+                                refs, _ = builder.resolve_collection(arg)
+                            else:
+                                refs, _ = builder.resolve_callable(arg)
+                            for ref in refs:
+                                if isinstance(ref, _FuncRef):
+                                    before = len(roots)
+                                    add_root(ref, "shipped-param", fn.path,
+                                             call.lineno, many)
+                                    if len(roots) != before:
+                                        changed = True
+                                elif isinstance(ref, _ParamRef):
+                                    key = (fn.qualname, ref.name)
+                                    value = (ref.collection or collection, many)
+                                    if ship_params.get(key) != value:
+                                        ship_params[key] = value
+                                        changed = True
+        self.ship_params = ship_params
+        return roots
+
+    def _params_of(self, fn: FunctionInfo) -> List[str]:
+        args = fn.node.args
+        return [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+
+    def _arg_for(
+        self, call: ast.Call, callee: FunctionInfo, param: str
+    ) -> Optional[ast.AST]:
+        for keyword in call.keywords:
+            if keyword.arg == param:
+                return keyword.value
+        params = self._params_of(callee)
+        try:
+            index = params.index(param)
+        except ValueError:
+            return None
+        # A bound-method call (``self._run_engine(fn)``) does not spell the
+        # ``self`` argument out; shift positional matching by one.
+        if isinstance(call.func, ast.Attribute) and params and params[0] in (
+            "self", "cls"
+        ):
+            index -= 1
+        if 0 <= index < len(call.args):
+            arg = call.args[index]
+            return None if isinstance(arg, ast.Starred) else arg
+        return None
+
+    # -- escape analysis ---------------------------------------------------
+
+    def _compute_shared(self) -> Set[str]:
+        shared: Set[str] = set()
+        pending: List[str] = []
+
+        def add(qual: Optional[str]) -> None:
+            if qual and qual in self.graph.classes and qual not in shared:
+                shared.add(qual)
+                pending.append(qual)
+
+        for root in self.roots.values():
+            add(root.recv_class)
+            # A root that is a method runs with some instance of its class
+            # as ``self`` on the child thread: the class is shared.
+            fn = self.graph.functions.get(root.func)
+            if fn is not None:
+                add(self._class_qual(fn))
+            # Objects the root reaches through *free* names — closure
+            # captures or module globals — live outside the task and are
+            # shared with every other instance of the root.
+            summary = self.summaries.get(root.func)
+            if summary is not None:
+                for access in summary.accesses:
+                    base_head = access.base.split(".", 1)[0].split("[", 1)[0]
+                    if base_head not in summary.bound_names:
+                        add(access.recv_class)
+                for call in summary.calls:
+                    if call.recv_class is None or call.node is None:
+                        continue
+                    func_expr = call.node.func
+                    if isinstance(func_expr, ast.Attribute) and isinstance(
+                        func_expr.value, ast.Name
+                    ):
+                        if func_expr.value.id not in summary.bound_names:
+                            add(call.recv_class)
+        for summary in self.summaries.values():
+            for ship in summary.ships:
+                for shipped in ship.shipped_types:
+                    add(shipped)
+        # Module-level singletons of known classes.
+        for module_name in self.graph.modules:
+            for type_qual in self.module_globals(module_name).values():
+                add(type_qual)
+
+        while pending:
+            qual = pending.pop()
+            # Attribute types across the MRO, superclasses, and subclasses.
+            for cls in self.graph.mro(qual):
+                add(cls)
+                info = self.graph.classes.get(cls)
+                if info:
+                    for attr_type in info.attr_types.values():
+                        add(attr_type)
+            for sub in self.graph.subclasses_of(qual):
+                add(sub)
+            for extra in self._extra_class_types(qual):
+                add(extra)
+        return shared
+
+    def _extra_class_types(self, qual: str) -> Set[str]:
+        """Class names embedded in a class's annotations and container
+        stores (``Dict[str, TableInfo]``; ``self.tables[n] = TableInfo(...)``)."""
+        cached = self._class_extra_types.get(qual)
+        if cached is not None:
+            return cached
+        found: Set[str] = set()
+        info = self.graph.classes.get(qual)
+        node = _class_node(self.graph, qual) if info else None
+        if node is not None:
+            module = self.graph.modules[info.module]
+            scope = Scope(self.graph, module, qual)
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.AnnAssign) and sub.annotation is not None:
+                    found.update(_annotation_classes(sub.annotation, scope))
+            for method in node.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                method_qual = info.methods.get(method.name)
+                method_fn = (
+                    self.graph.functions.get(method_qual) if method_qual else None
+                )
+                method_scope = (
+                    self.graph.scope_for(method_fn) if method_fn else scope
+                )
+                for sub in ast.walk(method):
+                    if isinstance(sub, ast.Assign):
+                        for target in sub.targets:
+                            if isinstance(target, ast.Subscript) and isinstance(
+                                target.value, ast.Attribute
+                            ):
+                                element = method_scope.infer(sub.value)
+                                if element:
+                                    found.add(element)
+        self._class_extra_types[qual] = found
+        return found
+
+    def _is_shared(self, recv_class: str) -> bool:
+        if recv_class.startswith("global:"):
+            return True
+        return recv_class in self.shared
+
+    # -- interprocedural propagation --------------------------------------
+
+    def _propagate(self) -> None:
+        for key in sorted(self.roots):
+            root = self.roots[key]
+            self._walk_root(root)
+
+    def _walk_root(self, root: ThreadRoot) -> None:
+        start = (root, root.func, frozenset())
+        queue: List[Tuple] = [start]
+        self._states[(root, root.func, frozenset())] = None
+        depths = {start: 0}
+        while queue:
+            state = queue.pop(0)
+            _, func, entry = state
+            depth = depths[state]
+            summary = self.summaries.get(func)
+            if summary is None:
+                continue
+            for access in summary.accesses:
+                if not self._is_shared(access.recv_class):
+                    continue
+                self.contexts.setdefault(access.attr, []).append(
+                    _Ctx(root, access, func, entry | access.locks, state)
+                )
+            for lock, lineno, held_before in summary.acquisitions:
+                held = entry | held_before
+                for prior in held:
+                    if prior != lock:
+                        edge = (prior, lock)
+                        if edge not in self.order_edges:
+                            self.order_edges[edge] = (
+                                summary.fn.path, lineno, root, state
+                            )
+            if depth >= MAX_CHAIN_DEPTH or len(self._states) >= MAX_STATES:
+                continue
+            for call in summary.calls:
+                callee_entry = entry | call.locks
+                expanded: List[str] = []
+                for target in call.targets:
+                    expanded.extend(self._expand_virtual(target))
+                for target in expanded:
+                    if self.graph.functions[target].name in _CONSTRUCTORS:
+                        continue  # fresh objects are private to their creator
+                    next_state = (root, target, callee_entry)
+                    if next_state in self._states:
+                        continue
+                    self._states[next_state] = (state, call.lineno,
+                                                summary.fn.path)
+                    depths[next_state] = depth + 1
+                    queue.append(next_state)
+
+    def _chain_for(self, state: Tuple) -> str:
+        hops: List[Tuple[str, str, int]] = []
+        current = state
+        while current is not None:
+            parent = self._states.get(current)
+            _, func, _ = current
+            if parent is None:
+                root = current[0]
+                hops.append((func, root.site_path, root.site_line))
+                break
+            parent_state, lineno, path = parent
+            hops.append((func, path, lineno))
+            current = parent_state
+        return _chain_text(list(reversed(hops)))
+
+    # -- race detection ----------------------------------------------------
+
+    def _compatible(self, a: _Ctx, b: _Ctx) -> bool:
+        """Could these two accesses hit the same object?
+
+        Instance-insensitive guardrails: receiver classes must be related
+        (equal or sub/superclass), and method contexts in *unrelated*
+        classes are assumed to operate on disjoint instance populations
+        (a ``TransactionHandle`` mutated by ``MVCCScheme.write`` never
+        meets one owned by ``GlobalLockScheme``)."""
+        ra, rb = a.access.recv_class, b.access.recv_class
+        if ra.startswith("global:") or rb.startswith("global:"):
+            return ra == rb
+        if not (
+            ra == rb
+            or self.graph.is_subclass(ra, rb)
+            or self.graph.is_subclass(rb, ra)
+        ):
+            return False
+        fa = self.graph.functions.get(a.func)
+        fb = self.graph.functions.get(b.func)
+        ca = self._class_qual(fa) if fa else None
+        cb = self._class_qual(fb) if fb else None
+        if ca and cb:
+            return (
+                ca == cb
+                or self.graph.is_subclass(ca, cb)
+                or self.graph.is_subclass(cb, ca)
+            )
+        return True
+
+    def _races(self, a: _Ctx, b: _Ctx) -> bool:
+        if a.root == b.root and not a.root.many:
+            return False
+        if a.locks & b.locks:
+            return False
+        return self._compatible(a, b)
+
+    def _detect_races(self) -> List[Tuple[str, str, str, int]]:
+        findings: List[Tuple[str, str, str, int]] = []
+        emitted: Set[Tuple[str, int, str]] = set()
+        for attr in sorted(self.contexts):
+            ctxs = sorted(
+                self.contexts[attr],
+                key=lambda c: (c.access.lineno, c.func, sorted(c.locks)),
+            )
+            writes = [c for c in ctxs if c.access.write]
+            if not writes:
+                continue
+            for candidate in writes:
+                if not candidate.access.compound:
+                    continue
+                access = candidate.access
+                path = self.summaries[candidate.func].fn.path
+                rule = RULE_UNLOCKED if not candidate.locks else RULE_INCONSISTENT
+                key = (path, access.lineno, rule)
+                if key in emitted:
+                    continue
+                witness = next(
+                    (w for w in writes if self._races(candidate, w)), None
+                )
+                if witness is None:
+                    continue
+                emitted.add(key)
+                recv_name = access.recv_class.rsplit(".", 1)[-1]
+                w_access = witness.access
+                w_path = self.summaries[witness.func].fn.path
+                same_site = (
+                    w_path == path and w_access.lineno == access.lineno
+                )
+                if rule == RULE_UNLOCKED:
+                    how = "with no lock held"
+                else:
+                    how = f"under {_locks_text(candidate.locks)}"
+                if same_site:
+                    race_with = (
+                        f"races with itself: thread root "
+                        f"'{witness.root.label}' runs many times concurrently"
+                    )
+                else:
+                    race_with = (
+                        f"races with the write at "
+                        f"{os.path.basename(w_path)}:{w_access.lineno} under "
+                        f"{_locks_text(witness.locks)} (reached via "
+                        f"{self._chain_for(witness.state)})"
+                    )
+                findings.append(
+                    (
+                        rule,
+                        f"shared attribute '{recv_name}.{access.attr}' is "
+                        f"written {how}; reached from thread root "
+                        f"'{candidate.root.label}' "
+                        f"({candidate.root.kind} at "
+                        f"{os.path.basename(candidate.root.site_path)}:"
+                        f"{candidate.root.site_line}) via "
+                        f"{self._chain_for(candidate.state)}; {race_with}",
+                        path,
+                        access.lineno,
+                    )
+                )
+        return findings
+
+    # -- lock-order cycles -------------------------------------------------
+
+    def _detect_order_cycles(self) -> List[Tuple[str, str, str, int]]:
+        graph: Dict[LockId, List[LockId]] = {}
+        for (src, dst) in self.order_edges:
+            graph.setdefault(src, []).append(dst)
+            graph.setdefault(dst, [])
+        # Find one witness cycle per strongly connected component.
+        index_counter = [0]
+        stack: List[LockId] = []
+        lowlink: Dict[LockId, int] = {}
+        index: Dict[LockId, int] = {}
+        on_stack: Dict[LockId, bool] = {}
+        components: List[List[LockId]] = []
+
+        def strongconnect(node: LockId) -> None:
+            work = [(node, iter(graph[node]))]
+            index[node] = lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack[node] = True
+            while work:
+                current, successors = work[-1]
+                advanced = False
+                for successor in successors:
+                    if successor not in index:
+                        index[successor] = lowlink[successor] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(successor)
+                        on_stack[successor] = True
+                        work.append((successor, iter(graph[successor])))
+                        advanced = True
+                        break
+                    if on_stack.get(successor):
+                        lowlink[current] = min(lowlink[current], index[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[current])
+                if lowlink[current] == index[current]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == current:
+                            break
+                    if len(component) > 1:
+                        components.append(component)
+
+        for node in sorted(graph):
+            if node not in index:
+                strongconnect(node)
+
+        findings: List[Tuple[str, str, str, int]] = []
+        for component in components:
+            member_set = set(component)
+            internal = sorted(
+                (
+                    (edge, witness)
+                    for edge, witness in self.order_edges.items()
+                    if edge[0] in member_set and edge[1] in member_set
+                ),
+                key=lambda item: (item[1][0], item[1][1]),
+            )
+            if not internal:
+                continue
+            (src, dst), (path, lineno, root, state) = internal[0]
+            order_text = " -> ".join(
+                _lock_text(lock) for lock in sorted(member_set)
+            )
+            reverse = next(
+                (
+                    witness
+                    for edge, witness in internal
+                    if edge == (dst, src)
+                ),
+                None,
+            )
+            detail = ""
+            if reverse is not None:
+                detail = (
+                    f"; the reverse order is taken at "
+                    f"{os.path.basename(reverse[0])}:{reverse[1]}"
+                )
+            findings.append(
+                (
+                    RULE_LOCK_ORDER,
+                    f"lock-order cycle between {order_text}: "
+                    f"'{_lock_text(dst)}' is acquired while "
+                    f"'{_lock_text(src)}' is held (from thread root "
+                    f"'{root.label}' via {self._chain_for(state)})"
+                    f"{detail}; two threads taking these locks in opposite "
+                    "orders can deadlock (ABBA)",
+                    path,
+                    lineno,
+                )
+            )
+        return findings
+
+    # -- escaping locals ---------------------------------------------------
+
+    def _is_nested_in(self, child_qual: str, parent_qual: str) -> bool:
+        current = self.graph.functions.get(child_qual)
+        while current is not None and current.enclosing is not None:
+            if current.enclosing == parent_qual:
+                return True
+            current = self.graph.functions.get(current.enclosing)
+        return False
+
+    def _free_name_accesses(self, summary: FnSummary) -> List[NameAccess]:
+        return [
+            access
+            for access in summary.name_accesses
+            if access.name not in summary.bound_names
+        ]
+
+    def _rebind_local_locks(
+        self, locks: FrozenSet[LockId], child: FnSummary, owner_qual: str
+    ) -> FrozenSet[LockId]:
+        """A closure's lock on a *free* name is the enclosing function's
+        lock object — rename it so parent/child locksets can intersect."""
+        rebound: Set[LockId] = set()
+        for lock in locks:
+            kind, holder, name = lock
+            if kind == "local" and holder == child.fn.qualname and (
+                name not in child.bound_names
+            ):
+                rebound.add(("local", owner_qual, name))
+            else:
+                rebound.add(lock)
+        return frozenset(rebound)
+
+    def _detect_escaping_locals(self) -> List[Tuple[str, str, str, int]]:
+        findings: List[Tuple[str, str, str, int]] = []
+        emitted: Set[Tuple[str, int]] = set()
+        for qual in sorted(self.summaries):
+            summary = self.summaries[qual]
+            if not summary.ships:
+                continue
+            for ship in summary.ships:
+                for ref in ship.callables:
+                    if not isinstance(ref, _FuncRef):
+                        continue
+                    if not self._is_nested_in(ref.qual, qual):
+                        continue
+                    child = self.summaries.get(ref.qual)
+                    if child is None:
+                        continue
+                    self._check_escape_pair(
+                        summary, ship, child, findings, emitted
+                    )
+        return findings
+
+    def _check_escape_pair(
+        self,
+        parent: FnSummary,
+        ship: ShipSite,
+        child: FnSummary,
+        findings: List,
+        emitted: Set,
+    ) -> None:
+        parent_qual = parent.fn.qualname
+        child_writes: Dict[str, List[NameAccess]] = {}
+        child_all: Dict[str, int] = {}
+        for access in self._free_name_accesses(child):
+            child_all[access.name] = child_all.get(access.name, 0) + 1
+            if access.write:
+                child_writes.setdefault(access.name, []).append(access)
+        if not child_writes:
+            return
+        parent_post = [
+            access
+            for access in parent.name_accesses
+            if access.lineno > ship.lineno
+        ]
+        parent_counts: Dict[str, int] = {}
+        for access in parent.name_accesses:
+            parent_counts[access.name] = parent_counts.get(access.name, 0) + 1
+        for name, writes in sorted(child_writes.items()):
+            child_compound = child_all.get(name, 0) >= 2 or any(
+                w.rmw for w in writes
+            )
+            # Child vs child: many racing instances of the same closure.
+            if ship.many:
+                for write in writes:
+                    if write.param_index:
+                        # Per-worker slot (``slots[worker_id] += 1``):
+                        # each instance writes its own element.
+                        continue
+                    locks = self._rebind_local_locks(
+                        write.locks, child, parent_qual
+                    )
+                    if not locks and (child_compound or write.rmw):
+                        key = (child.fn.path, write.lineno)
+                        if key not in emitted:
+                            emitted.add(key)
+                            findings.append(
+                                (
+                                    RULE_ESCAPE,
+                                    f"'{name}' is captured by "
+                                    f"'{child.fn.name}' and shipped across a "
+                                    f"thread boundary ({ship.kind} at "
+                                    f"{os.path.basename(parent.fn.path)}:"
+                                    f"{ship.lineno}, many instances); the "
+                                    f"closure writes it with no lock held, "
+                                    "racing its sibling instances",
+                                    child.fn.path,
+                                    write.lineno,
+                                )
+                            )
+                        break
+            # Parent (after the ship point) vs child.
+            for parent_access in parent_post:
+                if parent_access.name != name or not parent_access.write:
+                    continue
+                parent_compound = (
+                    parent_counts.get(name, 0) >= 2 or parent_access.rmw
+                )
+                if not (child_compound or parent_compound):
+                    continue
+                disjoint = not any(
+                    self._rebind_local_locks(w.locks, child, parent_qual)
+                    & parent_access.locks
+                    for w in writes
+                )
+                if not disjoint:
+                    continue
+                key = (parent.fn.path, parent_access.lineno)
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                child_line = writes[0].lineno
+                findings.append(
+                    (
+                        RULE_ESCAPE,
+                        f"'{name}' escapes to thread '{child.fn.name}' "
+                        f"({ship.kind} at line {ship.lineno}) which writes "
+                        f"it at {os.path.basename(child.fn.path)}:"
+                        f"{child_line}; this write after the ship point "
+                        "holds no common lock with the child's writes",
+                        parent.fn.path,
+                        parent_access.lineno,
+                    )
+                )
+                break
+
+
+# --------------------------------------------------------------------------
+# Module-level helpers
+# --------------------------------------------------------------------------
+
+
+def _class_node(graph: CallGraph, class_qual: str) -> Optional[ast.ClassDef]:
+    info = graph.classes.get(class_qual)
+    if info is None:
+        return None
+    module = graph.modules.get(info.module)
+    if module is None:
+        return None
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and node.name == info.name:
+            if node.lineno == info.lineno:
+                return node
+    return None
+
+
+def _annotation_classes(ann: ast.AST, scope: Scope) -> Set[str]:
+    """Known classes named anywhere inside an annotation expression
+    (``Dict[str, TableInfo]`` → ``{...TableInfo}``)."""
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            ann = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return set()
+    found: Set[str] = set()
+    for node in ast.walk(ann):
+        dotted = None
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = _dotted_text(node)
+        if not dotted:
+            continue
+        head, _, rest = dotted.partition(".")
+        resolved = scope.resolve_name(head)
+        if resolved is None:
+            continue
+        qual = f"{resolved}.{rest}" if rest else resolved
+        if qual in scope.graph.classes:
+            found.add(qual)
+    return found
+
+
+# --------------------------------------------------------------------------
+# Rules and entry points
+# --------------------------------------------------------------------------
+
+
+class _RaceRule(Rule):
+    """All racecheck rules draw from one shared :class:`RaceAnalysis`."""
+
+    def _pull(self, analysis: RaceAnalysis, pool) -> Iterable[Finding]:
+        for rule_id, message, path, lineno in pool:
+            if rule_id == self.id:
+                yield self.finding(message, path, lineno)
+
+
+class UnlockedSharedWriteRule(_RaceRule):
+    id = RULE_UNLOCKED
+    severity = ERROR
+    description = (
+        "a compound write to thread-shared state happens with no lock "
+        "held while another thread writes the same attribute"
+    )
+
+    def check(self, analysis: RaceAnalysis, context) -> Iterable[Finding]:
+        return self._pull(analysis, analysis.race_findings)
+
+
+class InconsistentLocksetsRule(_RaceRule):
+    id = RULE_INCONSISTENT
+    severity = ERROR
+    description = (
+        "two writes to the same shared attribute hold disjoint locksets: "
+        "neither serializes against the other"
+    )
+
+    def check(self, analysis: RaceAnalysis, context) -> Iterable[Finding]:
+        return self._pull(analysis, analysis.race_findings)
+
+
+class LockOrderCycleRule(_RaceRule):
+    id = RULE_LOCK_ORDER
+    severity = WARNING
+    description = (
+        "the static lock-order graph contains a cycle: two threads taking "
+        "the locks in opposite orders can deadlock (ABBA)"
+    )
+
+    def check(self, analysis: RaceAnalysis, context) -> Iterable[Finding]:
+        return self._pull(analysis, analysis.order_findings)
+
+
+class ThreadEscapingLocalRule(_RaceRule):
+    id = RULE_ESCAPE
+    severity = ERROR
+    description = (
+        "a local captured by a thread-shipped closure is written by both "
+        "sides of the thread boundary with disjoint locksets"
+    )
+
+    def check(self, analysis: RaceAnalysis, context) -> Iterable[Finding]:
+        return self._pull(analysis, analysis.escape_findings)
+
+
+def default_registry(rules: Optional[Sequence[str]] = None) -> RuleRegistry:
+    registry = RuleRegistry()
+    for rule in (
+        UnlockedSharedWriteRule(),
+        InconsistentLocksetsRule(),
+        LockOrderCycleRule(),
+        ThreadEscapingLocalRule(),
+    ):
+        if rules is None or rule.id in rules:
+            registry.register(rule)
+    return registry
+
+
+def analyze_graph(
+    graph: CallGraph,
+    rules: Optional[Sequence[str]] = None,
+    suppress: bool = True,
+) -> AnalysisReport:
+    """Run the race-detection rules over an already-built graph."""
+    analysis = RaceAnalysis(graph)
+    findings = default_registry(rules).run(analysis, None)
+    if suppress:
+        by_source: Dict[str, List[Finding]] = {}
+        for finding in findings:
+            by_source.setdefault(finding.source, []).append(finding)
+        sources = {m.path: m.source for m in graph.modules.values()}
+        kept: List[Finding] = []
+        for source_path, group in by_source.items():
+            text = sources.get(source_path)
+            if text is None:
+                kept.extend(group)
+                continue
+            kept.extend(
+                apply_suppressions(
+                    group, parse_suppressions(text, tool="racecheck")
+                )
+            )
+        findings = kept
+    report = AnalysisReport()
+    report.extend(sorted(findings, key=lambda f: (f.source, f.line, f.rule)))
+    return report
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[str]] = None,
+    suppress: bool = True,
+) -> AnalysisReport:
+    """Build the call graph for ``paths`` and run every racecheck rule."""
+    graph = build_callgraph(paths, returns=DEFAULT_RETURNS)
+    return analyze_graph(graph, rules=rules, suppress=suppress)

@@ -273,7 +273,8 @@ class TwoPLScheme(ConcurrencyScheme):
         if append is not None:
             append((txn.txn_id, COMMIT, None, None))
         self.locks.release_all(txn.txn_id)
-        self.commits += 1
+        with self._store_lock:  # counters are read-modify-write shared state
+            self.commits += 1
 
     def abort(self, txn: TransactionHandle) -> None:
         if not txn.active:
@@ -288,7 +289,8 @@ class TwoPLScheme(ConcurrencyScheme):
                 self.recorder.record(txn.txn_id, trace.ABORT)
         txn.active = False
         self.locks.release_all(txn.txn_id)
-        self.aborts += 1
+        with self._store_lock:
+            self.aborts += 1
 
 
 @dataclass

@@ -1,9 +1,12 @@
 """The unified analyzer CLI contract: exit codes and ``--format json``.
 
-Every analyzer subcommand (``lint``, ``sanitize``, ``asynccheck``) honors
-the same status convention — 0 clean, 1 findings, 2 usage error — and
-emits a machine-parseable document under ``--format json``.  These tests
-pin the contract so a refactor of any one CLI can't silently drift.
+Every analyzer subcommand (``lint``, ``sanitize``, ``asynccheck``,
+``racecheck``, and the ``check`` umbrella) honors the same status
+convention — 0 clean, 1 findings, 2 usage error — and emits a
+machine-parseable document under ``--format json``.  These tests pin the
+contract so a refactor of any one CLI can't silently drift; ``check``
+additionally tags each merged finding with the tool that produced it and
+must build the shared call graph exactly once.
 """
 
 from __future__ import annotations
@@ -18,7 +21,9 @@ from repro.analyze.cli import (
     EXIT_FINDINGS,
     EXIT_USAGE,
     asynccheck_main,
+    check_main,
     extract_format_flag,
+    racecheck_main,
 )
 from repro.analyze.cli import main as lint_main
 from repro.analyze.sanitize_cli import main as sanitize_main
@@ -142,3 +147,114 @@ class TestSanitizeCli:
                 assert payload["count"] >= 1
                 return
         pytest.skip("no anomalous interleaving in the first 40 seeds")
+
+
+RACE_FIXTURES = os.path.join(REPO_ROOT, "tests", "fixtures", "racecheck")
+
+
+class TestRacecheckCli:
+    def test_clean_path_exits_zero(self, capsys):
+        clean = os.path.join(RACE_FIXTURES, "clean_unlocked_write.py")
+        assert racecheck_main([clean]) == EXIT_CLEAN
+
+    def test_findings_exit_one(self, capsys):
+        bad = os.path.join(RACE_FIXTURES, "bad_unlocked_write.py")
+        assert racecheck_main([bad]) == EXIT_FINDINGS
+
+    def test_no_args_is_usage_error(self, capsys):
+        assert racecheck_main([]) == EXIT_USAGE
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert racecheck_main(["no/such/dir"]) == EXIT_USAGE
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert (
+            racecheck_main(["--rules", "bogus", RACE_FIXTURES]) == EXIT_USAGE
+        )
+
+    def test_no_suppress_flag_reveals_suppressed(self, capsys):
+        allowed = os.path.join(RACE_FIXTURES, "suppressed_allow.py")
+        assert racecheck_main([allowed]) == EXIT_CLEAN
+        assert racecheck_main(["--no-suppress", allowed]) == EXIT_FINDINGS
+
+    def test_json_output_parses(self, capsys):
+        bad = os.path.join(RACE_FIXTURES, "bad_lock_order.py")
+        code = racecheck_main(["--format", "json", bad])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == EXIT_FINDINGS
+        assert payload["clean"] is False
+        assert all(
+            f["rule"] == "lock-order-cycle" for f in payload["findings"]
+        )
+
+    def test_text_findings_name_rules_in_brackets(self, capsys):
+        bad = os.path.join(RACE_FIXTURES, "bad_inconsistent_locks.py")
+        racecheck_main([bad])
+        out = capsys.readouterr().out
+        assert "[inconsistent-locksets]" in out
+
+
+class TestCheckCli:
+    def test_clean_path_exits_zero(self, capsys):
+        clean = os.path.join(RACE_FIXTURES, "clean_unlocked_write.py")
+        assert check_main([clean]) == EXIT_CLEAN
+
+    def test_any_tool_finding_exits_one(self, capsys):
+        bad = os.path.join(RACE_FIXTURES, "bad_unlocked_write.py")
+        assert check_main([bad]) == EXIT_FINDINGS
+
+    def test_no_args_is_usage_error(self, capsys):
+        assert check_main([]) == EXIT_USAGE
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert check_main(["no/such/dir"]) == EXIT_USAGE
+
+    def test_unknown_tool_is_usage_error(self, capsys):
+        assert (
+            check_main(["--tools", "bogus", RACE_FIXTURES]) == EXIT_USAGE
+        )
+
+    def test_merged_json_tags_findings_with_tool(self, capsys):
+        bad_race = os.path.join(RACE_FIXTURES, "bad_unlocked_write.py")
+        bad_async = os.path.join(ASYNC_FIXTURES, "bad_task_leak.py")
+        code = check_main(["--format", "json", bad_race, bad_async])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == EXIT_FINDINGS
+        assert set(payload["tools"]) == {"lint", "asynccheck", "racecheck"}
+        tools_seen = {f["tool"] for f in payload["findings"]}
+        assert {"asynccheck", "racecheck"} <= tools_seen
+        for finding in payload["findings"]:
+            assert {
+                "tool",
+                "source",
+                "line",
+                "rule",
+                "severity",
+                "message",
+            } <= set(finding)
+
+    def test_tool_subset_runs_only_requested(self, capsys):
+        bad_race = os.path.join(RACE_FIXTURES, "bad_unlocked_write.py")
+        code = check_main(
+            ["--format", "json", "--tools", "asynccheck", bad_race]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == EXIT_CLEAN
+        assert set(payload["tools"]) == {"asynccheck"}
+
+    def test_shared_graph_is_built_once(self, monkeypatch):
+        import repro.analyze.check as check_module
+
+        calls = []
+        real_build = check_module.build_callgraph
+
+        def counting_build(*args, **kwargs):
+            calls.append(args)
+            return real_build(*args, **kwargs)
+
+        monkeypatch.setattr(check_module, "build_callgraph", counting_build)
+        bad = os.path.join(RACE_FIXTURES, "bad_unlocked_write.py")
+        result = check_module.run_check([bad])
+        assert len(calls) == 1
+        assert result.graph is not None
+        assert result.tool_counts["racecheck"] >= 1

@@ -1,0 +1,438 @@
+"""Static race detector: fixture corpus, seeded historical races, self-clean.
+
+Fixture expectations are pinned to exact lines via ``# MARK: <name>``
+comments (same convention as the asyncsafe suite).  The two seeded-broken
+tests rewrite the *real* ``core/plancache.py`` and ``catalog/catalog.py``
+in memory — stripping the ``with self._lock:`` blocks that PR 5 added —
+and assert racecheck flags the reintroduced races at their exact lines
+with full thread-root→access call chains.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+import pytest
+
+from repro.analyze.callgraph import build_callgraph
+from repro.analyze.racecheck import (
+    RaceAnalysis,
+    analyze_graph,
+    analyze_paths,
+    default_registry,
+)
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+FIXTURES = os.path.join(REPO_ROOT, "tests", "fixtures", "racecheck")
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+def mark_line(path: str, marker: str) -> int:
+    """1-based line number of the ``# MARK: <marker>`` comment."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if f"MARK: {marker}" in line:
+                return lineno
+    raise AssertionError(f"marker {marker!r} not found in {path}")
+
+
+def findings_for(path: str, **kwargs):
+    return analyze_paths([path], **kwargs).sorted()
+
+
+def lines_for_rule(path: str, rule: str, **kwargs):
+    return sorted(
+        f.line for f in findings_for(path, **kwargs) if f.rule == rule
+    )
+
+
+class TestUnlockedSharedWrite:
+    RULE = "unlocked-shared-write"
+
+    def test_bad_fixture_flags_exact_line(self):
+        path = fixture("bad_unlocked_write.py")
+        assert lines_for_rule(path, self.RULE) == [
+            mark_line(path, "unlocked-write")
+        ]
+
+    def test_finding_carries_root_and_chain(self):
+        path = fixture("bad_unlocked_write.py")
+        finding = findings_for(path)[0]
+        assert "Counter.value" in finding.message
+        assert "thread root 'bump'" in finding.message
+        assert "bump()" in finding.message
+        # Chain hops are file:line formatted.
+        assert "bad_unlocked_write.py:" in finding.message
+
+    def test_clean_fixture_has_no_findings(self):
+        assert findings_for(fixture("clean_unlocked_write.py")) == []
+
+
+class TestInconsistentLocksets:
+    RULE = "inconsistent-locksets"
+
+    def test_bad_fixture_flags_both_sides(self):
+        path = fixture("bad_inconsistent_locks.py")
+        assert lines_for_rule(path, self.RULE) == sorted(
+            mark_line(path, m)
+            for m in ("inconsistent-put", "inconsistent-drop")
+        )
+
+    def test_message_names_both_locks(self):
+        path = fixture("bad_inconsistent_locks.py")
+        put = next(
+            f
+            for f in findings_for(path)
+            if f.line == mark_line(path, "inconsistent-put")
+        )
+        assert "Registry.lock_a" in put.message
+        assert "Registry.lock_b" in put.message
+
+    def test_clean_fixture_has_no_findings(self):
+        assert findings_for(fixture("clean_inconsistent_locks.py")) == []
+
+
+class TestLockOrderCycle:
+    RULE = "lock-order-cycle"
+
+    def test_bad_fixture_flags_cycle_as_warning(self):
+        path = fixture("bad_lock_order.py")
+        findings = [f for f in findings_for(path) if f.rule == self.RULE]
+        assert [f.line for f in findings] == [mark_line(path, "abba-forward")]
+        assert all(f.severity == "warning" for f in findings)
+        assert "ABBA" in findings[0].message
+        assert "Transfer.lock_a" in findings[0].message
+        assert "Transfer.lock_b" in findings[0].message
+
+    def test_bad_fixture_raises_no_data_race(self):
+        # Every write holds both locks: the fixture isolates the order rule.
+        assert lines_for_rule(
+            fixture("bad_lock_order.py"), "unlocked-shared-write"
+        ) == []
+
+    def test_clean_fixture_has_no_findings(self):
+        assert findings_for(fixture("clean_lock_order.py")) == []
+
+
+class TestThreadEscapingLocal:
+    RULE = "thread-escaping-local"
+
+    def test_bad_fixture_flags_exact_line(self):
+        path = fixture("bad_escaping_local.py")
+        assert lines_for_rule(path, self.RULE) == [
+            mark_line(path, "escaping-write")
+        ]
+
+    def test_message_names_capture_and_boundary(self):
+        finding = findings_for(fixture("bad_escaping_local.py"))[0]
+        assert "'stats'" in finding.message
+        assert "worker" in finding.message
+        assert "submit" in finding.message
+
+    def test_clean_fixture_has_no_findings(self):
+        # Locked captured writes AND per-worker-slot writes both pass.
+        assert findings_for(fixture("clean_escaping_local.py")) == []
+
+
+class TestSuppressions:
+    def test_allow_comment_silences_the_line(self):
+        assert findings_for(fixture("suppressed_allow.py")) == []
+
+    def test_no_suppress_reveals_the_finding(self):
+        path = fixture("suppressed_allow.py")
+        assert lines_for_rule(
+            path, "unlocked-shared-write", suppress=False
+        ) != []
+
+
+def _strip_self_lock(source: str) -> str:
+    """Inline every ``with self._lock:`` body — reverting the PR 5 fixes."""
+
+    class StripSelfLock(ast.NodeTransformer):
+        def visit_With(self, node):
+            self.generic_visit(node)
+            if len(node.items) == 1:
+                ctx = node.items[0].context_expr
+                if ast.unparse(ctx) == "self._lock":
+                    return node.body
+            return node
+
+    tree = StripSelfLock().visit(ast.parse(source))
+    ast.fix_missing_locations(tree)
+    return ast.unparse(tree)
+
+
+def _line_of(source: str, needle: str, after: str = "") -> int:
+    """Line of the first ``needle`` occurrence (optionally after a marker)."""
+    lines = source.splitlines()
+    start = 0
+    if after:
+        start = next(
+            i for i, text in enumerate(lines) if after in text
+        )
+    return next(
+        lineno
+        for lineno, text in enumerate(lines[start:], start=start + 1)
+        if needle in text
+    )
+
+
+class TestSeededHistoricalRaces:
+    """The two real races this codebase shipped and fixed, reintroduced."""
+
+    PLAN_DRIVER = """
+from concurrent.futures import ThreadPoolExecutor
+from plancache import PlanCache
+
+def hammer(cache: PlanCache, entry):
+    def reader():
+        cache.get("q", 1, 1, ())
+    def writer():
+        cache.put("q", entry)
+    with ThreadPoolExecutor(4) as pool:
+        for _ in range(16):
+            pool.submit(reader)
+            pool.submit(writer)
+"""
+
+    SCAN_DRIVER = """
+from concurrent.futures import ThreadPoolExecutor
+from catalog import TableInfo
+
+def hammer(table: TableInfo):
+    def scanner():
+        for _ in table.scan():
+            pass
+    def writer():
+        table.insert((1, "x"))
+    with ThreadPoolExecutor(4) as pool:
+        for _ in range(8):
+            pool.submit(scanner)
+            pool.submit(writer)
+"""
+
+    def _seeded_report(self, tmp_path, module: str, stripped: str, driver: str):
+        (tmp_path / f"{module}.py").write_text(stripped)
+        (tmp_path / "driver.py").write_text(driver)
+        return analyze_paths([str(tmp_path)]).sorted()
+
+    def test_plancache_without_lock_is_flagged_at_exact_lines(self, tmp_path):
+        source_path = os.path.join(SRC_REPRO, "core", "plancache.py")
+        with open(source_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        assert "with self._lock:" in source, (
+            "plancache.py no longer matches the PR 5 fix shape"
+        )
+        stripped = _strip_self_lock(source)
+        findings = self._seeded_report(
+            tmp_path, "plancache", stripped, self.PLAN_DRIVER
+        )
+        flagged = {
+            f.line for f in findings if f.rule == "unlocked-shared-write"
+        }
+        # The LRU reorder in get() and the insert+evict in put() both
+        # mutate the OrderedDict with no lock held.
+        get_reorder = _line_of(stripped, "._entries.move_to_end", "def get")
+        put_insert = _line_of(
+            stripped, "._entries.move_to_end", "def put"
+        )
+        assert get_reorder in flagged
+        assert put_insert in flagged
+        witness = next(
+            f for f in findings if f.line == get_reorder
+        )
+        # Full chain from the thread root to the access, file:line per hop.
+        assert "thread root 'reader'" in witness.message
+        assert "driver.py:" in witness.message
+        assert "reader()" in witness.message
+
+    def test_scan_cache_install_without_lock_is_flagged(self, tmp_path):
+        source_path = os.path.join(SRC_REPRO, "catalog", "catalog.py")
+        with open(source_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        assert "with self._lock:" in source, (
+            "catalog.py no longer matches the scan-cache fix shape"
+        )
+        stripped = _strip_self_lock(source)
+        findings = self._seeded_report(
+            tmp_path, "catalog", stripped, self.SCAN_DRIVER
+        )
+        flagged = {
+            f.line for f in findings if f.rule == "unlocked-shared-write"
+        }
+        install = _line_of(stripped, "self._scan_cache = pairs")
+        assert install in flagged
+        witness = next(f for f in findings if f.line == install)
+        assert "thread root 'scanner'" in witness.message
+        assert "scan()" in witness.message
+        # The racing writer is named with its own chain.
+        assert "_note_write" in witness.message
+
+    def test_pristine_modules_analyze_clean(self, tmp_path):
+        for module, driver in (
+            ("plancache", self.PLAN_DRIVER),
+            ("catalog", self.SCAN_DRIVER),
+        ):
+            sub = tmp_path / module
+            sub.mkdir()
+            rel = {
+                "plancache": os.path.join("core", "plancache.py"),
+                "catalog": os.path.join("catalog", "catalog.py"),
+            }[module]
+            with open(os.path.join(SRC_REPRO, rel), "r") as handle:
+                (sub / f"{module}.py").write_text(handle.read())
+            (sub / "driver.py").write_text(driver)
+            findings = analyze_paths([str(sub)]).sorted()
+            assert findings == [], (
+                f"pristine {module} should be race-free: {findings}"
+            )
+
+
+class TestWholeCorpusAndPackage:
+    def test_fixture_directory_hits_all_four_rules(self):
+        report = analyze_paths([FIXTURES])
+        assert report.rules_hit() == {
+            "unlocked-shared-write",
+            "inconsistent-locksets",
+            "lock-order-cycle",
+            "thread-escaping-local",
+        }
+
+    def test_src_repro_is_clean(self):
+        # The acceptance gate CI enforces: the real package analyzes clean.
+        assert analyze_paths([SRC_REPRO]).sorted() == []
+
+    def test_src_repro_has_zero_racecheck_suppressions(self):
+        # "Clean" must not come from allow() comments: audit mode agrees.
+        assert analyze_paths([SRC_REPRO], suppress=False).sorted() == []
+
+    def test_rule_subset_selection(self):
+        report = analyze_paths([FIXTURES], rules=["lock-order-cycle"])
+        assert report.rules_hit() == {"lock-order-cycle"}
+
+    def test_registry_ids_are_stable(self):
+        assert default_registry().rule_ids() == [
+            "unlocked-shared-write",
+            "inconsistent-locksets",
+            "lock-order-cycle",
+            "thread-escaping-local",
+        ]
+
+    def test_analyze_graph_reuses_prebuilt_graph(self):
+        from repro.analyze.asyncsafe import DEFAULT_RETURNS
+
+        graph = build_callgraph(
+            [fixture("bad_unlocked_write.py")], returns=DEFAULT_RETURNS
+        )
+        report = analyze_graph(graph)
+        assert report.rules_hit() == {"unlocked-shared-write"}
+
+
+class TestAnalysisInternals:
+    def test_thread_roots_found_for_all_ship_shapes(self, tmp_path):
+        target = tmp_path / "ships.py"
+        target.write_text(
+            """
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+def task_a():
+    pass
+
+def task_b():
+    pass
+
+def task_c():
+    pass
+
+def task_d():
+    pass
+
+def run(loop):
+    with ThreadPoolExecutor(2) as pool:
+        pool.submit(task_a)
+    loop.run_in_executor(None, task_b)
+    asyncio.to_thread(task_c)
+    threading.Thread(target=task_d).start()
+"""
+        )
+        graph = build_callgraph([str(target)])
+        analysis = RaceAnalysis(graph)
+        names = {root.func.rsplit(".", 1)[-1] for root in analysis.roots.values()}
+        assert {"task_a", "task_b", "task_c", "task_d"} <= names
+
+    def test_single_thread_ship_is_not_many(self, tmp_path):
+        target = tmp_path / "single.py"
+        target.write_text(
+            """
+import threading
+
+def job_single():
+    pass
+
+def job_looped():
+    pass
+
+def run():
+    threading.Thread(target=job_single).start()
+    for _ in range(4):
+        threading.Thread(target=job_looped).start()
+"""
+        )
+        graph = build_callgraph([str(target)])
+        analysis = RaceAnalysis(graph)
+        many = {
+            root.func.rsplit(".", 1)[-1]: root.many
+            for root in analysis.roots.values()
+        }
+        assert many["job_single"] is False
+        assert many["job_looped"] is True
+
+    def test_unresolved_receiver_underapproximates_to_clean(self, tmp_path):
+        # `thing` is a per-task argument of unknown type: statically we
+        # cannot prove two tasks ever see the same object, so the access
+        # must NOT be flagged (under-approximation discipline).
+        target = tmp_path / "mystery.py"
+        target.write_text(
+            """
+from concurrent.futures import ThreadPoolExecutor
+
+def worker(thing):
+    thing.count = thing.count + 1
+
+def run(things):
+    with ThreadPoolExecutor(4) as pool:
+        for thing in things:
+            pool.submit(worker, thing)
+"""
+        )
+        assert analyze_paths([str(target)]).sorted() == []
+
+    def test_captured_unknown_object_is_still_escape_checked(self, tmp_path):
+        # Capture, unlike typing, is structural: a closure writing an
+        # attribute of a captured object races its siblings regardless of
+        # whether the object's class resolves.
+        target = tmp_path / "captured.py"
+        target.write_text(
+            """
+from concurrent.futures import ThreadPoolExecutor
+
+def run(make):
+    mystery = make()
+
+    def worker():
+        mystery.count = mystery.count + 1
+
+    with ThreadPoolExecutor(4) as pool:
+        for _ in range(8):
+            pool.submit(worker)
+"""
+        )
+        findings = analyze_paths([str(target)]).sorted()
+        assert [f.rule for f in findings] == ["thread-escaping-local"]

@@ -1,0 +1,23 @@
+"""thread-escaping-local: ``stats`` is a local of ``tally`` captured by
+the nested ``worker`` closure, which is then shipped to a pool many times.
+Each instance does an unlocked check-then-act on the same shared slot,
+racing its siblings (lost updates on ``stats["n"]``)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def tally(items):
+    stats = {"n": 0}
+
+    def worker(item):
+        observe(item)
+        stats["n"] = stats["n"] + 1  # MARK: escaping-write
+
+    with ThreadPoolExecutor(4) as pool:
+        for item in items:
+            pool.submit(worker, item)
+    return stats
+
+
+def observe(item):
+    return item

@@ -1,0 +1,32 @@
+"""inconsistent-locksets: both writers are disciplined about taking *a*
+lock — just not the same one, so neither serializes against the other.
+``put`` guards the registry with ``lock_a`` while ``drop`` guards it with
+``lock_b``."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Registry:
+    def __init__(self):
+        self.lock_a = threading.Lock()
+        self.lock_b = threading.Lock()
+        self.items = {}
+
+    def put(self, key):
+        with self.lock_a:
+            if key not in self.items:
+                self.items[key] = 1  # MARK: inconsistent-put
+
+    def drop(self, key):
+        with self.lock_b:
+            if key in self.items:
+                del self.items[key]  # MARK: inconsistent-drop
+
+
+def run():
+    registry = Registry()
+    with ThreadPoolExecutor(2) as pool:
+        for key in ("a", "b", "c"):
+            pool.submit(registry.put, key)
+            pool.submit(registry.drop, key)

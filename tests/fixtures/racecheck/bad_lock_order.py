@@ -1,0 +1,31 @@
+"""lock-order-cycle: ``forward`` takes ``lock_a`` then ``lock_b``;
+``backward`` takes them in the opposite order.  Two threads running one of
+each can deadlock (ABBA).  Every write holds both locks, so this fixture
+isolates the order rule — no data-race finding should fire here."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Transfer:
+    def __init__(self):
+        self.lock_a = threading.Lock()
+        self.lock_b = threading.Lock()
+        self.total = 0
+
+    def forward(self):
+        with self.lock_a:
+            with self.lock_b:  # MARK: abba-forward
+                self.total += 1
+
+    def backward(self):
+        with self.lock_b:
+            with self.lock_a:  # MARK: abba-backward
+                self.total -= 1
+
+
+def run():
+    transfer = Transfer()
+    with ThreadPoolExecutor(2) as pool:
+        pool.submit(transfer.forward)
+        pool.submit(transfer.backward)

@@ -1,0 +1,24 @@
+"""unlocked-shared-write: a compound write to thread-shared state with no
+lock held.  ``bump`` reads the counter and writes it back — a classic lost
+update once many pool tasks run it concurrently.  The lock exists but is
+never taken on the hot path."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Counter:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        self.value = self.value + 1  # MARK: unlocked-write
+
+
+def run(rounds: int) -> int:
+    counter = Counter()
+    with ThreadPoolExecutor(4) as pool:
+        for _ in range(rounds):
+            pool.submit(counter.bump)
+    return counter.value

@@ -1,0 +1,33 @@
+"""Clean counterparts to ``bad_escaping_local``: the first closure guards
+its captured-slot writes with a lock that is itself captured from the
+enclosing scope; the second writes a per-worker slot indexed by its own
+task argument (disjoint by construction)."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+def tally(items):
+    stats = {"n": 0}
+    guard = threading.Lock()
+
+    def worker(item):
+        with guard:
+            stats["n"] = stats["n"] + 1
+
+    with ThreadPoolExecutor(4) as pool:
+        for item in items:
+            pool.submit(worker, item)
+    return stats
+
+
+def tally_slots(count):
+    slots = [0] * count
+
+    def worker(worker_id):
+        slots[worker_id] = slots[worker_id] + 1
+
+    with ThreadPoolExecutor(4) as pool:
+        for worker_id in range(count):
+            pool.submit(worker, worker_id)
+    return sum(slots)

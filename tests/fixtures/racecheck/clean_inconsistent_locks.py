@@ -1,0 +1,29 @@
+"""Clean counterpart to ``bad_inconsistent_locks``: both writers agree on
+one lock, so every pair of racing accessors intersects on it."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Registry:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.items = {}
+
+    def put(self, key):
+        with self.lock:
+            if key not in self.items:
+                self.items[key] = 1
+
+    def drop(self, key):
+        with self.lock:
+            if key in self.items:
+                del self.items[key]
+
+
+def run():
+    registry = Registry()
+    with ThreadPoolExecutor(2) as pool:
+        for key in ("a", "b", "c"):
+            pool.submit(registry.put, key)
+            pool.submit(registry.drop, key)

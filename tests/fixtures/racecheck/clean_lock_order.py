@@ -1,0 +1,30 @@
+"""Clean counterpart to ``bad_lock_order``: both paths take the locks in
+the same global order (``lock_a`` before ``lock_b``), so the static
+lock-order graph is acyclic."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Transfer:
+    def __init__(self):
+        self.lock_a = threading.Lock()
+        self.lock_b = threading.Lock()
+        self.total = 0
+
+    def forward(self):
+        with self.lock_a:
+            with self.lock_b:
+                self.total += 1
+
+    def backward(self):
+        with self.lock_a:
+            with self.lock_b:
+                self.total -= 1
+
+
+def run():
+    transfer = Transfer()
+    with ThreadPoolExecutor(2) as pool:
+        pool.submit(transfer.forward)
+        pool.submit(transfer.backward)

@@ -1,0 +1,24 @@
+"""Clean counterpart to ``bad_unlocked_write``: the same compound
+read-modify-write, but every access holds ``self.lock`` so all racing
+accessors intersect on it."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Counter:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        with self.lock:
+            self.value = self.value + 1
+
+
+def run(rounds: int) -> int:
+    counter = Counter()
+    with ThreadPoolExecutor(4) as pool:
+        for _ in range(rounds):
+            pool.submit(counter.bump)
+    return counter.value

@@ -1,0 +1,24 @@
+"""The documented escape hatch: a real unlocked compound write that the
+author has judged benign (the counter is advisory and a lost update is
+acceptable), silenced with a per-line ``# racecheck: allow(<rule>)``
+comment.  This file must analyze clean *because of* the suppression."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Telemetry:
+    def __init__(self):
+        # Advisory progress counter: occasional lost updates are fine and
+        # a lock here would serialize the hot path for a debug number.
+        self.samples = 0
+
+    def observe(self):
+        self.samples = self.samples + 1  # racecheck: allow(unlocked-shared-write)
+
+
+def run(rounds: int) -> int:
+    telemetry = Telemetry()
+    with ThreadPoolExecutor(4) as pool:
+        for _ in range(rounds):
+            pool.submit(telemetry.observe)
+    return telemetry.samples

@@ -17,16 +17,20 @@ Two checks, both motivated by real failure modes in this codebase:
   bare in a sibling method is a data race waiting for a schedule
   (:func:`repro.analyze.concurrency.check_latch_coverage`).  Helpers that
   run under a caller's latch opt out with a ``_locked`` name suffix.
-* **async-safety** — each lint root is also fed through the whole-program
-  call-graph analyzer (:mod:`repro.analyze.asyncsafe`): event-loop
-  blocking reachable from coroutines, threading locks held across
-  ``await``, missing awaits, and unawaited-task leaks.  The PR 7 wedge (a
-  blocking ``scheme.begin()`` on the loop) is now a lint failure here, not
-  a production hang.
+* **whole-program analyzers** — each lint root is also fed through the
+  shared umbrella runner (:func:`repro.analyze.check.run_check`), which
+  builds ONE call graph per root and hands it to both the async-safety
+  analyzer (:mod:`repro.analyze.asyncsafe`: event-loop blocking reachable
+  from coroutines, locks held across ``await``, missing awaits, task
+  leaks) and the static race detector (:mod:`repro.analyze.racecheck`:
+  unlocked shared writes, inconsistent locksets, ABBA lock orders,
+  thread-escaping locals).  The PR 7 wedge (a blocking ``scheme.begin()``
+  on the loop) and the PR 5 PlanCache race class are lint failures here,
+  not production hangs.
 
 Findings suppress with a trailing ``# lint: allow(rule)`` comment on the
-flagged line, same syntax as the SQL linter; the async-safety pass uses
-``# asyncsafe: allow(rule)``.
+flagged line, same syntax as the SQL linter; the whole-program passes use
+``# asyncsafe: allow(rule)`` and ``# racecheck: allow(rule)``.
 
 Usage: ``python tools/lint_repro.py [dir ...]`` (default: ``src``).
 Prints ``path:line: [rule] message`` per finding; exit 1 if any.
@@ -138,31 +142,32 @@ def lint_file(path: str) -> List[Finding]:
     ]
 
 
-def _asyncsafe_findings(root: str) -> List[Finding]:
-    """Whole-program async-safety pass over one lint root.
+def _analyzer_findings(root: str) -> List[Finding]:
+    """Whole-program passes (async-safety + race detection) over one root.
 
-    Built as a single call graph per root (cross-module reachability needs
-    every file at once); suppressions (`# asyncsafe: allow(rule)`) are
-    applied inside the analyzer.
+    Driven through the umbrella runner so the call graph is built ONCE per
+    root (cross-module reachability needs every file at once) and shared
+    by both analyzers; suppressions (`# asyncsafe: allow(rule)`,
+    `# racecheck: allow(rule)`) are applied inside the analyzers.
     """
-    from repro.analyze.asyncsafe import analyze_paths
+    from repro.analyze.check import run_check
 
+    result = run_check([root], tools=("asynccheck", "racecheck"))
     return [
-        (f.source, f.line, f.rule, f.message)
-        for f in analyze_paths([root]).sorted()
+        (f.source, f.line, f.rule, f.message) for f in result.report.sorted()
     ]
 
 
 def lint_tree(root: str) -> List[Finding]:
     if os.path.isfile(root):
-        return lint_file(root) + _asyncsafe_findings(root)
+        return lint_file(root) + _analyzer_findings(root)
     findings: List[Finding] = []
     for dirpath, dirnames, filenames in os.walk(root):
         dirnames[:] = sorted(d for d in dirnames if not d.startswith((".", "__pycache__")))
         for name in sorted(filenames):
             if name.endswith(".py"):
                 findings.extend(lint_file(os.path.join(dirpath, name)))
-    findings.extend(_asyncsafe_findings(root))
+    findings.extend(_analyzer_findings(root))
     return findings
 
 
