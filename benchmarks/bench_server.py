@@ -1,22 +1,33 @@
 """Wire-protocol server throughput/latency benchmark → BENCH_server.json.
 
-Simulates 100 and 1000 concurrent clients against one
-:class:`~repro.net.server.DatabaseServer` and reports TPS plus latency
-percentiles per tier.  Clients are asyncio connections multiplexed on one
-event loop — the point is to stress the *server's* session handling,
-framing, admission, and the transaction gate with realistic concurrency,
-not to benchmark the OS thread scheduler with a thousand real threads.
+Three tiers against one :class:`~repro.net.server.DatabaseServer`:
+
+* ``clients_100`` — 100 asyncio connections, each running the OLTP mix
+  through ``pipeline()`` with a 32-deep window: the configuration the
+  wire fast path (batched executor hops + columnar results + WAL group
+  commit) is built for.
+* ``clients_1000`` — 1000 connections issuing strictly serial
+  request/response rounds, directly comparable with the pre-fast-path
+  baseline's latency numbers (no pipelining, every request pays a full
+  round trip plus queueing behind the txn gate).
+* ``clients_10000`` — the ROADMAP's mass-connection tier: a *separate
+  server process* (``python -m repro serve``), 10 000 live connections
+  held open at once, every one of them running queries.  The tier fails
+  loudly unless the server reports zero protocol errors and zero
+  admission refusals afterwards.
 
 The workload is the classic point-select/point-update OLTP mix (90/10)
-over an indexed key column, with every statement autocommitted: each
-request crosses the full stack — client codec → TCP → frame parse →
-session queue → txn gate → engine on the executor → result encode.
+over an indexed, ANALYZE'd key column, every statement autocommitted:
+each request crosses the full stack — client codec → TCP → frame parse →
+batch collection → txn gate → engine on the executor → result encode.
 
 Latency honesty: p50/p99 are computed from *per-request* wall times
-measured at the client, so they include queueing behind the gate — which
-is exactly what a caller of a single-writer engine experiences.  The
-report carries machine metadata (cores, python) via ``bench_json`` so two
-files from different boxes are never compared as if equal.
+measured at the client.  For pipelined tiers that is submit→response
+time (it includes time queued in the client window and the server
+batch), which is exactly what a caller awaiting a pipelined statement
+experiences.  The report carries machine metadata (cores, python) via
+``bench_json`` so two files from different boxes are never compared as
+if equal.
 
 Run directly::
 
@@ -27,9 +38,13 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import os
 import random
+import re
+import subprocess
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
@@ -38,11 +53,12 @@ from bench_json import write_report  # noqa: E402
 from repro.net import ServerThread, aconnect  # noqa: E402
 
 KEYS = 1_000
-CLIENT_TIERS = (100, 1_000)
 TOTAL_REQUESTS = 6_000  # per tier, split across clients
-QUICK_TIERS = (20, 100)
-QUICK_REQUESTS = 1_000
 UPDATE_FRACTION = 0.1
+PIPELINE_WINDOW = 32
+MASS_CLIENTS = 10_000
+MASS_WAVE = 500  # connections opened/closed per gather wave
+MASS_REQUESTS_PER_CLIENT = 2
 
 
 def percentile(samples, q: float) -> float:
@@ -53,37 +69,62 @@ def percentile(samples, q: float) -> float:
     return ordered[idx]
 
 
-async def _client(port: int, client_id: int, requests: int, latencies: list) -> int:
+def _statement(rng: random.Random):
+    key = rng.randrange(KEYS)
+    if rng.random() < UPDATE_FRACTION:
+        return "UPDATE kv SET val = val + 1 WHERE id = ?", (key,)
+    return "SELECT val FROM kv WHERE id = ?", (key,)
+
+
+async def _serial_client(port: int, client_id: int, requests: int, latencies: list) -> int:
     rng = random.Random(client_id)
     conn = await aconnect(port=port, user=f"bench{client_id}")
-    throttles = 0
     try:
         for _ in range(requests):
-            key = rng.randrange(KEYS)
-            if rng.random() < UPDATE_FRACTION:
-                sql, args = "UPDATE kv SET val = val + 1 WHERE id = ?", (key,)
-            else:
-                sql, args = "SELECT val FROM kv WHERE id = ?", (key,)
+            sql, args = _statement(rng)
             start = time.perf_counter()
             await conn.execute(sql, args)
             latencies.append(time.perf_counter() - start)
-        throttles = conn.throttles
+        return conn.throttles
     finally:
         await conn.close()
-    return throttles
 
 
-async def _run_tier(port: int, clients: int, total_requests: int) -> dict:
+async def _pipelined_client(
+    port: int, client_id: int, requests: int, latencies: list
+) -> int:
+    rng = random.Random(client_id)
+    conn = await aconnect(port=port, user=f"bench{client_id}")
+    try:
+        submitted = []
+        async with conn.pipeline(window=PIPELINE_WINDOW) as pipe:
+            for _ in range(requests):
+                sql, args = _statement(rng)
+                start = time.perf_counter()
+                handle = await pipe.execute(sql, args)
+                submitted.append((start, handle))
+        for start, handle in submitted:
+            if handle.error is not None:
+                raise handle.error
+            latencies.append(handle.completed_at - start)
+        return conn.throttles
+    finally:
+        await conn.close()
+
+
+async def _run_tier(port: int, clients: int, total_requests: int, pipelined: bool) -> dict:
     per_client = max(1, total_requests // clients)
     latencies: list = []
+    runner = _pipelined_client if pipelined else _serial_client
     start = time.perf_counter()
     throttles = await asyncio.gather(
-        *(_client(port, i, per_client, latencies) for i in range(clients))
+        *(runner(port, i, per_client, latencies) for i in range(clients))
     )
     elapsed = time.perf_counter() - start
     requests = len(latencies)
     return {
         "clients": clients,
+        "mode": f"pipelined(window={PIPELINE_WINDOW})" if pipelined else "serial",
         "requests": requests,
         "elapsed_s": round(elapsed, 3),
         "tps": round(requests / elapsed, 1),
@@ -94,41 +135,204 @@ async def _run_tier(port: int, clients: int, total_requests: int) -> dict:
     }
 
 
+def _load_fixture(execute) -> None:
+    execute("CREATE TABLE kv (id INTEGER, val INTEGER)")
+    execute("CREATE INDEX kv_id ON kv (id)")
+    for base in range(0, KEYS, 500):
+        rows = ", ".join(f"({k}, 0)" for k in range(base, min(base + 500, KEYS)))
+        execute(f"INSERT INTO kv VALUES {rows}")
+    # Point statements plan as IndexScan only once stats exist — the same
+    # post-bulk-load ANALYZE any production deployment runs.
+    execute("ANALYZE")
+
+
+def _raise_fd_limit() -> int:
+    """Lift the soft fd limit to the hard one; 10k sockets need it."""
+    import resource
+
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < hard:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (hard, hard))
+    return resource.getrlimit(resource.RLIMIT_NOFILE)[0]
+
+
+async def _mass_connect_tier(port: int) -> dict:
+    """10k live connections against the subprocess server.
+
+    Connections open in waves (so the listen backlog never overflows),
+    all stay open simultaneously, every one of them runs
+    ``MASS_REQUESTS_PER_CLIENT`` statements, then all close.
+    """
+    conns: list = []
+    latencies: list = []
+    connect_start = time.perf_counter()
+    for base in range(0, MASS_CLIENTS, MASS_WAVE):
+        wave = await asyncio.gather(
+            *(
+                aconnect(port=port, user=f"mass{i}")
+                for i in range(base, min(base + MASS_WAVE, MASS_CLIENTS))
+            )
+        )
+        conns.extend(wave)
+    connect_elapsed = time.perf_counter() - connect_start
+
+    async def _one(conn, client_id: int) -> None:
+        rng = random.Random(client_id)
+        for _ in range(MASS_REQUESTS_PER_CLIENT):
+            sql, args = _statement(rng)
+            start = time.perf_counter()
+            await conn.execute(sql, args)
+            latencies.append(time.perf_counter() - start)
+
+    query_start = time.perf_counter()
+    for base in range(0, len(conns), MASS_WAVE):
+        await asyncio.gather(
+            *(
+                _one(conn, base + i)
+                for i, conn in enumerate(conns[base : base + MASS_WAVE])
+            )
+        )
+    query_elapsed = time.perf_counter() - query_start
+
+    for base in range(0, len(conns), MASS_WAVE):
+        await asyncio.gather(*(c.close() for c in conns[base : base + MASS_WAVE]))
+
+    requests = len(latencies)
+    return {
+        "clients": MASS_CLIENTS,
+        "mode": "mass-connect (subprocess server, all connections live at once)",
+        "connect_s": round(connect_elapsed, 3),
+        "requests": requests,
+        "elapsed_s": round(query_elapsed, 3),
+        "tps": round(requests / query_elapsed, 1),
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "max_ms": round(max(latencies) * 1e3, 3),
+    }
+
+
+def _run_clients_10000() -> dict:
+    """Spawn ``python -m repro serve`` and drive the 10k tier against it.
+
+    A separate process on purpose: 10k client sockets + 10k server
+    sockets would exhaust one process's fd budget, and a real deployment
+    is cross-process anyway.
+    """
+    fd_limit = _raise_fd_limit()
+    if fd_limit < MASS_CLIENTS + 2_000:
+        return {"skipped": f"fd limit {fd_limit} too low for {MASS_CLIENTS} sockets"}
+    stats_path = os.path.join(tempfile.mkdtemp(prefix="repro-bench-"), "stats.json")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(os.path.dirname(__file__), "..", "src"),
+                      env.get("PYTHONPATH", "")])
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--max-connections", str(MASS_CLIENTS + 200),
+            "--backlog", "4096",
+            "--stats-file", stats_path,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"listening on [\d.]+:(\d+)", line)
+        if not match:
+            raise RuntimeError(f"server did not start: {line!r}")
+        port = int(match.group(1))
+
+        async def _drive() -> dict:
+            setup = await aconnect(port=port, user="setup")
+            try:
+                for sql in _fixture_statements():
+                    await setup.execute(sql)
+            finally:
+                await setup.close()
+            return await _mass_connect_tier(port)
+
+        tier = asyncio.run(_drive())
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    if os.path.exists(stats_path):
+        with open(stats_path, encoding="utf-8") as handle:
+            stats = json.load(handle)
+        tier["server_stats"] = stats
+        tier["protocol_errors"] = stats.get("protocol_errors", -1)
+        tier["refused"] = stats.get("refused", -1)
+        if tier["protocol_errors"] != 0 or tier["refused"] != 0:
+            raise RuntimeError(f"10k tier not clean: {stats}")
+    return tier
+
+
+def _fixture_statements():
+    statements = [
+        "CREATE TABLE kv (id INTEGER, val INTEGER)",
+        "CREATE INDEX kv_id ON kv (id)",
+    ]
+    for base in range(0, KEYS, 500):
+        rows = ", ".join(f"({k}, 0)" for k in range(base, min(base + 500, KEYS)))
+        statements.append(f"INSERT INTO kv VALUES {rows}")
+    statements.append("ANALYZE")
+    return statements
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI mode: smaller client tiers and request counts",
+        help="CI mode: pipelined 100-client tier only (same request count, "
+        "so its TPS is directly comparable with the committed full run)",
     )
     args = parser.parse_args()
-    tiers = QUICK_TIERS if args.quick else CLIENT_TIERS
-    total = QUICK_REQUESTS if args.quick else TOTAL_REQUESTS
+    total = TOTAL_REQUESTS
+    tiers = [(100, True)] if args.quick else [(100, True), (1_000, False)]
 
     report: dict = {"workload": {
         "keys": KEYS,
         "mix": f"{int((1 - UPDATE_FRACTION) * 100)}% point SELECT / "
-               f"{int(UPDATE_FRACTION * 100)}% point UPDATE, autocommit",
+               f"{int(UPDATE_FRACTION * 100)}% point UPDATE, autocommit, "
+               f"indexed + analyzed",
         "quick": args.quick,
     }}
     with ServerThread(
-        max_connections=max(tiers) + 16, max_inflight=8, executor_threads=16
+        max_connections=max(t[0] for t in tiers) + 16,
+        max_inflight=8,
+        executor_threads=16,
     ) as srv:
-        srv.db.execute("CREATE TABLE kv (id INTEGER, val INTEGER)")
-        srv.db.execute("CREATE INDEX kv_id ON kv (id)")
-        for base in range(0, KEYS, 500):
-            rows = ", ".join(f"({k}, 0)" for k in range(base, min(base + 500, KEYS)))
-            srv.db.execute(f"INSERT INTO kv VALUES {rows}")
-
-        for clients in tiers:
-            tier = asyncio.run(_run_tier(srv.port, clients, total))
+        _load_fixture(srv.db.execute)
+        for clients, pipelined in tiers:
+            tier = asyncio.run(_run_tier(srv.port, clients, total, pipelined))
             report[f"clients_{clients}"] = tier
             print(
-                f"  {clients:>5} clients: {tier['tps']:>8} tps  "
+                f"  {clients:>5} clients ({tier['mode']}): {tier['tps']:>8} tps  "
                 f"p50 {tier['p50_ms']:.2f} ms  p99 {tier['p99_ms']:.2f} ms",
                 file=sys.stderr,
             )
         report["server_stats"] = dict(srv.server.stats)
+
+    if not args.quick:
+        tier = _run_clients_10000()
+        report["clients_10000"] = tier
+        if "skipped" not in tier:
+            print(
+                f"  10000 clients (mass-connect): {tier['tps']:>8} tps  "
+                f"connect {tier['connect_s']:.1f} s  p99 {tier['p99_ms']:.2f} ms  "
+                f"errors {tier['protocol_errors']}  refused {tier['refused']}",
+                file=sys.stderr,
+            )
 
     write_report("server", report)
     return 0

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""CI guard: the wire-server fast path must not quietly regress.
+
+Runs ``bench_server.py --quick`` (the pipelined 100-client tier, same
+request count as the committed full run) and compares its TPS against
+the ``clients_100`` tier in the committed ``BENCH_server.json``:
+
+* **Comparable hardware** (same CPU count, interpreter implementation,
+  and platform as the committed run): fail if quick TPS is more than
+  ``TOLERANCE`` below the committed number.
+* **Different hardware**: numbers from different boxes are not
+  comparable — the bench still ran (so the path is exercised end to
+  end), the delta is printed for humans, and the guard passes.
+
+The committed ``BENCH_server.json`` is restored afterwards either way;
+the fresh quick run is left at ``BENCH_server_quick.json`` for artifact
+upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPORT = os.path.join(BENCH_DIR, "BENCH_server.json")
+QUICK_COPY = os.path.join(BENCH_DIR, "BENCH_server_quick.json")
+TOLERANCE = 0.30  # quick TPS may sit up to 30% below the committed number
+COMPARABLE_META = ("cpu_count", "implementation", "platform")
+
+
+def main() -> int:
+    with open(REPORT, "rb") as handle:
+        committed_bytes = handle.read()
+    committed = json.loads(committed_bytes)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(BENCH_DIR, "..", "src"), env.get("PYTHONPATH", "")])
+    )
+    try:
+        subprocess.run(
+            [sys.executable, os.path.join(BENCH_DIR, "bench_server.py"), "--quick"],
+            check=True,
+            env=env,
+        )
+        with open(REPORT, encoding="utf-8") as handle:
+            fresh = json.load(handle)
+        shutil.copyfile(REPORT, QUICK_COPY)
+    finally:
+        with open(REPORT, "wb") as handle:
+            handle.write(committed_bytes)
+
+    baseline = committed["clients_100"]["tps"]
+    observed = fresh["clients_100"]["tps"]
+    delta = (observed - baseline) / baseline * 100.0
+    print(
+        f"quick clients_100: {observed:.0f} tps vs committed {baseline:.0f} tps "
+        f"({delta:+.1f}%)"
+    )
+
+    mismatched = [
+        key
+        for key in COMPARABLE_META
+        if committed.get("meta", {}).get(key) != fresh.get("meta", {}).get(key)
+    ]
+    if mismatched:
+        for key in mismatched:
+            print(
+                f"  meta.{key}: committed={committed['meta'].get(key)!r} "
+                f"here={fresh['meta'].get(key)!r}"
+            )
+        print("hardware not comparable with the committed run; delta is informational")
+        return 0
+
+    floor = baseline * (1.0 - TOLERANCE)
+    if observed < floor:
+        print(
+            f"FAIL: quick TPS {observed:.0f} is below the regression floor "
+            f"{floor:.0f} (committed {baseline:.0f} - {TOLERANCE:.0%})"
+        )
+        return 1
+    print(f"OK: above the regression floor {floor:.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -236,6 +236,8 @@ class Database:
         self._txn_id = max((r.txn_id for r in existing_records), default=0)
         self._active_txn: Optional[int] = None
         self._undo_log: List[Tuple[str, str, Any, Optional[Row]]] = []
+        self._group_depth = 0
+        self._group_dirty = False
         self.recovery_stats: Optional[Dict[str, int]] = None
         if need_recovery:
             self.recovery_stats = self._rebuild_from_records(existing_records)
@@ -659,10 +661,73 @@ class Database:
                 self._log_write(table.name, "insert", rid, None)
         return Result(rowcount=len(rows))
 
+    @staticmethod
+    def _equality_candidates(table: TableInfo, where: ast.Expr):
+        """``(column, literal)`` pairs usable for an index point lookup.
+
+        Walks the top-level AND chain of a WHERE clause collecting
+        ``col = literal`` (either side) conjuncts whose literal type can
+        be probed into an index without changing comparison semantics
+        (exact int/float/str — bools and NULLs fall back to the scan).
+        """
+        pairs = []
+        stack = [where]
+        while stack:
+            node = stack.pop()
+            if not isinstance(node, ast.BinaryOp):
+                continue
+            if node.op == "AND":
+                stack.append(node.left)
+                stack.append(node.right)
+                continue
+            if node.op != "=":
+                continue
+            for col_side, lit_side in (
+                (node.left, node.right),
+                (node.right, node.left),
+            ):
+                if (
+                    isinstance(col_side, ast.ColumnRef)
+                    and (col_side.table is None or col_side.table == table.name)
+                    and isinstance(lit_side, ast.Literal)
+                    and type(lit_side.value) in (int, float, str)
+                ):
+                    pairs.append((col_side.name, lit_side.value))
+                    break
+        return pairs
+
+    def _index_eq_rids(self, table: TableInfo, where: Optional[ast.Expr]):
+        """Candidate rids for a point predicate, or None for no usable index."""
+        if where is None or not table.indexes:
+            return None
+        for column, value in self._equality_candidates(table, where):
+            info = table.index_on(column)
+            if info is None:
+                continue
+            try:
+                return info.structure.search(value)
+            except Exception:
+                # Incomparable key (e.g. str probe into an int btree): the
+                # scan path defines the semantics, so let it answer.
+                return None
+        return None
+
     def _matching_rids(self, table: TableInfo, where: Optional[ast.Expr]):
         predicate = None
         if where is not None:
             predicate = evaluator(self._binder.bind_expr(where, table.schema))
+            rids = self._index_eq_rids(table, where)
+            if rids is not None:
+                # Index candidates only narrow the scan; the full predicate
+                # still decides.  Materialize before yielding — the caller
+                # mutates the very index being read.
+                matches = []
+                for rid in rids:
+                    row = table.get(rid)
+                    if row is not None and predicate(row) is True:
+                        matches.append((rid, row))
+                yield from matches
+                return
         for rid, row in list(table.scan()):
             if predicate is None or predicate(row) is True:
                 yield rid, row
@@ -808,8 +873,40 @@ class Database:
         self._undo_log = []
 
     def _durable_flush(self) -> None:
-        if self._wal_enabled:
-            self.wal.flush(fsync=self.durability == "fsync")
+        if not self._wal_enabled:
+            return
+        if self._group_depth:
+            # Inside group_commit(): the flush is owed, not skipped — the
+            # scope exit pays it once for every commit in the group.
+            self._group_dirty = True
+            return
+        self.wal.flush(fsync=self.durability == "fsync")
+
+    @contextmanager
+    def group_commit(self):
+        """Share one WAL flush across consecutive autocommit statements.
+
+        Inside the scope each statement still commits logically (WAL
+        records appended, undo log cleared) but the per-commit durability
+        flush is deferred; the scope exit performs a single
+        flush/fsync covering every commit in the group — N small writes,
+        one disk round-trip.  Callers must not acknowledge any statement
+        in the group to their own clients until the scope has exited
+        (the network server sends batch responses only after it closes).
+
+        Holds the database lock for the duration, so the group executes
+        atomically with respect to other threads.  Reentrant: nested
+        scopes join the outermost one.
+        """
+        with self._lock:
+            self._group_depth += 1
+            try:
+                yield
+            finally:
+                self._group_depth -= 1
+                if self._group_depth == 0 and self._group_dirty:
+                    self._group_dirty = False
+                    self.wal.flush(fsync=self.durability == "fsync")
 
     # ------------------------------------------------------------------
     # Checkpointing

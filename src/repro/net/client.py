@@ -30,13 +30,21 @@ import itertools
 import queue as queue_module
 import socket
 import threading
-from typing import Any, List, Optional, Tuple
+import time
+from collections import deque
+from typing import Any, Deque, Iterable, List, Optional, Tuple
 
 from repro.core.errors import ProtocolError, ReproError, error_from_wire
 from repro.core.result import Result
 from repro.net import protocol as proto
 
 _stmt_counter = itertools.count(1)
+
+#: Default cap on pipelined-but-unanswered requests per connection.  Matches
+#: the server's admission story: requests beyond the server's own
+#: ``max_inflight`` just ride TCP flow control, so a larger client window
+#: deepens the server-side batch without unbounded buffering.
+DEFAULT_PIPELINE_WINDOW = 32
 
 
 class _ResponseAssembler:
@@ -78,6 +86,11 @@ class _ResponseAssembler:
                 raise ProtocolError("malformed RESULT_BATCH frame")
             self._rows.extend(tuple(row) for row in batch)
             return None
+        if frame_type == proto.RESULT_BATCH_COL:
+            if self._columns is None:
+                raise ProtocolError("RESULT_BATCH_COL before RESULT_HEADER")
+            self._rows.extend(proto.decode_columnar_batch(payload))
+            return None
         if frame_type == proto.RESULT_DONE:
             if self._columns is None:
                 raise ProtocolError("RESULT_DONE before RESULT_HEADER")
@@ -108,6 +121,59 @@ def _expect(kind: str, reply: Tuple[str, Any]) -> Any:
     if got != kind:
         raise ProtocolError(f"expected {kind} response, got {got}")
     return value
+
+
+class PipelineHandle:
+    """The future result of one pipelined statement.
+
+    Resolved while the pipeline pumps responses; :meth:`result` returns the
+    statement's :class:`~repro.core.result.Result` or re-raises its error.
+    ``completed_at`` is the ``time.perf_counter()`` instant the response
+    finished arriving — per-request latency under pipelining, measured
+    honestly at the client.
+    """
+
+    __slots__ = ("sql", "done", "completed_at", "_value")
+
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.done = False
+        self.completed_at = 0.0
+        self._value: Any = None
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self.done = True
+        self.completed_at = time.perf_counter()
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._value if isinstance(self._value, BaseException) else None
+
+    def result(self) -> Result:
+        if not self.done:
+            raise ProtocolError(
+                f"pipelined statement {self.sql!r} has no response yet "
+                "(call sync() or leave the pipeline block first)"
+            )
+        if isinstance(self._value, BaseException):
+            raise self._value
+        return self._value
+
+
+def _collect_pipeline(
+    handles: List[PipelineHandle], return_exceptions: bool
+) -> List[Any]:
+    out: List[Any] = []
+    first_error: Optional[BaseException] = None
+    for handle in handles:
+        error = handle.error
+        if error is not None and first_error is None:
+            first_error = error
+        out.append(error if error is not None else handle._value)
+    if first_error is not None and not return_exceptions:
+        raise first_error
+    return out
 
 
 class _PreparedMixin:
@@ -156,10 +222,18 @@ class _ConnectionBase:
         self.server_info: dict = {}
         self.closed = False
         self.in_transaction = False
+        self._pipeline_active = False
 
     def _check_open(self) -> None:
         if self.closed:
             raise ProtocolError("connection is closed")
+
+    def _check_no_pipeline(self) -> None:
+        if self._pipeline_active:
+            raise ProtocolError(
+                "connection has an active pipeline() block; "
+                "use the pipeline's execute() until it exits"
+            )
 
     @staticmethod
     def _query_frame(sql: str, params: Any) -> bytes:
@@ -195,7 +269,9 @@ class Connection(_ConnectionBase):
             self.server_info = _expect(
                 "welcome",
                 self._request(
-                    proto.encode_message(proto.HELLO, {"user": user, "options": {}})
+                    proto.encode_message(
+                        proto.HELLO, {"user": user, "options": {"columnar": True}}
+                    )
                 ),
             )
         except BaseException:
@@ -217,6 +293,7 @@ class Connection(_ConnectionBase):
 
     def _request(self, frame: bytes) -> Tuple[str, Any]:
         self._check_open()
+        self._check_no_pipeline()
         with self._lock:
             self._sock.sendall(frame)
             while True:
@@ -260,6 +337,36 @@ class Connection(_ConnectionBase):
 
     def rollback(self) -> None:
         self.execute("ROLLBACK")
+
+    # -- pipelining --------------------------------------------------------
+
+    def pipeline(self, window: int = DEFAULT_PIPELINE_WINDOW) -> "_Pipeline":
+        """``with conn.pipeline() as p:`` — keep up to ``window`` requests in flight.
+
+        Inside the block, ``p.execute(sql, params)`` returns a
+        :class:`PipelineHandle` immediately; responses are pumped as the
+        window fills and all are resolved when the block exits.  The plain
+        ``conn.execute`` API is unavailable until then.
+        """
+        return _Pipeline(self, window)
+
+    def execute_many(
+        self,
+        sql: str,
+        param_seqs: Iterable[Any],
+        window: int = DEFAULT_PIPELINE_WINDOW,
+        return_exceptions: bool = False,
+    ) -> List[Any]:
+        """Run ``sql`` once per parameter set, pipelined; results in order.
+
+        With ``return_exceptions=True`` per-statement errors are returned in
+        place of results (like ``asyncio.gather``); otherwise the first
+        error raises after every statement has been answered.
+        """
+        with self.pipeline(window=window) as pipe:
+            for params in param_seqs:
+                pipe.execute(sql, params)
+        return _collect_pipeline(pipe.handles, return_exceptions)
 
     # -- KV surface --------------------------------------------------------
 
@@ -305,6 +412,114 @@ class Connection(_ConnectionBase):
         self.close()
 
 
+class _Pipeline:
+    """Windowed pipelining over a blocking connection.
+
+    Keeps up to ``window`` requests sent-but-unanswered; once the window is
+    full, each further ``execute`` first pumps one response off the wire, so
+    client memory and server queue depth stay bounded while the wire stays
+    full.  Sends are coalesced — buffered frames go out in one ``sendall``
+    when the window fills or at ``sync()``.  The connection's lock is held
+    for the lifetime of the block.
+    """
+
+    def __init__(self, conn: "Connection", window: int):
+        if window < 1:
+            raise ReproError(f"pipeline window must be >= 1, got {window}")
+        self._conn = conn
+        self._window = window
+        self._buffer: List[bytes] = []
+        self._inflight: Deque[PipelineHandle] = deque()
+        self.handles: List[PipelineHandle] = []
+
+    def __enter__(self) -> "_Pipeline":
+        self._conn._check_open()
+        self._conn._check_no_pipeline()
+        self._conn._lock.acquire()
+        self._conn._pipeline_active = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.sync()
+        except Exception:
+            # The socket is desynchronized (unanswered requests): poison the
+            # connection rather than let a later execute read stale frames.
+            self._conn.closed = True
+            if exc_type is None:
+                raise
+        finally:
+            self._conn._pipeline_active = False
+            self._conn._lock.release()
+
+    # -- pumping -----------------------------------------------------------
+
+    def _send_buffered(self) -> None:
+        if self._buffer:
+            data = b"".join(self._buffer)
+            self._buffer.clear()
+            self._conn._sock.sendall(data)
+
+    def _receive_one(self) -> None:
+        handle = self._inflight.popleft()
+        try:
+            while True:
+                frame_type, payload = self._conn._read_frame()
+                if frame_type == proto.THROTTLE:
+                    self._conn.throttles += 1
+                    continue
+                if frame_type == proto.ERROR:
+                    info = proto.decode_payload(payload)
+                    if not isinstance(info, dict):
+                        raise ProtocolError("malformed ERROR frame")
+                    handle._resolve(
+                        error_from_wire(
+                            str(info.get("class", "ReproError")),
+                            str(info.get("message", "")),
+                        )
+                    )
+                    self._conn._assembler = _ResponseAssembler()
+                    return
+                reply = self._conn._assembler.feed(frame_type, payload)
+                if reply is None:
+                    continue
+                kind, value = reply
+                if kind != "result":
+                    raise ProtocolError(f"expected result response, got {kind}")
+                handle._resolve(value)
+                self._conn._note_txn(handle.sql)
+                return
+        except BaseException as exc:
+            handle._resolve(exc)
+            while self._inflight:
+                self._inflight.popleft()._resolve(exc)
+            self._conn.closed = True
+            raise
+
+    # -- public API --------------------------------------------------------
+
+    def execute(self, sql: str, params: Any = None) -> PipelineHandle:
+        handle = PipelineHandle(sql)
+        self.handles.append(handle)
+        try:
+            frame = self._conn._query_frame(sql, params)
+        except Exception as exc:
+            handle._resolve(exc)  # bad binds fail locally but keep ordering
+            return handle
+        self._buffer.append(frame)
+        self._inflight.append(handle)
+        if len(self._inflight) >= self._window:
+            self._send_buffered()
+            self._receive_one()
+        return handle
+
+    def sync(self) -> None:
+        """Flush buffered sends and resolve every outstanding handle."""
+        self._send_buffered()
+        while self._inflight:
+            self._receive_one()
+
+
 class AsyncConnection(_ConnectionBase):
     """Asyncio client over a StreamReader/StreamWriter pair."""
 
@@ -320,7 +535,9 @@ class AsyncConnection(_ConnectionBase):
             self.server_info = _expect(
                 "welcome",
                 await self._request(
-                    proto.encode_message(proto.HELLO, {"user": user, "options": {}})
+                    proto.encode_message(
+                        proto.HELLO, {"user": user, "options": {"columnar": True}}
+                    )
                 ),
             )
         except BaseException:
@@ -342,6 +559,7 @@ class AsyncConnection(_ConnectionBase):
 
     async def _request(self, frame: bytes) -> Tuple[str, Any]:
         self._check_open()
+        self._check_no_pipeline()
         async with self._lock:
             self._writer.write(frame)
             await self._writer.drain()
@@ -392,6 +610,25 @@ class AsyncConnection(_ConnectionBase):
     async def rollback(self) -> None:
         await self.execute("ROLLBACK")
 
+    # -- pipelining --------------------------------------------------------
+
+    def pipeline(self, window: int = DEFAULT_PIPELINE_WINDOW) -> "_AsyncPipeline":
+        """``async with conn.pipeline() as p:`` — windowed request pipelining."""
+        return _AsyncPipeline(self, window)
+
+    async def execute_many(
+        self,
+        sql: str,
+        param_seqs: Iterable[Any],
+        window: int = DEFAULT_PIPELINE_WINDOW,
+        return_exceptions: bool = False,
+    ) -> List[Any]:
+        """Run ``sql`` once per parameter set, pipelined; results in order."""
+        async with self.pipeline(window=window) as pipe:
+            for params in param_seqs:
+                await pipe.execute(sql, params)
+        return _collect_pipeline(pipe.handles, return_exceptions)
+
     # -- KV surface --------------------------------------------------------
 
     async def kv_begin(self) -> int:
@@ -441,6 +678,104 @@ class AsyncConnection(_ConnectionBase):
 
     async def __aexit__(self, exc_type, exc, tb) -> None:
         await self.close()
+
+
+class _AsyncPipeline:
+    """Asyncio mirror of :class:`_Pipeline` (same window/coalescing rules)."""
+
+    def __init__(self, conn: "AsyncConnection", window: int):
+        if window < 1:
+            raise ReproError(f"pipeline window must be >= 1, got {window}")
+        self._conn = conn
+        self._window = window
+        self._buffer: List[bytes] = []
+        self._inflight: Deque[PipelineHandle] = deque()
+        self.handles: List[PipelineHandle] = []
+
+    async def __aenter__(self) -> "_AsyncPipeline":
+        self._conn._check_open()
+        self._conn._check_no_pipeline()
+        await self._conn._lock.acquire()
+        self._conn._pipeline_active = True
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        try:
+            await self.sync()
+        except Exception:
+            self._conn.closed = True
+            if exc_type is None:
+                raise
+        finally:
+            self._conn._pipeline_active = False
+            self._conn._lock.release()
+
+    # -- pumping -----------------------------------------------------------
+
+    async def _send_buffered(self) -> None:
+        if self._buffer:
+            self._conn._writer.write(b"".join(self._buffer))
+            self._buffer.clear()
+            await self._conn._writer.drain()
+
+    async def _receive_one(self) -> None:
+        handle = self._inflight.popleft()
+        try:
+            while True:
+                frame_type, payload = await self._conn._read_frame()
+                if frame_type == proto.THROTTLE:
+                    self._conn.throttles += 1
+                    continue
+                if frame_type == proto.ERROR:
+                    info = proto.decode_payload(payload)
+                    if not isinstance(info, dict):
+                        raise ProtocolError("malformed ERROR frame")
+                    handle._resolve(
+                        error_from_wire(
+                            str(info.get("class", "ReproError")),
+                            str(info.get("message", "")),
+                        )
+                    )
+                    self._conn._assembler = _ResponseAssembler()
+                    return
+                reply = self._conn._assembler.feed(frame_type, payload)
+                if reply is None:
+                    continue
+                kind, value = reply
+                if kind != "result":
+                    raise ProtocolError(f"expected result response, got {kind}")
+                handle._resolve(value)
+                self._conn._note_txn(handle.sql)
+                return
+        except BaseException as exc:
+            handle._resolve(exc)
+            while self._inflight:
+                self._inflight.popleft()._resolve(exc)
+            self._conn.closed = True
+            raise
+
+    # -- public API --------------------------------------------------------
+
+    async def execute(self, sql: str, params: Any = None) -> PipelineHandle:
+        handle = PipelineHandle(sql)
+        self.handles.append(handle)
+        try:
+            frame = self._conn._query_frame(sql, params)
+        except Exception as exc:
+            handle._resolve(exc)
+            return handle
+        self._buffer.append(frame)
+        self._inflight.append(handle)
+        if len(self._inflight) >= self._window:
+            await self._send_buffered()
+            await self._receive_one()
+        return handle
+
+    async def sync(self) -> None:
+        """Flush buffered sends and resolve every outstanding handle."""
+        await self._send_buffered()
+        while self._inflight:
+            await self._receive_one()
 
 
 def connect(

@@ -80,6 +80,7 @@ GOODBYE = 0x87  # map: {"reason": str} — server-initiated clean shutdown
 KV_BEGUN = 0x88  # int: txn id
 KV_VALUE = 0x89  # value
 OK = 0x8A  # empty: generic acknowledgement (PARSE, CLOSE_STMT, KV writes)
+RESULT_BATCH_COL = 0x8B  # columnar batch (see "Columnar batches" below)
 
 FRAME_NAMES = {
     HELLO: "HELLO",
@@ -103,6 +104,7 @@ FRAME_NAMES = {
     KV_BEGUN: "KV_BEGUN",
     KV_VALUE: "KV_VALUE",
     OK: "OK",
+    RESULT_BATCH_COL: "RESULT_BATCH_COL",
 }
 
 _U32 = struct.Struct(">I")
@@ -302,19 +304,180 @@ class FrameDecoder:
 
 
 # ---------------------------------------------------------------------------
+# Columnar batches
+#
+# RESULT_BATCH encodes row-at-a-time through the recursive value codec —
+# one Python-level dispatch per cell.  RESULT_BATCH_COL is the vectorized
+# fast path: cells are encoded column-at-a-time, so a homogeneous column
+# becomes a single ``struct.pack`` (ints, floats) or one length-prefixed
+# blob (strings), and the per-cell interpreter loop disappears.  Layout::
+#
+#     u32 nrows | u32 ncols | ncols x column
+#
+#     column := 'i' + nrows * i64(BE)            homogeneous 64-bit ints
+#             | 'd' + nrows * f64(BE)            homogeneous floats
+#             | 's' + nrows * u32 lengths + concatenated UTF-8
+#             | 'v' + nrows classic-codec values mixed / everything else
+#
+# Clients opt in via HELLO ``options: {"columnar": true}``; sessions that
+# do not opt in (old clients, the raw-socket fuzzer) keep getting classic
+# RESULT_BATCH frames, so the columnar path is purely additive.
+# ---------------------------------------------------------------------------
+
+_I64_ROW_STRUCTS: Dict[int, struct.Struct] = {}
+_F64_ROW_STRUCTS: Dict[int, struct.Struct] = {}
+_U32_ROW_STRUCTS: Dict[int, struct.Struct] = {}
+
+
+def _bulk_struct(cache: Dict[int, struct.Struct], fmt: str, n: int) -> struct.Struct:
+    packer = cache.get(n)
+    if packer is None:
+        packer = cache[n] = struct.Struct(">%d%s" % (n, fmt))
+    return packer
+
+
+def _encode_column(values: List[Any], parts: List[bytes]) -> None:
+    """One column of a columnar batch: bulk-packed when homogeneous."""
+    n = len(values)
+    first = type(values[0])
+    if first is int:
+        if all(
+            type(v) is int and _I64_MIN <= v <= _I64_MAX for v in values
+        ):
+            parts.append(b"i")
+            parts.append(_bulk_struct(_I64_ROW_STRUCTS, "q", n).pack(*values))
+            return
+    elif first is float:
+        if all(type(v) is float for v in values):
+            parts.append(b"d")
+            parts.append(_bulk_struct(_F64_ROW_STRUCTS, "d", n).pack(*values))
+            return
+    elif first is str:
+        if all(type(v) is str for v in values):
+            raws = [v.encode("utf-8") for v in values]
+            parts.append(b"s")
+            parts.append(_bulk_struct(_U32_ROW_STRUCTS, "I", n).pack(*map(len, raws)))
+            parts.extend(raws)
+            return
+    # Mixed types, bigints, None/bool, bytes, numpy scalars: classic codec.
+    parts.append(b"v")
+    for v in values:
+        _encode_into(v, parts)
+
+
+def encode_columnar_batch(rows: Sequence[Sequence[Any]]) -> bytes:
+    """Encode one batch of rows as a RESULT_BATCH_COL payload."""
+    nrows = len(rows)
+    ncols = len(rows[0]) if nrows else 0
+    parts: List[bytes] = [_U32.pack(nrows), _U32.pack(ncols)]
+    if nrows:
+        for col in range(ncols):
+            _encode_column([row[col] for row in rows], parts)
+    return b"".join(parts)
+
+
+def decode_columnar_batch(payload: bytes) -> List[Tuple[Any, ...]]:
+    """Decode a RESULT_BATCH_COL payload back into row tuples.
+
+    Fixed-width columns are unpacked with one bulk ``struct`` call over a
+    :class:`memoryview`, so nothing is copied until the final row tuples.
+    """
+    mv = memoryview(payload)
+    _need(payload, 0, 8)
+    nrows, ncols = _U32.unpack_from(payload, 0)[0], _U32.unpack_from(payload, 4)[0]
+    if nrows == 0:
+        if len(payload) != 8:
+            raise ProtocolError("trailing bytes after empty columnar batch")
+        return []
+    if ncols == 0:
+        return [() for _ in range(nrows)]
+    offset = 8
+    columns: List[Sequence[Any]] = []
+    for _ in range(ncols):
+        _need(payload, offset, 1)
+        tag = payload[offset : offset + 1]
+        offset += 1
+        if tag == b"i":
+            _need(payload, offset, 8 * nrows)
+            columns.append(
+                _bulk_struct(_I64_ROW_STRUCTS, "q", nrows).unpack_from(mv, offset)
+            )
+            offset += 8 * nrows
+        elif tag == b"d":
+            _need(payload, offset, 8 * nrows)
+            columns.append(
+                _bulk_struct(_F64_ROW_STRUCTS, "d", nrows).unpack_from(mv, offset)
+            )
+            offset += 8 * nrows
+        elif tag == b"s":
+            _need(payload, offset, 4 * nrows)
+            lengths = _bulk_struct(_U32_ROW_STRUCTS, "I", nrows).unpack_from(mv, offset)
+            offset += 4 * nrows
+            _need(payload, offset, sum(lengths))
+            cells: List[str] = []
+            try:
+                for length in lengths:
+                    cells.append(str(mv[offset : offset + length], "utf-8"))
+                    offset += length
+            except UnicodeDecodeError as exc:
+                raise ProtocolError(f"invalid UTF-8 in columnar string: {exc}") from exc
+            columns.append(cells)
+        elif tag == b"v":
+            cells = []
+            for _ in range(nrows):
+                value, offset = decode_value(payload, offset)
+                cells.append(value)
+            columns.append(cells)
+        else:
+            raise ProtocolError(f"unknown columnar tag 0x{tag.hex()}")
+    if offset != len(payload):
+        raise ProtocolError(
+            f"{len(payload) - offset} trailing bytes after columnar batch"
+        )
+    return list(zip(*columns))
+
+
+# ---------------------------------------------------------------------------
 # Result encoding (header / batches / done)
 # ---------------------------------------------------------------------------
 
 
-def encode_result(columns: Sequence[str], rows: Sequence[Sequence[Any]],
-                  rowcount: int) -> List[bytes]:
-    """A full result as RESULT_HEADER + RESULT_BATCH* + RESULT_DONE frames."""
-    frames = [encode_message(RESULT_HEADER, [list(columns), rowcount])]
-    for start in range(0, len(rows), BATCH_ROWS):
-        batch = [list(row) for row in rows[start : start + BATCH_ROWS]]
-        frames.append(encode_message(RESULT_BATCH, batch))
-    frames.append(encode_frame(RESULT_DONE))
-    return frames
+def iter_result_frames(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    rowcount: int,
+    columnar: bool = False,
+) -> Iterator[bytes]:
+    """Yield RESULT_HEADER + RESULT_BATCH* + RESULT_DONE incrementally.
+
+    A generator on purpose: a million-row result must not exist twice in
+    memory (rows *and* every encoded frame) before the first byte hits the
+    socket — the server writes each frame as it is produced and lets the
+    transport's backpressure pace the encode.
+    """
+    yield encode_message(RESULT_HEADER, [list(columns), rowcount])
+    if columnar:
+        for start in range(0, len(rows), BATCH_ROWS):
+            yield encode_frame(
+                RESULT_BATCH_COL,
+                encode_columnar_batch(rows[start : start + BATCH_ROWS]),
+            )
+    else:
+        for start in range(0, len(rows), BATCH_ROWS):
+            batch = [list(row) for row in rows[start : start + BATCH_ROWS]]
+            yield encode_message(RESULT_BATCH, batch)
+    yield encode_frame(RESULT_DONE)
+
+
+def encode_result(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    rowcount: int,
+    columnar: bool = False,
+) -> List[bytes]:
+    """A full result as a list of frames (materialized; tests and small
+    results — the server streams :func:`iter_result_frames` instead)."""
+    return list(iter_result_frames(columns, rows, rowcount, columnar))
 
 
 # ---------------------------------------------------------------------------

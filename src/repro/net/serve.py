@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import json
 import signal
 from typing import List, Optional
 
@@ -40,11 +41,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--max-connections", type=int, default=64)
     parser.add_argument("--max-inflight", type=int, default=8)
+    parser.add_argument("--executor-threads", type=int, default=16)
+    parser.add_argument(
+        "--backlog",
+        type=int,
+        default=512,
+        help="listen(2) backlog — raise for mass-connect workloads",
+    )
     parser.add_argument("--drain-timeout", type=float, default=5.0)
+    parser.add_argument(
+        "--stats-file",
+        default=None,
+        help="write server stats as JSON here on shutdown "
+        "(how the 10k-client bench verifies zero protocol errors/refusals)",
+    )
     return parser
 
 
-async def _serve(args: argparse.Namespace) -> int:
+async def _serve(args: argparse.Namespace) -> dict:
     server = DatabaseServer(
         path=args.path,
         host=args.host,
@@ -53,6 +67,8 @@ async def _serve(args: argparse.Namespace) -> int:
         scheme=args.scheme,
         max_connections=args.max_connections,
         max_inflight=args.max_inflight,
+        executor_threads=args.executor_threads,
+        backlog=args.backlog,
     )
     await server.start()
     print(
@@ -78,15 +94,21 @@ async def _serve(args: argparse.Namespace) -> int:
         f"{server.stats['statements']} statements",
         flush=True,
     )
-    return 0
+    return dict(server.stats)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return asyncio.run(_serve(args))
+        stats = asyncio.run(_serve(args))
     except KeyboardInterrupt:
         return 130
+    # Written here, not in the coroutine: file I/O stays off the event
+    # loop, and by now the loop is gone anyway.
+    if args.stats_file:
+        with open(args.stats_file, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,14 +1,24 @@
 """The asyncio TCP server: many connections over one embedded Database.
 
-Architecture, per connection:
+Architecture, per connection: **one task**.  It reads a chunk off the
+socket, parses every complete frame into a pending deque, and processes
+them strictly in order, so responses always match request order
+(simple-protocol pipelining, like PostgreSQL's).  Backpressure is
+inherent — the task does not read while it is processing, so TCP flow
+control holds the client's excess; when one read chunk delivers more
+frames than ``max_inflight`` the server also sends one
+:data:`~repro.net.protocol.THROTTLE` frame so well-behaved clients can
+count the pressure.
 
-* a **reader task** parses frames off the socket into a bounded queue —
-  when the queue is full (the per-session in-flight cap) it sends one
-  :data:`~repro.net.protocol.THROTTLE` frame and stops reading, so TCP
-  flow control pushes the backpressure all the way to the client;
-* a **worker task** drains the queue and processes requests strictly in
-  order, so responses always match request order (simple-protocol
-  pipelining, like PostgreSQL's).
+The wire fast path: consecutive pipelined QUERY/EXECUTE frames that do
+not touch transaction control are executed as **one batch in a single
+thread-pool hop** — one ``run_in_executor`` round-trip instead of one
+per statement — and autocommit batches share a single WAL group-commit
+flush (:meth:`~repro.core.database.Database.group_commit`).  Responses
+for the whole batch are written back-to-back with one ``drain()``.
+Parameterized QUERY text is transparently promoted to a server-side
+prepared statement through a small LRU, so pipelined point queries ride
+the bound-plan replay path instead of re-parsing literals every time.
 
 Transaction scope is per connection: ``BEGIN`` acquires the server-wide
 transaction gate (the embedded engine supports one live transaction) and
@@ -35,9 +45,12 @@ from __future__ import annotations
 import asyncio
 import functools
 import os
+import socket
 import threading
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, Optional
+from contextlib import nullcontext
+from typing import Any, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.database import Database
 from repro.core.errors import (
@@ -58,6 +71,16 @@ MAX_SESSION_STMTS = 256
 #: Upper bound on a single QUERY/PARSE statement's text length.
 MAX_SQL_LENGTH = 1 * 1024 * 1024
 
+#: Max statements fused into one executor hop.  Bounds how long one
+#: session can hold the txn gate before other sessions get a turn.
+MAX_BATCH = 16
+
+#: Server-wide auto-prepared statement LRU capacity (keyed by SQL text).
+MAX_AUTO_STMTS = 256
+
+#: Bytes buffered in a streaming response before an intermediate drain.
+WRITE_HIGH_WATER = 1 << 20
+
 _TXN_HEADS = ("BEGIN", "COMMIT", "ROLLBACK")
 
 
@@ -67,7 +90,28 @@ def _statement_head(sql: str) -> str:
 
 
 class Session:
-    """Per-connection state: auth, prepared statements, txn + KV handles."""
+    """Per-connection state: auth, prepared statements, txn + KV handles.
+
+    ``__slots__`` on purpose: the 10k-client tier keeps 10k of these alive
+    at once, and a dict-less instance is the difference between a session
+    costing hundreds of bytes and costing kilobytes.
+    """
+
+    __slots__ = (
+        "id",
+        "writer",
+        "write_lock",
+        "authenticated",
+        "user",
+        "columnar",
+        "stmts",
+        "kv_txns",
+        "owns_txn_gate",
+        "pending",
+        "throttles_sent",
+        "busy",
+        "closed",
+    )
 
     def __init__(self, session_id: int, writer: asyncio.StreamWriter):
         self.id = session_id
@@ -75,21 +119,46 @@ class Session:
         self.write_lock = asyncio.Lock()
         self.authenticated = False
         self.user = ""
+        self.columnar = False
         self.stmts: Dict[str, PreparedStatement] = {}
         self.kv_txns: Dict[int, Any] = {}
         self.owns_txn_gate = False
-        self.inflight: asyncio.Queue = asyncio.Queue()
+        self.pending: Deque[Tuple[int, bytes]] = deque()
         self.throttles_sent = 0
-        self.busy = False  # worker is mid-statement (drain bookkeeping)
+        self.busy = False  # mid-statement (drain bookkeeping)
         self.closed = False
 
     async def send(self, *frames: bytes) -> None:
+        """Write every frame, then drain once — never a drain per frame."""
         if self.closed:
             return
         async with self.write_lock:
             try:
                 for frame in frames:
                     self.writer.write(frame)
+                await self.writer.drain()
+            except (ConnectionError, OSError):
+                self.closed = True
+
+    async def send_stream(self, frames: Iterable[bytes]) -> None:
+        """Stream a frame generator: coalesced writes, periodic drains.
+
+        Large results never materialize their full encoding — frames are
+        written as they are produced, with an intermediate drain every
+        :data:`WRITE_HIGH_WATER` bytes so the transport buffer stays
+        bounded, and one final drain for the tail.
+        """
+        if self.closed:
+            return
+        async with self.write_lock:
+            try:
+                buffered = 0
+                for frame in frames:
+                    self.writer.write(frame)
+                    buffered += len(frame)
+                    if buffered >= WRITE_HIGH_WATER:
+                        await self.writer.drain()
+                        buffered = 0
                 await self.writer.drain()
             except (ConnectionError, OSError):
                 self.closed = True
@@ -116,6 +185,7 @@ class DatabaseServer:
         max_inflight: int = 8,
         scheme: Any = "2pl",
         executor_threads: int = 16,
+        backlog: int = 512,
         **db_kwargs: Any,
     ):
         if db is not None and (path is not None or db_kwargs):
@@ -142,6 +212,11 @@ class DatabaseServer:
         }
         self._next_session_id = 0
         self._txn_gate = asyncio.Lock()
+        self.backlog = backlog
+        # Server-side auto-prepared statements for parameterized QUERY text:
+        # the same SQL arriving again skips parse/bind/optimize entirely.
+        # Loop-only state — mutated exclusively from the event loop.
+        self._auto_stmts: "OrderedDict[str, PreparedStatement]" = OrderedDict()
         self._executor = ThreadPoolExecutor(
             max_workers=executor_threads, thread_name_prefix="repro-net"
         )
@@ -152,7 +227,9 @@ class DatabaseServer:
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
-        self._server = await asyncio.start_server(self._on_connect, self.host, self.port)
+        self._server = await asyncio.start_server(
+            self._on_connect, self.host, self.port, backlog=self.backlog
+        )
         self.port = self._server.sockets[0].getsockname()[1]
         self._accepting = True
 
@@ -178,7 +255,7 @@ class DatabaseServer:
             deadline = asyncio.get_running_loop().time() + timeout
             while asyncio.get_running_loop().time() < deadline:
                 if all(
-                    s.inflight.empty() and not s.busy for s in self.sessions.values()
+                    not s.pending and not s.busy for s in self.sessions.values()
                 ):
                     break
                 await asyncio.sleep(0.01)
@@ -223,6 +300,12 @@ class DatabaseServer:
             except (ConnectionError, OSError):
                 pass
             return
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
         self._next_session_id += 1
         session = Session(self._next_session_id, writer)
         self.sessions[session.id] = session
@@ -238,86 +321,206 @@ class DatabaseServer:
             await self._cleanup_session(session)
 
     async def _run_session(self, session: Session, reader: asyncio.StreamReader) -> None:
-        worker = asyncio.ensure_future(self._worker_loop(session))
-        try:
-            await self._reader_loop(session, reader)
-        finally:
-            # Reader is done (EOF, protocol error, or cancellation): let the
-            # worker finish what is already queued, then stop it.  If the
-            # worker already died (protocol error) there is nothing to wait
-            # for — it drained its queue on the way out.
-            if not worker.done():
-                try:
-                    await asyncio.wait_for(session.inflight.join(), timeout=5.0)
-                except (asyncio.TimeoutError, asyncio.CancelledError):
-                    pass
-            worker.cancel()
-            try:
-                await worker
-            except (asyncio.CancelledError, Exception):
-                pass
+        """One task per connection: read a chunk, process every frame, repeat.
 
-    async def _reader_loop(self, session: Session, reader: asyncio.StreamReader) -> None:
+        No reads happen while frames are processing, so a flooding client
+        parks in its socket buffer (TCP flow control) instead of in server
+        memory; a read chunk that decodes to more than ``max_inflight``
+        frames additionally gets one THROTTLE frame, keeping the PR 7
+        backpressure contract observable to clients.
+        """
+        decoder = proto.FrameDecoder()
+        pending = session.pending
         while not session.closed:
-            try:
-                header = await reader.readexactly(4)
-            except (asyncio.IncompleteReadError, ConnectionError, OSError):
-                return
-            body_len = int.from_bytes(header, "big")
-            if body_len < 1 or body_len > proto.MAX_FRAME:
-                await self._protocol_error(
-                    session, f"frame length {body_len} outside [1, {proto.MAX_FRAME}]"
-                )
-                return
-            try:
-                body = await reader.readexactly(body_len)
-            except (asyncio.IncompleteReadError, ConnectionError, OSError):
-                return
-            frame_type, payload = body[0], body[1:]
+            if not pending:
+                try:
+                    data = await reader.read(65536)
+                except (ConnectionError, OSError):
+                    return
+                if not data:
+                    return
+                try:
+                    decoder.feed(data)
+                    pending.extend(decoder.frames())
+                except ProtocolError as exc:
+                    # Framing is unrecoverable: the stream cannot resync.
+                    await self._protocol_error(session, str(exc))
+                    return
+                if len(pending) > self.max_inflight:
+                    session.throttles_sent += 1
+                    self.stats["throttles"] += 1
+                    await session.send(
+                        proto.encode_message(
+                            proto.THROTTLE,
+                            {"inflight": len(pending), "cap": self.max_inflight},
+                        )
+                    )
+                continue
+            frame_type, payload = pending.popleft()
             if frame_type == proto.TERMINATE:
                 return
-            if session.inflight.qsize() >= self.max_inflight:
-                session.throttles_sent += 1
-                self.stats["throttles"] += 1
-                await session.send(
-                    proto.encode_message(
-                        proto.THROTTLE,
-                        {"inflight": session.inflight.qsize(), "cap": self.max_inflight},
-                    )
-                )
-                # Wait for the worker to drain below the cap before reading
-                # more — the socket buffer (TCP flow control) holds the rest.
-                while session.inflight.qsize() >= self.max_inflight:
-                    await asyncio.sleep(0.001)
-            session.inflight.put_nowait((frame_type, payload))
-
-    async def _worker_loop(self, session: Session) -> None:
-        while True:
-            frame_type, payload = await session.inflight.get()
             session.busy = True
             try:
+                if frame_type in (proto.QUERY, proto.EXECUTE) and session.authenticated:
+                    batch = self._collect_batch(session, frame_type, payload)
+                    if batch is not None:
+                        await self._run_batch(session, batch)
+                        continue
                 await self._process(session, frame_type, payload)
             except ProtocolError as exc:
                 await self._protocol_error(session, str(exc))
-                self._drain_queue(session)
                 return
             except (ConnectionError, OSError):
-                self._drain_queue(session)
                 return
             except Exception as exc:  # engine bug: report, keep session alive
                 await self._send_error(session, exc)
             finally:
                 session.busy = False
-                session.inflight.task_done()
 
-    @staticmethod
-    def _drain_queue(session: Session) -> None:
-        while True:
-            try:
-                session.inflight.get_nowait()
-            except asyncio.QueueEmpty:
-                return
-            session.inflight.task_done()
+    # -- batched executor hops ---------------------------------------------
+
+    def _batch_entry(self, session: Session, frame_type: int, payload: bytes):
+        """Decode one QUERY/EXECUTE frame into a batch entry, or ``None``.
+
+        ``None`` means "not batchable" — malformed payloads (the single
+        path re-raises the precise ProtocolError), transaction control,
+        and oversized text all fall back to :meth:`_process`.  Entries:
+
+        * ``("query", sql, params)`` — plain text execution;
+        * ``("execute", prep, values)`` — prepared replay (explicit PARSE
+          or an auto-prepare LRU hit);
+        * ``("auto", sql, values)`` — parameterized text missing from the
+          LRU: the executor prepares then executes, the loop caches;
+        * ``("error", exc)`` — pre-resolved failure that must still
+          occupy its response slot to keep ordering.
+        """
+        try:
+            message = proto.decode_payload(payload)
+        except ProtocolError:
+            return None
+        if (
+            not isinstance(message, list)
+            or len(message) != 2
+            or not isinstance(message[0], str)
+            or not isinstance(message[1], list)
+        ):
+            return None
+        if frame_type == proto.QUERY:
+            sql, values = message
+            if len(sql) > MAX_SQL_LENGTH:
+                return None
+            if _statement_head(sql) in _TXN_HEADS:
+                return None
+            if values:
+                prep = self._auto_stmts.get(sql)
+                if prep is not None:
+                    self._auto_stmts.move_to_end(sql)
+                    return ("execute", prep, tuple(values))
+                return ("auto", sql, tuple(values))
+            return ("query", sql, None)
+        name, values = message
+        prep = session.stmts.get(name)
+        if prep is None:
+            return ("error", BindError(f"unknown prepared statement {name!r}"))
+        if _statement_head(prep.sql) in _TXN_HEADS:
+            return None
+        return ("execute", prep, tuple(values))
+
+    def _collect_batch(
+        self, session: Session, frame_type: int, payload: bytes
+    ) -> Optional[List[Tuple]]:
+        """Fuse the head frame with queued compatible frames into one batch."""
+        first = self._batch_entry(session, frame_type, payload)
+        if first is None:
+            return None
+        batch = [first]
+        pending = session.pending
+        while pending and len(batch) < MAX_BATCH:
+            next_type, next_payload = pending[0]
+            if next_type not in (proto.QUERY, proto.EXECUTE):
+                break
+            entry = self._batch_entry(session, next_type, next_payload)
+            if entry is None:
+                break  # leave it queued for the single path
+            pending.popleft()
+            batch.append(entry)
+        return batch
+
+    def _execute_batch(self, batch: List[Tuple], autocommit: bool) -> List[Any]:
+        """Executor-thread side: run one batch of statements in a single hop.
+
+        Returns one outcome per entry, order preserved: a Result, the
+        statement's exception, or ``("prepped", prep, result)`` for an
+        auto-prepare miss (the loop owns the LRU insert — this thread
+        never touches server state).  Autocommit batches share one WAL
+        group-commit scope, so N small writes cost one flush/fsync; the
+        loop acknowledges nothing until this function has returned, which
+        is after that flush, so durability-before-ack holds.
+        """
+        outcomes: List[Any] = []
+        scope = self.db.group_commit() if autocommit else nullcontext()
+        with scope:
+            for entry in batch:
+                kind = entry[0]
+                try:
+                    if kind == "execute":
+                        outcomes.append(entry[1].execute(entry[2]))
+                    elif kind == "query":
+                        outcomes.append(self.db.execute(entry[1], params=entry[2]))
+                    elif kind == "auto":
+                        sql, values = entry[1], entry[2]
+                        try:
+                            prep = self.db.prepare(sql)
+                        except Exception:
+                            # Not preparable (rare): plain text execution
+                            # defines the semantics.
+                            outcomes.append(self.db.execute(sql, params=list(values)))
+                        else:
+                            outcomes.append(("prepped", prep, prep.execute(values)))
+                    else:  # "error": pre-resolved, keeps response ordering
+                        outcomes.append(entry[1])
+                except Exception as exc:
+                    outcomes.append(exc)
+        return outcomes
+
+    def _remember_auto(self, prep: PreparedStatement) -> None:
+        self._auto_stmts[prep.sql] = prep
+        self._auto_stmts.move_to_end(prep.sql)
+        while len(self._auto_stmts) > MAX_AUTO_STMTS:
+            self._auto_stmts.popitem(last=False)
+
+    def _batch_frames(
+        self, session: Session, outcomes: List[Any]
+    ) -> Iterator[bytes]:
+        for outcome in outcomes:
+            if isinstance(outcome, tuple) and outcome and outcome[0] == "prepped":
+                _, prep, result = outcome
+                self._remember_auto(prep)
+                outcome = result
+            if isinstance(outcome, BaseException):
+                name, message = error_to_wire(outcome)
+                yield proto.encode_message(
+                    proto.ERROR, {"class": name, "message": message}
+                )
+            else:
+                yield from proto.iter_result_frames(
+                    outcome.columns,
+                    outcome.rows,
+                    outcome.rowcount,
+                    columnar=session.columnar,
+                )
+
+    async def _run_batch(self, session: Session, batch: List[Tuple]) -> None:
+        """One executor hop for the whole batch, one coalesced write back."""
+        self.stats["statements"] += len(batch)
+        if session.owns_txn_gate:
+            # Inside this session's open transaction: the gate is already
+            # held, statements just join it (no group commit — COMMIT pays).
+            outcomes = await self._run_engine(self._execute_batch, batch, False)
+        else:
+            async with self._txn_gate:
+                outcomes = await self._run_engine(self._execute_batch, batch, True)
+        await session.send_stream(self._batch_frames(session, outcomes))
 
     async def _protocol_error(self, session: Session, message: str) -> None:
         """Report an unrecoverable framing/state error and disconnect."""
@@ -384,6 +587,13 @@ class DatabaseServer:
             return
         session.authenticated = True
         session.user = hello["user"]
+        # Columnar result frames are opt-in per connection: raw-socket
+        # clients (and the protocol fuzzer) that never ask keep getting
+        # the classic per-value RESULT_BATCH encoding.
+        options = hello.get("options")
+        session.columnar = bool(
+            isinstance(options, dict) and options.get("columnar")
+        )
         await session.send(
             proto.encode_message(
                 proto.WELCOME,
@@ -393,6 +603,7 @@ class DatabaseServer:
                     "engine": self.db.engine,
                     "scheme": self.scheme.name,
                     "max_inflight": self.max_inflight,
+                    "columnar": session.columnar,
                 },
             )
         )
@@ -433,8 +644,13 @@ class DatabaseServer:
         else:
             async with self._txn_gate:
                 result = await self._run_engine(thunk)
-        await session.send(
-            *proto.encode_result(result.columns, result.rows, result.rowcount)
+        await session.send_stream(
+            proto.iter_result_frames(
+                result.columns,
+                result.rows,
+                result.rowcount,
+                columnar=session.columnar,
+            )
         )
 
     async def _handle_query(self, session: Session, payload: bytes) -> None:

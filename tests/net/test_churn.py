@@ -1,0 +1,84 @@
+"""Nightly 10k-connection churn smoke test (``REPRO_NIGHTLY=1``).
+
+The mass-connection tier in BENCH_server.json proves 10k *simultaneous*
+sessions; this test proves 10k sessions of *churn* — connections opened,
+queried, and closed in fast waves — leaks nothing.  The contract:
+
+* zero protocol errors and zero admission refusals in the server stats;
+* every query answered correctly (no dropped or cross-wired responses);
+* bounded memory: process RSS growth over the whole churn stays under a
+  fixed budget, so per-session state really is reclaimed.
+
+Skipped unless ``REPRO_NIGHTLY=1`` — ~10k TCP handshakes is nightly-tier
+wall time, not per-push.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro.net import ServerThread, aconnect
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_NIGHTLY"),
+    reason="10k-connection churn runs nightly (REPRO_NIGHTLY=1)",
+)
+
+TOTAL_CONNECTIONS = 10_000
+WAVE = 250  # concurrent connections per wave
+RSS_BUDGET_MB = 200
+
+
+def _rss_mb() -> float:
+    with open("/proc/self/status", encoding="ascii") as handle:
+        for line in handle:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1]) / 1024.0
+    raise RuntimeError("VmRSS not found in /proc/self/status")
+
+
+def test_10k_connection_churn_is_clean_and_bounded():
+    with ServerThread(max_connections=WAVE + 16, max_inflight=8) as srv:
+        srv.db.execute("CREATE TABLE churn (id INTEGER, val INTEGER)")
+        for i in range(100):
+            srv.db.execute(f"INSERT INTO churn VALUES ({i}, {i * 10})")
+        srv.db.execute("CREATE INDEX churn_id ON churn (id)")
+        srv.db.execute("ANALYZE")
+
+        async def one(client_id: int) -> None:
+            conn = await aconnect(port=srv.port, user=f"churn{client_id}")
+            try:
+                key = client_id % 100
+                rows = (
+                    await conn.execute("SELECT val FROM churn WHERE id = ?", (key,))
+                ).rows
+                assert rows == [(key * 10,)], f"client {client_id} got {rows}"
+            finally:
+                await conn.close()
+
+        async def wave(base: int) -> None:
+            await asyncio.gather(*(one(base + i) for i in range(WAVE)))
+
+        async def churn() -> None:
+            for base in range(0, TOTAL_CONNECTIONS, WAVE):
+                await wave(base)
+
+        # One warm-up wave first so allocator high-water marks, executor
+        # thread stacks, and codec caches don't count as "leaks".
+        asyncio.run(wave(0))
+        rss_before = _rss_mb()
+        asyncio.run(churn())
+        rss_after = _rss_mb()
+
+    stats = srv.server.stats
+    assert stats["protocol_errors"] == 0, stats
+    assert stats["refused"] == 0, stats
+    assert stats["connections"] >= TOTAL_CONNECTIONS, stats
+    growth = rss_after - rss_before
+    assert growth < RSS_BUDGET_MB, (
+        f"RSS grew {growth:.1f} MB over {TOTAL_CONNECTIONS} churned "
+        f"connections (budget {RSS_BUDGET_MB} MB): {stats}"
+    )

@@ -1,0 +1,271 @@
+"""Pipelining, batched execution, and columnar negotiation suite.
+
+The fast path stacks three mechanisms — client-side pipelining (many
+requests in flight per connection), server-side batch collection (queued
+compatible requests execute in one executor hop under one WAL group
+commit), and columnar result frames.  None of them may be *observable*:
+a pipelined session must produce exactly the answers a serial session
+produces, statement by statement, error by error.
+
+The differential section replays the seeded SQL sequences from
+``tests.differential.sequences`` through ``pipeline()`` against a fresh
+embedded engine — the same oracle the serial wire clients already pass —
+so the composition ``pipelined wire == serial wire == embedded ==
+sqlite3`` holds transitively.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import CatalogError, ProtocolError, ReproError
+from repro.net import ServerThread, aconnect, connect
+from repro.net import protocol as proto
+
+from tests.differential.sequences import canon, num_sequences, sequence
+
+SCHEMA = "CREATE TABLE t (id INTEGER, name TEXT, val FLOAT)"
+
+# Every 4th seed of the serial differential corpus: the sequences are
+# identical, only the transport discipline changes, so a quarter of the
+# corpus re-run pipelined buys the composition proof without doubling
+# suite wall time.
+PIPELINE_SEEDS = range(0, num_sequences(), 4)
+
+
+@pytest.fixture(scope="module")
+def pipe_server():
+    with ServerThread(max_connections=64) as srv:
+        yield srv
+
+
+def _reset(execute) -> None:
+    try:
+        execute("DROP TABLE t")
+    except ReproError:
+        pass
+    execute(SCHEMA)
+
+
+def _compare(seed: int, step: int, sql: str, handle, theirs) -> None:
+    t_err = theirs if isinstance(theirs, BaseException) else None
+    if handle.error is not None or t_err is not None:
+        assert type(handle.error) is type(t_err), (
+            f"error divergence at seed={seed} step={step}: {sql!r}\n"
+            f"  pipelined: {type(handle.error).__name__ if handle.error else 'ok'}\n"
+            f"  embedded:  {type(t_err).__name__ if t_err else 'ok'}"
+        )
+        return
+    ours = handle.result()
+    assert ours.columns == theirs.columns, f"seed={seed} step={step}: {sql!r}"
+    assert ours.rowcount == theirs.rowcount, f"seed={seed} step={step}: {sql!r}"
+    assert canon(ours.rows) == canon(theirs.rows), (
+        f"row divergence at seed={seed} step={step}: {sql!r}"
+    )
+
+
+def _embedded_replay(seed: int):
+    """Run the whole sequence embedded; return (per-step outcomes, final rows)."""
+    db = Database()
+    db.execute(SCHEMA)
+    outcomes = []
+    for sql in sequence(seed):
+        try:
+            outcomes.append(db.execute(sql))
+        except ReproError as exc:
+            outcomes.append(exc)
+    final = db.execute("SELECT id, name, val FROM t").rows
+    db.close()
+    return outcomes, final
+
+
+@pytest.mark.parametrize("seed", PIPELINE_SEEDS)
+def test_sync_pipeline_matches_embedded(pipe_server, seed):
+    statements = sequence(seed)
+    theirs, final_theirs = _embedded_replay(seed)
+    with connect(port=pipe_server.port) as conn:
+        _reset(conn.execute)
+        with conn.pipeline(window=8) as pipe:
+            handles = [pipe.execute(sql) for sql in statements]
+        for step, (sql, handle) in enumerate(zip(statements, handles)):
+            _compare(seed, step, sql, handle, theirs[step])
+        final_ours = conn.execute("SELECT id, name, val FROM t").rows
+        assert canon(final_ours) == canon(final_theirs), f"seed={seed}"
+
+
+@pytest.mark.parametrize("seed", PIPELINE_SEEDS)
+def test_async_pipeline_matches_embedded(pipe_server, seed):
+    statements = sequence(seed)
+    theirs, final_theirs = _embedded_replay(seed)
+
+    async def scenario():
+        conn = await aconnect(port=pipe_server.port)
+        try:
+            try:
+                await conn.execute("DROP TABLE t")
+            except ReproError:
+                pass
+            await conn.execute(SCHEMA)
+            async with conn.pipeline(window=8) as pipe:
+                handles = [await pipe.execute(sql) for sql in statements]
+            for step, (sql, handle) in enumerate(zip(statements, handles)):
+                _compare(seed, step, sql, handle, theirs[step])
+            final_ours = (await conn.execute("SELECT id, name, val FROM t")).rows
+            assert canon(final_ours) == canon(final_theirs), f"seed={seed}"
+        finally:
+            await conn.close()
+
+    asyncio.run(scenario())
+
+
+# -- pipeline semantics ------------------------------------------------------
+
+
+def test_execute_many_preserves_order(server):
+    with connect(port=server.port) as conn:
+        conn.execute("CREATE TABLE seq (i INTEGER)")
+        conn.execute_many("INSERT INTO seq VALUES (?)", [(i,) for i in range(200)])
+        rows = conn.execute("SELECT i FROM seq").rows
+        assert sorted(r[0] for r in rows) == list(range(200))
+
+
+def test_mid_pipeline_error_keeps_slot_and_connection(server):
+    """A failing statement occupies its response slot; later statements
+    still run and the connection stays usable afterwards."""
+    with connect(port=server.port) as conn:
+        conn.execute("CREATE TABLE ok (i INTEGER)")
+        with conn.pipeline() as pipe:
+            first = pipe.execute("INSERT INTO ok VALUES (1)")
+            broken = pipe.execute("INSERT INTO missing VALUES (1)")
+            last = pipe.execute("INSERT INTO ok VALUES (2)")
+        assert first.error is None
+        assert isinstance(broken.error, CatalogError)
+        assert last.error is None
+        with pytest.raises(CatalogError):
+            broken.result()
+        rows = conn.execute("SELECT i FROM ok").rows
+        assert sorted(r[0] for r in rows) == [1, 2]
+
+
+def test_execute_many_return_exceptions(server):
+    with connect(port=server.port) as conn:
+        conn.execute("CREATE TABLE em (i INTEGER)")
+        results = conn.execute_many(
+            "INSERT INTO em VALUES (?)",
+            [(1,), ("not an int",), (3,)],
+            return_exceptions=True,
+        )
+        assert results[0].rowcount == 1
+        assert isinstance(results[1], ReproError)
+        assert results[2].rowcount == 1
+
+
+def test_plain_execute_inside_pipeline_is_rejected(server):
+    with connect(port=server.port) as conn:
+        conn.execute("CREATE TABLE g (i INTEGER)")
+        with conn.pipeline() as pipe:
+            pipe.execute("INSERT INTO g VALUES (1)")
+            with pytest.raises(ProtocolError, match="pipeline"):
+                conn.execute("SELECT i FROM g")
+        assert conn.execute("SELECT i FROM g").rows == [(1,)]
+
+
+def test_pipelined_transaction_rolls_back_atomically(server):
+    """BEGIN/COMMIT/ROLLBACK frames never join a batch: txn control keeps
+    its exact serial semantics even when submitted through a pipeline."""
+    with connect(port=server.port) as conn:
+        conn.execute("CREATE TABLE txn (i INTEGER)")
+        with conn.pipeline() as pipe:
+            pipe.execute("INSERT INTO txn VALUES (0)")
+            pipe.execute("BEGIN")
+            pipe.execute("INSERT INTO txn VALUES (1)")
+            pipe.execute("INSERT INTO txn VALUES (2)")
+            pipe.execute("ROLLBACK")
+            pipe.execute("INSERT INTO txn VALUES (3)")
+        rows = sorted(r[0] for r in conn.execute("SELECT i FROM txn").rows)
+        assert rows == [0, 3], "rolled-back batch members leaked"
+
+
+def test_async_pipeline_mixed_errors(server):
+    async def scenario():
+        conn = await aconnect(port=server.port)
+        try:
+            await conn.execute("CREATE TABLE am (i INTEGER)")
+            async with conn.pipeline(window=4) as pipe:
+                good = await pipe.execute("INSERT INTO am VALUES (?)", (7,))
+                bad = await pipe.execute("SELECT * FROM nowhere")
+            assert good.error is None
+            assert isinstance(bad.error, CatalogError)
+            assert (await conn.execute("SELECT i FROM am")).rows == [(7,)]
+        finally:
+            await conn.close()
+
+    asyncio.run(scenario())
+
+
+def test_autoprepare_cache_populates(server):
+    """Repeated parameterized text gets promoted to a server-side prepared
+    statement (the batch path's per-statement parse amortizer)."""
+    with connect(port=server.port) as conn:
+        conn.execute("CREATE TABLE ap (i INTEGER)")
+        conn.execute_many("INSERT INTO ap VALUES (?)", [(i,) for i in range(64)])
+        for _ in range(3):
+            conn.execute_many(
+                "SELECT i FROM ap WHERE i = ?", [(i,) for i in range(0, 64, 8)]
+            )
+    cached = list(server.server._auto_stmts)
+    assert any("SELECT i FROM ap WHERE i = ?" == sql for sql in cached), cached
+
+
+def test_group_commit_batches_are_durable(tmp_path):
+    """Autocommit writes executed as one batch share one WAL flush — and
+    every row must survive close/reopen (durability before ack)."""
+    path = str(tmp_path / "pipe.db")
+    with ServerThread(Database(path, durability="fsync")) as srv:
+        with connect(port=srv.port) as conn:
+            conn.execute("CREATE TABLE d (i INTEGER)")
+            conn.execute_many("INSERT INTO d VALUES (?)", [(i,) for i in range(100)])
+    db = Database(path)
+    try:
+        assert db.execute("SELECT COUNT(*) FROM d").rows == [(100,)]
+    finally:
+        db.close()
+
+
+# -- columnar negotiation ----------------------------------------------------
+
+
+def _raw_query_frames(port: int, columnar: bool):
+    """Speak the protocol by hand and return the result frame types."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10.0) as sock:
+        options = {"columnar": True} if columnar else {}
+        sock.sendall(proto.encode_message(proto.HELLO, {"user": "raw", "options": options}))
+        sock.sendall(proto.encode_message(proto.QUERY, ["SELECT id FROM neg", []]))
+        decoder = proto.FrameDecoder()
+        seen = []
+        while True:
+            data = sock.recv(65536)
+            assert data, "server hung up mid-result"
+            decoder.feed(data)
+            for frame_type, _payload in decoder.frames():
+                if frame_type == proto.WELCOME:
+                    continue
+                seen.append(frame_type)
+                if frame_type in (proto.RESULT_DONE, proto.ERROR):
+                    return seen
+
+
+def test_columnar_is_opt_in(server):
+    server.db.execute("CREATE TABLE neg (id INTEGER)")
+    for i in range(10):
+        server.db.execute(f"INSERT INTO neg VALUES ({i})")
+    classic = _raw_query_frames(server.port, columnar=False)
+    assert proto.RESULT_BATCH in classic
+    assert proto.RESULT_BATCH_COL not in classic
+    negotiated = _raw_query_frames(server.port, columnar=True)
+    assert proto.RESULT_BATCH_COL in negotiated
+    assert proto.RESULT_BATCH not in negotiated
